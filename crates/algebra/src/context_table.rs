@@ -1,0 +1,453 @@
+//! The set `W` of current context windows (§4.1) realized as the
+//! per-partition *context bit vector* of §6.2.
+//!
+//! "For each stream partition we save which context windows currently
+//! hold in the context bit vector W. This vector W has a time stamp
+//! W.time and a one-bit entry for each context type. The entries are
+//! sorted alphabetically by context names to allow for constant time
+//! access."
+//!
+//! Beyond the bits, each entry keeps the current window's span so the
+//! `(t_i, t_t]` admission semantics of Definition 1 can be honoured, and
+//! an *epoch* counter identifying window instances (used by the context
+//! history to expire partial matches, §6.2 "Context Processing").
+
+use caesar_events::{PartitionId, Time, WindowSpan, TIME_MAX};
+use serde::{Deserialize, Serialize};
+
+/// A context transition produced by a context initiation / termination
+/// operator, applied to the table by the runtime scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// What happens.
+    pub kind: TransitionKind,
+    /// Bit index of the affected context (alphabetical order).
+    pub context_bit: u8,
+    /// Application time of the triggering event.
+    pub time: Time,
+    /// The partition whose context state changes.
+    pub partition: PartitionId,
+}
+
+/// Kinds of context transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Start window `w_c` (no-op if already open) — operator `CI_c`.
+    Initiate,
+    /// End window `w_c` (no-op if not open) — operator `CT_c`.
+    Terminate,
+}
+
+/// Per-context-entry state inside one partition.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Slot {
+    /// Exclusive start of the open window; meaningful when the bit is set.
+    initiated: Time,
+    /// The window was open "since genesis" (default context at startup):
+    /// admits every timestamp.
+    genesis: bool,
+    /// The most recently closed window, kept so events carrying exactly
+    /// the termination timestamp are still admitted within the closing
+    /// transaction (`t <= t_t`).
+    recent: Option<WindowSpan>,
+    /// Window-instance counter; bumped on every initiation.
+    epoch: u64,
+}
+
+/// Context window state of one stream partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionContexts {
+    /// The context bit vector: bit `i` set ⇔ window of context `i` holds.
+    bits: u64,
+    /// `W.time`: application time of the last update.
+    time: Time,
+    slots: Vec<Slot>,
+    default_bit: u8,
+}
+
+impl PartitionContexts {
+    fn new(num_contexts: usize, default_bit: u8) -> Self {
+        let mut slots = vec![Slot::default(); num_contexts];
+        // The default context holds at startup and admits all times.
+        slots[default_bit as usize].genesis = true;
+        slots[default_bit as usize].epoch = 1;
+        Self {
+            bits: 1 << default_bit,
+            time: 0,
+            slots,
+            default_bit,
+        }
+    }
+
+    /// The raw bit vector.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// `W.time` — when the vector was last updated.
+    #[must_use]
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Returns `true` if the window of context `bit` currently holds.
+    #[must_use]
+    pub fn holds(&self, bit: u8) -> bool {
+        self.bits & (1 << bit) != 0
+    }
+
+    /// Number of currently open windows.
+    #[must_use]
+    pub fn open_count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Window-instance epoch of context `bit` (0 = never opened).
+    #[must_use]
+    pub fn epoch(&self, bit: u8) -> u64 {
+        self.slots[bit as usize].epoch
+    }
+
+    /// The context window operator's admission test (`CW_c`): does an
+    /// event at time `t` occur during the current (or just-terminated)
+    /// window of context `bit`?
+    ///
+    /// Honours the `(t_i, t_t]` semantics: events at the initiation
+    /// timestamp are *not* admitted; events at the termination timestamp
+    /// *are* (via the `recent` span kept until the watermark passes it).
+    #[must_use]
+    pub fn admits(&self, bit: u8, t: Time) -> bool {
+        let slot = &self.slots[bit as usize];
+        if self.holds(bit) && (slot.genesis || slot.initiated < t) {
+            return true;
+        }
+        slot.recent.is_some_and(|w| w.admits(t))
+    }
+
+    /// Span of the currently open window of `bit`, if any.
+    #[must_use]
+    pub fn open_span(&self, bit: u8) -> Option<WindowSpan> {
+        self.holds(bit).then(|| WindowSpan {
+            initiated: if self.slots[bit as usize].genesis {
+                0
+            } else {
+                self.slots[bit as usize].initiated
+            },
+            terminated: TIME_MAX,
+        })
+    }
+
+    /// Applies `CI_c` at time `t` (§4.1):
+    /// "starts a new context window w_c, adds it to the set of current
+    /// context windows and removes the default context window, if there."
+    /// No-op if `w_c` is already open.
+    pub fn initiate(&mut self, bit: u8, t: Time) {
+        self.time = self.time.max(t);
+        if self.holds(bit) {
+            return;
+        }
+        self.open_slot(bit, t);
+        // Remove the default window (unless the initiated context IS the
+        // default, which would be unusual but harmless).
+        if bit != self.default_bit && self.holds(self.default_bit) {
+            self.close_slot(self.default_bit, t);
+        }
+    }
+
+    /// Applies `CT_c` at time `t` (§4.1):
+    /// "ends the context window w_c, removes it from the set of current
+    /// context windows, if the set becomes empty adds the default
+    /// context window."
+    /// No-op if `w_c` is not open.
+    pub fn terminate(&mut self, bit: u8, t: Time) {
+        self.time = self.time.max(t);
+        if !self.holds(bit) {
+            return;
+        }
+        self.close_slot(bit, t);
+        if self.bits == 0 {
+            self.open_slot(self.default_bit, t);
+        }
+    }
+
+    fn open_slot(&mut self, bit: u8, t: Time) {
+        let slot = &mut self.slots[bit as usize];
+        slot.initiated = t;
+        slot.genesis = false;
+        slot.epoch += 1;
+        self.bits |= 1 << bit;
+    }
+
+    fn close_slot(&mut self, bit: u8, t: Time) {
+        let slot = &mut self.slots[bit as usize];
+        let initiated = if slot.genesis { 0 } else { slot.initiated };
+        slot.recent = Some(WindowSpan {
+            initiated,
+            terminated: t,
+        });
+        slot.genesis = false;
+        self.bits &= !(1 << bit);
+    }
+
+    /// Garbage-collects `recent` spans fully behind the watermark
+    /// (the storage layer's garbage collector, §6.1).
+    pub fn collect_garbage(&mut self, watermark: Time) {
+        for slot in &mut self.slots {
+            if slot.recent.is_some_and(|w| w.terminated < watermark) {
+                slot.recent = None;
+            }
+        }
+    }
+}
+
+/// The full context table: one [`PartitionContexts`] per stream
+/// partition, created lazily.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContextTable {
+    partitions: Vec<PartitionContexts>,
+    num_contexts: usize,
+    default_bit: u8,
+}
+
+impl ContextTable {
+    /// Creates a table for `num_contexts` context types (alphabetical bit
+    /// order) with the given default context bit.
+    ///
+    /// # Panics
+    /// Panics if `num_contexts` exceeds 64 or `default_bit` is out of
+    /// range.
+    #[must_use]
+    pub fn new(num_contexts: usize, default_bit: u8) -> Self {
+        assert!(num_contexts <= 64, "context bit vector holds at most 64 types");
+        assert!((default_bit as usize) < num_contexts, "default bit out of range");
+        Self {
+            partitions: Vec::new(),
+            num_contexts,
+            default_bit,
+        }
+    }
+
+    /// Number of context types.
+    #[must_use]
+    pub fn num_contexts(&self) -> usize {
+        self.num_contexts
+    }
+
+    /// Bit of the default context.
+    #[must_use]
+    pub fn default_bit(&self) -> u8 {
+        self.default_bit
+    }
+
+    /// The state of one partition (creating it on first touch).
+    pub fn partition_mut(&mut self, p: PartitionId) -> &mut PartitionContexts {
+        let idx = p.index();
+        if idx >= self.partitions.len() {
+            let (n, d) = (self.num_contexts, self.default_bit);
+            self.partitions
+                .resize_with(idx + 1, || PartitionContexts::new(n, d));
+        }
+        &mut self.partitions[idx]
+    }
+
+    /// Read access to one partition's state; partitions never touched
+    /// report the startup state (default context only).
+    #[must_use]
+    pub fn partition(&self, p: PartitionId) -> PartitionContexts {
+        self.partitions
+            .get(p.index())
+            .cloned()
+            .unwrap_or_else(|| PartitionContexts::new(self.num_contexts, self.default_bit))
+    }
+
+    /// Whether context `bit` admits an event at `(p, t)` — the `CW_c`
+    /// test without materializing the partition.
+    #[must_use]
+    pub fn admits(&self, p: PartitionId, bit: u8, t: Time) -> bool {
+        match self.partitions.get(p.index()) {
+            Some(pc) => pc.admits(bit, t),
+            None => bit == self.default_bit, // startup default admits all
+        }
+    }
+
+    /// Whether the window of context `bit` currently holds at `p`.
+    #[must_use]
+    pub fn holds(&self, p: PartitionId, bit: u8) -> bool {
+        match self.partitions.get(p.index()) {
+            Some(pc) => pc.holds(bit),
+            None => bit == self.default_bit,
+        }
+    }
+
+    /// Applies one transition.
+    pub fn apply(&mut self, transition: Transition) {
+        let pc = self.partition_mut(transition.partition);
+        match transition.kind {
+            TransitionKind::Initiate => pc.initiate(transition.context_bit, transition.time),
+            TransitionKind::Terminate => pc.terminate(transition.context_bit, transition.time),
+        }
+    }
+
+    /// Runs the garbage collector over all partitions.
+    pub fn collect_garbage(&mut self, watermark: Time) {
+        for pc in &mut self.partitions {
+            pc.collect_garbage(watermark);
+        }
+    }
+
+    /// Number of partitions materialized so far.
+    #[must_use]
+    pub fn materialized_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAR: u8 = 1; // default
+    const ACCIDENT: u8 = 0;
+    const CONGESTION: u8 = 2;
+    const P: PartitionId = PartitionId(0);
+
+    fn table() -> ContextTable {
+        ContextTable::new(3, CLEAR)
+    }
+
+    #[test]
+    fn default_context_holds_at_startup_and_admits_time_zero() {
+        let t = table();
+        assert!(t.holds(P, CLEAR));
+        assert!(!t.holds(P, CONGESTION));
+        assert!(t.admits(P, CLEAR, 0));
+        assert!(t.admits(P, CLEAR, 1_000_000));
+        assert!(!t.admits(P, CONGESTION, 5));
+    }
+
+    #[test]
+    fn initiate_opens_window_and_closes_default() {
+        let mut t = table();
+        t.partition_mut(P).initiate(CONGESTION, 10);
+        assert!(t.holds(P, CONGESTION));
+        assert!(!t.holds(P, CLEAR), "default removed on initiation");
+        // (t_i, t_t] semantics: event at the initiation time is NOT in
+        // the new window...
+        assert!(!t.admits(P, CONGESTION, 10));
+        assert!(t.admits(P, CONGESTION, 11));
+        // ...but still in the just-closed default window.
+        assert!(t.admits(P, CLEAR, 10));
+        assert!(!t.admits(P, CLEAR, 11));
+    }
+
+    #[test]
+    fn initiate_is_idempotent_while_open() {
+        let mut t = table();
+        t.partition_mut(P).initiate(CONGESTION, 10);
+        let epoch = t.partition(P).epoch(CONGESTION);
+        t.partition_mut(P).initiate(CONGESTION, 20);
+        assert_eq!(t.partition(P).epoch(CONGESTION), epoch, "CI on open window is a no-op");
+    }
+
+    #[test]
+    fn terminate_restores_default_when_set_empties() {
+        let mut t = table();
+        t.partition_mut(P).initiate(CONGESTION, 10);
+        t.partition_mut(P).terminate(CONGESTION, 50);
+        assert!(!t.holds(P, CONGESTION));
+        assert!(t.holds(P, CLEAR), "default restored");
+        // Terminated window still admits its termination timestamp.
+        assert!(t.admits(P, CONGESTION, 50));
+        assert!(!t.admits(P, CONGESTION, 51));
+        // The restored default is half-open at 50.
+        assert!(!t.admits(P, CLEAR, 50));
+        assert!(t.admits(P, CLEAR, 51));
+    }
+
+    #[test]
+    fn overlapping_windows_coexist() {
+        let mut t = table();
+        t.partition_mut(P).initiate(CONGESTION, 10);
+        t.partition_mut(P).initiate(ACCIDENT, 20);
+        assert!(t.holds(P, CONGESTION));
+        assert!(t.holds(P, ACCIDENT));
+        assert_eq!(t.partition(P).open_count(), 2);
+        // Terminating one leaves the other (|W| > 1 branch of CT).
+        t.partition_mut(P).terminate(ACCIDENT, 30);
+        assert!(t.holds(P, CONGESTION));
+        assert!(!t.holds(P, CLEAR), "default NOT restored while another window holds");
+    }
+
+    #[test]
+    fn terminate_unopened_window_is_noop() {
+        let mut t = table();
+        t.partition_mut(P).terminate(ACCIDENT, 5);
+        assert!(t.holds(P, CLEAR));
+        assert!(!t.admits(P, ACCIDENT, 5));
+    }
+
+    #[test]
+    fn epochs_count_window_instances() {
+        let mut t = table();
+        let pc = t.partition_mut(P);
+        pc.initiate(CONGESTION, 10);
+        pc.terminate(CONGESTION, 20);
+        pc.initiate(CONGESTION, 30);
+        assert_eq!(pc.epoch(CONGESTION), 2);
+        assert_eq!(pc.epoch(CLEAR), 2, "default reopened once after genesis");
+    }
+
+    #[test]
+    fn gc_drops_stale_recent_spans() {
+        let mut t = table();
+        t.partition_mut(P).initiate(CONGESTION, 10);
+        t.partition_mut(P).terminate(CONGESTION, 20);
+        assert!(t.admits(P, CONGESTION, 20));
+        t.collect_garbage(21);
+        assert!(!t.admits(P, CONGESTION, 20), "recent span collected");
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let mut t = table();
+        t.partition_mut(PartitionId(0)).initiate(CONGESTION, 10);
+        assert!(t.holds(PartitionId(0), CONGESTION));
+        assert!(!t.holds(PartitionId(1), CONGESTION));
+        assert!(t.holds(PartitionId(1), CLEAR));
+    }
+
+    #[test]
+    fn apply_transitions() {
+        let mut t = table();
+        t.apply(Transition {
+            kind: TransitionKind::Initiate,
+            context_bit: CONGESTION,
+            time: 10,
+            partition: P,
+        });
+        assert!(t.holds(P, CONGESTION));
+        t.apply(Transition {
+            kind: TransitionKind::Terminate,
+            context_bit: CONGESTION,
+            time: 12,
+            partition: P,
+        });
+        assert!(t.holds(P, CLEAR));
+    }
+
+    #[test]
+    fn w_time_tracks_latest_update() {
+        let mut t = table();
+        let pc = t.partition_mut(P);
+        pc.initiate(CONGESTION, 10);
+        pc.terminate(CONGESTION, 25);
+        assert_eq!(pc.time(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_contexts_panics() {
+        let _ = ContextTable::new(65, 0);
+    }
+}

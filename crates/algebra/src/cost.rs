@@ -1,0 +1,289 @@
+//! CPU cost model (§5.1).
+//!
+//! "We borrow the CPU cost estimation of event pattern construction from
+//! \[24\]" (ZStream): a sequence over types with rates `r_1..r_k` inside a
+//! time window `W` costs the sum of the prefix combination counts, and
+//! produces matches at rate `∏ r_i · W^{k-1}` scaled by predicate
+//! selectivities. The context-specific operators (context window,
+//! initiation, termination) have *constant* per-event cost — they touch
+//! one bit and a timestamp of the context bit vector.
+//!
+//! The decisive context-aware term: a context window gates the rate
+//! flowing to every operator above it by the context's *activity
+//! fraction* (how much of the stream its windows cover). That is why
+//! pushing the context window down never increases cost (Theorem 1) —
+//! verified by a property test in the optimizer crate.
+
+use crate::ops::Op;
+use crate::plan::QueryPlan;
+use caesar_events::TypeId;
+use std::collections::HashMap;
+
+/// Relative per-event CPU weights of the operators. Pattern and filter
+/// weights are per predicate / per combination; the context operators'
+/// constant cost reflects the O(1) bit-vector access of §5.1.
+pub mod weights {
+    /// Cost of offering one event to a pattern position.
+    pub const PATTERN_EVENT: f64 = 1.0;
+    /// Cost of evaluating one predicate.
+    pub const PREDICATE: f64 = 0.5;
+    /// Cost of computing one projection argument.
+    pub const PROJECT_ARG: f64 = 0.3;
+    /// Constant cost of a context window lookup.
+    pub const CONTEXT_WINDOW: f64 = 0.05;
+    /// Constant cost of a context initiation / termination update.
+    pub const CONTEXT_UPDATE: f64 = 0.05;
+}
+
+/// Statistics feeding the cost model: per-type input rates (events per
+/// tick) and per-context activity fractions.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    rates: HashMap<TypeId, f64>,
+    /// Rate assumed for types without a recorded rate.
+    pub default_rate: f64,
+    /// Fraction of stream time each context (by bit) is active.
+    activity: Vec<f64>,
+    /// Activity assumed for contexts without a recorded fraction.
+    pub default_activity: f64,
+    /// Effective pattern window (the `within` horizon) used for
+    /// combination-count estimates.
+    pub window: f64,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            rates: HashMap::new(),
+            default_rate: 1.0,
+            activity: Vec::new(),
+            default_activity: 0.5,
+            window: 30.0,
+        }
+    }
+}
+
+impl Stats {
+    /// Creates default statistics (uniform rates, 50% context activity).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the input rate of an event type.
+    pub fn set_rate(&mut self, type_id: TypeId, rate: f64) {
+        self.rates.insert(type_id, rate);
+    }
+
+    /// Rate of an event type.
+    #[must_use]
+    pub fn rate(&self, type_id: TypeId) -> f64 {
+        self.rates.get(&type_id).copied().unwrap_or(self.default_rate)
+    }
+
+    /// Records the activity fraction of a context bit.
+    pub fn set_activity(&mut self, bit: u8, fraction: f64) {
+        let idx = bit as usize;
+        if idx >= self.activity.len() {
+            self.activity.resize(idx + 1, self.default_activity);
+        }
+        self.activity[idx] = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Activity fraction of a context bit.
+    #[must_use]
+    pub fn activity(&self, bit: u8) -> f64 {
+        self.activity
+            .get(bit as usize)
+            .copied()
+            .unwrap_or(self.default_activity)
+    }
+}
+
+/// Cost estimate of a full operator chain (`ops\[0\]` is the bottom), given
+/// the total input rate arriving at the bottom.
+///
+/// Returns `(cost, output_rate)`.
+#[must_use]
+pub fn chain_cost(ops: &[Op], stats: &Stats, input_rate: f64) -> (f64, f64) {
+    let mut cost = 0.0;
+    let mut rate = input_rate;
+    for op in ops {
+        let (op_cost, out_rate) = operator_cost(op, stats, rate);
+        cost += op_cost;
+        rate = out_rate;
+    }
+    (cost, rate)
+}
+
+/// Cost and output rate of one operator at the given input rate.
+#[must_use]
+pub fn operator_cost(op: &Op, stats: &Stats, input_rate: f64) -> (f64, f64) {
+    match op {
+        Op::Pattern(p) => {
+            if p.is_passthrough() {
+                // One type check per event.
+                let r = stats.rate(p.input_types()[0]).min(input_rate);
+                (input_rate * weights::PATTERN_EVENT, r)
+            } else {
+                // ZStream-style: combinations grow with prefix products
+                // scaled by the window. `input_rate` caps each type's
+                // contribution (the context window may gate the stream).
+                let gate = if stats.default_rate > 0.0 {
+                    (input_rate / stats.default_rate).min(1.0)
+                } else {
+                    1.0
+                };
+                let mut cost = 0.0;
+                let mut prefix = 1.0;
+                for tid in p.input_types() {
+                    let r = stats.rate(tid) * gate;
+                    prefix *= r * stats.window.max(1.0);
+                    cost += prefix * weights::PATTERN_EVENT;
+                }
+                // Output rate: full combination rate, discounted 10% per
+                // negation check.
+                let out = prefix / stats.window.max(1.0) * 0.9_f64.powi(p.arity() as i32);
+                (cost, out)
+            }
+        }
+        Op::Filter(f) => {
+            let cost = input_rate * f.predicates.len() as f64 * weights::PREDICATE;
+            (cost, input_rate * f.selectivity())
+        }
+        Op::Project(p) => (
+            input_rate * p.args.len() as f64 * weights::PROJECT_ARG,
+            input_rate,
+        ),
+        // Per §5.1 / Theorem 1: "the cost of the context window operator
+        // is constant ... it adds constant cost to the overall execution
+        // costs of a query plan no matter its position" — a single
+        // bit-vector lookup decides a whole batch, so the cost does not
+        // scale with the input rate.
+        Op::ContextWindow(cw) => (
+            weights::CONTEXT_WINDOW,
+            input_rate * stats.activity(cw.context_bit),
+        ),
+        Op::ContextInit(_) | Op::ContextTerm(_) => {
+            (input_rate * weights::CONTEXT_UPDATE, input_rate)
+        }
+    }
+}
+
+/// Cost of a whole query plan: the chain cost at the plan's natural
+/// input rate (sum of its input-type rates).
+#[must_use]
+pub fn plan_cost(plan: &QueryPlan, stats: &Stats) -> f64 {
+    let input_rate: f64 = plan.input_types.iter().map(|t| stats.rate(*t)).sum();
+    chain_cost(&plan.ops, stats, input_rate).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ContextWindowOp, FilterOp};
+    use crate::pattern::PatternOp;
+
+    fn stats() -> Stats {
+        let mut s = Stats::new();
+        s.set_rate(TypeId(0), 10.0);
+        s.set_activity(1, 0.2);
+        s
+    }
+
+    #[test]
+    fn filter_reduces_rate_by_selectivity() {
+        let s = stats();
+        let f = Op::Filter(FilterOp::new(vec![crate::expr::CompiledExpr::Bin {
+            op: caesar_query::ast::BinOp::Eq,
+            lhs: Box::new(crate::expr::CompiledExpr::Attr { slot: 0, attr: 0 }),
+            rhs: Box::new(crate::expr::CompiledExpr::Const(
+                caesar_events::Value::Int(1),
+            )),
+        }]));
+        let (cost, out) = operator_cost(&f, &s, 10.0);
+        assert!(cost > 0.0);
+        assert!((out - 1.0).abs() < 1e-9, "eq selectivity 0.1 → 10 * 0.1");
+    }
+
+    #[test]
+    fn context_window_gates_rate_by_activity() {
+        let s = stats();
+        let cw = Op::ContextWindow(ContextWindowOp::new(1));
+        let (cost, out) = operator_cost(&cw, &s, 10.0);
+        assert!((out - 2.0).abs() < 1e-9, "activity 0.2 → rate 2");
+        assert!(cost < 1.0, "context window is cheap (constant per event)");
+    }
+
+    #[test]
+    fn pushdown_reduces_chain_cost() {
+        let s = stats();
+        let mk_pattern = || Op::Pattern(PatternOp::passthrough(TypeId(0)));
+        let mk_filter = || {
+            Op::Filter(FilterOp::new(vec![crate::expr::CompiledExpr::Bin {
+                op: caesar_query::ast::BinOp::Gt,
+                lhs: Box::new(crate::expr::CompiledExpr::Attr { slot: 0, attr: 0 }),
+                rhs: Box::new(crate::expr::CompiledExpr::Const(
+                    caesar_events::Value::Int(1),
+                )),
+            }]))
+        };
+        // CW above (initial) vs CW below (pushed down).
+        let above = vec![mk_pattern(), mk_filter(), Op::ContextWindow(ContextWindowOp::new(1))];
+        let below = vec![Op::ContextWindow(ContextWindowOp::new(1)), mk_pattern(), mk_filter()];
+        let (cost_above, _) = chain_cost(&above, &s, 10.0);
+        let (cost_below, _) = chain_cost(&below, &s, 10.0);
+        assert!(
+            cost_below < cost_above,
+            "pushdown must cut cost: {cost_below} vs {cost_above}"
+        );
+    }
+
+    #[test]
+    fn pushdown_is_neutral_when_context_always_active() {
+        let mut s = stats();
+        s.set_activity(1, 1.0);
+        let mk = || Op::Pattern(PatternOp::passthrough(TypeId(0)));
+        let above = vec![mk(), Op::ContextWindow(ContextWindowOp::new(1))];
+        let below = vec![Op::ContextWindow(ContextWindowOp::new(1)), mk()];
+        let (ca, _) = chain_cost(&above, &s, 10.0);
+        let (cb, _) = chain_cost(&below, &s, 10.0);
+        assert!((ca - cb).abs() < 1e-9, "Theorem 1 equality case");
+    }
+
+    #[test]
+    fn sequence_cost_grows_with_window() {
+        let mut s = stats();
+        s.set_rate(TypeId(1), 10.0);
+        let seq = || {
+            Op::Pattern(PatternOp::sequence(
+                vec![
+                    crate::pattern::PositiveElement {
+                        type_id: TypeId(0),
+                        step_predicates: vec![],
+                    },
+                    crate::pattern::PositiveElement {
+                        type_id: TypeId(1),
+                        step_predicates: vec![],
+                    },
+                ],
+                vec![],
+                100,
+                TypeId(2),
+                vec![0, 1],
+            ))
+        };
+        s.window = 10.0;
+        let (c_small, _) = operator_cost(&seq(), &s, 20.0);
+        s.window = 100.0;
+        let (c_large, _) = operator_cost(&seq(), &s, 20.0);
+        assert!(c_large > c_small);
+    }
+
+    #[test]
+    fn default_rates_and_activity_apply() {
+        let s = Stats::new();
+        assert_eq!(s.rate(TypeId(99)), 1.0);
+        assert_eq!(s.activity(17), 0.5);
+    }
+}

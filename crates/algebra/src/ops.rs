@@ -1,0 +1,539 @@
+//! The non-pattern CAESAR operators (§4.1) and single-chain execution.
+//!
+//! * [`FilterOp`] — `Fl_θ`: passes events satisfying the predicate.
+//! * [`ProjectOp`] — `PR_{A,E}`: evaluates the `DERIVE` argument
+//!   expressions and emits an event of the derived type `E`.
+//! * [`ContextWindowOp`] — `CW_c`: passes events occurring during the
+//!   current window of context `c`; while the context does not hold it
+//!   suspends everything above it in the chain.
+//! * [`ContextInitOp`] / [`ContextTermOp`] — `CI_c` / `CT_c`: convert a
+//!   match into a [`Transition`] applied to the context table by the
+//!   runtime (they "update the set of the current context windows").
+//!
+//! [`Op`] composes these with [`PatternOp`]
+//! into an executable operator and provides chain execution.
+
+use crate::context_table::{ContextTable, Transition, TransitionKind};
+use crate::expr::CompiledExpr;
+use crate::pattern::PatternOp;
+use caesar_events::{Event, Time, TypeId, Value};
+use std::sync::Arc;
+
+/// `Fl_θ` — the filter operator.
+#[derive(Debug, Clone)]
+pub struct FilterOp {
+    /// Conjunction of compiled predicates (all must hold).
+    pub predicates: Vec<CompiledExpr>,
+    /// Evaluation errors (counted as non-matches).
+    pub eval_errors: u64,
+    /// Events evaluated (statistics gatherer input, §6.1).
+    pub evaluated: u64,
+    /// Events accepted.
+    pub accepted: u64,
+}
+
+impl FilterOp {
+    /// Builds a filter from compiled conjuncts.
+    #[must_use]
+    pub fn new(predicates: Vec<CompiledExpr>) -> Self {
+        Self {
+            predicates,
+            eval_errors: 0,
+            evaluated: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Returns `true` if the event passes all predicates.
+    pub fn accepts(&mut self, event: &Event) -> bool {
+        self.evaluated += 1;
+        let binding = [event];
+        let ok = self
+            .predicates
+            .iter()
+            .all(|p| p.matches(&binding, &mut self.eval_errors));
+        if ok {
+            self.accepted += 1;
+        }
+        ok
+    }
+
+    /// Combined selectivity estimate from the predicate structure.
+    #[must_use]
+    pub fn selectivity(&self) -> f64 {
+        self.predicates.iter().map(CompiledExpr::selectivity).product()
+    }
+
+    /// Observed selectivity (`None` until at least one event was seen).
+    #[must_use]
+    pub fn observed_selectivity(&self) -> Option<f64> {
+        (self.evaluated > 0).then(|| self.accepted as f64 / self.evaluated as f64)
+    }
+
+    /// Merges another filter into this one (adjacent-filter merging, §5.2).
+    pub fn merge(&mut self, other: FilterOp) {
+        self.predicates.extend(other.predicates);
+    }
+}
+
+/// `PR_{A,E}` — the projection operator: computes the derived event's
+/// attributes from the match event.
+#[derive(Debug, Clone)]
+pub struct ProjectOp {
+    /// The derived (output) event type.
+    pub output_type: TypeId,
+    /// One expression per output attribute.
+    pub args: Vec<CompiledExpr>,
+    /// Evaluation errors (events dropped).
+    pub eval_errors: u64,
+}
+
+impl ProjectOp {
+    /// Builds a projection.
+    #[must_use]
+    pub fn new(output_type: TypeId, args: Vec<CompiledExpr>) -> Self {
+        Self {
+            output_type,
+            args,
+            eval_errors: 0,
+        }
+    }
+
+    /// Projects one event; `None` if any argument fails to evaluate.
+    pub fn project(&mut self, event: &Event) -> Option<Event> {
+        let binding = [event];
+        let mut attrs: Vec<Value> = Vec::with_capacity(self.args.len());
+        for arg in &self.args {
+            match arg.eval(&binding) {
+                Ok(v) => attrs.push(v),
+                Err(_) => {
+                    self.eval_errors += 1;
+                    return None;
+                }
+            }
+        }
+        Some(Event::complex(
+            self.output_type,
+            event.occurrence,
+            event.partition,
+            Arc::from(attrs),
+        ))
+    }
+}
+
+/// `CW_c` — the context window operator.
+///
+/// A plan executing a *shared* workload (one execution for structurally
+/// identical queries of several overlapping contexts, §5.3) carries the
+/// extra member contexts in `extra_bits`: the event is admitted when any
+/// member context's window covers it — exactly the union of the grouped
+/// windows the shared query spans.
+#[derive(Debug, Clone)]
+pub struct ContextWindowOp {
+    /// Bit of the guarding context.
+    pub context_bit: u8,
+    /// Additional member-context bits of a shared workload.
+    pub extra_bits: Vec<u8>,
+    /// Events admitted.
+    pub admitted: u64,
+    /// Events dropped because the context did not hold.
+    pub dropped: u64,
+}
+
+impl ContextWindowOp {
+    /// Builds a context window for the given context bit.
+    #[must_use]
+    pub fn new(context_bit: u8) -> Self {
+        Self {
+            context_bit,
+            extra_bits: Vec::new(),
+            admitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Admission test: does the event occur during the current window of
+    /// the context (`e.time ⊑ w_c`), or of any shared member context?
+    pub fn admits(&mut self, event: &Event, table: &ContextTable) -> bool {
+        let t = event.time();
+        let ok = table.admits(event.partition, self.context_bit, t)
+            || self
+                .extra_bits
+                .iter()
+                .any(|&b| table.admits(event.partition, b, t));
+        if ok {
+            self.admitted += 1;
+        } else {
+            self.dropped += 1;
+        }
+        ok
+    }
+
+    /// All context bits this window admits (primary first).
+    #[must_use]
+    pub fn all_bits(&self) -> Vec<u8> {
+        let mut bits = vec![self.context_bit];
+        bits.extend(&self.extra_bits);
+        bits
+    }
+}
+
+/// `CI_c` — context initiation: a match becomes an `Initiate` transition.
+#[derive(Debug, Clone)]
+pub struct ContextInitOp {
+    /// Bit of the context to initiate.
+    pub context_bit: u8,
+}
+
+/// `CT_c` — context termination: a match becomes a `Terminate` transition.
+#[derive(Debug, Clone)]
+pub struct ContextTermOp {
+    /// Bit of the context to terminate.
+    pub context_bit: u8,
+}
+
+/// One operator of a query plan chain.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Pattern matching (chain source).
+    Pattern(PatternOp),
+    /// Predicate filter.
+    Filter(FilterOp),
+    /// Derivation projection.
+    Project(ProjectOp),
+    /// Context window guard.
+    ContextWindow(ContextWindowOp),
+    /// Context initiation.
+    ContextInit(ContextInitOp),
+    /// Context termination.
+    ContextTerm(ContextTermOp),
+}
+
+impl Op {
+    /// Short tag for explain output.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::Pattern(_) => "Pattern",
+            Op::Filter(_) => "Filter",
+            Op::Project(_) => "Project",
+            Op::ContextWindow(_) => "ContextWindow",
+            Op::ContextInit(_) => "ContextInit",
+            Op::ContextTerm(_) => "ContextTerm",
+        }
+    }
+
+    /// Returns `true` for the stateful pattern operator.
+    #[must_use]
+    pub fn is_pattern(&self) -> bool {
+        matches!(self, Op::Pattern(_))
+    }
+
+    /// Returns `true` for the context window operator.
+    #[must_use]
+    pub fn is_context_window(&self) -> bool {
+        matches!(self, Op::ContextWindow(_))
+    }
+}
+
+/// Output sink of chain execution: derived events plus context
+/// transitions for the runtime to apply.
+#[derive(Debug, Default)]
+pub struct ChainOutput {
+    /// Derived (complex) events.
+    pub events: Vec<Event>,
+    /// Context transitions requested by `CI`/`CT` operators.
+    pub transitions: Vec<Transition>,
+}
+
+impl ChainOutput {
+    /// Clears both sinks for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.transitions.clear();
+    }
+
+    /// True if nothing was produced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.transitions.is_empty()
+    }
+}
+
+/// Executes one event through a chain of operators (index 0 = bottom).
+///
+/// The pattern operator may fan one input out to several matches, so
+/// execution walks a small work stack of `(next_op_index, event)` pairs.
+pub fn run_chain(
+    ops: &mut [Op],
+    event: &Event,
+    table: &ContextTable,
+    out: &mut ChainOutput,
+) {
+    run_suffix(ops, 0, event.clone(), table, out);
+}
+
+/// Advances time on all stateful operators of a chain, collecting any
+/// matured trailing-negation matches through the rest of the chain.
+pub fn advance_chain_time(
+    ops: &mut [Op],
+    watermark: Time,
+    table: &ContextTable,
+    out: &mut ChainOutput,
+) {
+    // Only patterns hold time-sensitive state; matured matches must flow
+    // through the operators above the pattern.
+    for idx in 0..ops.len() {
+        let mut matured = Vec::new();
+        if let Op::Pattern(p) = &mut ops[idx] {
+            p.advance_time(watermark, &mut matured);
+        }
+        for m in matured {
+            run_suffix(ops, idx + 1, m, table, out);
+        }
+    }
+}
+
+fn run_suffix(
+    ops: &mut [Op],
+    start: usize,
+    event: Event,
+    table: &ContextTable,
+    out: &mut ChainOutput,
+) {
+    let mut work: Vec<(usize, Event)> = vec![(start, event)];
+    let mut scratch: Vec<Event> = Vec::new();
+    while let Some((idx, ev)) = work.pop() {
+        if idx == ops.len() {
+            out.events.push(ev);
+            continue;
+        }
+        match &mut ops[idx] {
+            Op::Pattern(p) => {
+                scratch.clear();
+                p.process(&ev, &mut scratch);
+                for m in scratch.drain(..) {
+                    work.push((idx + 1, m));
+                }
+            }
+            Op::Filter(f) => {
+                if f.accepts(&ev) {
+                    work.push((idx + 1, ev));
+                }
+            }
+            Op::Project(p) => {
+                if let Some(derived) = p.project(&ev) {
+                    work.push((idx + 1, derived));
+                }
+            }
+            Op::ContextWindow(cw) => {
+                if cw.admits(&ev, table) {
+                    work.push((idx + 1, ev));
+                }
+            }
+            Op::ContextInit(ci) => {
+                out.transitions.push(Transition {
+                    kind: TransitionKind::Initiate,
+                    context_bit: ci.context_bit,
+                    time: ev.time(),
+                    partition: ev.partition,
+                });
+                work.push((idx + 1, ev));
+            }
+            Op::ContextTerm(ct) => {
+                out.transitions.push(Transition {
+                    kind: TransitionKind::Terminate,
+                    context_bit: ct.context_bit,
+                    time: ev.time(),
+                    partition: ev.partition,
+                });
+                work.push((idx + 1, ev));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BindingLayout, LayoutVar, SlotSource};
+    use caesar_events::{AttrType, PartitionId, Schema, SchemaRegistry};
+    use caesar_query::ast::{BinOp, Expr};
+
+    fn registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new(
+            "P",
+            &[("vid", AttrType::Int), ("speed", AttrType::Int)],
+        ))
+        .unwrap();
+        reg.register(Schema::new(
+            "Out",
+            &[("vid", AttrType::Int), ("toll", AttrType::Int)],
+        ))
+        .unwrap();
+        reg
+    }
+
+    fn layout(reg: &SchemaRegistry) -> BindingLayout {
+        BindingLayout {
+            vars: vec![LayoutVar {
+                name: "p".into(),
+                type_id: reg.lookup("P").unwrap(),
+                source: SlotSource::CombinedOffset(0),
+            }],
+        }
+    }
+
+    fn pev(reg: &SchemaRegistry, t: Time, vid: i64, speed: i64) -> Event {
+        Event::simple(
+            reg.lookup("P").unwrap(),
+            t,
+            PartitionId(0),
+            vec![Value::Int(vid), Value::Int(speed)],
+        )
+    }
+
+    fn speed_filter(reg: &SchemaRegistry, min: i64) -> FilterOp {
+        let pred = CompiledExpr::compile(
+            &Expr::bin(BinOp::Ge, Expr::attr("p", "speed"), Expr::int(min)),
+            &layout(reg),
+            reg,
+        )
+        .unwrap();
+        FilterOp::new(vec![pred])
+    }
+
+    #[test]
+    fn filter_accepts_and_rejects() {
+        let reg = registry();
+        let mut f = speed_filter(&reg, 40);
+        assert!(f.accepts(&pev(&reg, 1, 7, 55)));
+        assert!(!f.accepts(&pev(&reg, 1, 7, 30)));
+        assert_eq!(f.eval_errors, 0);
+    }
+
+    #[test]
+    fn filter_merge_combines_predicates() {
+        let reg = registry();
+        let mut f = speed_filter(&reg, 40);
+        let g = speed_filter(&reg, 50);
+        f.merge(g);
+        assert_eq!(f.predicates.len(), 2);
+        assert!(f.accepts(&pev(&reg, 1, 7, 55)));
+        assert!(!f.accepts(&pev(&reg, 1, 7, 45)));
+    }
+
+    #[test]
+    fn project_computes_derived_event() {
+        let reg = registry();
+        let out_ty = reg.lookup("Out").unwrap();
+        let args = vec![
+            CompiledExpr::compile(&Expr::attr("p", "vid"), &layout(&reg), &reg).unwrap(),
+            CompiledExpr::compile(&Expr::int(5), &layout(&reg), &reg).unwrap(),
+        ];
+        let mut pr = ProjectOp::new(out_ty, args);
+        let derived = pr.project(&pev(&reg, 9, 42, 10)).unwrap();
+        assert_eq!(derived.type_id, out_ty);
+        assert_eq!(derived.attrs.as_ref(), &[Value::Int(42), Value::Int(5)]);
+        assert_eq!(derived.time(), 9);
+    }
+
+    #[test]
+    fn context_window_gates_by_table() {
+        let reg = registry();
+        let mut table = ContextTable::new(2, 0);
+        let mut cw = ContextWindowOp::new(1);
+        let e = pev(&reg, 10, 1, 1);
+        assert!(!cw.admits(&e, &table));
+        table.partition_mut(PartitionId(0)).initiate(1, 5);
+        assert!(cw.admits(&e, &table));
+        assert_eq!(cw.admitted, 1);
+        assert_eq!(cw.dropped, 1);
+    }
+
+    #[test]
+    fn chain_executes_pattern_filter_window_project() {
+        let reg = registry();
+        let mut table = ContextTable::new(2, 0);
+        table.partition_mut(PartitionId(0)).initiate(1, 0);
+        let out_ty = reg.lookup("Out").unwrap();
+        let mut ops = vec![
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+            Op::Filter(speed_filter(&reg, 40)),
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            Op::Project(ProjectOp::new(
+                out_ty,
+                vec![
+                    CompiledExpr::compile(&Expr::attr("p", "vid"), &layout(&reg), &reg)
+                        .unwrap(),
+                    CompiledExpr::Const(Value::Int(5)),
+                ],
+            )),
+        ];
+        let mut out = ChainOutput::default();
+        run_chain(&mut ops, &pev(&reg, 10, 7, 55), &table, &mut out);
+        run_chain(&mut ops, &pev(&reg, 11, 8, 10), &table, &mut out);
+        assert_eq!(out.events.len(), 1, "slow car filtered out");
+        assert_eq!(out.events[0].attrs[0], Value::Int(7));
+        assert!(out.transitions.is_empty());
+    }
+
+    #[test]
+    fn deriving_chain_emits_transitions() {
+        let reg = registry();
+        let table = ContextTable::new(2, 0);
+        let mut ops = vec![
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+            Op::ContextInit(ContextInitOp { context_bit: 1 }),
+        ];
+        let mut out = ChainOutput::default();
+        run_chain(&mut ops, &pev(&reg, 10, 7, 55), &table, &mut out);
+        assert_eq!(out.transitions.len(), 1);
+        let tr = out.transitions[0];
+        assert_eq!(tr.kind, TransitionKind::Initiate);
+        assert_eq!(tr.context_bit, 1);
+        assert_eq!(tr.time, 10);
+    }
+
+    #[test]
+    fn switch_chain_emits_initiate_then_terminate() {
+        let reg = registry();
+        let table = ContextTable::new(3, 0);
+        // SWITCH CONTEXT c2 from context c1: Table 1 → CI_{c2}, CT_{c1}.
+        let mut ops = vec![
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+            Op::ContextInit(ContextInitOp { context_bit: 2 }),
+            Op::ContextTerm(ContextTermOp { context_bit: 1 }),
+        ];
+        let mut out = ChainOutput::default();
+        run_chain(&mut ops, &pev(&reg, 10, 7, 55), &table, &mut out);
+        assert_eq!(out.transitions.len(), 2);
+        assert_eq!(out.transitions[0].kind, TransitionKind::Initiate);
+        assert_eq!(out.transitions[1].kind, TransitionKind::Terminate);
+    }
+
+    #[test]
+    fn context_window_at_bottom_suspends_everything_above() {
+        let reg = registry();
+        let table = ContextTable::new(2, 0); // context 1 never initiated
+        let mut ops = vec![
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+        ];
+        let mut out = ChainOutput::default();
+        run_chain(&mut ops, &pev(&reg, 10, 7, 55), &table, &mut out);
+        assert!(out.is_empty());
+        if let Op::Pattern(p) = &ops[1] {
+            assert_eq!(p.stats.events_processed, 0, "pattern never ran");
+        }
+    }
+
+    #[test]
+    fn chain_output_clear() {
+        let mut out = ChainOutput::default();
+        out.events.push(pev(&registry(), 1, 1, 1));
+        out.clear();
+        assert!(out.is_empty());
+    }
+}

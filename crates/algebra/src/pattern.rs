@@ -1,0 +1,843 @@
+//! The pattern operator `P` (§4.1): event matching, sequences, and
+//! sequences with negation.
+//!
+//! Semantics (paper, §4.1):
+//! * `E()` — event matching returns input events of type `E`.
+//! * `SEQ(E1,...,En)` — constructs *all* sequences of `n` events with
+//!   strictly increasing timestamps, one per type position; the output
+//!   event carries the attribute values of every constituent and the
+//!   occurrence interval `[e1.time, en.time]`.
+//! * `SEQ(S1, NOT E, S2)` — as above, with no event of type `E` strictly
+//!   between the end of the `S1` sub-match and the start of the `S2`
+//!   sub-match (predicates referencing the negated variable further
+//!   constrain which events count). A negated element may also start or
+//!   end the sequence; then temporal constraints (the `within` horizon
+//!   plus the predicates) bound the interval within which the negated
+//!   event may not occur — trailing negation delays emission until the
+//!   watermark passes that horizon.
+//!
+//! State management: partial matches are pruned by the `within` horizon,
+//! and [`PatternOp::reset`] / [`PatternOp::expire_started_at_or_before`]
+//! implement the context-history lifecycle of §6.2 (partial matches are
+//! discarded when their context window ends).
+
+use crate::expr::CompiledExpr;
+use caesar_events::{Event, Interval, Time, TypeId, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Where a negated element sits relative to the positive elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegPosition {
+    /// Before the first positive element (leading `NOT`).
+    Before,
+    /// Strictly between positive elements `i` and `i + 1`.
+    Between(usize),
+    /// After the last positive element (trailing `NOT`).
+    After,
+}
+
+/// One negation constraint of a sequence pattern.
+#[derive(Debug, Clone)]
+pub struct NegationCheck {
+    /// Type of the forbidden event.
+    pub type_id: TypeId,
+    /// Position relative to the positive elements.
+    pub position: NegPosition,
+    /// Predicates over `[positive events..., negated candidate]` —
+    /// the negated candidate is bound at slot `positive_count`.
+    /// An event only *counts* as forbidden if all predicates hold.
+    pub predicates: Vec<CompiledExpr>,
+}
+
+/// One positive element of the (flattened) sequence.
+#[derive(Debug, Clone)]
+pub struct PositiveElement {
+    /// Event type to match.
+    pub type_id: TypeId,
+    /// Predicates whose referenced slots are all bound once this element
+    /// matches — evaluated eagerly to prune partial matches.
+    pub step_predicates: Vec<CompiledExpr>,
+}
+
+/// Counters exposed for metrics and cost-model calibration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Full matches emitted.
+    pub matches: u64,
+    /// Partial matches created (including full ones).
+    pub partials_created: u64,
+    /// Candidate matches rejected by a negation check.
+    pub negation_rejections: u64,
+    /// Expression evaluation errors (counted as non-matches).
+    pub eval_errors: u64,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// A partial match: the first `events.len()` positive elements bound.
+#[derive(Debug, Clone)]
+struct Partial {
+    events: Vec<Event>,
+}
+
+/// A full match waiting for a trailing-negation horizon to pass.
+#[derive(Debug, Clone)]
+struct PendingMatch {
+    events: Vec<Event>,
+    /// Emit once the watermark exceeds this deadline, unless a negated
+    /// event arrives in `(last positive, deadline]`.
+    deadline: Time,
+}
+
+/// The pattern operator.
+#[derive(Debug, Clone)]
+pub struct PatternOp {
+    positives: Vec<PositiveElement>,
+    negations: Vec<NegationCheck>,
+    /// Negation buffers, parallel to `negations`.
+    neg_buffers: Vec<VecDeque<Event>>,
+    /// Maximum allowed span of a full match; also the negation-buffer
+    /// horizon and the trailing-negation deadline.
+    within: Time,
+    /// Output type of assembled match events (`None` ⇒ pass-through:
+    /// a single positive element without negation or step predicates).
+    match_type: Option<TypeId>,
+    /// Per-variable attribute offsets in the combined match event.
+    offsets: Vec<u16>,
+    /// Partial matches indexed by number of bound elements − 1.
+    partials: Vec<Vec<Partial>>,
+    pending: Vec<PendingMatch>,
+    /// Observability counters.
+    pub stats: PatternStats,
+}
+
+impl PatternOp {
+    /// Builds a pass-through pattern for a single positive element with
+    /// no predicates: input events of the type flow through unchanged.
+    #[must_use]
+    pub fn passthrough(type_id: TypeId) -> Self {
+        Self {
+            positives: vec![PositiveElement {
+                type_id,
+                step_predicates: Vec::new(),
+            }],
+            negations: Vec::new(),
+            neg_buffers: Vec::new(),
+            within: Time::MAX,
+            match_type: None,
+            offsets: vec![0],
+            partials: vec![Vec::new()],
+            pending: Vec::new(),
+            stats: PatternStats::default(),
+        }
+    }
+
+    /// Builds a sequence pattern.
+    ///
+    /// `offsets[i]` is the attribute offset of positive element `i` in
+    /// the combined match event of type `match_type`.
+    #[must_use]
+    pub fn sequence(
+        positives: Vec<PositiveElement>,
+        negations: Vec<NegationCheck>,
+        within: Time,
+        match_type: TypeId,
+        offsets: Vec<u16>,
+    ) -> Self {
+        assert!(!positives.is_empty(), "pattern needs at least one positive element");
+        assert_eq!(offsets.len(), positives.len());
+        let n = positives.len();
+        let neg_buffers = negations.iter().map(|_| VecDeque::new()).collect();
+        Self {
+            positives,
+            negations,
+            neg_buffers,
+            within,
+            match_type: Some(match_type),
+            offsets,
+            partials: vec![Vec::new(); n],
+            pending: Vec::new(),
+            stats: PatternStats::default(),
+        }
+    }
+
+    /// Event types this pattern consumes (positive and negated).
+    #[must_use]
+    pub fn input_types(&self) -> Vec<TypeId> {
+        let mut types: Vec<TypeId> = self
+            .positives
+            .iter()
+            .map(|p| p.type_id)
+            .chain(self.negations.iter().map(|n| n.type_id))
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        types
+    }
+
+    /// Number of positive elements.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Returns `true` for pass-through patterns.
+    #[must_use]
+    pub fn is_passthrough(&self) -> bool {
+        self.match_type.is_none()
+    }
+
+    /// Attribute offsets of the positive elements in the combined match
+    /// event (offset 0 for pass-through patterns).
+    #[must_use]
+    pub fn offsets(&self) -> &[u16] {
+        &self.offsets
+    }
+
+    /// Mutable access to the positive elements, used by the optimizer's
+    /// predicate push-down to install step predicates.
+    pub fn positives_mut(&mut self) -> &mut [PositiveElement] {
+        &mut self.positives
+    }
+
+    /// Whether the pattern has a trailing negation (delayed emission).
+    #[must_use]
+    pub fn has_trailing_negation(&self) -> bool {
+        self.negations
+            .iter()
+            .any(|n| n.position == NegPosition::After)
+    }
+
+    /// Number of live partial matches (for memory metrics).
+    #[must_use]
+    pub fn live_partials(&self) -> usize {
+        self.partials.iter().map(Vec::len).sum::<usize>() + self.pending.len()
+    }
+
+    /// Returns `true` if the operator holds any time-sensitive state —
+    /// when `false`, advancing the watermark is a no-op, so suspended
+    /// idle plans can be skipped entirely.
+    #[must_use]
+    pub fn has_state(&self) -> bool {
+        !self.pending.is_empty()
+            || self.partials.iter().any(|l| !l.is_empty())
+            || self.neg_buffers.iter().any(|b| !b.is_empty())
+    }
+
+    /// Processes one input event, appending emitted match events to `out`.
+    pub fn process(&mut self, event: &Event, out: &mut Vec<Event>) {
+        self.stats.events_processed += 1;
+        let t = event.time();
+
+        // 1. Feed negation buffers and check pending (trailing-negation)
+        //    matches against the new event.
+        for i in 0..self.negations.len() {
+            if self.negations[i].type_id != event.type_id {
+                continue;
+            }
+            if self.negations[i].position == NegPosition::After {
+                self.reject_pending(i, event);
+            }
+            let within = self.within;
+            let buf = &mut self.neg_buffers[i];
+            buf.push_back(event.clone());
+            // Prune by horizon.
+            while buf.front().is_some_and(|e| e.time() + within < t) {
+                buf.pop_front();
+            }
+        }
+
+        if self.is_passthrough() {
+            if self.positives[0].type_id == event.type_id {
+                self.stats.matches += 1;
+                out.push(event.clone());
+            }
+            return;
+        }
+
+        // 2. Extend partial matches, longest prefix first so a new
+        //    partial is never re-extended by the event that created it.
+        for i in (0..self.positives.len()).rev() {
+            if self.positives[i].type_id != event.type_id {
+                continue;
+            }
+            if i == 0 {
+                let candidate = Partial {
+                    events: vec![event.clone()],
+                };
+                self.try_store(candidate, 0, out);
+            } else {
+                // Take the shorter partials out to extend them without
+                // aliasing; sequences require strictly increasing times
+                // and a bounded total span.
+                let prefixes = std::mem::take(&mut self.partials[i - 1]);
+                for p in &prefixes {
+                    let last_t = p.events.last().expect("non-empty").time();
+                    let first_t = p.events[0].time();
+                    if last_t < t && t.saturating_sub(first_t) <= self.within {
+                        let mut events = p.events.clone();
+                        events.push(event.clone());
+                        self.try_store(Partial { events }, i, out);
+                    }
+                }
+                self.partials[i - 1] = prefixes;
+            }
+        }
+    }
+
+    /// Applies step predicates; on success stores the partial or, if
+    /// complete, runs negation checks and emits.
+    fn try_store(&mut self, partial: Partial, position: usize, out: &mut Vec<Event>) {
+        let binding: Vec<&Event> = partial.events.iter().collect();
+        for pred in &self.positives[position].step_predicates {
+            if !pred.matches(&binding, &mut self.stats.eval_errors) {
+                return;
+            }
+        }
+        self.stats.partials_created += 1;
+        if position + 1 == self.positives.len() {
+            self.complete(partial, out);
+        } else {
+            self.partials[position].push(partial);
+        }
+    }
+
+    /// Runs non-trailing negation checks; emits or parks the full match.
+    fn complete(&mut self, partial: Partial, out: &mut Vec<Event>) {
+        for i in 0..self.negations.len() {
+            let position = self.negations[i].position;
+            if position == NegPosition::After {
+                continue;
+            }
+            let (lo, hi) = match position {
+                NegPosition::Before => (None, Some(partial.events[0].time())),
+                NegPosition::Between(k) => (
+                    Some(partial.events[k].time()),
+                    Some(partial.events[k + 1].time()),
+                ),
+                NegPosition::After => unreachable!(),
+            };
+            if self.violates(i, &partial.events, lo, hi) {
+                self.stats.negation_rejections += 1;
+                return;
+            }
+        }
+        if self.has_trailing_negation() {
+            let last_t = partial.events.last().expect("non-empty").time();
+            self.pending.push(PendingMatch {
+                events: partial.events,
+                deadline: last_t.saturating_add(self.within),
+            });
+        } else {
+            out.push(self.assemble(&partial.events));
+            self.stats.matches += 1;
+        }
+    }
+
+    /// Does any buffered negated event of check `i` fall strictly inside
+    /// `(lo, hi)` (`None` bounds are open) with all predicates holding?
+    fn violates(
+        &mut self,
+        check: usize,
+        positives: &[Event],
+        lo: Option<Time>,
+        hi: Option<Time>,
+    ) -> bool {
+        let neg = &self.negations[check];
+        let buf = &self.neg_buffers[check];
+        let mut errors = 0;
+        let hit = buf.iter().any(|cand| {
+            let t = cand.time();
+            if lo.is_some_and(|l| t <= l) || hi.is_some_and(|h| t >= h) {
+                return false;
+            }
+            let mut binding: Vec<&Event> = positives.iter().collect();
+            binding.push(cand);
+            neg.predicates
+                .iter()
+                .all(|p| p.matches(&binding, &mut errors))
+        });
+        self.stats.eval_errors += errors;
+        hit
+    }
+
+    /// Drops pending trailing-negation matches invalidated by `event`.
+    fn reject_pending(&mut self, check: usize, event: &Event) {
+        let neg = self.negations[check].clone();
+        let t = event.time();
+        let mut errors = 0;
+        let before = self.pending.len();
+        self.pending.retain(|pm| {
+            let last_t = pm.events.last().expect("non-empty").time();
+            if t <= last_t || t > pm.deadline {
+                return true;
+            }
+            let mut binding: Vec<&Event> = pm.events.iter().collect();
+            binding.push(event);
+            !neg.predicates
+                .iter()
+                .all(|p| p.matches(&binding, &mut errors))
+        });
+        self.stats.eval_errors += errors;
+        self.stats.negation_rejections += (before - self.pending.len()) as u64;
+    }
+
+    /// Advances the watermark: emits matured trailing-negation matches
+    /// and prunes partial matches older than the `within` horizon.
+    pub fn advance_time(&mut self, watermark: Time, out: &mut Vec<Event>) {
+        // Emit pending matches whose no-negation horizon fully passed.
+        let mut matured = Vec::new();
+        self.pending.retain(|pm| {
+            if pm.deadline < watermark {
+                matured.push(pm.events.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for events in matured {
+            out.push(self.assemble(&events));
+            self.stats.matches += 1;
+        }
+        if self.within == Time::MAX {
+            return;
+        }
+        for level in &mut self.partials {
+            level.retain(|p| p.events[0].time() + self.within >= watermark);
+        }
+        for buf in &mut self.neg_buffers {
+            while buf
+                .front()
+                .is_some_and(|e| e.time() + self.within < watermark)
+            {
+                buf.pop_front();
+            }
+        }
+    }
+
+    /// Builds the combined match event (attribute values of all events in
+    /// the sequence; occurrence `[e1.time, en.time]`).
+    fn assemble(&self, events: &[Event]) -> Event {
+        let match_type = self.match_type.expect("assemble only in sequence mode");
+        let total: usize = events.iter().map(|e| e.attrs.len()).sum();
+        let mut attrs: Vec<Value> = Vec::with_capacity(total);
+        for e in events {
+            attrs.extend(e.attrs.iter().cloned());
+        }
+        Event::complex(
+            match_type,
+            Interval::new(events[0].time(), events.last().expect("non-empty").time()),
+            events[0].partition,
+            Arc::from(attrs),
+        )
+    }
+
+    /// Discards all partial state — the context window this pattern
+    /// belongs to ended, so its context history can be "safely
+    /// discarded" (§6.2).
+    pub fn reset(&mut self) {
+        for level in &mut self.partials {
+            level.clear();
+        }
+        for buf in &mut self.neg_buffers {
+            buf.clear();
+        }
+        self.pending.clear();
+    }
+
+    /// Expires partial matches whose first event is at or before `t` —
+    /// used when an *original* context window ends while its grouped
+    /// windows continue (Figure 7: "when the third window begins, the
+    /// partial results within the first window expire").
+    pub fn expire_started_at_or_before(&mut self, t: Time) {
+        for level in &mut self.partials {
+            level.retain(|p| p.events[0].time() > t);
+        }
+        self.pending.retain(|p| p.events[0].time() > t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BindingLayout, LayoutVar, SlotSource};
+    use caesar_events::{AttrType, PartitionId, Schema, SchemaRegistry};
+    use caesar_query::ast::{BinOp, Expr};
+
+    fn registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new(
+            "P",
+            &[("vid", AttrType::Int), ("sec", AttrType::Int)],
+        ))
+        .unwrap();
+        reg.register(Schema::new("A", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("B", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("C", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new(
+            "M",
+            &[
+                ("a.v", AttrType::Int),
+                ("b.v", AttrType::Int),
+            ],
+        ))
+        .unwrap();
+        reg
+    }
+
+    fn ev(reg: &SchemaRegistry, ty: &str, t: Time, v: i64) -> Event {
+        Event::simple(
+            reg.lookup(ty).unwrap(),
+            t,
+            PartitionId(0),
+            vec![Value::Int(v)],
+        )
+    }
+
+    fn pr(reg: &SchemaRegistry, t: Time, vid: i64) -> Event {
+        Event::simple(
+            reg.lookup("P").unwrap(),
+            t,
+            PartitionId(0),
+            vec![Value::Int(vid), Value::Int(t as i64)],
+        )
+    }
+
+    #[test]
+    fn passthrough_filters_by_type() {
+        let reg = registry();
+        let mut p = PatternOp::passthrough(reg.lookup("A").unwrap());
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 10), &mut out);
+        p.process(&ev(&reg, "B", 2, 20), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.stats.matches, 1);
+        assert_eq!(p.stats.events_processed, 2);
+    }
+
+    fn seq_ab(reg: &SchemaRegistry, within: Time) -> PatternOp {
+        PatternOp::sequence(
+            vec![
+                PositiveElement {
+                    type_id: reg.lookup("A").unwrap(),
+                    step_predicates: vec![],
+                },
+                PositiveElement {
+                    type_id: reg.lookup("B").unwrap(),
+                    step_predicates: vec![],
+                },
+            ],
+            vec![],
+            within,
+            reg.lookup("M").unwrap(),
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn seq_constructs_all_combinations() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 100);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 10), &mut out);
+        p.process(&ev(&reg, "A", 2, 11), &mut out);
+        p.process(&ev(&reg, "B", 3, 20), &mut out);
+        p.process(&ev(&reg, "B", 4, 21), &mut out);
+        // 2 As × 2 Bs = 4 matches.
+        assert_eq!(out.len(), 4);
+        // Match event carries both attrs and spans the sequence.
+        assert_eq!(out[0].attrs.len(), 2);
+        assert_eq!(out[0].occurrence, Interval::new(1, 3));
+    }
+
+    #[test]
+    fn seq_requires_strictly_increasing_time() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 100);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 5, 10), &mut out);
+        p.process(&ev(&reg, "B", 5, 20), &mut out);
+        assert!(out.is_empty(), "same-timestamp events cannot form a sequence");
+        p.process(&ev(&reg, "B", 6, 21), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn order_matters_b_before_a_does_not_match() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 100);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "B", 1, 20), &mut out);
+        p.process(&ev(&reg, "A", 2, 10), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn within_horizon_bounds_matches_and_prunes() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 10);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 10), &mut out);
+        p.process(&ev(&reg, "B", 20, 20), &mut out);
+        assert!(out.is_empty(), "span 19 exceeds within=10");
+        p.advance_time(20, &mut out);
+        assert_eq!(p.live_partials(), 0, "stale partial pruned");
+    }
+
+    #[test]
+    fn step_predicates_prune_partials_eagerly() {
+        let reg = registry();
+        let tid_a = reg.lookup("A").unwrap();
+        let tid_b = reg.lookup("B").unwrap();
+        let layout = BindingLayout {
+            vars: vec![
+                LayoutVar {
+                    name: "a".into(),
+                    type_id: tid_a,
+                    source: SlotSource::EventSlot(0),
+                },
+                LayoutVar {
+                    name: "b".into(),
+                    type_id: tid_b,
+                    source: SlotSource::EventSlot(1),
+                },
+            ],
+        };
+        // a.v > 5 at step 0; a.v = b.v at step 1.
+        let p0 = CompiledExpr::compile(
+            &Expr::bin(BinOp::Gt, Expr::attr("a", "v"), Expr::int(5)),
+            &layout,
+            &reg,
+        )
+        .unwrap();
+        let p1 = CompiledExpr::compile(
+            &Expr::bin(BinOp::Eq, Expr::attr("a", "v"), Expr::attr("b", "v")),
+            &layout,
+            &reg,
+        )
+        .unwrap();
+        let mut p = PatternOp::sequence(
+            vec![
+                PositiveElement {
+                    type_id: tid_a,
+                    step_predicates: vec![p0],
+                },
+                PositiveElement {
+                    type_id: tid_b,
+                    step_predicates: vec![p1],
+                },
+            ],
+            vec![],
+            100,
+            reg.lookup("M").unwrap(),
+            vec![0, 1],
+        );
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 3), &mut out); // fails a.v > 5
+        assert_eq!(p.live_partials(), 0);
+        p.process(&ev(&reg, "A", 2, 7), &mut out);
+        assert_eq!(p.live_partials(), 1);
+        p.process(&ev(&reg, "B", 3, 7), &mut out); // a.v = b.v holds
+        p.process(&ev(&reg, "B", 4, 9), &mut out); // fails
+        assert_eq!(out.len(), 1);
+    }
+
+    /// The Figure 3 query-2 shape: SEQ(NOT P p1, P p2) WHERE
+    /// p1.sec + 30 = p2.sec AND p1.vid = p2.vid — a car with no position
+    /// report 30 seconds earlier is "new".
+    fn leading_negation_pattern(reg: &SchemaRegistry) -> PatternOp {
+        let tid_p = reg.lookup("P").unwrap();
+        // Binding: slot 0 = p2 (the only positive), slot 1 = negated p1.
+        let layout = BindingLayout {
+            vars: vec![
+                LayoutVar {
+                    name: "p2".into(),
+                    type_id: tid_p,
+                    source: SlotSource::EventSlot(0),
+                },
+                LayoutVar {
+                    name: "p1".into(),
+                    type_id: tid_p,
+                    source: SlotSource::EventSlot(1),
+                },
+            ],
+        };
+        let pred_sec = CompiledExpr::compile(
+            &Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Add, Expr::attr("p1", "sec"), Expr::int(30)),
+                Expr::attr("p2", "sec"),
+            ),
+            &layout,
+            reg,
+        )
+        .unwrap();
+        let pred_vid = CompiledExpr::compile(
+            &Expr::bin(BinOp::Eq, Expr::attr("p1", "vid"), Expr::attr("p2", "vid")),
+            &layout,
+            reg,
+        )
+        .unwrap();
+        PatternOp::sequence(
+            vec![PositiveElement {
+                type_id: tid_p,
+                step_predicates: vec![],
+            }],
+            vec![NegationCheck {
+                type_id: tid_p,
+                position: NegPosition::Before,
+                predicates: vec![pred_sec, pred_vid],
+            }],
+            60,
+            reg.lookup("M").unwrap(),
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn leading_negation_detects_new_cars() {
+        let reg = registry();
+        let mut p = leading_negation_pattern(&reg);
+        let mut out = Vec::new();
+        // Car 1 reports at 0 and 30: at t=30 it is NOT new.
+        p.process(&pr(&reg, 0, 1), &mut out);
+        assert_eq!(out.len(), 1, "t=0 report has no prior report");
+        out.clear();
+        p.process(&pr(&reg, 30, 1), &mut out);
+        assert!(out.is_empty(), "car 1 reported 30s ago: negation rejects");
+        assert_eq!(p.stats.negation_rejections, 1);
+        // Car 2 first appears at t=30: it IS new.
+        p.process(&pr(&reg, 30, 2), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn between_negation_blocks_interleaved_event() {
+        let reg = registry();
+        let tid_a = reg.lookup("A").unwrap();
+        let tid_b = reg.lookup("B").unwrap();
+        let tid_c = reg.lookup("C").unwrap();
+        let mut p = PatternOp::sequence(
+            vec![
+                PositiveElement {
+                    type_id: tid_a,
+                    step_predicates: vec![],
+                },
+                PositiveElement {
+                    type_id: tid_b,
+                    step_predicates: vec![],
+                },
+            ],
+            vec![NegationCheck {
+                type_id: tid_c,
+                position: NegPosition::Between(0),
+                predicates: vec![],
+            }],
+            100,
+            reg.lookup("M").unwrap(),
+            vec![0, 1],
+        );
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 0), &mut out);
+        p.process(&ev(&reg, "C", 2, 0), &mut out);
+        p.process(&ev(&reg, "B", 3, 0), &mut out);
+        assert!(out.is_empty(), "C between A and B blocks the match");
+        // A fresh A after the C can still match the next B.
+        p.process(&ev(&reg, "A", 4, 0), &mut out);
+        p.process(&ev(&reg, "B", 5, 0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn trailing_negation_delays_and_rejects() {
+        let reg = registry();
+        let tid_a = reg.lookup("A").unwrap();
+        let tid_c = reg.lookup("C").unwrap();
+        let mut p = PatternOp::sequence(
+            vec![PositiveElement {
+                type_id: tid_a,
+                step_predicates: vec![],
+            }],
+            vec![NegationCheck {
+                type_id: tid_c,
+                position: NegPosition::After,
+                predicates: vec![],
+            }],
+            10,
+            reg.lookup("M").unwrap(),
+            vec![0],
+        );
+        let mut out = Vec::new();
+        // First A: a C arrives inside the horizon → rejected.
+        p.process(&ev(&reg, "A", 1, 0), &mut out);
+        assert!(out.is_empty(), "emission deferred");
+        p.process(&ev(&reg, "C", 5, 0), &mut out);
+        p.advance_time(20, &mut out);
+        assert!(out.is_empty(), "C within horizon kills the match");
+        assert_eq!(p.stats.negation_rejections, 1);
+        // Second A: no C inside horizon → emitted at watermark.
+        p.process(&ev(&reg, "A", 30, 0), &mut out);
+        p.advance_time(41, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reset_discards_all_state() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 100);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 1, 10), &mut out);
+        assert_eq!(p.live_partials(), 1);
+        p.reset();
+        assert_eq!(p.live_partials(), 0);
+        p.process(&ev(&reg, "B", 2, 20), &mut out);
+        assert!(out.is_empty(), "partial was discarded by reset");
+    }
+
+    #[test]
+    fn expire_by_start_time_keeps_younger_partials() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 100);
+        let mut out = Vec::new();
+        p.process(&ev(&reg, "A", 5, 10), &mut out);
+        p.process(&ev(&reg, "A", 15, 11), &mut out);
+        assert_eq!(p.live_partials(), 2);
+        p.expire_started_at_or_before(5);
+        assert_eq!(p.live_partials(), 1);
+        p.process(&ev(&reg, "B", 20, 20), &mut out);
+        assert_eq!(out.len(), 1, "only the younger partial completes");
+    }
+
+    #[test]
+    fn input_types_dedup() {
+        let reg = registry();
+        let p = leading_negation_pattern(&reg);
+        assert_eq!(p.input_types().len(), 1, "P appears positive and negated");
+    }
+
+    #[test]
+    fn three_element_sequence() {
+        let reg = registry();
+        let mut p = PatternOp::sequence(
+            ["A", "B", "C"]
+                .iter()
+                .map(|ty| PositiveElement {
+                    type_id: reg.lookup(ty).unwrap(),
+                    step_predicates: vec![],
+                })
+                .collect(),
+            vec![],
+            100,
+            reg.lookup("M").unwrap(),
+            vec![0, 1, 2],
+        );
+        let mut out = Vec::new();
+        for (ty, t) in [("A", 1), ("B", 2), ("C", 3), ("B", 4), ("C", 5)] {
+            p.process(&ev(&reg, ty, t, 0), &mut out);
+        }
+        // A(1): sequences A1-B2-C3, A1-B2-C5, A1-B4-C5 → 3 matches.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].attrs.len(), 3);
+    }
+}

@@ -1,0 +1,418 @@
+//! Executable query plans.
+//!
+//! A [`QueryPlan`] is the chain of operators one event query compiles to
+//! (§4.2, "Individual query plan construction", Table 1). A
+//! [`CombinedPlan`] composes the individual plans of one context: "if one
+//! query plan produces events which are consumed by another query plan
+//! then the output of the first plan is the input of the second plan.
+//! Since event queries in different contexts are independent, all event
+//! queries in a combined query plan belong to the same context."
+
+use crate::context_table::ContextTable;
+use crate::ops::{advance_chain_time, run_chain, ChainOutput, Op};
+use caesar_events::{Event, Time, TypeId};
+use caesar_query::ast::QueryId;
+use caesar_query::queryset::CompiledQuery;
+
+/// Re-export: the output sink of plan execution.
+pub type PlanOutput = ChainOutput;
+
+/// One query's executable operator chain (`ops\[0\]` is the bottom).
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The compiled query this plan executes.
+    pub query_id: QueryId,
+    /// Context the plan belongs to (every plan of a combined plan shares
+    /// it, §4.2).
+    pub context: String,
+    /// Bit of that context in the context bit vector.
+    pub context_bit: u8,
+    /// The operator chain, bottom to top.
+    pub ops: Vec<Op>,
+    /// Event types consumed by the plan's pattern.
+    pub input_types: Vec<TypeId>,
+    /// Derived output type (processing queries only).
+    pub output_type: Option<TypeId>,
+    /// `true` for context-deriving queries.
+    pub is_deriving: bool,
+    /// The source query (kept for re-optimization and sharing analysis).
+    pub source: CompiledQuery,
+}
+
+impl QueryPlan {
+    /// Feeds one event through the chain.
+    pub fn process(&mut self, event: &Event, table: &ContextTable, out: &mut PlanOutput) {
+        run_chain(&mut self.ops, event, table, out);
+    }
+
+    /// Advances the watermark on stateful operators.
+    pub fn advance_time(&mut self, watermark: Time, table: &ContextTable, out: &mut PlanOutput) {
+        if !self.needs_advance() {
+            return;
+        }
+        advance_chain_time(&mut self.ops, watermark, table, out);
+    }
+
+    /// Returns `true` if any operator holds time-sensitive state —
+    /// watermark advances on stateless plans are no-ops and skipped.
+    #[must_use]
+    pub fn needs_advance(&self) -> bool {
+        self.ops.iter().any(|op| match op {
+            Op::Pattern(p) => p.has_state(),
+            _ => false,
+        })
+    }
+
+    /// Returns `true` if the plan consumes events of `type_id`.
+    #[must_use]
+    pub fn consumes(&self, type_id: TypeId) -> bool {
+        self.input_types.contains(&type_id)
+    }
+
+    /// Position of the context window operator in the chain, if any.
+    #[must_use]
+    pub fn context_window_position(&self) -> Option<usize> {
+        self.ops.iter().position(Op::is_context_window)
+    }
+
+    /// Returns `true` if the context window sits at the very bottom of
+    /// the chain (the push-down invariant of §5.2).
+    #[must_use]
+    pub fn is_context_window_pushed_down(&self) -> bool {
+        self.context_window_position() == Some(0)
+    }
+
+    /// Discards all partial state of the plan's stateful operators —
+    /// called when the plan's context window ends (§6.2).
+    pub fn reset_state(&mut self) {
+        for op in &mut self.ops {
+            if let Op::Pattern(p) = op {
+                p.reset();
+            }
+        }
+    }
+
+    /// Expires partial matches started at or before `t` (context history
+    /// expiry for grouped windows, Figure 7).
+    pub fn expire_history(&mut self, t: Time) {
+        for op in &mut self.ops {
+            if let Op::Pattern(p) = op {
+                p.expire_started_at_or_before(t);
+            }
+        }
+    }
+
+    /// One-line explain string, e.g.
+    /// `Q3[congestion]: ContextWindow -> Pattern -> Filter -> Project`.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let chain: Vec<&str> = self.ops.iter().map(Op::tag).collect();
+        format!("{}[{}]: {}", self.query_id, self.context, chain.join(" -> "))
+    }
+
+    /// Live partial-match count across stateful operators.
+    #[must_use]
+    pub fn live_partials(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Pattern(p) => p.live_partials(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// The combined query plan of one context: individual plans wired so
+/// derived events flow to downstream consumers in the same context.
+#[derive(Debug, Clone)]
+pub struct CombinedPlan {
+    /// The shared context.
+    pub context: String,
+    /// Its bit in the context bit vector.
+    pub context_bit: u8,
+    /// Member plans in topological (producer-before-consumer) order.
+    pub plans: Vec<QueryPlan>,
+    /// Types consumed from the *external* input stream (not produced by
+    /// a member plan).
+    pub external_inputs: Vec<TypeId>,
+}
+
+impl CombinedPlan {
+    /// Builds a combined plan from topologically ordered member plans.
+    #[must_use]
+    pub fn new(context: String, context_bit: u8, plans: Vec<QueryPlan>) -> Self {
+        let produced: Vec<TypeId> = plans.iter().filter_map(|p| p.output_type).collect();
+        let mut external: Vec<TypeId> = plans
+            .iter()
+            .flat_map(|p| p.input_types.iter().copied())
+            .filter(|t| !produced.contains(t))
+            .collect();
+        external.sort_unstable();
+        external.dedup();
+        Self {
+            context,
+            context_bit,
+            plans,
+            external_inputs: external,
+        }
+    }
+
+    /// Returns `true` if the combined plan consumes `type_id` from the
+    /// external input stream.
+    #[must_use]
+    pub fn consumes_external(&self, type_id: TypeId) -> bool {
+        self.external_inputs.binary_search(&type_id).is_ok()
+    }
+
+    /// Feeds one external event through the combined plan. Derived events
+    /// flow to downstream member plans *and* to `out.events` (they are
+    /// part of the output stream).
+    pub fn process(&mut self, event: &Event, table: &ContextTable, out: &mut PlanOutput) {
+        // Worklist of (producer plan index + 1, event). External events
+        // start at 0 so every member plan may consume them; derived
+        // events are only offered to later plans (topological order
+        // prevents cycles).
+        let mut work: Vec<(usize, Event)> = vec![(0, event.clone())];
+        let mut scratch = PlanOutput::default();
+        while let Some((start, ev)) = work.pop() {
+            for idx in start..self.plans.len() {
+                if !self.plans[idx].consumes(ev.type_id) {
+                    continue;
+                }
+                scratch.clear();
+                self.plans[idx].process(&ev, table, &mut scratch);
+                out.transitions.append(&mut scratch.transitions);
+                for derived in scratch.events.drain(..) {
+                    out.events.push(derived.clone());
+                    work.push((idx + 1, derived));
+                }
+            }
+        }
+    }
+
+    /// Advances the watermark on all member plans, feeding any matured
+    /// matches to downstream consumers.
+    pub fn advance_time(&mut self, watermark: Time, table: &ContextTable, out: &mut PlanOutput) {
+        let mut scratch = PlanOutput::default();
+        for idx in 0..self.plans.len() {
+            scratch.clear();
+            self.plans[idx].advance_time(watermark, table, &mut scratch);
+            out.transitions.append(&mut scratch.transitions);
+            let matured: Vec<Event> = scratch.events.drain(..).collect();
+            for derived in matured {
+                out.events.push(derived.clone());
+                // Feed downstream members.
+                let mut work: Vec<(usize, Event)> = vec![(idx + 1, derived)];
+                while let Some((start, ev)) = work.pop() {
+                    for j in start..self.plans.len() {
+                        if !self.plans[j].consumes(ev.type_id) {
+                            continue;
+                        }
+                        let mut inner = PlanOutput::default();
+                        self.plans[j].process(&ev, table, &mut inner);
+                        out.transitions.append(&mut inner.transitions);
+                        for d in inner.events.drain(..) {
+                            out.events.push(d.clone());
+                            work.push((j + 1, d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets the partial state of every member plan (context window
+    /// ended).
+    pub fn reset_state(&mut self) {
+        for p in &mut self.plans {
+            p.reset_state();
+        }
+    }
+
+    /// Total number of queries in the combined plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` if the combined plan has no member plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Multi-line explain output.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let mut s = format!("CombinedPlan[{}] ({} queries)\n", self.context, self.len());
+        for p in &self.plans {
+            s.push_str("  ");
+            s.push_str(&p.explain());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CompiledExpr;
+    use crate::ops::{ContextWindowOp, ProjectOp};
+    use crate::pattern::PatternOp;
+    use caesar_events::{
+        AttrType, PartitionId, Schema, SchemaRegistry, Value,
+    };
+    use caesar_query::ast::{EventQuery, Pattern};
+
+    fn registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new("In", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Mid", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Final", &[("v", AttrType::Int)])).unwrap();
+        reg
+    }
+
+    fn dummy_source(id: u32) -> CompiledQuery {
+        CompiledQuery {
+            id: QueryId(id),
+            query: EventQuery {
+                name: None,
+                action: None,
+                derive: None,
+                pattern: Pattern::event_unbound("In"),
+                where_clause: None,
+                within: None,
+                contexts: vec!["c".into()],
+            },
+            context: "c".into(),
+            source: id,
+        }
+    }
+
+    /// Plan: passthrough(In) -> Project(out_ty, [v]).
+    fn relay_plan(
+        reg: &SchemaRegistry,
+        id: u32,
+        input: &str,
+        output: &str,
+    ) -> QueryPlan {
+        let in_ty = reg.lookup(input).unwrap();
+        let out_ty = reg.lookup(output).unwrap();
+        QueryPlan {
+            query_id: QueryId(id),
+            context: "c".into(),
+            context_bit: 0,
+            ops: vec![
+                Op::Pattern(PatternOp::passthrough(in_ty)),
+                Op::Project(ProjectOp::new(
+                    out_ty,
+                    vec![CompiledExpr::Attr { slot: 0, attr: 0 }],
+                )),
+            ],
+            input_types: vec![in_ty],
+            output_type: Some(out_ty),
+            is_deriving: false,
+            source: dummy_source(id),
+        }
+    }
+
+    fn in_event(reg: &SchemaRegistry, t: Time, v: i64) -> Event {
+        Event::simple(
+            reg.lookup("In").unwrap(),
+            t,
+            PartitionId(0),
+            vec![Value::Int(v)],
+        )
+    }
+
+    #[test]
+    fn combined_plan_chains_producers_to_consumers() {
+        let reg = registry();
+        // In -> Mid -> Final, like Figure 6(a)'s two composed queries.
+        let p1 = relay_plan(&reg, 0, "In", "Mid");
+        let p2 = relay_plan(&reg, 1, "Mid", "Final");
+        let mut combined = CombinedPlan::new("c".into(), 0, vec![p1, p2]);
+        assert_eq!(combined.external_inputs, vec![reg.lookup("In").unwrap()]);
+        assert!(combined.consumes_external(reg.lookup("In").unwrap()));
+        assert!(!combined.consumes_external(reg.lookup("Mid").unwrap()));
+
+        let table = ContextTable::new(1, 0);
+        let mut out = PlanOutput::default();
+        combined.process(&in_event(&reg, 5, 42), &table, &mut out);
+        // Both the intermediate and the final derived event are output.
+        assert_eq!(out.events.len(), 2);
+        let types: Vec<TypeId> = out.events.iter().map(|e| e.type_id).collect();
+        assert!(types.contains(&reg.lookup("Mid").unwrap()));
+        assert!(types.contains(&reg.lookup("Final").unwrap()));
+    }
+
+    #[test]
+    fn derived_events_do_not_flow_backwards() {
+        let reg = registry();
+        // p2 consumes Mid and produces Final; p1 consumes In and
+        // produces Mid. Order: p2 first (wrong topological order on
+        // purpose) — Mid produced by p1 must NOT reach p2 at index 0.
+        let p2 = relay_plan(&reg, 1, "Mid", "Final");
+        let p1 = relay_plan(&reg, 0, "In", "Mid");
+        let mut combined = CombinedPlan::new("c".into(), 0, vec![p2, p1]);
+        let table = ContextTable::new(1, 0);
+        let mut out = PlanOutput::default();
+        combined.process(&in_event(&reg, 5, 42), &table, &mut out);
+        assert_eq!(out.events.len(), 1, "only Mid; Final not produced");
+    }
+
+    #[test]
+    fn plan_introspection() {
+        let reg = registry();
+        let mut plan = relay_plan(&reg, 3, "In", "Mid");
+        assert!(plan.context_window_position().is_none());
+        plan.ops.insert(0, Op::ContextWindow(ContextWindowOp::new(0)));
+        assert_eq!(plan.context_window_position(), Some(0));
+        assert!(plan.is_context_window_pushed_down());
+        let explain = plan.explain();
+        assert!(explain.contains("ContextWindow -> Pattern -> Project"), "{explain}");
+    }
+
+    #[test]
+    fn reset_clears_member_state() {
+        let reg = registry();
+        let in_ty = reg.lookup("In").unwrap();
+        let mid_ty = reg.lookup("Mid").unwrap();
+        // A 2-element sequence keeps partials.
+        let seq = PatternOp::sequence(
+            vec![
+                crate::pattern::PositiveElement {
+                    type_id: in_ty,
+                    step_predicates: vec![],
+                },
+                crate::pattern::PositiveElement {
+                    type_id: mid_ty,
+                    step_predicates: vec![],
+                },
+            ],
+            vec![],
+            1000,
+            reg.lookup("Final").unwrap(),
+            vec![0, 1],
+        );
+        let plan = QueryPlan {
+            query_id: QueryId(0),
+            context: "c".into(),
+            context_bit: 0,
+            ops: vec![Op::Pattern(seq)],
+            input_types: vec![in_ty, mid_ty],
+            output_type: Some(reg.lookup("Final").unwrap()),
+            is_deriving: false,
+            source: dummy_source(0),
+        };
+        let mut combined = CombinedPlan::new("c".into(), 0, vec![plan]);
+        let table = ContextTable::new(1, 0);
+        let mut out = PlanOutput::default();
+        combined.process(&in_event(&reg, 1, 7), &table, &mut out);
+        assert_eq!(combined.plans[0].live_partials(), 1);
+        combined.reset_state();
+        assert_eq!(combined.plans[0].live_partials(), 0);
+    }
+}

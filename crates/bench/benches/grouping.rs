@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the optimizer: context window grouping
+//! (Listing 1), Bell/Stirling search-space accounting, and plan search.
+
+use caesar_optimizer::grouping::{group_windows, UserWindow};
+use caesar_optimizer::mqo::{bell_number, stirling2};
+use caesar_optimizer::search::{exhaustive_search, greedy_search, synthetic_operators};
+use caesar_query::ast::QueryId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chained_windows(n: usize) -> Vec<UserWindow> {
+    (0..n)
+        .map(|i| {
+            UserWindow::new(
+                format!("c{i}"),
+                i as f64 * 10.0,
+                i as f64 * 10.0 + 25.0, // overlaps the next two windows
+                vec![QueryId(i as u32), QueryId((i + 1) as u32)],
+            )
+        })
+        .collect()
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    for n in [10usize, 50, 200] {
+        let windows = chained_windows(n);
+        group.bench_with_input(BenchmarkId::new("group_windows", n), &windows, |b, w| {
+            b.iter(|| black_box(group_windows(w.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_search");
+    for n in [8usize, 12, 16] {
+        let ops = synthetic_operators(n, 7);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &ops, |b, ops| {
+            b.iter(|| black_box(exhaustive_search(ops, 100.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &ops, |b, ops| {
+            b.iter(|| black_box(greedy_search(ops, 100.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combinatorics(c: &mut Criterion) {
+    c.bench_function("bell_number_24", |b| {
+        b.iter(|| black_box(bell_number(black_box(24))))
+    });
+    c.bench_function("stirling_24_12", |b| {
+        b.iter(|| black_box(stirling2(black_box(24), black_box(12))))
+    });
+}
+
+criterion_group!(benches, bench_grouping, bench_search, bench_combinatorics);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Figure 10 — Linear Road event stream characterization.
+//!
+//! (a) events per road segment: position reports, zero toll
+//!     notifications, real toll notifications and accident warnings
+//!     across 100 segments of one road;
+//! (b) events per minute for one segment over the whole run, making the
+//!     application contexts visible (accident phase → warnings, clear
+//!     phase → zero tolls, congestion phase → real tolls).
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin fig10 [-- a|b]
+//! ```
+
+use caesar_bench::print_table;
+use caesar_linear_road::{expected_outputs, LinearRoadConfig, TrafficSim};
+
+fn part_a() {
+    // 100 segments of one unidirectional road, density skew visible.
+    let config = LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 100,
+        directions: 1,
+        duration: 1800,
+        seed: 10,
+        base_cars: 1.5,
+        peak_cars: 5.0,
+        ..Default::default()
+    };
+    let mut sim = TrafficSim::new(config);
+    let events = sim.generate();
+    let out = expected_outputs(&events, sim.registry());
+    let rows: Vec<Vec<String>> = out
+        .per_partition
+        .iter()
+        .map(|(pid, c)| {
+            vec![
+                pid.0.to_string(),
+                c[0].to_string(),
+                c[1].to_string(),
+                c[2].to_string(),
+                c[3].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10(a): events per road segment (100 segments)",
+        &["segment", "position", "zero_toll", "real_toll", "warnings"],
+        &rows,
+    );
+    let max = out.per_partition.values().map(|c| c[0]).max().unwrap_or(0);
+    let min = out.per_partition.values().map(|c| c[0]).min().unwrap_or(0);
+    println!(
+        "summary: position reports per segment min={min} max={max} (skew {:.1}x)",
+        max as f64 / min.max(1) as f64
+    );
+}
+
+fn part_b() {
+    // One segment over "180 minutes" (scaled 1:1 in seconds): rate ramps
+    // up; accident minutes ~30-50; congestion from minute ~70.
+    let config = LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 1,
+        directions: 1,
+        duration: 10_800,
+        seed: 11,
+        base_cars: 2.0,
+        peak_cars: 14.0,
+        mean_lifetime: 240,
+        ..Default::default()
+    };
+    let mut sim = TrafficSim::new(config);
+    let events = sim.generate();
+    let out = expected_outputs(&events, sim.registry());
+    let rows: Vec<Vec<String>> = out
+        .per_minute
+        .iter()
+        .enumerate()
+        .map(|(minute, c)| {
+            vec![
+                minute.to_string(),
+                c[0].to_string(),
+                c[1].to_string(),
+                c[2].to_string(),
+                c[3].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10(b): events per minute, one segment, 180 minutes",
+        &["minute", "position", "zero_toll", "real_toll", "warnings"],
+        &rows,
+    );
+    let acc_minutes: Vec<usize> = out
+        .per_minute
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c[3] > 0)
+        .map(|(m, _)| m)
+        .collect();
+    println!(
+        "accident warnings in minutes {:?}..{:?}; real tolls start minute {:?}",
+        acc_minutes.first(),
+        acc_minutes.last(),
+        out.per_minute.iter().position(|c| c[2] > 0)
+    );
+}
+
+fn main() {
+    let part = std::env::args().nth(1);
+    match part.as_deref() {
+        Some("a") => part_a(),
+        Some("b") => part_b(),
+        _ => {
+            part_a();
+            part_b();
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Benchmark harness for the CAESAR evaluation (§7): shared measurement
+//! utilities, the synthetic overlapping-context workload of §7.3.2, and
+//! table printing that mirrors the paper's figures.
+//!
+//! Each figure of the paper has a dedicated binary in `src/bin/`
+//! (`fig10` … `fig14`); `EXPERIMENTS.md` at the workspace root records
+//! paper-vs-measured values.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod overlap;
+
+use caesar_core::prelude::*;
+use std::time::Instant;
+
+/// One measured run: label → report.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Configuration label.
+    pub label: String,
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Wall-clock time of the whole run.
+    pub wall_secs: f64,
+}
+
+/// Runs a stream through a system, measuring wall time.
+pub fn measure(label: impl Into<String>, system: &mut CaesarSystem, events: Vec<Event>) -> Measured {
+    let start = Instant::now();
+    let report = system
+        .run_stream(&mut VecStream::new(events))
+        .expect("benchmark streams are in order");
+    Measured {
+        label: label.into(),
+        report,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Prints a figure-style table: a title line, a header row, then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Milliseconds with two decimals.
+#[must_use]
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// A ratio with two decimals.
+#[must_use]
+pub fn ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", num as f64 / den as f64)
+    }
+}

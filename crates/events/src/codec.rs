@@ -1,0 +1,293 @@
+//! Wire encoding of events.
+//!
+//! The event distributor of a deployed CAESAR instance receives events
+//! from remote producers (sensors, position-report gateways). This
+//! module provides a compact, length-prefixed binary encoding used by
+//! the CLI's file-based ingestion and by anyone wiring the engine to a
+//! socket.
+//!
+//! Layout per event (all integers little-endian):
+//!
+//! ```text
+//! u32  total length of the remainder
+//! u32  type id
+//! u64  occurrence start
+//! u64  occurrence end
+//! u32  partition
+//! u16  attribute count
+//! per attribute: u8 tag, payload
+//!   0 = Null
+//!   1 = Int    (i64)
+//!   2 = Float  (f64)
+//!   3 = Bool   (u8)
+//!   4 = Str    (u32 length + UTF-8 bytes)
+//! ```
+
+use crate::event::{Event, PartitionId};
+use crate::schema::TypeId;
+use crate::time::Interval;
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the announced length.
+    Truncated,
+    /// Unknown value tag byte.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// The occurrence interval was inverted.
+    BadInterval,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated event frame"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string attribute"),
+            CodecError::BadInterval => write!(f, "occurrence interval start exceeds end"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends one encoded event to `buf`.
+pub fn encode(event: &Event, buf: &mut BytesMut) {
+    // Reserve the length slot, fill afterwards.
+    let len_pos = buf.len();
+    buf.put_u32_le(0);
+    let body_start = buf.len();
+    buf.put_u32_le(event.type_id.0);
+    buf.put_u64_le(event.occurrence.start);
+    buf.put_u64_le(event.occurrence.end);
+    buf.put_u32_le(event.partition.0);
+    buf.put_u16_le(event.attrs.len() as u16);
+    for value in event.attrs.iter() {
+        match value {
+            Value::Null => buf.put_u8(0),
+            Value::Int(v) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*v);
+            }
+            Value::Float(v) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*v);
+            }
+            Value::Bool(v) => {
+                buf.put_u8(3);
+                buf.put_u8(u8::from(*v));
+            }
+            Value::Str(s) => {
+                buf.put_u8(4);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+    let body_len = (buf.len() - body_start) as u32;
+    buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Encodes a whole batch.
+#[must_use]
+pub fn encode_all(events: &[Event]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(events.len() * 64);
+    for e in events {
+        encode(e, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes one event from the front of `buf`, advancing it.
+/// Returns `Ok(None)` when the buffer is empty.
+pub fn decode(buf: &mut Bytes) -> Result<Option<Event>, CodecError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let mut body = buf.split_to(len);
+    let type_id = TypeId(read_u32(&mut body)?);
+    let start = read_u64(&mut body)?;
+    let end = read_u64(&mut body)?;
+    if start > end {
+        return Err(CodecError::BadInterval);
+    }
+    let partition = PartitionId(read_u32(&mut body)?);
+    let count = read_u16(&mut body)? as usize;
+    let mut attrs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = read_u8(&mut body)?;
+        attrs.push(match tag {
+            0 => Value::Null,
+            1 => {
+                ensure(&body, 8)?;
+                Value::Int(body.get_i64_le())
+            }
+            2 => {
+                ensure(&body, 8)?;
+                Value::Float(body.get_f64_le())
+            }
+            3 => {
+                ensure(&body, 1)?;
+                Value::Bool(body.get_u8() != 0)
+            }
+            4 => {
+                let len = read_u32(&mut body)? as usize;
+                ensure(&body, len)?;
+                let raw = body.split_to(len);
+                let s = std::str::from_utf8(&raw).map_err(|_| CodecError::BadUtf8)?;
+                Value::str(s)
+            }
+            other => return Err(CodecError::BadTag(other)),
+        });
+    }
+    Ok(Some(Event::complex(
+        type_id,
+        Interval::new(start, end),
+        partition,
+        attrs,
+    )))
+}
+
+/// Decodes every event in the buffer.
+pub fn decode_all(mut buf: Bytes) -> Result<Vec<Event>, CodecError> {
+    let mut out = Vec::new();
+    while let Some(e) = decode(&mut buf)? {
+        out.push(e);
+    }
+    Ok(out)
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn read_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+    ensure(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn read_u16(buf: &mut Bytes) -> Result<u16, CodecError> {
+    ensure(buf, 2)?;
+    Ok(buf.get_u16_le())
+}
+
+fn read_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    ensure(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn read_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    ensure(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::complex(
+            TypeId(7),
+            Interval::new(10, 40),
+            PartitionId(3),
+            vec![
+                Value::Int(-42),
+                Value::Float(2.75),
+                Value::str("exit"),
+                Value::Bool(true),
+                Value::Null,
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let e = sample();
+        let mut buf = BytesMut::new();
+        encode(&e, &mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = decode(&mut bytes).unwrap().unwrap();
+        assert_eq!(decoded, e);
+        assert!(decode(&mut bytes).unwrap().is_none(), "buffer drained");
+    }
+
+    #[test]
+    fn round_trip_batch() {
+        let events: Vec<Event> = (0..50)
+            .map(|i| {
+                Event::simple(
+                    TypeId(i % 3),
+                    u64::from(i),
+                    PartitionId(i % 5),
+                    vec![Value::Int(i64::from(i)), Value::str(format!("s{i}"))],
+                )
+            })
+            .collect();
+        let encoded = encode_all(&events);
+        let decoded = decode_all(encoded).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let mut buf = BytesMut::new();
+        encode(&sample(), &mut buf);
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            let mut partial = full.slice(0..cut);
+            assert!(
+                matches!(decode(&mut partial), Err(CodecError::Truncated) | Ok(None)),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Event::simple(TypeId(0), 1, PartitionId(0), vec![Value::Int(1)]),
+            &mut buf,
+        );
+        let mut raw = buf.to_vec();
+        // The tag byte sits right after the fixed header (4+4+8+8+4+2).
+        raw[30] = 99;
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(decode(&mut bytes), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn inverted_interval_rejected() {
+        let mut buf = BytesMut::new();
+        encode(&sample(), &mut buf);
+        let mut raw = buf.to_vec();
+        // Swap start (offset 8) and end (offset 16) qwords.
+        raw[8..16].copy_from_slice(&100u64.to_le_bytes());
+        raw[16..24].copy_from_slice(&5u64.to_le_bytes());
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(decode(&mut bytes), Err(CodecError::BadInterval));
+    }
+
+    #[test]
+    fn empty_buffer_is_clean_end() {
+        let mut empty = Bytes::new();
+        assert_eq!(decode(&mut empty), Ok(None));
+        assert!(decode_all(Bytes::new()).unwrap().is_empty());
+    }
+}

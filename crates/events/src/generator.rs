@@ -1,0 +1,243 @@
+//! Seeded synthetic-stream utilities shared by the workload substrates.
+//!
+//! The evaluation varies "context window related parameters ... only
+//! through input data manipulation" (§7.1): window count, length, overlap
+//! and *placement distribution* (uniform vs. Poisson with positive /
+//! negative skew, Figure 13) are all properties of the generated input.
+//! This module provides the rate curves and placement distributions those
+//! generators share, all driven by a seedable RNG so every experiment is
+//! reproducible.
+
+use crate::time::{Interval, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for workload generation.
+pub type WorkloadRng = StdRng;
+
+/// Creates the workload RNG from an experiment seed.
+#[must_use]
+pub fn rng(seed: u64) -> WorkloadRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// An event-rate curve: events per tick as a function of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateCurve {
+    /// Constant rate.
+    Constant(f64),
+    /// Linear ramp from `start_rate` at t=0 to `end_rate` at `duration`
+    /// (the Linear Road stream "gradually increases during 3 hours",
+    /// Fig. 10b).
+    LinearRamp {
+        /// Rate at time zero.
+        start_rate: f64,
+        /// Rate at `duration`.
+        end_rate: f64,
+        /// Total experiment duration in ticks.
+        duration: Time,
+    },
+}
+
+impl RateCurve {
+    /// Events per tick at time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: Time) -> f64 {
+        match *self {
+            RateCurve::Constant(r) => r,
+            RateCurve::LinearRamp {
+                start_rate,
+                end_rate,
+                duration,
+            } => {
+                if duration == 0 {
+                    return end_rate;
+                }
+                let frac = (t.min(duration) as f64) / (duration as f64);
+                start_rate + (end_rate - start_rate) * frac
+            }
+        }
+    }
+
+    /// Draws an integer event count for tick `t` whose expectation equals
+    /// the curve's rate (fractional part resolved by a Bernoulli draw).
+    pub fn sample_count(&self, t: Time, rng: &mut WorkloadRng) -> usize {
+        let rate = self.rate_at(t).max(0.0);
+        let base = rate.floor() as usize;
+        let frac = rate - rate.floor();
+        base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0 - f64::EPSILON)))
+    }
+}
+
+/// Placement distribution of context windows over the experiment
+/// timeline (Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPlacement {
+    /// Windows spread evenly over the timeline.
+    Uniform,
+    /// Windows clustered at the *beginning* of the experiment, where the
+    /// ramping stream rate is low ("Poisson distribution with positive
+    /// skew: λ is the first second").
+    PoissonPositiveSkew,
+    /// Windows clustered at the *end*, where the stream rate is high
+    /// ("λ is the last second").
+    PoissonNegativeSkew,
+}
+
+impl WindowPlacement {
+    /// Places `count` non-overlapping windows of `length` ticks inside
+    /// `[0, horizon]`, returning them sorted by start time.
+    ///
+    /// Windows are clipped to the horizon and separated by at least one
+    /// tick so that context transitions remain unambiguous.
+    pub fn place(
+        &self,
+        count: usize,
+        length: Time,
+        horizon: Time,
+        rng: &mut WorkloadRng,
+    ) -> Vec<Interval> {
+        if count == 0 || horizon == 0 {
+            return Vec::new();
+        }
+        let length = length.min(horizon);
+        let mut starts: Vec<Time> = (0..count)
+            .map(|i| match self {
+                WindowPlacement::Uniform => {
+                    // Even spacing with jitter inside each slot.
+                    let slot = horizon / count as Time;
+                    let base = i as Time * slot;
+                    let jitter = if slot > length {
+                        rng.gen_range(0..=(slot - length).max(1))
+                    } else {
+                        0
+                    };
+                    base + jitter
+                }
+                WindowPlacement::PoissonPositiveSkew => {
+                    sample_exponential_offset(horizon, rng)
+                }
+                WindowPlacement::PoissonNegativeSkew => {
+                    horizon.saturating_sub(sample_exponential_offset(horizon, rng) + length)
+                }
+            })
+            .collect();
+        starts.sort_unstable();
+        // Separate overlapping placements: push each window after the
+        // previous one if needed, clamping at the horizon.
+        let mut windows = Vec::with_capacity(count);
+        let mut cursor: Time = 0;
+        for s in starts {
+            let start = s.max(cursor);
+            let end = (start + length).min(horizon);
+            if start >= end {
+                continue;
+            }
+            windows.push(Interval::new(start, end));
+            cursor = end + 1;
+        }
+        windows
+    }
+}
+
+/// Samples an offset from an exponential distribution with mean
+/// `horizon / 8`, clamped into `[0, horizon)`. This concentrates mass
+/// near zero, matching the paper's skewed Poisson placements.
+fn sample_exponential_offset(horizon: Time, rng: &mut WorkloadRng) -> Time {
+    let mean = (horizon as f64 / 8.0).max(1.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let sample = -mean * u.ln();
+    (sample as Time).min(horizon.saturating_sub(1))
+}
+
+/// Fraction of `[0, horizon]` covered by the (non-overlapping) windows —
+/// the "% of the input event stream covered by the context windows"
+/// annotated above the bars of Figures 12(c) and 12(d).
+#[must_use]
+pub fn coverage(windows: &[Interval], horizon: Time) -> f64 {
+    if horizon == 0 {
+        return 0.0;
+    }
+    let covered: Time = windows.iter().map(Interval::len).sum();
+    covered as f64 / horizon as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_samples_expectation() {
+        let curve = RateCurve::Constant(3.0);
+        let mut r = rng(1);
+        assert_eq!(curve.rate_at(0), 3.0);
+        assert_eq!(curve.sample_count(0, &mut r), 3);
+    }
+
+    #[test]
+    fn linear_ramp_interpolates() {
+        let curve = RateCurve::LinearRamp {
+            start_rate: 0.0,
+            end_rate: 100.0,
+            duration: 100,
+        };
+        assert_eq!(curve.rate_at(0), 0.0);
+        assert_eq!(curve.rate_at(50), 50.0);
+        assert_eq!(curve.rate_at(100), 100.0);
+        // Clamps past the end.
+        assert_eq!(curve.rate_at(1000), 100.0);
+    }
+
+    #[test]
+    fn fractional_rate_averages_out() {
+        let curve = RateCurve::Constant(0.5);
+        let mut r = rng(42);
+        let total: usize = (0..10_000).map(|t| curve.sample_count(t, &mut r)).sum();
+        assert!((4_000..6_000).contains(&total), "total {total} not near 5000");
+    }
+
+    #[test]
+    fn uniform_placement_spreads_windows() {
+        let mut r = rng(7);
+        let ws = WindowPlacement::Uniform.place(10, 50, 1_000, &mut r);
+        assert_eq!(ws.len(), 10);
+        for pair in ws.windows(2) {
+            assert!(pair[0].end < pair[1].start, "windows must not overlap");
+        }
+        // Uniform windows reach into the last quarter of the horizon.
+        assert!(ws.last().unwrap().start >= 750);
+    }
+
+    #[test]
+    fn positive_skew_clusters_early() {
+        let mut r = rng(7);
+        let ws = WindowPlacement::PoissonPositiveSkew.place(10, 20, 10_000, &mut r);
+        let mean_start: f64 =
+            ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
+        assert!(mean_start < 5_000.0, "positive skew should cluster early, mean {mean_start}");
+    }
+
+    #[test]
+    fn negative_skew_clusters_late() {
+        let mut r = rng(7);
+        let ws = WindowPlacement::PoissonNegativeSkew.place(10, 20, 10_000, &mut r);
+        let mean_start: f64 =
+            ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
+        assert!(mean_start > 5_000.0, "negative skew should cluster late, mean {mean_start}");
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let ws = vec![Interval::new(0, 250), Interval::new(500, 750)];
+        let c = coverage(&ws, 1_000);
+        assert!((c - 0.5).abs() < 1e-9);
+        assert_eq!(coverage(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let a = WindowPlacement::Uniform.place(5, 10, 500, &mut rng(99));
+        let b = WindowPlacement::Uniform.place(5, 10, 500, &mut rng(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Event model substrate for the CAESAR context-aware event stream
+//! analytics system (Poppe et al., EDBT 2016, §2).
+//!
+//! This crate provides the vocabulary every other CAESAR crate builds on:
+//!
+//! * [`Time`] / [`Interval`] — application time points and intervals
+//!   (§2, "Time"). Time is a linearly ordered set of points; complex events
+//!   carry an occurrence *interval* spanning the events they were derived
+//!   from.
+//! * [`Value`] — dynamically typed attribute values (integers, floats,
+//!   strings, booleans).
+//! * [`Schema`] / [`SchemaRegistry`] — event *types* with named, typed
+//!   attributes (§2, "Event").
+//! * [`Event`] — a timestamped message of a particular type carrying
+//!   attribute values, optionally assigned to a stream *partition*
+//!   (a unidirectional road segment in the traffic use case, §6.2).
+//! * [`EventQueue`] / [`queue::PartitionedQueues`] — per-partition FIFO
+//!   buffers with watermark-based progress tracking, used by the event
+//!   distributor of the storage layer (§6.1).
+//! * [`generator`] — seeded synthetic-stream utilities (rate curves and
+//!   window-placement distributions) shared by the workload substrates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod event;
+pub mod generator;
+pub mod queue;
+pub mod reorder;
+pub mod schema;
+pub mod stream;
+pub mod time;
+pub mod value;
+
+pub use codec::{decode, decode_all, encode, encode_all, CodecError};
+pub use error::EventError;
+pub use event::{Event, EventBuilder, PartitionId};
+pub use queue::{EventQueue, PartitionedQueues};
+pub use reorder::ReorderBuffer;
+pub use schema::{AttrId, AttrType, Schema, SchemaRegistry, TypeId};
+pub use stream::{EventBatch, EventStream, MergedStream, VecStream};
+pub use time::{Interval, Time, WindowSpan, TIME_MAX};
+pub use value::Value;

@@ -1,0 +1,250 @@
+//! Per-partition event queues with watermark-based progress tracking.
+//!
+//! The storage layer's event distributor "buffers the incoming events in
+//! the event queues" (§6.1). The time-driven scheduler needs to know, per
+//! partition, up to which application time all events have arrived — the
+//! queue *watermark* — before it may form the stream transaction for a
+//! timestamp (§6.2, "Correct Context Management").
+
+use crate::error::EventError;
+use crate::event::{Event, PartitionId};
+use crate::stream::EventBatch;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// A FIFO of in-order events for one stream partition.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    events: VecDeque<Event>,
+    /// Highest timestamp ever enqueued.
+    watermark: Time,
+    /// Total number of events ever enqueued (for metrics).
+    enqueued: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an event, enforcing the in-order assumption of §6.2.
+    pub fn push(&mut self, event: Event) -> Result<(), EventError> {
+        let t = event.time();
+        if t < self.watermark {
+            return Err(EventError::OutOfOrder {
+                watermark: self.watermark,
+                timestamp: t,
+            });
+        }
+        self.watermark = t;
+        self.enqueued += 1;
+        self.events.push_back(event);
+        Ok(())
+    }
+
+    /// Timestamp of the oldest buffered event.
+    #[must_use]
+    pub fn head_time(&self) -> Option<Time> {
+        self.events.front().map(Event::time)
+    }
+
+    /// Highest timestamp ever enqueued. All events with smaller
+    /// timestamps have been observed (streams are in-order).
+    #[must_use]
+    pub fn watermark(&self) -> Time {
+        self.watermark
+    }
+
+    /// Pops every buffered event with timestamp exactly `t`
+    /// (they form one stream transaction).
+    #[must_use]
+    pub fn pop_batch(&mut self, t: Time) -> EventBatch {
+        let mut events = Vec::new();
+        while self.events.front().is_some_and(|e| e.time() == t) {
+            events.push(self.events.pop_front().expect("front checked"));
+        }
+        EventBatch::new(t, events)
+    }
+
+    /// Pops every buffered event with timestamp `<= t`.
+    #[must_use]
+    pub fn pop_up_to(&mut self, t: Time) -> Vec<Event> {
+        let mut events = Vec::new();
+        while self.events.front().is_some_and(|e| e.time() <= t) {
+            events.push(self.events.pop_front().expect("front checked"));
+        }
+        events
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever enqueued.
+    #[must_use]
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+/// The set of per-partition queues managed by the event distributor.
+#[derive(Debug, Default)]
+pub struct PartitionedQueues {
+    queues: Vec<EventQueue>,
+}
+
+impl PartitionedQueues {
+    /// Creates queues for `partitions` partitions.
+    #[must_use]
+    pub fn new(partitions: usize) -> Self {
+        Self {
+            queues: (0..partitions).map(|_| EventQueue::new()).collect(),
+        }
+    }
+
+    /// Routes an event to its partition's queue, growing the set if a new
+    /// partition appears.
+    pub fn push(&mut self, event: Event) -> Result<(), EventError> {
+        let idx = event.partition.index();
+        if idx >= self.queues.len() {
+            self.queues.resize_with(idx + 1, EventQueue::new);
+        }
+        self.queues[idx].push(event)
+    }
+
+    /// The queue of one partition, if it exists.
+    #[must_use]
+    pub fn get(&self, p: PartitionId) -> Option<&EventQueue> {
+        self.queues.get(p.index())
+    }
+
+    /// Mutable access to one partition's queue, if it exists.
+    #[must_use]
+    pub fn get_mut(&mut self, p: PartitionId) -> Option<&mut EventQueue> {
+        self.queues.get_mut(p.index())
+    }
+
+    /// The minimum watermark across all partitions: the distributor
+    /// progress the scheduler compares against (§6.2).
+    #[must_use]
+    pub fn progress(&self) -> Time {
+        self.queues
+            .iter()
+            .map(EventQueue::watermark)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Earliest buffered timestamp across all partitions.
+    #[must_use]
+    pub fn earliest_pending(&self) -> Option<Time> {
+        self.queues.iter().filter_map(EventQueue::head_time).min()
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total buffered events across all partitions.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.queues.iter().map(EventQueue::len).sum()
+    }
+
+    /// Iterates `(PartitionId, &mut EventQueue)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (PartitionId, &mut EventQueue)> {
+        self.queues
+            .iter_mut()
+            .enumerate()
+            .map(|(i, q)| (PartitionId(i as u32), q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TypeId;
+    use crate::value::Value;
+
+    fn ev(t: Time, p: u32) -> Event {
+        Event::simple(TypeId(0), t, PartitionId(p), vec![Value::Int(0)])
+    }
+
+    #[test]
+    fn push_updates_watermark() {
+        let mut q = EventQueue::new();
+        q.push(ev(5, 0)).unwrap();
+        q.push(ev(5, 0)).unwrap();
+        q.push(ev(9, 0)).unwrap();
+        assert_eq!(q.watermark(), 9);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut q = EventQueue::new();
+        q.push(ev(9, 0)).unwrap();
+        assert!(matches!(
+            q.push(ev(5, 0)),
+            Err(EventError::OutOfOrder { watermark: 9, timestamp: 5 })
+        ));
+    }
+
+    #[test]
+    fn pop_batch_takes_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        for t in [3, 3, 3, 7] {
+            q.push(ev(t, 0)).unwrap();
+        }
+        let batch = q.pop_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.time, 3);
+        assert_eq!(q.head_time(), Some(7));
+        // Popping a timestamp with no events yields an empty batch.
+        assert!(q.pop_batch(5).is_empty());
+    }
+
+    #[test]
+    fn pop_up_to_drains_prefix() {
+        let mut q = EventQueue::new();
+        for t in [1, 2, 3, 10] {
+            q.push(ev(t, 0)).unwrap();
+        }
+        let drained = q.pop_up_to(3);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_progress_is_min_watermark() {
+        let mut pq = PartitionedQueues::new(2);
+        pq.push(ev(10, 0)).unwrap();
+        pq.push(ev(4, 1)).unwrap();
+        assert_eq!(pq.progress(), 4);
+        pq.push(ev(12, 1)).unwrap();
+        assert_eq!(pq.progress(), 10);
+        assert_eq!(pq.buffered(), 3);
+        assert_eq!(pq.earliest_pending(), Some(4));
+    }
+
+    #[test]
+    fn partitioned_queues_grow_on_demand() {
+        let mut pq = PartitionedQueues::new(1);
+        pq.push(ev(1, 5)).unwrap();
+        assert_eq!(pq.partitions(), 6);
+        assert_eq!(pq.get(PartitionId(5)).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded reordering buffer for slightly out-of-order streams.
+//!
+//! CAESAR's correctness argument assumes in-order event streams ("events
+//! arrive in-order by time stamps", §6.2), and the scheduler rejects
+//! violations. Real producers — the "bursty input streams, network and
+//! processing delays" the paper mentions — deliver *almost*-ordered
+//! streams. This extension sits in front of the distributor: it holds
+//! events in a min-heap and only releases those older than
+//! `watermark − slack`, turning any stream whose disorder is bounded by
+//! `slack` ticks into an in-order stream. Events later than the slack
+//! allows are rejected explicitly (counted, surfaced) rather than
+//! silently corrupting context state.
+
+use crate::event::Event;
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by event time (ties broken by arrival order to
+/// keep the release stable).
+struct Entry {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The reordering buffer.
+#[derive(Default)]
+pub struct ReorderBuffer {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Maximum tolerated disorder in ticks.
+    slack: Time,
+    /// Highest event time seen.
+    high: Time,
+    /// Highest time already released (events at or below are late).
+    released: Time,
+    seq: u64,
+    /// Events rejected as too late.
+    pub late_dropped: u64,
+}
+
+impl std::fmt::Debug for ReorderBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReorderBuffer")
+            .field("slack", &self.slack)
+            .field("buffered", &self.heap.len())
+            .field("high", &self.high)
+            .field("late_dropped", &self.late_dropped)
+            .finish()
+    }
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer tolerating up to `slack` ticks of disorder.
+    #[must_use]
+    pub fn new(slack: Time) -> Self {
+        Self {
+            slack,
+            ..Self::default()
+        }
+    }
+
+    /// Offers one event; returns the events that become releasable (in
+    /// order), or `Err(event)` if the event is too late to be ordered.
+    #[allow(clippy::result_large_err)] // the rejected event is the payload
+    pub fn push(&mut self, event: Event) -> Result<Vec<Event>, Event> {
+        let t = event.time();
+        if self.released > 0 && t < self.released {
+            self.late_dropped += 1;
+            return Err(event);
+        }
+        self.high = self.high.max(t);
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq: self.seq,
+            event,
+        }));
+        Ok(self.drain_ready())
+    }
+
+    /// Releases everything still buffered (end of stream), in order.
+    pub fn flush(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(e)) = self.heap.pop() {
+            self.released = self.released.max(e.time);
+            out.push(e.event);
+        }
+        out
+    }
+
+    /// Events currently held back.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn drain_ready(&mut self) -> Vec<Event> {
+        let horizon = self.high.saturating_sub(self.slack);
+        let mut out = Vec::new();
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse(e)| e.time <= horizon)
+        {
+            let Reverse(e) = self.heap.pop().expect("peeked");
+            self.released = self.released.max(e.time);
+            out.push(e.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PartitionId;
+    use crate::schema::TypeId;
+    use crate::value::Value;
+
+    fn ev(t: Time) -> Event {
+        Event::simple(TypeId(0), t, PartitionId(0), vec![Value::Int(t as i64)])
+    }
+
+    fn run(slack: Time, times: &[Time]) -> (Vec<Time>, u64) {
+        let mut buf = ReorderBuffer::new(slack);
+        let mut out = Vec::new();
+        for &t in times {
+            if let Ok(ready) = buf.push(ev(t)) {
+                out.extend(ready.iter().map(Event::time));
+            }
+        }
+        out.extend(buf.flush().iter().map(Event::time));
+        (out, buf.late_dropped)
+    }
+
+    #[test]
+    fn bounded_disorder_is_fully_repaired() {
+        let (out, dropped) = run(5, &[3, 1, 2, 7, 5, 4, 10, 9, 8]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 7, 8, 9, 10]);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let (out, dropped) = run(0, &[1, 2, 3, 4]);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn events_later_than_slack_are_rejected() {
+        // With slack 2, seeing t=10 releases up to t=8; a t=3 afterwards
+        // is too late.
+        let mut buf = ReorderBuffer::new(2);
+        let _ = buf.push(ev(5));
+        let released = buf.push(ev(10)).unwrap();
+        assert_eq!(released.iter().map(Event::time).collect::<Vec<_>>(), vec![5]);
+        let rejected = buf.push(ev(3)).unwrap_err();
+        assert_eq!(rejected.time(), 3);
+        assert_eq!(buf.late_dropped, 1);
+        // But a t=9 (within slack) is fine.
+        assert!(buf.push(ev(9)).is_ok());
+        let rest = buf.flush();
+        assert_eq!(rest.iter().map(Event::time).collect::<Vec<_>>(), vec![9, 10]);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_arrival_order() {
+        let mut buf = ReorderBuffer::new(1);
+        let a = Event::simple(TypeId(0), 5, PartitionId(0), vec![Value::Int(1)]);
+        let b = Event::simple(TypeId(0), 5, PartitionId(0), vec![Value::Int(2)]);
+        let _ = buf.push(a);
+        let _ = buf.push(b);
+        let out = buf.flush();
+        assert_eq!(out[0].attrs[0], Value::Int(1));
+        assert_eq!(out[1].attrs[0], Value::Int(2));
+    }
+
+    #[test]
+    fn buffered_count_tracks_heap() {
+        let mut buf = ReorderBuffer::new(100);
+        let _ = buf.push(ev(1));
+        let _ = buf.push(ev(2));
+        assert_eq!(buf.buffered(), 2);
+        buf.flush();
+        assert_eq!(buf.buffered(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Event type schemas and the schema registry.
+//!
+//! "An event type E is defined by a schema which specifies the set of event
+//! attributes and the domains of their values" (§2). The registry interns
+//! type names into dense [`TypeId`]s and attribute names into per-type
+//! [`AttrId`]s so that the hot path (expression evaluation, routing) works
+//! on integer indices, never on strings.
+
+use crate::error::EventError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of a registered event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Index into registry-ordered arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Positional identifier of an attribute within one event type's schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Index into the event's attribute array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declared domain of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+/// One attribute declaration: a name and a domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrDef {
+    /// Attribute name (e.g. `vid`, `speed`).
+    pub name: Arc<str>,
+    /// Attribute domain.
+    pub ty: AttrType,
+}
+
+/// An event type: name plus ordered attribute declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Type name (e.g. `PositionReport`).
+    pub name: Arc<str>,
+    /// Ordered attributes; positions are the [`AttrId`]s.
+    pub attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    #[must_use]
+    pub fn new(name: impl AsRef<str>, attrs: &[(&str, AttrType)]) -> Self {
+        Self {
+            name: Arc::from(name.as_ref()),
+            attrs: attrs
+                .iter()
+                .map(|(n, t)| AttrDef {
+                    name: Arc::from(*n),
+                    ty: *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves an attribute name to its positional id.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId, EventError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.as_ref() == name)
+            .map(|i| AttrId(i as u16))
+            .ok_or_else(|| EventError::UnknownAttr {
+                event_type: self.name.to_string(),
+                attr: name.to_string(),
+            })
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// Interning registry of all event types known to one CAESAR application.
+///
+/// Derived (complex) event types are registered on the fly during plan
+/// translation; the registry is then frozen and shared read-only across
+/// the executor threads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    types: Vec<Schema>,
+    #[serde(skip)]
+    by_name: HashMap<Arc<str>, TypeId>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a schema, returning its dense id. Re-registering an
+    /// identical schema is idempotent; conflicting redefinition is an error.
+    pub fn register(&mut self, schema: Schema) -> Result<TypeId, EventError> {
+        if let Some(&id) = self.by_name.get(&schema.name) {
+            if self.types[id.index()] == schema {
+                return Ok(id);
+            }
+            return Err(EventError::DuplicateType(schema.name.to_string()));
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.types.push(schema);
+        Ok(id)
+    }
+
+    /// Looks up a type by name.
+    pub fn lookup(&self, name: &str) -> Result<TypeId, EventError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| EventError::UnknownType(name.to_string()))
+    }
+
+    /// Returns the schema of a registered type.
+    #[must_use]
+    pub fn schema(&self, id: TypeId) -> &Schema {
+        &self.types[id.index()]
+    }
+
+    /// Returns the schema by name, if registered.
+    #[must_use]
+    pub fn schema_by_name(&self, name: &str) -> Option<&Schema> {
+        self.by_name.get(name).map(|id| &self.types[id.index()])
+    }
+
+    /// Number of registered types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` when no types are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates `(TypeId, &Schema)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &Schema)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TypeId(i as u32), s))
+    }
+
+    /// Rebuilds the name index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .types
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), TypeId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn position_report() -> Schema {
+        Schema::new(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = SchemaRegistry::new();
+        let id = reg.register(position_report()).unwrap();
+        assert_eq!(reg.lookup("PositionReport").unwrap(), id);
+        assert_eq!(reg.schema(id).arity(), 8);
+    }
+
+    #[test]
+    fn idempotent_registration() {
+        let mut reg = SchemaRegistry::new();
+        let a = reg.register(position_report()).unwrap();
+        let b = reg.register(position_report()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_registration_is_error() {
+        let mut reg = SchemaRegistry::new();
+        reg.register(position_report()).unwrap();
+        let conflicting = Schema::new("PositionReport", &[("vid", AttrType::Int)]);
+        assert!(matches!(
+            reg.register(conflicting),
+            Err(EventError::DuplicateType(_))
+        ));
+    }
+
+    #[test]
+    fn attr_resolution() {
+        let s = position_report();
+        assert_eq!(s.attr_id("vid").unwrap(), AttrId(0));
+        assert_eq!(s.attr_id("lane").unwrap(), AttrId(4));
+        assert!(s.attr_id("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_type_lookup_fails() {
+        let reg = SchemaRegistry::new();
+        assert!(matches!(
+            reg.lookup("Ghost"),
+            Err(EventError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut reg = SchemaRegistry::new();
+        reg.register(position_report()).unwrap();
+        let mut cloned = SchemaRegistry {
+            types: reg.types.clone(),
+            by_name: HashMap::new(),
+        };
+        assert!(cloned.lookup("PositionReport").is_err());
+        cloned.rebuild_index();
+        assert!(cloned.lookup("PositionReport").is_ok());
+    }
+}

@@ -1,0 +1,248 @@
+//! Application time: linearly ordered time points and closed intervals.
+//!
+//! The paper models time as a linearly ordered set `(T, ≤)` of time points
+//! with `T ⊆ Q+` (§2). We represent time points as unsigned 64-bit integers
+//! in application-defined ticks (Linear Road uses seconds). All orderings in
+//! the engine are on these application timestamps, never on wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An application time point (tick count; Linear Road uses seconds).
+pub type Time = u64;
+
+/// The largest representable time point; used as "unbounded" end of an
+/// open context window whose termination has not been observed yet.
+pub const TIME_MAX: Time = Time::MAX;
+
+/// A closed time interval `[start, end]` with `start <= end` (§2).
+///
+/// Complex events carry an interval spanning all events they were derived
+/// from; simple events have `start == end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start of the interval.
+    pub start: Time,
+    /// Inclusive end of the interval.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Creates the interval `[start, end]`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(start <= end, "interval start {start} exceeds end {end}");
+        Self { start, end }
+    }
+
+    /// Creates the degenerate interval `[t, t]` of a simple event.
+    #[must_use]
+    pub fn point(t: Time) -> Self {
+        Self { start: t, end: t }
+    }
+
+    /// Returns `true` if the time point `t` lies within this interval,
+    /// i.e. `start <= t <= end` (the paper's `t ⊑ w`).
+    #[must_use]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Returns `true` if `self` and `other` share at least one time point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Returns `true` if `other` is fully contained in `self`.
+    #[must_use]
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Length of the interval in ticks (`end - start`).
+    #[must_use]
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Returns `true` for the degenerate point interval.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The smallest interval covering both `self` and `other`.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The intersection of two intervals, or `None` if they are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end == TIME_MAX {
+            write!(f, "[{}, \u{221e})", self.start)
+        } else {
+            write!(f, "[{}, {}]", self.start, self.end)
+        }
+    }
+}
+
+/// A context-window duration `(t_i, t_t]`: half-open at the start,
+/// closed at the end (Definition 1).
+///
+/// A context window is *initiated* at `t_i` when a deriving query matches;
+/// events carrying exactly the initiation timestamp still belong to the
+/// previous context, while events at the termination timestamp `t_t`
+/// belong to the terminating window. `t_t == TIME_MAX` encodes a window
+/// whose termination has not happened yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowSpan {
+    /// Exclusive initiation time `t_i`.
+    pub initiated: Time,
+    /// Inclusive termination time `t_t` (or [`TIME_MAX`] while open).
+    pub terminated: Time,
+}
+
+impl WindowSpan {
+    /// Opens a window initiated at `t_i` with unknown termination.
+    #[must_use]
+    pub fn open(initiated: Time) -> Self {
+        Self {
+            initiated,
+            terminated: TIME_MAX,
+        }
+    }
+
+    /// Returns `true` if an event with timestamp `t` falls inside the
+    /// window, honouring the `(t_i, t_t]` semantics.
+    #[must_use]
+    pub fn admits(&self, t: Time) -> bool {
+        self.initiated < t && t <= self.terminated
+    }
+
+    /// Returns `true` while the window's termination is unobserved.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.terminated == TIME_MAX
+    }
+
+    /// Closes the window at termination time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the initiation time.
+    pub fn close(&mut self, t: Time) {
+        assert!(
+            t >= self.initiated,
+            "window terminated at {t} before initiation {}",
+            self.initiated
+        );
+        self.terminated = t;
+    }
+}
+
+impl fmt::Display for WindowSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_open() {
+            write!(f, "({}, \u{221e})", self.initiated)
+        } else {
+            write!(f, "({}, {}]", self.initiated, self.terminated)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_interval_contains_only_itself() {
+        let i = Interval::point(5);
+        assert!(i.contains(5));
+        assert!(!i.contains(4));
+        assert!(!i.contains(6));
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn interval_contains_is_inclusive_on_both_ends() {
+        let i = Interval::new(3, 9);
+        assert!(i.contains(3));
+        assert!(i.contains(9));
+        assert!(i.contains(6));
+        assert!(!i.contains(2));
+        assert!(!i.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds end")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(9, 3);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_touching_counts() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 10);
+        let c = Interval::new(6, 10);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn covers_requires_full_containment() {
+        let outer = Interval::new(0, 10);
+        let inner = Interval::new(2, 8);
+        assert!(outer.covers(&inner));
+        assert!(!inner.covers(&outer));
+        assert!(outer.covers(&outer));
+    }
+
+    #[test]
+    fn hull_and_intersection() {
+        let a = Interval::new(0, 6);
+        let b = Interval::new(4, 10);
+        assert_eq!(a.hull(&b), Interval::new(0, 10));
+        assert_eq!(a.intersection(&b), Some(Interval::new(4, 6)));
+        let c = Interval::new(20, 30);
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn window_span_is_half_open_at_start() {
+        let mut w = WindowSpan::open(10);
+        assert!(w.is_open());
+        assert!(!w.admits(10), "initiation timestamp belongs to previous context");
+        assert!(w.admits(11));
+        assert!(w.admits(1_000_000));
+        w.close(20);
+        assert!(!w.is_open());
+        assert!(w.admits(20), "termination timestamp belongs to this window");
+        assert!(!w.admits(21));
+    }
+
+    #[test]
+    fn window_display() {
+        let mut w = WindowSpan::open(1);
+        assert_eq!(w.to_string(), "(1, \u{221e})");
+        w.close(9);
+        assert_eq!(w.to_string(), "(1, 9]");
+    }
+}

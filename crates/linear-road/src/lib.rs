@@ -1,0 +1,46 @@
+//! Linear Road stream benchmark substrate (Arasu et al., VLDB'04 \[9\])
+//! for the CAESAR evaluation (§7.1).
+//!
+//! The paper evaluates CAESAR on Linear Road because "(1) it expresses a
+//! variety of application contexts such that the system reactions to an
+//! event depend on the current context, and (2) it is time critical
+//! since it poses tight latency constraint of 5 seconds."
+//!
+//! The original benchmark ships multi-gigabyte pre-generated traffic
+//! traces; this crate substitutes a deterministic, seeded traffic
+//! micro-simulator producing position reports with the benchmark schema
+//! (`vid, sec, speed, xway, lane, dir, seg, pos`), the 30-second
+//! reporting cadence the toll queries rely on, per-segment density skew
+//! (Figure 10a) and a linear rate ramp with scripted accident /
+//! congestion phases (Figure 10b). Context-phase boundaries surface as
+//! marker events (`ManySlowCars`, `FewFastCars`, `StoppedCars`,
+//! `StoppedCarsRemoved`) — the aggregate conditions of the benchmark
+//! ("50 cars per minute with average speed below 40 mph") evaluated by
+//! the simulator's ground truth, since the CAESAR algebra has no
+//! aggregation operator.
+//!
+//! * [`types`] — schemas, partition encoding, the 5-second constraint.
+//! * [`model`] — the CAESAR traffic model (clear / congestion /
+//!   accident) with workload replication for low / average / high
+//!   query loads.
+//! * [`sim`] — the traffic simulator and stream generator.
+//! * [`validate`] — a reference implementation computing the expected
+//!   toll notifications and accident warnings directly from the
+//!   generated stream, used to check engine correctness end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod runner;
+pub mod sim;
+pub mod types;
+pub mod validate;
+
+pub use model::{lr_model, lr_model_weighted, lr_registry};
+pub use runner::{
+    baseline_system, build_lr_system, build_lr_system_critical, caesar_system, with_lr_schemas,
+};
+pub use sim::{LinearRoadConfig, PhaseKind, SchedulePolicy, SegmentSchedule, TrafficSim};
+pub use types::{partition_id, LATENCY_CONSTRAINT_NS};
+pub use validate::{expected_outputs, ExpectedOutputs};

@@ -1,0 +1,170 @@
+//! The Linear Road CAESAR model: the three traffic contexts of Figure 1
+//! (*clear*, *congestion*, *accident*) and their workloads (Figure 3),
+//! with the workload replication knob of §7.1 ("we simulate low, average
+//! and high query workloads by replicating the event queries of the
+//! benchmark").
+
+use crate::types::register_schemas;
+use caesar_events::SchemaRegistry;
+use caesar_query::parser::parse_model;
+use caesar_query::CaesarModel;
+use std::fmt::Write;
+
+/// Builds the registry pre-loaded with the Linear Road input schemas.
+#[must_use]
+pub fn lr_registry() -> SchemaRegistry {
+    let mut registry = SchemaRegistry::new();
+    register_schemas(&mut registry);
+    registry
+}
+
+/// Builds the Linear Road CAESAR model with `replication` copies of each
+/// context-processing query (1 = the benchmark subset of Figure 3;
+/// 10 ≈ the paper's "average workload of 10 event queries").
+///
+/// Per context:
+/// * **clear** (default): switch to congestion on `ManySlowCars`,
+///   initiate accident on `StoppedCars`, and derive zero-toll
+///   notifications for newly traveling cars (the benchmark requires
+///   zero tolls outside congestion).
+/// * **congestion**: switch back on `FewFastCars`, initiate accident,
+///   derive `NewTravelingCar` via the `SEQ(NOT ..)` negation pattern of
+///   Figure 3 and charge real toll.
+/// * **accident**: terminate on `StoppedCarsRemoved`, derive accident
+///   warnings for every traveling car in the segment.
+///
+/// # Panics
+/// Never for `replication >= 1`; the generated text is parsed by the
+/// crate's own grammar.
+#[must_use]
+pub fn lr_model(replication: usize) -> CaesarModel {
+    lr_model_weighted(replication, replication, replication)
+}
+
+/// [`lr_model`] with per-context replication: the §7.3.1 experiments
+/// replicate only the *critical-window* workload ("2 critical context
+/// windows ... process 10 event queries each; these queries can be
+/// suspended in other contexts"), so the default context keeps one copy
+/// while congestion/accident carry the suspendable load.
+#[must_use]
+pub fn lr_model_weighted(
+    clear_rep: usize,
+    congestion_rep: usize,
+    accident_rep: usize,
+) -> CaesarModel {
+    let replication = clear_rep.max(congestion_rep).max(accident_rep);
+    assert!(
+        clear_rep >= 1 && congestion_rep >= 1 && accident_rep >= 1,
+        "at least one copy of each query"
+    );
+    let mut clear_queries = String::new();
+    let mut congestion_queries = String::new();
+    let mut accident_queries = String::new();
+    for i in 0..replication {
+        let suffix = if i == 0 { String::new() } else { format!("_{i}") };
+        if i < clear_rep {
+            // Zero toll for cars newly seen in a clear segment.
+            let _ = writeln!(
+                clear_queries,
+                r#"DERIVE ZeroToll{suffix}(p2.vid, p2.sec, 0)
+                   PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+                   WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != "exit""#
+            );
+        }
+        if i < congestion_rep {
+            // Figure 3 queries 1+2: new traveling car -> real toll.
+            let _ = writeln!(
+                congestion_queries,
+                r#"DERIVE NewTravelingCar{suffix}(p2.vid, p2.xway, p2.dir, p2.seg, p2.lane, p2.pos, p2.sec)
+                   PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+                   WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != "exit""#
+            );
+            let _ = writeln!(
+                congestion_queries,
+                "DERIVE TollNotification{suffix}(p.vid, p.sec, 5) PATTERN NewTravelingCar{suffix} p"
+            );
+        }
+        if i < accident_rep {
+            // Accident warnings for traveling cars in the accident segment.
+            let _ = writeln!(
+                accident_queries,
+                r#"DERIVE AccidentWarning{suffix}(p.vid, p.seg, p.sec)
+                   PATTERN PositionReport p WHERE p.lane != "exit""#
+            );
+        }
+    }
+
+    let text = format!(
+        r#"
+        MODEL linear_road DEFAULT clear
+        CONTEXT clear {{
+            SWITCH CONTEXT congestion PATTERN ManySlowCars
+            INITIATE CONTEXT accident PATTERN StoppedCars CONTEXT clear, congestion
+            {clear_queries}
+        }}
+        CONTEXT congestion {{
+            SWITCH CONTEXT clear PATTERN FewFastCars
+            {congestion_queries}
+        }}
+        CONTEXT accident {{
+            TERMINATE CONTEXT accident PATTERN StoppedCarsRemoved
+            {accident_queries}
+        }}
+        "#
+    );
+    parse_model(&text).expect("generated linear road model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_model_shape() {
+        let model = lr_model(1);
+        assert_eq!(model.default_context, "clear");
+        assert_eq!(model.contexts.len(), 3);
+        let clear = model.context("clear").unwrap();
+        assert_eq!(clear.deriving.len(), 2, "switch + accident initiation");
+        assert_eq!(clear.processing.len(), 1);
+        let congestion = model.context("congestion").unwrap();
+        assert_eq!(congestion.processing.len(), 2, "NewTravelingCar + Toll");
+        let accident = model.context("accident").unwrap();
+        assert_eq!(accident.deriving.len(), 1);
+        assert_eq!(accident.processing.len(), 1);
+    }
+
+    #[test]
+    fn accident_initiation_spans_clear_and_congestion() {
+        let model = lr_model(1);
+        let clear = model.context("clear").unwrap();
+        let initiate = clear
+            .deriving
+            .iter()
+            .find(|q| q.action.as_ref().is_some_and(|a| a.target() == "accident"))
+            .unwrap();
+        assert_eq!(initiate.contexts, vec!["clear", "congestion"]);
+    }
+
+    #[test]
+    fn replication_scales_processing_workload() {
+        for n in [1, 5, 10] {
+            let model = lr_model(n);
+            let congestion = model.context("congestion").unwrap();
+            assert_eq!(congestion.processing.len(), 2 * n);
+            let accident = model.context("accident").unwrap();
+            assert_eq!(accident.processing.len(), n);
+        }
+    }
+
+    #[test]
+    fn replicated_model_translates_end_to_end() {
+        use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+        use caesar_query::queryset::QuerySet;
+        let model = lr_model(3);
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = lr_registry();
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 });
+        assert!(t.is_ok(), "{t:?}");
+    }
+}

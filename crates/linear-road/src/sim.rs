@@ -1,0 +1,514 @@
+//! Deterministic traffic micro-simulator and stream generator.
+//!
+//! Substitutes the Linear Road benchmark's pre-generated traces (§7.1):
+//! per unidirectional road segment (= stream partition) a seeded car
+//! population evolves over time — cars enter, report their position
+//! every 30 seconds on a travel lane, and exit with a final exit-lane
+//! report. Car density is skewed across segments (Figure 10a) and ramps
+//! up linearly over the experiment (Figure 10b). Congestion and accident
+//! phases are scripted per segment; their boundaries surface as the
+//! ground-truth marker events the CAESAR model's deriving queries
+//! consume.
+
+use crate::types::{partition_id, register_schemas, REPORT_INTERVAL};
+use caesar_events::generator::{rng, WindowPlacement, WorkloadRng};
+use caesar_events::{
+    Event, Interval, PartitionId, SchemaRegistry, Time, TypeId, Value,
+};
+use rand::Rng;
+
+/// Traffic phase of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Free-flowing traffic.
+    Clear,
+    /// Traffic jam: toll is charged.
+    Congestion,
+    /// Accident on the road.
+    Accident,
+}
+
+/// Scripted context phases of one segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentSchedule {
+    /// Congestion windows (disjoint, sorted).
+    pub congestion: Vec<Interval>,
+    /// Accident windows (disjoint, sorted; may overlap congestion).
+    pub accidents: Vec<Interval>,
+}
+
+impl SegmentSchedule {
+    /// The phase at time `t` (accident dominates for speed modelling).
+    #[must_use]
+    pub fn phase_at(&self, t: Time) -> PhaseKind {
+        if self.accidents.iter().any(|w| w.contains(t)) {
+            PhaseKind::Accident
+        } else if self.congestion.iter().any(|w| w.contains(t)) {
+            PhaseKind::Congestion
+        } else {
+            PhaseKind::Clear
+        }
+    }
+}
+
+/// How context phases are scripted.
+#[derive(Debug, Clone)]
+pub enum SchedulePolicy {
+    /// The Figure 10(b) shape scaled to the configured duration:
+    /// an accident covering ~17%–28% of the run, congestion from ~39%
+    /// to the end, clear otherwise.
+    Benchmark,
+    /// The same explicit schedule for every segment.
+    Explicit(SegmentSchedule),
+    /// `count` congestion windows of `length` ticks placed by the given
+    /// distribution (Figures 12c, 12d, 13).
+    Placed {
+        /// Number of windows.
+        count: usize,
+        /// Window length in ticks.
+        length: Time,
+        /// Placement distribution over the timeline.
+        placement: WindowPlacement,
+    },
+    /// No phase changes: the default context holds throughout.
+    AllClear,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct LinearRoadConfig {
+    /// Number of expressways.
+    pub roads: u32,
+    /// Segments per direction per expressway.
+    pub segments_per_road: u32,
+    /// Directions simulated per road (the benchmark has 2; 1 keeps
+    /// small experiments small).
+    pub directions: u32,
+    /// Experiment duration in seconds.
+    pub duration: Time,
+    /// RNG seed (every run with the same config is identical).
+    pub seed: u64,
+    /// Average cars per segment at t = 0.
+    pub base_cars: f64,
+    /// Average cars per segment at t = duration (linear ramp).
+    pub peak_cars: f64,
+    /// Mean car lifetime in seconds.
+    pub mean_lifetime: Time,
+    /// Context phase scripting.
+    pub schedule: SchedulePolicy,
+}
+
+impl Default for LinearRoadConfig {
+    fn default() -> Self {
+        Self {
+            roads: 1,
+            segments_per_road: 10,
+            directions: 1,
+            duration: 600,
+            seed: 7,
+            base_cars: 2.0,
+            peak_cars: 6.0,
+            mean_lifetime: 120,
+            schedule: SchedulePolicy::Benchmark,
+        }
+    }
+}
+
+/// The traffic simulator.
+#[derive(Debug)]
+pub struct TrafficSim {
+    config: LinearRoadConfig,
+    registry: SchemaRegistry,
+    schedules: Vec<SegmentSchedule>,
+    /// Per-segment density weight (the Figure 10a skew).
+    weights: Vec<f64>,
+    next_vid: i64,
+}
+
+/// Type ids resolved once.
+struct Types {
+    position: TypeId,
+    many_slow: TypeId,
+    few_fast: TypeId,
+    stopped: TypeId,
+    removed: TypeId,
+}
+
+impl TrafficSim {
+    /// Creates the simulator, materializing per-segment schedules and
+    /// density weights from the seed.
+    #[must_use]
+    pub fn new(config: LinearRoadConfig) -> Self {
+        let mut registry = SchemaRegistry::new();
+        register_schemas(&mut registry);
+        let partitions =
+            (config.roads * config.directions * config.segments_per_road) as usize;
+        let mut r = rng(config.seed);
+        let weights: Vec<f64> = (0..partitions)
+            .map(|_| {
+                // Log-normal-ish skew: most segments light, a few heavy.
+                let u: f64 = r.gen_range(0.0..1.0);
+                0.4 + 2.6 * u * u
+            })
+            .collect();
+        let schedules: Vec<SegmentSchedule> = (0..partitions)
+            .map(|_| Self::build_schedule(&config, &mut r))
+            .collect();
+        Self {
+            config,
+            registry,
+            schedules,
+            weights,
+            next_vid: 1,
+        }
+    }
+
+    fn build_schedule(config: &LinearRoadConfig, r: &mut WorkloadRng) -> SegmentSchedule {
+        let d = config.duration;
+        match &config.schedule {
+            SchedulePolicy::Benchmark => SegmentSchedule {
+                accidents: vec![Interval::new(d * 17 / 100, d * 28 / 100)],
+                congestion: vec![Interval::new(d * 39 / 100, d)],
+            },
+            SchedulePolicy::Explicit(s) => s.clone(),
+            SchedulePolicy::Placed {
+                count,
+                length,
+                placement,
+            } => SegmentSchedule {
+                congestion: placement.place(*count, *length, d, r),
+                accidents: Vec::new(),
+            },
+            SchedulePolicy::AllClear => SegmentSchedule::default(),
+        }
+    }
+
+    /// The registry with the Linear Road input schemas.
+    #[must_use]
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// Ground-truth schedule of one partition.
+    #[must_use]
+    pub fn schedule_for(&self, p: PartitionId) -> &SegmentSchedule {
+        &self.schedules[p.index()]
+    }
+
+    /// Fraction of the timeline covered by congestion windows, averaged
+    /// over partitions — the "% of stream covered" annotation of
+    /// Figures 12(c)/(d).
+    #[must_use]
+    pub fn congestion_coverage(&self) -> f64 {
+        let d = self.config.duration as f64;
+        if d == 0.0 || self.schedules.is_empty() {
+            return 0.0;
+        }
+        self.schedules
+            .iter()
+            .map(|s| s.congestion.iter().map(Interval::len).sum::<Time>() as f64 / d)
+            .sum::<f64>()
+            / self.schedules.len() as f64
+    }
+
+    /// Generates the full event stream, sorted by time.
+    #[must_use]
+    pub fn generate(&mut self) -> Vec<Event> {
+        let types = Types {
+            position: self.registry.lookup("PositionReport").expect("registered"),
+            many_slow: self.registry.lookup("ManySlowCars").expect("registered"),
+            few_fast: self.registry.lookup("FewFastCars").expect("registered"),
+            stopped: self.registry.lookup("StoppedCars").expect("registered"),
+            removed: self.registry.lookup("StoppedCarsRemoved").expect("registered"),
+        };
+        let mut events: Vec<Event> = Vec::new();
+        let mut r = rng(self.config.seed.wrapping_add(1));
+        let partitions = self.schedules.len();
+        for p in 0..partitions {
+            self.generate_partition(p, &types, &mut r, &mut events);
+        }
+        events.sort_by_key(Event::time);
+        events
+    }
+
+    fn coords(&self, partition: usize) -> (u32, u32, u32) {
+        let per_road = (self.config.directions * self.config.segments_per_road) as usize;
+        let xway = (partition / per_road) as u32;
+        let rem = partition % per_road;
+        let dir = (rem / self.config.segments_per_road as usize) as u32;
+        let seg = (rem % self.config.segments_per_road as usize) as u32;
+        (xway, dir, seg)
+    }
+
+    fn generate_partition(
+        &mut self,
+        partition: usize,
+        types: &Types,
+        r: &mut WorkloadRng,
+        events: &mut Vec<Event>,
+    ) {
+        let (xway, dir, seg) = self.coords(partition);
+        let pid = partition_id(xway, dir, seg, self.config.segments_per_road);
+        let schedule = self.schedules[partition].clone();
+        let weight = self.weights[partition];
+        let duration = self.config.duration;
+
+        // Phase-boundary markers.
+        let marker = |ty: TypeId, t: Time| -> Event {
+            Event::simple(
+                ty,
+                t,
+                pid,
+                vec![
+                    Value::Int(i64::from(xway)),
+                    Value::Int(i64::from(dir)),
+                    Value::Int(i64::from(seg)),
+                    Value::Int(t as i64),
+                ],
+            )
+        };
+        for w in &schedule.congestion {
+            events.push(marker(types.many_slow, w.start));
+            if w.end < duration {
+                events.push(marker(types.few_fast, w.end));
+            }
+        }
+        for w in &schedule.accidents {
+            events.push(marker(types.stopped, w.start));
+            if w.end < duration {
+                events.push(marker(types.removed, w.end));
+            }
+        }
+
+        // Car population: seed the road, then Poisson-ish arrivals keep
+        // the density on the configured ramp.
+        let density = |t: Time| -> f64 {
+            let frac = t as f64 / duration.max(1) as f64;
+            weight * (self.config.base_cars
+                + (self.config.peak_cars - self.config.base_cars) * frac)
+        };
+        let mean_lifetime = self.config.mean_lifetime.max(REPORT_INTERVAL) as f64;
+        let spawn = |entry: Time,
+                          vid: i64,
+                          r: &mut WorkloadRng,
+                          events: &mut Vec<Event>| {
+            let lifetime = (mean_lifetime * r.gen_range(0.5..1.5)) as Time;
+            let leave = (entry + lifetime).min(duration);
+            let mut t = entry;
+            let mut pos = r.gen_range(0..5280i64);
+            while t <= leave {
+                let is_last = t + REPORT_INTERVAL > leave;
+                let speed = match schedule.phase_at(t) {
+                    PhaseKind::Clear => r.gen_range(55..75i64),
+                    PhaseKind::Congestion => r.gen_range(10..35i64),
+                    PhaseKind::Accident => r.gen_range(0..20i64),
+                };
+                pos += speed * REPORT_INTERVAL as i64 * 5280 / 3600;
+                events.push(Event::simple(
+                    types.position,
+                    t,
+                    pid,
+                    vec![
+                        Value::Int(vid),
+                        Value::Int(t as i64),
+                        Value::Int(speed),
+                        Value::Int(i64::from(xway)),
+                        Value::str(if is_last { "exit" } else { "travel" }),
+                        Value::Int(i64::from(dir)),
+                        Value::Int(i64::from(seg)),
+                        Value::Int(pos),
+                    ],
+                ));
+                t += REPORT_INTERVAL;
+            }
+        };
+
+        // Initial population with staggered report offsets.
+        let initial = density(0).round() as usize;
+        for _ in 0..initial {
+            let vid = self.next_vid;
+            self.next_vid += 1;
+            let offset = r.gen_range(0..REPORT_INTERVAL);
+            spawn(offset, vid, r, events);
+        }
+        // Arrivals: expected entries per second ≈ density / lifetime,
+        // plus the ramp growth.
+        let mut t = 0;
+        while t < duration {
+            let growth = (density(t + REPORT_INTERVAL) - density(t)).max(0.0);
+            let churn = density(t) / mean_lifetime * REPORT_INTERVAL as f64;
+            let expected = churn + growth;
+            let arrivals = expected.floor() as usize
+                + usize::from(r.gen_bool((expected.fract()).clamp(0.0, 1.0 - f64::EPSILON)));
+            for _ in 0..arrivals {
+                let vid = self.next_vid;
+                self.next_vid += 1;
+                let entry = t + r.gen_range(0..REPORT_INTERVAL);
+                if entry < duration {
+                    spawn(entry, vid, r, events);
+                }
+            }
+            t += REPORT_INTERVAL;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LinearRoadConfig {
+        LinearRoadConfig {
+            roads: 1,
+            segments_per_road: 4,
+            directions: 1,
+            duration: 300,
+            seed: 42,
+            base_cars: 2.0,
+            peak_cars: 4.0,
+            mean_lifetime: 120,
+            schedule: SchedulePolicy::Benchmark,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TrafficSim::new(small_config()).generate();
+        let b = TrafficSim::new(small_config()).generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let events = TrafficSim::new(small_config()).generate();
+        assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+    }
+
+    #[test]
+    fn reports_follow_thirty_second_cadence_per_car() {
+        let sim = TrafficSim::new(small_config());
+        let pr = sim.registry().lookup("PositionReport").unwrap();
+        let mut sim = sim;
+        let events = sim.generate();
+        let mut by_vid: std::collections::BTreeMap<i64, Vec<Time>> = Default::default();
+        for e in events.iter().filter(|e| e.type_id == pr) {
+            by_vid
+                .entry(e.attrs[0].as_int().unwrap())
+                .or_default()
+                .push(e.time());
+        }
+        for (vid, times) in by_vid {
+            for pair in times.windows(2) {
+                assert_eq!(
+                    pair[1] - pair[0],
+                    REPORT_INTERVAL,
+                    "car {vid} reports every 30s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_report_of_each_car_is_exit_lane() {
+        let mut sim = TrafficSim::new(small_config());
+        let pr = sim.registry().lookup("PositionReport").unwrap();
+        let events = sim.generate();
+        let mut last_lane: std::collections::BTreeMap<i64, String> = Default::default();
+        for e in events.iter().filter(|e| e.type_id == pr) {
+            last_lane.insert(
+                e.attrs[0].as_int().unwrap(),
+                e.attrs[4].as_str().unwrap().to_string(),
+            );
+        }
+        // Cars that left before the end exited; cars alive at the end
+        // may still be traveling. At least half must have exited.
+        let exits = last_lane.values().filter(|l| *l == "exit").count();
+        assert!(exits * 2 >= last_lane.len(), "{exits}/{}", last_lane.len());
+    }
+
+    #[test]
+    fn benchmark_schedule_places_markers() {
+        let mut sim = TrafficSim::new(small_config());
+        let many = sim.registry().lookup("ManySlowCars").unwrap();
+        let stopped = sim.registry().lookup("StoppedCars").unwrap();
+        let events = sim.generate();
+        let congestion_markers = events.iter().filter(|e| e.type_id == many).count();
+        let accident_markers = events.iter().filter(|e| e.type_id == stopped).count();
+        assert_eq!(congestion_markers, 4, "one per segment");
+        assert_eq!(accident_markers, 4);
+    }
+
+    #[test]
+    fn density_ramp_increases_event_rate() {
+        let mut config = small_config();
+        config.duration = 600;
+        config.schedule = SchedulePolicy::AllClear;
+        let mut sim = TrafficSim::new(config);
+        let pr = sim.registry().lookup("PositionReport").unwrap();
+        let events = sim.generate();
+        let first_half = events
+            .iter()
+            .filter(|e| e.type_id == pr && e.time() < 300)
+            .count();
+        let second_half = events
+            .iter()
+            .filter(|e| e.type_id == pr && e.time() >= 300)
+            .count();
+        assert!(
+            second_half > first_half,
+            "ramp: {first_half} then {second_half}"
+        );
+    }
+
+    #[test]
+    fn segment_densities_are_skewed() {
+        let mut config = small_config();
+        config.segments_per_road = 20;
+        config.schedule = SchedulePolicy::AllClear;
+        let mut sim = TrafficSim::new(config);
+        let pr = sim.registry().lookup("PositionReport").unwrap();
+        let events = sim.generate();
+        let mut per_partition = [0usize; 20];
+        for e in events.iter().filter(|e| e.type_id == pr) {
+            per_partition[e.partition.index()] += 1;
+        }
+        let max = *per_partition.iter().max().unwrap();
+        let min = *per_partition.iter().min().unwrap();
+        assert!(max >= min * 2, "skew: max {max}, min {min}");
+    }
+
+    #[test]
+    fn placed_schedule_honours_count_and_coverage() {
+        let mut config = small_config();
+        config.schedule = SchedulePolicy::Placed {
+            count: 3,
+            length: 40,
+            placement: WindowPlacement::Uniform,
+        };
+        let sim = TrafficSim::new(config);
+        for p in 0..4 {
+            let s = sim.schedule_for(PartitionId(p));
+            assert_eq!(s.congestion.len(), 3);
+            assert!(s.accidents.is_empty());
+        }
+        let cov = sim.congestion_coverage();
+        assert!((cov - 0.4).abs() < 0.05, "3×40 of 300 ≈ 40%, got {cov}");
+    }
+
+    #[test]
+    fn vids_are_globally_unique_per_entry() {
+        let mut sim = TrafficSim::new(small_config());
+        let pr = sim.registry().lookup("PositionReport").unwrap();
+        let events = sim.generate();
+        // First report of each vid is its entry; entries must not repeat
+        // partitions... just check vid count equals distinct vid count.
+        let vids: std::collections::BTreeSet<i64> = events
+            .iter()
+            .filter(|e| e.type_id == pr)
+            .map(|e| e.attrs[0].as_int().unwrap())
+            .collect();
+        assert!(vids.len() > 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Linear Road event schemas and stream-partition encoding.
+
+use caesar_events::{AttrType, PartitionId, Schema, SchemaRegistry};
+
+/// The benchmark's response-time constraint: 5 seconds (§7.1).
+pub const LATENCY_CONSTRAINT_NS: u64 = 5_000_000_000;
+
+/// Cars report their position every 30 seconds.
+pub const REPORT_INTERVAL: u64 = 30;
+
+/// Encodes `(xway, dir, seg)` into the stream partition id — the
+/// unidirectional road segment that owns context state (§6.2).
+#[must_use]
+pub fn partition_id(xway: u32, dir: u32, seg: u32, segments_per_road: u32) -> PartitionId {
+    PartitionId(xway * 2 * segments_per_road + dir * segments_per_road + seg)
+}
+
+/// Registers all Linear Road input event types.
+pub fn register_schemas(registry: &mut SchemaRegistry) {
+    for schema in [
+        // The benchmark position report (§2): all-integer attributes
+        // except the lane label.
+        Schema::new(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        ),
+        // Ground-truth condition markers (see crate docs).
+        Schema::new(
+            "ManySlowCars",
+            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "FewFastCars",
+            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "StoppedCars",
+            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "StoppedCarsRemoved",
+            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+    ] {
+        registry
+            .register(schema)
+            .expect("linear road schemas are consistent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_encoding_is_injective_per_road_network() {
+        let mut seen = std::collections::HashSet::new();
+        for xway in 0..3 {
+            for dir in 0..2 {
+                for seg in 0..100 {
+                    assert!(seen.insert(partition_id(xway, dir, seg, 100)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 600);
+    }
+
+    #[test]
+    fn schemas_register_cleanly() {
+        let mut reg = SchemaRegistry::new();
+        register_schemas(&mut reg);
+        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.schema_by_name("PositionReport").unwrap().arity(), 8);
+        // Idempotent.
+        register_schemas(&mut reg);
+        assert_eq!(reg.len(), 5);
+    }
+}

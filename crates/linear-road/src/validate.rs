@@ -1,0 +1,400 @@
+//! Reference oracle: computes the expected Linear Road outputs directly
+//! from a generated stream, independently of the operator machinery.
+//!
+//! The oracle re-implements the *semantics* — context windows with
+//! `(t_i, t_t]` admission, per-window pattern scope, the `CI`/`CT`
+//! set-update rules of §4.1 — as plain loops over the stream, so an
+//! engine bug and an oracle bug are unlikely to coincide. Integration
+//! tests assert the engine's toll / warning counts equal the oracle's.
+
+use crate::types::REPORT_INTERVAL;
+use caesar_events::{Event, PartitionId, SchemaRegistry, Time, TypeId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Expected output counts (for a replication factor of 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpectedOutputs {
+    /// Zero-toll notifications (clear context).
+    pub zero_tolls: u64,
+    /// Real toll notifications (congestion context).
+    pub real_tolls: u64,
+    /// Accident warnings (accident context).
+    pub accident_warnings: u64,
+    /// Position reports seen.
+    pub position_reports: u64,
+    /// Per-minute series `(position reports, zero tolls, real tolls,
+    /// warnings)` — the Figure 10(b) data.
+    pub per_minute: Vec<[u64; 4]>,
+    /// Per-partition series with the same layout — the Figure 10(a)
+    /// data.
+    pub per_partition: BTreeMap<PartitionId, [u64; 4]>,
+    /// Individual zero tolls as `(vid, sec)` (debugging / exact diffs).
+    pub zero_toll_events: Vec<(i64, Time)>,
+    /// Individual real tolls as `(vid, sec)`.
+    pub real_toll_events: Vec<(i64, Time)>,
+}
+
+/// Per-partition context state mirroring the CAESAR semantics.
+struct SegmentState {
+    /// Open window start per context; clear starts "at genesis".
+    clear: Option<WindowState>,
+    congestion: Option<WindowState>,
+    accident: Option<WindowState>,
+}
+
+struct WindowState {
+    /// Exclusive start (`None` = genesis, admits everything).
+    initiated: Option<Time>,
+    /// Inclusive termination time; a window admits events carrying
+    /// exactly its termination timestamp (`(t_i, t_t]`, Definition 1).
+    terminated: Option<Time>,
+    /// Last admitted report time per vid — the negation-pattern scope of
+    /// this window instance.
+    last_report: HashMap<i64, Time>,
+}
+
+impl WindowState {
+    fn genesis() -> Self {
+        Self {
+            initiated: None,
+            terminated: None,
+            last_report: HashMap::new(),
+        }
+    }
+
+    fn opened_at(t: Time) -> Self {
+        Self {
+            initiated: Some(t),
+            terminated: None,
+            last_report: HashMap::new(),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.terminated.is_none()
+    }
+
+    /// `(t_i, t_t]` admission.
+    fn admits(&self, t: Time) -> bool {
+        self.initiated.is_none_or(|i| i < t) && self.terminated.is_none_or(|tt| t <= tt)
+    }
+}
+
+impl SegmentState {
+    fn new() -> Self {
+        Self {
+            clear: Some(WindowState::genesis()),
+            congestion: None,
+            accident: None,
+        }
+    }
+
+    fn open_count(&self) -> usize {
+        [&self.clear, &self.congestion, &self.accident]
+            .into_iter()
+            .filter(|w| w.as_ref().is_some_and(WindowState::is_open))
+            .count()
+    }
+}
+
+/// Computes the oracle outputs for a time-sorted Linear Road stream.
+///
+/// # Panics
+/// Panics if the Linear Road schemas are not registered in `registry`.
+#[must_use]
+pub fn expected_outputs(events: &[Event], registry: &SchemaRegistry) -> ExpectedOutputs {
+    let position = registry.lookup("PositionReport").expect("LR schema");
+    let many_slow = registry.lookup("ManySlowCars").expect("LR schema");
+    let few_fast = registry.lookup("FewFastCars").expect("LR schema");
+    let stopped = registry.lookup("StoppedCars").expect("LR schema");
+    let removed = registry.lookup("StoppedCarsRemoved").expect("LR schema");
+
+    let mut out = ExpectedOutputs::default();
+    let mut states: BTreeMap<PartitionId, SegmentState> = BTreeMap::new();
+
+    // Group events into per-partition transactions per timestamp, in
+    // stream order (events are time-sorted).
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].time();
+        let mut j = i;
+        while j < events.len() && events[j].time() == t {
+            j += 1;
+        }
+        // Partition the batch.
+        let mut by_partition: BTreeMap<PartitionId, Vec<&Event>> = BTreeMap::new();
+        for e in &events[i..j] {
+            by_partition.entry(e.partition).or_default().push(e);
+        }
+        for (pid, batch) in by_partition {
+            let state = states.entry(pid).or_insert_with(SegmentState::new);
+            // Phase 1: derivation — markers drive transitions, evaluated
+            // against the pre-transition window state.
+            for e in &batch {
+                apply_marker(
+                    state,
+                    e.type_id,
+                    t,
+                    (many_slow, few_fast, stopped, removed),
+                );
+            }
+            // Phase 2: processing with the post-transition windows.
+            for e in &batch {
+                if e.type_id != position {
+                    continue;
+                }
+                process_report(state, e, t, &mut out);
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+fn apply_marker(
+    state: &mut SegmentState,
+    ty: TypeId,
+    t: Time,
+    (many_slow, few_fast, stopped, removed): (TypeId, TypeId, TypeId, TypeId),
+) {
+    let open = |w: &Option<WindowState>| w.as_ref().is_some_and(WindowState::is_open);
+    if ty == many_slow {
+        // SWITCH clear → congestion; the switch query lives in clear.
+        if open(&state.clear) && state.clear.as_ref().is_some_and(|w| w.admits(t)) {
+            close(&mut state.clear, t);
+            if !open(&state.congestion) {
+                state.congestion = Some(WindowState::opened_at(t));
+            }
+        }
+    } else if ty == few_fast {
+        // SWITCH congestion → clear.
+        if open(&state.congestion) && state.congestion.as_ref().is_some_and(|w| w.admits(t)) {
+            close(&mut state.congestion, t);
+            if !open(&state.clear) {
+                state.clear = Some(WindowState::opened_at(t));
+            }
+        }
+    } else if ty == stopped {
+        // INITIATE accident, valid in clear and congestion. CI_c removes
+        // the default (clear) window if present.
+        let in_scope = (open(&state.clear)
+            && state.clear.as_ref().is_some_and(|w| w.admits(t)))
+            || (open(&state.congestion)
+                && state.congestion.as_ref().is_some_and(|w| w.admits(t)));
+        if in_scope && !open(&state.accident) {
+            state.accident = Some(WindowState::opened_at(t));
+            if open(&state.clear) {
+                close(&mut state.clear, t);
+            }
+        }
+    } else if ty == removed {
+        // TERMINATE accident; restore the default when the set empties.
+        if open(&state.accident) && state.accident.as_ref().is_some_and(|w| w.admits(t)) {
+            close(&mut state.accident, t);
+            if state.open_count() == 0 {
+                state.clear = Some(WindowState::opened_at(t));
+            }
+        }
+    }
+}
+
+/// Closes a window at `t`, keeping it around so events at exactly `t`
+/// are still admitted within the closing transaction.
+fn close(slot: &mut Option<WindowState>, t: Time) {
+    if let Some(w) = slot.as_mut() {
+        w.terminated = Some(t);
+    }
+}
+
+fn process_report(state: &mut SegmentState, e: &Event, t: Time, out: &mut ExpectedOutputs) {
+    let vid = e.attrs[0].as_int().expect("vid is an int");
+    let lane_travel = e.attrs[4].as_str().expect("lane is a string") != "exit";
+    out.position_reports += 1;
+    let minute = (t / 60) as usize;
+    if out.per_minute.len() <= minute {
+        out.per_minute.resize(minute + 1, [0; 4]);
+    }
+    let per_part = out.per_partition.entry(e.partition).or_insert([0; 4]);
+    out.per_minute[minute][0] += 1;
+    per_part[0] += 1;
+
+    // Zero toll: new traveling car within the clear window.
+    if let Some(w) = state.clear.as_mut() {
+        if w.admits(t) {
+            let is_new = t
+                .checked_sub(REPORT_INTERVAL)
+                .is_none_or(|prev| w.last_report.get(&vid) != Some(&prev));
+            w.last_report.insert(vid, t);
+            if is_new && lane_travel {
+                out.zero_tolls += 1;
+                out.per_minute[minute][1] += 1;
+                out.per_partition.get_mut(&e.partition).expect("inserted")[1] += 1;
+                out.zero_toll_events.push((vid, t));
+            }
+        }
+    }
+    // Real toll: new traveling car within the congestion window.
+    if let Some(w) = state.congestion.as_mut() {
+        if w.admits(t) {
+            let is_new = t
+                .checked_sub(REPORT_INTERVAL)
+                .is_none_or(|prev| w.last_report.get(&vid) != Some(&prev));
+            w.last_report.insert(vid, t);
+            if is_new && lane_travel {
+                out.real_tolls += 1;
+                out.per_minute[minute][2] += 1;
+                out.per_partition.get_mut(&e.partition).expect("inserted")[2] += 1;
+                out.real_toll_events.push((vid, t));
+            }
+        }
+    }
+    // Accident warning: every traveling report within the accident
+    // window.
+    if let Some(w) = state.accident.as_ref() {
+        if w.admits(t) && lane_travel {
+            out.accident_warnings += 1;
+            out.per_minute[minute][3] += 1;
+            out.per_partition.get_mut(&e.partition).expect("inserted")[3] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinearRoadConfig, SchedulePolicy, SegmentSchedule, TrafficSim};
+    use caesar_events::Interval;
+
+    fn run(config: LinearRoadConfig) -> (ExpectedOutputs, Vec<Event>) {
+        let mut sim = TrafficSim::new(config);
+        let events = sim.generate();
+        let expected = expected_outputs(&events, sim.registry());
+        (expected, events)
+    }
+
+    #[test]
+    fn all_clear_produces_only_zero_tolls() {
+        let (out, _) = run(LinearRoadConfig {
+            schedule: SchedulePolicy::AllClear,
+            ..Default::default()
+        });
+        assert!(out.zero_tolls > 0);
+        assert_eq!(out.real_tolls, 0);
+        assert_eq!(out.accident_warnings, 0);
+        assert!(out.position_reports > out.zero_tolls);
+    }
+
+    #[test]
+    fn benchmark_schedule_produces_all_series() {
+        let (out, _) = run(LinearRoadConfig::default());
+        assert!(out.zero_tolls > 0, "clear phase at the start");
+        assert!(out.real_tolls > 0, "congestion phase at the end");
+        assert!(out.accident_warnings > 0, "accident phase in the middle");
+    }
+
+    #[test]
+    fn accident_warnings_only_during_accident_minutes() {
+        let duration = 600;
+        let (out, _) = run(LinearRoadConfig {
+            duration,
+            ..Default::default()
+        });
+        // Benchmark schedule: accident within [17%, 28%] of duration.
+        let acc_start_min = (duration * 17 / 100 / 60) as usize;
+        let acc_end_min = (duration * 28 / 100 / 60) as usize;
+        for (minute, counts) in out.per_minute.iter().enumerate() {
+            if counts[3] > 0 {
+                assert!(
+                    minute >= acc_start_min && minute <= acc_end_min + 1,
+                    "warning in minute {minute}, accident window is [{acc_start_min}, {acc_end_min}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_minute_and_totals_are_consistent() {
+        let (out, _) = run(LinearRoadConfig::default());
+        let sums = out.per_minute.iter().fold([0u64; 4], |mut acc, m| {
+            for k in 0..4 {
+                acc[k] += m[k];
+            }
+            acc
+        });
+        assert_eq!(sums[0], out.position_reports);
+        assert_eq!(sums[1], out.zero_tolls);
+        assert_eq!(sums[2], out.real_tolls);
+        assert_eq!(sums[3], out.accident_warnings);
+        let psums = out
+            .per_partition
+            .values()
+            .fold([0u64; 4], |mut acc, m| {
+                for k in 0..4 {
+                    acc[k] += m[k];
+                }
+                acc
+            });
+        assert_eq!(psums, sums);
+    }
+
+    #[test]
+    fn congestion_tolls_new_cars_once_per_window() {
+        // Single partition, explicit schedule: congestion [100, 200].
+        let config = LinearRoadConfig {
+            segments_per_road: 1,
+            duration: 300,
+            base_cars: 3.0,
+            peak_cars: 3.0,
+            schedule: SchedulePolicy::Explicit(SegmentSchedule {
+                congestion: vec![Interval::new(100, 200)],
+                accidents: vec![],
+            }),
+            ..Default::default()
+        };
+        let (out, events) = run(config);
+        assert!(out.real_tolls > 0);
+        // Every car present during (100, 200] is "new" on its first
+        // report inside the window (the window's pattern scope is
+        // empty at initiation) — so real tolls equal the number of
+        // distinct cars with a traveling first-report in the window
+        // (cars re-entering after 30s gaps cannot happen: cadence is
+        // exactly 30s).
+        let pr = events
+            .iter()
+            .filter(|e| {
+                e.attrs.len() == 8
+                    && e.time() > 100
+                    && e.time() <= 200
+                    && e.attrs[4].as_str().unwrap() != "exit"
+            })
+            .map(|e| e.attrs[0].as_int().unwrap())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(out.real_tolls as usize, pr.len());
+    }
+
+    #[test]
+    fn zero_tolls_pause_during_accident() {
+        // Accident removes the default clear window (CI_c semantics);
+        // zero tolls must not be produced inside the accident window.
+        let config = LinearRoadConfig {
+            segments_per_road: 1,
+            duration: 300,
+            schedule: SchedulePolicy::Explicit(SegmentSchedule {
+                congestion: vec![],
+                accidents: vec![Interval::new(100, 200)],
+            }),
+            ..Default::default()
+        };
+        let (out, _) = run(config);
+        for (minute, counts) in out.per_minute.iter().enumerate() {
+            let t = minute as Time * 60;
+            if t > 100 && t + 59 <= 200 {
+                assert_eq!(
+                    counts[1], 0,
+                    "zero toll in minute {minute} inside the accident window"
+                );
+            }
+        }
+        assert!(out.accident_warnings > 0);
+    }
+}

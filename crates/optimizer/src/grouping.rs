@@ -1,0 +1,402 @@
+//! The context window grouping algorithm (§5.3, Listing 1, Figure 7).
+//!
+//! Overlapping user-defined context windows are split at their bounds
+//! into finer-granularity slices; slices covering the same interval are
+//! grouped into one non-overlapping window whose workload is the
+//! de-duplicated union of the covering windows' workloads. "Since several
+//! subsequent grouped context windows correspond to one original context
+//! window, an event query within a grouped context window may need access
+//! to its partial matches in the previous grouped context windows" — the
+//! [`GroupedWindow::origins`] metadata drives that context-history logic
+//! in the runtime.
+//!
+//! Window bounds are *compile-time order keys* (threshold values from the
+//! subsumption analysis of [`crate::subsume`], or direct timeline
+//! positions for data-driven experiment workloads); actual start/end
+//! times remain unknown until runtime.
+
+use caesar_query::ast::QueryId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A user-defined context window with compile-time-ordered bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserWindow {
+    /// The context this window belongs to.
+    pub context: String,
+    /// Order key of the initiation bound.
+    pub start: f64,
+    /// Order key of the termination bound (`start <= end`).
+    pub end: f64,
+    /// The window's query workload.
+    pub queries: Vec<QueryId>,
+}
+
+impl UserWindow {
+    /// Creates a window.
+    #[must_use]
+    pub fn new(context: impl Into<String>, start: f64, end: f64, queries: Vec<QueryId>) -> Self {
+        let w = Self {
+            context: context.into(),
+            start,
+            end,
+            queries,
+        };
+        assert!(w.start <= w.end, "window start after end");
+        w
+    }
+
+    /// Returns `true` if the two windows share part of their interval.
+    #[must_use]
+    pub fn overlaps(&self, other: &UserWindow) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A grouped (non-overlapping) context window produced by Listing 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedWindow {
+    /// Order key of the slice start.
+    pub start: f64,
+    /// Order key of the slice end.
+    pub end: f64,
+    /// De-duplicated union of the covering windows' workloads.
+    pub queries: Vec<QueryId>,
+    /// Contexts of the original windows covering this slice — the
+    /// context-history metadata.
+    pub origins: Vec<String>,
+}
+
+/// Output of the grouping algorithm.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupingResult {
+    /// All grouped windows, sorted by start key. Windows that overlapped
+    /// nothing pass through as single-origin groups ("context windows
+    /// which do not overlap any other window remain unchanged").
+    pub windows: Vec<GroupedWindow>,
+    /// Number of original windows that were split/merged (excludes the
+    /// untouched non-overlapping ones).
+    pub split_count: usize,
+}
+
+impl GroupingResult {
+    /// Grouped windows covering the given original context, in start
+    /// order — the chain across which that context's partial matches are
+    /// preserved.
+    #[must_use]
+    pub fn windows_of(&self, context: &str) -> Vec<&GroupedWindow> {
+        self.windows
+            .iter()
+            .filter(|w| w.origins.iter().any(|o| o == context))
+            .collect()
+    }
+
+    /// Synthesized deriving-query descriptions for the grouped windows
+    /// (Figure 7 bottom): `(start key, end key)` per window, which the
+    /// runtime turns into initiation/termination triggers.
+    #[must_use]
+    pub fn new_deriving_bounds(&self) -> Vec<(f64, f64)> {
+        self.windows.iter().map(|w| (w.start, w.end)).collect()
+    }
+}
+
+/// The context window grouping algorithm (Listing 1).
+#[must_use]
+pub fn group_windows(windows: Vec<UserWindow>) -> GroupingResult {
+    let mut result = GroupingResult::default();
+
+    // Line 4: extract windows that overlap no other window — unchanged.
+    let mut overlapping_idx: Vec<usize> = Vec::new();
+    for i in 0..windows.len() {
+        let overlaps_any = (0..windows.len())
+            .any(|j| i != j && windows[i].overlaps(&windows[j]));
+        if overlaps_any {
+            overlapping_idx.push(i);
+        } else {
+            result.windows.push(GroupedWindow {
+                start: windows[i].start,
+                end: windows[i].end,
+                queries: dedup(windows[i].queries.clone()),
+                origins: vec![windows[i].context.clone()],
+            });
+        }
+    }
+
+    // Lines 5-6: sort the overlapping windows by start; merge identical
+    // windows into one by unioning their workloads.
+    let mut overlapping: Vec<UserWindow> = overlapping_idx
+        .into_iter()
+        .map(|i| windows[i].clone())
+        .collect();
+    overlapping.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .expect("finite keys")
+            .then(a.end.partial_cmp(&b.end).expect("finite keys"))
+    });
+    let mut merged: Vec<UserWindow> = Vec::new();
+    for w in overlapping {
+        match merged.last_mut() {
+            Some(last) if last.start == w.start && last.end == w.end => {
+                // Identical windows: keep one, merge workloads and
+                // remember both origins via a combined context label.
+                last.queries.extend(w.queries);
+                if !last.context.split('+').any(|c| c == w.context) {
+                    last.context = format!("{}+{}", last.context, w.context);
+                }
+            }
+            _ => merged.push(w),
+        }
+    }
+    result.split_count = merged.len();
+
+    // Lines 8-19: sweep the bounds; a grouped window forms between each
+    // pair of subsequent bounds, carrying the union of the workloads of
+    // all windows active in that slice.
+    let mut bounds: Vec<f64> = merged
+        .iter()
+        .flat_map(|w| [w.start, w.end])
+        .collect();
+    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    bounds.dedup();
+
+    let mut active: BTreeSet<usize> = BTreeSet::new();
+    let mut previous: Option<f64> = None;
+    for &next in &bounds {
+        if let Some(prev) = previous {
+            if !active.is_empty() {
+                let mut queries: Vec<QueryId> = Vec::new();
+                let mut origins: Vec<String> = Vec::new();
+                for &i in &active {
+                    queries.extend(merged[i].queries.iter().copied());
+                    for part in merged[i].context.split('+') {
+                        if !origins.iter().any(|o| o == part) {
+                            origins.push(part.to_string());
+                        }
+                    }
+                }
+                // Lines 20-22: drop duplicate event queries.
+                result.windows.push(GroupedWindow {
+                    start: prev,
+                    end: next,
+                    queries: dedup(queries),
+                    origins,
+                });
+            }
+        }
+        // Update the active set at this bound: ending windows leave,
+        // starting windows enter.
+        for (i, w) in merged.iter().enumerate() {
+            if w.end == next {
+                active.remove(&i);
+            }
+        }
+        for (i, w) in merged.iter().enumerate() {
+            if w.start == next {
+                active.insert(i);
+            }
+        }
+        previous = Some(next);
+    }
+
+    result
+        .windows
+        .sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite keys"));
+    result
+}
+
+fn dedup(mut queries: Vec<QueryId>) -> Vec<QueryId> {
+    queries.sort_unstable();
+    queries.dedup();
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u32]) -> Vec<QueryId> {
+        ids.iter().map(|i| QueryId(*i)).collect()
+    }
+
+    /// The Figure 7 scenario: w_c1 = \[10, 30\] with {Q1, Q3},
+    /// w_c2 = \[20, 40\] with {Q1, Q2}.
+    fn figure7() -> Vec<UserWindow> {
+        vec![
+            UserWindow::new("c1", 10.0, 30.0, q(&[1, 3])),
+            UserWindow::new("c2", 20.0, 40.0, q(&[1, 2])),
+        ]
+    }
+
+    #[test]
+    fn figure7_grouping_produces_three_windows() {
+        let result = group_windows(figure7());
+        assert_eq!(result.windows.len(), 3);
+        assert_eq!(result.split_count, 2);
+
+        // w_c11 = [10, 20] with Q1, Q3.
+        let w11 = &result.windows[0];
+        assert_eq!((w11.start, w11.end), (10.0, 20.0));
+        assert_eq!(w11.queries, q(&[1, 3]));
+        assert_eq!(w11.origins, vec!["c1"]);
+
+        // w = [20, 30] with Q1, Q2, Q3 (duplicate Q1 dropped).
+        let w = &result.windows[1];
+        assert_eq!((w.start, w.end), (20.0, 30.0));
+        assert_eq!(w.queries, q(&[1, 2, 3]));
+        assert_eq!(w.origins, vec!["c1", "c2"]);
+
+        // w_c22 = [30, 40] with Q1, Q2.
+        let w22 = &result.windows[2];
+        assert_eq!((w22.start, w22.end), (30.0, 40.0));
+        assert_eq!(w22.queries, q(&[1, 2]));
+        assert_eq!(w22.origins, vec!["c2"]);
+    }
+
+    #[test]
+    fn figure7_query1_spans_all_three_grouped_windows() {
+        let result = group_windows(figure7());
+        let covering: Vec<_> = result
+            .windows
+            .iter()
+            .filter(|w| w.queries.contains(&QueryId(1)))
+            .collect();
+        assert_eq!(covering.len(), 3, "Q1 executes during all 3 grouped windows");
+    }
+
+    #[test]
+    fn non_overlapping_windows_pass_through_unchanged() {
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 5.0, q(&[1])),
+            UserWindow::new("b", 10.0, 15.0, q(&[2])),
+        ]);
+        assert_eq!(result.windows.len(), 2);
+        assert_eq!(result.split_count, 0);
+        assert_eq!(result.windows[0].origins, vec!["a"]);
+        assert_eq!(result.windows[1].origins, vec!["b"]);
+    }
+
+    #[test]
+    fn touching_windows_do_not_group() {
+        // [0,10] and [10,20] share only the bound — not overlapping.
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 10.0, q(&[1])),
+            UserWindow::new("b", 10.0, 20.0, q(&[2])),
+        ]);
+        assert_eq!(result.windows.len(), 2);
+        assert_eq!(result.split_count, 0);
+    }
+
+    #[test]
+    fn identical_windows_merge_workloads() {
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 10.0, q(&[1, 2])),
+            UserWindow::new("b", 0.0, 10.0, q(&[2, 3])),
+        ]);
+        // Identical windows overlap → merged into one slice [0,10].
+        assert_eq!(result.windows.len(), 1);
+        let w = &result.windows[0];
+        assert_eq!(w.queries, q(&[1, 2, 3]), "duplicate Q2 dropped");
+        assert_eq!(w.origins, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn containment_splits_outer_into_three() {
+        // outer [0,30] ⊃ inner [10,20].
+        let result = group_windows(vec![
+            UserWindow::new("outer", 0.0, 30.0, q(&[1])),
+            UserWindow::new("inner", 10.0, 20.0, q(&[2])),
+        ]);
+        assert_eq!(result.windows.len(), 3);
+        assert_eq!(result.windows[0].queries, q(&[1]));
+        assert_eq!(result.windows[1].queries, q(&[1, 2]));
+        assert_eq!(result.windows[2].queries, q(&[1]));
+        assert_eq!(result.windows[1].origins, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn chain_of_three_overlapping_windows() {
+        // a=[0,20], b=[10,30], c=[25,40]: bounds 0,10,20,25,30,40.
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 20.0, q(&[1])),
+            UserWindow::new("b", 10.0, 30.0, q(&[2])),
+            UserWindow::new("c", 25.0, 40.0, q(&[3])),
+        ]);
+        let slices: Vec<(f64, f64)> =
+            result.windows.iter().map(|w| (w.start, w.end)).collect();
+        assert_eq!(
+            slices,
+            vec![
+                (0.0, 10.0),
+                (10.0, 20.0),
+                (20.0, 25.0),
+                (25.0, 30.0),
+                (30.0, 40.0)
+            ]
+        );
+        assert_eq!(result.windows[1].queries, q(&[1, 2]));
+        assert_eq!(result.windows[2].queries, q(&[2]));
+        assert_eq!(result.windows[3].queries, q(&[2, 3]));
+    }
+
+    #[test]
+    fn grouped_windows_never_overlap() {
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 50.0, q(&[1])),
+            UserWindow::new("b", 10.0, 30.0, q(&[2])),
+            UserWindow::new("c", 20.0, 60.0, q(&[3])),
+            UserWindow::new("d", 100.0, 110.0, q(&[4])),
+        ]);
+        let mut sorted = result.windows.clone();
+        sorted.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].start,
+                "slices {pair:?} overlap"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_of_returns_origin_chain() {
+        let result = group_windows(figure7());
+        let c1_chain = result.windows_of("c1");
+        assert_eq!(c1_chain.len(), 2, "c1 covered by w11 and w");
+        assert_eq!(c1_chain[0].start, 10.0);
+        assert_eq!(c1_chain[1].start, 20.0);
+    }
+
+    #[test]
+    fn new_deriving_bounds_match_figure7_bottom() {
+        let result = group_windows(figure7());
+        assert_eq!(
+            result.new_deriving_bounds(),
+            vec![(10.0, 20.0), (20.0, 30.0), (30.0, 40.0)]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let result = group_windows(vec![]);
+        assert!(result.windows.is_empty());
+        assert_eq!(result.split_count, 0);
+    }
+
+    #[test]
+    fn fully_encompassing_merge_is_avoided() {
+        // The "naive solution" of §5.3 would merge everything into one
+        // huge window; grouping instead produces fine slices whose query
+        // sets differ.
+        let result = group_windows(vec![
+            UserWindow::new("a", 0.0, 100.0, q(&[1])),
+            UserWindow::new("b", 90.0, 200.0, q(&[2])),
+        ]);
+        assert!(result.windows.len() > 1);
+        let sets: BTreeSet<Vec<QueryId>> = result
+            .windows
+            .iter()
+            .map(|w| w.queries.clone())
+            .collect();
+        assert!(sets.len() > 1, "slices carry different workloads");
+    }
+}

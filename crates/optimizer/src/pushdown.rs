@@ -1,0 +1,390 @@
+//! Context window push-down (§5.2) and classical operator rewrites.
+//!
+//! "To avoid unnecessary computations when event queries are executed
+//! 'out' of their respective context windows, we introduce the context
+//! window push-down strategy. [...] Once the context window is pushed
+//! down to the bottom, it avoids the execution of all operators higher in
+//! the plan when they are irrelevant to the current contexts."
+//!
+//! Theorem 1 guarantees the pushed-down plan never costs more than any
+//! other placement; `cost_monotonicity` in the tests checks this against
+//! the cost model, and a proptest in the integration suite fuzzes it.
+//!
+//! Also here: merging adjacent filters into one (predicate conjunction)
+//! and pushing filter conjuncts into the pattern operator as step
+//! predicates — both classical rewrites the paper cites from \[24, 30, 6\].
+
+use caesar_algebra::expr::{BindingLayout, CompiledExpr, LayoutVar, SlotSource};
+use caesar_algebra::ops::{FilterOp, Op};
+use caesar_algebra::plan::QueryPlan;
+use caesar_events::SchemaRegistry;
+use caesar_query::ast::Pattern;
+
+/// Moves the context window operator to the bottom of the chain
+/// (position 0), preserving the relative order of all other operators.
+///
+/// Correctness (§5.2): all queries of a combined plan belong to the same
+/// context, and the context window defines the *scope* of its queries, so
+/// filtering the input earlier never changes which events the operators
+/// above may see. Returns `true` if the plan changed.
+pub fn push_down_context_window(plan: &mut QueryPlan) -> bool {
+    match plan.context_window_position() {
+        Some(0) | None => false,
+        Some(pos) => {
+            let cw = plan.ops.remove(pos);
+            plan.ops.insert(0, cw);
+            true
+        }
+    }
+}
+
+/// Merges runs of adjacent filter operators into a single filter by
+/// conjoining their predicates (§5.2: "adjacent filters can be merged
+/// into a single filter by combining their predicates").
+/// Returns the number of filters eliminated.
+pub fn merge_adjacent_filters(plan: &mut QueryPlan) -> usize {
+    let mut merged = 0;
+    let mut i = 0;
+    while i + 1 < plan.ops.len() {
+        if plan.ops[i].tag() == "Filter" && plan.ops[i + 1].tag() == "Filter" {
+            let Op::Filter(second) = plan.ops.remove(i + 1) else {
+                unreachable!()
+            };
+            let Op::Filter(first) = &mut plan.ops[i] else {
+                unreachable!()
+            };
+            first.merge(second);
+            merged += 1;
+        } else {
+            i += 1;
+        }
+    }
+    merged
+}
+
+/// Pushes filter conjuncts into the pattern operator as *step
+/// predicates*: a conjunct whose referenced variables are all bound by
+/// the first `k` positive elements is evaluated as soon as element `k`
+/// matches, pruning partial matches eagerly instead of filtering
+/// completed ones.
+///
+/// Only applies to multi-element (non-pass-through) patterns; conjuncts
+/// that reference the last element anyway stay in the filter (no
+/// benefit). Returns the number of conjuncts pushed.
+pub fn push_predicates_into_pattern(
+    plan: &mut QueryPlan,
+    registry: &SchemaRegistry,
+) -> usize {
+    // Work from the source query's WHERE clause: the filter operator
+    // holds combined-offset compilations which cannot be reused inside
+    // the pattern (event-slot layout).
+    let Some(where_clause) = plan.source.query.where_clause.clone() else {
+        return 0;
+    };
+    // Positive variable slots, in pattern order.
+    let positives: Vec<(String, caesar_events::TypeId)> = plan
+        .source
+        .query
+        .pattern
+        .elements()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, el)| match el {
+            Pattern::Event {
+                event_type,
+                var,
+                negated: false,
+            } => registry.lookup(event_type).ok().map(|tid| {
+                (var.clone().unwrap_or_else(|| format!("$e{i}")), tid)
+            }),
+            _ => None,
+        })
+        .collect();
+    if positives.len() < 2 {
+        return 0;
+    }
+    let negated_vars: Vec<&str> = plan
+        .source
+        .query
+        .pattern
+        .variables()
+        .into_iter()
+        .filter(|(_, neg)| *neg)
+        .map(|(v, _)| v)
+        .collect();
+
+    let slot_layout = BindingLayout {
+        vars: positives
+            .iter()
+            .enumerate()
+            .map(|(i, (name, tid))| LayoutVar {
+                name: name.clone(),
+                type_id: *tid,
+                source: SlotSource::EventSlot(i as u8),
+            })
+            .collect(),
+    };
+
+    let mut pushed = 0;
+    let conjuncts = where_clause.conjuncts();
+    let mut compiled_steps: Vec<(usize, CompiledExpr)> = Vec::new();
+    for conjunct in &conjuncts {
+        let refs = conjunct.referenced_vars();
+        // Skip negation conjuncts — they already live in the pattern's
+        // negation checks.
+        if refs
+            .iter()
+            .any(|r| r.is_some_and(|v| negated_vars.contains(&v)))
+        {
+            continue;
+        }
+        // Earliest step where all referenced vars are bound.
+        let mut max_slot = 0usize;
+        let mut resolvable = true;
+        for r in &refs {
+            let slot = match r {
+                Some(v) => positives.iter().position(|(name, _)| name == v),
+                // Bare attr: the unique positive var (validation).
+                None => Some(0),
+            };
+            match slot {
+                Some(s) => max_slot = max_slot.max(s),
+                None => {
+                    resolvable = false;
+                    break;
+                }
+            }
+        }
+        // Pushing to the LAST step equals the filter; skip.
+        if !resolvable || max_slot + 1 >= positives.len() {
+            continue;
+        }
+        let Ok(compiled) = CompiledExpr::compile(conjunct, &slot_layout, registry) else {
+            continue;
+        };
+        compiled_steps.push((max_slot, compiled));
+        pushed += 1;
+    }
+    if pushed == 0 {
+        return 0;
+    }
+
+    // Install step predicates.
+    for op in &mut plan.ops {
+        if let Op::Pattern(p) = op {
+            if p.is_passthrough() {
+                continue;
+            }
+            for (slot, compiled) in &compiled_steps {
+                p.positives_mut()[*slot]
+                    .step_predicates
+                    .push(compiled.clone());
+            }
+        }
+    }
+    // NOTE: the pushed conjuncts intentionally stay in the filter too —
+    // re-checking a handful of predicates on completed matches is cheap
+    // and keeps the rewrite trivially correct for every conjunct shape.
+    pushed
+}
+
+/// Applies the full per-plan rewrite pipeline:
+/// push-down, filter merging, and predicate push-down.
+pub fn optimize_plan(plan: &mut QueryPlan, registry: &SchemaRegistry) {
+    push_down_context_window(plan);
+    merge_adjacent_filters(plan);
+    push_predicates_into_pattern(plan, registry);
+}
+
+/// Builds a filter operator from pre-compiled predicates — helper for
+/// tests and the CI-baseline construction in the runtime crate.
+#[must_use]
+pub fn filter_from(predicates: Vec<CompiledExpr>) -> Op {
+    Op::Filter(FilterOp::new(predicates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_algebra::cost::{chain_cost, Stats};
+    use caesar_algebra::translate::{
+        translate_query_set, TranslateOptions,
+    };
+    use caesar_events::{AttrType, Schema, SchemaRegistry, TypeId};
+    use caesar_query::parser::parse_model;
+    use caesar_query::queryset::QuerySet;
+
+    fn lr_setup() -> (Vec<QueryPlan>, SchemaRegistry) {
+        let model = parse_model(
+            r#"
+            MODEL traffic DEFAULT clear
+            CONTEXT clear {
+                SWITCH CONTEXT congestion PATTERN ManySlowCars
+            }
+            CONTEXT congestion {
+                DERIVE NewTravelingCar(p2.vid, p2.sec)
+                    PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+                    WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != "exit"
+                DERIVE SlowPair(a.vid, b.vid)
+                    PATTERN SEQ(PositionReport a, PositionReport b)
+                    WHERE a.vid = b.vid AND a.speed < 40 AND b.speed < 40
+                SWITCH CONTEXT clear PATTERN FewFastCars
+            }
+        "#,
+        )
+        .unwrap();
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("lane", AttrType::Str),
+            ],
+        ))
+        .unwrap();
+        reg.register(Schema::new("ManySlowCars", &[("seg", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("FewFastCars", &[("seg", AttrType::Int)]))
+            .unwrap();
+        let out = translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 })
+            .unwrap();
+        let plans: Vec<QueryPlan> = out
+            .combined
+            .into_iter()
+            .flat_map(|c| c.plans)
+            .collect();
+        (plans, reg)
+    }
+
+    #[test]
+    fn pushdown_moves_cw_to_bottom() {
+        let (mut plans, _reg) = lr_setup();
+        for plan in &mut plans {
+            assert!(!plan.is_context_window_pushed_down());
+            assert!(push_down_context_window(plan));
+            assert!(plan.is_context_window_pushed_down());
+            // Idempotent.
+            assert!(!push_down_context_window(plan));
+        }
+    }
+
+    #[test]
+    fn pushdown_preserves_relative_order() {
+        let (mut plans, _reg) = lr_setup();
+        let plan = plans
+            .iter_mut()
+            .find(|p| p.ops.iter().any(|o| o.tag() == "Filter"))
+            .unwrap();
+        let before: Vec<&str> = plan
+            .ops
+            .iter()
+            .map(Op::tag)
+            .filter(|t| *t != "ContextWindow")
+            .collect();
+        push_down_context_window(plan);
+        let after: Vec<&str> = plan
+            .ops
+            .iter()
+            .map(Op::tag)
+            .filter(|t| *t != "ContextWindow")
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn pushdown_reduces_model_cost_when_context_inactive_sometimes() {
+        let (plans, _reg) = lr_setup();
+        let mut stats = Stats::new();
+        stats.default_rate = 10.0;
+        stats.default_activity = 0.3;
+        for plan in &plans {
+            let mut optimized = plan.clone();
+            push_down_context_window(&mut optimized);
+            let (c_orig, _) = chain_cost(&plan.ops, &stats, 10.0);
+            let (c_opt, _) = chain_cost(&optimized.ops, &stats, 10.0);
+            assert!(
+                c_opt <= c_orig + 1e-9,
+                "Theorem 1 violated for {}: {c_opt} > {c_orig}",
+                plan.query_id
+            );
+        }
+    }
+
+    #[test]
+    fn merge_filters_collapses_runs() {
+        let (mut plans, reg) = lr_setup();
+        let plan = plans
+            .iter_mut()
+            .find(|p| p.ops.iter().any(|o| o.tag() == "Filter"))
+            .unwrap();
+        // Duplicate the filter to create an adjacent pair.
+        let filter_pos = plan.ops.iter().position(|o| o.tag() == "Filter").unwrap();
+        let clone = plan.ops[filter_pos].clone();
+        plan.ops.insert(filter_pos, clone);
+        let merged = merge_adjacent_filters(plan);
+        assert_eq!(merged, 1);
+        assert_eq!(
+            plan.ops.iter().filter(|o| o.tag() == "Filter").count(),
+            1
+        );
+        let _ = reg;
+    }
+
+    #[test]
+    fn predicate_pushdown_installs_step_predicates() {
+        let (mut plans, reg) = lr_setup();
+        let plan = plans
+            .iter_mut()
+            .find(|p| {
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "SlowPair")
+            })
+            .unwrap();
+        // a.speed < 40 references only slot 0 → pushable to step 0.
+        let pushed = push_predicates_into_pattern(plan, &reg);
+        assert_eq!(pushed, 1, "only 'a.speed < 40' binds before the last element");
+        let Op::Pattern(p) = &plan.ops.iter().find(|o| o.tag() == "Pattern").unwrap()
+        else {
+            panic!()
+        };
+        let _ = p;
+    }
+
+    #[test]
+    fn predicate_pushdown_skips_single_element_patterns() {
+        let (mut plans, reg) = lr_setup();
+        let plan = plans
+            .iter_mut()
+            .find(|p| {
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "NewTravelingCar")
+            })
+            .unwrap();
+        assert_eq!(push_predicates_into_pattern(plan, &reg), 0);
+    }
+
+    #[test]
+    fn optimize_plan_runs_whole_pipeline() {
+        let (mut plans, reg) = lr_setup();
+        for plan in &mut plans {
+            optimize_plan(plan, &reg);
+            assert!(plan.is_context_window_pushed_down());
+        }
+    }
+
+    #[test]
+    fn filter_from_helper() {
+        let op = filter_from(vec![CompiledExpr::Const(caesar_events::Value::Bool(true))]);
+        assert_eq!(op.tag(), "Filter");
+        let _ = TypeId(0);
+    }
+}

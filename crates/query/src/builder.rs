@@ -1,0 +1,301 @@
+//! Fluent programmatic construction of CAESAR models.
+//!
+//! The workload substrates (Linear Road, physical activity monitoring)
+//! and the synthetic benchmark generators construct models in code; this
+//! builder keeps that construction readable and validated.
+//!
+//! ```
+//! use caesar_query::{ModelBuilder, Pattern, Expr, BinOp};
+//!
+//! let model = ModelBuilder::new("traffic", "clear")
+//!     .context("clear", |ctx| {
+//!         ctx.switch_to("congestion", Pattern::event("ManySlowCars", "m"), None)
+//!     })
+//!     .context("congestion", |ctx| {
+//!         ctx.derive(
+//!             "TollNotification",
+//!             vec![Expr::attr("p", "vid"), Expr::int(5)],
+//!             Pattern::event("NewTravelingCar", "p"),
+//!             None,
+//!         )
+//!         .switch_to("clear", Pattern::event("FewFastCars", "f"), None)
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(model.query_count(), 3);
+//! ```
+
+use crate::ast::{ContextAction, DeriveClause, EventQuery, Expr, Pattern};
+use crate::error::QueryError;
+use crate::model::{CaesarModel, ContextDef};
+
+/// Builder for one query, used by [`ContextBuilder`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    query: EventQuery,
+}
+
+impl QueryBuilder {
+    /// Starts a context-processing query deriving `event_type`.
+    #[must_use]
+    pub fn derive(event_type: impl Into<String>, args: Vec<Expr>, pattern: Pattern) -> Self {
+        Self {
+            query: EventQuery {
+                name: None,
+                action: None,
+                derive: Some(DeriveClause {
+                    event_type: event_type.into(),
+                    args,
+                }),
+                pattern,
+                where_clause: None,
+                within: None,
+                contexts: Vec::new(),
+            },
+        }
+    }
+
+    /// Starts a context-deriving query performing `action`.
+    #[must_use]
+    pub fn action(action: ContextAction, pattern: Pattern) -> Self {
+        Self {
+            query: EventQuery {
+                name: None,
+                action: Some(action),
+                derive: None,
+                pattern,
+                where_clause: None,
+                within: None,
+                contexts: Vec::new(),
+            },
+        }
+    }
+
+    /// Names the query (for diagnostics and sharing introspection).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.query.name = Some(name.into());
+        self
+    }
+
+    /// Attaches a `WHERE` predicate.
+    #[must_use]
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.query.where_clause = Some(predicate);
+        self
+    }
+
+    /// Sets the query's `WITHIN` horizon (sequence span bound and
+    /// negation-buffer horizon, in ticks).
+    #[must_use]
+    pub fn within(mut self, ticks: u64) -> Self {
+        self.query.within = Some(ticks);
+        self
+    }
+
+    /// Adds explicit `CONTEXT` memberships (beyond the enclosing context).
+    #[must_use]
+    pub fn in_contexts(mut self, contexts: &[&str]) -> Self {
+        self.query.contexts = contexts.iter().map(|s| (*s).to_string()).collect();
+        self
+    }
+
+    /// Finishes the query.
+    #[must_use]
+    pub fn build(self) -> EventQuery {
+        self.query
+    }
+}
+
+/// Builds one context's workload.
+#[derive(Debug)]
+pub struct ContextBuilder {
+    def: ContextDef,
+}
+
+impl ContextBuilder {
+    fn new(name: &str) -> Self {
+        Self {
+            def: ContextDef::new(name),
+        }
+    }
+
+    /// Adds a processing query: `DERIVE event_type(args) PATTERN pattern
+    /// [WHERE filter]`.
+    #[must_use]
+    pub fn derive(
+        mut self,
+        event_type: &str,
+        args: Vec<Expr>,
+        pattern: Pattern,
+        filter: Option<Expr>,
+    ) -> Self {
+        let mut qb = QueryBuilder::derive(event_type, args, pattern);
+        if let Some(f) = filter {
+            qb = qb.filter(f);
+        }
+        self.def.processing.push(qb.build());
+        self
+    }
+
+    /// Adds a deriving query switching to `target`.
+    #[must_use]
+    pub fn switch_to(mut self, target: &str, pattern: Pattern, filter: Option<Expr>) -> Self {
+        let mut qb = QueryBuilder::action(ContextAction::Switch(target.into()), pattern);
+        if let Some(f) = filter {
+            qb = qb.filter(f);
+        }
+        self.def.deriving.push(qb.build());
+        self
+    }
+
+    /// Adds a deriving query initiating `target` (overlapping window).
+    #[must_use]
+    pub fn initiate(mut self, target: &str, pattern: Pattern, filter: Option<Expr>) -> Self {
+        let mut qb = QueryBuilder::action(ContextAction::Initiate(target.into()), pattern);
+        if let Some(f) = filter {
+            qb = qb.filter(f);
+        }
+        self.def.deriving.push(qb.build());
+        self
+    }
+
+    /// Adds a deriving query terminating `target`.
+    #[must_use]
+    pub fn terminate(mut self, target: &str, pattern: Pattern, filter: Option<Expr>) -> Self {
+        let mut qb = QueryBuilder::action(ContextAction::Terminate(target.into()), pattern);
+        if let Some(f) = filter {
+            qb = qb.filter(f);
+        }
+        self.def.deriving.push(qb.build());
+        self
+    }
+
+    /// Adds a fully custom query.
+    #[must_use]
+    pub fn query(mut self, query: EventQuery) -> Self {
+        if query.is_deriving() {
+            self.def.deriving.push(query);
+        } else {
+            self.def.processing.push(query);
+        }
+        self
+    }
+}
+
+/// Builds a whole CAESAR model.
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    default_context: String,
+    contexts: Vec<ContextDef>,
+}
+
+impl ModelBuilder {
+    /// Starts a model named `name` with default context `default_context`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, default_context: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            default_context: default_context.into(),
+            contexts: Vec::new(),
+        }
+    }
+
+    /// Defines a context and its workload.
+    #[must_use]
+    pub fn context(mut self, name: &str, f: impl FnOnce(ContextBuilder) -> ContextBuilder) -> Self {
+        let mut cb = f(ContextBuilder::new(name));
+        // Queries without explicit CONTEXT memberships implicitly belong
+        // to the enclosing context (the optional clauses of Figure 3).
+        for q in cb.def.deriving.iter_mut().chain(cb.def.processing.iter_mut()) {
+            if q.contexts.is_empty() {
+                q.contexts.push(name.to_string());
+            }
+        }
+        self.contexts.push(cb.def);
+        self
+    }
+
+    /// Defines an empty context (workload attached elsewhere or none).
+    #[must_use]
+    pub fn empty_context(mut self, name: &str) -> Self {
+        self.contexts.push(ContextDef::new(name));
+        self
+    }
+
+    /// Validates and returns the model.
+    pub fn build(self) -> Result<CaesarModel, QueryError> {
+        CaesarModel::new(self.name, self.default_context, self.contexts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    #[test]
+    fn builder_constructs_traffic_model() {
+        let model = ModelBuilder::new("traffic", "clear")
+            .context("clear", |ctx| {
+                ctx.switch_to("congestion", Pattern::event("ManySlowCars", "m"), None)
+                    .initiate("accident", Pattern::event("StoppedCars", "s"), None)
+            })
+            .context("congestion", |ctx| {
+                ctx.derive(
+                    "TollNotification",
+                    vec![Expr::attr("p", "vid"), Expr::attr("p", "sec"), Expr::int(5)],
+                    Pattern::event("NewTravelingCar", "p"),
+                    None,
+                )
+                .switch_to("clear", Pattern::event("FewFastCars", "f"), None)
+            })
+            .context("accident", |ctx| {
+                ctx.terminate("accident", Pattern::event("StoppedCarsRemoved", "r"), None)
+            })
+            .build()
+            .unwrap();
+        assert_eq!(model.contexts.len(), 3);
+        assert_eq!(model.query_count(), 5);
+        assert_eq!(model.context("clear").unwrap().deriving.len(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_model() {
+        let result = ModelBuilder::new("m", "nowhere")
+            .empty_context("somewhere")
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn query_builder_with_filter_and_contexts() {
+        let q = QueryBuilder::derive(
+            "Out",
+            vec![Expr::attr("x", "v")],
+            Pattern::event("In", "x"),
+        )
+        .named("q1")
+        .filter(Expr::bin(BinOp::Gt, Expr::attr("x", "v"), Expr::int(10)))
+        .in_contexts(&["a", "b"])
+        .build();
+        assert_eq!(q.name.as_deref(), Some("q1"));
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.contexts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn custom_query_lands_in_right_bucket() {
+        let deriving = QueryBuilder::action(
+            ContextAction::Terminate("a".into()),
+            Pattern::event("X", "x"),
+        )
+        .build();
+        let model = ModelBuilder::new("m", "a")
+            .context("a", |ctx| ctx.query(deriving))
+            .build()
+            .unwrap();
+        assert_eq!(model.context("a").unwrap().deriving.len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Graphviz (DOT) export of a CAESAR model's context transition network
+//! — the textual counterpart of the paper's Figure 1 visualization (the
+//! visual editor itself is out of scope, §1 footnote 2).
+//!
+//! Contexts become nodes (the default context drawn with a double
+//! border); each deriving query becomes an edge labelled with its
+//! trigger pattern: `SWITCH` edges from the query's context to its
+//! target, `INITIATE` edges likewise (dashed — the source window keeps
+//! running), `TERMINATE` self-edges (dotted).
+
+use crate::ast::ContextAction;
+use crate::model::CaesarModel;
+use crate::pretty::pattern_to_string;
+use std::fmt::Write;
+
+/// Renders the model's transition network as a DOT digraph.
+#[must_use]
+pub fn model_to_dot(model: &CaesarModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&model.name));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=ellipse, fontname=\"Helvetica\"];");
+    for ctx in &model.contexts {
+        let peripheries = if ctx.name == model.default_context {
+            2
+        } else {
+            1
+        };
+        let _ = writeln!(
+            out,
+            "    \"{}\" [peripheries={peripheries}, label=\"{}\\n{} queries\"];",
+            escape(&ctx.name),
+            escape(&ctx.name),
+            ctx.workload_size()
+        );
+    }
+    for ctx in &model.contexts {
+        for query in &ctx.deriving {
+            let Some(action) = &query.action else { continue };
+            let label = escape(&pattern_to_string(&query.pattern));
+            // A deriving query may belong to several contexts; draw one
+            // edge per source context.
+            let sources = if query.contexts.is_empty() {
+                std::slice::from_ref(&ctx.name)
+            } else {
+                &query.contexts[..]
+            };
+            for source in sources {
+                match action {
+                    ContextAction::Switch(target) => {
+                        let _ = writeln!(
+                            out,
+                            "    \"{}\" -> \"{}\" [label=\"{label}\"];",
+                            escape(source),
+                            escape(target)
+                        );
+                    }
+                    ContextAction::Initiate(target) => {
+                        let _ = writeln!(
+                            out,
+                            "    \"{}\" -> \"{}\" [label=\"{label}\", style=dashed];",
+                            escape(source),
+                            escape(target)
+                        );
+                    }
+                    ContextAction::Terminate(target) => {
+                        let _ = writeln!(
+                            out,
+                            "    \"{}\" -> \"{}\" [label=\"{label}\", style=dotted, dir=back];",
+                            escape(target),
+                            escape(source)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+
+    fn traffic() -> CaesarModel {
+        parse_model(
+            r#"
+            MODEL traffic DEFAULT clear
+            CONTEXT clear {
+                SWITCH CONTEXT congestion PATTERN ManySlowCars
+                INITIATE CONTEXT accident PATTERN StoppedCars CONTEXT clear, congestion
+            }
+            CONTEXT congestion {
+                SWITCH CONTEXT clear PATTERN FewFastCars
+                DERIVE Toll(p.vid) PATTERN NewCar p
+            }
+            CONTEXT accident {
+                TERMINATE CONTEXT accident PATTERN StoppedCarsRemoved
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_contexts_and_edges() {
+        let dot = model_to_dot(&traffic());
+        assert!(dot.starts_with("digraph \"traffic\""));
+        for node in ["clear", "congestion", "accident"] {
+            assert!(dot.contains(&format!("\"{node}\" [")), "{dot}");
+        }
+        // Default context double-bordered.
+        assert!(dot.contains("\"clear\" [peripheries=2"));
+        assert!(dot.contains("\"congestion\" [peripheries=1"));
+        // Switch edge clear -> congestion.
+        assert!(dot.contains("\"clear\" -> \"congestion\" [label=\"ManySlowCars\"]"));
+        // Initiate edges from BOTH clear and congestion (dashed).
+        assert!(dot.contains("\"clear\" -> \"accident\" [label=\"StoppedCars\", style=dashed]"));
+        assert!(dot
+            .contains("\"congestion\" -> \"accident\" [label=\"StoppedCars\", style=dashed]"));
+        // Terminate self-edge (dotted).
+        assert!(dot.contains("style=dotted"));
+    }
+
+    #[test]
+    fn workload_sizes_shown() {
+        let dot = model_to_dot(&traffic());
+        assert!(dot.contains("congestion\\n2 queries"), "{dot}");
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

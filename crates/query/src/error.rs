@@ -1,0 +1,114 @@
+//! Errors of the specification layer: lexing, parsing, and model
+//! validation.
+
+use std::fmt;
+
+/// Source position for diagnostics (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors raised while lexing, parsing or validating CAESAR queries
+/// and models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Unexpected character in the input.
+    Lex {
+        /// Where it happened.
+        pos: Pos,
+        /// What was found.
+        detail: String,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// Where it happened.
+        pos: Pos,
+        /// What the parser expected.
+        expected: String,
+        /// What it found.
+        found: String,
+    },
+    /// A query referenced an undefined context.
+    UnknownContext(String),
+    /// The model's default context is not among its context types.
+    MissingDefaultContext(String),
+    /// A context was defined twice.
+    DuplicateContext(String),
+    /// Too many context types for the context bit vector (max 64, §6.2).
+    TooManyContexts(usize),
+    /// A query has neither (or both of) a context action and a DERIVE
+    /// clause — it must be exactly one of deriving / processing.
+    MalformedQuery(String),
+    /// A pattern consists only of negated elements and can never match.
+    UnmatchablePattern(String),
+    /// An expression references a variable the pattern does not bind.
+    UnboundVariable {
+        /// The offending variable.
+        var: String,
+        /// The query it appears in.
+        query: String,
+    },
+    /// A bare attribute reference is ambiguous because the pattern binds
+    /// more than one variable.
+    AmbiguousBareAttr {
+        /// The attribute.
+        attr: String,
+        /// The query it appears in.
+        query: String,
+    },
+    /// A SWITCH query appears in a model position where the current
+    /// context is unknown.
+    SwitchOutsideContext(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, detail } => write!(f, "lex error at {pos}: {detail}"),
+            QueryError::Parse {
+                pos,
+                expected,
+                found,
+            } => write!(f, "parse error at {pos}: expected {expected}, found {found}"),
+            QueryError::UnknownContext(c) => write!(f, "unknown context '{c}'"),
+            QueryError::MissingDefaultContext(c) => {
+                write!(f, "default context '{c}' is not defined in the model")
+            }
+            QueryError::DuplicateContext(c) => write!(f, "context '{c}' defined twice"),
+            QueryError::TooManyContexts(n) => write!(
+                f,
+                "{n} context types exceed the 64 supported by the context bit vector"
+            ),
+            QueryError::MalformedQuery(q) => write!(
+                f,
+                "query '{q}' must have exactly one of a context action or a DERIVE clause"
+            ),
+            QueryError::UnmatchablePattern(q) => {
+                write!(f, "pattern of query '{q}' is fully negated and can never match")
+            }
+            QueryError::UnboundVariable { var, query } => {
+                write!(f, "variable '{var}' in query '{query}' is not bound by its pattern")
+            }
+            QueryError::AmbiguousBareAttr { attr, query } => write!(
+                f,
+                "bare attribute '{attr}' in query '{query}' is ambiguous: pattern binds several variables"
+            ),
+            QueryError::SwitchOutsideContext(q) => write!(
+                f,
+                "SWITCH query '{q}' needs an enclosing context to know what to terminate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

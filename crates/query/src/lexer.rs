@@ -1,0 +1,469 @@
+//! Lexer for the CAESAR event query language (grammar of Figure 4).
+//!
+//! Keywords are case-sensitive upper-case, matching the paper's surface
+//! syntax (`DERIVE`, `PATTERN`, `WHERE`, `CONTEXT`, `INITIATE`, `SWITCH`,
+//! `TERMINATE`, `SEQ`, `NOT`, `AND`, `OR`) plus the model-block extensions
+//! `MODEL` and `DEFAULT`. `≠`, `≥`, `≤` are accepted alongside `!=`,
+//! `>=`, `<=`; `#` is accepted for `≠` as used in Figure 3.
+
+use crate::error::{Pos, QueryError};
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (upper-case reserved word).
+    Keyword(Keyword),
+    /// Identifier (event type, variable, context or attribute name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (double- or typographic-quoted).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `!=`, `≠` or `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` or `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` or `≥`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `DERIVE`
+    Derive,
+    /// `PATTERN`
+    Pattern,
+    /// `WHERE`
+    Where,
+    /// `CONTEXT`
+    Context,
+    /// `INITIATE`
+    Initiate,
+    /// `SWITCH`
+    Switch,
+    /// `TERMINATE`
+    Terminate,
+    /// `SEQ`
+    Seq,
+    /// `NOT`
+    Not,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `WITHIN` (temporal-constraint extension, after \[34\])
+    Within,
+    /// `MODEL` (model-block extension)
+    Model,
+    /// `DEFAULT` (model-block extension)
+    Default,
+}
+
+impl Keyword {
+    fn from_word(w: &str) -> Option<Keyword> {
+        Some(match w {
+            "DERIVE" => Keyword::Derive,
+            "PATTERN" => Keyword::Pattern,
+            "WHERE" => Keyword::Where,
+            "CONTEXT" => Keyword::Context,
+            "INITIATE" => Keyword::Initiate,
+            "SWITCH" => Keyword::Switch,
+            "TERMINATE" => Keyword::Terminate,
+            "SEQ" => Keyword::Seq,
+            "NOT" => Keyword::Not,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "WITHIN" => Keyword::Within,
+            "MODEL" => Keyword::Model,
+            "DEFAULT" => Keyword::Default,
+            _ => return None,
+        })
+    }
+}
+
+/// Tokenizes the full input. `--` starts a line comment.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance!(),
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                advance!();
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                advance!();
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, pos: start });
+                advance!();
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, pos: start });
+                advance!();
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                advance!();
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, pos: start });
+                advance!();
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, pos: start });
+                advance!();
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                advance!();
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                advance!();
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                advance!();
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                advance!();
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos: start });
+                advance!();
+            }
+            '#' | '\u{2260}' => {
+                tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                advance!();
+            }
+            '\u{2264}' => {
+                tokens.push(Token { kind: TokenKind::Le, pos: start });
+                advance!();
+            }
+            '\u{2265}' => {
+                tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                advance!();
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                advance!();
+                advance!();
+            }
+            '<' => {
+                advance!();
+                if chars.get(i) == Some(&'=') {
+                    advance!();
+                    tokens.push(Token { kind: TokenKind::Le, pos: start });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                }
+            }
+            '>' => {
+                advance!();
+                if chars.get(i) == Some(&'=') {
+                    advance!();
+                    tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                }
+            }
+            '"' | '\u{201c}' | '\u{201d}' => {
+                // String literal; the paper's Figure 3 uses typographic
+                // quotes ("exit"), accept both.
+                advance!();
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') | Some('\u{201c}') | Some('\u{201d}') => {
+                            advance!();
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            advance!();
+                        }
+                        None => {
+                            return Err(QueryError::Lex {
+                                pos: start,
+                                detail: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&ch) = chars.get(i) {
+                    if ch.is_ascii_digit() {
+                        text.push(ch);
+                        advance!();
+                    } else if ch == '.'
+                        && !is_float
+                        && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                    {
+                        is_float = true;
+                        text.push(ch);
+                        advance!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| QueryError::Lex {
+                        pos: start,
+                        detail: format!("bad float literal '{text}': {e}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| QueryError::Lex {
+                        pos: start,
+                        detail: format!("bad integer literal '{text}': {e}"),
+                    })?)
+                };
+                tokens.push(Token { kind, pos: start });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&ch) = chars.get(i) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        word.push(ch);
+                        advance!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match Keyword::from_word(&word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    pos: start,
+                    detail: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: pos!(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_query_one_of_figure_three() {
+        let ks = kinds("DERIVE TollNotification(p.vid, p.sec, 5)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Derive),
+                TokenKind::Ident("TollNotification".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("vid".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sec".into()),
+                TokenKind::Comma,
+                TokenKind::Int(5),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators_including_unicode() {
+        let ks = kinds("a = b != c # d \u{2260} e <= f \u{2264} g >= h \u{2265} i < j > k");
+        let ops: Vec<_> = ks
+            .iter()
+            .filter(|k| {
+                matches!(
+                    k,
+                    TokenKind::Eq
+                        | TokenKind::Ne
+                        | TokenKind::Le
+                        | TokenKind::Ge
+                        | TokenKind::Lt
+                        | TokenKind::Gt
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 10);
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Ne).count(), 3);
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Le).count(), 2);
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Ge).count(), 2);
+    }
+
+    #[test]
+    fn lexes_strings_with_typographic_quotes() {
+        let ks = kinds("p2.lane # \u{201c}exit\u{201d}");
+        assert!(ks.contains(&TokenKind::Str("exit".into())));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let ks = kinds("PATTERN -- the whole pattern\n Accident");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Pattern),
+                TokenKind::Ident("Accident".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let ks = kinds("40 3.5");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Int(40), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dot_not_absorbed_into_int_without_digits() {
+        // "p2.vid" after an int: "30." should not parse as float when
+        // followed by an ident.
+        let ks = kinds("30.sec");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(30),
+                TokenKind::Dot,
+                TokenKind::Ident("sec".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(
+            tokenize("\"oops"),
+            Err(QueryError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn unexpected_character_is_error_with_position() {
+        let err = tokenize("a ?\n").unwrap_err();
+        match err {
+            QueryError::Lex { pos, .. } => {
+                assert_eq!(pos.line, 1);
+                assert_eq!(pos.col, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        let ks = kinds("derive DERIVE");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("derive".into()),
+                TokenKind::Keyword(Keyword::Derive),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("DERIVE\n  X").unwrap();
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+}

@@ -1,0 +1,609 @@
+//! Recursive-descent parser for the CAESAR event query language
+//! (grammar of Figure 4) and the `MODEL` block syntax.
+//!
+//! Grammar (paper, Figure 4; `(X)?` optional, `(X ,?)+` list):
+//!
+//! ```text
+//! Query     := Window | Retrieval
+//! Window    := (INITIATE | SWITCH | TERMINATE) CONTEXT Context
+//!              Pattern Where? ContextClause?
+//! Retrieval := Derive Pattern Where? ContextClause?
+//! Derive    := DERIVE EventType ( (Expr ,?)+ )
+//! Pattern   := PATTERN Patt
+//! Where     := WHERE Expr
+//! ContextClause := CONTEXT (Context ,?)+
+//! Patt      := NOT? EventType Var? | SEQ( (Patt ,?)+ )
+//! Expr      := Constant | Attr | Expr Op Expr
+//! Op        := + | - | * | / | = | != | > | >= | < | <= | AND | OR
+//! ```
+//!
+//! The paper's `Window` production omits the pattern, but every deriving
+//! query in Figure 3 carries one (e.g. `INITIATE CONTEXT accident
+//! PATTERN Accident`), so the pattern clause is mandatory here too.
+//!
+//! The model block extension wraps queries into contexts:
+//!
+//! ```text
+//! Model   := MODEL Ident DEFAULT Ident (CONTEXT Ident { Query* })+
+//! ```
+
+use crate::ast::{BinOp, ContextAction, DeriveClause, EventQuery, Expr, Pattern};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Keyword, Token, TokenKind};
+use crate::model::{CaesarModel, ContextDef};
+use caesar_events::Value;
+
+/// Parses a sequence of standalone queries (separated by optional `;`).
+pub fn parse_queries(input: &str) -> Result<Vec<EventQuery>, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let mut queries = Vec::new();
+    loop {
+        p.skip_semis();
+        if p.at_eof() {
+            break;
+        }
+        queries.push(p.parse_query()?);
+    }
+    Ok(queries)
+}
+
+/// Parses a full `MODEL` block into a (validated) CAESAR model.
+pub fn parse_model(input: &str) -> Result<CaesarModel, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    p.expect_keyword(Keyword::Model)?;
+    let name = p.expect_ident()?;
+    p.expect_keyword(Keyword::Default)?;
+    let default_context = p.expect_ident()?;
+
+    let mut contexts = Vec::new();
+    while !p.at_eof() {
+        p.expect_keyword(Keyword::Context)?;
+        let ctx_name = p.expect_ident()?;
+        p.expect(TokenKind::LBrace)?;
+        let mut queries = Vec::new();
+        loop {
+            p.skip_semis();
+            if p.peek_is(&TokenKind::RBrace) {
+                p.bump();
+                break;
+            }
+            queries.push(p.parse_query()?);
+        }
+        contexts.push((ctx_name, queries));
+    }
+
+    let mut defs = Vec::new();
+    for (ctx_name, queries) in contexts {
+        let mut def = ContextDef::new(&ctx_name);
+        for mut q in queries {
+            // Queries inside a context block implicitly belong to it
+            // (the "[CONTEXT c]" clauses of Figure 3 are optional).
+            if q.contexts.is_empty() {
+                q.contexts.push(ctx_name.clone());
+            }
+            if q.is_deriving() {
+                def.deriving.push(q);
+            } else {
+                def.processing.push(q);
+            }
+        }
+        defs.push(def);
+    }
+    CaesarModel::new(name, default_context, defs)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_is(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn peek_keyword(&self, kw: Keyword) -> bool {
+        matches!(self.peek().kind, TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn skip_semis(&mut self) {
+        while self.peek_is(&TokenKind::Semi) {
+            self.bump();
+        }
+    }
+
+    fn error(&self, expected: impl Into<String>) -> QueryError {
+        let t = self.peek();
+        QueryError::Parse {
+            pos: t.pos,
+            expected: expected.into(),
+            found: format!("{:?}", t.kind),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, QueryError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("{kind:?}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), QueryError> {
+        if self.peek_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("keyword {kw:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let TokenKind::Ident(name) = self.bump().kind else {
+                    unreachable!()
+                };
+                Ok(name)
+            }
+            _ => Err(self.error("identifier")),
+        }
+    }
+
+    /// `Query := Window | Retrieval`.
+    fn parse_query(&mut self) -> Result<EventQuery, QueryError> {
+        let action = if self.peek_keyword(Keyword::Initiate) {
+            self.bump();
+            self.expect_keyword(Keyword::Context)?;
+            Some(ContextAction::Initiate(self.expect_ident()?))
+        } else if self.peek_keyword(Keyword::Switch) {
+            self.bump();
+            self.expect_keyword(Keyword::Context)?;
+            Some(ContextAction::Switch(self.expect_ident()?))
+        } else if self.peek_keyword(Keyword::Terminate) {
+            self.bump();
+            self.expect_keyword(Keyword::Context)?;
+            Some(ContextAction::Terminate(self.expect_ident()?))
+        } else {
+            None
+        };
+
+        let derive = if action.is_none() {
+            Some(self.parse_derive()?)
+        } else {
+            None
+        };
+
+        self.expect_keyword(Keyword::Pattern)?;
+        let pattern = self.parse_pattern()?;
+
+        let where_clause = if self.peek_keyword(Keyword::Where) {
+            self.bump();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let within = if self.peek_keyword(Keyword::Within) {
+            self.bump();
+            match self.peek().kind.clone() {
+                TokenKind::Int(v) if v > 0 => {
+                    self.bump();
+                    Some(v as u64)
+                }
+                _ => return Err(self.error("positive integer after WITHIN")),
+            }
+        } else {
+            None
+        };
+
+        let contexts = if self.peek_keyword(Keyword::Context) {
+            self.bump();
+            let mut ctxs = vec![self.expect_ident()?];
+            while self.peek_is(&TokenKind::Comma) {
+                self.bump();
+                ctxs.push(self.expect_ident()?);
+            }
+            ctxs
+        } else {
+            Vec::new()
+        };
+
+        Ok(EventQuery {
+            name: None,
+            action,
+            derive,
+            pattern,
+            where_clause,
+            within,
+            contexts,
+        })
+    }
+
+    /// `Derive := DERIVE EventType ( (Expr ,?)+ )` — the argument list is
+    /// optional for derived types carrying no attributes.
+    fn parse_derive(&mut self) -> Result<DeriveClause, QueryError> {
+        self.expect_keyword(Keyword::Derive)?;
+        let event_type = self.expect_ident()?;
+        let mut args = Vec::new();
+        if self.peek_is(&TokenKind::LParen) {
+            self.bump();
+            if !self.peek_is(&TokenKind::RParen) {
+                args.push(self.parse_expr()?);
+                while self.peek_is(&TokenKind::Comma) {
+                    self.bump();
+                    args.push(self.parse_expr()?);
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(DeriveClause { event_type, args })
+    }
+
+    /// `Patt := NOT? EventType Var? | SEQ( (Patt ,?)+ )`.
+    fn parse_pattern(&mut self) -> Result<Pattern, QueryError> {
+        if self.peek_keyword(Keyword::Seq) {
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let mut items = vec![self.parse_pattern()?];
+            while self.peek_is(&TokenKind::Comma) {
+                self.bump();
+                items.push(self.parse_pattern()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(Pattern::Seq(items));
+        }
+        let negated = if self.peek_keyword(Keyword::Not) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let event_type = self.expect_ident()?;
+        // An identifier immediately after the type name is the variable;
+        // anything else (keyword, comma, paren...) ends the element.
+        let var = match &self.peek().kind {
+            TokenKind::Ident(_) => Some(self.expect_ident()?),
+            _ => None,
+        };
+        Ok(Pattern::Event {
+            event_type,
+            var,
+            negated,
+        })
+    }
+
+    /// Expression parsing with standard precedence:
+    /// `OR < AND < comparison < additive < multiplicative < primary`.
+    fn parse_expr(&mut self) -> Result<Expr, QueryError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek_keyword(Keyword::Or) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_comparison()?;
+        while self.peek_keyword(Keyword::And) {
+            self.bump();
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, QueryError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_additive()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_primary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, QueryError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Const(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Value::str(s)))
+            }
+            TokenKind::Minus => {
+                // Unary minus on numeric literals.
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        Ok(Expr::Const(Value::Int(-v)))
+                    }
+                    TokenKind::Float(v) => {
+                        self.bump();
+                        Ok(Expr::Const(Value::Float(-v)))
+                    }
+                    _ => Err(self.error("numeric literal after unary minus")),
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek_is(&TokenKind::Dot) {
+                    self.bump();
+                    let attr = self.expect_ident()?;
+                    Ok(Expr::Attr {
+                        var: Some(name),
+                        attr,
+                    })
+                } else {
+                    Ok(Expr::Attr {
+                        var: None,
+                        attr: name,
+                    })
+                }
+            }
+            _ => Err(self.error("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY2: &str = "DERIVE NewTravelingCar(p2.vid, p2.xway, p2.dir, p2.seg, \
+         p2.lane, p2.pos, p2.sec) \
+         PATTERN SEQ(NOT PositionReport p1, PositionReport p2) \
+         WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != \"exit\" \
+         CONTEXT congestion";
+
+    #[test]
+    fn parses_figure_three_query_two() {
+        let qs = parse_queries(QUERY2).unwrap();
+        assert_eq!(qs.len(), 1);
+        let q = &qs[0];
+        assert!(q.is_processing());
+        let derive = q.derive.as_ref().unwrap();
+        assert_eq!(derive.event_type, "NewTravelingCar");
+        assert_eq!(derive.args.len(), 7);
+        assert_eq!(q.pattern.elements().len(), 2);
+        assert_eq!(q.where_clause.as_ref().unwrap().conjuncts().len(), 3);
+        assert_eq!(q.contexts, vec!["congestion"]);
+    }
+
+    #[test]
+    fn parses_figure_three_query_three() {
+        let qs =
+            parse_queries("INITIATE CONTEXT accident PATTERN Accident CONTEXT congestion")
+                .unwrap();
+        let q = &qs[0];
+        assert_eq!(
+            q.action,
+            Some(ContextAction::Initiate("accident".into()))
+        );
+        assert!(q.derive.is_none());
+        assert_eq!(q.contexts, vec!["congestion"]);
+    }
+
+    #[test]
+    fn parses_multiple_queries_with_semicolons() {
+        let src = "DERIVE A(x.v) PATTERN X x;
+                   TERMINATE CONTEXT c PATTERN Y";
+        let qs = parse_queries(src).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert!(qs[0].is_processing());
+        assert!(qs[1].is_deriving());
+    }
+
+    #[test]
+    fn parses_multi_context_clause() {
+        let qs = parse_queries(
+            "DERIVE Warn(a.seg) PATTERN AccidentAhead a CONTEXT clear, congestion",
+        )
+        .unwrap();
+        assert_eq!(qs[0].contexts, vec!["clear", "congestion"]);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let qs = parse_queries("DERIVE A(x.v) PATTERN X x WHERE x.a + 2 * 3 = 8 AND x.b > 1 OR x.c < 0")
+            .unwrap();
+        let w = qs[0].where_clause.as_ref().unwrap();
+        // Top level must be OR.
+        match w {
+            Expr::Binary { op: BinOp::Or, lhs, .. } => match lhs.as_ref() {
+                Expr::Binary { op: BinOp::And, lhs, .. } => match lhs.as_ref() {
+                    Expr::Binary { op: BinOp::Eq, lhs, .. } => match lhs.as_ref() {
+                        Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                            assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+                        }
+                        other => panic!("expected Add, got {other:?}"),
+                    },
+                    other => panic!("expected Eq, got {other:?}"),
+                },
+                other => panic!("expected And, got {other:?}"),
+            },
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expressions() {
+        let qs = parse_queries("DERIVE A(x.v) PATTERN X x WHERE (x.a + 2) * 3 = 9").unwrap();
+        let w = qs[0].where_clause.as_ref().unwrap();
+        match w {
+            Expr::Binary { op: BinOp::Eq, lhs, .. } => {
+                assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_literal() {
+        let qs = parse_queries("DERIVE A(x.v) PATTERN X x WHERE x.a > -5").unwrap();
+        let w = qs[0].where_clause.as_ref().unwrap();
+        match w {
+            Expr::Binary { rhs, .. } => assert_eq!(rhs.as_ref(), &Expr::int(-5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_attribute_reference() {
+        let qs = parse_queries("INITIATE CONTEXT hot PATTERN Reading r WHERE temp > 40")
+            .unwrap();
+        let w = qs[0].where_clause.as_ref().unwrap();
+        match w {
+            Expr::Binary { lhs, .. } => {
+                assert_eq!(lhs.as_ref(), &Expr::bare("temp"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_without_args() {
+        let qs = parse_queries("DERIVE Ping PATTERN X x").unwrap();
+        assert!(qs[0].derive.as_ref().unwrap().args.is_empty());
+    }
+
+    #[test]
+    fn within_clause_parses_and_orders_before_context() {
+        let qs = parse_queries(
+            "DERIVE A(x.v) PATTERN SEQ(X x, Y y) WHERE x.v = 1 WITHIN 45 CONTEXT c",
+        )
+        .unwrap();
+        assert_eq!(qs[0].within, Some(45));
+        assert_eq!(qs[0].contexts, vec!["c"]);
+        // Without WHERE too.
+        let qs = parse_queries("DERIVE A(x.v) PATTERN X x WITHIN 9").unwrap();
+        assert_eq!(qs[0].within, Some(9));
+    }
+
+    #[test]
+    fn within_requires_positive_integer() {
+        assert!(parse_queries("DERIVE A(x.v) PATTERN X x WITHIN 0").is_err());
+        assert!(parse_queries("DERIVE A(x.v) PATTERN X x WITHIN y").is_err());
+    }
+
+    #[test]
+    fn missing_pattern_is_parse_error() {
+        let err = parse_queries("DERIVE A(x.v) WHERE x.a > 1").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn parses_model_block() {
+        let src = r#"
+            MODEL traffic DEFAULT clear
+            CONTEXT clear {
+                SWITCH CONTEXT congestion PATTERN ManySlowCars
+                INITIATE CONTEXT accident PATTERN StoppedCars
+            }
+            CONTEXT congestion {
+                DERIVE TollNotification(p.vid, p.sec, 5) PATTERN NewTravelingCar p
+                SWITCH CONTEXT clear PATTERN FewFastCars
+                INITIATE CONTEXT accident PATTERN StoppedCars
+            }
+            CONTEXT accident {
+                DERIVE AccidentWarning(p.vid, p.seg) PATTERN PositionReport p
+                TERMINATE CONTEXT accident PATTERN StoppedCarsRemoved
+            }
+        "#;
+        let model = parse_model(src).unwrap();
+        assert_eq!(model.name, "traffic");
+        assert_eq!(model.default_context, "clear");
+        assert_eq!(model.contexts.len(), 3);
+        let congestion = model.context("congestion").unwrap();
+        assert_eq!(congestion.deriving.len(), 2);
+        assert_eq!(congestion.processing.len(), 1);
+        // Implicit context membership filled in.
+        assert_eq!(congestion.processing[0].contexts, vec!["congestion"]);
+    }
+
+    #[test]
+    fn model_with_unknown_default_fails_validation() {
+        let src = "MODEL m DEFAULT ghost CONTEXT a { TERMINATE CONTEXT a PATTERN X }";
+        assert!(matches!(
+            parse_model(src),
+            Err(QueryError::MissingDefaultContext(_))
+        ));
+    }
+}

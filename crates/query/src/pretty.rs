@@ -1,0 +1,212 @@
+//! Pretty-printer: renders queries and models back to parseable text.
+//!
+//! Round-tripping (`parse → pretty → parse`) is property-tested in the
+//! crate's test suite; the printed form is also used in optimizer
+//! explain output.
+
+use crate::ast::{BinOp, ContextAction, EventQuery, Expr, Pattern};
+use crate::model::CaesarModel;
+use caesar_events::Value;
+use std::fmt::Write;
+
+/// Renders an expression.
+#[must_use]
+pub fn expr_to_string(expr: &Expr) -> String {
+    render_expr(expr, 0)
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+fn render_expr(expr: &Expr, parent_prec: u8) -> String {
+    match expr {
+        Expr::Const(Value::Str(s)) => format!("\"{s}\""),
+        Expr::Const(v) => v.to_string().trim_matches('"').to_string(),
+        Expr::Attr { var: Some(v), attr } => format!("{v}.{attr}"),
+        Expr::Attr { var: None, attr } => attr.clone(),
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = precedence(*op);
+            let body = format!(
+                "{} {} {}",
+                render_expr(lhs, prec),
+                op.symbol(),
+                // Right side binds one tighter to preserve left associativity.
+                render_expr(rhs, prec + 1)
+            );
+            if prec < parent_prec {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+    }
+}
+
+/// Renders a pattern.
+#[must_use]
+pub fn pattern_to_string(pattern: &Pattern) -> String {
+    match pattern {
+        Pattern::Event {
+            event_type,
+            var,
+            negated,
+        } => {
+            let mut s = String::new();
+            if *negated {
+                s.push_str("NOT ");
+            }
+            s.push_str(event_type);
+            if let Some(v) = var {
+                s.push(' ');
+                s.push_str(v);
+            }
+            s
+        }
+        Pattern::Seq(items) => {
+            let inner: Vec<String> = items.iter().map(pattern_to_string).collect();
+            format!("SEQ({})", inner.join(", "))
+        }
+    }
+}
+
+/// Renders one query as parseable text.
+#[must_use]
+pub fn query_to_string(query: &EventQuery) -> String {
+    let mut out = String::new();
+    match &query.action {
+        Some(ContextAction::Initiate(c)) => {
+            let _ = write!(out, "INITIATE CONTEXT {c}");
+        }
+        Some(ContextAction::Switch(c)) => {
+            let _ = write!(out, "SWITCH CONTEXT {c}");
+        }
+        Some(ContextAction::Terminate(c)) => {
+            let _ = write!(out, "TERMINATE CONTEXT {c}");
+        }
+        None => {}
+    }
+    if let Some(d) = &query.derive {
+        let _ = write!(out, "DERIVE {}", d.event_type);
+        if !d.args.is_empty() {
+            let args: Vec<String> = d.args.iter().map(expr_to_string).collect();
+            let _ = write!(out, "({})", args.join(", "));
+        }
+    }
+    let _ = write!(out, " PATTERN {}", pattern_to_string(&query.pattern));
+    if let Some(w) = &query.where_clause {
+        let _ = write!(out, " WHERE {}", expr_to_string(w));
+    }
+    if let Some(w) = query.within {
+        let _ = write!(out, " WITHIN {w}");
+    }
+    if !query.contexts.is_empty() {
+        let _ = write!(out, " CONTEXT {}", query.contexts.join(", "));
+    }
+    out
+}
+
+/// Renders a full model as a parseable `MODEL` block.
+#[must_use]
+pub fn model_to_string(model: &CaesarModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "MODEL {} DEFAULT {}", model.name, model.default_context);
+    for ctx in &model.contexts {
+        let _ = writeln!(out, "CONTEXT {} {{", ctx.name);
+        for q in ctx.deriving.iter().chain(ctx.processing.iter()) {
+            let _ = writeln!(out, "    {}", query_to_string(q));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_model, parse_queries};
+
+    #[test]
+    fn query_round_trips() {
+        let src = "DERIVE NewTravelingCar(p2.vid, p2.sec) \
+                   PATTERN SEQ(NOT PositionReport p1, PositionReport p2) \
+                   WHERE p1.sec + 30 = p2.sec AND p2.lane != \"exit\" \
+                   CONTEXT congestion";
+        let q = parse_queries(src).unwrap().remove(0);
+        let printed = query_to_string(&q);
+        let reparsed = parse_queries(&printed).unwrap().remove(0);
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn deriving_query_round_trips() {
+        let src = "SWITCH CONTEXT clear PATTERN FewFastCars f WHERE f.count < 10 CONTEXT congestion";
+        let q = parse_queries(src).unwrap().remove(0);
+        let reparsed = parse_queries(&query_to_string(&q)).unwrap().remove(0);
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn parentheses_preserved_where_needed() {
+        let src = "DERIVE A(x.v) PATTERN X x WHERE (x.a + 1) * 2 = 6";
+        let q = parse_queries(src).unwrap().remove(0);
+        let printed = query_to_string(&q);
+        assert!(printed.contains("(x.a + 1) * 2"), "printed: {printed}");
+        let reparsed = parse_queries(&printed).unwrap().remove(0);
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn precedence_not_over_parenthesized() {
+        let src = "DERIVE A(x.v) PATTERN X x WHERE x.a + 1 = 2 AND x.b = 3";
+        let q = parse_queries(src).unwrap().remove(0);
+        let printed = query_to_string(&q);
+        let where_part = printed.split(" WHERE ").nth(1).unwrap();
+        assert!(!where_part.contains('('), "printed: {printed}");
+    }
+
+    #[test]
+    fn model_round_trips() {
+        let src = r#"
+            MODEL traffic DEFAULT clear
+            CONTEXT clear {
+                SWITCH CONTEXT congestion PATTERN ManySlowCars m WHERE m.count > 50
+            }
+            CONTEXT congestion {
+                DERIVE TollNotification(p.vid, p.sec, 5) PATTERN NewTravelingCar p
+                SWITCH CONTEXT clear PATTERN FewFastCars f
+            }
+        "#;
+        let model = parse_model(src).unwrap();
+        let printed = model_to_string(&model);
+        let reparsed = parse_model(&printed).unwrap();
+        assert_eq!(model, reparsed);
+    }
+
+    #[test]
+    fn within_round_trips() {
+        let src = "DERIVE A(x.v) PATTERN SEQ(X x, Y y) WHERE x.v = 1 WITHIN 45 CONTEXT c";
+        let q = parse_queries(src).unwrap().remove(0);
+        let printed = query_to_string(&q);
+        assert!(printed.contains("WITHIN 45"), "{printed}");
+        assert_eq!(parse_queries(&printed).unwrap().remove(0), q);
+    }
+
+    #[test]
+    fn subtraction_right_operand_parenthesized() {
+        // a - (b - c) must not print as a - b - c.
+        use crate::ast::{BinOp, Expr};
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bare("a"),
+            Expr::bin(BinOp::Sub, Expr::bare("b"), Expr::bare("c")),
+        );
+        assert_eq!(expr_to_string(&e), "a - (b - c)");
+    }
+}

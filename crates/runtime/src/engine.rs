@@ -1,0 +1,678 @@
+//! The CAESAR engine: distributor → time-driven scheduler → context
+//! derivation → transition application → context-aware routing →
+//! context processing, with context-history maintenance, garbage
+//! collection and latency accounting (Figures 8 and 9 of the paper).
+
+use crate::metrics::{ArrivalClock, LatencyTracker};
+use crate::stats::Observations;
+use crate::programs::{Mode, PartitionPrograms, ProgramTemplate};
+use crate::router::Router;
+use crate::scheduler::TimeDrivenScheduler;
+use crate::txn::StreamTransaction;
+use caesar_algebra::context_table::{ContextTable, TransitionKind};
+use caesar_algebra::plan::PlanOutput;
+use caesar_events::{
+    Event, EventError, EventStream, ReorderBuffer, SchemaRegistry, Time, TypeId,
+};
+use caesar_optimizer::optimizer::OptimizedProgram;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Execution mode of the engine.
+pub type ExecutionMode = Mode;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Context-aware (CAESAR) or context-independent (baseline).
+    pub mode: ExecutionMode,
+    /// Execute shared workloads once (requires the optimizer's sharing
+    /// analysis; ignored — treated as non-shared — if it found nothing).
+    pub sharing: bool,
+    /// In the context-independent mode: each processing query privately
+    /// re-evaluates its context's deriving conditions on every event
+    /// (§5.3: "each context processing query has to run its respective
+    /// context deriving queries separately"). Disable to measure pure
+    /// busy-waiting (the "non-optimized query plan" of Figure 11b).
+    pub redundant_derivation: bool,
+    /// In the context-independent mode: push context windows to the
+    /// chain bottom so pattern state stays window-scoped and results
+    /// match CAESAR exactly (the default). Disable to model a SASE-style
+    /// engine literally: every event traverses pattern and filter before
+    /// the mid-chain context window drops out-of-context *matches* —
+    /// full busy-waiting cost, with the baseline's stream-scoped pattern
+    /// state (results may differ at window boundaries, §3.2).
+    pub baseline_pushdown: bool,
+    /// Disorder tolerance of the distributor in ticks: events are held
+    /// in a bounded reordering buffer and released once the stream's
+    /// high-watermark passes them by this slack. `0` = require strictly
+    /// in-order input (the paper's assumption).
+    pub reorder_slack: Time,
+    /// Simulated nanoseconds of arrival time per application tick
+    /// (drives the latency queueing model; see [`ArrivalClock`]).
+    pub ns_per_tick: u64,
+    /// Run the garbage collector every this many ticks.
+    pub gc_every: Time,
+    /// Keep every output event in memory (testing / debugging; do not
+    /// enable on unbounded streams).
+    pub collect_outputs: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::ContextAware,
+            sharing: true,
+            redundant_derivation: true,
+            baseline_pushdown: true,
+            reorder_slack: 0,
+            collect_outputs: false,
+            ns_per_tick: 1_000_000, // 1 tick = 1 simulated millisecond
+            gc_every: 60,
+        }
+    }
+}
+
+/// Result of a stream run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Input events processed.
+    pub events_in: u64,
+    /// Output (derived) events produced.
+    pub events_out: u64,
+    /// Context transitions applied.
+    pub transitions_applied: u64,
+    /// Per-derived-type output counts, by type name.
+    pub outputs_by_type: BTreeMap<String, u64>,
+    /// Maximum queueing-model latency (ns).
+    pub max_latency_ns: u64,
+    /// Average queueing-model latency (ns).
+    pub avg_latency_ns: u64,
+    /// Wall-clock processing time of the whole run.
+    pub wall_time: Duration,
+    /// Combined plans fed / suspended (router accounting).
+    pub plans_fed: u64,
+    /// Combined plans skipped while their context was inactive.
+    pub plans_suspended: u64,
+    /// Peak live partial matches across all partitions (memory proxy).
+    pub peak_partials: usize,
+}
+
+impl RunReport {
+    /// Maximum latency in seconds.
+    #[must_use]
+    pub fn max_latency_secs(&self) -> f64 {
+        self.max_latency_ns as f64 / 1e9
+    }
+
+    /// Output count of one derived type.
+    #[must_use]
+    pub fn outputs_of(&self, type_name: &str) -> u64 {
+        self.outputs_by_type.get(type_name).copied().unwrap_or(0)
+    }
+}
+
+/// The CAESAR execution engine.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    table: ContextTable,
+    template: ProgramTemplate,
+    default_bit: u8,
+    partitions: Vec<Option<PartitionPrograms>>,
+    scheduler: TimeDrivenScheduler,
+    router: Router,
+    clock: ArrivalClock,
+    latency: LatencyTracker,
+    type_names: BTreeMap<TypeId, String>,
+    outputs_by_type: BTreeMap<TypeId, u64>,
+    inputs_by_type: BTreeMap<TypeId, u64>,
+    events_in: u64,
+    events_out: u64,
+    transitions_applied: u64,
+    peak_partials: usize,
+    last_gc: Time,
+    started: Option<Instant>,
+    busy: Duration,
+    reorder: Option<ReorderBuffer>,
+    /// Events dropped because they arrived later than the reorder slack.
+    pub late_dropped: u64,
+    /// Output events retained when `collect_outputs` is set.
+    pub collected_outputs: Vec<Event>,
+}
+
+impl Engine {
+    /// Builds an engine from an optimized program. `registry` must be the
+    /// registry the program was translated against (it names the derived
+    /// types in reports).
+    #[must_use]
+    pub fn new(
+        program: OptimizedProgram,
+        registry: &SchemaRegistry,
+        config: EngineConfig,
+    ) -> Self {
+        let sharing = if config.sharing {
+            program.sharing.clone()
+        } else {
+            Vec::new()
+        };
+        let template =
+            ProgramTemplate::build_with(
+                program.translation.combined,
+                &sharing,
+                config.mode,
+                config.baseline_pushdown,
+            );
+        let default_bit = program.translation.default_bit;
+        let table = ContextTable::new(
+            program.translation.context_names.len(),
+            default_bit,
+        );
+        let type_names = registry
+            .iter()
+            .map(|(id, s)| (id, s.name.to_string()))
+            .collect();
+        Self {
+            clock: ArrivalClock::new(config.ns_per_tick),
+            config,
+            table,
+            template,
+            default_bit,
+            partitions: Vec::new(),
+            scheduler: TimeDrivenScheduler::new(),
+            router: Router::new(),
+            latency: LatencyTracker::new(),
+            type_names,
+            outputs_by_type: BTreeMap::new(),
+            inputs_by_type: BTreeMap::new(),
+            events_in: 0,
+            events_out: 0,
+            transitions_applied: 0,
+            peak_partials: 0,
+            last_gc: 0,
+            started: None,
+            busy: Duration::ZERO,
+            reorder: if config.reorder_slack > 0 {
+                Some(ReorderBuffer::new(config.reorder_slack))
+            } else {
+                None
+            },
+            late_dropped: 0,
+            collected_outputs: Vec::new(),
+        }
+    }
+
+    /// Read access to the context table (tests, introspection).
+    #[must_use]
+    pub fn context_table(&self) -> &ContextTable {
+        &self.table
+    }
+
+    /// The statistics gatherer (Figure 8): folds every partition's
+    /// operator counters into [`Observations`], from which
+    /// [`Observations::to_stats`] produces cost-model statistics for
+    /// re-optimization with observed rates, activities and
+    /// selectivities.
+    #[must_use]
+    pub fn gather_stats(&self) -> Observations {
+        let mut obs = Observations {
+            inputs_by_type: self.inputs_by_type.clone(),
+            progress: self.scheduler.progress(),
+            ..Observations::default()
+        };
+        for programs in self.partitions.iter().flatten() {
+            for plan in &programs.deriving {
+                obs.visit_plan(plan);
+            }
+            for combined in &programs.processing {
+                for plan in &combined.plans {
+                    obs.visit_plan(plan);
+                }
+            }
+        }
+        obs
+    }
+
+    /// Ingests one event; transactions whose timestamp the progress
+    /// watermark passed are executed immediately.
+    ///
+    /// With `reorder_slack > 0` the event first passes the distributor's
+    /// bounded reordering buffer: disorder within the slack is repaired,
+    /// events later than the slack are dropped (counted in
+    /// `late_dropped`) instead of corrupting context state.
+    pub fn ingest(&mut self, event: Event) -> Result<(), EventError> {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        if let Some(mut reorder) = self.reorder.take() {
+            let result = reorder.push(event);
+            self.late_dropped = reorder.late_dropped;
+            self.reorder = Some(reorder);
+            match result {
+                Ok(ready) => {
+                    for e in ready {
+                        self.ingest_ordered(e)?;
+                    }
+                    Ok(())
+                }
+                Err(_late) => Ok(()), // dropped and counted
+            }
+        } else {
+            self.ingest_ordered(event)
+        }
+    }
+
+    fn ingest_ordered(&mut self, event: Event) -> Result<(), EventError> {
+        self.events_in += 1;
+        *self.inputs_by_type.entry(event.type_id).or_insert(0) += 1;
+        self.scheduler.ingest(event)?;
+        let ready = self.scheduler.release(self.scheduler.progress());
+        for txn in ready {
+            self.execute(txn);
+        }
+        Ok(())
+    }
+
+    /// Flushes all buffered transactions (end of stream) and returns the
+    /// run report.
+    pub fn finish(&mut self) -> RunReport {
+        if let Some(mut reorder) = self.reorder.take() {
+            for e in reorder.flush() {
+                let _ = self.ingest_ordered(e);
+            }
+            self.reorder = Some(reorder);
+        }
+        let remaining = self.scheduler.flush();
+        for txn in remaining {
+            self.execute(txn);
+        }
+        // Final watermark push: flush matured trailing negations, prune.
+        let final_mark = self.scheduler.progress().saturating_add(1_000_000);
+        let mut out = PlanOutput::default();
+        for idx in 0..self.partitions.len() {
+            if let Some(programs) = self.partitions[idx].as_mut() {
+                programs.advance_time(final_mark, &self.table, &mut out);
+            }
+        }
+        self.account_outputs(&out);
+        self.report()
+    }
+
+    /// Convenience: runs an entire stream through the engine.
+    pub fn run_stream(
+        &mut self,
+        stream: &mut dyn EventStream,
+    ) -> Result<RunReport, EventError> {
+        while let Some(event) = stream.next_event() {
+            self.ingest(event)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Executes one stream transaction: derivation, transition
+    /// application (with context-history maintenance), routing,
+    /// processing, watermark advance, GC.
+    fn execute(&mut self, txn: StreamTransaction) {
+        let service_start = Instant::now();
+        let t = txn.time;
+        let partition = txn.partition;
+
+        let idx = partition.index();
+        if idx >= self.partitions.len() {
+            self.partitions.resize_with(idx + 1, || None);
+        }
+        if self.partitions[idx].is_none() {
+            self.partitions[idx] = Some(PartitionPrograms::from_template(&self.template));
+        }
+        let mut programs = self.partitions[idx].take().expect("just ensured");
+
+        let mut out = PlanOutput::default();
+
+        // Baseline overhead: per-query private re-derivation.
+        if self.config.mode == Mode::ContextIndependent && self.config.redundant_derivation {
+            programs.run_redundant_derivation(&txn.batch.events, &self.table);
+        }
+
+        // Phase 1: context derivation (before any processing at t).
+        let transitions = programs.run_derivation(&txn.batch.events, &self.table, &mut out);
+        // Windows closing at time t still admit events carrying exactly
+        // t (`(t_i, t_t]`, Definition 1), so the closing plans' state
+        // must survive until this transaction's processing phase is
+        // done: collect the context bits to reset, apply them after
+        // `run_processing`.
+        let mut closed_bits: Vec<u8> = Vec::new();
+        for transition in transitions {
+            debug_assert_eq!(transition.partition, partition);
+            // CI_c removes the default window as a side effect (§4.1)
+            // without emitting a Terminate — the default context's plans
+            // must still discard their window-scoped state.
+            let default_was_open = transition.kind == TransitionKind::Initiate
+                && transition.context_bit != self.default_bit
+                && self.table.holds(partition, self.default_bit);
+            self.table.apply(transition);
+            self.transitions_applied += 1;
+            if transition.kind == TransitionKind::Terminate {
+                closed_bits.push(transition.context_bit);
+            } else if default_was_open && !self.table.holds(partition, self.default_bit) {
+                closed_bits.push(self.default_bit);
+            }
+        }
+
+        // Phase 2: context-aware routing + processing.
+        let active = self
+            .router
+            .select(&programs, partition, t, &self.table);
+        programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
+
+        // Deferred context-history maintenance for windows that closed
+        // in this transaction (their last admissible events were just
+        // processed).
+        closed_bits.dedup();
+        for bit in closed_bits {
+            programs.on_context_terminated(bit, partition, &self.table);
+        }
+
+        // Watermark: all events with time < t+1 of this partition seen.
+        programs.advance_time(t, &self.table, &mut out);
+
+        self.peak_partials = self.peak_partials.max(programs.live_partials());
+        self.partitions[idx] = Some(programs);
+
+        // Storage-layer garbage collection.
+        if t.saturating_sub(self.last_gc) >= self.config.gc_every {
+            self.table.collect_garbage(t);
+            self.last_gc = t;
+        }
+
+        self.account_outputs(&out);
+
+        let service = service_start.elapsed();
+        self.busy += service;
+        self.latency
+            .record(self.clock.arrival_ns(t), service.as_nanos() as u64);
+    }
+
+    fn account_outputs(&mut self, out: &PlanOutput) {
+        self.events_out += out.events.len() as u64;
+        for e in &out.events {
+            *self.outputs_by_type.entry(e.type_id).or_insert(0) += 1;
+        }
+        if self.config.collect_outputs {
+            self.collected_outputs.extend(out.events.iter().cloned());
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            events_in: self.events_in,
+            events_out: self.events_out,
+            transitions_applied: self.transitions_applied,
+            outputs_by_type: self
+                .outputs_by_type
+                .iter()
+                .map(|(tid, n)| {
+                    (
+                        self.type_names
+                            .get(tid)
+                            .cloned()
+                            .unwrap_or_else(|| tid.to_string()),
+                        *n,
+                    )
+                })
+                .collect(),
+            max_latency_ns: self.latency.max_latency_ns,
+            avg_latency_ns: self.latency.avg_latency_ns(),
+            wall_time: self.started.map_or(Duration::ZERO, |_| self.busy),
+            plans_fed: self.router.plans_fed,
+            plans_suspended: self.router.plans_suspended,
+            peak_partials: self.peak_partials,
+        }
+    }
+}
+
+/// Builds, optimizes and runs a model against a stream in one call —
+/// the simplest end-to-end entry point (the facade crate re-exports a
+/// richer builder).
+pub fn run_model(
+    model: &caesar_query::model::CaesarModel,
+    registry: &mut SchemaRegistry,
+    optimizer: &caesar_optimizer::Optimizer,
+    config: EngineConfig,
+    stream: &mut dyn EventStream,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let query_set = caesar_query::queryset::QuerySet::from_model(model)?;
+    let translation = caesar_algebra::translate::translate_query_set(
+        &query_set,
+        registry,
+        &caesar_algebra::translate::TranslateOptions::default(),
+    )?;
+    let program = optimizer.optimize(translation, registry);
+    let mut engine = Engine::new(program, registry, config);
+    Ok(engine.run_stream(stream)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+    use caesar_events::{AttrType, PartitionId, Schema, Value, VecStream};
+    use caesar_optimizer::{Optimizer, OptimizerConfig};
+    use caesar_query::parser::parse_model;
+    use caesar_query::queryset::QuerySet;
+
+    const TRAFFIC: &str = r#"
+        MODEL traffic DEFAULT clear
+        CONTEXT clear {
+            SWITCH CONTEXT congestion PATTERN ManySlowCars
+        }
+        CONTEXT congestion {
+            SWITCH CONTEXT clear PATTERN FewFastCars
+            DERIVE TollNotification(p.vid, p.sec, 5) PATTERN PositionReport p
+                WHERE p.lane != "exit"
+        }
+    "#;
+
+    fn registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("lane", AttrType::Str),
+            ],
+        ))
+        .unwrap();
+        reg.register(Schema::new("ManySlowCars", &[("seg", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("FewFastCars", &[("seg", AttrType::Int)]))
+            .unwrap();
+        reg
+    }
+
+    fn build_engine(mode: Mode) -> (Engine, SchemaRegistry) {
+        let model = parse_model(TRAFFIC).unwrap();
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = registry();
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+        let cfg = if mode == Mode::ContextAware {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::unoptimized()
+        };
+        let program = Optimizer::new(cfg, Default::default()).optimize(t, &reg);
+        let engine = Engine::new(
+            program,
+            &reg,
+            EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            },
+        );
+        (engine, reg)
+    }
+
+    fn pr(reg: &SchemaRegistry, t: Time, vid: i64, lane: &str, p: u32) -> Event {
+        Event::simple(
+            reg.lookup("PositionReport").unwrap(),
+            t,
+            PartitionId(p),
+            vec![Value::Int(vid), Value::Int(t as i64), Value::str(lane)],
+        )
+    }
+
+    fn marker(reg: &SchemaRegistry, ty: &str, t: Time, p: u32) -> Event {
+        Event::simple(
+            reg.lookup(ty).unwrap(),
+            t,
+            PartitionId(p),
+            vec![Value::Int(0)],
+        )
+    }
+
+    #[test]
+    fn tolls_only_during_congestion() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        let mut stream = VecStream::new(vec![
+            pr(&reg, 1, 1, "travel", 0),  // clear: no toll
+            marker(&reg, "ManySlowCars", 5, 0), // switch to congestion
+            pr(&reg, 6, 2, "travel", 0),  // congestion: toll
+            pr(&reg, 7, 3, "exit", 0),    // exit lane: no toll
+            marker(&reg, "FewFastCars", 10, 0), // back to clear
+            pr(&reg, 11, 4, "travel", 0), // clear again: no toll
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.outputs_of("TollNotification"), 1);
+        assert_eq!(report.transitions_applied, 4, "two switches");
+        assert_eq!(report.events_in, 6);
+    }
+
+    #[test]
+    fn switch_event_itself_is_not_tolled() {
+        // The congestion window is (t_i, t_t]: an event at the switch
+        // timestamp still belongs to clear.
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        let mut stream = VecStream::new(vec![
+            marker(&reg, "ManySlowCars", 5, 0),
+            pr(&reg, 5, 9, "travel", 0),
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.outputs_of("TollNotification"), 0);
+    }
+
+    #[test]
+    fn termination_timestamp_still_tolled() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        let mut stream = VecStream::new(vec![
+            marker(&reg, "ManySlowCars", 5, 0),
+            marker(&reg, "FewFastCars", 10, 0),
+            pr(&reg, 10, 9, "travel", 0), // at t_t: within (5, 10]
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.outputs_of("TollNotification"), 1);
+    }
+
+    #[test]
+    fn partitions_have_independent_contexts() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        let mut stream = VecStream::new(vec![
+            marker(&reg, "ManySlowCars", 5, 0), // only partition 0 congested
+            pr(&reg, 6, 1, "travel", 0),
+            pr(&reg, 6, 2, "travel", 1), // partition 1 still clear
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.outputs_of("TollNotification"), 1);
+    }
+
+    #[test]
+    fn baseline_produces_identical_outputs() {
+        let events = |reg: &SchemaRegistry| {
+            vec![
+                pr(reg, 1, 1, "travel", 0),
+                marker(reg, "ManySlowCars", 5, 0),
+                pr(reg, 6, 2, "travel", 0),
+                pr(reg, 8, 3, "exit", 0),
+                marker(reg, "FewFastCars", 10, 0),
+                pr(reg, 11, 4, "travel", 0),
+            ]
+        };
+        let (mut ca, reg_a) = build_engine(Mode::ContextAware);
+        let ra = ca
+            .run_stream(&mut VecStream::new(events(&reg_a)))
+            .unwrap();
+        let (mut ci, reg_b) = build_engine(Mode::ContextIndependent);
+        let rb = ci
+            .run_stream(&mut VecStream::new(events(&reg_b)))
+            .unwrap();
+        assert_eq!(
+            ra.outputs_of("TollNotification"),
+            rb.outputs_of("TollNotification"),
+            "both modes must compute the same results"
+        );
+    }
+
+    #[test]
+    fn context_aware_mode_suspends_plans() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        // Stay in clear the whole time: the congestion plan never runs.
+        let mut stream = VecStream::new(vec![
+            pr(&reg, 1, 1, "travel", 0),
+            pr(&reg, 2, 2, "travel", 0),
+            pr(&reg, 3, 3, "travel", 0),
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.plans_fed, 0, "no processing plan active in clear");
+        assert_eq!(report.plans_suspended, 3);
+    }
+
+    #[test]
+    fn baseline_never_suspends() {
+        let (mut engine, reg) = build_engine(Mode::ContextIndependent);
+        let mut stream = VecStream::new(vec![
+            pr(&reg, 1, 1, "travel", 0),
+            pr(&reg, 2, 2, "travel", 0),
+        ]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert_eq!(report.plans_suspended, 0);
+        assert_eq!(report.plans_fed, 2);
+        // ...and still computes nothing out of context.
+        assert_eq!(report.outputs_of("TollNotification"), 0);
+    }
+
+    #[test]
+    fn out_of_order_ingest_is_rejected() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        engine.ingest(pr(&reg, 10, 1, "travel", 0)).unwrap();
+        let err = engine.ingest(pr(&reg, 5, 2, "travel", 0)).unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn run_model_facade_works() {
+        let model = parse_model(TRAFFIC).unwrap();
+        let mut reg = registry();
+        let optimizer = Optimizer::default();
+        let events = vec![
+            marker(&reg, "ManySlowCars", 5, 0),
+            pr(&reg, 6, 2, "travel", 0),
+        ];
+        let report = run_model(
+            &model,
+            &mut reg,
+            &optimizer,
+            EngineConfig::default(),
+            &mut VecStream::new(events),
+        )
+        .unwrap();
+        assert_eq!(report.outputs_of("TollNotification"), 1);
+    }
+
+    #[test]
+    fn report_latency_is_populated() {
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        let mut stream = VecStream::new(vec![pr(&reg, 1, 1, "travel", 0)]);
+        let report = engine.run_stream(&mut stream).unwrap();
+        assert!(report.max_latency_ns > 0);
+        assert!(report.avg_latency_ns > 0);
+    }
+}

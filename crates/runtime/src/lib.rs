@@ -1,0 +1,43 @@
+//! The CAESAR runtime execution infrastructure (§6 of the paper).
+//!
+//! * [`txn`] — stream transactions: "a sequence of operations that are
+//!   triggered by all input events with the same time stamp" in one
+//!   stream partition, with the conflict rules of §6.2.
+//! * [`scheduler`] — the time-driven scheduler: a transaction for
+//!   timestamp `t` is released only after the event distributor's
+//!   progress passed `t` and context derivation for all timestamps
+//!   `< t` completed.
+//! * [`router`] — the context-aware stream router: batches flow only to
+//!   the query plans of currently active contexts; suspended plans
+//!   receive nothing (no busy waiting).
+//! * [`programs`] — per-partition instantiation of the optimized plans,
+//!   including the context-independent baseline construction (every
+//!   query always active, each processing query re-deriving its context)
+//!   and shared-workload execution.
+//! * [`engine`] — the full engine: distributor → scheduler → derivation →
+//!   transition application → routing → processing, with context-history
+//!   maintenance and garbage collection.
+//! * [`metrics`] — the latency harness: arrival schedules, measured
+//!   service times, queueing-model latency, and the win-ratio /
+//!   L-factor computations of §7.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod parallel;
+pub mod metrics;
+pub mod programs;
+pub mod router;
+pub mod scheduler;
+pub mod stats;
+pub mod txn;
+
+pub use engine::{Engine, EngineConfig, ExecutionMode, RunReport};
+pub use parallel::{merge_reports, run_sharded};
+pub use metrics::{ArrivalClock, LatencyTracker};
+pub use programs::PartitionPrograms;
+pub use router::Router;
+pub use scheduler::TimeDrivenScheduler;
+pub use stats::Observations;
+pub use txn::StreamTransaction;

@@ -1,0 +1,187 @@
+//! Latency harness: arrival schedules, measured service times, and the
+//! queueing-model latency computation behind the §7 metrics.
+//!
+//! The paper measures *maximal latency* — "the maximal time interval
+//! elapsed from the event arrival time till the complex event derivation
+//! time" — on 3-hour streams. Re-running hours of wall clock per data
+//! point is impractical, so the harness simulates the arrival clock:
+//! each event's arrival instant comes from its application timestamp
+//! scaled by `ns_per_tick`; service times are *measured* with a
+//! monotonic clock while the engine processes as fast as it can; and
+//! completion follows the single-server queue recurrence
+//! `completion = max(arrival, previous completion) + service`.
+//! When the engine is faster than the arrival rate, latency stays flat;
+//! when it falls behind, the queue — and the latency — grows without
+//! bound, which is exactly the behaviour that determines the L-factor
+//! (Figure 11b).
+
+use caesar_events::Time;
+use serde::{Deserialize, Serialize};
+
+/// Converts application timestamps to simulated arrival instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalClock {
+    /// Nanoseconds of simulated wall time per application tick.
+    pub ns_per_tick: u64,
+}
+
+impl ArrivalClock {
+    /// A clock mapping one application tick to `ns_per_tick` nanoseconds.
+    #[must_use]
+    pub fn new(ns_per_tick: u64) -> Self {
+        Self { ns_per_tick }
+    }
+
+    /// Arrival instant (ns since stream start) of an event with the given
+    /// application timestamp.
+    #[must_use]
+    pub fn arrival_ns(&self, t: Time) -> u64 {
+        t.saturating_mul(self.ns_per_tick)
+    }
+}
+
+/// Tracks queueing latency across a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyTracker {
+    /// Completion instant of the previous transaction (ns).
+    cursor_ns: u64,
+    /// Maximum observed latency (ns).
+    pub max_latency_ns: u64,
+    /// Sum of latencies (ns), for averages.
+    pub total_latency_ns: u128,
+    /// Transactions observed.
+    pub observations: u64,
+}
+
+impl LatencyTracker {
+    /// Creates an idle tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transaction: `arrival_ns` from the [`ArrivalClock`],
+    /// `service_ns` measured while processing it. Returns the
+    /// transaction's latency in ns.
+    pub fn record(&mut self, arrival_ns: u64, service_ns: u64) -> u64 {
+        let start = self.cursor_ns.max(arrival_ns);
+        let completion = start + service_ns;
+        self.cursor_ns = completion;
+        let latency = completion - arrival_ns;
+        self.max_latency_ns = self.max_latency_ns.max(latency);
+        self.total_latency_ns += u128::from(latency);
+        self.observations += 1;
+        latency
+    }
+
+    /// Average latency in ns.
+    #[must_use]
+    pub fn avg_latency_ns(&self) -> u64 {
+        if self.observations == 0 {
+            0
+        } else {
+            (self.total_latency_ns / u128::from(self.observations)) as u64
+        }
+    }
+
+    /// Maximum latency in (fractional) seconds.
+    #[must_use]
+    pub fn max_latency_secs(&self) -> f64 {
+        self.max_latency_ns as f64 / 1e9
+    }
+}
+
+/// Win ratio of context-aware over context-independent analytics:
+/// "the maximal latency of context-independent processing divided by the
+/// maximal latency of context-aware processing of the same event query
+/// workload against the same input event stream" (§7.1).
+#[must_use]
+pub fn win_ratio(ci_max_latency_ns: u64, ca_max_latency_ns: u64) -> f64 {
+    if ca_max_latency_ns == 0 {
+        return if ci_max_latency_ns == 0 { 1.0 } else { f64::INFINITY };
+    }
+    ci_max_latency_ns as f64 / ca_max_latency_ns as f64
+}
+
+/// The L-factor (§7.1): the largest workload scale (e.g. number of
+/// roads) whose maximal latency stays within the constraint. `points`
+/// are `(scale, max latency ns)` pairs sorted by scale.
+#[must_use]
+pub fn l_factor(points: &[(u32, u64)], constraint_ns: u64) -> u32 {
+    points
+        .iter()
+        .take_while(|(_, latency)| *latency <= constraint_ns)
+        .map(|(scale, _)| *scale)
+        .last()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_clock_scales_ticks() {
+        let clock = ArrivalClock::new(1_000_000); // 1 tick = 1 ms
+        assert_eq!(clock.arrival_ns(0), 0);
+        assert_eq!(clock.arrival_ns(5), 5_000_000);
+    }
+
+    #[test]
+    fn underloaded_latency_equals_service_time() {
+        let mut tracker = LatencyTracker::new();
+        // Arrivals 1 ms apart; service 0.1 ms: no queueing.
+        for i in 0..10u64 {
+            let latency = tracker.record(i * 1_000_000, 100_000);
+            assert_eq!(latency, 100_000);
+        }
+        assert_eq!(tracker.max_latency_ns, 100_000);
+        assert_eq!(tracker.avg_latency_ns(), 100_000);
+    }
+
+    #[test]
+    fn overloaded_latency_grows_without_bound() {
+        let mut tracker = LatencyTracker::new();
+        // Arrivals 1 ms apart; service 2 ms: queue builds up.
+        let mut last = 0;
+        for i in 0..100u64 {
+            last = tracker.record(i * 1_000_000, 2_000_000);
+        }
+        // The 100th event waits ~99 ms behind the queue.
+        assert!(last > 90_000_000, "latency {last} should approach 100 ms");
+        assert_eq!(tracker.max_latency_ns, last, "latency is monotone under overload");
+    }
+
+    #[test]
+    fn burst_then_idle_drains_queue() {
+        let mut tracker = LatencyTracker::new();
+        // Burst: 5 events at t=0 with 1 ms service each.
+        for _ in 0..5 {
+            tracker.record(0, 1_000_000);
+        }
+        assert_eq!(tracker.max_latency_ns, 5_000_000);
+        // Long idle gap: next event sees an empty queue again.
+        let latency = tracker.record(1_000_000_000, 1_000_000);
+        assert_eq!(latency, 1_000_000);
+    }
+
+    #[test]
+    fn win_ratio_cases() {
+        assert_eq!(win_ratio(8_000, 1_000), 8.0);
+        assert_eq!(win_ratio(0, 0), 1.0);
+        assert!(win_ratio(5, 0).is_infinite());
+    }
+
+    #[test]
+    fn l_factor_finds_last_scale_under_constraint() {
+        let points = vec![
+            (2, 1_000_000_000),
+            (3, 2_000_000_000),
+            (5, 4_500_000_000),
+            (7, 5_000_000_000),
+            (8, 9_000_000_000),
+        ];
+        assert_eq!(l_factor(&points, 5_000_000_000), 7);
+        assert_eq!(l_factor(&points, 500_000_000), 0);
+    }
+}

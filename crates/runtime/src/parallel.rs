@@ -1,0 +1,228 @@
+//! Parallel execution across stream partitions.
+//!
+//! Context state, pattern state and stream transactions are all
+//! partition-scoped ("one transaction per road segment", §6.2), so
+//! partitions are embarrassingly parallel: the distributor shards the
+//! input stream by partition id onto worker threads, each running an
+//! independent [`Engine`] over its partition subset. Results are the
+//! disjoint union of the shards' outputs; latency is reported per shard
+//! and merged by maximum (each shard models one executor core of the
+//! paper's 16-core evaluation host).
+
+use crate::engine::{Engine, EngineConfig, RunReport};
+use caesar_events::{Event, EventError, EventStream, SchemaRegistry};
+use caesar_optimizer::optimizer::OptimizedProgram;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Runs a stream through `shards` independent engines, sharding by
+/// partition id. Returns the merged report.
+///
+/// # Errors
+/// Returns the first ingestion error any shard hits (out-of-order
+/// events within a shard).
+pub fn run_sharded(
+    program: &OptimizedProgram,
+    registry: &SchemaRegistry,
+    config: EngineConfig,
+    shards: usize,
+    stream: &mut dyn EventStream,
+) -> Result<RunReport, EventError> {
+    assert!(shards >= 1, "at least one shard");
+    let progress = Arc::new(Mutex::new(0u64));
+    let result: Result<Vec<RunReport>, EventError> = std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::bounded::<Event>(4096);
+            senders.push(tx);
+            let program = program.clone();
+            let progress = Arc::clone(&progress);
+            handles.push(scope.spawn(move || -> Result<RunReport, EventError> {
+                let mut engine = Engine::new(program, registry, config);
+                let mut seen = 0u64;
+                for event in rx {
+                    engine.ingest(event)?;
+                    seen += 1;
+                    if seen.is_multiple_of(1024) {
+                        *progress.lock() += 1024;
+                    }
+                }
+                *progress.lock() += seen % 1024;
+                Ok(engine.finish())
+            }));
+        }
+        while let Some(event) = stream.next_event() {
+            let shard = event.partition.index() % shards;
+            if senders[shard].send(event).is_err() {
+                break; // worker died; its Err surfaces below
+            }
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    let reports = result?;
+    Ok(merge_reports(reports))
+}
+
+/// Merges per-shard reports: counters sum, latency merges by maximum
+/// (shards are independent queues), wall time by maximum (they ran
+/// concurrently).
+#[must_use]
+pub fn merge_reports(reports: Vec<RunReport>) -> RunReport {
+    let mut merged = RunReport::default();
+    for r in reports {
+        merged.events_in += r.events_in;
+        merged.events_out += r.events_out;
+        merged.transitions_applied += r.transitions_applied;
+        merged.plans_fed += r.plans_fed;
+        merged.plans_suspended += r.plans_suspended;
+        merged.peak_partials = merged.peak_partials.max(r.peak_partials);
+        merged.max_latency_ns = merged.max_latency_ns.max(r.max_latency_ns);
+        merged.avg_latency_ns = merged.avg_latency_ns.max(r.avg_latency_ns);
+        merged.wall_time = merged.wall_time.max(r.wall_time);
+        for (ty, n) in r.outputs_by_type {
+            *merged.outputs_by_type.entry(ty).or_insert(0) += n;
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+    use caesar_events::{AttrType, PartitionId, Schema, Time, Value, VecStream};
+    use caesar_optimizer::Optimizer;
+    use caesar_query::parser::parse_model;
+    use caesar_query::queryset::QuerySet;
+
+    fn setup() -> (OptimizedProgram, SchemaRegistry) {
+        let model = parse_model(
+            r#"
+            MODEL m DEFAULT idle
+            CONTEXT idle {
+                SWITCH CONTEXT busy PATTERN Enter
+            }
+            CONTEXT busy {
+                SWITCH CONTEXT idle PATTERN Leave
+                DERIVE Out(r.v) PATTERN R r WHERE r.v > 2
+            }
+        "#,
+        )
+        .unwrap();
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new("R", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Enter", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Leave", &[("v", AttrType::Int)])).unwrap();
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+        (Optimizer::default().optimize(t, &reg), reg)
+    }
+
+    fn events(reg: &SchemaRegistry, partitions: u32) -> Vec<Event> {
+        let r = reg.lookup("R").unwrap();
+        let enter = reg.lookup("Enter").unwrap();
+        let mut out = Vec::new();
+        for t in 0..200u64 {
+            let p = PartitionId(t as u32 % partitions);
+            if t % 50 == 10 {
+                out.push(Event::simple(enter, t, p, vec![Value::Int(0)]));
+            }
+            out.push(Event::simple(
+                r,
+                t,
+                p,
+                vec![Value::Int((t % 7) as i64)],
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_outputs_equal_single_threaded() {
+        let (program, reg) = setup();
+        let stream_events = events(&reg, 8);
+
+        let mut single = Engine::new(program.clone(), &reg, EngineConfig::default());
+        let single_report = single
+            .run_stream(&mut VecStream::new(stream_events.clone()))
+            .unwrap();
+
+        for shards in [1usize, 2, 4] {
+            let report = run_sharded(
+                &program,
+                &reg,
+                EngineConfig::default(),
+                shards,
+                &mut VecStream::new(stream_events.clone()),
+            )
+            .unwrap();
+            assert_eq!(
+                report.outputs_of("Out"),
+                single_report.outputs_of("Out"),
+                "{shards} shards"
+            );
+            assert_eq!(report.events_in, single_report.events_in);
+            assert_eq!(
+                report.transitions_applied,
+                single_report.transitions_applied
+            );
+        }
+    }
+
+    #[test]
+    fn merge_reports_sums_and_maxes() {
+        let mut a = RunReport {
+            events_in: 10,
+            max_latency_ns: 500,
+            ..RunReport::default()
+        };
+        a.outputs_by_type.insert("X".into(), 3);
+        let mut b = RunReport {
+            events_in: 5,
+            max_latency_ns: 900,
+            ..RunReport::default()
+        };
+        b.outputs_by_type.insert("X".into(), 4);
+        let merged = merge_reports(vec![a, b]);
+        assert_eq!(merged.events_in, 15);
+        assert_eq!(merged.max_latency_ns, 900);
+        assert_eq!(merged.outputs_by_type.get("X"), Some(&7));
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let (program, reg) = setup();
+        let report = run_sharded(
+            &program,
+            &reg,
+            EngineConfig::default(),
+            3,
+            &mut VecStream::new(vec![]),
+        )
+        .unwrap();
+        assert_eq!(report.events_in, 0);
+    }
+
+    #[test]
+    fn shard_count_one_matches_plain_engine_latency_accounting() {
+        let (program, reg) = setup();
+        let stream_events = events(&reg, 4);
+        let report = run_sharded(
+            &program,
+            &reg,
+            EngineConfig::default(),
+            1,
+            &mut VecStream::new(stream_events),
+        )
+        .unwrap();
+        assert!(report.max_latency_ns > 0);
+        let elapsed: Time = 1;
+        let _ = elapsed;
+    }
+}

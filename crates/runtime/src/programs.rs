@@ -1,0 +1,577 @@
+//! Per-partition program instantiation.
+//!
+//! Context state is partition-scoped (one context bit vector per road
+//! segment, §6.2), and so is all pattern state: a sequence must not mix
+//! events of different road segments. The engine therefore clones a
+//! [`ProgramTemplate`] into per-partition [`PartitionPrograms`] lazily.
+//!
+//! The template construction also realizes two execution-strategy
+//! decisions:
+//!
+//! * **Workload sharing** (§5.3): structurally identical queries keep a
+//!   single *representative* plan whose context window admits the union
+//!   of all member contexts (the grouped windows of Listing 1); the
+//!   other members are dropped and accounted as fan-out.
+//! * **Context-independent baseline** (§7, state of the art \[34, 5\]):
+//!   every plan stays active all the time, and every processing query
+//!   carries private clones of its context's deriving queries — the
+//!   re-derivation work a context-unaware engine performs per query.
+
+use caesar_algebra::context_table::{ContextTable, Transition};
+use caesar_algebra::ops::Op;
+use caesar_algebra::plan::{CombinedPlan, PlanOutput, QueryPlan};
+use caesar_events::{Event, PartitionId, Time};
+use caesar_optimizer::mqo::SharedWorkload;
+use caesar_query::ast::QueryId;
+use std::collections::BTreeMap;
+
+/// Whether the engine runs context-aware or as the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// CAESAR: suspension by context, derivation shared per context.
+    #[default]
+    ContextAware,
+    /// Baseline: all queries always active; each processing query
+    /// re-derives its context privately.
+    ContextIndependent,
+}
+
+/// The blueprint cloned into each partition.
+#[derive(Debug, Clone)]
+pub struct ProgramTemplate {
+    /// Context-deriving plans (flattened across contexts).
+    pub deriving: Vec<QueryPlan>,
+    /// Per-context combined plans of the processing queries.
+    pub processing: Vec<CombinedPlan>,
+    /// Fan-out per representative query id (members sharing its
+    /// execution, including itself).
+    pub fanout: BTreeMap<QueryId, usize>,
+    /// Redundant deriving clones of the baseline (empty in CAESAR mode):
+    /// one clone of each deriving plan per processing query of its
+    /// context, with the transition operators stripped.
+    pub redundant: Vec<QueryPlan>,
+    /// Execution mode.
+    pub mode: Mode,
+}
+
+impl ProgramTemplate {
+    /// Builds a template from translated combined plans.
+    ///
+    /// `sharing` (from the optimizer) lists the groups whose members
+    /// execute once; pass an empty slice to disable sharing.
+    #[must_use]
+    pub fn build(combined: Vec<CombinedPlan>, sharing: &[SharedWorkload], mode: Mode) -> Self {
+        Self::build_with(combined, sharing, mode, true)
+    }
+
+    /// [`ProgramTemplate::build`] with control over baseline push-down:
+    /// `baseline_pushdown = false` leaves context windows wherever the
+    /// plans put them, modelling a literal SASE-style busy-waiting
+    /// engine (see `EngineConfig::baseline_pushdown`).
+    #[must_use]
+    pub fn build_with(
+        combined: Vec<CombinedPlan>,
+        sharing: &[SharedWorkload],
+        mode: Mode,
+        baseline_pushdown: bool,
+    ) -> Self {
+        // Which queries are dropped in favour of a representative, and
+        // which extra context bits each representative gains.
+        let mut drop: BTreeMap<QueryId, QueryId> = BTreeMap::new();
+        let mut fanout: BTreeMap<QueryId, usize> = BTreeMap::new();
+        for group in sharing {
+            if group.members.len() > 1 {
+                fanout.insert(group.representative, group.members.len());
+                for &m in &group.members {
+                    if m != group.representative {
+                        drop.insert(m, group.representative);
+                    }
+                }
+            }
+        }
+        // Context bit of each dropped member, keyed by representative.
+        let mut extra_bits: BTreeMap<QueryId, Vec<u8>> = BTreeMap::new();
+        for c in &combined {
+            for p in &c.plans {
+                if let Some(&rep) = drop.get(&p.query_id) {
+                    extra_bits.entry(rep).or_default().push(p.context_bit);
+                }
+            }
+        }
+
+        let mut deriving = Vec::new();
+        let mut processing = Vec::new();
+        for c in combined {
+            let mut kept_processing = Vec::new();
+            for mut p in c.plans {
+                if drop.contains_key(&p.query_id) {
+                    continue; // executed by its representative
+                }
+                if let Some(bits) = extra_bits.get(&p.query_id) {
+                    widen_context_window(&mut p, bits);
+                }
+                // Pattern state is scoped to the context window. In
+                // context-aware mode the batch-level router provides that
+                // scoping even for unoptimized chains; the baseline has
+                // no router, so the context window MUST sit below the
+                // pattern — this is a semantic requirement here, not an
+                // optimization.
+                if mode == Mode::ContextIndependent && baseline_pushdown {
+                    caesar_optimizer::pushdown::push_down_context_window(&mut p);
+                }
+                if p.is_deriving {
+                    deriving.push(p);
+                } else {
+                    kept_processing.push(p);
+                }
+            }
+            if !kept_processing.is_empty() {
+                processing.push(CombinedPlan::new(
+                    c.context.clone(),
+                    c.context_bit,
+                    kept_processing,
+                ));
+            }
+        }
+
+        // Baseline re-derivation clones: per processing query, each
+        // deriving plan of the same context, transitions stripped (the
+        // canonical deriving plans still maintain the real table).
+        let mut redundant = Vec::new();
+        if mode == Mode::ContextIndependent {
+            for c in &processing {
+                let context_derivers: Vec<&QueryPlan> = deriving
+                    .iter()
+                    .filter(|d| d.context == c.context)
+                    .collect();
+                for _query in &c.plans {
+                    for d in &context_derivers {
+                        let mut clone = (*d).clone();
+                        clone.ops.retain(|op| {
+                            !matches!(op, Op::ContextInit(_) | Op::ContextTerm(_))
+                        });
+                        // The baseline evaluates the derivation condition
+                        // itself regardless of context state: drop the
+                        // context window too.
+                        clone.ops.retain(|op| !op.is_context_window());
+                        redundant.push(clone);
+                    }
+                }
+            }
+        }
+
+        Self {
+            deriving,
+            processing,
+            fanout,
+            redundant,
+            mode,
+        }
+    }
+
+    /// Total number of executing plans (deriving + processing).
+    #[must_use]
+    pub fn plan_count(&self) -> usize {
+        self.deriving.len() + self.processing.iter().map(CombinedPlan::len).sum::<usize>()
+    }
+}
+
+fn widen_context_window(plan: &mut QueryPlan, extra: &[u8]) {
+    for op in &mut plan.ops {
+        if let Op::ContextWindow(cw) = op {
+            for &b in extra {
+                if b != cw.context_bit && !cw.extra_bits.contains(&b) {
+                    cw.extra_bits.push(b);
+                }
+            }
+        }
+    }
+}
+
+/// The executing program of one stream partition.
+#[derive(Debug, Clone)]
+pub struct PartitionPrograms {
+    /// Deriving plans (run first in every transaction).
+    pub deriving: Vec<QueryPlan>,
+    /// Processing combined plans, one per context.
+    pub processing: Vec<CombinedPlan>,
+    /// Baseline re-derivation clones.
+    pub redundant: Vec<QueryPlan>,
+    /// Derived events awaiting the next transaction's derivation pass
+    /// (deriving queries over derived event types see producer outputs
+    /// one transaction later, which keeps transactions acyclic).
+    feedback: Vec<Event>,
+    /// Cached router gates: per processing plan, the union of its
+    /// members' context window bits (computed once — the router's
+    /// per-batch lookup is then O(active bits)).
+    gates: Vec<Vec<u8>>,
+    mode: Mode,
+}
+
+impl PartitionPrograms {
+    /// Instantiates the template for one partition.
+    #[must_use]
+    pub fn from_template(template: &ProgramTemplate) -> Self {
+        let gates = template
+            .processing
+            .iter()
+            .map(|c| {
+                let mut bits: Vec<u8> = c
+                    .plans
+                    .iter()
+                    .flat_map(|p| {
+                        p.ops.iter().filter_map(|op| match op {
+                            Op::ContextWindow(cw) => Some(cw.all_bits()),
+                            _ => None,
+                        })
+                    })
+                    .flatten()
+                    .collect();
+                bits.sort_unstable();
+                bits.dedup();
+                bits
+            })
+            .collect();
+        Self {
+            deriving: template.deriving.clone(),
+            processing: template.processing.clone(),
+            redundant: template.redundant.clone(),
+            feedback: Vec::new(),
+            gates,
+            mode: template.mode,
+        }
+    }
+
+    /// Phase 1 of a transaction: context derivation. All input events run
+    /// through the deriving plans of currently active contexts (their
+    /// pushed-down context windows gate inactive ones); returns the
+    /// requested transitions in plan/chain order.
+    pub fn run_derivation(
+        &mut self,
+        events: &[Event],
+        table: &ContextTable,
+        _out: &mut PlanOutput,
+    ) -> Vec<Transition> {
+        let mut sink = PlanOutput::default();
+        let pending: Vec<Event> = self.feedback.drain(..).collect();
+        for plan in &mut self.deriving {
+            for ev in pending.iter().chain(events.iter()) {
+                if plan.consumes(ev.type_id) {
+                    plan.process(ev, table, &mut sink);
+                }
+            }
+        }
+        // Deriving queries have no DERIVE clause: their chain output is
+        // just the pass-through trigger match, not an output-stream
+        // event — only the transitions matter.
+        std::mem::take(&mut sink.transitions)
+    }
+
+    /// The baseline's redundant derivation work: every processing query
+    /// privately re-evaluates its context's deriving conditions on every
+    /// event. Outputs and transitions are discarded — only the canonical
+    /// derivation updates the table.
+    pub fn run_redundant_derivation(&mut self, events: &[Event], table: &ContextTable) {
+        let mut sink = PlanOutput::default();
+        for plan in &mut self.redundant {
+            for ev in events {
+                if plan.consumes(ev.type_id) {
+                    plan.process(ev, table, &mut sink);
+                }
+            }
+            sink.clear();
+        }
+    }
+
+    /// Phase 2 of a transaction: context processing. In context-aware
+    /// mode the router has already selected active plans (`active` holds
+    /// indices into `processing`); in the baseline every plan runs.
+    /// Derived events are also queued as feedback for the next
+    /// derivation pass.
+    pub fn run_processing(
+        &mut self,
+        events: &[Event],
+        table: &ContextTable,
+        active: &[usize],
+        out: &mut PlanOutput,
+    ) {
+        let mut sink = PlanOutput::default();
+        for &idx in active {
+            let plan = &mut self.processing[idx];
+            for ev in events {
+                if plan.consumes_external(ev.type_id) {
+                    plan.process(ev, table, &mut sink);
+                }
+            }
+        }
+        self.feedback.extend(sink.events.iter().cloned());
+        out.events.append(&mut sink.events);
+        out.transitions.append(&mut sink.transitions);
+    }
+
+    /// Context-history maintenance after a window of `bit` terminated in
+    /// this partition (§6.2 "Context Processing"):
+    /// * plans scoped to `bit` alone discard their partial matches;
+    /// * shared plans spanning other still-open member windows only
+    ///   expire partials that started before every still-open member
+    ///   window began (Figure 7's grouped-window expiry).
+    pub fn on_context_terminated(
+        &mut self,
+        bit: u8,
+        partition: PartitionId,
+        table: &ContextTable,
+    ) {
+        let pc = table.partition(partition);
+        for plan in self
+            .processing
+            .iter_mut()
+            .flat_map(|c| c.plans.iter_mut())
+            .chain(self.deriving.iter_mut())
+        {
+            let Some(Op::ContextWindow(cw)) =
+                plan.ops.iter().find(|o| o.is_context_window())
+            else {
+                continue;
+            };
+            let bits = cw.all_bits();
+            if !bits.contains(&bit) {
+                continue;
+            }
+            // Member windows still open (other than the terminated one).
+            let still_open_starts: Vec<Time> = bits
+                .iter()
+                .filter(|&&b| b != bit && pc.holds(b))
+                .filter_map(|&b| pc.open_span(b).map(|w| w.initiated))
+                .collect();
+            match still_open_starts.iter().min() {
+                None => plan.reset_state(),
+                Some(&earliest) => plan.expire_history(earliest),
+            }
+        }
+    }
+
+    /// Advances the watermark on every plan (pruning partial state and
+    /// flushing matured trailing-negation matches through the chains).
+    pub fn advance_time(&mut self, watermark: Time, table: &ContextTable, out: &mut PlanOutput) {
+        for plan in &mut self.deriving {
+            // Transitions matter; pass-through matches are discarded
+            // (see `run_derivation`).
+            let mut sink = PlanOutput::default();
+            plan.advance_time(watermark, table, &mut sink);
+            out.transitions.append(&mut sink.transitions);
+        }
+        for combined in &mut self.processing {
+            combined.advance_time(watermark, table, out);
+        }
+        for plan in &mut self.redundant {
+            let mut discard = PlanOutput::default();
+            plan.advance_time(watermark, table, &mut discard);
+        }
+    }
+
+    /// Indices of the processing plans whose gate admits time `t` at
+    /// `partition` — the context-aware router's batch-level selection.
+    /// In baseline mode every plan is selected.
+    #[must_use]
+    pub fn active_processing(
+        &self,
+        partition: PartitionId,
+        t: Time,
+        table: &ContextTable,
+    ) -> Vec<usize> {
+        if self.mode == Mode::ContextIndependent {
+            return (0..self.processing.len()).collect();
+        }
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, bits)| bits.iter().any(|&b| table.admits(partition, b, t)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Live partial matches across all plans (memory metric).
+    #[must_use]
+    pub fn live_partials(&self) -> usize {
+        self.deriving
+            .iter()
+            .map(QueryPlan::live_partials)
+            .chain(
+                self.processing
+                    .iter()
+                    .flat_map(|c| c.plans.iter().map(QueryPlan::live_partials)),
+            )
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+    use caesar_events::{AttrType, Schema, SchemaRegistry, Value};
+    use caesar_optimizer::{Optimizer, OptimizerConfig};
+    use caesar_query::parser::parse_model;
+    use caesar_query::queryset::QuerySet;
+
+    fn setup(share: bool, mode: Mode) -> (ProgramTemplate, SchemaRegistry, Vec<String>, u8) {
+        let model = parse_model(
+            r#"
+            MODEL m DEFAULT idle
+            CONTEXT idle {
+                SWITCH CONTEXT busy PATTERN Spike
+                DERIVE Ping(r.v) PATTERN Reading r CONTEXT idle, busy
+            }
+            CONTEXT busy {
+                SWITCH CONTEXT idle PATTERN Lull
+                DERIVE Heavy(r.v) PATTERN Reading r WHERE r.v > 10
+            }
+        "#,
+        )
+        .unwrap();
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = SchemaRegistry::new();
+        reg.register(Schema::new("Reading", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Spike", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Lull", &[("v", AttrType::Int)])).unwrap();
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+        let names = t.context_names.clone();
+        let default_bit = t.default_bit;
+        let cfg = OptimizerConfig {
+            share_workloads: share,
+            ..OptimizerConfig::default()
+        };
+        let program = Optimizer::new(cfg, Default::default()).optimize(t, &reg);
+        let sharing = program.sharing.clone();
+        let template = ProgramTemplate::build(program.translation.combined, &sharing, mode);
+        (template, reg, names, default_bit)
+    }
+
+    fn reading(reg: &SchemaRegistry, t: Time, v: i64) -> Event {
+        Event::simple(
+            reg.lookup("Reading").unwrap(),
+            t,
+            PartitionId(0),
+            vec![Value::Int(v)],
+        )
+    }
+
+    #[test]
+    fn template_splits_deriving_and_processing() {
+        let (template, ..) = setup(false, Mode::ContextAware);
+        assert_eq!(template.deriving.len(), 2, "two switch queries");
+        // Processing: Ping in idle, Ping in busy, Heavy in busy.
+        let total: usize = template.processing.iter().map(CombinedPlan::len).sum();
+        assert_eq!(total, 3);
+        assert!(template.redundant.is_empty());
+    }
+
+    #[test]
+    fn sharing_drops_duplicate_instances_and_widens_gate() {
+        let (template, ..) = setup(true, Mode::ContextAware);
+        let total: usize = template.processing.iter().map(CombinedPlan::len).sum();
+        assert_eq!(total, 2, "Ping executes once for both contexts");
+        // The representative's context window covers both contexts.
+        let rep = template
+            .processing
+            .iter()
+            .flat_map(|c| c.plans.iter())
+            .find(|p| {
+                p.source.query.derive.as_ref().is_some_and(|d| d.event_type == "Ping")
+            })
+            .unwrap();
+        let cw = rep
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::ContextWindow(cw) => Some(cw),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cw.all_bits().len(), 2);
+        assert_eq!(template.fanout.len(), 1);
+    }
+
+    #[test]
+    fn baseline_builds_redundant_derivers() {
+        let (template, ..) = setup(false, Mode::ContextIndependent);
+        // idle has 1 processing query × 1 deriver; busy has 2 × 1.
+        assert_eq!(template.redundant.len(), 3);
+        for r in &template.redundant {
+            assert!(
+                !r.ops.iter().any(|o| matches!(
+                    o,
+                    Op::ContextInit(_) | Op::ContextTerm(_)
+                ) || o.is_context_window()),
+                "redundant clones must not mutate context state"
+            );
+        }
+    }
+
+    #[test]
+    fn router_selects_only_active_contexts() {
+        let (template, _reg, names, default_bit) = setup(false, Mode::ContextAware);
+        let programs = PartitionPrograms::from_template(&template);
+        let table = ContextTable::new(names.len(), default_bit);
+        let active = programs.active_processing(PartitionId(0), 5, &table);
+        // Only the idle (default) context's combined plan is active.
+        assert_eq!(active.len(), 1);
+        assert_eq!(programs.processing[active[0]].context, "idle");
+    }
+
+    #[test]
+    fn baseline_router_selects_everything() {
+        let (template, _reg, names, default_bit) = setup(false, Mode::ContextIndependent);
+        let programs = PartitionPrograms::from_template(&template);
+        let table = ContextTable::new(names.len(), default_bit);
+        let active = programs.active_processing(PartitionId(0), 5, &table);
+        assert_eq!(active.len(), programs.processing.len());
+    }
+
+    #[test]
+    fn derivation_produces_transitions() {
+        let (template, reg, names, default_bit) = setup(false, Mode::ContextAware);
+        let mut programs = PartitionPrograms::from_template(&template);
+        let table = ContextTable::new(names.len(), default_bit);
+        let spike = Event::simple(
+            reg.lookup("Spike").unwrap(),
+            10,
+            PartitionId(0),
+            vec![Value::Int(1)],
+        );
+        let mut out = PlanOutput::default();
+        let transitions = programs.run_derivation(&[spike], &table, &mut out);
+        assert_eq!(transitions.len(), 2, "switch = terminate + initiate");
+    }
+
+    #[test]
+    fn processing_respects_active_selection() {
+        let (template, reg, names, default_bit) = setup(false, Mode::ContextAware);
+        let mut programs = PartitionPrograms::from_template(&template);
+        let table = ContextTable::new(names.len(), default_bit);
+        let mut out = PlanOutput::default();
+        let active = programs.active_processing(PartitionId(0), 5, &table);
+        programs.run_processing(&[reading(&reg, 5, 3)], &table, &active, &mut out);
+        // Ping fires in idle; Heavy (busy) suspended.
+        let ping = reg.lookup("Ping").unwrap();
+        assert!(out.events.iter().all(|e| e.type_id == ping));
+        assert_eq!(out.events.len(), 1);
+    }
+
+    #[test]
+    fn context_termination_resets_plain_plans() {
+        let (template, reg, names, default_bit) = setup(false, Mode::ContextAware);
+        let mut programs = PartitionPrograms::from_template(&template);
+        let mut table = ContextTable::new(names.len(), default_bit);
+        let busy_bit = names.iter().position(|n| n == "busy").unwrap() as u8;
+        table.partition_mut(PartitionId(0)).initiate(busy_bit, 0);
+        // Feed an event so plans in busy could build state, then
+        // terminate busy and confirm reset.
+        let mut out = PlanOutput::default();
+        let active = programs.active_processing(PartitionId(0), 5, &table);
+        programs.run_processing(&[reading(&reg, 5, 50)], &table, &active, &mut out);
+        table.partition_mut(PartitionId(0)).terminate(busy_bit, 6);
+        programs.on_context_terminated(busy_bit, PartitionId(0), &table);
+        assert_eq!(programs.live_partials(), 0);
+    }
+}

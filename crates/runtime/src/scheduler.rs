@@ -1,0 +1,192 @@
+//! The time-driven scheduler (§6.2).
+//!
+//! "For each time stamp t, our scheduler waits till the event distributor
+//! progress is larger than t and the context derivation for all
+//! transactions with time stamps smaller than t is completed. Then, the
+//! scheduler extracts all events with the time stamp t from the event
+//! queues, wraps their processing into transactions (one transaction per
+//! road segment) and submits them for execution."
+//!
+//! Streams are in-order (§6.2), so once an event with timestamp `T`
+//! arrives, every event with timestamp `< T` has been observed — the
+//! distributor progress. The engine executes released transactions
+//! strictly in timestamp order (derivation before processing within each
+//! transaction), which satisfies the conflict-ordering correctness
+//! criterion checked in [`crate::txn`].
+
+use crate::txn::StreamTransaction;
+use caesar_events::{Event, EventError, PartitionId, PartitionedQueues, Time};
+
+/// Buffers in-order events and releases them as per-partition,
+/// per-timestamp stream transactions once the progress watermark passes.
+#[derive(Debug, Default)]
+pub struct TimeDrivenScheduler {
+    queues: PartitionedQueues,
+    /// Highest timestamp ever ingested (the distributor progress).
+    progress: Time,
+    /// Total events ingested.
+    pub events_ingested: u64,
+    /// Total transactions released.
+    pub transactions_released: u64,
+}
+
+impl TimeDrivenScheduler {
+    /// Creates an empty scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one event (the event distributor's enqueue). Rejects
+    /// out-of-order arrivals per partition.
+    pub fn ingest(&mut self, event: Event) -> Result<(), EventError> {
+        let t = event.time();
+        if t < self.progress {
+            // The *global* stream must also be in-order for the progress
+            // watermark to be meaningful.
+            return Err(EventError::OutOfOrder {
+                watermark: self.progress,
+                timestamp: t,
+            });
+        }
+        self.progress = t;
+        self.events_ingested += 1;
+        self.queues.push(event)
+    }
+
+    /// The distributor progress: all events with smaller timestamps have
+    /// arrived.
+    #[must_use]
+    pub fn progress(&self) -> Time {
+        self.progress
+    }
+
+    /// Releases every transaction with timestamp strictly below
+    /// `up_to` (events at the watermark itself may still arrive), in
+    /// global timestamp order; ties broken by partition id.
+    pub fn release(&mut self, up_to: Time) -> Vec<StreamTransaction> {
+        let mut out = Vec::new();
+        while let Some(t) = self.queues.earliest_pending() {
+            if t >= up_to {
+                break;
+            }
+            for (partition, queue) in self.queues.iter_mut() {
+                if queue.head_time() == Some(t) {
+                    let batch = queue.pop_batch(t);
+                    if !batch.is_empty() {
+                        out.push(StreamTransaction::new(partition, batch));
+                    }
+                }
+            }
+        }
+        self.transactions_released += out.len() as u64;
+        out
+    }
+
+    /// Releases everything buffered (end of stream).
+    pub fn flush(&mut self) -> Vec<StreamTransaction> {
+        self.release(Time::MAX)
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.queues.buffered()
+    }
+
+    /// Number of partitions seen so far.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.queues.partitions()
+    }
+
+    /// The earliest pending timestamp, if any.
+    #[must_use]
+    pub fn earliest_pending(&self) -> Option<Time> {
+        self.queues.earliest_pending()
+    }
+
+    /// Direct access to one partition's queue length (metrics).
+    #[must_use]
+    pub fn queue_len(&self, p: PartitionId) -> usize {
+        self.queues.get(p).map_or(0, caesar_events::EventQueue::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_events::{TypeId, Value};
+
+    fn ev(t: Time, p: u32) -> Event {
+        Event::simple(TypeId(0), t, PartitionId(p), vec![Value::Int(0)])
+    }
+
+    #[test]
+    fn releases_only_below_watermark() {
+        let mut s = TimeDrivenScheduler::new();
+        for e in [ev(1, 0), ev(1, 1), ev(2, 0), ev(3, 1)] {
+            s.ingest(e).unwrap();
+        }
+        let released = s.release(2);
+        // Both partitions' t=1 transactions released, t≥2 held back.
+        assert_eq!(released.len(), 2);
+        assert!(released.iter().all(|t| t.time == 1));
+        assert_eq!(s.buffered(), 2);
+    }
+
+    #[test]
+    fn released_transactions_are_time_ordered() {
+        let mut s = TimeDrivenScheduler::new();
+        for e in [ev(1, 1), ev(2, 0), ev(2, 1), ev(5, 0), ev(5, 1), ev(7, 0)] {
+            s.ingest(e).unwrap();
+        }
+        let released = s.flush();
+        assert!(StreamTransaction::is_correct_order(&released));
+        let times: Vec<Time> = released.iter().map(|t| t.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "global timestamp order");
+        assert_eq!(s.transactions_released, released.len() as u64);
+    }
+
+    #[test]
+    fn one_transaction_per_partition_per_timestamp() {
+        let mut s = TimeDrivenScheduler::new();
+        for e in [ev(4, 0), ev(4, 0), ev(4, 1)] {
+            s.ingest(e).unwrap();
+        }
+        let released = s.flush();
+        assert_eq!(released.len(), 2);
+        let p0 = released.iter().find(|t| t.partition == PartitionId(0)).unwrap();
+        assert_eq!(p0.batch.len(), 2, "same-timestamp events share a transaction");
+    }
+
+    #[test]
+    fn global_out_of_order_rejected() {
+        let mut s = TimeDrivenScheduler::new();
+        s.ingest(ev(10, 0)).unwrap();
+        let err = s.ingest(ev(5, 1)).unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn progress_tracks_latest_ingest() {
+        let mut s = TimeDrivenScheduler::new();
+        assert_eq!(s.progress(), 0);
+        s.ingest(ev(9, 0)).unwrap();
+        assert_eq!(s.progress(), 9);
+        assert_eq!(s.earliest_pending(), Some(9));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut s = TimeDrivenScheduler::new();
+        for t in 1..=5 {
+            s.ingest(ev(t, 0)).unwrap();
+        }
+        assert_eq!(s.flush().len(), 5);
+        assert_eq!(s.buffered(), 0);
+        assert!(s.flush().is_empty());
+    }
+}

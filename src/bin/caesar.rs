@@ -1,0 +1,96 @@
+//! `caesar` — command-line driver for the CAESAR engine.
+//!
+//! ```text
+//! caesar check   --model traffic.caesar
+//! caesar explain --model traffic.caesar --schema traffic.schema
+//! caesar run     --model traffic.caesar --schema traffic.schema \
+//!                --events day1.events [--mode ci] [--no-sharing] \
+//!                [--within 60]
+//! ```
+
+use caesar::cli::{build_system, run, RunOptions};
+use caesar::prelude::*;
+use caesar::query::dot::model_to_dot;
+use caesar::query::parse_model;
+use caesar::query::pretty::model_to_string;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  caesar check   --model FILE
+  caesar dot     --model FILE            (Graphviz transition network)
+  caesar explain --model FILE --schema FILE [--within N]
+  caesar run     --model FILE --schema FILE --events FILE
+                 [--mode ca|ci] [--no-sharing] [--within N]";
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("no command given")?;
+    let flag = |name: &str| -> Option<&str> {
+        args.windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].as_str())
+    };
+    let read = |name: &str| -> Result<String, String> {
+        let path = flag(name).ok_or_else(|| format!("missing {name} FILE"))?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let mut options = RunOptions::default();
+    if let Some(w) = flag("--within") {
+        options.within = w.parse().map_err(|e| format!("--within: {e}"))?;
+    }
+    if flag("--mode") == Some("ci") {
+        options.mode = ExecutionMode::ContextIndependent;
+    }
+    if args.iter().any(|a| a == "--no-sharing") {
+        options.sharing = false;
+    }
+
+    match command.as_str() {
+        "check" => {
+            let model_text = read("--model")?;
+            let model = parse_model(&model_text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "model '{}' is valid: {} contexts, {} queries\n\n{}",
+                model.name,
+                model.contexts.len(),
+                model.query_count(),
+                model_to_string(&model)
+            ))
+        }
+        "dot" => {
+            let model_text = read("--model")?;
+            let model = parse_model(&model_text).map_err(|e| e.to_string())?;
+            Ok(model_to_dot(&model))
+        }
+        "explain" => {
+            let model_text = read("--model")?;
+            let schema_text = read("--schema")?;
+            let system = build_system(&model_text, &schema_text, &options)
+                .map_err(|e| e.to_string())?;
+            Ok(system.explain)
+        }
+        "run" => {
+            let model_text = read("--model")?;
+            let schema_text = read("--schema")?;
+            let events_text = read("--events")?;
+            run(&model_text, &schema_text, &events_text, &options)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

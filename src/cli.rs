@@ -1,0 +1,338 @@
+//! Building blocks of the `caesar` command-line tool: schema files,
+//! textual event files, and the run/explain/check drivers.
+//!
+//! File formats (all line-oriented, `#` starts a comment):
+//!
+//! * **Schema file** — one event type per line:
+//!   `PositionReport vid:int sec:int lane:str`
+//! * **Event file** — one event per line:
+//!   `<time> <partition> <TypeName> attr=value attr=value ...`
+//!   (string values may be quoted; events must be time-ordered).
+//!   Files ending in `.bin` instead use the binary codec of
+//!   [`caesar_events::codec`].
+
+use caesar_core::prelude::*;
+use caesar_core::{CaesarBuilder, CaesarSystem};
+use std::fmt;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed schema or event line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Underlying system error.
+    System(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Parse { line, detail } => write!(f, "line {line}: {detail}"),
+            CliError::System(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_err(line: usize, detail: impl Into<String>) -> CliError {
+    CliError::Parse {
+        line,
+        detail: detail.into(),
+    }
+}
+
+/// One schema declaration: type name plus its attributes.
+pub type SchemaDecl = (String, Vec<(String, AttrType)>);
+
+/// Parses a schema file into `(type name, attributes)` declarations.
+pub fn parse_schema_file(text: &str) -> Result<Vec<SchemaDecl>, CliError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing type name"))?
+            .to_string();
+        let mut attrs = Vec::new();
+        for spec in parts {
+            let (attr, ty) = spec
+                .split_once(':')
+                .ok_or_else(|| parse_err(i + 1, format!("attribute '{spec}' needs name:type")))?;
+            let ty = match ty {
+                "int" => AttrType::Int,
+                "float" => AttrType::Float,
+                "str" => AttrType::Str,
+                "bool" => AttrType::Bool,
+                other => {
+                    return Err(parse_err(
+                        i + 1,
+                        format!("unknown type '{other}' (int|float|str|bool)"),
+                    ))
+                }
+            };
+            attrs.push((attr.to_string(), ty));
+        }
+        out.push((name, attrs));
+    }
+    Ok(out)
+}
+
+/// Applies schema declarations to a builder.
+#[must_use]
+pub fn apply_schemas(mut builder: CaesarBuilder, schemas: &[SchemaDecl]) -> CaesarBuilder {
+    for (name, attrs) in schemas {
+        let refs: Vec<(&str, AttrType)> =
+            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        builder = builder.schema(name, &refs);
+    }
+    builder
+}
+
+/// Parses a textual event file against a built system's registry.
+pub fn parse_event_file(text: &str, system: &CaesarSystem) -> Result<Vec<Event>, CliError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let time: Time = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(i + 1, "expected integer timestamp"))?;
+        let partition: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| parse_err(i + 1, "expected integer partition"))?;
+        let type_name = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "expected event type name"))?;
+        let mut builder = system
+            .event(type_name, time)
+            .map_err(|e| parse_err(i + 1, e.to_string()))?
+            .partition(PartitionId(partition));
+        for assignment in parts {
+            let (attr, value) = assignment
+                .split_once('=')
+                .ok_or_else(|| parse_err(i + 1, format!("'{assignment}' needs attr=value")))?;
+            let value = parse_value(value);
+            builder = builder
+                .attr(attr, value)
+                .map_err(|e| parse_err(i + 1, e.to_string()))?;
+        }
+        events.push(builder.build().map_err(|e| parse_err(i + 1, e.to_string()))?);
+    }
+    Ok(events)
+}
+
+/// Parses a literal: integers, floats, booleans, then strings
+/// (optionally `"quoted"`).
+#[must_use]
+pub fn parse_value(raw: &str) -> Value {
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match raw {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::str(raw.trim_matches('"')),
+    }
+}
+
+/// Run configuration assembled from CLI flags.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Context-aware or context-independent.
+    pub mode: ExecutionMode,
+    /// Workload sharing on/off.
+    pub sharing: bool,
+    /// Worker shards (1 = single-threaded).
+    pub shards: usize,
+    /// Pattern horizon in ticks.
+    pub within: Time,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            mode: ExecutionMode::ContextAware,
+            sharing: true,
+            shards: 1,
+            within: 300,
+        }
+    }
+}
+
+/// Builds a system from model + schema text.
+pub fn build_system(
+    model_text: &str,
+    schema_text: &str,
+    options: &RunOptions,
+) -> Result<CaesarSystem, CliError> {
+    let schemas = parse_schema_file(schema_text)?;
+    let builder = apply_schemas(Caesar::builder(), &schemas)
+        .model_text(model_text)
+        .within(options.within)
+        .engine_config(EngineConfig {
+            mode: options.mode,
+            sharing: options.sharing,
+            ..EngineConfig::default()
+        });
+    builder.build().map_err(|e| CliError::System(e.to_string()))
+}
+
+/// Runs events through a freshly built system and renders the report.
+pub fn run(
+    model_text: &str,
+    schema_text: &str,
+    events_text: &str,
+    options: &RunOptions,
+) -> Result<String, CliError> {
+    let mut system = build_system(model_text, schema_text, options)?;
+    let events = parse_event_file(events_text, &system)?;
+    let report = if options.shards <= 1 {
+        system
+            .run_stream(&mut VecStream::new(events))
+            .map_err(|e| CliError::System(e.to_string()))?
+    } else {
+        // Sharded execution needs the raw program; rebuild through the
+        // low-level path.
+        return Err(CliError::System(
+            "sharded runs are available through the library API \
+             (caesar::runtime::run_sharded)"
+                .into(),
+        ));
+    };
+    Ok(render_report(&report))
+}
+
+/// Renders a run report as text.
+#[must_use]
+pub fn render_report(report: &RunReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("events in:           {}\n", report.events_in));
+    s.push_str(&format!("events out:          {}\n", report.events_out));
+    s.push_str(&format!(
+        "context transitions: {}\n",
+        report.transitions_applied
+    ));
+    s.push_str(&format!(
+        "plans suspended:     {} ({} fed)\n",
+        report.plans_suspended, report.plans_fed
+    ));
+    s.push_str(&format!(
+        "max latency:         {:.3} ms\n",
+        report.max_latency_ns as f64 / 1e6
+    ));
+    s.push_str("outputs:\n");
+    for (ty, n) in &report.outputs_by_type {
+        if !ty.starts_with("$match") {
+            s.push_str(&format!("  {ty:30} {n}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "\
+# traffic schema
+PositionReport vid:int sec:int lane:str
+ManySlowCars seg:int
+FewFastCars seg:int
+";
+
+    const MODEL: &str = r#"
+MODEL traffic DEFAULT clear
+CONTEXT clear {
+    SWITCH CONTEXT congestion PATTERN ManySlowCars
+}
+CONTEXT congestion {
+    SWITCH CONTEXT clear PATTERN FewFastCars
+    DERIVE TollNotification(p.vid, p.sec, 5)
+        PATTERN PositionReport p WHERE p.lane != "exit"
+}
+"#;
+
+    const EVENTS: &str = "\
+# time partition type attrs...
+1  0 PositionReport vid=7 sec=1 lane=travel
+5  0 ManySlowCars seg=0
+6  0 PositionReport vid=7 sec=6 lane=travel
+7  0 PositionReport vid=8 sec=7 lane=exit
+";
+
+    #[test]
+    fn schema_file_parses() {
+        let schemas = parse_schema_file(SCHEMA).unwrap();
+        assert_eq!(schemas.len(), 3);
+        assert_eq!(schemas[0].0, "PositionReport");
+        assert_eq!(schemas[0].1.len(), 3);
+        assert_eq!(schemas[0].1[2], ("lane".to_string(), AttrType::Str));
+    }
+
+    #[test]
+    fn schema_errors_carry_line_numbers() {
+        let err = parse_schema_file("Good a:int\nBad a-int\n").unwrap_err();
+        match err {
+            CliError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+        let err = parse_schema_file("Bad a:quux\n").unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+    }
+
+    #[test]
+    fn value_literals() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("-1"), Value::Int(-1));
+        assert_eq!(parse_value("2.5"), Value::Float(2.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("travel"), Value::str("travel"));
+        assert_eq!(parse_value("\"exit\""), Value::str("exit"));
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let out = run(MODEL, SCHEMA, EVENTS, &RunOptions::default()).unwrap();
+        assert!(out.contains("events in:           4"), "{out}");
+        assert!(out.contains("TollNotification"), "{out}");
+        // One toll: vid 7 at t=6 (vid 8 is on the exit lane).
+        assert!(out.contains("TollNotification               1"), "{out}");
+    }
+
+    #[test]
+    fn event_parse_errors_are_located() {
+        let system = build_system(MODEL, SCHEMA, &RunOptions::default()).unwrap();
+        let err = parse_event_file("1 0 Ghost a=1\n", &system).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse_event_file("x 0 PositionReport\n", &system).unwrap_err();
+        assert!(err.to_string().contains("timestamp"));
+    }
+
+    #[test]
+    fn ci_mode_flag_respected() {
+        let options = RunOptions {
+            mode: ExecutionMode::ContextIndependent,
+            ..RunOptions::default()
+        };
+        let out = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        assert!(out.contains("plans suspended:     0"), "{out}");
+    }
+}

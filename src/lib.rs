@@ -1,0 +1,22 @@
+//! CAESAR — Context-Aware Event Stream Analytics in Real time.
+//!
+//! Top-level crate of the workspace: re-exports the public facade
+//! ([`caesar_core`]) and the workload substrates, and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! See the [README](https://github.com/caesar-cep/caesar-rs) for a
+//! tour, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for
+//! the paper-reproduction results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use caesar_core::*;
+
+/// Linear Road benchmark substrate (traffic simulator, model, oracle).
+pub use caesar_linear_road as linear_road;
+/// Synthetic physical-activity-monitoring substrate.
+pub use caesar_pam as pam;

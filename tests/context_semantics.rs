@@ -1,0 +1,407 @@
+//! Scenario tests of the context-window semantics that make CAESAR
+//! CAESAR: overlapping windows, default-context lifecycle, window-scoped
+//! pattern state, and `(t_i, t_t]` boundary behaviour — all through the
+//! public facade.
+
+use caesar::prelude::*;
+
+fn build(extra: &str) -> CaesarSystem {
+    Caesar::builder()
+        .schema("R", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("StartA", &[("sec", AttrType::Int)])
+        .schema("EndA", &[("sec", AttrType::Int)])
+        .schema("StartB", &[("sec", AttrType::Int)])
+        .schema("EndB", &[("sec", AttrType::Int)])
+        .within(100)
+        .model_text(&format!(
+            r#"
+            MODEL m DEFAULT base
+            CONTEXT base {{
+                INITIATE CONTEXT a PATTERN StartA CONTEXT base, a, b
+                INITIATE CONTEXT b PATTERN StartB CONTEXT base, a, b
+                DERIVE BaseOut(r.v) PATTERN R r
+            }}
+            CONTEXT a {{
+                TERMINATE CONTEXT a PATTERN EndA
+                DERIVE AOut(r.v) PATTERN R r
+                {extra}
+            }}
+            CONTEXT b {{
+                TERMINATE CONTEXT b PATTERN EndB
+                DERIVE BOut(r.v) PATTERN R r
+            }}
+        "#
+        ))
+        .build()
+        .unwrap()
+}
+
+fn reading(sys: &CaesarSystem, t: Time, v: i64) -> Event {
+    sys.event("R", t)
+        .unwrap()
+        .attr("v", v)
+        .unwrap()
+        .attr("sec", t as i64)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn marker(sys: &CaesarSystem, ty: &str, t: Time) -> Event {
+    sys.event(ty, t)
+        .unwrap()
+        .attr("sec", t as i64)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn overlapping_windows_run_concurrently() {
+    let mut sys = build("");
+    let events = vec![
+        reading(&sys, 1, 10),          // base only
+        marker(&sys, "StartA", 5),     // a opens, base (default) closes
+        reading(&sys, 6, 11),          // a only
+        marker(&sys, "StartB", 10),    // b opens; a stays (overlap)
+        reading(&sys, 11, 12),         // a AND b
+        marker(&sys, "EndA", 15),      // a closes; b remains
+        reading(&sys, 16, 13),         // b only
+        marker(&sys, "EndB", 20),      // b closes; default restored
+        reading(&sys, 21, 14),         // base again
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("BaseOut"), 2, "t=1 and t=21");
+    assert_eq!(report.outputs_of("AOut"), 2, "t=6 and t=11");
+    assert_eq!(report.outputs_of("BOut"), 2, "t=11 and t=16");
+}
+
+#[test]
+fn default_window_removed_on_initiation_and_restored_on_empty() {
+    let mut sys = build("");
+    let events = vec![
+        marker(&sys, "StartA", 5),
+        reading(&sys, 6, 1), // base must NOT fire: default removed
+        marker(&sys, "EndA", 10),
+        reading(&sys, 11, 2), // base restored
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("BaseOut"), 1);
+    assert_eq!(report.outputs_of("AOut"), 1);
+}
+
+#[test]
+fn boundary_timestamps_follow_half_open_semantics() {
+    let mut sys = build("");
+    let events = vec![
+        marker(&sys, "StartA", 5),
+        reading(&sys, 5, 1), // at t_i: belongs to base's closing window
+        marker(&sys, "EndA", 9),
+        reading(&sys, 9, 2), // at t_t: still in a
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("BaseOut"), 1, "t=5 belongs to base");
+    assert_eq!(report.outputs_of("AOut"), 1, "t=9 belongs to a");
+}
+
+#[test]
+fn pattern_state_is_window_scoped() {
+    // A pair pattern in context a: the first element arriving in one
+    // window instance must not combine with a second element in the
+    // next instance.
+    let mut sys = build(
+        "DERIVE APair(x.v, y.v) PATTERN SEQ(R x, R y) WHERE x.v = y.v",
+    );
+    let events = vec![
+        marker(&sys, "StartA", 5),
+        reading(&sys, 6, 42),  // x candidate in window 1
+        marker(&sys, "EndA", 8),
+        marker(&sys, "StartA", 10),
+        reading(&sys, 11, 42), // same v in window 2: must NOT pair
+        reading(&sys, 12, 42), // pairs with t=11 within window 2
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(
+        report.outputs_of("APair"),
+        1,
+        "only the in-window pair (11,12) may match"
+    );
+}
+
+#[test]
+fn reinitiation_within_open_window_is_noop() {
+    let mut sys = build("");
+    let events = vec![
+        marker(&sys, "StartA", 5),
+        marker(&sys, "StartA", 7), // CI on open window: no-op
+        reading(&sys, 8, 1),
+        marker(&sys, "EndA", 9),
+        reading(&sys, 10, 2), // default restored
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("AOut"), 1);
+    assert_eq!(report.outputs_of("BaseOut"), 1);
+}
+
+#[test]
+fn termination_of_closed_window_is_noop() {
+    let mut sys = build("");
+    let events = vec![
+        marker(&sys, "EndA", 3), // a never opened
+        reading(&sys, 4, 1),     // base still the only context
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("BaseOut"), 1);
+    assert_eq!(report.outputs_of("AOut"), 0);
+}
+
+#[test]
+fn per_partition_context_isolation() {
+    let mut sys = build("");
+    // StartA only on partition 0.
+    let mut start = marker(&sys, "StartA", 5);
+    start.partition = PartitionId(0);
+    let mut r0 = reading(&sys, 6, 1);
+    r0.partition = PartitionId(0);
+    let mut r1 = reading(&sys, 6, 2);
+    r1.partition = PartitionId(1);
+    for e in [start, r0, r1] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("AOut"), 1, "partition 0 in context a");
+    assert_eq!(report.outputs_of("BaseOut"), 1, "partition 1 still base");
+}
+
+#[test]
+fn trailing_negation_emits_after_quiet_horizon() {
+    let mut sys = Caesar::builder()
+        .schema("Order", &[("id", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Payment", &[("id", AttrType::Int), ("sec", AttrType::Int)])
+        .within(50)
+        .model_text(
+            r#"
+            MODEL m DEFAULT watch
+            CONTEXT watch {
+                DERIVE UnpaidOrder(o.id, o.sec)
+                    PATTERN SEQ(Order o, NOT Payment p)
+                    WHERE o.id = p.id
+            }
+        "#,
+        )
+        .build()
+        .unwrap();
+    let order = |t: Time, id: i64, sys: &CaesarSystem| {
+        sys.event("Order", t)
+            .unwrap()
+            .attr("id", id)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let payment = |t: Time, id: i64, sys: &CaesarSystem| {
+        sys.event("Payment", t)
+            .unwrap()
+            .attr("id", id)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let events = vec![
+        order(10, 1, &sys),   // paid at 30 → no alert
+        order(12, 2, &sys),   // never paid → alert after t=62
+        payment(30, 1, &sys),
+        order(100, 3, &sys),  // stream continues past both horizons
+        order(200, 4, &sys),
+    ];
+    for e in events {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    // Orders 2, 3, 4 are unpaid (3 and 4 mature via the final flush).
+    assert_eq!(report.outputs_of("UnpaidOrder"), 3);
+}
+
+#[test]
+fn switch_from_default_still_admits_events_at_switch_timestamp() {
+    // Regression: SWITCH compiled as CT-then-CI used to let CT's
+    // empty-set rule reopen the default and the following CI close it
+    // with a degenerate span, so events at the switch timestamp lost
+    // their (t_i, t_t] right to the closing default window. Table 1's
+    // CI-then-CT order fixes this.
+    let mut sys = Caesar::builder()
+        .schema("R", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Go", &[("sec", AttrType::Int)])
+        .within(100)
+        .model_text(
+            r#"
+            MODEL m DEFAULT base
+            CONTEXT base {
+                SWITCH CONTEXT busy PATTERN Go
+                DERIVE BaseOut(r.v) PATTERN R r
+            }
+            CONTEXT busy {
+                DERIVE BusyOut(r.v) PATTERN R r
+            }
+        "#,
+        )
+        .build()
+        .unwrap();
+    let r = |t: Time, sys: &CaesarSystem| {
+        sys.event("R", t)
+            .unwrap()
+            .attr("v", 1)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let go = sys
+        .event("Go", 10)
+        .unwrap()
+        .attr("sec", 10)
+        .unwrap()
+        .build()
+        .unwrap();
+    sys.ingest(go).unwrap();
+    sys.ingest(r(10, &sys)).unwrap(); // at t_t of base: still base's
+    sys.ingest(r(11, &sys)).unwrap(); // first busy event
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("BaseOut"), 1, "event at switch timestamp");
+    assert_eq!(report.outputs_of("BusyOut"), 1);
+}
+
+#[test]
+fn closing_window_state_survives_its_last_transaction() {
+    // Regression: plan state used to be reset when the Terminate
+    // transition was applied, before the same-timestamp events were
+    // processed — a pair completing exactly at the termination
+    // timestamp was lost.
+    let mut sys = Caesar::builder()
+        .schema("R", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Stop", &[("sec", AttrType::Int)])
+        .schema("Go", &[("sec", AttrType::Int)])
+        .within(100)
+        .model_text(
+            r#"
+            MODEL m DEFAULT idle
+            CONTEXT idle {
+                INITIATE CONTEXT busy PATTERN Go
+            }
+            CONTEXT busy {
+                TERMINATE CONTEXT busy PATTERN Stop
+                DERIVE Pair(a.v, b.v) PATTERN SEQ(R a, R b) WHERE a.v = b.v
+            }
+        "#,
+        )
+        .build()
+        .unwrap();
+    let r = |t: Time, sys: &CaesarSystem| {
+        sys.event("R", t)
+            .unwrap()
+            .attr("v", 7)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let marker = |ty: &str, t: Time, sys: &CaesarSystem| {
+        sys.event(ty, t)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    sys.ingest(marker("Go", 5, &sys)).unwrap();
+    sys.ingest(r(6, &sys)).unwrap(); // first element
+    sys.ingest(marker("Stop", 8, &sys)).unwrap(); // window closes at 8...
+    sys.ingest(r(8, &sys)).unwrap(); // ...but t=8 is still inside (5, 8]
+    let report = sys.finish();
+    assert_eq!(
+        report.outputs_of("Pair"),
+        1,
+        "pair completing at the termination timestamp must match"
+    );
+}
+
+#[test]
+fn default_window_state_resets_when_removed_by_initiation() {
+    // Regression: CI_c removes the default window (§4.1) without a
+    // Terminate transition; the default context's pattern state must
+    // still be discarded so the next default window instance starts
+    // fresh — even when the intervening window is shorter than the
+    // pattern horizon.
+    let mut sys = Caesar::builder()
+        .schema("R", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Alarm", &[("sec", AttrType::Int)])
+        .schema("AllOk", &[("sec", AttrType::Int)])
+        .within(1000) // horizon far larger than the alarm window
+        .model_text(
+            r#"
+            MODEL m DEFAULT calm
+            CONTEXT calm {
+                INITIATE CONTEXT alarm PATTERN Alarm
+                DERIVE CalmPair(a.v, b.v) PATTERN SEQ(R a, R b) WHERE a.v = b.v
+            }
+            CONTEXT alarm {
+                TERMINATE CONTEXT alarm PATTERN AllOk
+            }
+        "#,
+        )
+        .build()
+        .unwrap();
+    let r = |t: Time, sys: &CaesarSystem| {
+        sys.event("R", t)
+            .unwrap()
+            .attr("v", 9)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    let marker = |ty: &str, t: Time, sys: &CaesarSystem| {
+        sys.event(ty, t)
+            .unwrap()
+            .attr("sec", t as i64)
+            .unwrap()
+            .build()
+            .unwrap()
+    };
+    sys.ingest(r(1, &sys)).unwrap(); // first element in calm window #1
+    sys.ingest(marker("Alarm", 3, &sys)).unwrap(); // calm closes
+    sys.ingest(marker("AllOk", 5, &sys)).unwrap(); // calm #2 opens
+    sys.ingest(r(6, &sys)).unwrap(); // must NOT pair with the t=1 element
+    sys.ingest(r(7, &sys)).unwrap(); // pairs with t=6 inside calm #2
+    let report = sys.finish();
+    assert_eq!(
+        report.outputs_of("CalmPair"),
+        1,
+        "only the in-window pair (6,7); (1,6) spans two window instances"
+    );
+}

@@ -1,0 +1,213 @@
+//! End-to-end correctness: the engine's Linear Road outputs must equal
+//! the reference oracle's, in every execution mode and optimizer
+//! configuration — optimization and context-awareness change cost, never
+//! results.
+
+use caesar::linear_road::{
+    expected_outputs, lr_model, LinearRoadConfig, TrafficSim,
+};
+use caesar::prelude::*;
+
+fn lr_system(mode: ExecutionMode, optimized: bool, replication: usize) -> CaesarSystem {
+    let seg_attrs: &[(&str, AttrType)] = &[
+        ("xway", AttrType::Int),
+        ("dir", AttrType::Int),
+        ("seg", AttrType::Int),
+        ("sec", AttrType::Int),
+    ];
+    Caesar::builder()
+        .model(lr_model(replication))
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .schema("ManySlowCars", seg_attrs)
+        .schema("FewFastCars", seg_attrs)
+        .schema("StoppedCars", seg_attrs)
+        .schema("StoppedCarsRemoved", seg_attrs)
+        .within(60)
+        .optimizer_config(if optimized {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::unoptimized()
+        })
+        .engine_config(EngineConfig {
+            mode,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("LR model builds")
+}
+
+fn check_against_oracle(config: LinearRoadConfig, mode: ExecutionMode, optimized: bool) {
+    let mut sim = TrafficSim::new(config);
+    let events = sim.generate();
+    let oracle = expected_outputs(&events, sim.registry());
+    let mut system = lr_system(mode, optimized, 1);
+    let report = system
+        .run_stream(&mut VecStream::new(events))
+        .expect("stream is in order");
+    assert_eq!(
+        report.outputs_of("ZeroToll"),
+        oracle.zero_tolls,
+        "zero tolls ({mode:?}, optimized={optimized})"
+    );
+    assert_eq!(
+        report.outputs_of("TollNotification"),
+        oracle.real_tolls,
+        "real tolls ({mode:?}, optimized={optimized})"
+    );
+    assert_eq!(
+        report.outputs_of("AccidentWarning"),
+        oracle.accident_warnings,
+        "accident warnings ({mode:?}, optimized={optimized})"
+    );
+}
+
+fn benchmark_config(seed: u64) -> LinearRoadConfig {
+    LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 6,
+        duration: 900,
+        seed,
+        base_cars: 2.0,
+        peak_cars: 5.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn context_aware_optimized_matches_oracle() {
+    check_against_oracle(benchmark_config(1), ExecutionMode::ContextAware, true);
+}
+
+#[test]
+fn context_aware_unoptimized_matches_oracle() {
+    check_against_oracle(benchmark_config(2), ExecutionMode::ContextAware, false);
+}
+
+#[test]
+fn context_independent_matches_oracle() {
+    check_against_oracle(benchmark_config(3), ExecutionMode::ContextIndependent, false);
+}
+
+#[test]
+fn several_seeds_all_match() {
+    for seed in 10..15 {
+        check_against_oracle(benchmark_config(seed), ExecutionMode::ContextAware, true);
+    }
+}
+
+#[test]
+fn multi_road_streams_match() {
+    let config = LinearRoadConfig {
+        roads: 2,
+        segments_per_road: 4,
+        directions: 2,
+        duration: 600,
+        seed: 77,
+        ..Default::default()
+    };
+    check_against_oracle(config, ExecutionMode::ContextAware, true);
+}
+
+#[test]
+fn replicated_workload_multiplies_outputs() {
+    let config = benchmark_config(4);
+    let mut sim = TrafficSim::new(config);
+    let events = sim.generate();
+    let oracle = expected_outputs(&events, sim.registry());
+
+    let mut system = lr_system(ExecutionMode::ContextAware, true, 3);
+    let report = system
+        .run_stream(&mut VecStream::new(events))
+        .expect("in order");
+    // Base copies plus suffixed replicas must each match the oracle.
+    assert_eq!(report.outputs_of("TollNotification"), oracle.real_tolls);
+    assert_eq!(report.outputs_of("TollNotification_1"), oracle.real_tolls);
+    assert_eq!(report.outputs_of("TollNotification_2"), oracle.real_tolls);
+    assert_eq!(report.outputs_of("AccidentWarning_2"), oracle.accident_warnings);
+}
+
+#[test]
+fn sharing_does_not_change_results() {
+    let config = benchmark_config(5);
+    let mut sim = TrafficSim::new(config);
+    let events = sim.generate();
+    let run = |sharing: bool| {
+        let mut system = Caesar::builder()
+            .model(lr_model(1))
+            .schema(
+                "PositionReport",
+                &[
+                    ("vid", AttrType::Int),
+                    ("sec", AttrType::Int),
+                    ("speed", AttrType::Int),
+                    ("xway", AttrType::Int),
+                    ("lane", AttrType::Str),
+                    ("dir", AttrType::Int),
+                    ("seg", AttrType::Int),
+                    ("pos", AttrType::Int),
+                ],
+            )
+            .schema("ManySlowCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
+            .schema("FewFastCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
+            .schema("StoppedCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
+            .schema("StoppedCarsRemoved", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
+            .within(60)
+            .engine_config(EngineConfig {
+                sharing,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
+        system
+            .run_stream(&mut VecStream::new(events.clone()))
+            .unwrap()
+    };
+    let shared = run(true);
+    let non_shared = run(false);
+    assert_eq!(
+        shared.outputs_of("TollNotification"),
+        non_shared.outputs_of("TollNotification")
+    );
+    assert_eq!(
+        shared.outputs_of("AccidentWarning"),
+        non_shared.outputs_of("AccidentWarning")
+    );
+    assert_eq!(shared.outputs_of("ZeroToll"), non_shared.outputs_of("ZeroToll"));
+}
+
+#[test]
+fn boundary_aligned_windows_match_oracle() {
+    // Context windows whose bounds collide with the 30-second report
+    // cadence maximize same-timestamp marker/report transactions — the
+    // `(t_i, t_t]` boundary cases.
+    use caesar::linear_road::{SchedulePolicy, SegmentSchedule};
+    use caesar::events::Interval;
+    for seed in 20..30 {
+        let config = LinearRoadConfig {
+            roads: 1,
+            segments_per_road: 4,
+            duration: 600,
+            seed,
+            base_cars: 3.0,
+            peak_cars: 6.0,
+            schedule: SchedulePolicy::Explicit(SegmentSchedule {
+                congestion: vec![Interval::new(120, 240), Interval::new(390, 480)],
+                accidents: vec![Interval::new(270, 330)],
+            }),
+            ..Default::default()
+        };
+        check_against_oracle(config, ExecutionMode::ContextAware, true);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fuzz-style property tests: the lexer/parser never panic on arbitrary
+//! input, the wire codec round-trips arbitrary events and rejects
+//! arbitrary corruption without panicking, and expression evaluation is
+//! total (never panics) over random expressions and bindings.
+
+use caesar::events::codec::{decode_all, encode_all};
+use caesar::events::{Event, Interval, PartitionId, TypeId, Value};
+use caesar::query::lexer::tokenize;
+use caesar::query::parser::{parse_model, parse_queries};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality round-trip checks
+        // (the codec itself handles NaN fine).
+        (-1e12f64..1e12).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 _\\-\\.\u{00e9}\u{4e16}]{0,24}".prop_map(Value::str),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u32..100,
+        0u64..1_000_000,
+        0u64..1_000,
+        0u32..64,
+        prop::collection::vec(arb_value(), 0..10),
+    )
+        .prop_map(|(ty, start, span, partition, attrs)| {
+            Event::complex(
+                TypeId(ty),
+                Interval::new(start, start + span),
+                PartitionId(partition),
+                attrs,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_arbitrary_events(events in prop::collection::vec(arb_event(), 0..20)) {
+        let encoded = encode_all(&events);
+        let decoded = decode_all(encoded).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn codec_never_panics_on_corruption(
+        events in prop::collection::vec(arb_event(), 1..5),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let encoded = encode_all(&events);
+        let mut raw = encoded.to_vec();
+        for (idx, byte) in flips {
+            let i = idx.index(raw.len());
+            raw[i] ^= byte;
+        }
+        // Any outcome is fine except a panic.
+        let _ = decode_all(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in "\\PC{0,200}") {
+        let _ = parse_queries(&input);
+        let _ = parse_model(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_shaped_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "DERIVE", "PATTERN", "WHERE", "CONTEXT", "SEQ", "NOT", "AND",
+                "OR", "INITIATE", "SWITCH", "TERMINATE", "MODEL", "DEFAULT",
+                "(", ")", "{", "}", ",", ".", ";", "+", "-", "*", "/", "=",
+                "!=", "<", "<=", ">", ">=", "x", "Type", "42", "3.5", "\"s\"",
+            ]),
+            0..40,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_queries(&input);
+        let _ = parse_model(&input);
+    }
+}
+
+mod expr_totality {
+    use super::*;
+    use caesar::algebra::expr::{BindingLayout, CompiledExpr, LayoutVar, SlotSource};
+    use caesar::events::{AttrType, Schema, SchemaRegistry};
+    use caesar::query::ast::{BinOp, Expr};
+
+    fn arb_op() -> impl Strategy<Value = BinOp> {
+        prop::sample::select(vec![
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::And,
+            BinOp::Or,
+        ])
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            any::<i32>().prop_map(|v| Expr::int(i64::from(v))),
+            Just(Expr::string("s")),
+            Just(Expr::attr("r", "a")),
+            Just(Expr::attr("r", "b")),
+            Just(Expr::attr("r", "s")),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            (arb_op(), inner.clone(), inner).prop_map(|(op, l, r)| Expr::bin(op, l, r))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn evaluation_is_total(expr in arb_expr(), a in any::<i32>(), b in any::<i32>()) {
+            let mut reg = SchemaRegistry::new();
+            reg.register(Schema::new(
+                "R",
+                &[("a", AttrType::Int), ("b", AttrType::Int), ("s", AttrType::Str)],
+            ))
+            .unwrap();
+            let tid = reg.lookup("R").unwrap();
+            let layout = BindingLayout {
+                vars: vec![LayoutVar {
+                    name: "r".into(),
+                    type_id: tid,
+                    source: SlotSource::EventSlot(0),
+                }],
+            };
+            let compiled = CompiledExpr::compile(&expr, &layout, &reg).unwrap();
+            let event = Event::simple(
+                tid,
+                1,
+                PartitionId(0),
+                vec![
+                    Value::Int(i64::from(a)),
+                    Value::Int(i64::from(b)),
+                    Value::str("text"),
+                ],
+            );
+            // Ok or Err both fine; panics are not.
+            let _ = compiled.eval(&[&event]);
+            let mut errors = 0;
+            let _ = compiled.matches(&[&event], &mut errors);
+        }
+    }
+}
