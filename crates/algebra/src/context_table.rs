@@ -219,8 +219,14 @@ impl ContextTable {
     /// range.
     #[must_use]
     pub fn new(num_contexts: usize, default_bit: u8) -> Self {
-        assert!(num_contexts <= 64, "context bit vector holds at most 64 types");
-        assert!((default_bit as usize) < num_contexts, "default bit out of range");
+        assert!(
+            num_contexts <= 64,
+            "context bit vector holds at most 64 types"
+        );
+        assert!(
+            (default_bit as usize) < num_contexts,
+            "default bit out of range"
+        );
         Self {
             partitions: Vec::new(),
             num_contexts,
@@ -347,7 +353,11 @@ mod tests {
         t.partition_mut(P).initiate(CONGESTION, 10);
         let epoch = t.partition(P).epoch(CONGESTION);
         t.partition_mut(P).initiate(CONGESTION, 20);
-        assert_eq!(t.partition(P).epoch(CONGESTION), epoch, "CI on open window is a no-op");
+        assert_eq!(
+            t.partition(P).epoch(CONGESTION),
+            epoch,
+            "CI on open window is a no-op"
+        );
     }
 
     #[test]
@@ -376,7 +386,10 @@ mod tests {
         // Terminating one leaves the other (|W| > 1 branch of CT).
         t.partition_mut(P).terminate(ACCIDENT, 30);
         assert!(t.holds(P, CONGESTION));
-        assert!(!t.holds(P, CLEAR), "default NOT restored while another window holds");
+        assert!(
+            !t.holds(P, CLEAR),
+            "default NOT restored while another window holds"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Stats {
     /// Rate of an event type.
     #[must_use]
     pub fn rate(&self, type_id: TypeId) -> f64 {
-        self.rates.get(&type_id).copied().unwrap_or(self.default_rate)
+        self.rates
+            .get(&type_id)
+            .copied()
+            .unwrap_or(self.default_rate)
     }
 
     /// Records the activity fraction of a context bit.
@@ -197,9 +200,9 @@ mod tests {
         let f = Op::Filter(FilterOp::new(vec![crate::expr::CompiledExpr::Bin {
             op: caesar_query::ast::BinOp::Eq,
             lhs: Box::new(crate::expr::CompiledExpr::Attr { slot: 0, attr: 0 }),
-            rhs: Box::new(crate::expr::CompiledExpr::Const(
-                caesar_events::Value::Int(1),
-            )),
+            rhs: Box::new(crate::expr::CompiledExpr::Const(caesar_events::Value::Int(
+                1,
+            ))),
         }]));
         let (cost, out) = operator_cost(&f, &s, 10.0);
         assert!(cost > 0.0);
@@ -223,14 +226,22 @@ mod tests {
             Op::Filter(FilterOp::new(vec![crate::expr::CompiledExpr::Bin {
                 op: caesar_query::ast::BinOp::Gt,
                 lhs: Box::new(crate::expr::CompiledExpr::Attr { slot: 0, attr: 0 }),
-                rhs: Box::new(crate::expr::CompiledExpr::Const(
-                    caesar_events::Value::Int(1),
-                )),
+                rhs: Box::new(crate::expr::CompiledExpr::Const(caesar_events::Value::Int(
+                    1,
+                ))),
             }]))
         };
         // CW above (initial) vs CW below (pushed down).
-        let above = vec![mk_pattern(), mk_filter(), Op::ContextWindow(ContextWindowOp::new(1))];
-        let below = vec![Op::ContextWindow(ContextWindowOp::new(1)), mk_pattern(), mk_filter()];
+        let above = vec![
+            mk_pattern(),
+            mk_filter(),
+            Op::ContextWindow(ContextWindowOp::new(1)),
+        ];
+        let below = vec![
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            mk_pattern(),
+            mk_filter(),
+        ];
         let (cost_above, _) = chain_cost(&above, &s, 10.0);
         let (cost_below, _) = chain_cost(&below, &s, 10.0);
         assert!(

@@ -176,12 +176,12 @@ impl CompiledExpr {
                             .0;
                         (lv, local)
                     }
-                    None => layout
-                        .resolve_bare(attr, registry)
-                        .ok_or_else(|| EvalError::UnknownAttr {
+                    None => layout.resolve_bare(attr, registry).ok_or_else(|| {
+                        EvalError::UnknownAttr {
                             var: "<bare>".into(),
                             attr: attr.clone(),
-                        })?,
+                        }
+                    })?,
                 };
                 Ok(match layout_var.source {
                     SlotSource::EventSlot(slot) => CompiledExpr::Attr { slot, attr: local },
@@ -203,13 +203,16 @@ impl CompiledExpr {
     pub fn eval(&self, binding: &[&Event]) -> Result<Value, EvalError> {
         match self {
             CompiledExpr::Const(v) => Ok(v.clone()),
-            CompiledExpr::Attr { slot, attr } => Ok(binding[*slot as usize].attrs
-                [*attr as usize]
-                .clone()),
+            CompiledExpr::Attr { slot, attr } => {
+                Ok(binding[*slot as usize].attrs[*attr as usize].clone())
+            }
             CompiledExpr::Bin { op, lhs, rhs } => {
                 // Short-circuit logical operators.
                 if matches!(op, BinOp::And | BinOp::Or) {
-                    let l = lhs.eval(binding)?.as_bool().map_err(|_| EvalError::NotBoolean)?;
+                    let l = lhs
+                        .eval(binding)?
+                        .as_bool()
+                        .map_err(|_| EvalError::NotBoolean)?;
                     return match (op, l) {
                         (BinOp::And, false) => Ok(Value::Bool(false)),
                         (BinOp::Or, true) => Ok(Value::Bool(true)),
@@ -230,13 +233,9 @@ impl CompiledExpr {
                     BinOp::Mul => Ok(l.mul(&r)?),
                     BinOp::Div => Ok(l.div(&r)?),
                     BinOp::Eq => Ok(Value::Bool(l.eq_value(&r))),
-                    BinOp::Ne => Ok(Value::Bool(
-                        !l.is_null() && !r.is_null() && !l.eq_value(&r),
-                    )),
+                    BinOp::Ne => Ok(Value::Bool(!l.is_null() && !r.is_null() && !l.eq_value(&r))),
                     BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        let ord = l
-                            .partial_cmp_value(&r)
-                            .ok_or(EvalError::Incomparable)?;
+                        let ord = l.partial_cmp_value(&r).ok_or(EvalError::Incomparable)?;
                         Ok(Value::Bool(match op {
                             BinOp::Lt => ord.is_lt(),
                             BinOp::Le => ord.is_le(),
@@ -446,11 +445,7 @@ mod tests {
         let reg = registry();
         let layout = slot_layout(&reg);
         assert!(matches!(
-            CompiledExpr::compile(
-                &AstExpr::attr("ghost", "vid"),
-                &layout,
-                &reg
-            ),
+            CompiledExpr::compile(&AstExpr::attr("ghost", "vid"), &layout, &reg),
             Err(EvalError::UnknownVar(_))
         ));
         assert!(matches!(
@@ -464,16 +459,13 @@ mod tests {
         let reg = registry();
         let layout = slot_layout(&reg);
         // false AND (lane + 1 ...) — rhs would be a type error.
-        let ast = AstExpr::bin(
-            BinOp::Eq,
-            AstExpr::attr("p1", "vid"),
-            AstExpr::int(-1),
-        )
-        .and(AstExpr::bin(
-            BinOp::Gt,
-            AstExpr::bin(BinOp::Add, AstExpr::attr("p1", "lane"), AstExpr::int(1)),
-            AstExpr::int(0),
-        ));
+        let ast = AstExpr::bin(BinOp::Eq, AstExpr::attr("p1", "vid"), AstExpr::int(-1)).and(
+            AstExpr::bin(
+                BinOp::Gt,
+                AstExpr::bin(BinOp::Add, AstExpr::attr("p1", "lane"), AstExpr::int(1)),
+                AstExpr::int(0),
+            ),
+        );
         let compiled = CompiledExpr::compile(&ast, &layout, &reg).unwrap();
         let e = event(&reg, 1, 0, "x");
         assert_eq!(compiled.eval(&[&e, &e]).unwrap(), Value::Bool(false));
@@ -506,7 +498,12 @@ mod tests {
                 source: SlotSource::EventSlot(0),
             }],
         };
-        let e = Event::simple(tid, 0, PartitionId(0), vec![Value::Null, Value::Null, Value::Null]);
+        let e = Event::simple(
+            tid,
+            0,
+            PartitionId(0),
+            vec![Value::Null, Value::Null, Value::Null],
+        );
         let eq = CompiledExpr::compile(
             &AstExpr::bin(BinOp::Eq, AstExpr::attr("p", "vid"), AstExpr::int(0)),
             &layout,

@@ -17,10 +17,11 @@ use crate::context_table::{ContextTable, Transition, TransitionKind};
 use crate::expr::CompiledExpr;
 use crate::pattern::PatternOp;
 use caesar_events::{Event, Time, TypeId, Value};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// `Fl_θ` — the filter operator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FilterOp {
     /// Conjunction of compiled predicates (all must hold).
     pub predicates: Vec<CompiledExpr>,
@@ -61,7 +62,10 @@ impl FilterOp {
     /// Combined selectivity estimate from the predicate structure.
     #[must_use]
     pub fn selectivity(&self) -> f64 {
-        self.predicates.iter().map(CompiledExpr::selectivity).product()
+        self.predicates
+            .iter()
+            .map(CompiledExpr::selectivity)
+            .product()
     }
 
     /// Observed selectivity (`None` until at least one event was seen).
@@ -78,7 +82,7 @@ impl FilterOp {
 
 /// `PR_{A,E}` — the projection operator: computes the derived event's
 /// attributes from the match event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProjectOp {
     /// The derived (output) event type.
     pub output_type: TypeId,
@@ -128,7 +132,7 @@ impl ProjectOp {
 /// extra member contexts in `extra_bits`: the event is admitted when any
 /// member context's window covers it — exactly the union of the grouped
 /// windows the shared query spans.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContextWindowOp {
     /// Bit of the guarding context.
     pub context_bit: u8,
@@ -179,21 +183,21 @@ impl ContextWindowOp {
 }
 
 /// `CI_c` — context initiation: a match becomes an `Initiate` transition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContextInitOp {
     /// Bit of the context to initiate.
     pub context_bit: u8,
 }
 
 /// `CT_c` — context termination: a match becomes a `Terminate` transition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContextTermOp {
     /// Bit of the context to terminate.
     pub context_bit: u8,
 }
 
 /// One operator of a query plan chain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Op {
     /// Pattern matching (chain source).
     Pattern(PatternOp),
@@ -264,12 +268,7 @@ impl ChainOutput {
 ///
 /// The pattern operator may fan one input out to several matches, so
 /// execution walks a small work stack of `(next_op_index, event)` pairs.
-pub fn run_chain(
-    ops: &mut [Op],
-    event: &Event,
-    table: &ContextTable,
-    out: &mut ChainOutput,
-) {
+pub fn run_chain(ops: &mut [Op], event: &Event, table: &ContextTable, out: &mut ChainOutput) {
     run_suffix(ops, 0, event.clone(), table, out);
 }
 
@@ -465,8 +464,7 @@ mod tests {
             Op::Project(ProjectOp::new(
                 out_ty,
                 vec![
-                    CompiledExpr::compile(&Expr::attr("p", "vid"), &layout(&reg), &reg)
-                        .unwrap(),
+                    CompiledExpr::compile(&Expr::attr("p", "vid"), &layout(&reg), &reg).unwrap(),
                     CompiledExpr::Const(Value::Int(5)),
                 ],
             )),

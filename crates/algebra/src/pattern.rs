@@ -23,11 +23,12 @@
 
 use crate::expr::CompiledExpr;
 use caesar_events::{Event, Interval, Time, TypeId, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Where a negated element sits relative to the positive elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NegPosition {
     /// Before the first positive element (leading `NOT`).
     Before,
@@ -38,7 +39,7 @@ pub enum NegPosition {
 }
 
 /// One negation constraint of a sequence pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NegationCheck {
     /// Type of the forbidden event.
     pub type_id: TypeId,
@@ -51,7 +52,7 @@ pub struct NegationCheck {
 }
 
 /// One positive element of the (flattened) sequence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PositiveElement {
     /// Event type to match.
     pub type_id: TypeId,
@@ -61,7 +62,7 @@ pub struct PositiveElement {
 }
 
 /// Counters exposed for metrics and cost-model calibration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PatternStats {
     /// Full matches emitted.
     pub matches: u64,
@@ -76,13 +77,13 @@ pub struct PatternStats {
 }
 
 /// A partial match: the first `events.len()` positive elements bound.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Partial {
     events: Vec<Event>,
 }
 
 /// A full match waiting for a trailing-negation horizon to pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PendingMatch {
     events: Vec<Event>,
     /// Emit once the watermark exceeds this deadline, unless a negated
@@ -91,7 +92,7 @@ struct PendingMatch {
 }
 
 /// The pattern operator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PatternOp {
     positives: Vec<PositiveElement>,
     negations: Vec<NegationCheck>,
@@ -145,7 +146,10 @@ impl PatternOp {
         match_type: TypeId,
         offsets: Vec<u16>,
     ) -> Self {
-        assert!(!positives.is_empty(), "pattern needs at least one positive element");
+        assert!(
+            !positives.is_empty(),
+            "pattern needs at least one positive element"
+        );
         assert_eq!(offsets.len(), positives.len());
         let n = positives.len();
         let neg_buffers = negations.iter().map(|_| VecDeque::new()).collect();
@@ -472,15 +476,15 @@ mod tests {
             &[("vid", AttrType::Int), ("sec", AttrType::Int)],
         ))
         .unwrap();
-        reg.register(Schema::new("A", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("B", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("C", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("A", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("B", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("C", &[("v", AttrType::Int)]))
+            .unwrap();
         reg.register(Schema::new(
             "M",
-            &[
-                ("a.v", AttrType::Int),
-                ("b.v", AttrType::Int),
-            ],
+            &[("a.v", AttrType::Int), ("b.v", AttrType::Int)],
         ))
         .unwrap();
         reg
@@ -558,7 +562,10 @@ mod tests {
         let mut out = Vec::new();
         p.process(&ev(&reg, "A", 5, 10), &mut out);
         p.process(&ev(&reg, "B", 5, 20), &mut out);
-        assert!(out.is_empty(), "same-timestamp events cannot form a sequence");
+        assert!(
+            out.is_empty(),
+            "same-timestamp events cannot form a sequence"
+        );
         p.process(&ev(&reg, "B", 6, 21), &mut out);
         assert_eq!(out.len(), 1);
     }

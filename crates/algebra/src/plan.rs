@@ -13,12 +13,13 @@ use crate::ops::{advance_chain_time, run_chain, ChainOutput, Op};
 use caesar_events::{Event, Time, TypeId};
 use caesar_query::ast::QueryId;
 use caesar_query::queryset::CompiledQuery;
+use serde::{Deserialize, Serialize};
 
 /// Re-export: the output sink of plan execution.
 pub type PlanOutput = ChainOutput;
 
 /// One query's executable operator chain (`ops\[0\]` is the bottom).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryPlan {
     /// The compiled query this plan executes.
     pub query_id: QueryId,
@@ -107,7 +108,12 @@ impl QueryPlan {
     #[must_use]
     pub fn explain(&self) -> String {
         let chain: Vec<&str> = self.ops.iter().map(Op::tag).collect();
-        format!("{}[{}]: {}", self.query_id, self.context, chain.join(" -> "))
+        format!(
+            "{}[{}]: {}",
+            self.query_id,
+            self.context,
+            chain.join(" -> ")
+        )
     }
 
     /// Live partial-match count across stateful operators.
@@ -125,7 +131,7 @@ impl QueryPlan {
 
 /// The combined query plan of one context: individual plans wired so
 /// derived events flow to downstream consumers in the same context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CombinedPlan {
     /// The shared context.
     pub context: String,
@@ -261,16 +267,17 @@ mod tests {
     use crate::expr::CompiledExpr;
     use crate::ops::{ContextWindowOp, ProjectOp};
     use crate::pattern::PatternOp;
-    use caesar_events::{
-        AttrType, PartitionId, Schema, SchemaRegistry, Value,
-    };
+    use caesar_events::{AttrType, PartitionId, Schema, SchemaRegistry, Value};
     use caesar_query::ast::{EventQuery, Pattern};
 
     fn registry() -> SchemaRegistry {
         let mut reg = SchemaRegistry::new();
-        reg.register(Schema::new("In", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Mid", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Final", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("In", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Mid", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Final", &[("v", AttrType::Int)]))
+            .unwrap();
         reg
     }
 
@@ -292,12 +299,7 @@ mod tests {
     }
 
     /// Plan: passthrough(In) -> Project(out_ty, [v]).
-    fn relay_plan(
-        reg: &SchemaRegistry,
-        id: u32,
-        input: &str,
-        output: &str,
-    ) -> QueryPlan {
+    fn relay_plan(reg: &SchemaRegistry, id: u32, input: &str, output: &str) -> QueryPlan {
         let in_ty = reg.lookup(input).unwrap();
         let out_ty = reg.lookup(output).unwrap();
         QueryPlan {
@@ -368,11 +370,15 @@ mod tests {
         let reg = registry();
         let mut plan = relay_plan(&reg, 3, "In", "Mid");
         assert!(plan.context_window_position().is_none());
-        plan.ops.insert(0, Op::ContextWindow(ContextWindowOp::new(0)));
+        plan.ops
+            .insert(0, Op::ContextWindow(ContextWindowOp::new(0)));
         assert_eq!(plan.context_window_position(), Some(0));
         assert!(plan.is_context_window_pushed_down());
         let explain = plan.explain();
-        assert!(explain.contains("ContextWindow -> Pattern -> Project"), "{explain}");
+        assert!(
+            explain.contains("ContextWindow -> Pattern -> Project"),
+            "{explain}"
+        );
     }
 
     #[test]

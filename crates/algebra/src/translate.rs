@@ -70,7 +70,10 @@ impl fmt::Display for TranslateError {
             }
             TranslateError::UnknownContext(c) => write!(f, "unknown context '{c}'"),
             TranslateError::ConflictingDerivedType(t) => {
-                write!(f, "derived type '{t}' declared twice with conflicting schemas")
+                write!(
+                    f,
+                    "derived type '{t}' declared twice with conflicting schemas"
+                )
             }
         }
     }
@@ -290,11 +293,7 @@ fn pattern_vars(
 }
 
 /// Infers the value domain of an expression over the given variables.
-fn infer_expr_type(
-    expr: &Expr,
-    vars: &[(String, TypeId)],
-    registry: &SchemaRegistry,
-) -> AttrType {
+fn infer_expr_type(expr: &Expr, vars: &[(String, TypeId)], registry: &SchemaRegistry) -> AttrType {
     match expr {
         Expr::Const(Value::Int(_)) => AttrType::Int,
         Expr::Const(Value::Float(_)) => AttrType::Float,
@@ -423,11 +422,7 @@ pub fn translate_query(
             match hit_negs.len() {
                 0 => filter_conjuncts.push(conjunct),
                 1 => neg_conjuncts[hit_negs[0]].push(conjunct),
-                _ => {
-                    return Err(TranslateError::MultiNegatedPredicate(
-                        cq.id.to_string(),
-                    ))
-                }
+                _ => return Err(TranslateError::MultiNegatedPredicate(cq.id.to_string())),
             }
         }
     }
@@ -457,11 +452,7 @@ pub fn translate_query(
     // Compile negation checks.
     let mut negation_checks = Vec::with_capacity(negs.len());
     for (i, spec) in negs.iter().enumerate() {
-        let layout = slot_layout_with(
-            spec.var
-                .as_deref()
-                .map(|name| (name, spec.type_id)),
-        );
+        let layout = slot_layout_with(spec.var.as_deref().map(|name| (name, spec.type_id)));
         let predicates = neg_conjuncts[i]
             .iter()
             .map(|c| CompiledExpr::compile(c, &layout, registry))
@@ -567,9 +558,7 @@ pub fn translate_query(
                 ops.push(Op::ContextInit(ContextInitOp {
                     context_bit: action_bit(action)?,
                 }));
-                ops.push(Op::ContextTerm(ContextTermOp {
-                    context_bit,
-                }));
+                ops.push(Op::ContextTerm(ContextTermOp { context_bit }));
             }
         },
         (None, Some(derive)) => {
@@ -685,8 +674,7 @@ mod tests {
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = lr_registry();
         let out =
-            translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 })
-                .unwrap();
+            translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 }).unwrap();
         (out, reg)
     }
 
@@ -700,14 +688,22 @@ mod tests {
             .plans
             .iter()
             .position(|p| {
-                p.source.query.derive.as_ref().is_some_and(|d| d.event_type == "NewTravelingCar")
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "NewTravelingCar")
             })
             .unwrap();
         let consumer_idx = congestion
             .plans
             .iter()
             .position(|p| {
-                p.source.query.derive.as_ref().is_some_and(|d| d.event_type == "TollNotification")
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "TollNotification")
             })
             .unwrap();
         assert!(producer_idx < consumer_idx, "topological order");
@@ -715,10 +711,7 @@ mod tests {
         // Initial chain order (Fig. 6a): Pattern, Filter, CW, Project.
         let producer = &congestion.plans[producer_idx];
         let tags: Vec<&str> = producer.ops.iter().map(Op::tag).collect();
-        assert_eq!(
-            tags,
-            vec!["Pattern", "Filter", "ContextWindow", "Project"]
-        );
+        assert_eq!(tags, vec!["Pattern", "Filter", "ContextWindow", "Project"]);
         assert!(!producer.is_context_window_pushed_down());
     }
 
@@ -730,7 +723,11 @@ mod tests {
             .plans
             .iter()
             .find(|p| {
-                p.source.query.derive.as_ref().is_some_and(|d| d.event_type == "NewTravelingCar")
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "NewTravelingCar")
             })
             .unwrap();
         // Filter holds only the p2.lane != "exit" conjunct.
@@ -854,7 +851,9 @@ mod tests {
             .iter()
             .position(|c| c == "congestion")
             .unwrap() as u8;
-        table.partition_mut(PartitionId(0)).initiate(congestion_bit, 0);
+        table
+            .partition_mut(PartitionId(0))
+            .initiate(congestion_bit, 0);
         let pr_tid = reg.lookup("PositionReport").unwrap();
         let toll_tid = reg.lookup("TollNotification").unwrap();
         let plan = out
@@ -902,7 +901,10 @@ mod tests {
             ],
         );
         plan.process(&e, &table, &mut sink);
-        assert!(sink.events.is_empty(), "congestion plan inactive in clear context");
+        assert!(
+            sink.events.is_empty(),
+            "congestion plan inactive in clear context"
+        );
     }
 
     #[test]
@@ -956,8 +958,7 @@ mod tests {
         .unwrap();
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = SchemaRegistry::new();
-        let err = translate_query_set(&qs, &mut reg, &TranslateOptions::default())
-            .unwrap_err();
+        let err = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap_err();
         assert_eq!(err, TranslateError::UnknownEventType("Ghost".into()));
     }
 }

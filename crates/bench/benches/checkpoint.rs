@@ -1,0 +1,97 @@
+//! Cost of durability: snapshot serialization, atomic write, restore,
+//! and per-event write-ahead logging, as a function of engine state
+//! size. State size is scaled by running ever-longer Linear Road
+//! prefixes into the engine before measuring.
+
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
+use caesar_recovery::{read_snapshot, write_snapshot, CheckpointManager};
+use caesar_runtime::Engine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::path::PathBuf;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("caesar-bench-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+/// An engine warmed up with `duration` seconds of Linear Road traffic —
+/// longer prefixes mean more context history, pattern partials and
+/// queued events in the snapshot.
+fn warmed_engine(duration: u64) -> Engine {
+    let mut system = build_lr_system(1, OptimizerConfig::default(), EngineConfig::default());
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 4,
+        duration,
+        seed: 7,
+        ..Default::default()
+    });
+    for event in sim.generate() {
+        system.ingest(event).expect("in order");
+    }
+    system.engine
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    for duration in [60u64, 300, 900] {
+        let engine = warmed_engine(duration);
+        let state = engine.snapshot_state();
+        let payload = serde::to_bytes(&state);
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+
+        group.bench_function(format!("serialize_lr_{duration}s"), |b| {
+            b.iter(|| black_box(serde::to_bytes(&engine.snapshot_state())))
+        });
+
+        let dir = bench_dir(&format!("write-{duration}"));
+        let path = dir.join("snapshot.caesnap");
+        group.bench_function(format!("write_lr_{duration}s"), |b| {
+            b.iter(|| write_snapshot(&path, 0, &state).expect("write"))
+        });
+
+        write_snapshot(&path, 0, &state).expect("write");
+        group.bench_function(format!("restore_lr_{duration}s"), |b| {
+            b.iter(|| {
+                let snapshot = read_snapshot(&path).expect("read");
+                let mut fresh = warmed_engine(0);
+                fresh.restore_state(snapshot.state).expect("compatible");
+                black_box(fresh.events_in())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 4,
+        duration: 60,
+        seed: 7,
+        ..Default::default()
+    });
+    let events = sim.generate();
+    let mut group = c.benchmark_group("wal");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(20);
+    group.bench_function("log_60s_stream", |b| {
+        let dir = bench_dir("wal");
+        b.iter(|| {
+            let mut manager = CheckpointManager::create(&dir, 0).expect("create");
+            for event in &events {
+                manager.log_event(event).expect("append");
+            }
+            black_box(manager.position())
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_wal);
+criterion_main!(benches);

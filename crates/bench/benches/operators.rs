@@ -13,7 +13,11 @@ fn registry() -> SchemaRegistry {
     let mut reg = SchemaRegistry::new();
     reg.register(Schema::new(
         "R",
-        &[("vid", AttrType::Int), ("sec", AttrType::Int), ("speed", AttrType::Int)],
+        &[
+            ("vid", AttrType::Int),
+            ("sec", AttrType::Int),
+            ("speed", AttrType::Int),
+        ],
     ))
     .unwrap();
     reg.register(Schema::new(
@@ -220,5 +224,10 @@ fn bench_filter_project(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_passthrough, bench_sequence, bench_filter_project);
+criterion_group!(
+    benches,
+    bench_passthrough,
+    bench_sequence,
+    bench_filter_project
+);
 criterion_main!(benches);

@@ -4,9 +4,7 @@
 
 use caesar_algebra::context_table::ContextTable;
 use caesar_core::prelude::*;
-use caesar_linear_road::{
-    build_lr_system, LinearRoadConfig, TrafficSim,
-};
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_context_table(c: &mut Criterion) {

@@ -16,17 +16,11 @@
 use caesar_bench::{measure, print_table};
 use caesar_core::prelude::*;
 use caesar_events::generator::WindowPlacement;
-use caesar_linear_road::{
-    build_lr_system_critical, LinearRoadConfig, SchedulePolicy, TrafficSim,
-};
+use caesar_linear_road::{build_lr_system_critical, LinearRoadConfig, SchedulePolicy, TrafficSim};
 
 const REPEATS: usize = 3;
 
-fn busy_ms(
-    events: &[Event],
-    optimizer: OptimizerConfig,
-    engine: EngineConfig,
-) -> (f64, u64) {
+fn busy_ms(events: &[Event], optimizer: OptimizerConfig, engine: EngineConfig) -> (f64, u64) {
     let (busy, outputs) = (0..REPEATS)
         .map(|_| {
             let mut system = build_lr_system_critical(10, optimizer, engine);
@@ -58,7 +52,10 @@ fn main() {
         ..Default::default()
     });
     let events = sim.generate();
-    println!("workload: {} events, 10 critical queries per window", events.len());
+    println!(
+        "workload: {} events, 10 critical queries per window",
+        events.len()
+    );
 
     let full_opt = OptimizerConfig::default();
     let engine_ca = EngineConfig::default();

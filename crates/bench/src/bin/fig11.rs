@@ -15,9 +15,9 @@
 //! ```
 
 use caesar_bench::{measure, print_table};
+use caesar_core::prelude::*;
 use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
 use caesar_optimizer::search::{exhaustive_search, greedy_search, synthetic_operators};
-use caesar_core::prelude::*;
 use caesar_runtime::metrics::l_factor;
 use std::time::Instant;
 
@@ -62,11 +62,8 @@ fn robust_max_latency(
 ) -> u64 {
     (0..3)
         .map(|_| {
-            let mut system = build_lr_system(
-                replication,
-                OptimizerConfig::default(),
-                engine_config,
-            );
+            let mut system =
+                build_lr_system(replication, OptimizerConfig::default(), engine_config);
             measure("run", &mut system, events.to_vec())
                 .report
                 .max_latency_ns
@@ -102,11 +99,8 @@ fn part_b() {
             // average utilization.
             let busy_ns = (0..3)
                 .map(|_| {
-                    let mut warm = build_lr_system(
-                        10,
-                        OptimizerConfig::default(),
-                        EngineConfig::default(),
-                    );
+                    let mut warm =
+                        build_lr_system(10, OptimizerConfig::default(), EngineConfig::default());
                     let m = measure("warm", &mut warm, events.clone());
                     m.report.wall_time.as_nanos() as u64
                 })
@@ -130,8 +124,7 @@ fn part_b() {
             ..EngineConfig::default()
         };
         let opt = robust_max_latency(10, engine(ExecutionMode::ContextAware), &events);
-        let plain =
-            robust_max_latency(10, engine(ExecutionMode::ContextIndependent), &events);
+        let plain = robust_max_latency(10, engine(ExecutionMode::ContextIndependent), &events);
         optimized_points.push((roads, opt));
         plain_points.push((roads, plain));
         rows.push(vec![

@@ -22,8 +22,6 @@ use caesar_events::generator::WindowPlacement;
 use caesar_linear_road::{build_lr_system_critical, LinearRoadConfig, SchedulePolicy, TrafficSim};
 use caesar_pam::{generate, pam_model, pam_registry, PamConfig};
 
-
-
 /// Repeats (the paper averages three runs; we keep the minimum of the
 /// max-latency, which is robust against OS scheduling spikes).
 const REPEATS: usize = 3;
@@ -120,7 +118,12 @@ fn robust(mode: ExecutionMode, replication: usize, events: &[Event], ns_per_tick
 }
 
 fn compare(events: Vec<Event>, replication: usize, ns_per_tick: u64) -> (u64, u64) {
-    let ca = robust(ExecutionMode::ContextAware, replication, &events, ns_per_tick);
+    let ca = robust(
+        ExecutionMode::ContextAware,
+        replication,
+        &events,
+        ns_per_tick,
+    );
     let ci = robust(
         ExecutionMode::ContextIndependent,
         replication,
@@ -173,10 +176,22 @@ fn part_a() {
                     ("chest_acc", AttrType::Float),
                 ],
             )
-            .schema("ActivityStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ActivityEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
+            .schema(
+                "ActivityStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ActivityEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
             .within(30)
             .engine_config(EngineConfig {
                 mode,
@@ -199,8 +214,7 @@ fn part_a() {
             .expect("repeats") as f64
             / 1800.0
     };
-    let pam_tick =
-        ((pam_busy(ExecutionMode::ContextIndependent) * 0.8) as u64).max(1_000);
+    let pam_tick = ((pam_busy(ExecutionMode::ContextIndependent) * 0.8) as u64).max(1_000);
     let robust_pam = |mode| {
         (0..REPEATS)
             .map(|_| {

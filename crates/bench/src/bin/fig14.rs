@@ -44,7 +44,8 @@ fn run_pair(config: &OverlapConfig) -> (u64, u64, f64) {
     let robust = |sharing: bool| {
         (0..REPEATS)
             .map(|_| {
-                let mut system = caesar_bench::overlap::build_system_clocked(config, sharing, ns_per_tick);
+                let mut system =
+                    caesar_bench::overlap::build_system_clocked(config, sharing, ns_per_tick);
                 measure("run", &mut system, events.clone())
                     .report
                     .max_latency_ns
@@ -54,7 +55,6 @@ fn run_pair(config: &OverlapConfig) -> (u64, u64, f64) {
     };
     (robust(true), robust(false), cpu_gain)
 }
-
 
 fn part_a() {
     let mut rows = Vec::new();
@@ -81,7 +81,13 @@ fn part_a() {
     }
     print_table(
         "Figure 14(a): max latency (ms) vs number of overlapping context windows",
-        &["overlapping", "shared (ms)", "non-shared (ms)", "latency gain", "cpu gain"],
+        &[
+            "overlapping",
+            "shared (ms)",
+            "non-shared (ms)",
+            "latency gain",
+            "cpu gain",
+        ],
         &rows,
     );
 }
@@ -113,7 +119,13 @@ fn part_b() {
     }
     print_table(
         "Figure 14(b): max latency (ms) vs context window overlap (ticks)",
-        &["overlap", "shared (ms)", "non-shared (ms)", "latency gain", "cpu gain"],
+        &[
+            "overlap",
+            "shared (ms)",
+            "non-shared (ms)",
+            "latency gain",
+            "cpu gain",
+        ],
         &rows,
     );
 }
@@ -142,7 +154,13 @@ fn part_c() {
     }
     print_table(
         "Figure 14(c): max latency (ms) vs shared workload size (queries per window)",
-        &["queries", "shared (ms)", "non-shared (ms)", "latency gain", "cpu gain"],
+        &[
+            "queries",
+            "shared (ms)",
+            "non-shared (ms)",
+            "latency gain",
+            "cpu gain",
+        ],
         &rows,
     );
 }

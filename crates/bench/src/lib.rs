@@ -26,7 +26,11 @@ pub struct Measured {
 }
 
 /// Runs a stream through a system, measuring wall time.
-pub fn measure(label: impl Into<String>, system: &mut CaesarSystem, events: Vec<Event>) -> Measured {
+pub fn measure(
+    label: impl Into<String>,
+    system: &mut CaesarSystem,
+    events: Vec<Event>,
+) -> Measured {
     let start = Instant::now();
     let report = system
         .run_stream(&mut VecStream::new(events))
@@ -60,7 +64,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| (*s).to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

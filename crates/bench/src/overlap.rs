@@ -104,9 +104,7 @@ pub fn overlap_model(config: &OverlapConfig) -> CaesarModel {
     }
     let mut contexts = String::new();
     for i in 0..config.windows {
-        let mut body = format!(
-            "TERMINATE CONTEXT w{i} PATTERN End e WHERE e.idx = {i}\n"
-        );
+        let mut body = format!("TERMINATE CONTEXT w{i} PATTERN End e WHERE e.idx = {i}\n");
         for j in 0..config.queries_per_context {
             // Identical across contexts → shareable; distinct per j via
             // the projected constant only, so every query pays the full
@@ -129,9 +127,7 @@ pub fn overlap_model(config: &OverlapConfig) -> CaesarModel {
         }
         let _ = writeln!(contexts, "CONTEXT w{i} {{\n{body}\n}}");
     }
-    let text = format!(
-        "MODEL overlap DEFAULT quiet\nCONTEXT quiet {{\n{quiet}\n}}\n{contexts}"
-    );
+    let text = format!("MODEL overlap DEFAULT quiet\nCONTEXT quiet {{\n{quiet}\n}}\n{contexts}");
     parse_model(&text).expect("generated overlap model is valid")
 }
 

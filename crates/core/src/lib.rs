@@ -62,8 +62,8 @@ use std::fmt;
 pub mod prelude {
     pub use crate::{Caesar, CaesarBuilder, CaesarError, CaesarSystem};
     pub use caesar_events::{
-        AttrType, Event, EventBuilder, EventStream, Interval, PartitionId, Schema,
-        SchemaRegistry, Time, Value, VecStream,
+        AttrType, Event, EventBuilder, EventStream, Interval, PartitionId, Schema, SchemaRegistry,
+        Time, Value, VecStream,
     };
     pub use caesar_optimizer::OptimizerConfig;
     pub use caesar_query::{CaesarModel, ModelBuilder};
@@ -259,10 +259,7 @@ impl CaesarSystem {
     }
 
     /// Runs a whole stream.
-    pub fn run_stream(
-        &mut self,
-        stream: &mut dyn EventStream,
-    ) -> Result<RunReport, CaesarError> {
+    pub fn run_stream(&mut self, stream: &mut dyn EventStream) -> Result<RunReport, CaesarError> {
         Ok(self.engine.run_stream(stream)?)
     }
 

@@ -162,11 +162,7 @@ pub struct EventBuilder<'a> {
 
 impl<'a> EventBuilder<'a> {
     /// Starts building an event of type `type_name` at time `t`.
-    pub fn new(
-        registry: &'a SchemaRegistry,
-        type_name: &str,
-        t: Time,
-    ) -> Result<Self, EventError> {
+    pub fn new(registry: &'a SchemaRegistry, type_name: &str, t: Time) -> Result<Self, EventError> {
         let type_id = registry.lookup(type_name)?;
         let arity = registry.schema(type_id).arity();
         Ok(Self {
@@ -249,7 +245,10 @@ mod tests {
         assert_eq!(e.partition, PartitionId(7));
         assert_eq!(e.attr(AttrId(0)), &Value::Int(101));
         let schema = reg.schema(e.type_id);
-        assert_eq!(e.attr_by_name(schema, "lane").unwrap(), &Value::str("travel"));
+        assert_eq!(
+            e.attr_by_name(schema, "lane").unwrap(),
+            &Value::str("travel")
+        );
     }
 
     #[test]

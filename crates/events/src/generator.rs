@@ -114,9 +114,7 @@ impl WindowPlacement {
                     };
                     base + jitter
                 }
-                WindowPlacement::PoissonPositiveSkew => {
-                    sample_exponential_offset(horizon, rng)
-                }
+                WindowPlacement::PoissonPositiveSkew => sample_exponential_offset(horizon, rng),
                 WindowPlacement::PoissonNegativeSkew => {
                     horizon.saturating_sub(sample_exponential_offset(horizon, rng) + length)
                 }
@@ -193,7 +191,10 @@ mod tests {
         let curve = RateCurve::Constant(0.5);
         let mut r = rng(42);
         let total: usize = (0..10_000).map(|t| curve.sample_count(t, &mut r)).sum();
-        assert!((4_000..6_000).contains(&total), "total {total} not near 5000");
+        assert!(
+            (4_000..6_000).contains(&total),
+            "total {total} not near 5000"
+        );
     }
 
     #[test]
@@ -212,18 +213,22 @@ mod tests {
     fn positive_skew_clusters_early() {
         let mut r = rng(7);
         let ws = WindowPlacement::PoissonPositiveSkew.place(10, 20, 10_000, &mut r);
-        let mean_start: f64 =
-            ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
-        assert!(mean_start < 5_000.0, "positive skew should cluster early, mean {mean_start}");
+        let mean_start: f64 = ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
+        assert!(
+            mean_start < 5_000.0,
+            "positive skew should cluster early, mean {mean_start}"
+        );
     }
 
     #[test]
     fn negative_skew_clusters_late() {
         let mut r = rng(7);
         let ws = WindowPlacement::PoissonNegativeSkew.place(10, 20, 10_000, &mut r);
-        let mean_start: f64 =
-            ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
-        assert!(mean_start > 5_000.0, "negative skew should cluster late, mean {mean_start}");
+        let mean_start: f64 = ws.iter().map(|w| w.start as f64).sum::<f64>() / ws.len() as f64;
+        assert!(
+            mean_start > 5_000.0,
+            "negative skew should cluster late, mean {mean_start}"
+        );
     }
 
     #[test]

@@ -10,10 +10,11 @@ use crate::error::EventError;
 use crate::event::{Event, PartitionId};
 use crate::stream::EventBatch;
 use crate::time::Time;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A FIFO of in-order events for one stream partition.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct EventQueue {
     events: VecDeque<Event>,
     /// Highest timestamp ever enqueued.
@@ -98,7 +99,7 @@ impl EventQueue {
 }
 
 /// The set of per-partition queues managed by the event distributor.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PartitionedQueues {
     queues: Vec<EventQueue>,
 }
@@ -199,7 +200,10 @@ mod tests {
         q.push(ev(9, 0)).unwrap();
         assert!(matches!(
             q.push(ev(5, 0)),
-            Err(EventError::OutOfOrder { watermark: 9, timestamp: 5 })
+            Err(EventError::OutOfOrder {
+                watermark: 9,
+                timestamp: 5
+            })
         ));
     }
 

@@ -18,6 +18,7 @@ use std::collections::BinaryHeap;
 
 /// A heap entry ordered by event time (ties broken by arrival order to
 /// keep the release stable).
+#[derive(Clone)]
 struct Entry {
     time: Time,
     seq: u64,
@@ -42,7 +43,7 @@ impl Ord for Entry {
 }
 
 /// The reordering buffer.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ReorderBuffer {
     heap: BinaryHeap<Reverse<Entry>>,
     /// Maximum tolerated disorder in ticks.
@@ -115,16 +116,59 @@ impl ReorderBuffer {
     fn drain_ready(&mut self) -> Vec<Event> {
         let horizon = self.high.saturating_sub(self.slack);
         let mut out = Vec::new();
-        while self
-            .heap
-            .peek()
-            .is_some_and(|Reverse(e)| e.time <= horizon)
-        {
+        while self.heap.peek().is_some_and(|Reverse(e)| e.time <= horizon) {
             let Reverse(e) = self.heap.pop().expect("peeked");
             self.released = self.released.max(e.time);
             out.push(e.event);
         }
         out
+    }
+}
+
+// Snapshot support: a `BinaryHeap` has no stable iteration order, so the
+// buffered entries are written sorted by `(time, seq)` — the same total
+// order the heap releases them in — making the encoding deterministic.
+impl serde::Serialize for ReorderBuffer {
+    fn serialize(&self, out: &mut serde::Serializer) {
+        self.slack.serialize(out);
+        self.high.serialize(out);
+        self.released.serialize(out);
+        self.seq.serialize(out);
+        self.late_dropped.serialize(out);
+        let mut entries: Vec<&Entry> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        out.write_len(entries.len());
+        for e in entries {
+            e.time.serialize(out);
+            e.seq.serialize(out);
+            e.event.serialize(out);
+        }
+    }
+}
+
+impl serde::Deserialize for ReorderBuffer {
+    fn deserialize(de: &mut serde::Deserializer<'_>) -> Result<Self, serde::Error> {
+        let slack = Time::deserialize(de)?;
+        let high = Time::deserialize(de)?;
+        let released = Time::deserialize(de)?;
+        let seq = u64::deserialize(de)?;
+        let late_dropped = u64::deserialize(de)?;
+        let n = de.read_len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let time = Time::deserialize(de)?;
+            let seq = u64::deserialize(de)?;
+            let event = Event::deserialize(de)?;
+            heap.push(Reverse(Entry { time, seq, event }));
+        }
+        Ok(Self {
+            heap,
+            slack,
+            high,
+            released,
+            seq,
+            late_dropped,
+        })
     }
 }
 
@@ -172,14 +216,20 @@ mod tests {
         let mut buf = ReorderBuffer::new(2);
         let _ = buf.push(ev(5));
         let released = buf.push(ev(10)).unwrap();
-        assert_eq!(released.iter().map(Event::time).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(
+            released.iter().map(Event::time).collect::<Vec<_>>(),
+            vec![5]
+        );
         let rejected = buf.push(ev(3)).unwrap_err();
         assert_eq!(rejected.time(), 3);
         assert_eq!(buf.late_dropped, 1);
         // But a t=9 (within slack) is fine.
         assert!(buf.push(ev(9)).is_ok());
         let rest = buf.flush();
-        assert_eq!(rest.iter().map(Event::time).collect::<Vec<_>>(), vec![9, 10]);
+        assert_eq!(
+            rest.iter().map(Event::time).collect::<Vec<_>>(),
+            vec![9, 10]
+        );
     }
 
     #[test]
@@ -192,6 +242,24 @@ mod tests {
         let out = buf.flush();
         assert_eq!(out[0].attrs[0], Value::Int(1));
         assert_eq!(out[1].attrs[0], Value::Int(2));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_release_order() {
+        let mut buf = ReorderBuffer::new(5);
+        for t in [9, 3, 7, 12, 11] {
+            let _ = buf.push(ev(t));
+        }
+        let bytes = serde::to_bytes(&buf);
+        // The encoding is deterministic (heap entries sorted), so
+        // re-encoding a decoded buffer is the identity on bytes.
+        let mut restored: ReorderBuffer = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(serde::to_bytes(&restored), bytes);
+        assert_eq!(restored.buffered(), buf.buffered());
+        assert_eq!(restored.late_dropped, buf.late_dropped);
+        let a: Vec<Time> = buf.flush().iter().map(Event::time).collect();
+        let b: Vec<Time> = restored.flush().iter().map(Event::time).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -141,10 +141,7 @@ impl EventStream for MergedStream {
     fn size_hint(&self) -> Option<usize> {
         self.sources
             .iter()
-            .map(|(head, s)| {
-                s.size_hint()
-                    .map(|n| n + usize::from(head.is_some()))
-            })
+            .map(|(head, s)| s.size_hint().map(|n| n + usize::from(head.is_some())))
             .sum()
     }
 }
@@ -164,7 +161,9 @@ mod tests {
     fn vec_stream_yields_in_order() {
         let mut s = VecStream::new(vec![ev(1), ev(2), ev(2), ev(5)]);
         assert_eq!(s.size_hint(), Some(4));
-        let times: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|e| e.time()).collect();
+        let times: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|e| e.time())
+            .collect();
         assert_eq!(times, vec![1, 2, 2, 5]);
         assert_eq!(s.size_hint(), Some(0));
     }
@@ -178,7 +177,9 @@ mod tests {
     #[test]
     fn from_unsorted_sorts() {
         let mut s = VecStream::from_unsorted(vec![ev(5), ev(1), ev(3)]);
-        let times: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|e| e.time()).collect();
+        let times: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|e| e.time())
+            .collect();
         assert_eq!(times, vec![1, 3, 5]);
     }
 
@@ -188,7 +189,9 @@ mod tests {
         let b = Box::new(VecStream::new(vec![ev(2), ev(3), ev(8)]));
         let mut m = MergedStream::new(vec![a, b]);
         assert_eq!(m.size_hint(), Some(6));
-        let times: Vec<_> = std::iter::from_fn(|| m.next_event()).map(|e| e.time()).collect();
+        let times: Vec<_> = std::iter::from_fn(|| m.next_event())
+            .map(|e| e.time())
+            .collect();
         assert_eq!(times, vec![1, 2, 3, 4, 7, 8]);
     }
 

@@ -229,7 +229,10 @@ mod tests {
     fn window_span_is_half_open_at_start() {
         let mut w = WindowSpan::open(10);
         assert!(w.is_open());
-        assert!(!w.admits(10), "initiation timestamp belongs to previous context");
+        assert!(
+            !w.admits(10),
+            "initiation timestamp belongs to previous context"
+        );
         assert!(w.admits(11));
         assert!(w.admits(1_000_000));
         w.close(20);

@@ -166,12 +166,14 @@ fn numeric_op(
     float_op: impl Fn(f64, f64) -> f64,
 ) -> Result<Value, EventError> {
     match (lhs, rhs) {
-        (Value::Int(a), Value::Int(b)) => int_op(*a, *b)
-            .map(Value::Int)
-            .ok_or_else(|| EventError::Arithmetic {
-                op,
-                detail: format!("integer overflow on {a} {op} {b}"),
-            }),
+        (Value::Int(a), Value::Int(b)) => {
+            int_op(*a, *b)
+                .map(Value::Int)
+                .ok_or_else(|| EventError::Arithmetic {
+                    op,
+                    detail: format!("integer overflow on {a} {op} {b}"),
+                })
+        }
         (Value::Float(a), Value::Float(b)) => Ok(Value::Float(float_op(*a, *b))),
         (Value::Int(a), Value::Float(b)) => Ok(Value::Float(float_op(*a as f64, *b))),
         (Value::Float(a), Value::Int(b)) => Ok(Value::Float(float_op(*a, *b as f64))),

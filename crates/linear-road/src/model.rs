@@ -61,7 +61,11 @@ pub fn lr_model_weighted(
     let mut congestion_queries = String::new();
     let mut accident_queries = String::new();
     for i in 0..replication {
-        let suffix = if i == 0 { String::new() } else { format!("_{i}") };
+        let suffix = if i == 0 {
+            String::new()
+        } else {
+            format!("_{i}")
+        };
         if i < clear_rep {
             // Zero toll for cars newly seen in a clear segment.
             let _ = writeln!(

@@ -12,9 +12,7 @@
 
 use crate::types::{partition_id, register_schemas, REPORT_INTERVAL};
 use caesar_events::generator::{rng, WindowPlacement, WorkloadRng};
-use caesar_events::{
-    Event, Interval, PartitionId, SchemaRegistry, Time, TypeId, Value,
-};
+use caesar_events::{Event, Interval, PartitionId, SchemaRegistry, Time, TypeId, Value};
 use rand::Rng;
 
 /// Traffic phase of a segment.
@@ -141,8 +139,7 @@ impl TrafficSim {
     pub fn new(config: LinearRoadConfig) -> Self {
         let mut registry = SchemaRegistry::new();
         register_schemas(&mut registry);
-        let partitions =
-            (config.roads * config.directions * config.segments_per_road) as usize;
+        let partitions = (config.roads * config.directions * config.segments_per_road) as usize;
         let mut r = rng(config.seed);
         let weights: Vec<f64> = (0..partitions)
             .map(|_| {
@@ -219,7 +216,10 @@ impl TrafficSim {
             many_slow: self.registry.lookup("ManySlowCars").expect("registered"),
             few_fast: self.registry.lookup("FewFastCars").expect("registered"),
             stopped: self.registry.lookup("StoppedCars").expect("registered"),
-            removed: self.registry.lookup("StoppedCarsRemoved").expect("registered"),
+            removed: self
+                .registry
+                .lookup("StoppedCarsRemoved")
+                .expect("registered"),
         };
         let mut events: Vec<Event> = Vec::new();
         let mut r = rng(self.config.seed.wrapping_add(1));
@@ -284,14 +284,11 @@ impl TrafficSim {
         // the density on the configured ramp.
         let density = |t: Time| -> f64 {
             let frac = t as f64 / duration.max(1) as f64;
-            weight * (self.config.base_cars
-                + (self.config.peak_cars - self.config.base_cars) * frac)
+            weight
+                * (self.config.base_cars + (self.config.peak_cars - self.config.base_cars) * frac)
         };
         let mean_lifetime = self.config.mean_lifetime.max(REPORT_INTERVAL) as f64;
-        let spawn = |entry: Time,
-                          vid: i64,
-                          r: &mut WorkloadRng,
-                          events: &mut Vec<Event>| {
+        let spawn = |entry: Time, vid: i64, r: &mut WorkloadRng, events: &mut Vec<Event>| {
             let lifetime = (mean_lifetime * r.gen_range(0.5..1.5)) as Time;
             let leave = (entry + lifetime).min(duration);
             let mut t = entry;

@@ -36,19 +36,39 @@ pub fn register_schemas(registry: &mut SchemaRegistry) {
         // Ground-truth condition markers (see crate docs).
         Schema::new(
             "ManySlowCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         ),
         Schema::new(
             "FewFastCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         ),
         Schema::new(
             "StoppedCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         ),
         Schema::new(
             "StoppedCarsRemoved",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         ),
     ] {
         registry

@@ -131,12 +131,7 @@ pub fn expected_outputs(events: &[Event], registry: &SchemaRegistry) -> Expected
             // Phase 1: derivation — markers drive transitions, evaluated
             // against the pre-transition window state.
             for e in &batch {
-                apply_marker(
-                    state,
-                    e.type_id,
-                    t,
-                    (many_slow, few_fast, stopped, removed),
-                );
+                apply_marker(state, e.type_id, t, (many_slow, few_fast, stopped, removed));
             }
             // Phase 2: processing with the post-transition windows.
             for e in &batch {
@@ -177,10 +172,8 @@ fn apply_marker(
     } else if ty == stopped {
         // INITIATE accident, valid in clear and congestion. CI_c removes
         // the default (clear) window if present.
-        let in_scope = (open(&state.clear)
-            && state.clear.as_ref().is_some_and(|w| w.admits(t)))
-            || (open(&state.congestion)
-                && state.congestion.as_ref().is_some_and(|w| w.admits(t)));
+        let in_scope = (open(&state.clear) && state.clear.as_ref().is_some_and(|w| w.admits(t)))
+            || (open(&state.congestion) && state.congestion.as_ref().is_some_and(|w| w.admits(t)));
         if in_scope && !open(&state.accident) {
             state.accident = Some(WindowState::opened_at(t));
             if open(&state.clear) {
@@ -325,15 +318,12 @@ mod tests {
         assert_eq!(sums[1], out.zero_tolls);
         assert_eq!(sums[2], out.real_tolls);
         assert_eq!(sums[3], out.accident_warnings);
-        let psums = out
-            .per_partition
-            .values()
-            .fold([0u64; 4], |mut acc, m| {
-                for k in 0..4 {
-                    acc[k] += m[k];
-                }
-                acc
-            });
+        let psums = out.per_partition.values().fold([0u64; 4], |mut acc, m| {
+            for k in 0..4 {
+                acc[k] += m[k];
+            }
+            acc
+        });
         assert_eq!(psums, sums);
     }
 

@@ -108,8 +108,7 @@ pub fn group_windows(windows: Vec<UserWindow>) -> GroupingResult {
     // Line 4: extract windows that overlap no other window — unchanged.
     let mut overlapping_idx: Vec<usize> = Vec::new();
     for i in 0..windows.len() {
-        let overlaps_any = (0..windows.len())
-            .any(|j| i != j && windows[i].overlaps(&windows[j]));
+        let overlaps_any = (0..windows.len()).any(|j| i != j && windows[i].overlaps(&windows[j]));
         if overlaps_any {
             overlapping_idx.push(i);
         } else {
@@ -153,10 +152,7 @@ pub fn group_windows(windows: Vec<UserWindow>) -> GroupingResult {
     // Lines 8-19: sweep the bounds; a grouped window forms between each
     // pair of subsequent bounds, carrying the union of the workloads of
     // all windows active in that slice.
-    let mut bounds: Vec<f64> = merged
-        .iter()
-        .flat_map(|w| [w.start, w.end])
-        .collect();
+    let mut bounds: Vec<f64> = merged.iter().flat_map(|w| [w.start, w.end]).collect();
     bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite keys"));
     bounds.dedup();
 
@@ -261,7 +257,11 @@ mod tests {
             .iter()
             .filter(|w| w.queries.contains(&QueryId(1)))
             .collect();
-        assert_eq!(covering.len(), 3, "Q1 executes during all 3 grouped windows");
+        assert_eq!(
+            covering.len(),
+            3,
+            "Q1 executes during all 3 grouped windows"
+        );
     }
 
     #[test]
@@ -322,8 +322,7 @@ mod tests {
             UserWindow::new("b", 10.0, 30.0, q(&[2])),
             UserWindow::new("c", 25.0, 40.0, q(&[3])),
         ]);
-        let slices: Vec<(f64, f64)> =
-            result.windows.iter().map(|w| (w.start, w.end)).collect();
+        let slices: Vec<(f64, f64)> = result.windows.iter().map(|w| (w.start, w.end)).collect();
         assert_eq!(
             slices,
             vec![
@@ -350,10 +349,7 @@ mod tests {
         let mut sorted = result.windows.clone();
         sorted.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         for pair in sorted.windows(2) {
-            assert!(
-                pair[0].end <= pair[1].start,
-                "slices {pair:?} overlap"
-            );
+            assert!(pair[0].end <= pair[1].start, "slices {pair:?} overlap");
         }
     }
 
@@ -392,11 +388,8 @@ mod tests {
             UserWindow::new("b", 90.0, 200.0, q(&[2])),
         ]);
         assert!(result.windows.len() > 1);
-        let sets: BTreeSet<Vec<QueryId>> = result
-            .windows
-            .iter()
-            .map(|w| w.queries.clone())
-            .collect();
+        let sets: BTreeSet<Vec<QueryId>> =
+            result.windows.iter().map(|w| w.queries.clone()).collect();
         assert!(sets.len() > 1, "slices carry different workloads");
     }
 }

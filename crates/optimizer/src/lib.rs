@@ -37,6 +37,8 @@ pub mod subsume;
 pub use grouping::{group_windows, GroupedWindow, UserWindow};
 pub use mqo::{bell_number, find_sharing, stirling2, SharedWorkload};
 pub use optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
-pub use pushdown::{merge_adjacent_filters, push_down_context_window, push_predicates_into_pattern};
+pub use pushdown::{
+    merge_adjacent_filters, push_down_context_window, push_predicates_into_pattern,
+};
 pub use search::{exhaustive_search, greedy_search, OperatorSpec, SearchResult};
 pub use subsume::{derive_window_specs, ThresholdBound, WindowRelation};

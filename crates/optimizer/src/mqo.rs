@@ -105,9 +105,7 @@ pub fn stirling2(n: u32, k: u32) -> u128 {
     dp[0] = 1; // S(0,0)
     for _ in 1..=n {
         for j in (1..=k as usize).rev() {
-            dp[j] = (j as u128)
-                .saturating_mul(dp[j])
-                .saturating_add(dp[j - 1]);
+            dp[j] = (j as u128).saturating_mul(dp[j]).saturating_add(dp[j - 1]);
         }
         dp[0] = 0;
     }
@@ -212,8 +210,7 @@ mod tests {
     #[test]
     fn bell_known_values() {
         // OEIS A000110.
-        let expected: [u128; 11] =
-            [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
+        let expected: [u128; 11] = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
         for (n, want) in expected.iter().enumerate() {
             assert_eq!(bell_number(n as u32), *want, "B({n})");
         }

@@ -180,10 +180,10 @@ impl Optimizer {
         let window_specs = derive_window_specs(&deriving, &workloads);
         let grouping = if window_specs.len() >= 2
             && window_specs.iter().enumerate().any(|(i, a)| {
-                window_specs[i + 1..]
-                    .iter()
-                    .any(|b| window_relation(a, b) == WindowRelation::Overlaps
-                        || window_relation(a, b) == WindowRelation::ContainedIn)
+                window_specs[i + 1..].iter().any(|b| {
+                    window_relation(a, b) == WindowRelation::Overlaps
+                        || window_relation(a, b) == WindowRelation::ContainedIn
+                })
             }) {
             group_windows(
                 window_specs
@@ -254,8 +254,10 @@ mod tests {
         .unwrap();
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = SchemaRegistry::new();
-        reg.register(Schema::new("Signal", &[("x", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Reading", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Signal", &[("x", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Reading", &[("v", AttrType::Int)]))
+            .unwrap();
         let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
         (t, reg)
     }

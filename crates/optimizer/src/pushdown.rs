@@ -71,10 +71,7 @@ pub fn merge_adjacent_filters(plan: &mut QueryPlan) -> usize {
 /// Only applies to multi-element (non-pass-through) patterns; conjuncts
 /// that reference the last element anyway stay in the filter (no
 /// benefit). Returns the number of conjuncts pushed.
-pub fn push_predicates_into_pattern(
-    plan: &mut QueryPlan,
-    registry: &SchemaRegistry,
-) -> usize {
+pub fn push_predicates_into_pattern(plan: &mut QueryPlan, registry: &SchemaRegistry) -> usize {
     // Work from the source query's WHERE clause: the filter operator
     // holds combined-offset compilations which cannot be reused inside
     // the pattern (event-slot layout).
@@ -94,9 +91,10 @@ pub fn push_predicates_into_pattern(
                 event_type,
                 var,
                 negated: false,
-            } => registry.lookup(event_type).ok().map(|tid| {
-                (var.clone().unwrap_or_else(|| format!("$e{i}")), tid)
-            }),
+            } => registry
+                .lookup(event_type)
+                .ok()
+                .map(|tid| (var.clone().unwrap_or_else(|| format!("$e{i}")), tid)),
             _ => None,
         })
         .collect();
@@ -207,9 +205,7 @@ pub fn filter_from(predicates: Vec<CompiledExpr>) -> Op {
 mod tests {
     use super::*;
     use caesar_algebra::cost::{chain_cost, Stats};
-    use caesar_algebra::translate::{
-        translate_query_set, TranslateOptions,
-    };
+    use caesar_algebra::translate::{translate_query_set, TranslateOptions};
     use caesar_events::{AttrType, Schema, SchemaRegistry, TypeId};
     use caesar_query::parser::parse_model;
     use caesar_query::queryset::QuerySet;
@@ -249,13 +245,9 @@ mod tests {
             .unwrap();
         reg.register(Schema::new("FewFastCars", &[("seg", AttrType::Int)]))
             .unwrap();
-        let out = translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 })
-            .unwrap();
-        let plans: Vec<QueryPlan> = out
-            .combined
-            .into_iter()
-            .flat_map(|c| c.plans)
-            .collect();
+        let out =
+            translate_query_set(&qs, &mut reg, &TranslateOptions { default_within: 60 }).unwrap();
+        let plans: Vec<QueryPlan> = out.combined.into_iter().flat_map(|c| c.plans).collect();
         (plans, reg)
     }
 
@@ -326,10 +318,7 @@ mod tests {
         plan.ops.insert(filter_pos, clone);
         let merged = merge_adjacent_filters(plan);
         assert_eq!(merged, 1);
-        assert_eq!(
-            plan.ops.iter().filter(|o| o.tag() == "Filter").count(),
-            1
-        );
+        assert_eq!(plan.ops.iter().filter(|o| o.tag() == "Filter").count(), 1);
         let _ = reg;
     }
 
@@ -348,9 +337,11 @@ mod tests {
             .unwrap();
         // a.speed < 40 references only slot 0 → pushable to step 0.
         let pushed = push_predicates_into_pattern(plan, &reg);
-        assert_eq!(pushed, 1, "only 'a.speed < 40' binds before the last element");
-        let Op::Pattern(p) = &plan.ops.iter().find(|o| o.tag() == "Pattern").unwrap()
-        else {
+        assert_eq!(
+            pushed, 1,
+            "only 'a.speed < 40' binds before the last element"
+        );
+        let Op::Pattern(p) = &plan.ops.iter().find(|o| o.tag() == "Pattern").unwrap() else {
             panic!()
         };
         let _ = p;

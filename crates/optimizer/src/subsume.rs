@@ -141,7 +141,9 @@ pub fn derive_window_specs(
     }
     let mut partials: BTreeMap<String, Partial> = BTreeMap::new();
     for (_, query) in deriving {
-        let Some(action) = &query.action else { continue };
+        let Some(action) = &query.action else {
+            continue;
+        };
         let Some(where_clause) = &query.where_clause else {
             continue;
         };
@@ -295,8 +297,7 @@ mod tests {
 
     fn figure7_specs() -> Vec<WindowSpec> {
         let queries = figure7_queries();
-        let refs: Vec<(QueryId, &EventQuery)> =
-            queries.iter().map(|(id, q)| (*id, q)).collect();
+        let refs: Vec<(QueryId, &EventQuery)> = queries.iter().map(|(id, q)| (*id, q)).collect();
         let mut workloads = BTreeMap::new();
         workloads.insert("c1".to_string(), vec![QueryId(10), QueryId(12)]); // Q1, Q3
         workloads.insert("c2".to_string(), vec![QueryId(10), QueryId(11)]); // Q1, Q2
@@ -373,8 +374,7 @@ mod tests {
     fn flipped_constant_side_normalizes() {
         // 20 < X ≡ X > 20.
         let (attr, bound) =
-            extract_threshold(&Expr::bin(BinOp::Lt, Expr::int(20), Expr::bare("X")))
-                .unwrap();
+            extract_threshold(&Expr::bin(BinOp::Lt, Expr::int(20), Expr::bare("X"))).unwrap();
         assert_eq!(attr, "X");
         assert!(bound.is_lower);
         assert_eq!(bound.value, 20.0);
@@ -382,18 +382,16 @@ mod tests {
 
     #[test]
     fn non_threshold_predicates_are_skipped() {
-        assert!(extract_threshold(&Expr::bin(
-            BinOp::Eq,
-            Expr::bare("X"),
-            Expr::bare("Y")
-        ))
-        .is_none());
+        assert!(
+            extract_threshold(&Expr::bin(BinOp::Eq, Expr::bare("X"), Expr::bare("Y"))).is_none()
+        );
         assert!(extract_threshold(&Expr::bare("X")).is_none());
     }
 
     #[test]
     fn switch_contributes_both_bounds() {
-        let queries = [(
+        let queries = [
+            (
                 QueryId(0),
                 deriving(
                     ContextAction::Switch("busy".into()),
@@ -408,9 +406,9 @@ mod tests {
                     "busy",
                     Expr::bin(BinOp::Lt, Expr::bare("load"), Expr::int(20)),
                 ),
-            )];
-        let refs: Vec<(QueryId, &EventQuery)> =
-            queries.iter().map(|(id, q)| (*id, q)).collect();
+            ),
+        ];
+        let refs: Vec<(QueryId, &EventQuery)> = queries.iter().map(|(id, q)| (*id, q)).collect();
         let specs = derive_window_specs(&refs, &BTreeMap::new());
         // busy: start load>80 (from switch into), end load<20 (switch away).
         let busy = specs.iter().find(|s| s.context == "busy").unwrap();
@@ -436,15 +434,31 @@ mod tests {
         let a = WindowSpec {
             context: "a".into(),
             signal: "X".into(),
-            start: ThresholdBound { is_lower: true, value: 0.0, inclusive: false },
-            end: ThresholdBound { is_lower: false, value: 10.0, inclusive: false },
+            start: ThresholdBound {
+                is_lower: true,
+                value: 0.0,
+                inclusive: false,
+            },
+            end: ThresholdBound {
+                is_lower: false,
+                value: 10.0,
+                inclusive: false,
+            },
             queries: vec![],
         };
         let b = WindowSpec {
             context: "b".into(),
             signal: "X".into(),
-            start: ThresholdBound { is_lower: true, value: 20.0, inclusive: false },
-            end: ThresholdBound { is_lower: false, value: 30.0, inclusive: false },
+            start: ThresholdBound {
+                is_lower: true,
+                value: 20.0,
+                inclusive: false,
+            },
+            end: ThresholdBound {
+                is_lower: false,
+                value: 30.0,
+                inclusive: false,
+            },
             queries: vec![],
         };
         assert_eq!(window_relation(&a, &b), WindowRelation::Disjoint);
@@ -455,8 +469,16 @@ mod tests {
         let a = WindowSpec {
             context: "busy".into(),
             signal: "load".into(),
-            start: ThresholdBound { is_lower: true, value: 80.0, inclusive: false },
-            end: ThresholdBound { is_lower: false, value: 20.0, inclusive: false },
+            start: ThresholdBound {
+                is_lower: true,
+                value: 80.0,
+                inclusive: false,
+            },
+            end: ThresholdBound {
+                is_lower: false,
+                value: 20.0,
+                inclusive: false,
+            },
             queries: vec![],
         };
         assert_eq!(window_relation(&a, &a), WindowRelation::Unknown);

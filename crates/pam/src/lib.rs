@@ -17,9 +17,7 @@
 #![forbid(unsafe_code)]
 
 use caesar_events::generator::rng;
-use caesar_events::{
-    AttrType, Event, Interval, PartitionId, Schema, SchemaRegistry, Time, Value,
-};
+use caesar_events::{AttrType, Event, Interval, PartitionId, Schema, SchemaRegistry, Time, Value};
 use caesar_query::parser::parse_model;
 use caesar_query::CaesarModel;
 use rand::Rng;
@@ -44,12 +42,26 @@ pub fn register_schemas(registry: &mut SchemaRegistry) {
                 ("chest_acc", AttrType::Float),
             ],
         ),
-        Schema::new("ActivityStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)]),
-        Schema::new("ActivityEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)]),
-        Schema::new("ExerciseStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)]),
-        Schema::new("ExerciseEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)]),
+        Schema::new(
+            "ActivityStarted",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "ActivityEnded",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "ExerciseStarted",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        ),
+        Schema::new(
+            "ExerciseEnded",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        ),
     ] {
-        registry.register(schema).expect("PAM schemas are consistent");
+        registry
+            .register(schema)
+            .expect("PAM schemas are consistent");
     }
 }
 
@@ -70,7 +82,11 @@ pub fn pam_model(replication: usize) -> CaesarModel {
     let mut active = String::new();
     let mut exercise = String::new();
     for i in 0..replication {
-        let sfx = if i == 0 { String::new() } else { format!("_{i}") };
+        let sfx = if i == 0 {
+            String::new()
+        } else {
+            format!("_{i}")
+        };
         let _ = writeln!(
             rest,
             "DERIVE AbnormalRestingHeartRate{sfx}(r.subject, r.heart_rate, r.sec) \
@@ -323,10 +339,22 @@ mod tests {
                     ("chest_acc", AttrType::Float),
                 ],
             )
-            .schema("ActivityStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ActivityEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
+            .schema(
+                "ActivityStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ActivityEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
             .build();
         assert!(system.is_ok(), "{:?}", system.err().map(|e| e.to_string()));
     }
@@ -353,15 +381,25 @@ mod tests {
                     ("chest_acc", AttrType::Float),
                 ],
             )
-            .schema("ActivityStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ActivityEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("ExerciseEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
+            .schema(
+                "ActivityStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ActivityEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseStarted",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
+            .schema(
+                "ExerciseEnded",
+                &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+            )
             .build()
             .unwrap();
-        let report = system
-            .run_stream(&mut VecStream::new(events))
-            .unwrap();
+        let report = system.run_stream(&mut VecStream::new(events)).unwrap();
         let has_exercise = schedules.iter().any(|s| !s.exercise.is_empty());
         if has_exercise {
             assert!(

@@ -11,9 +11,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a query within one compiled query set.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QueryId(pub u32);
 
 impl QueryId {
@@ -48,9 +46,9 @@ impl ContextAction {
     #[must_use]
     pub fn target(&self) -> &str {
         match self {
-            ContextAction::Initiate(c)
-            | ContextAction::Switch(c)
-            | ContextAction::Terminate(c) => c,
+            ContextAction::Initiate(c) | ContextAction::Switch(c) | ContextAction::Terminate(c) => {
+                c
+            }
         }
     }
 
@@ -459,10 +457,7 @@ mod tests {
             Pattern::event("PositionReport", "p2"),
         ]);
         assert_eq!(p.elements().len(), 2);
-        assert_eq!(
-            p.variables(),
-            vec![("p1", true), ("p2", false)]
-        );
+        assert_eq!(p.variables(), vec![("p1", true), ("p2", false)]);
         assert_eq!(p.event_types().len(), 1);
         assert!(!p.all_negated());
     }

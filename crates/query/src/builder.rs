@@ -208,7 +208,12 @@ impl ModelBuilder {
         let mut cb = f(ContextBuilder::new(name));
         // Queries without explicit CONTEXT memberships implicitly belong
         // to the enclosing context (the optional clauses of Figure 3).
-        for q in cb.def.deriving.iter_mut().chain(cb.def.processing.iter_mut()) {
+        for q in cb
+            .def
+            .deriving
+            .iter_mut()
+            .chain(cb.def.processing.iter_mut())
+        {
             if q.contexts.is_empty() {
                 q.contexts.push(name.to_string());
             }
@@ -271,15 +276,11 @@ mod tests {
 
     #[test]
     fn query_builder_with_filter_and_contexts() {
-        let q = QueryBuilder::derive(
-            "Out",
-            vec![Expr::attr("x", "v")],
-            Pattern::event("In", "x"),
-        )
-        .named("q1")
-        .filter(Expr::bin(BinOp::Gt, Expr::attr("x", "v"), Expr::int(10)))
-        .in_contexts(&["a", "b"])
-        .build();
+        let q = QueryBuilder::derive("Out", vec![Expr::attr("x", "v")], Pattern::event("In", "x"))
+            .named("q1")
+            .filter(Expr::bin(BinOp::Gt, Expr::attr("x", "v"), Expr::int(10)))
+            .in_contexts(&["a", "b"])
+            .build();
         assert_eq!(q.name.as_deref(), Some("q1"));
         assert!(q.where_clause.is_some());
         assert_eq!(q.contexts, vec!["a", "b"]);

@@ -36,7 +36,9 @@ pub fn model_to_dot(model: &CaesarModel) -> String {
     }
     for ctx in &model.contexts {
         for query in &ctx.deriving {
-            let Some(action) = &query.action else { continue };
+            let Some(action) = &query.action else {
+                continue;
+            };
             let label = escape(&pattern_to_string(&query.pattern));
             // A deriving query may belong to several contexts; draw one
             // edge per source context.
@@ -122,8 +124,9 @@ mod tests {
         assert!(dot.contains("\"clear\" -> \"congestion\" [label=\"ManySlowCars\"]"));
         // Initiate edges from BOTH clear and congestion (dashed).
         assert!(dot.contains("\"clear\" -> \"accident\" [label=\"StoppedCars\", style=dashed]"));
-        assert!(dot
-            .contains("\"congestion\" -> \"accident\" [label=\"StoppedCars\", style=dashed]"));
+        assert!(
+            dot.contains("\"congestion\" -> \"accident\" [label=\"StoppedCars\", style=dashed]")
+        );
         // Terminate self-edge (dotted).
         assert!(dot.contains("style=dotted"));
     }

@@ -159,67 +159,115 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: start,
+                });
                 advance!();
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: start,
+                });
                 advance!();
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    pos: start,
+                });
                 advance!();
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    pos: start,
+                });
                 advance!();
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: start,
+                });
                 advance!();
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos: start,
+                });
                 advance!();
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    pos: start,
+                });
                 advance!();
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: start,
+                });
                 advance!();
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: start,
+                });
                 advance!();
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos: start,
+                });
                 advance!();
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: start,
+                });
                 advance!();
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: start,
+                });
                 advance!();
             }
             '#' | '\u{2260}' => {
-                tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    pos: start,
+                });
                 advance!();
             }
             '\u{2264}' => {
-                tokens.push(Token { kind: TokenKind::Le, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Le,
+                    pos: start,
+                });
                 advance!();
             }
             '\u{2265}' => {
-                tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ge,
+                    pos: start,
+                });
                 advance!();
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    pos: start,
+                });
                 advance!();
                 advance!();
             }
@@ -227,18 +275,30 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                 advance!();
                 if chars.get(i) == Some(&'=') {
                     advance!();
-                    tokens.push(Token { kind: TokenKind::Le, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos: start,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: start,
+                    });
                 }
             }
             '>' => {
                 advance!();
                 if chars.get(i) == Some(&'=') {
                     advance!();
-                    tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos: start,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: start,
+                    });
                 }
             }
             '"' | '\u{201c}' | '\u{201d}' => {
@@ -264,7 +324,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -333,7 +396,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -429,10 +496,7 @@ mod tests {
 
     #[test]
     fn unterminated_string_is_error() {
-        assert!(matches!(
-            tokenize("\"oops"),
-            Err(QueryError::Lex { .. })
-        ));
+        assert!(matches!(tokenize("\"oops"), Err(QueryError::Lex { .. })));
     }
 
     #[test]

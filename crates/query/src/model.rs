@@ -179,8 +179,7 @@ pub(crate) fn validate_query(
                 None => {
                     // A bare attribute needs a unique positive variable
                     // to resolve against.
-                    let positive: Vec<_> =
-                        vars.iter().filter(|(_, neg)| !neg).collect();
+                    let positive: Vec<_> = vars.iter().filter(|(_, neg)| !neg).collect();
                     if positive.len() != 1 {
                         return Err(QueryError::AmbiguousBareAttr {
                             attr: bare_attr_name(expr).unwrap_or_default(),
@@ -246,12 +245,15 @@ mod tests {
 
     fn two_context_model() -> CaesarModel {
         let mut clear = ContextDef::new("clear");
-        clear
-            .deriving
-            .push(deriving_query(ContextAction::Switch("busy".into()), "clear"));
+        clear.deriving.push(deriving_query(
+            ContextAction::Switch("busy".into()),
+            "clear",
+        ));
         let mut busy = ContextDef::new("busy");
-        busy.deriving
-            .push(deriving_query(ContextAction::Switch("clear".into()), "busy"));
+        busy.deriving.push(deriving_query(
+            ContextAction::Switch("clear".into()),
+            "busy",
+        ));
         busy.processing.push(processing_query("Load", "busy"));
         CaesarModel::new("m", "clear", vec![clear, busy]).unwrap()
     }
@@ -272,12 +274,8 @@ mod tests {
 
     #[test]
     fn duplicate_context_rejected() {
-        let err = CaesarModel::new(
-            "m",
-            "a",
-            vec![ContextDef::new("a"), ContextDef::new("a")],
-        )
-        .unwrap_err();
+        let err = CaesarModel::new("m", "a", vec![ContextDef::new("a"), ContextDef::new("a")])
+            .unwrap_err();
         assert!(matches!(err, QueryError::DuplicateContext(_)));
     }
 
@@ -349,10 +347,7 @@ mod tests {
     #[test]
     fn bare_attr_with_unique_positive_var_is_fine() {
         let mut q = processing_query("X", "a");
-        q.pattern = Pattern::Seq(vec![
-            Pattern::not_event("X", "n"),
-            Pattern::event("X", "x"),
-        ]);
+        q.pattern = Pattern::Seq(vec![Pattern::not_event("X", "n"), Pattern::event("X", "x")]);
         q.where_clause = Some(Expr::bin(
             crate::ast::BinOp::Gt,
             Expr::bare("v"),

@@ -450,13 +450,9 @@ mod tests {
     #[test]
     fn parses_figure_three_query_three() {
         let qs =
-            parse_queries("INITIATE CONTEXT accident PATTERN Accident CONTEXT congestion")
-                .unwrap();
+            parse_queries("INITIATE CONTEXT accident PATTERN Accident CONTEXT congestion").unwrap();
         let q = &qs[0];
-        assert_eq!(
-            q.action,
-            Some(ContextAction::Initiate("accident".into()))
-        );
+        assert_eq!(q.action, Some(ContextAction::Initiate("accident".into())));
         assert!(q.derive.is_none());
         assert_eq!(q.contexts, vec!["congestion"]);
     }
@@ -473,24 +469,36 @@ mod tests {
 
     #[test]
     fn parses_multi_context_clause() {
-        let qs = parse_queries(
-            "DERIVE Warn(a.seg) PATTERN AccidentAhead a CONTEXT clear, congestion",
-        )
-        .unwrap();
+        let qs =
+            parse_queries("DERIVE Warn(a.seg) PATTERN AccidentAhead a CONTEXT clear, congestion")
+                .unwrap();
         assert_eq!(qs[0].contexts, vec!["clear", "congestion"]);
     }
 
     #[test]
     fn expression_precedence() {
-        let qs = parse_queries("DERIVE A(x.v) PATTERN X x WHERE x.a + 2 * 3 = 8 AND x.b > 1 OR x.c < 0")
-            .unwrap();
+        let qs =
+            parse_queries("DERIVE A(x.v) PATTERN X x WHERE x.a + 2 * 3 = 8 AND x.b > 1 OR x.c < 0")
+                .unwrap();
         let w = qs[0].where_clause.as_ref().unwrap();
         // Top level must be OR.
         match w {
-            Expr::Binary { op: BinOp::Or, lhs, .. } => match lhs.as_ref() {
-                Expr::Binary { op: BinOp::And, lhs, .. } => match lhs.as_ref() {
-                    Expr::Binary { op: BinOp::Eq, lhs, .. } => match lhs.as_ref() {
-                        Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, lhs, ..
+            } => match lhs.as_ref() {
+                Expr::Binary {
+                    op: BinOp::And,
+                    lhs,
+                    ..
+                } => match lhs.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::Eq, lhs, ..
+                    } => match lhs.as_ref() {
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            rhs,
+                            ..
+                        } => {
                             assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
                         }
                         other => panic!("expected Add, got {other:?}"),
@@ -508,7 +516,9 @@ mod tests {
         let qs = parse_queries("DERIVE A(x.v) PATTERN X x WHERE (x.a + 2) * 3 = 9").unwrap();
         let w = qs[0].where_clause.as_ref().unwrap();
         match w {
-            Expr::Binary { op: BinOp::Eq, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Eq, lhs, ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -527,8 +537,7 @@ mod tests {
 
     #[test]
     fn bare_attribute_reference() {
-        let qs = parse_queries("INITIATE CONTEXT hot PATTERN Reading r WHERE temp > 40")
-            .unwrap();
+        let qs = parse_queries("INITIATE CONTEXT hot PATTERN Reading r WHERE temp > 40").unwrap();
         let w = qs[0].where_clause.as_ref().unwrap();
         match w {
             Expr::Binary { lhs, .. } => {
@@ -546,10 +555,9 @@ mod tests {
 
     #[test]
     fn within_clause_parses_and_orders_before_context() {
-        let qs = parse_queries(
-            "DERIVE A(x.v) PATTERN SEQ(X x, Y y) WHERE x.v = 1 WITHIN 45 CONTEXT c",
-        )
-        .unwrap();
+        let qs =
+            parse_queries("DERIVE A(x.v) PATTERN SEQ(X x, Y y) WHERE x.v = 1 WITHIN 45 CONTEXT c")
+                .unwrap();
         assert_eq!(qs[0].within, Some(45));
         assert_eq!(qs[0].contexts, vec!["c"]);
         // Without WHERE too.

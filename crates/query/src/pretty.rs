@@ -116,7 +116,11 @@ pub fn query_to_string(query: &EventQuery) -> String {
 #[must_use]
 pub fn model_to_string(model: &CaesarModel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "MODEL {} DEFAULT {}", model.name, model.default_context);
+    let _ = writeln!(
+        out,
+        "MODEL {} DEFAULT {}",
+        model.name, model.default_context
+    );
     for ctx in &model.contexts {
         let _ = writeln!(out, "CONTEXT {} {{", ctx.name);
         for q in ctx.deriving.iter().chain(ctx.processing.iter()) {
@@ -146,7 +150,8 @@ mod tests {
 
     #[test]
     fn deriving_query_round_trips() {
-        let src = "SWITCH CONTEXT clear PATTERN FewFastCars f WHERE f.count < 10 CONTEXT congestion";
+        let src =
+            "SWITCH CONTEXT clear PATTERN FewFastCars f WHERE f.count < 10 CONTEXT congestion";
         let q = parse_queries(src).unwrap().remove(0);
         let reparsed = parse_queries(&query_to_string(&q)).unwrap().remove(0);
         assert_eq!(q, reparsed);

@@ -98,7 +98,9 @@ impl QuerySet {
     /// Index of a context in bit-vector (alphabetical) order.
     #[must_use]
     pub fn context_bit(&self, name: &str) -> Option<usize> {
-        self.context_names.binary_search_by(|c| c.as_str().cmp(name)).ok()
+        self.context_names
+            .binary_search_by(|c| c.as_str().cmp(name))
+            .ok()
     }
 
     /// All compiled queries belonging to one context.

@@ -1,0 +1,141 @@
+//! Typed failure modes of the durability layer.
+//!
+//! Every way a checkpoint directory can be wrong — missing, truncated,
+//! bit-flipped, written by a different format version, or taken from an
+//! engine built with a different model — maps to a distinct variant, so
+//! callers (the CLI in particular) can report *what* is wrong with the
+//! on-disk state instead of panicking mid-restore.
+
+use caesar_events::CodecError;
+use caesar_runtime::RestoreError;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while writing or reading durable state.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The file does not start with the expected magic bytes — it is not
+    /// a CAESAR snapshot / log, or its header was destroyed.
+    BadMagic {
+        /// File that failed the check.
+        path: PathBuf,
+        /// What the file claims to be (first 8 bytes, lossy).
+        found: String,
+    },
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// File that failed the check.
+        path: PathBuf,
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The snapshot payload does not match its recorded checksum: the
+    /// file was corrupted after it was written.
+    ChecksumMismatch {
+        /// File that failed the check.
+        path: PathBuf,
+        /// Checksum recorded in the header.
+        recorded: u64,
+        /// Checksum of the payload as read.
+        computed: u64,
+    },
+    /// The file is structurally broken (truncated header, impossible
+    /// lengths, undecodable payload).
+    Corrupt {
+        /// File that failed the check.
+        path: PathBuf,
+        /// Human-readable description of the damage.
+        detail: String,
+    },
+    /// The snapshot is intact but belongs to an engine built from a
+    /// different model / configuration than the one restoring it.
+    Incompatible(RestoreError),
+    /// Replaying a logged event into the restored engine failed — the
+    /// log and the snapshot disagree about the stream.
+    Replay(String),
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File (or directory) the operation touched.
+        path: PathBuf,
+        /// The OS error.
+        source: io::Error,
+    },
+}
+
+impl RecoveryError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        Self::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        Self::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn codec(path: impl Into<PathBuf>, e: CodecError) -> Self {
+        Self::Corrupt {
+            path: path.into(),
+            detail: format!("undecodable event frame: {e:?}"),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { path, found } => write!(
+                f,
+                "{} is not a CAESAR recovery file (magic {found:?})",
+                path.display()
+            ),
+            Self::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{} uses format version {found}, this build supports version {expected}",
+                path.display()
+            ),
+            Self::ChecksumMismatch {
+                path,
+                recorded,
+                computed,
+            } => write!(
+                f,
+                "{} failed its integrity check (recorded {recorded:#018x}, computed {computed:#018x})",
+                path.display()
+            ),
+            Self::Corrupt { path, detail } => {
+                write!(f, "{} is corrupt: {detail}", path.display())
+            }
+            Self::Incompatible(e) => write!(f, "snapshot is incompatible with this engine: {e}"),
+            Self::Replay(detail) => write!(f, "event log replay failed: {detail}"),
+            Self::Io { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Incompatible(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RestoreError> for RecoveryError {
+    fn from(e: RestoreError) -> Self {
+        Self::Incompatible(e)
+    }
+}

@@ -1,0 +1,142 @@
+//! Crash-injection harness: kill the engine at an arbitrary event index
+//! and prove the recovered run is indistinguishable from one that never
+//! crashed.
+//!
+//! The harness runs the same input three ways:
+//!
+//! 1. **baseline** — one engine, no checkpointing, straight through;
+//! 2. **crashed** — a checkpointed engine fed exactly `crash_after`
+//!    events, then dropped without `finish()` (the process-death model:
+//!    whatever was not on disk is gone);
+//! 3. **recovered** — a *freshly built* engine resumed from the
+//!    checkpoint directory, fed the remaining input, and finished.
+//!
+//! Equivalence is byte-level: outputs are compared via their codec
+//! encoding ([`outputs_equivalent`]), and the deterministic report
+//! counters must match ([`reports_equivalent`]; wall-clock and latency
+//! metrics are excluded — a restored engine restarts its wall clock).
+//! Engines must be built with `collect_outputs: true` for the output
+//! comparison to be meaningful.
+
+use crate::error::RecoveryError;
+use crate::manager::CheckpointManager;
+use caesar_events::{codec, Event};
+use caesar_runtime::{Engine, RunReport};
+use std::path::Path;
+
+/// Outcome of one crash/recover experiment.
+#[derive(Debug)]
+pub struct CrashReport {
+    /// Report of the uninterrupted run.
+    pub baseline: RunReport,
+    /// Report of the crashed-then-recovered run.
+    pub recovered: RunReport,
+    /// Every output event of the uninterrupted run, in order.
+    pub baseline_outputs: Vec<Event>,
+    /// Every output event across crash and recovery, in order.
+    pub recovered_outputs: Vec<Event>,
+    /// Checkpoints taken before the crash.
+    pub checkpoints_before_crash: u64,
+    /// Stream position the recovered engine resumed at.
+    pub resumed_at: u64,
+}
+
+impl CrashReport {
+    /// `true` iff the recovered run is observationally identical to the
+    /// uninterrupted one: byte-identical outputs and equal deterministic
+    /// counters.
+    #[must_use]
+    pub fn is_equivalent(&self) -> bool {
+        outputs_equivalent(&self.baseline_outputs, &self.recovered_outputs)
+            && reports_equivalent(&self.baseline, &self.recovered)
+    }
+}
+
+/// Byte-identity of two output streams under the wire codec.
+#[must_use]
+pub fn outputs_equivalent(a: &[Event], b: &[Event]) -> bool {
+    codec::encode_all(a) == codec::encode_all(b)
+}
+
+/// Equality of every deterministic [`RunReport`] counter. Wall-clock
+/// time and the queueing-model latencies (which fold in measured service
+/// times) are excluded; everything derived from the event stream alone
+/// must match exactly.
+#[must_use]
+pub fn reports_equivalent(a: &RunReport, b: &RunReport) -> bool {
+    a.events_in == b.events_in
+        && a.events_out == b.events_out
+        && a.transitions_applied == b.transitions_applied
+        && a.outputs_by_type == b.outputs_by_type
+        && a.plans_fed == b.plans_fed
+        && a.plans_suspended == b.plans_suspended
+        && a.peak_partials == b.peak_partials
+}
+
+/// Runs the crash/recover experiment.
+///
+/// `build` must construct a fresh engine from the same model and
+/// configuration every time it is called (with `collect_outputs`
+/// enabled); `every` is the checkpoint cadence in events; `crash_after`
+/// is the number of events processed before the simulated crash (clamped
+/// to the stream length).
+pub fn crash_and_recover<F>(
+    mut build: F,
+    events: &[Event],
+    dir: &Path,
+    every: u64,
+    crash_after: usize,
+) -> Result<CrashReport, RecoveryError>
+where
+    F: FnMut() -> Engine,
+{
+    // Uninterrupted reference run (no durability in the loop at all).
+    let mut baseline_engine = build();
+    for event in events {
+        baseline_engine
+            .ingest(event.clone())
+            .map_err(|e| RecoveryError::Replay(e.to_string()))?;
+    }
+    let baseline = baseline_engine.finish();
+    let baseline_outputs = std::mem::take(&mut baseline_engine.collected_outputs);
+
+    // Checkpointed run, killed after `crash_after` events. Dropping the
+    // engine without `finish()` models process death: only what the
+    // manager put on disk survives.
+    let crash_after = crash_after.min(events.len());
+    let mut manager = CheckpointManager::create(dir, every)?;
+    let mut doomed = build();
+    for event in &events[..crash_after] {
+        manager.log_event(event)?;
+        doomed
+            .ingest(event.clone())
+            .map_err(|e| RecoveryError::Replay(e.to_string()))?;
+        manager.maybe_checkpoint(&doomed)?;
+    }
+    let checkpoints_before_crash = manager.checkpoints_taken();
+    drop(doomed);
+    drop(manager);
+
+    // Recovery into a freshly built engine, then the rest of the stream.
+    let mut revived = build();
+    let mut manager = CheckpointManager::resume(dir, every, &mut revived)?;
+    let resumed_at = manager.position();
+    for event in &events[resumed_at as usize..] {
+        manager.log_event(event)?;
+        revived
+            .ingest(event.clone())
+            .map_err(|e| RecoveryError::Replay(e.to_string()))?;
+        manager.maybe_checkpoint(&revived)?;
+    }
+    let recovered = revived.finish();
+    let recovered_outputs = std::mem::take(&mut revived.collected_outputs);
+
+    Ok(CrashReport {
+        baseline,
+        recovered,
+        baseline_outputs,
+        recovered_outputs,
+        checkpoints_before_crash,
+        resumed_at,
+    })
+}

@@ -1,0 +1,39 @@
+//! Checkpoint & recovery for the CAESAR engine.
+//!
+//! The paper's engine (EDBT 2016, §6) keeps all context state — bit
+//! vectors, context windows, partial pattern matches, scheduler progress
+//! — in memory; a process crash loses every open context window. This
+//! crate adds the durability layer:
+//!
+//! * [`container`] — versioned, checksummed snapshot files holding a
+//!   complete [`caesar_runtime::EngineState`], installed atomically;
+//! * [`wal`] — a write-ahead event log in the wire framing of
+//!   [`caesar_events::codec`], so events that arrived after the last
+//!   snapshot can be replayed;
+//! * [`manager`] — the *log → ingest → checkpoint* protocol tying the
+//!   two files together, including crash-window reasoning (a crash
+//!   between snapshot write and log rebase is benign);
+//! * [`harness`] — crash injection: kill the engine at an arbitrary
+//!   event index, recover into a freshly built engine, and check
+//!   byte-identical outputs against an uninterrupted run.
+//!
+//! Because the engine is deterministic in application time (the
+//! time-driven scheduler orders work by timestamps, not arrival
+//! wall-clock), snapshot + replay reconstructs the *exact* pre-crash
+//! state, and the crash-equivalence tests can demand byte identity
+//! rather than approximate agreement.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod container;
+pub mod error;
+pub mod harness;
+pub mod manager;
+pub mod wal;
+
+pub use container::{crc64, read_snapshot, write_snapshot, Snapshot, SNAPSHOT_VERSION};
+pub use error::RecoveryError;
+pub use harness::{crash_and_recover, outputs_equivalent, reports_equivalent, CrashReport};
+pub use manager::{snapshot_path, wal_path, CheckpointManager, SNAPSHOT_FILE, WAL_FILE};
+pub use wal::{read_wal, WalWriter, WAL_VERSION};

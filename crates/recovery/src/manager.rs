@@ -1,0 +1,189 @@
+//! The checkpoint protocol: pairing snapshots with the event log.
+//!
+//! A checkpoint directory holds exactly two files:
+//!
+//! * `snapshot.caesnap` — the latest engine snapshot (atomic replace),
+//! * `events.caeswal` — the write-ahead event log.
+//!
+//! Per event, the protocol is *log → ingest → maybe checkpoint*: the
+//! frame hits the log before the engine sees the event, so after a crash
+//! the log always covers everything the engine processed since the
+//! snapshot. A checkpoint writes the snapshot (stamped with the current
+//! stream position), then rebases the log to that position with an empty
+//! body. Both steps are individually atomic, and a crash *between* them
+//! is harmless: recovery just skips the leading log entries the snapshot
+//! already covers (`snapshot position − log base`).
+//!
+//! [`CheckpointManager::resume`] rebuilds the exact pre-crash state:
+//! restore the snapshot into a freshly built engine, replay the
+//! uncovered log suffix, and continue appending. The caller then feeds
+//! the input stream starting at [`CheckpointManager::position`].
+
+use crate::container::{read_snapshot, write_snapshot};
+use crate::error::RecoveryError;
+use crate::wal::{read_wal, WalWriter};
+use caesar_events::Event;
+use caesar_runtime::Engine;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the snapshot inside a checkpoint directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.caesnap";
+/// File name of the event log inside a checkpoint directory.
+pub const WAL_FILE: &str = "events.caeswal";
+
+/// Path of the snapshot file inside `dir`.
+#[must_use]
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Path of the event log inside `dir`.
+#[must_use]
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// Drives the log → ingest → checkpoint protocol over one directory.
+#[derive(Debug)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    /// Checkpoint cadence in events; `0` disables periodic snapshots
+    /// (the log still makes every event durable).
+    every: u64,
+    /// Absolute stream position: events logged (= offered) so far.
+    offered: u64,
+    wal: WalWriter,
+    checkpoints_taken: u64,
+}
+
+impl CheckpointManager {
+    /// Starts a fresh checkpointed run: creates `dir`, removes any stale
+    /// snapshot, and opens an empty log at position 0.
+    pub fn create(dir: &Path, every: u64) -> Result<Self, RecoveryError> {
+        fs::create_dir_all(dir).map_err(|e| RecoveryError::io(dir, e))?;
+        let snap = snapshot_path(dir);
+        if snap.exists() {
+            fs::remove_file(&snap).map_err(|e| RecoveryError::io(&snap, e))?;
+        }
+        let wal = WalWriter::create(&wal_path(dir), 0)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            every,
+            offered: 0,
+            wal,
+            checkpoints_taken: 0,
+        })
+    }
+
+    /// Resumes from an existing checkpoint directory, restoring `engine`
+    /// to the exact pre-crash state.
+    ///
+    /// Restores the snapshot if one exists (the engine must have been
+    /// built from the same model and configuration), replays the log
+    /// suffix the snapshot does not cover, and reopens the log for
+    /// appending. After this returns, the first
+    /// [`position()`](Self::position) events of the original input are
+    /// already accounted for — feed the rest.
+    ///
+    /// A directory with no snapshot and no log (or an entirely missing
+    /// directory) resumes to a fresh start at position 0.
+    pub fn resume(dir: &Path, every: u64, engine: &mut Engine) -> Result<Self, RecoveryError> {
+        fs::create_dir_all(dir).map_err(|e| RecoveryError::io(dir, e))?;
+        let snap = snapshot_path(dir);
+        let position = if snap.exists() {
+            let snapshot = read_snapshot(&snap)?;
+            engine.restore_state(snapshot.state)?;
+            snapshot.stream_position
+        } else {
+            0
+        };
+        let wpath = wal_path(dir);
+        let (wal, offered) = if wpath.exists() {
+            let (base, events) = read_wal(&wpath)?;
+            if position < base {
+                return Err(RecoveryError::corrupt(
+                    &wpath,
+                    format!(
+                        "log starts at position {base} but the snapshot only covers {position}: \
+                         events in between are lost"
+                    ),
+                ));
+            }
+            // The leading `position − base` entries are already inside
+            // the snapshot (a crash between snapshot write and log
+            // rebase leaves such a prefix); replay only the rest.
+            let skip = usize::try_from(position - base)
+                .map_err(|_| RecoveryError::corrupt(&wpath, "log base offset overflow"))?;
+            let offered = position.max(base + events.len() as u64);
+            for event in events.into_iter().skip(skip) {
+                engine
+                    .ingest(event)
+                    .map_err(|e| RecoveryError::Replay(e.to_string()))?;
+            }
+            (WalWriter::open_append(&wpath)?, offered)
+        } else {
+            (WalWriter::create(&wpath, position)?, position)
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            every,
+            offered,
+            wal,
+            checkpoints_taken: 0,
+        })
+    }
+
+    /// Absolute stream position: how many input events are durable (and,
+    /// after [`resume`](Self::resume), already replayed).
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.offered
+    }
+
+    /// Snapshots written by this manager instance.
+    #[must_use]
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// The directory this manager operates on.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Makes `event` durable. Call *before* offering it to the engine —
+    /// the write-ahead order is what guarantees the log covers
+    /// everything the engine processed.
+    pub fn log_event(&mut self, event: &Event) -> Result<(), RecoveryError> {
+        self.wal.append(event)?;
+        self.offered += 1;
+        Ok(())
+    }
+
+    /// Takes a checkpoint if the configured cadence says one is due.
+    pub fn maybe_checkpoint(&mut self, engine: &Engine) -> Result<bool, RecoveryError> {
+        if self.every > 0 && self.offered > 0 && self.offered.is_multiple_of(self.every) {
+            self.checkpoint(engine)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Unconditionally snapshots the engine at the current stream
+    /// position, then rebases the log. Snapshot first, log second: if we
+    /// die in between, the snapshot covers a prefix of the log and
+    /// recovery skips it.
+    pub fn checkpoint(&mut self, engine: &Engine) -> Result<(), RecoveryError> {
+        self.wal.sync()?;
+        write_snapshot(
+            &snapshot_path(&self.dir),
+            self.offered,
+            &engine.snapshot_state(),
+        )?;
+        self.wal.rebase(self.offered)?;
+        self.checkpoints_taken += 1;
+        Ok(())
+    }
+}

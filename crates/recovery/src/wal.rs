@@ -1,0 +1,262 @@
+//! The event write-ahead log.
+//!
+//! Layout: a 20-byte header — magic `b"CAESWAL\0"`, `version: u32` LE,
+//! `base_event_index: u64` LE — followed by a sequence of events in the
+//! wire framing of [`caesar_events::codec`] (the same frames the network
+//! layer uses, so the log costs no second serializer). `base_event_index`
+//! is the absolute stream position of the first logged event; together
+//! with a snapshot's `stream_position` it tells recovery how many leading
+//! log entries the snapshot already covers.
+//!
+//! Every event is appended and flushed *before* it is offered to the
+//! engine, so the log always covers at least what the engine has seen. A
+//! crash can therefore leave at most a torn final frame, which the reader
+//! tolerates: decoding stops cleanly at the first truncated frame and
+//! everything before it is replayed. Any other decode failure means real
+//! corruption and is reported as such.
+
+use crate::error::RecoveryError;
+use bytes::{Bytes, BytesMut};
+use caesar_events::{codec, CodecError, Event};
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every log file.
+pub const WAL_MAGIC: [u8; 8] = *b"CAESWAL\0";
+/// Log format version written (and required) by this build.
+pub const WAL_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+const HEADER_LEN: usize = 20;
+
+fn header(base: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&WAL_MAGIC);
+    h[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&base.to_le_bytes());
+    h
+}
+
+/// Append-only writer over one log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    out: BufWriter<fs::File>,
+    /// Absolute stream position of the first event in the file.
+    base: u64,
+    scratch: BytesMut,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path` with the given base
+    /// position and an empty body.
+    pub fn create(path: &Path, base: u64) -> Result<Self, RecoveryError> {
+        let mut file = fs::File::create(path).map_err(|e| RecoveryError::io(path, e))?;
+        file.write_all(&header(base))
+            .map_err(|e| RecoveryError::io(path, e))?;
+        file.sync_all().map_err(|e| RecoveryError::io(path, e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            base,
+            scratch: BytesMut::new(),
+        })
+    }
+
+    /// Reopens an existing log for appending, validating its header.
+    pub fn open_append(path: &Path) -> Result<Self, RecoveryError> {
+        let (base, _) = read_wal(path)?;
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| RecoveryError::io(path, e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            base,
+            scratch: BytesMut::new(),
+        })
+    }
+
+    /// Stream position of the first event in the file.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Appends one event frame and flushes it to the OS, so the entry
+    /// survives a process crash (durable write-ahead before ingest).
+    pub fn append(&mut self, event: &Event) -> Result<(), RecoveryError> {
+        self.scratch.clear();
+        codec::encode(event, &mut self.scratch);
+        self.out
+            .write_all(&self.scratch)
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        self.out
+            .flush()
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        Ok(())
+    }
+
+    /// Forces the log contents to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<(), RecoveryError> {
+        self.out
+            .flush()
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        self.out
+            .get_ref()
+            .sync_all()
+            .map_err(|e| RecoveryError::io(&self.path, e))
+    }
+
+    /// Restarts the log at a new base position with an empty body,
+    /// atomically (temp + rename). Called right after a snapshot lands:
+    /// everything at positions `< base` is now covered by the snapshot.
+    /// If the process dies between the snapshot write and this rebase,
+    /// recovery simply skips the leading `snapshot position − base`
+    /// entries of the stale log.
+    pub fn rebase(&mut self, base: u64) -> Result<(), RecoveryError> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| RecoveryError::io(&tmp, e))?;
+            file.write_all(&header(base))
+                .map_err(|e| RecoveryError::io(&tmp, e))?;
+            file.sync_all().map_err(|e| RecoveryError::io(&tmp, e))?;
+        }
+        fs::rename(&tmp, &self.path).map_err(|e| RecoveryError::io(&self.path, e))?;
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        self.out = BufWriter::new(file);
+        self.base = base;
+        Ok(())
+    }
+}
+
+/// Reads a log file: returns its base position and every complete event
+/// frame. A torn final frame (crash mid-append) is tolerated; anything
+/// else undecodable is an error.
+pub fn read_wal(path: &Path) -> Result<(u64, Vec<Event>), RecoveryError> {
+    let data = fs::read(path).map_err(|e| RecoveryError::io(path, e))?;
+    if data.len() < HEADER_LEN {
+        return Err(RecoveryError::corrupt(
+            path,
+            format!("only {} bytes, header needs {HEADER_LEN}", data.len()),
+        ));
+    }
+    if data[..8] != WAL_MAGIC {
+        return Err(RecoveryError::BadMagic {
+            path: path.to_path_buf(),
+            found: String::from_utf8_lossy(&data[..8]).into_owned(),
+        });
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("header slice"));
+    if version != WAL_VERSION {
+        return Err(RecoveryError::VersionMismatch {
+            path: path.to_path_buf(),
+            found: version,
+            expected: WAL_VERSION,
+        });
+    }
+    let base = u64::from_le_bytes(data[12..20].try_into().expect("header slice"));
+    let mut bytes = Bytes::from(data[HEADER_LEN..].to_vec());
+    let mut events = Vec::new();
+    loop {
+        match codec::decode(&mut bytes) {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => break,
+            Err(CodecError::Truncated) => break, // torn tail from a crash
+            Err(e) => return Err(RecoveryError::codec(path, e)),
+        }
+    }
+    Ok((base, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_events::{PartitionId, Time, TypeId, Value};
+
+    fn ev(t: Time) -> Event {
+        Event::simple(TypeId(3), t, PartitionId(1), vec![Value::Int(t as i64)])
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("caesar-wal-{tag}-{}.caeswal", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut w = WalWriter::create(&path, 7).unwrap();
+        for t in [1, 2, 5] {
+            w.append(&ev(t)).unwrap();
+        }
+        w.sync().unwrap();
+        let (base, events) = read_wal(&path).unwrap();
+        assert_eq!(base, 7);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], ev(5));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = temp_path("torn");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append(&ev(1)).unwrap();
+        w.append(&ev(2)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Chop bytes off the final frame: simulates a crash mid-append.
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let (base, events) = read_wal(&path).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(events, vec![ev(1)]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebase_clears_body_and_moves_base() {
+        let path = temp_path("rebase");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append(&ev(1)).unwrap();
+        w.rebase(42).unwrap();
+        w.append(&ev(9)).unwrap();
+        w.sync().unwrap();
+        let (base, events) = read_wal(&path).unwrap();
+        assert_eq!(base, 42);
+        assert_eq!(events, vec![ev(9)]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let path = temp_path("magic");
+        fs::write(&path, b"NOTAWAL\0aaaaaaaaaaaaaaaa").unwrap();
+        assert!(matches!(
+            read_wal(&path),
+            Err(RecoveryError::BadMagic { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let path = temp_path("version");
+        let mut h = header(0).to_vec();
+        h[8] = 99;
+        fs::write(&path, &h).unwrap();
+        assert!(matches!(
+            read_wal(&path),
+            Err(RecoveryError::VersionMismatch {
+                found: 99,
+                expected: WAL_VERSION,
+                ..
+            })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -4,25 +4,25 @@
 //! collection and latency accounting (Figures 8 and 9 of the paper).
 
 use crate::metrics::{ArrivalClock, LatencyTracker};
-use crate::stats::Observations;
 use crate::programs::{Mode, PartitionPrograms, ProgramTemplate};
 use crate::router::Router;
 use crate::scheduler::TimeDrivenScheduler;
+use crate::stats::Observations;
 use crate::txn::StreamTransaction;
 use caesar_algebra::context_table::{ContextTable, TransitionKind};
 use caesar_algebra::plan::PlanOutput;
-use caesar_events::{
-    Event, EventError, EventStream, ReorderBuffer, SchemaRegistry, Time, TypeId,
-};
+use caesar_events::{Event, EventError, EventStream, ReorderBuffer, SchemaRegistry, Time, TypeId};
 use caesar_optimizer::optimizer::OptimizedProgram;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Execution mode of the engine.
 pub type ExecutionMode = Mode;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Context-aware (CAESAR) or context-independent (baseline).
     pub mode: ExecutionMode,
@@ -112,6 +112,93 @@ impl RunReport {
     }
 }
 
+/// A snapshot of every live field of an [`Engine`], taken by
+/// [`Engine::snapshot_state`] and applied by [`Engine::restore_state`].
+/// The only runtime field not captured is the wall-clock `started`
+/// instant, which is meaningless across process boundaries; a restored
+/// engine restarts its wall clock on the first post-restore ingest while
+/// keeping the accumulated `busy` time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Configuration the snapshot was taken under (checked on restore).
+    pub config: EngineConfig,
+    table: ContextTable,
+    template: ProgramTemplate,
+    default_bit: u8,
+    partitions: Vec<Option<PartitionPrograms>>,
+    scheduler: TimeDrivenScheduler,
+    router: Router,
+    clock: ArrivalClock,
+    latency: LatencyTracker,
+    type_names: BTreeMap<TypeId, String>,
+    outputs_by_type: BTreeMap<TypeId, u64>,
+    inputs_by_type: BTreeMap<TypeId, u64>,
+    events_in: u64,
+    events_out: u64,
+    transitions_applied: u64,
+    peak_partials: usize,
+    last_gc: Time,
+    busy: Duration,
+    reorder: Option<ReorderBuffer>,
+    late_dropped: u64,
+    collected_outputs: Vec<Event>,
+}
+
+impl EngineState {
+    /// Input events the snapshotted engine had ingested — the stream
+    /// position a recovery log must replay from.
+    #[must_use]
+    pub fn events_in(&self) -> u64 {
+        self.events_in
+    }
+}
+
+/// Why a snapshot cannot be restored into a particular engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The engine was built with a different configuration.
+    ConfigMismatch,
+    /// The snapshot's program has a different number of plans — it was
+    /// taken from a different model or optimizer setting.
+    ProgramMismatch {
+        /// Plans in the running engine's template.
+        expected: usize,
+        /// Plans in the snapshot's template.
+        found: usize,
+    },
+    /// The snapshot's context table has a different width.
+    ContextMismatch {
+        /// Context count of the running engine.
+        expected: usize,
+        /// Context count of the snapshot.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::ConfigMismatch => {
+                write!(
+                    f,
+                    "snapshot was taken under a different engine configuration"
+                )
+            }
+            RestoreError::ProgramMismatch { expected, found } => write!(
+                f,
+                "snapshot program has {found} plans, engine expects {expected} \
+                 (different model or optimizer settings?)"
+            ),
+            RestoreError::ContextMismatch { expected, found } => write!(
+                f,
+                "snapshot has {found} context types, engine expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// The CAESAR execution engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -146,28 +233,20 @@ impl Engine {
     /// registry the program was translated against (it names the derived
     /// types in reports).
     #[must_use]
-    pub fn new(
-        program: OptimizedProgram,
-        registry: &SchemaRegistry,
-        config: EngineConfig,
-    ) -> Self {
+    pub fn new(program: OptimizedProgram, registry: &SchemaRegistry, config: EngineConfig) -> Self {
         let sharing = if config.sharing {
             program.sharing.clone()
         } else {
             Vec::new()
         };
-        let template =
-            ProgramTemplate::build_with(
-                program.translation.combined,
-                &sharing,
-                config.mode,
-                config.baseline_pushdown,
-            );
-        let default_bit = program.translation.default_bit;
-        let table = ContextTable::new(
-            program.translation.context_names.len(),
-            default_bit,
+        let template = ProgramTemplate::build_with(
+            program.translation.combined,
+            &sharing,
+            config.mode,
+            config.baseline_pushdown,
         );
+        let default_bit = program.translation.default_bit;
+        let table = ContextTable::new(program.translation.context_names.len(), default_bit);
         let type_names = registry
             .iter()
             .map(|(id, s)| (id, s.name.to_string()))
@@ -206,6 +285,100 @@ impl Engine {
     #[must_use]
     pub fn context_table(&self) -> &ContextTable {
         &self.table
+    }
+
+    /// The configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Input events ingested so far (the stream position a recovery log
+    /// pairs with a checkpoint).
+    #[must_use]
+    pub fn events_in(&self) -> u64 {
+        self.events_in
+    }
+
+    /// Captures every live field into a serializable [`EngineState`].
+    /// Restoring the state into a freshly built engine and replaying the
+    /// post-snapshot suffix of the stream reproduces the uninterrupted
+    /// run exactly (same outputs, same counters) — only wall-clock
+    /// metrics differ.
+    #[must_use]
+    pub fn snapshot_state(&self) -> EngineState {
+        EngineState {
+            config: self.config,
+            table: self.table.clone(),
+            template: self.template.clone(),
+            default_bit: self.default_bit,
+            partitions: self.partitions.clone(),
+            scheduler: self.scheduler.clone(),
+            router: self.router.clone(),
+            clock: self.clock,
+            latency: self.latency.clone(),
+            type_names: self.type_names.clone(),
+            outputs_by_type: self.outputs_by_type.clone(),
+            inputs_by_type: self.inputs_by_type.clone(),
+            events_in: self.events_in,
+            events_out: self.events_out,
+            transitions_applied: self.transitions_applied,
+            peak_partials: self.peak_partials,
+            last_gc: self.last_gc,
+            busy: self.busy,
+            reorder: self.reorder.clone(),
+            late_dropped: self.late_dropped,
+            collected_outputs: self.collected_outputs.clone(),
+        }
+    }
+
+    /// Replaces the engine's live state with a snapshot.
+    ///
+    /// The engine must have been built from the same model, optimizer
+    /// settings and [`EngineConfig`] as the snapshotted one — verified
+    /// structurally (config equality, plan count, context-table width)
+    /// before anything is overwritten, so a failed restore leaves the
+    /// engine untouched.
+    pub fn restore_state(&mut self, state: EngineState) -> Result<(), RestoreError> {
+        if state.config != self.config {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        let expected_plans = self.template.plan_count();
+        let found_plans = state.template.plan_count();
+        if expected_plans != found_plans {
+            return Err(RestoreError::ProgramMismatch {
+                expected: expected_plans,
+                found: found_plans,
+            });
+        }
+        if state.table.num_contexts() != self.table.num_contexts() {
+            return Err(RestoreError::ContextMismatch {
+                expected: self.table.num_contexts(),
+                found: state.table.num_contexts(),
+            });
+        }
+        self.table = state.table;
+        self.template = state.template;
+        self.default_bit = state.default_bit;
+        self.partitions = state.partitions;
+        self.scheduler = state.scheduler;
+        self.router = state.router;
+        self.clock = state.clock;
+        self.latency = state.latency;
+        self.type_names = state.type_names;
+        self.outputs_by_type = state.outputs_by_type;
+        self.inputs_by_type = state.inputs_by_type;
+        self.events_in = state.events_in;
+        self.events_out = state.events_out;
+        self.transitions_applied = state.transitions_applied;
+        self.peak_partials = state.peak_partials;
+        self.last_gc = state.last_gc;
+        self.busy = state.busy;
+        self.reorder = state.reorder;
+        self.late_dropped = state.late_dropped;
+        self.collected_outputs = state.collected_outputs;
+        self.started = None;
+        Ok(())
     }
 
     /// The statistics gatherer (Figure 8): folds every partition's
@@ -299,10 +472,7 @@ impl Engine {
     }
 
     /// Convenience: runs an entire stream through the engine.
-    pub fn run_stream(
-        &mut self,
-        stream: &mut dyn EventStream,
-    ) -> Result<RunReport, EventError> {
+    pub fn run_stream(&mut self, stream: &mut dyn EventStream) -> Result<RunReport, EventError> {
         while let Some(event) = stream.next_event() {
             self.ingest(event)?;
         }
@@ -359,9 +529,7 @@ impl Engine {
         }
 
         // Phase 2: context-aware routing + processing.
-        let active = self
-            .router
-            .select(&programs, partition, t, &self.table);
+        let active = self.router.select(&programs, partition, t, &self.table);
         programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
 
         // Deferred context-history maintenance for windows that closed
@@ -531,15 +699,56 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_round_trip_mid_context() {
+        // Snapshot while a congestion window is open (live context bits,
+        // open pattern state): a fresh engine restored from the encoded
+        // snapshot must finish the stream exactly like the original.
+        let (mut engine, reg) = build_engine(Mode::ContextAware);
+        engine.ingest(pr(&reg, 1, 1, "travel", 0)).unwrap();
+        engine.ingest(marker(&reg, "ManySlowCars", 5, 0)).unwrap();
+        engine.ingest(pr(&reg, 6, 2, "travel", 0)).unwrap();
+
+        let bytes = serde::to_bytes(&engine.snapshot_state());
+        let state: EngineState = serde::from_bytes(&bytes).unwrap();
+        let (mut restored, _) = build_engine(Mode::ContextAware);
+        restored.restore_state(state).unwrap();
+        assert_eq!(restored.events_in(), 3);
+
+        for target in [&mut engine, &mut restored] {
+            target.ingest(pr(&reg, 7, 3, "exit", 0)).unwrap();
+            target.ingest(marker(&reg, "FewFastCars", 10, 0)).unwrap();
+            target.ingest(pr(&reg, 11, 4, "travel", 0)).unwrap();
+        }
+        let a = engine.finish();
+        let b = restored.finish();
+        assert_eq!(a.events_in, b.events_in);
+        assert_eq!(a.events_out, b.events_out);
+        assert_eq!(a.transitions_applied, b.transitions_applied);
+        assert_eq!(a.outputs_by_type, b.outputs_by_type);
+        assert_eq!(a.outputs_of("TollNotification"), 1);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let (engine, _) = build_engine(Mode::ContextAware);
+        let state = engine.snapshot_state();
+        let (mut other, _) = build_engine(Mode::ContextIndependent);
+        assert!(matches!(
+            other.restore_state(state),
+            Err(RestoreError::ConfigMismatch)
+        ));
+    }
+
+    #[test]
     fn tolls_only_during_congestion() {
         let (mut engine, reg) = build_engine(Mode::ContextAware);
         let mut stream = VecStream::new(vec![
-            pr(&reg, 1, 1, "travel", 0),  // clear: no toll
+            pr(&reg, 1, 1, "travel", 0),        // clear: no toll
             marker(&reg, "ManySlowCars", 5, 0), // switch to congestion
-            pr(&reg, 6, 2, "travel", 0),  // congestion: toll
-            pr(&reg, 7, 3, "exit", 0),    // exit lane: no toll
+            pr(&reg, 6, 2, "travel", 0),        // congestion: toll
+            pr(&reg, 7, 3, "exit", 0),          // exit lane: no toll
             marker(&reg, "FewFastCars", 10, 0), // back to clear
-            pr(&reg, 11, 4, "travel", 0), // clear again: no toll
+            pr(&reg, 11, 4, "travel", 0),       // clear again: no toll
         ]);
         let report = engine.run_stream(&mut stream).unwrap();
         assert_eq!(report.outputs_of("TollNotification"), 1);
@@ -597,13 +806,9 @@ mod tests {
             ]
         };
         let (mut ca, reg_a) = build_engine(Mode::ContextAware);
-        let ra = ca
-            .run_stream(&mut VecStream::new(events(&reg_a)))
-            .unwrap();
+        let ra = ca.run_stream(&mut VecStream::new(events(&reg_a))).unwrap();
         let (mut ci, reg_b) = build_engine(Mode::ContextIndependent);
-        let rb = ci
-            .run_stream(&mut VecStream::new(events(&reg_b)))
-            .unwrap();
+        let rb = ci.run_stream(&mut VecStream::new(events(&reg_b))).unwrap();
         assert_eq!(
             ra.outputs_of("TollNotification"),
             rb.outputs_of("TollNotification"),

@@ -25,17 +25,17 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
-pub mod parallel;
 pub mod metrics;
+pub mod parallel;
 pub mod programs;
 pub mod router;
 pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
-pub use engine::{Engine, EngineConfig, ExecutionMode, RunReport};
-pub use parallel::{merge_reports, run_sharded};
+pub use engine::{Engine, EngineConfig, EngineState, ExecutionMode, RestoreError, RunReport};
 pub use metrics::{ArrivalClock, LatencyTracker};
+pub use parallel::{merge_reports, run_sharded};
 pub use programs::PartitionPrograms;
 pub use router::Router;
 pub use scheduler::TimeDrivenScheduler;

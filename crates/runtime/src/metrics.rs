@@ -98,7 +98,11 @@ impl LatencyTracker {
 #[must_use]
 pub fn win_ratio(ci_max_latency_ns: u64, ca_max_latency_ns: u64) -> f64 {
     if ca_max_latency_ns == 0 {
-        return if ci_max_latency_ns == 0 { 1.0 } else { f64::INFINITY };
+        return if ci_max_latency_ns == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
     }
     ci_max_latency_ns as f64 / ca_max_latency_ns as f64
 }
@@ -149,7 +153,10 @@ mod tests {
         }
         // The 100th event waits ~99 ms behind the queue.
         assert!(last > 90_000_000, "latency {last} should approach 100 ms");
-        assert_eq!(tracker.max_latency_ns, last, "latency is monotone under overload");
+        assert_eq!(
+            tracker.max_latency_ns, last,
+            "latency is monotone under overload"
+        );
     }
 
     #[test]

@@ -117,9 +117,12 @@ mod tests {
         .unwrap();
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = SchemaRegistry::new();
-        reg.register(Schema::new("R", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Enter", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Leave", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("R", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Enter", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Leave", &[("v", AttrType::Int)]))
+            .unwrap();
         let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
         (Optimizer::default().optimize(t, &reg), reg)
     }
@@ -133,12 +136,7 @@ mod tests {
             if t % 50 == 10 {
                 out.push(Event::simple(enter, t, p, vec![Value::Int(0)]));
             }
-            out.push(Event::simple(
-                r,
-                t,
-                p,
-                vec![Value::Int((t % 7) as i64)],
-            ));
+            out.push(Event::simple(r, t, p, vec![Value::Int((t % 7) as i64)]));
         }
         out
     }

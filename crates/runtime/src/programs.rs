@@ -23,10 +23,11 @@ use caesar_algebra::plan::{CombinedPlan, PlanOutput, QueryPlan};
 use caesar_events::{Event, PartitionId, Time};
 use caesar_optimizer::mqo::SharedWorkload;
 use caesar_query::ast::QueryId;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Whether the engine runs context-aware or as the baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Mode {
     /// CAESAR: suspension by context, derivation shared per context.
     #[default]
@@ -37,7 +38,7 @@ pub enum Mode {
 }
 
 /// The blueprint cloned into each partition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProgramTemplate {
     /// Context-deriving plans (flattened across contexts).
     pub deriving: Vec<QueryPlan>,
@@ -140,16 +141,14 @@ impl ProgramTemplate {
         let mut redundant = Vec::new();
         if mode == Mode::ContextIndependent {
             for c in &processing {
-                let context_derivers: Vec<&QueryPlan> = deriving
-                    .iter()
-                    .filter(|d| d.context == c.context)
-                    .collect();
+                let context_derivers: Vec<&QueryPlan> =
+                    deriving.iter().filter(|d| d.context == c.context).collect();
                 for _query in &c.plans {
                     for d in &context_derivers {
                         let mut clone = (*d).clone();
-                        clone.ops.retain(|op| {
-                            !matches!(op, Op::ContextInit(_) | Op::ContextTerm(_))
-                        });
+                        clone
+                            .ops
+                            .retain(|op| !matches!(op, Op::ContextInit(_) | Op::ContextTerm(_)));
                         // The baseline evaluates the derivation condition
                         // itself regardless of context state: drop the
                         // context window too.
@@ -189,7 +188,7 @@ fn widen_context_window(plan: &mut QueryPlan, extra: &[u8]) {
 }
 
 /// The executing program of one stream partition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PartitionPrograms {
     /// Deriving plans (run first in every transaction).
     pub deriving: Vec<QueryPlan>,
@@ -315,12 +314,7 @@ impl PartitionPrograms {
     /// * shared plans spanning other still-open member windows only
     ///   expire partials that started before every still-open member
     ///   window began (Figure 7's grouped-window expiry).
-    pub fn on_context_terminated(
-        &mut self,
-        bit: u8,
-        partition: PartitionId,
-        table: &ContextTable,
-    ) {
+    pub fn on_context_terminated(&mut self, bit: u8, partition: PartitionId, table: &ContextTable) {
         let pc = table.partition(partition);
         for plan in self
             .processing
@@ -328,8 +322,7 @@ impl PartitionPrograms {
             .flat_map(|c| c.plans.iter_mut())
             .chain(self.deriving.iter_mut())
         {
-            let Some(Op::ContextWindow(cw)) =
-                plan.ops.iter().find(|o| o.is_context_window())
+            let Some(Op::ContextWindow(cw)) = plan.ops.iter().find(|o| o.is_context_window())
             else {
                 continue;
             };
@@ -431,9 +424,12 @@ mod tests {
         .unwrap();
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = SchemaRegistry::new();
-        reg.register(Schema::new("Reading", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Spike", &[("v", AttrType::Int)])).unwrap();
-        reg.register(Schema::new("Lull", &[("v", AttrType::Int)])).unwrap();
+        reg.register(Schema::new("Reading", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Spike", &[("v", AttrType::Int)]))
+            .unwrap();
+        reg.register(Schema::new("Lull", &[("v", AttrType::Int)]))
+            .unwrap();
         let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
         let names = t.context_names.clone();
         let default_bit = t.default_bit;
@@ -477,7 +473,11 @@ mod tests {
             .iter()
             .flat_map(|c| c.plans.iter())
             .find(|p| {
-                p.source.query.derive.as_ref().is_some_and(|d| d.event_type == "Ping")
+                p.source
+                    .query
+                    .derive
+                    .as_ref()
+                    .is_some_and(|d| d.event_type == "Ping")
             })
             .unwrap();
         let cw = rep
@@ -499,10 +499,10 @@ mod tests {
         assert_eq!(template.redundant.len(), 3);
         for r in &template.redundant {
             assert!(
-                !r.ops.iter().any(|o| matches!(
-                    o,
-                    Op::ContextInit(_) | Op::ContextTerm(_)
-                ) || o.is_context_window()),
+                !r.ops
+                    .iter()
+                    .any(|o| matches!(o, Op::ContextInit(_) | Op::ContextTerm(_))
+                        || o.is_context_window()),
                 "redundant clones must not mutate context state"
             );
         }

@@ -12,9 +12,10 @@
 use crate::programs::PartitionPrograms;
 use caesar_algebra::context_table::ContextTable;
 use caesar_events::{PartitionId, Time};
+use serde::{Deserialize, Serialize};
 
 /// Batch-level router with suspension accounting.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Router {
     /// Transactions routed.
     pub batches_routed: u64,
@@ -44,8 +45,7 @@ impl Router {
         let active = programs.active_processing(partition, t, table);
         self.batches_routed += 1;
         self.plans_fed += active.len() as u64;
-        self.plans_suspended +=
-            (programs.processing.len() - active.len()) as u64;
+        self.plans_suspended += (programs.processing.len() - active.len()) as u64;
         active
     }
 

@@ -16,10 +16,11 @@
 
 use crate::txn::StreamTransaction;
 use caesar_events::{Event, EventError, PartitionId, PartitionedQueues, Time};
+use serde::{Deserialize, Serialize};
 
 /// Buffers in-order events and releases them as per-partition,
 /// per-timestamp stream transactions once the progress watermark passes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct TimeDrivenScheduler {
     queues: PartitionedQueues,
     /// Highest timestamp ever ingested (the distributor progress).
@@ -158,8 +159,15 @@ mod tests {
         }
         let released = s.flush();
         assert_eq!(released.len(), 2);
-        let p0 = released.iter().find(|t| t.partition == PartitionId(0)).unwrap();
-        assert_eq!(p0.batch.len(), 2, "same-timestamp events share a transaction");
+        let p0 = released
+            .iter()
+            .find(|t| t.partition == PartitionId(0))
+            .unwrap();
+        assert_eq!(
+            p0.batch.len(),
+            2,
+            "same-timestamp events share a transaction"
+        );
     }
 
     #[test]

@@ -37,10 +37,7 @@ impl Observations {
         for op in &plan.ops {
             match op {
                 Op::ContextWindow(cw) => {
-                    let entry = self
-                        .window_counts
-                        .entry(cw.context_bit)
-                        .or_insert((0, 0));
+                    let entry = self.window_counts.entry(cw.context_bit).or_insert((0, 0));
                     entry.0 += cw.admitted;
                     entry.1 += cw.dropped;
                 }
@@ -50,13 +47,12 @@ impl Observations {
                             .insert(plan.query_id.to_string(), sel);
                     }
                 }
-                Op::Pattern(p)
-                    if p.stats.events_processed > 0 => {
-                        self.pattern_match_rates.insert(
-                            plan.query_id.to_string(),
-                            p.stats.matches as f64 / p.stats.events_processed as f64,
-                        );
-                    }
+                Op::Pattern(p) if p.stats.events_processed > 0 => {
+                    self.pattern_match_rates.insert(
+                        plan.query_id.to_string(),
+                        p.stats.matches as f64 / p.stats.events_processed as f64,
+                    );
+                }
                 _ => {}
             }
         }

@@ -81,16 +81,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         purchase(70, 1, 2, &system),    // probe
         purchase(130, 1, 900, &system), // drain -> ProbeThenDrain
         marker("FraudConfirmed", 140, 1, &system),
-        purchase(150, 1, 40, &system),  // -> BlockedPurchase
+        purchase(150, 1, 40, &system), // -> BlockedPurchase
         marker("IdentityVerified", 400, 1, &system),
-        purchase(410, 1, 80, &system),  // normal again: nothing fires
+        purchase(410, 1, 80, &system), // normal again: nothing fires
     ];
     for e in events {
         system.ingest(e)?;
     }
     let report = system.finish();
-    println!("probe-then-drain alerts: {}", report.outputs_of("ProbeThenDrain"));
-    println!("blocked purchases:       {}", report.outputs_of("BlockedPurchase"));
+    println!(
+        "probe-then-drain alerts: {}",
+        report.outputs_of("ProbeThenDrain")
+    );
+    println!(
+        "blocked purchases:       {}",
+        report.outputs_of("BlockedPurchase")
+    );
     println!("context transitions:     {}", report.transitions_applied);
     assert_eq!(report.outputs_of("ProbeThenDrain"), 1);
     assert_eq!(report.outputs_of("BlockedPurchase"), 1);

@@ -36,10 +36,22 @@ fn main() {
                 ("chest_acc", AttrType::Float),
             ],
         )
-        .schema("ActivityStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-        .schema("ActivityEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-        .schema("ExerciseStarted", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
-        .schema("ExerciseEnded", &[("subject", AttrType::Int), ("sec", AttrType::Int)])
+        .schema(
+            "ActivityStarted",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        )
+        .schema(
+            "ActivityEnded",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        )
+        .schema(
+            "ExerciseStarted",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        )
+        .schema(
+            "ExerciseEnded",
+            &[("subject", AttrType::Int), ("sec", AttrType::Int)],
+        )
         .within(30)
         .build()
         .expect("PAM model builds");
@@ -57,8 +69,7 @@ fn main() {
     println!(
         "suspended plan-batches: {} ({}% of routing decisions)",
         report.plans_suspended,
-        (report.plans_suspended * 100)
-            / (report.plans_fed + report.plans_suspended).max(1)
+        (report.plans_suspended * 100) / (report.plans_fed + report.plans_suspended).max(1)
     );
     println!("max latency: {:.2} ms", report.max_latency_ns as f64 / 1e6);
 }

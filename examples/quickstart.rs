@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let events = vec![
         mk_report(0, 7, "travel", &system),
         mk_report(30, 7, "travel", &system),
-        system
-            .event("ManySlowCars", 45)?
-            .attr("seg", 1)?
-            .build()?,
+        system.event("ManySlowCars", 45)?.attr("seg", 1)?.build()?,
         mk_report(60, 7, "travel", &system),
         mk_report(60, 9, "travel", &system),
         mk_report(90, 9, "travel", &system), // not new: no toll
@@ -78,9 +75,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = system.finish();
     println!("--- run report ---");
     println!("events in:            {}", report.events_in);
-    println!("toll notifications:   {}", report.outputs_of("TollNotification"));
+    println!(
+        "toll notifications:   {}",
+        report.outputs_of("TollNotification")
+    );
     println!("plans suspended:      {}", report.plans_suspended);
-    println!("max latency:          {:.3} ms", report.max_latency_ns as f64 / 1e6);
+    println!(
+        "max latency:          {:.3} ms",
+        report.max_latency_ns as f64 / 1e6
+    );
     assert_eq!(report.outputs_of("TollNotification"), 2);
     Ok(())
 }

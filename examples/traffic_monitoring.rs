@@ -7,9 +7,7 @@
 //! cargo run --release --example traffic_monitoring
 //! ```
 
-use caesar::linear_road::{
-    expected_outputs, lr_model, LinearRoadConfig, TrafficSim,
-};
+use caesar::linear_road::{expected_outputs, lr_model, LinearRoadConfig, TrafficSim};
 use caesar::prelude::*;
 use caesar::runtime::metrics::win_ratio;
 
@@ -36,19 +34,39 @@ fn build_system(mode: ExecutionMode, replication: usize) -> CaesarSystem {
         )
         .schema(
             "ManySlowCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         )
         .schema(
             "FewFastCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         )
         .schema(
             "StoppedCars",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         )
         .schema(
             "StoppedCarsRemoved",
-            &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)],
+            &[
+                ("xway", AttrType::Int),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("sec", AttrType::Int),
+            ],
         )
         .within(60)
         .engine_config(EngineConfig {
@@ -86,7 +104,10 @@ fn main() {
     let mut results = Vec::new();
     for (label, mode) in [
         ("context-aware  (CAESAR) ", ExecutionMode::ContextAware),
-        ("context-independent (CI)", ExecutionMode::ContextIndependent),
+        (
+            "context-independent (CI)",
+            ExecutionMode::ContextIndependent,
+        ),
     ] {
         let mut system = build_system(mode, 1);
         let report = system
@@ -102,7 +123,10 @@ fn main() {
         );
         assert_eq!(report.outputs_of("ZeroToll"), oracle.zero_tolls);
         assert_eq!(report.outputs_of("TollNotification"), oracle.real_tolls);
-        assert_eq!(report.outputs_of("AccidentWarning"), oracle.accident_warnings);
+        assert_eq!(
+            report.outputs_of("AccidentWarning"),
+            oracle.accident_warnings
+        );
         results.push(report.max_latency_ns);
     }
     println!(

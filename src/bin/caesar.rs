@@ -36,7 +36,12 @@ const USAGE: &str = "usage:
   caesar dot     --model FILE            (Graphviz transition network)
   caesar explain --model FILE --schema FILE [--within N]
   caesar run     --model FILE --schema FILE --events FILE
-                 [--mode ca|ci] [--no-sharing] [--within N]";
+                 [--mode ca|ci] [--no-sharing] [--within N]
+                 [--checkpoint-dir DIR] [--checkpoint-every-events N]
+
+with --checkpoint-dir, the run writes durable snapshots + an event log
+to DIR every N events (default 10000; 0 = snapshot only at the end) and
+resumes from DIR if a previous run of the same model was interrupted";
 
 fn dispatch(args: &[String]) -> Result<String, String> {
     let command = args.first().ok_or("no command given")?;
@@ -59,6 +64,14 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     if args.iter().any(|a| a == "--no-sharing") {
         options.sharing = false;
     }
+    if let Some(dir) = flag("--checkpoint-dir") {
+        options.checkpoint_dir = Some(dir.into());
+    }
+    if let Some(n) = flag("--checkpoint-every-events") {
+        options.checkpoint_every = n
+            .parse()
+            .map_err(|e| format!("--checkpoint-every-events: {e}"))?;
+    }
 
     match command.as_str() {
         "check" => {
@@ -80,16 +93,15 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "explain" => {
             let model_text = read("--model")?;
             let schema_text = read("--schema")?;
-            let system = build_system(&model_text, &schema_text, &options)
-                .map_err(|e| e.to_string())?;
+            let system =
+                build_system(&model_text, &schema_text, &options).map_err(|e| e.to_string())?;
             Ok(system.explain)
         }
         "run" => {
             let model_text = read("--model")?;
             let schema_text = read("--schema")?;
             let events_text = read("--events")?;
-            run(&model_text, &schema_text, &events_text, &options)
-                .map_err(|e| e.to_string())
+            run(&model_text, &schema_text, &events_text, &options).map_err(|e| e.to_string())
         }
         other => Err(format!("unknown command '{other}'")),
     }

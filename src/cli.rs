@@ -13,7 +13,9 @@
 
 use caesar_core::prelude::*;
 use caesar_core::{CaesarBuilder, CaesarSystem};
+use caesar_recovery::CheckpointManager;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// CLI-level errors.
 #[derive(Debug)]
@@ -91,8 +93,7 @@ pub fn parse_schema_file(text: &str) -> Result<Vec<SchemaDecl>, CliError> {
 #[must_use]
 pub fn apply_schemas(mut builder: CaesarBuilder, schemas: &[SchemaDecl]) -> CaesarBuilder {
     for (name, attrs) in schemas {
-        let refs: Vec<(&str, AttrType)> =
-            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let refs: Vec<(&str, AttrType)> = attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         builder = builder.schema(name, &refs);
     }
     builder
@@ -131,7 +132,11 @@ pub fn parse_event_file(text: &str, system: &CaesarSystem) -> Result<Vec<Event>,
                 .attr(attr, value)
                 .map_err(|e| parse_err(i + 1, e.to_string()))?;
         }
-        events.push(builder.build().map_err(|e| parse_err(i + 1, e.to_string()))?);
+        events.push(
+            builder
+                .build()
+                .map_err(|e| parse_err(i + 1, e.to_string()))?,
+        );
     }
     Ok(events)
 }
@@ -164,6 +169,14 @@ pub struct RunOptions {
     pub shards: usize,
     /// Pattern horizon in ticks.
     pub within: Time,
+    /// Directory for durable checkpoints (snapshot + event log). `None`
+    /// disables checkpointing. If the directory already holds a
+    /// checkpoint from an interrupted run of the same model, the run
+    /// resumes from it instead of starting over.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in events. `0` keeps the write-ahead log but
+    /// snapshots only at the end of the run.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RunOptions {
@@ -173,6 +186,8 @@ impl Default for RunOptions {
             sharing: true,
             shards: 1,
             within: 300,
+            checkpoint_dir: None,
+            checkpoint_every: 10_000,
         }
     }
 }
@@ -204,7 +219,16 @@ pub fn run(
 ) -> Result<String, CliError> {
     let mut system = build_system(model_text, schema_text, options)?;
     let events = parse_event_file(events_text, &system)?;
-    let report = if options.shards <= 1 {
+    let report = if let Some(dir) = &options.checkpoint_dir {
+        let (report, resumed_at) =
+            run_checkpointed(&mut system, events, dir, options.checkpoint_every)?;
+        let mut out = format!("checkpoint dir:      {}\n", dir.display());
+        if resumed_at > 0 {
+            out.push_str(&format!("resumed at event:    {resumed_at}\n"));
+        }
+        out.push_str(&render_report(&report));
+        return Ok(out);
+    } else if options.shards <= 1 {
         system
             .run_stream(&mut VecStream::new(events))
             .map_err(|e| CliError::System(e.to_string()))?
@@ -218,6 +242,44 @@ pub fn run(
         ));
     };
     Ok(render_report(&report))
+}
+
+/// Runs a parsed event stream under the checkpoint protocol: resume
+/// from `dir` if it holds a checkpoint of the same model, log every
+/// event ahead of ingest, snapshot on the configured cadence and once
+/// more at the end of the stream. Returns the report plus the stream
+/// position the run resumed at (0 for a fresh start).
+pub fn run_checkpointed(
+    system: &mut CaesarSystem,
+    events: Vec<Event>,
+    dir: &Path,
+    every: u64,
+) -> Result<(RunReport, u64), CliError> {
+    let sys_err = |e: caesar_recovery::RecoveryError| CliError::System(e.to_string());
+    let mut manager = CheckpointManager::resume(dir, every, &mut system.engine).map_err(sys_err)?;
+    let resumed_at = manager.position();
+    let skip = usize::try_from(resumed_at)
+        .map_err(|_| CliError::System("checkpoint position overflow".into()))?;
+    if skip > events.len() {
+        return Err(CliError::System(format!(
+            "checkpoint in {} covers {skip} events but the input has only {}; \
+             wrong event file for this checkpoint?",
+            dir.display(),
+            events.len()
+        )));
+    }
+    for event in events.into_iter().skip(skip) {
+        manager.log_event(&event).map_err(sys_err)?;
+        system
+            .engine
+            .ingest(event)
+            .map_err(|e| CliError::System(e.to_string()))?;
+        manager.maybe_checkpoint(&system.engine).map_err(sys_err)?;
+    }
+    // Final snapshot before `finish()`: rerunning against the same (or a
+    // longer) event file resumes here instead of replaying everything.
+    manager.checkpoint(&system.engine).map_err(sys_err)?;
+    Ok((system.engine.finish(), resumed_at))
 }
 
 /// Renders a run report as text.
@@ -324,6 +386,53 @@ CONTEXT congestion {
         assert!(err.to_string().contains("line 1"), "{err}");
         let err = parse_event_file("x 0 PositionReport\n", &system).unwrap_err();
         assert!(err.to_string().contains("timestamp"));
+    }
+
+    #[test]
+    fn checkpointed_run_writes_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("caesar-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            ..RunOptions::default()
+        };
+        let out = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        assert!(out.contains("checkpoint dir:"), "{out}");
+        assert!(out.contains("events in:           4"), "{out}");
+        assert!(caesar_recovery::snapshot_path(&dir).exists());
+        assert!(caesar_recovery::wal_path(&dir).exists());
+        // A second run over the same file resumes at the end: nothing is
+        // replayed, and the report matches the first run.
+        let out2 = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        assert!(out2.contains("resumed at event:    4"), "{out2}");
+        assert!(out2.contains("TollNotification               1"), "{out2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported_cleanly() {
+        let dir = std::env::temp_dir().join(format!("caesar-cli-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            ..RunOptions::default()
+        };
+        run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        // Flip a payload byte: the next run must fail with the checksum
+        // diagnostic instead of panicking or silently restarting.
+        let snap = caesar_recovery::snapshot_path(&dir);
+        let mut data = std::fs::read(&snap).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        std::fs::write(&snap, &data).unwrap();
+        let err = run(MODEL, SCHEMA, EVENTS, &options).unwrap_err();
+        assert!(
+            err.to_string().contains("integrity check"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub mod cli;
 
 pub use caesar_core::*;
 
+/// Checkpoint & recovery subsystem (snapshots, event log, crash harness).
+pub use caesar_recovery as recovery;
+
 /// Linear Road benchmark substrate (traffic simulator, model, oracle).
 pub use caesar_linear_road as linear_road;
 /// Synthetic physical-activity-monitoring substrate.

@@ -2,17 +2,13 @@
 //! re-optimize with measured statistics) and of the sharded parallel
 //! executor on the Linear Road workload.
 
-use caesar::linear_road::{
-    expected_outputs, lr_model, lr_registry, LinearRoadConfig, TrafficSim,
-};
+use caesar::linear_road::{expected_outputs, lr_model, lr_registry, LinearRoadConfig, TrafficSim};
 use caesar::optimizer::{Optimizer, OptimizerConfig};
 use caesar::prelude::*;
 use caesar::query::QuerySet;
 use caesar::runtime::{run_sharded, Engine};
 
-fn lr_program(
-    registry: &mut SchemaRegistry,
-) -> caesar::optimizer::optimizer::OptimizedProgram {
+fn lr_program(registry: &mut SchemaRegistry) -> caesar::optimizer::optimizer::OptimizedProgram {
     let model = lr_model(2);
     let qs = QuerySet::from_model(&model).unwrap();
     let translation = caesar::algebra::translate::translate_query_set(
@@ -91,9 +87,7 @@ fn reoptimizing_with_observed_stats_preserves_results() {
         Optimizer::new(OptimizerConfig::default(), observed).optimize(translation, &registry2);
     assert!(program2.cost_after <= program2.cost_before);
     let mut engine2 = Engine::new(program2, &registry2, EngineConfig::default());
-    let second = engine2
-        .run_stream(&mut VecStream::new(events))
-        .unwrap();
+    let second = engine2.run_stream(&mut VecStream::new(events)).unwrap();
     assert_eq!(
         first.outputs_of("TollNotification"),
         second.outputs_of("TollNotification")

@@ -60,15 +60,15 @@ fn marker(sys: &CaesarSystem, ty: &str, t: Time) -> Event {
 fn overlapping_windows_run_concurrently() {
     let mut sys = build("");
     let events = vec![
-        reading(&sys, 1, 10),          // base only
-        marker(&sys, "StartA", 5),     // a opens, base (default) closes
-        reading(&sys, 6, 11),          // a only
-        marker(&sys, "StartB", 10),    // b opens; a stays (overlap)
-        reading(&sys, 11, 12),         // a AND b
-        marker(&sys, "EndA", 15),      // a closes; b remains
-        reading(&sys, 16, 13),         // b only
-        marker(&sys, "EndB", 20),      // b closes; default restored
-        reading(&sys, 21, 14),         // base again
+        reading(&sys, 1, 10),       // base only
+        marker(&sys, "StartA", 5),  // a opens, base (default) closes
+        reading(&sys, 6, 11),       // a only
+        marker(&sys, "StartB", 10), // b opens; a stays (overlap)
+        reading(&sys, 11, 12),      // a AND b
+        marker(&sys, "EndA", 15),   // a closes; b remains
+        reading(&sys, 16, 13),      // b only
+        marker(&sys, "EndB", 20),   // b closes; default restored
+        reading(&sys, 21, 14),      // base again
     ];
     for e in events {
         sys.ingest(e).unwrap();
@@ -118,12 +118,10 @@ fn pattern_state_is_window_scoped() {
     // A pair pattern in context a: the first element arriving in one
     // window instance must not combine with a second element in the
     // next instance.
-    let mut sys = build(
-        "DERIVE APair(x.v, y.v) PATTERN SEQ(R x, R y) WHERE x.v = y.v",
-    );
+    let mut sys = build("DERIVE APair(x.v, y.v) PATTERN SEQ(R x, R y) WHERE x.v = y.v");
     let events = vec![
         marker(&sys, "StartA", 5),
-        reading(&sys, 6, 42),  // x candidate in window 1
+        reading(&sys, 6, 42), // x candidate in window 1
         marker(&sys, "EndA", 8),
         marker(&sys, "StartA", 10),
         reading(&sys, 11, 42), // same v in window 2: must NOT pair
@@ -230,10 +228,10 @@ fn trailing_negation_emits_after_quiet_horizon() {
             .unwrap()
     };
     let events = vec![
-        order(10, 1, &sys),   // paid at 30 → no alert
-        order(12, 2, &sys),   // never paid → alert after t=62
+        order(10, 1, &sys), // paid at 30 → no alert
+        order(12, 2, &sys), // never paid → alert after t=62
         payment(30, 1, &sys),
-        order(100, 3, &sys),  // stream continues past both horizons
+        order(100, 3, &sys), // stream continues past both horizons
         order(200, 4, &sys),
     ];
     for e in events {

@@ -3,9 +3,7 @@
 //! configuration — optimization and context-awareness change cost, never
 //! results.
 
-use caesar::linear_road::{
-    expected_outputs, lr_model, LinearRoadConfig, TrafficSim,
-};
+use caesar::linear_road::{expected_outputs, lr_model, LinearRoadConfig, TrafficSim};
 use caesar::prelude::*;
 
 fn lr_system(mode: ExecutionMode, optimized: bool, replication: usize) -> CaesarSystem {
@@ -97,7 +95,11 @@ fn context_aware_unoptimized_matches_oracle() {
 
 #[test]
 fn context_independent_matches_oracle() {
-    check_against_oracle(benchmark_config(3), ExecutionMode::ContextIndependent, false);
+    check_against_oracle(
+        benchmark_config(3),
+        ExecutionMode::ContextIndependent,
+        false,
+    );
 }
 
 #[test]
@@ -135,7 +137,10 @@ fn replicated_workload_multiplies_outputs() {
     assert_eq!(report.outputs_of("TollNotification"), oracle.real_tolls);
     assert_eq!(report.outputs_of("TollNotification_1"), oracle.real_tolls);
     assert_eq!(report.outputs_of("TollNotification_2"), oracle.real_tolls);
-    assert_eq!(report.outputs_of("AccidentWarning_2"), oracle.accident_warnings);
+    assert_eq!(
+        report.outputs_of("AccidentWarning_2"),
+        oracle.accident_warnings
+    );
 }
 
 #[test]
@@ -159,10 +164,42 @@ fn sharing_does_not_change_results() {
                     ("pos", AttrType::Int),
                 ],
             )
-            .schema("ManySlowCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("FewFastCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("StoppedCars", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
-            .schema("StoppedCarsRemoved", &[("xway", AttrType::Int), ("dir", AttrType::Int), ("seg", AttrType::Int), ("sec", AttrType::Int)])
+            .schema(
+                "ManySlowCars",
+                &[
+                    ("xway", AttrType::Int),
+                    ("dir", AttrType::Int),
+                    ("seg", AttrType::Int),
+                    ("sec", AttrType::Int),
+                ],
+            )
+            .schema(
+                "FewFastCars",
+                &[
+                    ("xway", AttrType::Int),
+                    ("dir", AttrType::Int),
+                    ("seg", AttrType::Int),
+                    ("sec", AttrType::Int),
+                ],
+            )
+            .schema(
+                "StoppedCars",
+                &[
+                    ("xway", AttrType::Int),
+                    ("dir", AttrType::Int),
+                    ("seg", AttrType::Int),
+                    ("sec", AttrType::Int),
+                ],
+            )
+            .schema(
+                "StoppedCarsRemoved",
+                &[
+                    ("xway", AttrType::Int),
+                    ("dir", AttrType::Int),
+                    ("seg", AttrType::Int),
+                    ("sec", AttrType::Int),
+                ],
+            )
             .within(60)
             .engine_config(EngineConfig {
                 sharing,
@@ -184,7 +221,10 @@ fn sharing_does_not_change_results() {
         shared.outputs_of("AccidentWarning"),
         non_shared.outputs_of("AccidentWarning")
     );
-    assert_eq!(shared.outputs_of("ZeroToll"), non_shared.outputs_of("ZeroToll"));
+    assert_eq!(
+        shared.outputs_of("ZeroToll"),
+        non_shared.outputs_of("ZeroToll")
+    );
 }
 
 #[test]
@@ -192,8 +232,8 @@ fn boundary_aligned_windows_match_oracle() {
     // Context windows whose bounds collide with the 30-second report
     // cadence maximize same-timestamp marker/report transactions — the
     // `(t_i, t_t]` boundary cases.
-    use caesar::linear_road::{SchedulePolicy, SegmentSchedule};
     use caesar::events::Interval;
+    use caesar::linear_road::{SchedulePolicy, SegmentSchedule};
     for seed in 20..30 {
         let config = LinearRoadConfig {
             roads: 1,

@@ -2,9 +2,7 @@
 //! stream through an engine with `reorder_slack` must produce exactly
 //! the ordered run's results; without slack the same stream is rejected.
 
-use caesar::linear_road::{
-    build_lr_system, expected_outputs, LinearRoadConfig, TrafficSim,
-};
+use caesar::linear_road::{build_lr_system, expected_outputs, LinearRoadConfig, TrafficSim};
 use caesar::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -49,7 +47,10 @@ fn reorder_slack_repairs_bounded_disorder() {
         .expect("slack covers the disorder");
     assert_eq!(report.outputs_of("TollNotification"), oracle.real_tolls);
     assert_eq!(report.outputs_of("ZeroToll"), oracle.zero_tolls);
-    assert_eq!(report.outputs_of("AccidentWarning"), oracle.accident_warnings);
+    assert_eq!(
+        report.outputs_of("AccidentWarning"),
+        oracle.accident_warnings
+    );
 }
 
 #[test]
@@ -87,4 +88,3 @@ impl EventStream for ShuffledStream {
         self.0.next()
     }
 }
-

@@ -106,9 +106,7 @@ fn arb_query_text() -> impl Strategy<Value = String> {
             "SEQ(Report r1, Report r2)".to_string()
         };
         let var = if negated { "r2" } else { "r1" };
-        format!(
-            "DERIVE Out({var}.{a}) PATTERN {pattern} WHERE {var}.{a} {c} {v} CONTEXT busy"
-        )
+        format!("DERIVE Out({var}.{a}) PATTERN {pattern} WHERE {var}.{a} {c} {v} CONTEXT busy")
     })
 }
 

@@ -1,0 +1,212 @@
+//! Crash-equivalence on Linear Road: the engine is killed at several
+//! stream positions under different checkpoint cadences, recovered into
+//! a freshly built engine, and must finish with byte-identical outputs
+//! and identical deterministic counters compared to an uninterrupted
+//! run. On top of the byte-level check, the recovered run is also held
+//! against the traffic oracle — recovery must not merely be
+//! self-consistent, it must still be *correct*.
+
+use caesar::linear_road::{expected_outputs, lr_model, LinearRoadConfig, TrafficSim};
+use caesar::prelude::*;
+use caesar::recovery::crash_and_recover;
+use caesar::runtime::Engine;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caesar-lr-crash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lr_engine(mode: ExecutionMode) -> Engine {
+    let seg_attrs: &[(&str, AttrType)] = &[
+        ("xway", AttrType::Int),
+        ("dir", AttrType::Int),
+        ("seg", AttrType::Int),
+        ("sec", AttrType::Int),
+    ];
+    Caesar::builder()
+        .model(lr_model(1))
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .schema("ManySlowCars", seg_attrs)
+        .schema("FewFastCars", seg_attrs)
+        .schema("StoppedCars", seg_attrs)
+        .schema("StoppedCarsRemoved", seg_attrs)
+        .within(60)
+        .engine_config(EngineConfig {
+            mode,
+            collect_outputs: true,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("LR model builds")
+        .engine
+}
+
+fn lr_stream() -> (Vec<Event>, u64, u64, u64) {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 6,
+        duration: 900,
+        ..LinearRoadConfig::default()
+    });
+    let events = sim.generate();
+    let oracle = expected_outputs(&events, sim.registry());
+    (
+        events,
+        oracle.zero_tolls,
+        oracle.real_tolls,
+        oracle.accident_warnings,
+    )
+}
+
+/// The acceptance matrix: ≥3 crash points × 2 checkpoint cadences on
+/// Linear Road, byte-identical outputs each time, plus oracle agreement.
+#[test]
+fn linear_road_crash_matrix_is_byte_identical() {
+    let (events, zero_tolls, real_tolls, warnings) = lr_stream();
+    let n = events.len();
+    assert!(n > 100, "simulation produced a trivial stream ({n} events)");
+    let crash_points = [n / 10, n / 2, n - 1];
+    for every in [97u64, 1000] {
+        for &crash_after in &crash_points {
+            let dir = temp_dir("matrix");
+            let report = crash_and_recover(
+                || lr_engine(ExecutionMode::ContextAware),
+                &events,
+                &dir,
+                every,
+                crash_after,
+            )
+            .expect("crash/recover runs");
+            if crash_after as u64 >= every {
+                // At least one checkpoint fit before the crash, so
+                // recovery must start from a snapshot, not from zero.
+                assert!(
+                    report.checkpoints_before_crash > 0,
+                    "crash at {crash_after} with cadence {every} took no checkpoint"
+                );
+            }
+            // Whether from a snapshot or from pure log replay, every
+            // pre-crash event must be recovered from disk.
+            assert_eq!(report.resumed_at, crash_after as u64);
+            assert!(
+                report.is_equivalent(),
+                "crash at {crash_after}/{n} with cadence {every}: recovered run diverged \
+                 ({} vs {} outputs, {} vs {} events out)",
+                report.baseline_outputs.len(),
+                report.recovered_outputs.len(),
+                report.baseline.events_out,
+                report.recovered.events_out,
+            );
+            assert_eq!(report.recovered.outputs_of("ZeroToll"), zero_tolls);
+            assert_eq!(report.recovered.outputs_of("TollNotification"), real_tolls);
+            assert_eq!(report.recovered.outputs_of("AccidentWarning"), warnings);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The baseline (context-independent) engine carries different operator
+/// state — stream-scoped patterns, per-query context re-derivation — and
+/// must survive crashes just as exactly.
+#[test]
+fn context_independent_mode_recovers_too() {
+    let (events, _, real_tolls, _) = lr_stream();
+    let dir = temp_dir("ci-mode");
+    let crash_after = events.len() / 3;
+    let report = crash_and_recover(
+        || lr_engine(ExecutionMode::ContextIndependent),
+        &events,
+        &dir,
+        500,
+        crash_after,
+    )
+    .expect("crash/recover runs");
+    assert!(report.is_equivalent(), "CI-mode recovery diverged");
+    assert_eq!(report.recovered.outputs_of("TollNotification"), real_tolls);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A double crash: die, recover, die again later, recover again. The
+/// second recovery starts from a checkpoint the *first* recovery wrote.
+#[test]
+fn repeated_crashes_compound_correctly() {
+    let (events, _, real_tolls, _) = lr_stream();
+    let dir = temp_dir("double");
+    let build = || lr_engine(ExecutionMode::ContextAware);
+    let every = 200u64;
+
+    // Reference run.
+    let mut reference = build();
+    for event in &events {
+        reference.ingest(event.clone()).expect("in order");
+    }
+    let baseline = reference.finish();
+    let baseline_outputs = std::mem::take(&mut reference.collected_outputs);
+
+    // Crash #1 at one third.
+    let first_crash = events.len() / 3;
+    let mut manager = caesar::recovery::CheckpointManager::create(&dir, every).expect("create");
+    let mut engine = build();
+    for event in &events[..first_crash] {
+        manager.log_event(event).expect("log");
+        engine.ingest(event.clone()).expect("in order");
+        manager.maybe_checkpoint(&engine).expect("checkpoint");
+    }
+    drop(engine);
+    drop(manager);
+
+    // Recover, run to two thirds, crash #2.
+    let second_crash = 2 * events.len() / 3;
+    let mut engine = build();
+    let mut manager =
+        caesar::recovery::CheckpointManager::resume(&dir, every, &mut engine).expect("resume 1");
+    for event in &events[manager.position() as usize..second_crash] {
+        manager.log_event(event).expect("log");
+        engine.ingest(event.clone()).expect("in order");
+        manager.maybe_checkpoint(&engine).expect("checkpoint");
+    }
+    drop(engine);
+    drop(manager);
+
+    // Final recovery runs to the end.
+    let mut engine = build();
+    let mut manager =
+        caesar::recovery::CheckpointManager::resume(&dir, every, &mut engine).expect("resume 2");
+    for event in &events[manager.position() as usize..] {
+        manager.log_event(event).expect("log");
+        engine.ingest(event.clone()).expect("in order");
+        manager.maybe_checkpoint(&engine).expect("checkpoint");
+    }
+    let recovered = engine.finish();
+    let recovered_outputs = std::mem::take(&mut engine.collected_outputs);
+
+    assert!(caesar::recovery::outputs_equivalent(
+        &baseline_outputs,
+        &recovered_outputs
+    ));
+    assert!(caesar::recovery::reports_equivalent(&baseline, &recovered));
+    assert_eq!(recovered.outputs_of("TollNotification"), real_tolls);
+    let _ = fs::remove_dir_all(&dir);
+}

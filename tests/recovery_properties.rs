@@ -1,0 +1,116 @@
+//! Property-based crash equivalence: for *any* crash index and *any*
+//! checkpoint cadence, killing the engine and recovering from disk must
+//! be observationally identical to never crashing — and the recovered
+//! run must still agree with the Linear Road oracle.
+
+use caesar::linear_road::{expected_outputs, lr_model, LinearRoadConfig, TrafficSim};
+use caesar::prelude::*;
+use caesar::recovery::crash_and_recover;
+use caesar::runtime::Engine;
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caesar-prop-crash-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lr_engine() -> Engine {
+    let seg_attrs: &[(&str, AttrType)] = &[
+        ("xway", AttrType::Int),
+        ("dir", AttrType::Int),
+        ("seg", AttrType::Int),
+        ("sec", AttrType::Int),
+    ];
+    Caesar::builder()
+        .model(lr_model(1))
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .schema("ManySlowCars", seg_attrs)
+        .schema("FewFastCars", seg_attrs)
+        .schema("StoppedCars", seg_attrs)
+        .schema("StoppedCarsRemoved", seg_attrs)
+        .within(60)
+        .engine_config(EngineConfig {
+            mode: ExecutionMode::ContextAware,
+            collect_outputs: true,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("LR model builds")
+        .engine
+}
+
+/// One shared simulation: generating traffic per proptest case would
+/// dominate the runtime without adding coverage (the property varies the
+/// crash index and cadence, not the workload).
+fn shared_stream() -> &'static (Vec<Event>, u64, u64, u64) {
+    static STREAM: OnceLock<(Vec<Event>, u64, u64, u64)> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        let mut sim = TrafficSim::new(LinearRoadConfig {
+            roads: 1,
+            segments_per_road: 4,
+            duration: 600,
+            ..LinearRoadConfig::default()
+        });
+        let events = sim.generate();
+        let oracle = expected_outputs(&events, sim.registry());
+        (
+            events,
+            oracle.zero_tolls,
+            oracle.real_tolls,
+            oracle.accident_warnings,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_crash_index_and_cadence_recover_exactly(
+        crash_frac in 0.0f64..1.0,
+        every in 1u64..800,
+    ) {
+        let (events, zero_tolls, real_tolls, warnings) = shared_stream();
+        let crash_after = ((events.len() as f64) * crash_frac) as usize;
+        let dir = temp_dir();
+        let report = crash_and_recover(lr_engine, events, &dir, every, crash_after)
+            .expect("crash/recover runs");
+        prop_assert_eq!(report.resumed_at, crash_after.min(events.len()) as u64);
+        prop_assert!(
+            report.is_equivalent(),
+            "crash at {}/{} cadence {}: diverged ({} vs {} outputs)",
+            crash_after,
+            events.len(),
+            every,
+            report.baseline_outputs.len(),
+            report.recovered_outputs.len()
+        );
+        prop_assert_eq!(report.recovered.outputs_of("ZeroToll"), *zero_tolls);
+        prop_assert_eq!(report.recovered.outputs_of("TollNotification"), *real_tolls);
+        prop_assert_eq!(report.recovered.outputs_of("AccidentWarning"), *warnings);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,381 @@
+//! Offline shim for `bytes`.
+//!
+//! Implements the subset used by the event codec: `BytesMut` as a
+//! growable write buffer with little-endian put methods, and `Bytes` as
+//! a cheaply-cloneable read view with an advancing cursor. Backed by
+//! `Vec<u8>`/`Arc<[u8]>` instead of the real crate's refcounted slabs —
+//! same API, no zero-copy tricks.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read-cursor access: little-endian reads that advance the cursor.
+/// Implemented by [`Bytes`]; import it (as the real crate requires) to
+/// call the `get_*`/`remaining`/`advance` family.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Next `n` bytes as a slice (not advancing).
+    fn peek_slice(&self, n: usize) -> &[u8];
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.peek_slice(1)[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a `u16` little-endian, advancing.
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.peek_slice(2).try_into().expect("peek_slice length"));
+        self.advance(2);
+        v
+    }
+
+    /// Reads a `u32` little-endian, advancing.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.peek_slice(4).try_into().expect("peek_slice length"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a `u64` little-endian, advancing.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.peek_slice(8).try_into().expect("peek_slice length"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads an `i64` little-endian, advancing.
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.peek_slice(8).try_into().expect("peek_slice length"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads an `f64` from little-endian IEEE-754 bits, advancing.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Copies the next `dst.len()` bytes into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.peek_slice(dst.len()));
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn peek_slice(&self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "read past end of Bytes");
+        &self.as_slice()[..n]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.start += n;
+    }
+}
+
+/// Write-sink access: little-endian appends. Implemented by
+/// [`BytesMut`]; import it to call the `put_*` family.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16` little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` little-endian.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as little-endian IEEE-754 bits.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+/// Growable, contiguous write buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with `cap` reserved bytes.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, rest),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self { buf: src.to_vec() }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.buf.extend(iter);
+    }
+}
+
+/// Immutable, cheaply-cloneable byte view with an advancing read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a static slice into a view.
+    #[must_use]
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+
+    /// Copies a slice into a view.
+    #[must_use]
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self::from(src.to_vec())
+    }
+
+    /// Remaining (unread) length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether all bytes were consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Remaining bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end of Bytes");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Returns a sub-view of the remaining bytes.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        let end = buf.len();
+        Self {
+            data: buf.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u32_le(0xdead_beef);
+        w.put_u16_le(7);
+        w.put_i64_le(-5);
+        w.put_f64_le(2.5);
+        w.put_slice(b"xyz");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u16_le(), 7);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.as_slice(), b"xyz");
+    }
+
+    #[test]
+    fn split_to_preserves_remainder() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_slice(), &[1, 2]);
+        assert_eq!(b.as_slice(), &[3, 4]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline shim for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench structure
+//! compiling and running without the real crate: every benchmark is
+//! timed with a simple warm-up + adaptive-iteration wall-clock loop and
+//! the mean per-iteration time is printed. No statistics, plots, or
+//! baseline comparison — just honest numbers on stdout so perf is
+//! observable in this offline environment.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting or
+/// hoisting the computation producing `value`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-element/byte scaling for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warmup_start = Instant::now();
+        black_box(body());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~200ms of measurement, bounded by the sample budget.
+        let budget = Duration::from_millis(200);
+        let iters =
+            (budget.as_nanos() / estimate.as_nanos()).clamp(1, u128::from(self.samples)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.mean = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, mean: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{label:<60} {:>12}/iter", format_duration(mean));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                count as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>14.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>14.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work scale for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        body(&mut bencher);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        body(&mut bencher, input);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.mean,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 100,
+            mean: Duration::ZERO,
+        };
+        body(&mut bencher);
+        report(&id.to_string(), bencher.mean, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

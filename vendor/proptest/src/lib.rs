@@ -1,0 +1,839 @@
+//! Offline shim for `proptest`.
+//!
+//! Re-implements the slice of the proptest API this workspace uses:
+//! `Strategy` combinators (`prop_map`, `prop_recursive`, `boxed`,
+//! tuples, ranges, regex-literal string strategies), `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`,
+//! `prop::bool::ANY`, and the `proptest!`/`prop_assert*`/`prop_oneof!`
+//! macros. Cases are generated from a deterministic per-test RNG; there
+//! is no shrinking — a failing case panics with its message, and the
+//! fixed seeding makes it reproducible by rerunning the test.
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps a strategy for depth `d` into one for depth
+        /// `d + 1`, up to `depth` levels. The `_desired_size` /
+        /// `_expected_branch` tuning knobs of upstream proptest are
+        /// accepted but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+            for _ in 0..depth {
+                let deeper = recurse(levels.last().expect("non-empty").clone());
+                levels.push(deeper.boxed());
+            }
+            Union::new(levels).boxed()
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], used behind [`BoxedStrategy`].
+    pub trait DynStrategy<V> {
+        /// Generates one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cheaply-cloneable, type-erased strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among equally-weighted alternative strategies
+    /// (backs `prop_oneof!` and `prop_recursive` depth mixing).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `options`.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let pick = rng.below(self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_float!(f32, f64);
+
+    /// String-literal strategies: the literal is a mini-regex sampled
+    /// per case (character classes, `\PC`, and `{m,n}`/`?`/`*`/`+`
+    /// repetition — the subset proptest users here rely on).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type (`any::<T>()`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bound for collection strategies (half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniformly selects one of `items`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    #[must_use]
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select over zero items");
+        Select { items }
+    }
+
+    /// An index usable against collections of any (non-zero) length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod string {
+    //! Mini-regex sampling behind string-literal strategies.
+
+    use crate::test_runner::TestRng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    enum Atom {
+        Literal(char),
+        /// One char drawn from inclusive ranges.
+        Class(Vec<(char, char)>),
+    }
+
+    /// Printable-ish sample space for `\PC` ("not Unicode category
+    /// Other"): ASCII plus a few accented/Greek/CJK ranges to stress
+    /// UTF-8 handling.
+    fn printable_ranges() -> Vec<(char, char)> {
+        vec![
+            (' ', '~'),
+            ('\u{00A1}', '\u{00FF}'),
+            ('\u{0391}', '\u{03A9}'),
+            ('\u{4E00}', '\u{4E2F}'),
+        ]
+    }
+
+    fn parse_class(chars: &mut Peekable<Chars<'_>>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.next() {
+                None => break,
+                Some(']') => break,
+                Some('\\') => chars.next().unwrap_or('\\'),
+                Some(c) => c,
+            };
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next(); // the '-'
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    _ => {
+                        chars.next(); // consume '-'
+                        let hi = match chars.next() {
+                            Some('\\') => chars.next().unwrap_or('\\'),
+                            Some(h) => h,
+                            None => c,
+                        };
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        ranges
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}`; `chars` is positioned after `{`.
+    fn parse_counts(chars: &mut Peekable<Chars<'_>>) -> (usize, usize) {
+        let mut lo = String::new();
+        let mut hi = String::new();
+        let mut after_comma = false;
+        for c in chars.by_ref() {
+            match c {
+                '}' => break,
+                ',' => after_comma = true,
+                d if after_comma => hi.push(d),
+                d => lo.push(d),
+            }
+        }
+        let lo: usize = lo.parse().unwrap_or(0);
+        let hi: usize = if after_comma {
+            hi.parse().unwrap_or(lo + 8)
+        } else {
+            lo
+        };
+        (lo, hi.max(lo))
+    }
+
+    fn sample_from_ranges(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges
+            .iter()
+            .map(|(lo, hi)| u64::from(*hi as u32) - u64::from(*lo as u32) + 1)
+            .sum();
+        let mut pick = rng.below(total.max(1));
+        for (lo, hi) in ranges {
+            let span = u64::from(*hi as u32) - u64::from(*lo as u32) + 1;
+            if pick < span {
+                return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+            }
+            pick -= span;
+        }
+        ranges.first().map_or('?', |(lo, _)| *lo)
+    }
+
+    /// Samples one string matching the mini-regex `pattern`.
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // `\PC` (and treat any `\p{...}`-ish escape the
+                        // same): printable characters.
+                        if chars.peek() == Some(&'C') {
+                            chars.next();
+                        }
+                        Atom::Class(printable_ranges())
+                    }
+                    Some(esc) => Atom::Literal(esc),
+                    None => Atom::Literal('\\'),
+                },
+                '.' => Atom::Class(printable_ranges()),
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_counts(&mut chars)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match &atom {
+                    Atom::Literal(l) => out.push(*l),
+                    Atom::Class(ranges) => out.push(sample_from_ranges(ranges, rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case driver.
+
+    /// Per-suite configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim halves that twice to
+            // keep whole-engine properties fast in CI.
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeding each case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator from a seed.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..n` (`n` of 0 is treated as 1).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n.max(1)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` cases of one property; panics on the first
+    /// failure with the case number (rerunning reproduces it exactly).
+    pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        for i in 0..config.cases {
+            let mut rng = TestRng::from_seed(fnv1a(name) ^ (u64::from(i) << 32 | 0x5eed));
+            if let Err(msg) = case(&mut rng) {
+                panic!("proptest '{name}' failed at deterministic case {i}: {msg}");
+            }
+        }
+    }
+}
+
+/// One property inside a `proptest!` block; expands each
+/// `#[test] fn name(arg in strategy, ...) { body }` into a plain test
+/// generating its arguments per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            $crate::test_runner::run_cases(
+                $config,
+                stringify!($name),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {:?} != {:?}", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "{}: {:?} != {:?}", format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l != __r, "assertion failed: {:?} == {:?}", __l, __r);
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        let strat = (0u32..10, 5i64..=6, 0.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_counts() {
+        let mut rng = crate::test_runner::TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let any_printable = "\\PC{0,20}".generate(&mut rng);
+        assert!(any_printable.chars().count() <= 20);
+    }
+
+    #[test]
+    fn oneof_recursive_and_collections_compose() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(n) => (-1..5).contains(n),
+                Tree::Node(l, r) => leaves_in_range(l) && leaves_in_range(r),
+            }
+        }
+        let strat = prop_oneof![(0i64..5).prop_map(Tree::Leaf), Just(Tree::Leaf(-1)),]
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        let trees = prop::collection::vec(strat, 1..20).generate(&mut rng);
+        assert!(!trees.is_empty());
+        assert!(trees.iter().all(|t| depth(t) <= 3));
+        assert!(trees.iter().all(leaves_in_range));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_plumbing_works(v in prop::collection::vec(0u8..=2, 1..6), b in prop::bool::ANY) {
+            prop_assert!(v.len() < 6, "generated {} elements", v.len());
+            prop_assert_eq!(u8::from(b) <= 1, true);
+        }
+    }
+}

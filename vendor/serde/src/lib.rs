@@ -1,0 +1,611 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of serde this workspace relies on: `Serialize` /
+//! `Deserialize` traits plus `#[derive(...)]`, over one fixed,
+//! deterministic wire format (field-ordered little-endian binary)
+//! instead of serde's pluggable-format architecture. That is exactly
+//! what the checkpoint subsystem needs: a stable byte encoding of
+//! engine state.
+//!
+//! Wire format summary: integers are fixed-width little-endian, `usize`
+//! lengths travel as `u64`, floats as IEEE-754 bits, `Option` and enum
+//! variants as integer tags, and sequences/maps/strings as a length
+//! followed by their elements in order.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Decoding error (unexpected end of input, bad tag, invalid data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Input ended before a value was fully decoded.
+    pub fn eof() -> Self {
+        Error::custom("unexpected end of input")
+    }
+
+    /// An enum tag did not match any variant of `ty`.
+    pub fn unknown_variant(ty: &str, tag: u32) -> Self {
+        Error::custom(format!("unknown variant tag {tag} for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Byte-sink the shim serializes into.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    buf: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a sequence length as `u64` little-endian.
+    pub fn write_len(&mut self, len: usize) {
+        self.write_bytes(&(len as u64).to_le_bytes());
+    }
+}
+
+/// Byte-source the shim deserializes from.
+#[derive(Debug)]
+pub struct Deserializer<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> Deserializer<'a> {
+    /// Wraps an input slice.
+    #[must_use]
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.input.len() < n {
+            return Err(Error::eof());
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn read_array<const N: usize>(&mut self) -> Result<[u8; N], Error> {
+        let bytes = self.read_bytes(N)?;
+        Ok(bytes.try_into().expect("split_at guarantees length"))
+    }
+
+    /// Reads a `u64` length and sanity-checks it against the remaining
+    /// input so corrupted lengths fail fast instead of over-allocating.
+    pub fn read_len(&mut self) -> Result<usize, Error> {
+        let len = u64::from_le_bytes(self.read_array()?);
+        let len = usize::try_from(len).map_err(|_| Error::custom("length overflows usize"))?;
+        if len > self.input.len() {
+            return Err(Error::custom(format!(
+                "declared length {len} exceeds {} remaining bytes",
+                self.input.len()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+/// Types encodable to the shim's binary format.
+pub trait Serialize {
+    /// Appends this value's encoding to `out`.
+    fn serialize(&self, out: &mut Serializer);
+}
+
+/// Types decodable from the shim's binary format.
+pub trait Deserialize: Sized {
+    /// Decodes one value from the front of `de`.
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Encodes `value` to bytes.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Serializer::new();
+    value.serialize(&mut out);
+    out.into_bytes()
+}
+
+/// Decodes a `T` from `bytes`, requiring all input to be consumed.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut de = Deserializer::new(bytes);
+    let value = T::deserialize(&mut de)?;
+    if de.remaining() != 0 {
+        return Err(Error::custom(format!(
+            "{} trailing bytes after value",
+            de.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Serializer) {
+                out.write_bytes(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(<$t>::from_le_bytes(de.read_array()?))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self, out: &mut Serializer) {
+        (*self as u64).serialize(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        usize::try_from(u64::deserialize(de)?).map_err(|_| Error::custom("usize overflow"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, out: &mut Serializer) {
+        (*self as i64).serialize(out);
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        isize::try_from(i64::deserialize(de)?).map_err(|_| Error::custom("isize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_bytes(&[u8::from(*self)]);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match u8::deserialize(de)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::custom(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Serializer) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(u32::deserialize(de)?))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Serializer) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f64::from_bits(u64::deserialize(de)?))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut Serializer) {
+        (*self as u32).serialize(out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        char::from_u32(u32::deserialize(de)?).ok_or_else(|| Error::custom("invalid char"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        out.write_bytes(self.as_bytes());
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Serializer) {
+        self.as_str().serialize(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let bytes = de.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::custom("invalid utf-8 string"))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, _out: &mut Serializer) {}
+}
+
+impl Deserialize for () {
+    fn deserialize(_de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl<T> Serialize for PhantomData<T> {
+    fn serialize(&self, _out: &mut Serializer) {}
+}
+
+impl<T> Deserialize for PhantomData<T> {
+    fn deserialize(_de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(PhantomData)
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self, out: &mut Serializer) {
+        self.as_secs().serialize(out);
+        self.subsec_nanos().serialize(out);
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let secs = u64::deserialize(de)?;
+        let nanos = u32::deserialize(de)?;
+        if nanos >= 1_000_000_000 {
+            return Err(Error::custom("duration nanos out of range"));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        match self {
+            None => out.write_bytes(&[0]),
+            Some(v) => {
+                out.write_bytes(&[1]);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match u8::deserialize(de)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(de)?)),
+            other => Err(Error::custom(format!("invalid Option tag {other}"))),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(
+    iter: impl ExactSizeIterator<Item = &'a T>,
+    out: &mut Serializer,
+) {
+    out.write_len(iter.len());
+    for item in iter {
+        item.serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::deserialize(de)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Serializer) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut Serializer) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        if len != N {
+            return Err(Error::custom(format!("expected array of {N}, got {len}")));
+        }
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::deserialize(de)?);
+        }
+        v.try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(de)?.into())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            map.insert(K::deserialize(de)?, V::deserialize(de)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self, out: &mut Serializer) {
+        // Sorted for a deterministic encoding regardless of hash order.
+        out.write_len(self.len());
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (k, v) in entries {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let mut map = HashMap::with_capacity(len);
+        for _ in 0..len {
+            map.insert(K::deserialize(de)?, V::deserialize(de)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(de)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        for item in items {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(de)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(de)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Rc::new(T::deserialize(de)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Arc::new(T::deserialize(de)?))
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(String::deserialize(de)?.into())
+    }
+}
+
+impl Deserialize for Box<str> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(String::deserialize(de)?.into())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(de)?.into())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, out: &mut Serializer) {
+                $(self.$idx.serialize(out);)+
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(($($t::deserialize(de)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_bytes::<u64>(&to_bytes(&42u64)).unwrap(), 42);
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-7i64)).unwrap(), -7);
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+        assert_eq!(from_bytes::<f64>(&to_bytes(&1.5f64)).unwrap(), 1.5);
+        assert_eq!(
+            from_bytes::<String>(&to_bytes("héllo")).unwrap(),
+            "héllo".to_string()
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![Some(1u32), None, Some(3)];
+        assert_eq!(from_bytes::<Vec<Option<u32>>>(&to_bytes(&v)).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u64>>(&to_bytes(&m)).unwrap(),
+            m
+        );
+        let d: VecDeque<u8> = vec![1, 2, 3].into();
+        assert_eq!(from_bytes::<VecDeque<u8>>(&to_bytes(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn corrupt_length_is_error_not_panic() {
+        let mut bytes = to_bytes(&vec![1u8, 2, 3]);
+        bytes[0] = 0xff; // inflate the declared length
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements `#[derive(Serialize, Deserialize)]` against the shim's
+//! simple binary codec without `syn`/`quote`: the input token stream is
+//! walked by hand and the generated impl is emitted as a string.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like. The only honoured
+//! field attribute is `#[serde(skip)]`, which omits the field from the
+//! wire format and restores it with `Default::default()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Field {
+    /// `None` for tuple fields (addressed positionally).
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives the shim's `Serialize` trait (field-ordered binary encoding).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait (field-ordered binary decoding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the item keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p2)) if p2.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(tokens.get(i))),
+        "enum" => Kind::Enum(parse_enum_body(tokens.get(i))),
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_body(tok: Option<&TokenTree>) -> Fields {
+    match tok {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("serde shim derive: unexpected struct body token {other:?}"),
+    }
+}
+
+fn parse_enum_body(tok: Option<&TokenTree>) -> Vec<Variant> {
+    let group = match tok {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde shim derive: expected enum body, found {other:?}"),
+    };
+    split_top_level_commas(group.stream())
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut j = 0;
+            skip_attrs(&chunk, &mut j);
+            let name = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, found {other:?}"),
+            };
+            j += 1;
+            let fields = match chunk.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                other => {
+                    panic!("serde shim derive: unsupported variant shape after `{name}`: {other:?}")
+                }
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut j = 0;
+            let skip = skip_attrs(&chunk, &mut j);
+            skip_visibility(&chunk, &mut j);
+            let name = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, found {other:?}"),
+            };
+            Field {
+                name: Some(name),
+                skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut j = 0;
+            let skip = skip_attrs(&chunk, &mut j);
+            Field { name: None, skip }
+        })
+        .collect()
+}
+
+/// Advances past `#[...]` attributes; returns whether `#[serde(skip)]`
+/// was among them.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            skip |= attr_is_serde_skip(g.stream());
+            *i += 1;
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref a) if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a token stream on commas, ignoring commas nested in groups or
+/// inside `<...>` generic arguments (angle brackets are bare puncts).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tok);
+    }
+    chunks
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn serialize(&self, __out: &mut ::serde::Serializer) {{\n"
+    );
+    match &item.kind {
+        Kind::Struct(fields) => out.push_str(&serialize_struct_fields(fields)),
+        Kind::Enum(variants) => {
+            out.push_str("match self {\n");
+            for (tag, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname} => {{ ::serde::Serialize::serialize(&{tag}u32, __out); }}"
+                        );
+                    }
+                    Fields::Tuple(fields) => {
+                        let pattern: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(k, f)| {
+                                if f.skip {
+                                    "_".to_string()
+                                } else {
+                                    format!("__f{k}")
+                                }
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname}({}) => {{ ::serde::Serialize::serialize(&{tag}u32, __out);",
+                            pattern.join(", ")
+                        );
+                        for (k, f) in fields.iter().enumerate() {
+                            if !f.skip {
+                                let _ =
+                                    writeln!(out, "::serde::Serialize::serialize(__f{k}, __out);");
+                            }
+                        }
+                        out.push_str("}\n");
+                    }
+                    Fields::Named(fields) => {
+                        let bound: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_deref().expect("named field"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vname} {{ {}.. }} => {{ ::serde::Serialize::serialize(&{tag}u32, __out);",
+                            bound
+                                .iter()
+                                .map(|b| format!("{b}, "))
+                                .collect::<String>()
+                        );
+                        for b in &bound {
+                            let _ = writeln!(out, "::serde::Serialize::serialize({b}, __out);");
+                        }
+                        out.push_str("}\n");
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn serialize_struct_fields(fields: &Fields) -> String {
+    let mut out = String::new();
+    match fields {
+        Fields::Unit => {}
+        Fields::Named(fs) => {
+            for f in fs.iter().filter(|f| !f.skip) {
+                let fname = f.name.as_deref().expect("named field");
+                let _ = writeln!(out, "::serde::Serialize::serialize(&self.{fname}, __out);");
+            }
+        }
+        Fields::Tuple(fs) => {
+            for (k, f) in fs.iter().enumerate() {
+                if !f.skip {
+                    let _ = writeln!(out, "::serde::Serialize::serialize(&self.{k}, __out);");
+                }
+            }
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn deserialize(__de: &mut ::serde::Deserializer<'_>) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    );
+    match &item.kind {
+        Kind::Struct(fields) => {
+            let _ = writeln!(
+                out,
+                "::std::result::Result::Ok({})",
+                construct(name, fields)
+            );
+        }
+        Kind::Enum(variants) => {
+            out.push_str(
+                "let __tag = <u32 as ::serde::Deserialize>::deserialize(__de)?;\n\
+                 match __tag {\n",
+            );
+            for (tag, v) in variants.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{tag}u32 => ::std::result::Result::Ok({}),",
+                    construct(&format!("{name}::{}", v.name), &v.fields)
+                );
+            }
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __tag)),\n}}\n"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Builds a constructor expression that decodes non-skipped fields in
+/// declaration order (struct-literal / call arguments evaluate left to
+/// right, matching the serializer).
+fn construct(path: &str, fields: &Fields) -> String {
+    const READ: &str = "::serde::Deserialize::deserialize(__de)?";
+    const DEFAULT: &str = "::std::default::Default::default()";
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Tuple(fs) => {
+            let args: Vec<&str> = fs
+                .iter()
+                .map(|f| if f.skip { DEFAULT } else { READ })
+                .collect();
+            format!("{path}({})", args.join(", "))
+        }
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_deref().expect("named field");
+                    format!("{fname}: {}", if f.skip { DEFAULT } else { READ })
+                })
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+    }
+}
