@@ -266,6 +266,24 @@ impl CompiledExpr {
         }
     }
 
+    /// Reports which binding slots the expression references: returns
+    /// `(references target, references any other slot)`. Used to
+    /// recognize equality predicates that split into a pure function of
+    /// one slot versus the rest of the binding (join-key extraction for
+    /// the batched negation index).
+    #[must_use]
+    pub fn slot_usage(&self, target: u8) -> (bool, bool) {
+        match self {
+            CompiledExpr::Const(_) => (false, false),
+            CompiledExpr::Attr { slot, .. } => (*slot == target, *slot != target),
+            CompiledExpr::Bin { lhs, rhs, .. } => {
+                let (lt, lo) = lhs.slot_usage(target);
+                let (rt, ro) = rhs.slot_usage(target);
+                (lt || rt, lo || ro)
+            }
+        }
+    }
+
     /// Estimated selectivity of the predicate, used by the cost model:
     /// equality is selective (0.1), inequality broad (0.9), ranges 0.5,
     /// conjunction multiplies, disjunction adds-with-overlap.

@@ -159,16 +159,27 @@ impl ContextWindowOp {
     /// Admission test: does the event occur during the current window of
     /// the context (`e.time ⊑ w_c`), or of any shared member context?
     pub fn admits(&mut self, event: &Event, table: &ContextTable) -> bool {
-        let t = event.time();
-        let ok = table.admits(event.partition, self.context_bit, t)
+        self.admits_run(event, 1, table)
+    }
+
+    /// Batched admission: one context-table probe for a run of `n`
+    /// events sharing `probe`'s `(partition, time)` — admission depends
+    /// on nothing else, so the single probe decides the whole run. The
+    /// counters advance exactly as `n` individual [`admits`] calls
+    /// would.
+    ///
+    /// [`admits`]: ContextWindowOp::admits
+    pub fn admits_run(&mut self, probe: &Event, n: u64, table: &ContextTable) -> bool {
+        let t = probe.time();
+        let ok = table.admits(probe.partition, self.context_bit, t)
             || self
                 .extra_bits
                 .iter()
-                .any(|&b| table.admits(event.partition, b, t));
+                .any(|&b| table.admits(probe.partition, b, t));
         if ok {
-            self.admitted += 1;
+            self.admitted += n;
         } else {
-            self.dropped += 1;
+            self.dropped += n;
         }
         ok
     }
@@ -293,6 +304,179 @@ pub fn advance_chain_time(
     }
 }
 
+/// Executes a same-`(partition, time)` run of events through a chain.
+///
+/// Semantically identical to calling [`run_chain`] once per event in
+/// slice order — the differential batch-equivalence suite holds it to
+/// byte identity on exactly that claim — but with the per-event costs
+/// amortized over the run:
+///
+/// * a context window at the chain bottom probes the context table once
+///   for the whole run (admission depends only on partition and time,
+///   both constant within a stream transaction), short-circuiting every
+///   event at once while its context is suspended;
+/// * a chain made solely of filter / projection / window stages loops
+///   over the event *slice* stage by stage (each such stage maps one
+///   event to at most one, preserving order, so stage-major execution
+///   produces the same outputs and operator counters as event-major);
+/// * traversal buffers are allocated once per run, not once per event.
+pub fn run_chain_batch(
+    ops: &mut [Op],
+    events: &[Event],
+    table: &ContextTable,
+    out: &mut ChainOutput,
+) {
+    let Some(first) = events.first() else { return };
+    debug_assert!(
+        events
+            .iter()
+            .all(|e| e.time() == first.time() && e.partition == first.partition),
+        "run_chain_batch requires a same-(partition, time) run"
+    );
+    let mut start = 0;
+    if let Some(Op::ContextWindow(cw)) = ops.first_mut() {
+        if !cw.admits_run(first, events.len() as u64, table) {
+            return;
+        }
+        start = 1;
+    }
+    let stage_eligible = ops[start..].iter().all(stage_major_op);
+    if stage_eligible {
+        let mut current: Vec<Event> = events.to_vec();
+        for op in &mut ops[start..] {
+            match op {
+                Op::Pattern(p) => {
+                    let ty = p
+                        .passthrough_type()
+                        .expect("stage eligibility checked above");
+                    p.stats.events_processed += current.len() as u64;
+                    current.retain(|e| e.type_id == ty);
+                    p.stats.matches += current.len() as u64;
+                }
+                Op::Filter(f) => current.retain(|e| f.accepts(e)),
+                Op::Project(p) => current.retain_mut(|e| match p.project(e) {
+                    Some(derived) => {
+                        *e = derived;
+                        true
+                    }
+                    None => false,
+                }),
+                Op::ContextWindow(cw) => {
+                    // Filters and projections preserve (partition, time),
+                    // so mid-chain windows also decide whole runs.
+                    let n = current.len() as u64;
+                    if !cw.admits_run(&current[0], n, table) {
+                        return;
+                    }
+                }
+                _ => unreachable!("stage eligibility checked above"),
+            }
+            if current.is_empty() {
+                return;
+            }
+        }
+        out.events.append(&mut current);
+        return;
+    }
+    let mut work: Vec<(usize, Event)> = Vec::new();
+    let mut scratch: Vec<Event> = Vec::new();
+    for op in &mut ops[start..] {
+        if let Op::Pattern(p) = op {
+            p.set_batch_hint(events.len());
+        }
+    }
+    for event in events {
+        run_chain_from(
+            ops,
+            start,
+            event.clone(),
+            table,
+            out,
+            &mut work,
+            &mut scratch,
+        );
+    }
+}
+
+/// An operator a batch can flow through stage by stage: maps each input
+/// to at most one output, preserves order, and touches no cross-event
+/// state. A pass-through pattern without negation qualifies — it is a
+/// pure type filter (see [`PatternOp::passthrough_type`]).
+fn stage_major_op(op: &Op) -> bool {
+    match op {
+        Op::Filter(_) | Op::Project(_) | Op::ContextWindow(_) => true,
+        Op::Pattern(p) => p.passthrough_type().is_some(),
+        Op::ContextInit(_) | Op::ContextTerm(_) => false,
+    }
+}
+
+/// True when the whole chain past an optional bottom context window is
+/// stage-major — the precondition of [`run_chain_batch_indexed`].
+#[must_use]
+pub fn chain_is_stage_major(ops: &[Op]) -> bool {
+    let start = usize::from(matches!(ops.first(), Some(Op::ContextWindow(_))));
+    ops[start..].iter().all(stage_major_op)
+}
+
+/// Stage-major chain execution over `(input position, event)` pairs.
+///
+/// The caller must have checked [`chain_is_stage_major`]; `items` must
+/// share one `(partition, time)`. On return `items` holds the surviving
+/// derived events, still tagged with the position of the input event
+/// they came from — each stage maps one event to at most one, so the
+/// tag survives the whole chain. Outputs and operator counters are
+/// identical to running [`run_chain`] once per item in slice order.
+pub fn run_chain_batch_indexed(
+    ops: &mut [Op],
+    items: &mut Vec<(u32, Event)>,
+    table: &ContextTable,
+) {
+    if items.is_empty() {
+        return;
+    }
+    let mut start = 0;
+    if let Some(Op::ContextWindow(cw)) = ops.first_mut() {
+        if !cw.admits_run(&items[0].1, items.len() as u64, table) {
+            items.clear();
+            return;
+        }
+        start = 1;
+    }
+    for op in &mut ops[start..] {
+        match op {
+            Op::Pattern(p) => {
+                let ty = p
+                    .passthrough_type()
+                    .expect("chain_is_stage_major checked by caller");
+                p.stats.events_processed += items.len() as u64;
+                items.retain(|(_, e)| e.type_id == ty);
+                p.stats.matches += items.len() as u64;
+            }
+            Op::Filter(f) => items.retain(|(_, e)| f.accepts(e)),
+            Op::Project(p) => items.retain_mut(|(_, e)| match p.project(e) {
+                Some(derived) => {
+                    *e = derived;
+                    true
+                }
+                None => false,
+            }),
+            Op::ContextWindow(cw) => {
+                let n = items.len() as u64;
+                if !cw.admits_run(&items[0].1, n, table) {
+                    items.clear();
+                    return;
+                }
+            }
+            Op::ContextInit(_) | Op::ContextTerm(_) => {
+                unreachable!("chain_is_stage_major checked by caller")
+            }
+        }
+        if items.is_empty() {
+            return;
+        }
+    }
+}
+
 fn run_suffix(
     ops: &mut [Op],
     start: usize,
@@ -300,8 +484,32 @@ fn run_suffix(
     table: &ContextTable,
     out: &mut ChainOutput,
 ) {
-    let mut work: Vec<(usize, Event)> = vec![(start, event)];
-    let mut scratch: Vec<Event> = Vec::new();
+    run_chain_from(
+        ops,
+        start,
+        event,
+        table,
+        out,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    );
+}
+
+/// Executes one event through the chain starting at operator `start`,
+/// reusing caller-provided traversal buffers (the batched hot path
+/// hoists these allocations out of its per-event loop). `work` must be
+/// empty on entry; both buffers are fully drained before returning.
+pub fn run_chain_from(
+    ops: &mut [Op],
+    start: usize,
+    event: Event,
+    table: &ContextTable,
+    out: &mut ChainOutput,
+    work: &mut Vec<(usize, Event)>,
+    scratch: &mut Vec<Event>,
+) {
+    debug_assert!(work.is_empty());
+    work.push((start, event));
     while let Some((idx, ev)) = work.pop() {
         if idx == ops.len() {
             out.events.push(ev);
@@ -310,7 +518,7 @@ fn run_suffix(
         match &mut ops[idx] {
             Op::Pattern(p) => {
                 scratch.clear();
-                p.process(&ev, &mut scratch);
+                p.process(&ev, scratch);
                 for m in scratch.drain(..) {
                     work.push((idx + 1, m));
                 }
@@ -525,6 +733,107 @@ mod tests {
         if let Op::Pattern(p) = &ops[1] {
             assert_eq!(p.stats.events_processed, 0, "pattern never ran");
         }
+    }
+
+    /// Two structurally identical chains; one processes per event, the
+    /// other as one batch. Outputs and operator counters must agree.
+    fn assert_batch_equivalent(mut ops: Vec<Op>, events: &[Event], table: &ContextTable) {
+        let mut batched_ops = ops.clone();
+        let mut per_event = ChainOutput::default();
+        for e in events {
+            run_chain(&mut ops, e, table, &mut per_event);
+        }
+        let mut batched = ChainOutput::default();
+        run_chain_batch(&mut batched_ops, events, table, &mut batched);
+        assert_eq!(per_event.events, batched.events);
+        assert_eq!(per_event.transitions, batched.transitions);
+        for (a, b) in ops.iter().zip(batched_ops.iter()) {
+            match (a, b) {
+                (Op::Filter(x), Op::Filter(y)) => {
+                    assert_eq!((x.evaluated, x.accepted), (y.evaluated, y.accepted));
+                }
+                (Op::ContextWindow(x), Op::ContextWindow(y)) => {
+                    assert_eq!((x.admitted, x.dropped), (y.admitted, y.dropped));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn batch_chain_matches_per_event_stage_loop() {
+        let reg = registry();
+        let mut table = ContextTable::new(2, 0);
+        table.partition_mut(PartitionId(0)).initiate(1, 5);
+        let out_ty = reg.lookup("Out").unwrap();
+        // CW -> Filter -> Project: all stage-eligible, window hoisted.
+        let ops = vec![
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            Op::Filter(speed_filter(&reg, 40)),
+            Op::Project(ProjectOp::new(
+                out_ty,
+                vec![
+                    CompiledExpr::compile(&Expr::attr("p", "vid"), &layout(&reg), &reg).unwrap(),
+                    CompiledExpr::Const(Value::Int(5)),
+                ],
+            )),
+        ];
+        let events: Vec<Event> = vec![
+            pev(&reg, 10, 1, 55),
+            pev(&reg, 10, 2, 30),
+            pev(&reg, 10, 3, 70),
+            pev(&reg, 10, 4, 39),
+        ];
+        assert_batch_equivalent(ops, &events, &table);
+    }
+
+    #[test]
+    fn batch_chain_matches_per_event_with_pattern() {
+        let reg = registry();
+        let mut table = ContextTable::new(2, 0);
+        table.partition_mut(PartitionId(0)).initiate(1, 0);
+        // CW -> Pattern -> Filter: pattern forces the event-major path.
+        let ops = vec![
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+            Op::Filter(speed_filter(&reg, 40)),
+        ];
+        let events: Vec<Event> = (0..5).map(|i| pev(&reg, 9, i, 30 + 10 * i)).collect();
+        assert_batch_equivalent(ops, &events, &table);
+    }
+
+    #[test]
+    fn batch_chain_short_circuits_suspended_context() {
+        let reg = registry();
+        let table = ContextTable::new(2, 0); // context 1 never initiated
+        let mut ops = vec![
+            Op::ContextWindow(ContextWindowOp::new(1)),
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+        ];
+        let events: Vec<Event> = (0..4).map(|i| pev(&reg, 9, i, 50)).collect();
+        let mut out = ChainOutput::default();
+        run_chain_batch(&mut ops, &events, &table, &mut out);
+        assert!(out.is_empty());
+        let Op::ContextWindow(cw) = &ops[0] else {
+            unreachable!()
+        };
+        assert_eq!(cw.dropped, 4, "one probe accounted for all four events");
+        if let Op::Pattern(p) = &ops[1] {
+            assert_eq!(p.stats.events_processed, 0, "pattern never ran");
+        }
+    }
+
+    #[test]
+    fn batch_chain_emits_transitions_in_event_order() {
+        let reg = registry();
+        let table = ContextTable::new(3, 0);
+        let ops = vec![
+            Op::Pattern(PatternOp::passthrough(reg.lookup("P").unwrap())),
+            Op::ContextInit(ContextInitOp { context_bit: 2 }),
+            Op::ContextTerm(ContextTermOp { context_bit: 1 }),
+        ];
+        let events = vec![pev(&reg, 4, 1, 10), pev(&reg, 4, 2, 20)];
+        assert_batch_equivalent(ops, &events, &table);
     }
 
     #[test]

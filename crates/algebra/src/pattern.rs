@@ -23,8 +23,9 @@
 
 use crate::expr::CompiledExpr;
 use caesar_events::{Event, Interval, Time, TypeId, Value};
+use caesar_query::ast::BinOp;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Where a negated element sits relative to the positive elements.
@@ -111,7 +112,109 @@ pub struct PatternOp {
     pending: Vec<PendingMatch>,
     /// Observability counters.
     pub stats: PatternStats,
+    /// Expected length of the same-time run currently flowing through
+    /// the operator — set by the batched entry points; `0` (the
+    /// per-event paths) disables the negation index.
+    #[serde(skip)]
+    batch_hint: u32,
+    /// Counts every removal from any negation buffer; part of the
+    /// negation index validity key (buffer indices shift on removal).
+    #[serde(skip)]
+    neg_evictions: u64,
+    /// Per-batch hash index over one negation buffer (see
+    /// [`violates_indexed`](Self::violates_indexed)).
+    #[serde(skip)]
+    neg_index: Option<Box<NegIndex>>,
 }
+
+/// Hashable projection of a [`Value`] usable as a negation-index key.
+/// Floats and nulls are not hashable (NaN, null-comparison semantics) —
+/// candidates carrying them stay in the always-scanned overflow list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IndexKey {
+    Int(i64),
+    Bool(bool),
+    Str(Arc<str>),
+}
+
+fn index_key(v: &Value) -> Option<IndexKey> {
+    match v {
+        Value::Int(i) => Some(IndexKey::Int(*i)),
+        Value::Bool(b) => Some(IndexKey::Bool(*b)),
+        Value::Str(s) => Some(IndexKey::Str(s.clone())),
+        Value::Float(_) | Value::Null => None,
+    }
+}
+
+/// A per-batch hash index over one negation buffer, keyed by one side of
+/// an equality predicate. Amortizes the per-candidate-match buffer scan
+/// of [`PatternOp::violates`] across a same-time run: the scan's
+/// `any(time filter && all predicates)` is evaluated only on buffer
+/// entries whose key equals the probe (the key equality fails everywhere
+/// else, so the result is unchanged), plus the unkeyed `overflow`
+/// entries and the un-indexed tail `covered..` (entries pushed since the
+/// build — same-time events the filter excludes anyway, or out-of-order
+/// feedback the index must not miss).
+#[derive(Debug, Clone)]
+struct NegIndex {
+    /// Which negation check the index covers.
+    check: usize,
+    /// Upper time bound the index was built for.
+    hi: Time,
+    /// [`PatternOp::neg_evictions`] at build time — any later removal
+    /// shifts buffer indices and invalidates the index.
+    evictions: u64,
+    /// Buffer length at build time; entries past it are scanned.
+    covered: usize,
+    /// Buffer indices by key value.
+    buckets: HashMap<IndexKey, Vec<u32>>,
+    /// Buffer indices whose key failed to evaluate or hash.
+    overflow: Vec<u32>,
+}
+
+/// Splits an equality predicate into `(candidate side, positives side)`
+/// when one operand is a pure function of the candidate slot and the
+/// other never touches it.
+fn split_equality(pred: &CompiledExpr, cand_slot: u8) -> Option<(&CompiledExpr, &CompiledExpr)> {
+    let CompiledExpr::Bin {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = pred
+    else {
+        return None;
+    };
+    let (l_cand, l_other) = lhs.slot_usage(cand_slot);
+    let (r_cand, r_other) = rhs.slot_usage(cand_slot);
+    if l_cand && !l_other && !r_cand {
+        Some((lhs, rhs))
+    } else if r_cand && !r_other && !l_cand {
+        Some((rhs, lhs))
+    } else {
+        None
+    }
+}
+
+/// Picks the equality predicate to index on: prefer a bare
+/// attribute-to-attribute join key (e.g. `p1.vid = p2.vid` — selective),
+/// fall back to any splittable equality.
+fn pick_index_pred(preds: &[CompiledExpr], cand_slot: u8) -> Option<usize> {
+    let mut fallback = None;
+    for (i, p) in preds.iter().enumerate() {
+        if let Some((c, o)) = split_equality(p, cand_slot) {
+            if matches!(c, CompiledExpr::Attr { .. }) && matches!(o, CompiledExpr::Attr { .. }) {
+                return Some(i);
+            }
+            fallback.get_or_insert(i);
+        }
+    }
+    fallback
+}
+
+/// Runs below this the index never pays for its build scan.
+const NEG_INDEX_MIN_BATCH: u32 = 4;
+/// Un-indexed tail length that triggers a rebuild.
+const NEG_INDEX_MAX_TAIL: usize = 32;
 
 impl PatternOp {
     /// Builds a pass-through pattern for a single positive element with
@@ -131,6 +234,9 @@ impl PatternOp {
             partials: vec![Vec::new()],
             pending: Vec::new(),
             stats: PatternStats::default(),
+            batch_hint: 0,
+            neg_evictions: 0,
+            neg_index: None,
         }
     }
 
@@ -163,7 +269,19 @@ impl PatternOp {
             partials: vec![Vec::new(); n],
             pending: Vec::new(),
             stats: PatternStats::default(),
+            batch_hint: 0,
+            neg_evictions: 0,
+            neg_index: None,
         }
+    }
+
+    /// Hints the length of the same-time run about to flow through the
+    /// operator. Called by the batched entry points; enables the
+    /// per-batch negation index once the run is long enough to amortize
+    /// its build. The per-event paths never call this, so event-at-a-time
+    /// execution is untouched.
+    pub fn set_batch_hint(&mut self, n: usize) {
+        self.batch_hint = u32::try_from(n).unwrap_or(u32::MAX);
     }
 
     /// Event types this pattern consumes (positive and negated).
@@ -190,6 +308,22 @@ impl PatternOp {
     #[must_use]
     pub fn is_passthrough(&self) -> bool {
         self.match_type.is_none()
+    }
+
+    /// The single consumed type of a pass-through pattern without
+    /// negation, or `None`. Such a pattern is a pure type filter —
+    /// [`process`] emits the input unchanged exactly when the type
+    /// matches, touching no state — so a batch may be filtered
+    /// stage-major with identical outputs and counters.
+    ///
+    /// [`process`]: PatternOp::process
+    #[must_use]
+    pub fn passthrough_type(&self) -> Option<TypeId> {
+        if self.is_passthrough() && self.negations.is_empty() {
+            Some(self.positives[0].type_id)
+        } else {
+            None
+        }
     }
 
     /// Attribute offsets of the positive elements in the combined match
@@ -247,9 +381,12 @@ impl PatternOp {
             let buf = &mut self.neg_buffers[i];
             buf.push_back(event.clone());
             // Prune by horizon.
+            let mut evicted = 0;
             while buf.front().is_some_and(|e| e.time() + within < t) {
                 buf.pop_front();
+                evicted += 1;
             }
+            self.neg_evictions += evicted;
         }
 
         if self.is_passthrough() {
@@ -348,6 +485,17 @@ impl PatternOp {
         lo: Option<Time>,
         hi: Option<Time>,
     ) -> bool {
+        // Batched hot path: a leading negation of a single-positive
+        // pattern shares its scan bound `hi` (the event's own time)
+        // across a same-time run, so a hash index over the buffer
+        // amortizes — see `violates_indexed`.
+        if self.batch_hint >= NEG_INDEX_MIN_BATCH && lo.is_none() && self.positives.len() == 1 {
+            if let Some(h) = hi {
+                if let Some(hit) = self.violates_indexed(check, positives, h) {
+                    return hit;
+                }
+            }
+        }
         let neg = &self.negations[check];
         let buf = &self.neg_buffers[check];
         let mut errors = 0;
@@ -364,6 +512,90 @@ impl PatternOp {
         });
         self.stats.eval_errors += errors;
         hit
+    }
+
+    /// Index-accelerated [`violates`](Self::violates) for a leading
+    /// negation with open lower bound. Returns `None` (fall back to the
+    /// scan) when no predicate splits into an indexable equality or the
+    /// probe key does not evaluate to a hashable value.
+    ///
+    /// Exactness: the scan computes `∃ candidate: time-filter ∧ all
+    /// predicates`. Candidates outside the probe's bucket fail the key
+    /// equality, hence the conjunction — restricting the scan to the
+    /// bucket, the unkeyed overflow, and the un-indexed tail leaves the
+    /// result (and therefore matches, rejections, and outputs)
+    /// unchanged. Only `eval_errors` may count differently, since
+    /// predicates are evaluated on fewer candidates.
+    fn violates_indexed(&mut self, check: usize, positives: &[Event], hi: Time) -> Option<bool> {
+        let cand_slot = self.positives.len() as u8;
+        let key_pred = pick_index_pred(&self.negations[check].predicates, cand_slot)?;
+        let stale = match &self.neg_index {
+            Some(ix) => {
+                ix.check != check
+                    || ix.hi != hi
+                    || ix.evictions != self.neg_evictions
+                    || self.neg_buffers[check].len() - ix.covered > NEG_INDEX_MAX_TAIL
+            }
+            None => true,
+        };
+        if stale {
+            let (cand_side, _) =
+                split_equality(&self.negations[check].predicates[key_pred], cand_slot)
+                    .expect("pick_index_pred returned a splittable equality");
+            let buf = &self.neg_buffers[check];
+            let mut buckets: HashMap<IndexKey, Vec<u32>> = HashMap::new();
+            let mut overflow: Vec<u32> = Vec::new();
+            for (i, cand) in buf.iter().enumerate() {
+                if cand.time() >= hi {
+                    // Excluded by the time filter as long as `hi` holds —
+                    // and a different `hi` rebuilds the index.
+                    continue;
+                }
+                let binding: Vec<&Event> = vec![cand; cand_slot as usize + 1];
+                match cand_side.eval(&binding).ok().as_ref().and_then(index_key) {
+                    Some(k) => buckets.entry(k).or_default().push(i as u32),
+                    None => overflow.push(i as u32),
+                }
+            }
+            self.neg_index = Some(Box::new(NegIndex {
+                check,
+                hi,
+                evictions: self.neg_evictions,
+                covered: buf.len(),
+                buckets,
+                overflow,
+            }));
+        }
+        let (_, probe_side) =
+            split_equality(&self.negations[check].predicates[key_pred], cand_slot)
+                .expect("pick_index_pred returned a splittable equality");
+        let probe_binding: Vec<&Event> = positives.iter().collect();
+        let probe = probe_side.eval(&probe_binding).ok()?;
+        let probe = index_key(&probe)?;
+        let ix = self.neg_index.as_ref().expect("built above");
+        let neg = &self.negations[check];
+        let buf = &self.neg_buffers[check];
+        let mut errors = 0u64;
+        let check_cand = |i: usize, errors: &mut u64| -> bool {
+            let cand = &buf[i];
+            if cand.time() >= hi {
+                return false;
+            }
+            let mut binding: Vec<&Event> = positives.iter().collect();
+            binding.push(cand);
+            neg.predicates.iter().all(|p| p.matches(&binding, errors))
+        };
+        let hit = ix
+            .buckets
+            .get(&probe)
+            .is_some_and(|b| b.iter().any(|&i| check_cand(i as usize, &mut errors)))
+            || ix
+                .overflow
+                .iter()
+                .any(|&i| check_cand(i as usize, &mut errors))
+            || (ix.covered..buf.len()).any(|i| check_cand(i, &mut errors));
+        self.stats.eval_errors += errors;
+        Some(hit)
     }
 
     /// Drops pending trailing-negation matches invalidated by `event`.
@@ -410,14 +642,17 @@ impl PatternOp {
         for level in &mut self.partials {
             level.retain(|p| p.events[0].time() + self.within >= watermark);
         }
+        let mut evicted = 0;
         for buf in &mut self.neg_buffers {
             while buf
                 .front()
                 .is_some_and(|e| e.time() + self.within < watermark)
             {
                 buf.pop_front();
+                evicted += 1;
             }
         }
+        self.neg_evictions += evicted;
     }
 
     /// Builds the combined match event (attribute values of all events in
@@ -444,9 +679,12 @@ impl PatternOp {
         for level in &mut self.partials {
             level.clear();
         }
+        let mut evicted = 0;
         for buf in &mut self.neg_buffers {
+            evicted += buf.len() as u64;
             buf.clear();
         }
+        self.neg_evictions += evicted;
         self.pending.clear();
     }
 
@@ -717,6 +955,50 @@ mod tests {
         // Car 2 first appears at t=30: it IS new.
         p.process(&pr(&reg, 30, 2), &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    /// The per-batch negation index must be invisible: same matches,
+    /// same rejection counters, across same-time runs, horizon
+    /// evictions (index invalidation), and state resets.
+    #[test]
+    fn negation_index_matches_scan() {
+        let reg = registry();
+        let mut plain = leading_negation_pattern(&reg);
+        let mut indexed = leading_negation_pattern(&reg);
+        let mut out_plain = Vec::new();
+        let mut out_indexed = Vec::new();
+        // Same-time runs of 8 cars, with per-car gaps so some reports
+        // are "new" (no report 30s earlier) and some are not; long
+        // enough that the `within = 60` horizon evicts buffer entries.
+        for step in 0..10u64 {
+            let t = step * 30;
+            let batch: Vec<Event> = (0..8)
+                .filter(|vid| (step + vid) % 3 != 0)
+                .map(|vid| pr(&reg, t, vid as i64))
+                .collect();
+            indexed.set_batch_hint(batch.len());
+            for e in &batch {
+                plain.process(e, &mut out_plain);
+                indexed.process(e, &mut out_indexed);
+            }
+            if step == 6 {
+                plain.reset();
+                indexed.reset();
+            }
+        }
+        assert!(!out_plain.is_empty());
+        assert_eq!(out_plain, out_indexed, "outputs must be byte-identical");
+        assert_eq!(plain.stats.matches, indexed.stats.matches);
+        assert_eq!(
+            plain.stats.negation_rejections,
+            indexed.stats.negation_rejections
+        );
+        assert_eq!(plain.stats.partials_created, indexed.stats.partials_created);
+        assert!(plain.stats.negation_rejections > 0, "scan path exercised");
+        assert!(
+            indexed.neg_index.is_some(),
+            "index path exercised (batch of ≥{NEG_INDEX_MIN_BATCH})"
+        );
     }
 
     #[test]

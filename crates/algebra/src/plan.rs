@@ -9,7 +9,10 @@
 //! queries in a combined query plan belong to the same context."
 
 use crate::context_table::ContextTable;
-use crate::ops::{advance_chain_time, run_chain, ChainOutput, Op};
+use crate::ops::{
+    advance_chain_time, chain_is_stage_major, run_chain, run_chain_batch, run_chain_batch_indexed,
+    run_chain_from, ChainOutput, Op,
+};
 use caesar_events::{Event, Time, TypeId};
 use caesar_query::ast::QueryId;
 use caesar_query::queryset::CompiledQuery;
@@ -44,6 +47,26 @@ impl QueryPlan {
     /// Feeds one event through the chain.
     pub fn process(&mut self, event: &Event, table: &ContextTable, out: &mut PlanOutput) {
         run_chain(&mut self.ops, event, table, out);
+    }
+
+    /// Feeds a same-`(partition, time)` run of events through the chain,
+    /// skipping events the plan does not consume. Equivalent to calling
+    /// [`process`] once per consumed event, but the bottom context-window
+    /// probe (if any) and the traversal buffers amortize over the run.
+    ///
+    /// [`process`]: QueryPlan::process
+    pub fn process_batch(&mut self, events: &[Event], table: &ContextTable, out: &mut PlanOutput) {
+        if events.iter().all(|e| self.consumes(e.type_id)) {
+            run_chain_batch(&mut self.ops, events, table, out);
+        } else {
+            // Mixed-type transaction: batch only the consumed events.
+            let consumed: Vec<Event> = events
+                .iter()
+                .filter(|e| self.consumes(e.type_id))
+                .cloned()
+                .collect();
+            run_chain_batch(&mut self.ops, &consumed, table, out);
+        }
     }
 
     /// Advances the watermark on stateful operators.
@@ -195,6 +218,123 @@ impl CombinedPlan {
                 }
             }
         }
+    }
+
+    /// Feeds a same-`(partition, time)` run of external events through
+    /// the combined plan. Equivalent to calling [`process`] once per
+    /// consumed event in slice order — member plans see the exact same
+    /// event sequence — but the worklist and scratch buffers are
+    /// allocated once per run instead of once per (event × plan) step.
+    ///
+    /// [`process`]: CombinedPlan::process
+    pub fn process_batch(&mut self, events: &[Event], table: &ContextTable, out: &mut PlanOutput) {
+        if self.process_batch_stage_major(events, table, out) {
+            return;
+        }
+        let mut work: Vec<(usize, Event)> = Vec::new();
+        let mut scratch = PlanOutput::default();
+        let mut chain_work: Vec<(usize, Event)> = Vec::new();
+        let mut chain_scratch: Vec<Event> = Vec::new();
+        for plan in &mut self.plans {
+            for op in &mut plan.ops {
+                if let Op::Pattern(p) = op {
+                    p.set_batch_hint(events.len());
+                }
+            }
+        }
+        for event in events {
+            if !self.consumes_external(event.type_id) {
+                continue;
+            }
+            work.push((0, event.clone()));
+            while let Some((start, ev)) = work.pop() {
+                for idx in start..self.plans.len() {
+                    if !self.plans[idx].consumes(ev.type_id) {
+                        continue;
+                    }
+                    scratch.clear();
+                    run_chain_from(
+                        &mut self.plans[idx].ops,
+                        0,
+                        ev.clone(),
+                        table,
+                        &mut scratch,
+                        &mut chain_work,
+                        &mut chain_scratch,
+                    );
+                    out.transitions.append(&mut scratch.transitions);
+                    for derived in scratch.events.drain(..) {
+                        out.events.push(derived.clone());
+                        work.push((idx + 1, derived));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched hot path: when every member plan consuming this
+    /// transaction has a stage-major chain (optional bottom context
+    /// window, then only filters / projections / windows / pass-through
+    /// patterns) and none of their outputs feeds another member plan,
+    /// each consumer runs stage-major over the whole event slice.
+    ///
+    /// A stage-major chain maps one input to at most one output, so
+    /// tagging each event with its input position keys every output by
+    /// `(input position, member plan position)` — sorting the per-plan
+    /// output runs by that pair restores the exact event-major order of
+    /// the per-event path. Such chains emit no transitions and share no
+    /// state, so plan-major execution is otherwise unobservable.
+    ///
+    /// Returns `false` (leaving `self` and `out` untouched) when the
+    /// transaction does not qualify and must take the per-event path.
+    fn process_batch_stage_major(
+        &mut self,
+        events: &[Event],
+        table: &ContextTable,
+        out: &mut PlanOutput,
+    ) -> bool {
+        // Distinct consumed types of the transaction (almost always 1).
+        let mut types: Vec<TypeId> = Vec::new();
+        for e in events {
+            if self.consumes_external(e.type_id) && !types.contains(&e.type_id) {
+                types.push(e.type_id);
+            }
+        }
+        let mut consuming: Vec<usize> = Vec::new();
+        for (idx, plan) in self.plans.iter().enumerate() {
+            if !types.iter().any(|&t| plan.consumes(t)) {
+                continue;
+            }
+            if !chain_is_stage_major(&plan.ops) {
+                return false;
+            }
+            if let Some(out_ty) = plan.output_type {
+                if self.plans.iter().any(|p| p.consumes(out_ty)) {
+                    return false;
+                }
+            }
+            consuming.push(idx);
+        }
+        let mut items: Vec<(u32, Event)> = Vec::new();
+        let mut merged: Vec<(u32, u32, Event)> = Vec::new();
+        for (pos, &idx) in consuming.iter().enumerate() {
+            let plan = &mut self.plans[idx];
+            items.clear();
+            // `types` membership also re-applies the external-input
+            // filter of the per-event path.
+            items.extend(
+                events
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| types.contains(&e.type_id) && plan.consumes(e.type_id))
+                    .map(|(i, e)| (i as u32, e.clone())),
+            );
+            run_chain_batch_indexed(&mut plan.ops, &mut items, table);
+            merged.extend(items.drain(..).map(|(i, e)| (i, pos as u32, e)));
+        }
+        merged.sort_unstable_by_key(|t| (t.0, t.1));
+        out.events.extend(merged.into_iter().map(|(_, _, e)| e));
+        true
     }
 
     /// Advances the watermark on all member plans, feeding any matured
@@ -363,6 +503,48 @@ mod tests {
         let mut out = PlanOutput::default();
         combined.process(&in_event(&reg, 5, 42), &table, &mut out);
         assert_eq!(out.events.len(), 1, "only Mid; Final not produced");
+    }
+
+    #[test]
+    fn combined_batch_matches_per_event() {
+        let reg = registry();
+        let p1 = relay_plan(&reg, 0, "In", "Mid");
+        let p2 = relay_plan(&reg, 1, "Mid", "Final");
+        let mut per_event = CombinedPlan::new("c".into(), 0, vec![p1, p2]);
+        let mut batched = per_event.clone();
+        let table = ContextTable::new(1, 0);
+        let events: Vec<Event> = (0..6).map(|i| in_event(&reg, 5, i)).collect();
+
+        let mut out_a = PlanOutput::default();
+        for e in &events {
+            if per_event.consumes_external(e.type_id) {
+                per_event.process(e, &table, &mut out_a);
+            }
+        }
+        let mut out_b = PlanOutput::default();
+        batched.process_batch(&events, &table, &mut out_b);
+        assert_eq!(out_a.events, out_b.events);
+        assert_eq!(out_a.transitions, out_b.transitions);
+    }
+
+    #[test]
+    fn query_plan_batch_skips_unconsumed_types() {
+        let reg = registry();
+        let mut plan = relay_plan(&reg, 0, "In", "Mid");
+        let table = ContextTable::new(1, 0);
+        let mid = Event::simple(
+            reg.lookup("Mid").unwrap(),
+            5,
+            PartitionId(0),
+            vec![Value::Int(1)],
+        );
+        // Mixed batch: only the two In events are consumed.
+        let events = vec![in_event(&reg, 5, 1), mid, in_event(&reg, 5, 2)];
+        let mut out = PlanOutput::default();
+        plan.process_batch(&events, &table, &mut out);
+        assert_eq!(out.events.len(), 2);
+        assert_eq!(out.events[0].attrs[0], Value::Int(1));
+        assert_eq!(out.events[1].attrs[0], Value::Int(2));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Hot-path batching microbenchmarks: the same Linear Road stream is
+//! pushed through the engine event-at-a-time and batched (uncapped and
+//! capped), sequentially and sharded. Complements the `batching` binary,
+//! which runs the full-size throughput comparison and records
+//! `BENCH_batching.json`.
+
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, lr_model, lr_registry, LinearRoadConfig, TrafficSim};
+use caesar_optimizer::Optimizer;
+use caesar_query::QuerySet;
+use caesar_runtime::run_sharded;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn lr_events(duration: u64) -> Vec<Event> {
+    // Dense traffic over two segments: ~10-event same-(partition, time)
+    // runs, the regime the batched hot path targets.
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 2,
+        duration,
+        seed: 7,
+        base_cars: 120.0,
+        peak_cars: 220.0,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+fn config(batch: BatchPolicy) -> EngineConfig {
+    EngineConfig {
+        batch,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let events = lr_events(300);
+    let mut group = c.benchmark_group("batching/sequential");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(20);
+    let policies = [
+        ("per_event", BatchPolicy::per_event()),
+        ("batched", BatchPolicy::default()),
+        ("batched_cap64", BatchPolicy::bounded(64)),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut system = build_lr_system(1, OptimizerConfig::default(), config(policy));
+                let report = system
+                    .run_stream(&mut VecStream::new(events.clone()))
+                    .expect("in order");
+                black_box(report.events_in)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let events = lr_events(300);
+    let model = lr_model(1);
+    let qs = QuerySet::from_model(&model).unwrap();
+    let mut registry = lr_registry();
+    let translation = caesar_algebra::translate::translate_query_set(
+        &qs,
+        &mut registry,
+        &caesar_algebra::translate::TranslateOptions { default_within: 60 },
+    )
+    .unwrap();
+    let program = Optimizer::default().optimize(translation, &registry);
+    let mut group = c.benchmark_group("batching/sharded4");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+    for (name, policy) in [
+        ("per_event", BatchPolicy::per_event()),
+        ("batched", BatchPolicy::default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_sharded(
+                    &program,
+                    &registry,
+                    config(policy),
+                    4,
+                    &mut VecStream::new(events.clone()),
+                )
+                .expect("in order");
+                black_box(report.events_in)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_sharded);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Batched vs event-at-a-time hot-path throughput.
+//!
+//! The tentpole batching experiment: the same Linear Road streams are
+//! run through identical engines that differ only in the batch policy,
+//! and throughput (events per second of wall time, best of 3 like the
+//! paper's three repetitions) is compared. Covers the sequential engine
+//! at two stream densities and the sharded executor at 4 shards.
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin batching
+//! ```
+//!
+//! Besides the printed table, results are written to
+//! `BENCH_batching.json` in the current directory; EXPERIMENTS.md
+//! records a committed run.
+
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, lr_model, lr_registry, LinearRoadConfig, TrafficSim};
+use caesar_optimizer::Optimizer;
+use caesar_query::QuerySet;
+use caesar_runtime::run_sharded;
+use std::time::Instant;
+
+struct Row {
+    label: String,
+    events: u64,
+    per_event_evs: f64,
+    batched_evs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.batched_evs / self.per_event_evs
+    }
+}
+
+fn lr_events(roads: u32, segments: u32, duration: u64, base: f64, peak: f64) -> Vec<Event> {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads,
+        segments_per_road: segments,
+        duration,
+        seed: 11,
+        base_cars: base,
+        peak_cars: peak,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+/// Best-of-3 wall-clock throughput (events/second) of a sequential run.
+fn sequential_throughput(policy: BatchPolicy, events: &[Event]) -> f64 {
+    (0..3)
+        .map(|_| {
+            let mut system = build_lr_system(
+                1,
+                OptimizerConfig::default(),
+                EngineConfig {
+                    batch: policy,
+                    ..EngineConfig::default()
+                },
+            );
+            let start = Instant::now();
+            let report = system
+                .run_stream(&mut VecStream::new(events.to_vec()))
+                .expect("in order");
+            report.events_in as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Best-of-3 wall-clock throughput of a sharded run.
+fn sharded_throughput(policy: BatchPolicy, shards: usize, events: &[Event]) -> f64 {
+    let model = lr_model(1);
+    let qs = QuerySet::from_model(&model).unwrap();
+    let mut registry = lr_registry();
+    let translation = caesar_algebra::translate::translate_query_set(
+        &qs,
+        &mut registry,
+        &caesar_algebra::translate::TranslateOptions { default_within: 60 },
+    )
+    .unwrap();
+    let program = Optimizer::default().optimize(translation, &registry);
+    (0..3)
+        .map(|_| {
+            let config = EngineConfig {
+                batch: policy,
+                ..EngineConfig::default()
+            };
+            let start = Instant::now();
+            let report = run_sharded(
+                &program,
+                &registry,
+                config,
+                shards,
+                &mut VecStream::new(events.to_vec()),
+            )
+            .expect("in order");
+            report.events_in as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Sequential, moderate density (≈ the correctness-test stream,
+    // ~1.3 events per stream transaction — little to amortize).
+    let moderate = lr_events(1, 6, 900, 2.0, 5.0);
+    rows.push(Row {
+        label: "sequential/1-road".into(),
+        events: moderate.len() as u64,
+        per_event_evs: sequential_throughput(BatchPolicy::per_event(), &moderate),
+        batched_evs: sequential_throughput(BatchPolicy::default(), &moderate),
+    });
+
+    // Sequential, dense traffic: hundreds of cars over two segments
+    // yield ~10-event same-(partition, time) runs — the regime batching
+    // targets (per-batch context probes and negation index).
+    let dense = lr_events(1, 2, 900, 300.0, 500.0);
+    rows.push(Row {
+        label: "sequential/dense-segment".into(),
+        events: dense.len() as u64,
+        per_event_evs: sequential_throughput(BatchPolicy::per_event(), &dense),
+        batched_evs: sequential_throughput(BatchPolicy::default(), &dense),
+    });
+
+    // Sharded executor on the dense stream: batches also amortize
+    // channel sends.
+    rows.push(Row {
+        label: "sharded4/dense-segment".into(),
+        events: dense.len() as u64,
+        per_event_evs: sharded_throughput(BatchPolicy::per_event(), 4, &dense),
+        batched_evs: sharded_throughput(BatchPolicy::default(), 4, &dense),
+    });
+
+    print_table(
+        "Batched vs event-at-a-time throughput (events/s, best of 3)",
+        &[
+            "configuration",
+            "events",
+            "per-event ev/s",
+            "batched ev/s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.events.to_string(),
+                    format!("{:.0}", r.per_event_evs),
+                    format!("{:.0}", r.batched_evs),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"config\": \"{}\", \"events\": {}, \"per_event_events_per_sec\": {:.1}, \
+                 \"batched_events_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                r.label,
+                r.events,
+                r.per_event_evs,
+                r.batched_evs,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"benchmark\": \"batched vs per-event hot path, Linear Road\",\n\
+         \"unit\": \"events per second of wall time, best of 3 runs\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_batching.json", &json).expect("write BENCH_batching.json");
+    println!("\nwrote BENCH_batching.json");
+}

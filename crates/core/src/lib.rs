@@ -62,8 +62,8 @@ use std::fmt;
 pub mod prelude {
     pub use crate::{Caesar, CaesarBuilder, CaesarError, CaesarSystem};
     pub use caesar_events::{
-        AttrType, Event, EventBuilder, EventStream, Interval, PartitionId, Schema, SchemaRegistry,
-        Time, Value, VecStream,
+        AttrType, BatchPolicy, Event, EventBuilder, EventStream, Interval, PartitionId, Schema,
+        SchemaRegistry, Time, Value, VecStream,
     };
     pub use caesar_optimizer::OptimizerConfig;
     pub use caesar_query::{CaesarModel, ModelBuilder};

@@ -1,0 +1,273 @@
+//! Batch formation at the event distributor.
+//!
+//! The paper's runtime already *executes* per-timestamp stream
+//! transactions (§6.2), but a naive distributor still hands events to
+//! the scheduler one at a time, paying the progress check, the queue
+//! scan and the release probe per event. The [`Batcher`] moves that
+//! boundary detection to the front of the pipeline: consecutive events
+//! sharing an application timestamp (and, under
+//! [`BatchPolicy::split_partitions`], a stream partition) are grouped
+//! into one [`EventBatch`], so every downstream stage — reorder buffer,
+//! queues, scheduler, router — runs its per-dispatch work once per
+//! batch.
+//!
+//! Batch boundaries never affect results: a batch is always a contiguous
+//! run of same-timestamp events, and the scheduler re-groups events into
+//! per-partition, per-timestamp transactions regardless of how the run
+//! was chunked on the way in. Any legal re-chunking of the same stream
+//! (including `max_events = 1`, the event-at-a-time baseline) yields
+//! identical outputs — the batch-equivalence test suite holds the engine
+//! to byte identity on exactly this claim.
+
+use crate::event::Event;
+use crate::stream::{EventBatch, EventStream};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// How (and whether) the hot path groups events into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Batched dispatch on/off. Off = the event-at-a-time baseline: the
+    /// engine pays per-event scheduling cost, which the batching
+    /// benchmarks compare against.
+    pub enabled: bool,
+    /// Upper bound on events per batch; `0` = bounded only by timestamp
+    /// (and partition) boundaries. Smaller caps trade amortization for
+    /// dispatch granularity; correctness is chunking-invariant.
+    pub max_events: usize,
+    /// Also cut batches at partition boundaries, so each batch is
+    /// single-partition — useful when batches are routed whole to
+    /// partition-sharded workers.
+    pub split_partitions: bool,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_events: 0,
+            split_partitions: false,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The event-at-a-time comparison baseline.
+    #[must_use]
+    pub fn per_event() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Batched dispatch with at most `max_events` per batch (`0` =
+    /// unbounded within a timestamp).
+    #[must_use]
+    pub fn bounded(max_events: usize) -> Self {
+        Self {
+            enabled: true,
+            max_events,
+            ..Self::default()
+        }
+    }
+
+    /// The effective per-batch event cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        if self.max_events == 0 {
+            usize::MAX
+        } else {
+            self.max_events
+        }
+    }
+}
+
+/// Incremental batch formation: feed events in stream order, receive
+/// completed batches at timestamp / partition / size boundaries.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    pending: Vec<Event>,
+    time: Time,
+}
+
+impl Batcher {
+    /// Creates a batcher for the given policy.
+    #[must_use]
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            pending: Vec::new(),
+            time: 0,
+        }
+    }
+
+    /// Returns `true` if `event` cannot join the pending batch.
+    fn is_boundary(&self, event: &Event) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        event.time() != self.time
+            || self.pending.len() >= self.policy.cap()
+            || (self.policy.split_partitions
+                && self.pending[self.pending.len() - 1].partition != event.partition)
+    }
+
+    /// Offers the next stream event. Returns the completed batch when
+    /// `event` starts a new one; the event itself is retained as the
+    /// head of the next batch.
+    pub fn offer(&mut self, event: Event) -> Option<EventBatch> {
+        let completed = if self.is_boundary(&event) {
+            Some(EventBatch::new(
+                self.time,
+                std::mem::take(&mut self.pending),
+            ))
+        } else {
+            None
+        };
+        self.time = event.time();
+        self.pending.push(event);
+        completed
+    }
+
+    /// Takes the pending batch (end of stream).
+    pub fn flush(&mut self) -> Option<EventBatch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(EventBatch::new(
+                self.time,
+                std::mem::take(&mut self.pending),
+            ))
+        }
+    }
+
+    /// Events currently accumulating.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Pull adapter: drains an [`EventStream`] as batches under a policy.
+pub struct BatchedStream<'a> {
+    stream: &'a mut dyn EventStream,
+    batcher: Batcher,
+    done: bool,
+}
+
+impl<'a> BatchedStream<'a> {
+    /// Wraps a stream.
+    #[must_use]
+    pub fn new(stream: &'a mut dyn EventStream, policy: BatchPolicy) -> Self {
+        Self {
+            stream,
+            batcher: Batcher::new(policy),
+            done: false,
+        }
+    }
+
+    /// Yields the next batch, or `None` at end of stream.
+    pub fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.done {
+            return None;
+        }
+        while let Some(event) = self.stream.next_event() {
+            if let Some(batch) = self.batcher.offer(event) {
+                return Some(batch);
+            }
+        }
+        self.done = true;
+        self.batcher.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PartitionId;
+    use crate::schema::TypeId;
+    use crate::stream::VecStream;
+    use crate::value::Value;
+
+    fn ev(t: Time, p: u32) -> Event {
+        Event::simple(TypeId(0), t, PartitionId(p), vec![Value::Int(t as i64)])
+    }
+
+    fn chunk(policy: BatchPolicy, events: Vec<Event>) -> Vec<EventBatch> {
+        let mut stream = VecStream::new(events);
+        let mut batched = BatchedStream::new(&mut stream, policy);
+        std::iter::from_fn(|| batched.next_batch()).collect()
+    }
+
+    #[test]
+    fn groups_same_timestamp_runs() {
+        let batches = chunk(
+            BatchPolicy::default(),
+            vec![ev(1, 0), ev(1, 1), ev(2, 0), ev(2, 0), ev(2, 1), ev(5, 0)],
+        );
+        let sizes: Vec<usize> = batches.iter().map(EventBatch::len).collect();
+        assert_eq!(sizes, vec![2, 3, 1]);
+        assert_eq!(
+            batches.iter().map(|b| b.time).collect::<Vec<_>>(),
+            vec![1, 2, 5]
+        );
+    }
+
+    #[test]
+    fn max_events_caps_batches() {
+        let batches = chunk(
+            BatchPolicy::bounded(2),
+            vec![ev(3, 0), ev(3, 0), ev(3, 0), ev(3, 0), ev(3, 0)],
+        );
+        let sizes: Vec<usize> = batches.iter().map(EventBatch::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+        assert!(batches.iter().all(|b| b.time == 3));
+    }
+
+    #[test]
+    fn split_partitions_cuts_on_partition_change() {
+        let policy = BatchPolicy {
+            split_partitions: true,
+            ..BatchPolicy::default()
+        };
+        let batches = chunk(policy, vec![ev(1, 0), ev(1, 0), ev(1, 1), ev(1, 0)]);
+        let sizes: Vec<usize> = batches.iter().map(EventBatch::len).collect();
+        // The trailing return to partition 0 is a new run: batches are
+        // contiguous, never merged across a boundary.
+        assert_eq!(sizes, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn rechunking_preserves_events() {
+        let events: Vec<Event> = vec![ev(1, 0), ev(1, 1), ev(2, 0), ev(4, 2), ev(4, 0)];
+        for cap in [0usize, 1, 2, 3] {
+            let batches = chunk(BatchPolicy::bounded(cap), events.clone());
+            let flat: Vec<Time> = batches
+                .iter()
+                .flat_map(|b| b.events.iter().map(Event::time))
+                .collect();
+            assert_eq!(flat, vec![1, 1, 2, 4, 4], "cap={cap}");
+            for b in &batches {
+                assert!(b.events.iter().all(|e| e.time() == b.time));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(chunk(BatchPolicy::default(), vec![]).is_empty());
+        let mut b = Batcher::new(BatchPolicy::default());
+        assert!(b.flush().is_none());
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn per_event_policy_reports_disabled() {
+        let p = BatchPolicy::per_event();
+        assert!(!p.enabled);
+        assert_eq!(BatchPolicy::bounded(0).cap(), usize::MAX);
+        assert_eq!(BatchPolicy::bounded(7).cap(), 7);
+    }
+}

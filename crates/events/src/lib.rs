@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod codec;
 pub mod error;
 pub mod event;
@@ -34,6 +35,7 @@ pub mod stream;
 pub mod time;
 pub mod value;
 
+pub use batch::{BatchPolicy, BatchedStream, Batcher};
 pub use codec::{decode, decode_all, encode, encode_all, CodecError};
 pub use error::EventError;
 pub use event::{Event, EventBuilder, PartitionId};

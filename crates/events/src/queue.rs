@@ -45,6 +45,31 @@ impl EventQueue {
         Ok(())
     }
 
+    /// Enqueues a run of events sharing timestamp `time` with a single
+    /// watermark check — the batched counterpart of repeated [`push`]
+    /// calls.
+    ///
+    /// [`push`]: EventQueue::push
+    pub fn push_run(
+        &mut self,
+        time: Time,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Result<(), EventError> {
+        if time < self.watermark {
+            return Err(EventError::OutOfOrder {
+                watermark: self.watermark,
+                timestamp: time,
+            });
+        }
+        self.watermark = time;
+        for event in events {
+            debug_assert_eq!(event.time(), time);
+            self.enqueued += 1;
+            self.events.push_back(event);
+        }
+        Ok(())
+    }
+
     /// Timestamp of the oldest buffered event.
     #[must_use]
     pub fn head_time(&self) -> Option<Time> {
@@ -121,6 +146,26 @@ impl PartitionedQueues {
             self.queues.resize_with(idx + 1, EventQueue::new);
         }
         self.queues[idx].push(event)
+    }
+
+    /// Routes a same-timestamp batch to its partitions' queues, doing one
+    /// watermark check per contiguous partition run instead of one per
+    /// event. Growing and routing also amortize over the run.
+    pub fn push_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
+        let time = batch.time;
+        let mut events = batch.events.into_iter().peekable();
+        while let Some(first) = events.next() {
+            let partition = first.partition;
+            let idx = partition.index();
+            if idx >= self.queues.len() {
+                self.queues.resize_with(idx + 1, EventQueue::new);
+            }
+            let run = std::iter::once(first).chain(std::iter::from_fn(|| {
+                events.next_if(|e| e.partition == partition)
+            }));
+            self.queues[idx].push_run(time, run)?;
+        }
+        Ok(())
     }
 
     /// The queue of one partition, if it exists.
@@ -242,6 +287,35 @@ mod tests {
         assert_eq!(pq.progress(), 10);
         assert_eq!(pq.buffered(), 3);
         assert_eq!(pq.earliest_pending(), Some(4));
+    }
+
+    #[test]
+    fn push_run_matches_repeated_push() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for e in [ev(4, 0), ev(4, 0), ev(4, 0)] {
+            a.push(e).unwrap();
+        }
+        b.push_run(4, vec![ev(4, 0), ev(4, 0), ev(4, 0)]).unwrap();
+        assert_eq!(a.watermark(), b.watermark());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_enqueued(), b.total_enqueued());
+        assert!(matches!(
+            b.push_run(2, vec![ev(2, 0)]),
+            Err(EventError::OutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn push_batch_routes_partition_runs() {
+        let mut pq = PartitionedQueues::new(1);
+        let batch = EventBatch::new(7, vec![ev(7, 0), ev(7, 0), ev(7, 2), ev(7, 0)]);
+        pq.push_batch(batch).unwrap();
+        assert_eq!(pq.partitions(), 3);
+        assert_eq!(pq.get(PartitionId(0)).unwrap().len(), 3);
+        assert_eq!(pq.get(PartitionId(2)).unwrap().len(), 1);
+        assert_eq!(pq.progress(), 0); // partition 1 never saw an event
+        assert_eq!(pq.buffered(), 4);
     }
 
     #[test]

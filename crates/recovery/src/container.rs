@@ -30,7 +30,11 @@ use std::path::Path;
 /// First 8 bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CAESNAP\0";
 /// Snapshot format version written (and required) by this build.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version history:
+/// * 1 — initial format;
+/// * 2 — `EngineConfig` gained the batch policy and the router gained
+///   the `events_routed` counter, changing the payload encoding.
+pub const SNAPSHOT_VERSION: u32 = 2;
 /// Fixed header length in bytes.
 const HEADER_LEN: usize = 40;
 

@@ -199,17 +199,19 @@ fn future_snapshot_version_is_a_version_error() {
 
     let snap = snapshot_path(&dir);
     let mut data = fs::read(&snap).expect("snapshot exists");
-    data[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let future = caesar_recovery::SNAPSHOT_VERSION + 1;
+    data[8..12].copy_from_slice(&future.to_le_bytes());
     fs::write(&snap, &data).expect("rewrite");
 
-    assert!(matches!(
-        read_snapshot(&snap),
+    match read_snapshot(&snap) {
         Err(RecoveryError::VersionMismatch {
-            found: 2,
-            expected: 1,
-            ..
-        })
-    ));
+            found, expected, ..
+        }) => {
+            assert_eq!(found, future);
+            assert_eq!(expected, caesar_recovery::SNAPSHOT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 

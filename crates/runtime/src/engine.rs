@@ -11,7 +11,10 @@ use crate::stats::Observations;
 use crate::txn::StreamTransaction;
 use caesar_algebra::context_table::{ContextTable, TransitionKind};
 use caesar_algebra::plan::PlanOutput;
-use caesar_events::{Event, EventError, EventStream, ReorderBuffer, SchemaRegistry, Time, TypeId};
+use caesar_events::{
+    BatchPolicy, BatchedStream, Event, EventBatch, EventError, EventStream, ReorderBuffer,
+    SchemaRegistry, Time, TypeId,
+};
 use caesar_optimizer::optimizer::OptimizedProgram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -56,6 +59,13 @@ pub struct EngineConfig {
     /// Keep every output event in memory (testing / debugging; do not
     /// enable on unbounded streams).
     pub collect_outputs: bool,
+    /// Batch formation policy of the hot path. When enabled, the
+    /// distributor groups same-timestamp events into [`EventBatch`]es
+    /// and every pipeline stage (ingest, reorder, scheduling, routing,
+    /// operator evaluation) runs once per batch instead of once per
+    /// event. Disabled = the event-at-a-time comparison baseline.
+    /// Results are identical either way (see `tests/batch_equivalence`).
+    pub batch: BatchPolicy,
 }
 
 impl Default for EngineConfig {
@@ -69,7 +79,22 @@ impl Default for EngineConfig {
             collect_outputs: false,
             ns_per_tick: 1_000_000, // 1 tick = 1 simulated millisecond
             gc_every: 60,
+            batch: BatchPolicy::default(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// Equality of every result-affecting knob. The batch policy is
+    /// excluded: batching changes dispatch granularity, never results,
+    /// so snapshots taken by batched and event-at-a-time runs are
+    /// interchangeable (a WAL written by one replays into the other).
+    #[must_use]
+    pub fn semantics_eq(&self, other: &Self) -> bool {
+        Self {
+            batch: other.batch,
+            ..*self
+        } == *other
     }
 }
 
@@ -340,7 +365,7 @@ impl Engine {
     /// before anything is overwritten, so a failed restore leaves the
     /// engine untouched.
     pub fn restore_state(&mut self, state: EngineState) -> Result<(), RestoreError> {
-        if state.config != self.config {
+        if !state.config.semantics_eq(&self.config) {
             return Err(RestoreError::ConfigMismatch);
         }
         let expected_plans = self.template.plan_count();
@@ -446,6 +471,68 @@ impl Engine {
         Ok(())
     }
 
+    /// Ingests a same-timestamp batch; transactions the progress
+    /// watermark passed are executed immediately. The batched
+    /// counterpart of [`ingest`](Self::ingest): one reorder-buffer
+    /// lateness check, one scheduler progress check and — when progress
+    /// actually advanced — one release scan for the whole batch.
+    pub fn ingest_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        if let Some(mut reorder) = self.reorder.take() {
+            let result = reorder.push_batch(batch);
+            self.late_dropped = reorder.late_dropped;
+            self.reorder = Some(reorder);
+            match result {
+                Ok(ready) => self.ingest_ordered_run(ready),
+                Err(_late) => Ok(()), // dropped and counted
+            }
+        } else {
+            self.ingest_ordered_batch(batch)
+        }
+    }
+
+    /// Re-groups an in-order event run (e.g. a reorder-buffer release,
+    /// which may span timestamps) into same-timestamp batches and
+    /// ingests them.
+    fn ingest_ordered_run(&mut self, events: Vec<Event>) -> Result<(), EventError> {
+        let mut iter = events.into_iter().peekable();
+        while let Some(first) = iter.next() {
+            let t = first.time();
+            let mut run = vec![first];
+            while let Some(e) = iter.next_if(|e| e.time() == t) {
+                run.push(e);
+            }
+            self.ingest_ordered_batch(EventBatch::new(t, run))?;
+        }
+        Ok(())
+    }
+
+    fn ingest_ordered_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
+        self.events_in += batch.len() as u64;
+        for e in &batch.events {
+            *self.inputs_by_type.entry(e.type_id).or_insert(0) += 1;
+        }
+        let before = self.scheduler.progress();
+        self.scheduler.ingest_batch(batch)?;
+        let progress = self.scheduler.progress();
+        // Release is strictly-below-progress and the previous call
+        // already drained everything below `before`, so when progress
+        // did not move the O(partitions) release scan finds nothing —
+        // skip it.
+        if progress > before {
+            let ready = self.scheduler.release(progress);
+            for txn in ready {
+                self.execute(txn);
+            }
+        }
+        Ok(())
+    }
+
     /// Flushes all buffered transactions (end of stream) and returns the
     /// run report.
     pub fn finish(&mut self) -> RunReport {
@@ -471,10 +558,20 @@ impl Engine {
         self.report()
     }
 
-    /// Convenience: runs an entire stream through the engine.
+    /// Convenience: runs an entire stream through the engine. With
+    /// batching enabled the distributor groups the stream into
+    /// same-timestamp batches first ([`BatchedStream`]); otherwise
+    /// events go through one at a time.
     pub fn run_stream(&mut self, stream: &mut dyn EventStream) -> Result<RunReport, EventError> {
-        while let Some(event) = stream.next_event() {
-            self.ingest(event)?;
+        if self.config.batch.enabled {
+            let mut batched = BatchedStream::new(stream, self.config.batch);
+            while let Some(batch) = batched.next_batch() {
+                self.ingest_batch(batch)?;
+            }
+        } else {
+            while let Some(event) = stream.next_event() {
+                self.ingest(event)?;
+            }
         }
         Ok(self.finish())
     }
@@ -497,14 +594,23 @@ impl Engine {
         let mut programs = self.partitions[idx].take().expect("just ensured");
 
         let mut out = PlanOutput::default();
+        let batched = self.config.batch.enabled;
 
         // Baseline overhead: per-query private re-derivation.
         if self.config.mode == Mode::ContextIndependent && self.config.redundant_derivation {
-            programs.run_redundant_derivation(&txn.batch.events, &self.table);
+            if batched {
+                programs.run_redundant_derivation_batch(&txn.batch.events, &self.table);
+            } else {
+                programs.run_redundant_derivation(&txn.batch.events, &self.table);
+            }
         }
 
         // Phase 1: context derivation (before any processing at t).
-        let transitions = programs.run_derivation(&txn.batch.events, &self.table, &mut out);
+        let transitions = if batched {
+            programs.run_derivation_batch(&txn.batch.events, &self.table)
+        } else {
+            programs.run_derivation(&txn.batch.events, &self.table, &mut out)
+        };
         // Windows closing at time t still admit events carrying exactly
         // t (`(t_i, t_t]`, Definition 1), so the closing plans' state
         // must survive until this transaction's processing phase is
@@ -528,9 +634,17 @@ impl Engine {
             }
         }
 
-        // Phase 2: context-aware routing + processing.
-        let active = self.router.select(&programs, partition, t, &self.table);
-        programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
+        // Phase 2: context-aware routing + processing. Routing is one
+        // decision per transaction in either mode; the batch path also
+        // evaluates each active plan once over the whole event slice.
+        let active =
+            self.router
+                .select_batch(&programs, partition, t, &self.table, txn.batch.len() as u64);
+        if batched {
+            programs.run_processing_batch(&txn.batch.events, &self.table, &active, &mut out);
+        } else {
+            programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
+        }
 
         // Deferred context-history maintenance for windows that closed
         // in this transaction (their last admissible events were just
@@ -737,6 +851,172 @@ mod tests {
             other.restore_state(state),
             Err(RestoreError::ConfigMismatch)
         ));
+    }
+
+    fn build_engine_with(mode: Mode, config: EngineConfig) -> (Engine, SchemaRegistry) {
+        let model = parse_model(TRAFFIC).unwrap();
+        let qs = QuerySet::from_model(&model).unwrap();
+        let mut reg = registry();
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+        let cfg = if mode == Mode::ContextAware {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::unoptimized()
+        };
+        let program = Optimizer::new(cfg, Default::default()).optimize(t, &reg);
+        let engine = Engine::new(program, &reg, EngineConfig { mode, ..config });
+        (engine, reg)
+    }
+
+    fn mixed_stream(reg: &SchemaRegistry) -> Vec<Event> {
+        // Clustered timestamps across two partitions, with a context
+        // switch mid-stream so both suspended and active batches occur.
+        let mut events = Vec::new();
+        for t in 1..40u64 {
+            let step = t / 4;
+            for p in 0..2u32 {
+                events.push(pr(reg, step, (t * 2 + u64::from(p)) as i64, "travel", p));
+            }
+            if t == 12 {
+                events.push(marker(reg, "ManySlowCars", step, 0));
+            }
+            if t == 28 {
+                events.push(marker(reg, "FewFastCars", step, 0));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn batched_run_matches_event_at_a_time() {
+        for mode in [Mode::ContextAware, Mode::ContextIndependent] {
+            let base = EngineConfig {
+                collect_outputs: true,
+                ..EngineConfig::default()
+            };
+            let (mut batched, reg) = build_engine_with(
+                mode,
+                EngineConfig {
+                    batch: BatchPolicy::default(),
+                    ..base
+                },
+            );
+            let (mut per_event, _) = build_engine_with(
+                mode,
+                EngineConfig {
+                    batch: BatchPolicy::per_event(),
+                    ..base
+                },
+            );
+            let events = mixed_stream(&reg);
+            let rb = batched
+                .run_stream(&mut VecStream::new(events.clone()))
+                .unwrap();
+            let re = per_event.run_stream(&mut VecStream::new(events)).unwrap();
+            assert_eq!(rb.events_in, re.events_in, "{mode:?}");
+            assert_eq!(rb.events_out, re.events_out, "{mode:?}");
+            assert_eq!(rb.transitions_applied, re.transitions_applied, "{mode:?}");
+            assert_eq!(rb.outputs_by_type, re.outputs_by_type, "{mode:?}");
+            assert_eq!(rb.plans_fed, re.plans_fed, "{mode:?}");
+            assert_eq!(rb.plans_suspended, re.plans_suspended, "{mode:?}");
+            assert_eq!(rb.peak_partials, re.peak_partials, "{mode:?}");
+            assert_eq!(
+                caesar_events::encode_all(&batched.collected_outputs),
+                caesar_events::encode_all(&per_event.collected_outputs),
+                "{mode:?}: byte-identical outputs"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_reorder_path_matches_per_event() {
+        let base = EngineConfig {
+            collect_outputs: true,
+            reorder_slack: 3,
+            ..EngineConfig::default()
+        };
+        let (mut batched, reg) = build_engine_with(Mode::ContextAware, base);
+        let (mut per_event, _) = build_engine_with(
+            Mode::ContextAware,
+            EngineConfig {
+                batch: BatchPolicy::per_event(),
+                ..base
+            },
+        );
+        // Disorder within the slack plus a too-late straggler (VecStream
+        // rejects unsorted input, so use a raw stream).
+        struct Raw(std::vec::IntoIter<Event>);
+        impl EventStream for Raw {
+            fn next_event(&mut self) -> Option<Event> {
+                self.0.next()
+            }
+        }
+        let events = vec![
+            pr(&reg, 2, 1, "travel", 0),
+            pr(&reg, 1, 2, "travel", 0),
+            marker(&reg, "ManySlowCars", 4, 0),
+            pr(&reg, 6, 3, "travel", 0),
+            pr(&reg, 6, 4, "travel", 1),
+            pr(&reg, 9, 5, "travel", 0),
+            pr(&reg, 1, 6, "travel", 0), // later than slack: dropped
+            pr(&reg, 10, 7, "travel", 0),
+        ];
+        let rb = batched
+            .run_stream(&mut Raw(events.clone().into_iter()))
+            .unwrap();
+        let re = per_event.run_stream(&mut Raw(events.into_iter())).unwrap();
+        assert_eq!(batched.late_dropped, per_event.late_dropped);
+        assert_eq!(batched.late_dropped, 1);
+        assert_eq!(rb.events_in, re.events_in);
+        assert_eq!(rb.outputs_by_type, re.outputs_by_type);
+        assert_eq!(
+            caesar_events::encode_all(&batched.collected_outputs),
+            caesar_events::encode_all(&per_event.collected_outputs),
+        );
+    }
+
+    #[test]
+    fn restore_accepts_snapshot_across_batch_modes() {
+        // A snapshot taken under batched execution restores into an
+        // event-at-a-time engine (and the finished runs agree): the
+        // batch knob is dispatch granularity, not semantics.
+        let (mut batched, reg) = build_engine_with(Mode::ContextAware, EngineConfig::default());
+        let feed = |e: &mut Engine| {
+            e.ingest_batch(EventBatch::new(
+                5,
+                vec![
+                    marker(&reg, "ManySlowCars", 5, 0),
+                    pr(&reg, 5, 1, "travel", 0),
+                ],
+            ))
+            .unwrap();
+        };
+        feed(&mut batched);
+        let state = batched.snapshot_state();
+
+        let (mut per_event, _) = build_engine_with(
+            Mode::ContextAware,
+            EngineConfig {
+                batch: BatchPolicy::per_event(),
+                ..EngineConfig::default()
+            },
+        );
+        per_event.restore_state(state).unwrap();
+        for target in [&mut batched, &mut per_event] {
+            target.ingest(pr(&reg, 6, 2, "travel", 0)).unwrap();
+        }
+        let a = batched.finish();
+        let b = per_event.finish();
+        assert_eq!(a.outputs_by_type, b.outputs_by_type);
+        assert_eq!(a.outputs_of("TollNotification"), 1);
+        assert!(EngineConfig::default().semantics_eq(&EngineConfig {
+            batch: BatchPolicy::bounded(7),
+            ..EngineConfig::default()
+        }));
+        assert!(!EngineConfig::default().semantics_eq(&EngineConfig {
+            gc_every: 7,
+            ..EngineConfig::default()
+        }));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod txn;
 
 pub use engine::{Engine, EngineConfig, EngineState, ExecutionMode, RestoreError, RunReport};
 pub use metrics::{ArrivalClock, LatencyTracker};
-pub use parallel::{merge_reports, run_sharded};
+pub use parallel::{merge_reports, run_sharded, run_sharded_with_outputs};
 pub use programs::PartitionPrograms;
 pub use router::Router;
 pub use scheduler::TimeDrivenScheduler;

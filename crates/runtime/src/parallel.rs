@@ -10,7 +10,7 @@
 //! paper's 16-core evaluation host).
 
 use crate::engine::{Engine, EngineConfig, RunReport};
-use caesar_events::{Event, EventError, EventStream, SchemaRegistry};
+use caesar_events::{Batcher, Event, EventBatch, EventError, EventStream, SchemaRegistry};
 use caesar_optimizer::optimizer::OptimizedProgram;
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -21,7 +21,9 @@ use std::sync::Arc;
 ///
 /// # Errors
 /// Returns the first ingestion error any shard hits (out-of-order
-/// events within a shard).
+/// events within a shard). If a shard dies mid-stream the distributor
+/// keeps draining the input and the error reports how many events were
+/// never delivered ([`EventError::ShardsAborted`]).
 pub fn run_sharded(
     program: &OptimizedProgram,
     registry: &SchemaRegistry,
@@ -29,44 +31,141 @@ pub fn run_sharded(
     shards: usize,
     stream: &mut dyn EventStream,
 ) -> Result<RunReport, EventError> {
+    run_sharded_with_outputs(program, registry, config, shards, stream).map(|(report, _)| report)
+}
+
+/// [`run_sharded`], additionally returning every collected output event
+/// (requires `collect_outputs` in the config to be meaningful).
+///
+/// Outputs are concatenated shard by shard (shard 0 first). Partitions
+/// are disjoint across shards, and within a shard the order is the
+/// engine's deterministic execution order — so for a fixed shard count
+/// the concatenation is deterministic, which is what the differential
+/// batch-equivalence tests compare byte-for-byte.
+pub fn run_sharded_with_outputs(
+    program: &OptimizedProgram,
+    registry: &SchemaRegistry,
+    config: EngineConfig,
+    shards: usize,
+    stream: &mut dyn EventStream,
+) -> Result<(RunReport, Vec<Event>), EventError> {
     assert!(shards >= 1, "at least one shard");
     let progress = Arc::new(Mutex::new(0u64));
-    let result: Result<Vec<RunReport>, EventError> = std::thread::scope(|scope| {
+    type ShardResult = Result<(RunReport, Vec<Event>), EventError>;
+    let (results, undelivered): (Vec<ShardResult>, u64) = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = channel::bounded::<Event>(4096);
+            // Shard channels carry whole batches: one send/recv — and one
+            // engine dispatch — per same-timestamp run instead of per
+            // event.
+            let (tx, rx) = channel::bounded::<EventBatch>(4096);
             senders.push(tx);
             let program = program.clone();
             let progress = Arc::clone(&progress);
-            handles.push(scope.spawn(move || -> Result<RunReport, EventError> {
+            handles.push(scope.spawn(move || -> ShardResult {
                 let mut engine = Engine::new(program, registry, config);
-                let mut seen = 0u64;
-                for event in rx {
-                    engine.ingest(event)?;
-                    seen += 1;
-                    if seen.is_multiple_of(1024) {
-                        *progress.lock() += 1024;
+                let mut unflushed = 0u64;
+                for batch in rx {
+                    unflushed += batch.len() as u64;
+                    if config.batch.enabled {
+                        engine.ingest_batch(batch)?;
+                    } else {
+                        for event in batch.events {
+                            engine.ingest(event)?;
+                        }
+                    }
+                    if unflushed >= 1024 {
+                        *progress.lock() += unflushed;
+                        unflushed = 0;
                     }
                 }
-                *progress.lock() += seen % 1024;
-                Ok(engine.finish())
+                *progress.lock() += unflushed;
+                let report = engine.finish();
+                let outputs = std::mem::take(&mut engine.collected_outputs);
+                Ok((report, outputs))
             }));
         }
+
+        // Distribute. With batching enabled each shard gets its own
+        // batcher (its subsequence of the stream is still time-ordered);
+        // otherwise events ship as singleton batches. A failed send means
+        // the worker died: mark the shard dead and keep draining the
+        // stream so the caller learns how many events went undelivered,
+        // instead of silently stopping at the first casualty.
+        let mut batchers: Vec<Batcher> = (0..shards).map(|_| Batcher::new(config.batch)).collect();
+        let mut dead = vec![false; shards];
+        let mut undelivered = 0u64;
         while let Some(event) = stream.next_event() {
             let shard = event.partition.index() % shards;
-            if senders[shard].send(event).is_err() {
-                break; // worker died; its Err surfaces below
+            if dead[shard] {
+                undelivered += 1;
+                continue;
+            }
+            if config.batch.enabled {
+                if let Some(batch) = batchers[shard].offer(event) {
+                    let n = batch.len() as u64;
+                    if senders[shard].send(batch).is_err() {
+                        dead[shard] = true;
+                        // The failed batch plus the event now buffered.
+                        undelivered += n + batchers[shard].pending() as u64;
+                    }
+                }
+            } else {
+                let batch = EventBatch::new(event.time(), vec![event]);
+                if senders[shard].send(batch).is_err() {
+                    dead[shard] = true;
+                    undelivered += 1;
+                }
+            }
+        }
+        for (shard, batcher) in batchers.iter_mut().enumerate() {
+            if let Some(batch) = batcher.flush() {
+                if dead[shard] {
+                    continue; // already counted when the shard died
+                }
+                let n = batch.len() as u64;
+                if senders[shard].send(batch).is_err() {
+                    dead[shard] = true;
+                    undelivered += n;
+                }
             }
         }
         drop(senders);
-        handles
+        let results = handles
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+            .collect();
+        (results, undelivered)
     });
-    let reports = result?;
-    Ok(merge_reports(reports))
+
+    let mut reports = Vec::with_capacity(shards);
+    let mut outputs = Vec::new();
+    let mut first_error: Option<EventError> = None;
+    for result in results {
+        match result {
+            Ok((report, mut out)) => {
+                reports.push(report);
+                outputs.append(&mut out);
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    if undelivered > 0 {
+        let cause = first_error.map_or_else(|| "shard exited early".to_string(), |e| e.to_string());
+        return Err(EventError::ShardsAborted {
+            unprocessed: undelivered,
+            cause,
+        });
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok((merge_reports(reports), outputs))
 }
 
 /// Merges per-shard reports: counters sum, latency merges by maximum
@@ -169,6 +268,89 @@ mod tests {
             assert_eq!(
                 report.transitions_applied,
                 single_report.transitions_applied
+            );
+        }
+    }
+
+    #[test]
+    fn dead_shard_drains_stream_and_reports_unprocessed() {
+        // A worker that hits an ingestion error dies mid-stream. The
+        // distributor must keep draining the input and surface how many
+        // events never reached a shard — the old behaviour was to stop
+        // distributing entirely (starving healthy shards) and return the
+        // bare worker error with no loss accounting.
+        struct Raw(std::vec::IntoIter<Event>);
+        impl EventStream for Raw {
+            fn next_event(&mut self) -> Option<Event> {
+                self.0.next()
+            }
+        }
+        let (program, reg) = setup();
+        let r = reg.lookup("R").unwrap();
+        let mk = |t: u64, p: u32| Event::simple(r, t, PartitionId(p), vec![Value::Int(1)]);
+        let mut events = vec![mk(10, 0), mk(5, 0)]; // shard 0 poison: out of order
+                                                    // Enough follow-up traffic for shard 0 to guarantee the bounded
+                                                    // channel forces a failed send after the worker died (the
+                                                    // channel buffers 4096 batches).
+        for t in 11..6000u64 {
+            events.push(mk(t, 0));
+        }
+        events.push(mk(6000, 1)); // shard 1 stays healthy
+        let err = run_sharded(
+            &program,
+            &reg,
+            EngineConfig::default(),
+            2,
+            &mut Raw(events.into_iter()),
+        )
+        .unwrap_err();
+        match err {
+            EventError::ShardsAborted { unprocessed, cause } => {
+                assert!(unprocessed > 0, "drained events must be counted");
+                assert!(
+                    cause.contains("out-of-order") || cause.contains("order"),
+                    "cause carries the worker error: {cause}"
+                );
+            }
+            other => panic!("expected ShardsAborted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_batched_matches_sharded_per_event() {
+        let (program, reg) = setup();
+        let stream_events = events(&reg, 8);
+        let collect = EngineConfig {
+            collect_outputs: true,
+            ..EngineConfig::default()
+        };
+        for shards in [1usize, 2, 4] {
+            let (rb, out_b) = run_sharded_with_outputs(
+                &program,
+                &reg,
+                collect,
+                shards,
+                &mut VecStream::new(stream_events.clone()),
+            )
+            .unwrap();
+            let (re, out_e) = run_sharded_with_outputs(
+                &program,
+                &reg,
+                EngineConfig {
+                    batch: caesar_events::BatchPolicy::per_event(),
+                    ..collect
+                },
+                shards,
+                &mut VecStream::new(stream_events.clone()),
+            )
+            .unwrap();
+            assert_eq!(rb.events_in, re.events_in, "{shards} shards");
+            assert_eq!(rb.outputs_by_type, re.outputs_by_type, "{shards} shards");
+            assert_eq!(rb.transitions_applied, re.transitions_applied);
+            assert_eq!(
+                caesar_events::encode_all(&out_b),
+                caesar_events::encode_all(&out_e),
+                "{shards} shards: byte-identical outputs"
             );
         }
     }

@@ -266,6 +266,30 @@ impl PartitionPrograms {
         std::mem::take(&mut sink.transitions)
     }
 
+    /// Batched [`run_derivation`](Self::run_derivation): the
+    /// transaction's events go through each deriving plan's batch entry
+    /// point, amortizing the context-window probe. Feedback events carry
+    /// earlier timestamps than the transaction, so they stay per-event
+    /// and run ahead of the batch — the same plan-major order as the
+    /// per-event path, hence identical transitions.
+    pub fn run_derivation_batch(
+        &mut self,
+        events: &[Event],
+        table: &ContextTable,
+    ) -> Vec<Transition> {
+        let mut sink = PlanOutput::default();
+        let pending: Vec<Event> = self.feedback.drain(..).collect();
+        for plan in &mut self.deriving {
+            for ev in &pending {
+                if plan.consumes(ev.type_id) {
+                    plan.process(ev, table, &mut sink);
+                }
+            }
+            plan.process_batch(events, table, &mut sink);
+        }
+        std::mem::take(&mut sink.transitions)
+    }
+
     /// The baseline's redundant derivation work: every processing query
     /// privately re-evaluates its context's deriving conditions on every
     /// event. Outputs and transitions are discarded — only the canonical
@@ -278,6 +302,15 @@ impl PartitionPrograms {
                     plan.process(ev, table, &mut sink);
                 }
             }
+            sink.clear();
+        }
+    }
+
+    /// Batched [`run_redundant_derivation`](Self::run_redundant_derivation).
+    pub fn run_redundant_derivation_batch(&mut self, events: &[Event], table: &ContextTable) {
+        let mut sink = PlanOutput::default();
+        for plan in &mut self.redundant {
+            plan.process_batch(events, table, &mut sink);
             sink.clear();
         }
     }
@@ -302,6 +335,27 @@ impl PartitionPrograms {
                     plan.process(ev, table, &mut sink);
                 }
             }
+        }
+        self.feedback.extend(sink.events.iter().cloned());
+        out.events.append(&mut sink.events);
+        out.transitions.append(&mut sink.transitions);
+    }
+
+    /// Batched [`run_processing`](Self::run_processing): one batch call
+    /// per active combined plan. The external-consumption filter and the
+    /// derived-event feedback loop live inside
+    /// [`CombinedPlan::process_batch`], which iterates plan-major like
+    /// the per-event path, so outputs come out in the same order.
+    pub fn run_processing_batch(
+        &mut self,
+        events: &[Event],
+        table: &ContextTable,
+        active: &[usize],
+        out: &mut PlanOutput,
+    ) {
+        let mut sink = PlanOutput::default();
+        for &idx in active {
+            self.processing[idx].process_batch(events, table, &mut sink);
         }
         self.feedback.extend(sink.events.iter().cloned());
         out.events.append(&mut sink.events);

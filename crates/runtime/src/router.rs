@@ -19,6 +19,9 @@ use serde::{Deserialize, Serialize};
 pub struct Router {
     /// Transactions routed.
     pub batches_routed: u64,
+    /// Events covered by routed transactions (each routing decision
+    /// amortizes over this many events).
+    pub events_routed: u64,
     /// Combined plans that received a batch.
     pub plans_fed: u64,
     /// Combined plans skipped because their context was inactive — the
@@ -47,6 +50,31 @@ impl Router {
         self.plans_fed += active.len() as u64;
         self.plans_suspended += (programs.processing.len() - active.len()) as u64;
         active
+    }
+
+    /// [`select`](Self::select) for a transaction of `events` events:
+    /// same single routing decision, plus amortization accounting.
+    pub fn select_batch(
+        &mut self,
+        programs: &PartitionPrograms,
+        partition: PartitionId,
+        t: Time,
+        table: &ContextTable,
+        events: u64,
+    ) -> Vec<usize> {
+        self.events_routed += events;
+        self.select(programs, partition, t, table)
+    }
+
+    /// Mean events per routing decision — how far one context lookup
+    /// amortizes under batching (1.0 in strict event-at-a-time runs).
+    #[must_use]
+    pub fn events_per_decision(&self) -> f64 {
+        if self.batches_routed == 0 {
+            0.0
+        } else {
+            self.events_routed as f64 / self.batches_routed as f64
+        }
     }
 
     /// Fraction of plan-batch pairs suspended so far.

@@ -15,7 +15,7 @@
 //! criterion checked in [`crate::txn`].
 
 use crate::txn::StreamTransaction;
-use caesar_events::{Event, EventError, PartitionId, PartitionedQueues, Time};
+use caesar_events::{Event, EventBatch, EventError, PartitionId, PartitionedQueues, Time};
 use serde::{Deserialize, Serialize};
 
 /// Buffers in-order events and releases them as per-partition,
@@ -53,6 +53,26 @@ impl TimeDrivenScheduler {
         self.progress = t;
         self.events_ingested += 1;
         self.queues.push(event)
+    }
+
+    /// Ingests a same-timestamp batch: one progress check for the whole
+    /// batch, then a batched enqueue that routes contiguous partition
+    /// runs together. Equivalent to ingesting the batch's events one by
+    /// one.
+    pub fn ingest_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let t = batch.time;
+        if t < self.progress {
+            return Err(EventError::OutOfOrder {
+                watermark: self.progress,
+                timestamp: t,
+            });
+        }
+        self.progress = t;
+        self.events_ingested += batch.len() as u64;
+        self.queues.push_batch(batch)
     }
 
     /// The distributor progress: all events with smaller timestamps have
@@ -168,6 +188,43 @@ mod tests {
             2,
             "same-timestamp events share a transaction"
         );
+    }
+
+    #[test]
+    fn ingest_batch_matches_per_event_ingest() {
+        let mut per_event = TimeDrivenScheduler::new();
+        let mut batched = TimeDrivenScheduler::new();
+        let groups: &[&[(Time, u32)]] = &[&[(1, 0), (1, 1), (1, 0)], &[(2, 2)], &[(5, 0), (5, 1)]];
+        for &group in groups {
+            for &(t, p) in group {
+                per_event.ingest(ev(t, p)).unwrap();
+            }
+            let batch = EventBatch::new(group[0].0, group.iter().map(|&(t, p)| ev(t, p)).collect());
+            batched.ingest_batch(batch).unwrap();
+        }
+        assert_eq!(per_event.progress(), batched.progress());
+        assert_eq!(per_event.events_ingested, batched.events_ingested);
+        let a = per_event.flush();
+        let b = batched.flush();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.partition, y.partition);
+            assert_eq!(x.batch.len(), y.batch.len());
+        }
+    }
+
+    #[test]
+    fn ingest_batch_rejects_out_of_order() {
+        let mut s = TimeDrivenScheduler::new();
+        s.ingest(ev(10, 0)).unwrap();
+        let err = s
+            .ingest_batch(EventBatch::new(5, vec![ev(5, 0), ev(5, 1)]))
+            .unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+        // An empty batch is a no-op, not an error.
+        s.ingest_batch(EventBatch::new(0, vec![])).unwrap();
+        assert_eq!(s.events_ingested, 1);
     }
 
     #[test]

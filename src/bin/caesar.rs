@@ -37,7 +37,12 @@ const USAGE: &str = "usage:
   caesar explain --model FILE --schema FILE [--within N]
   caesar run     --model FILE --schema FILE --events FILE
                  [--mode ca|ci] [--no-sharing] [--within N]
+                 [--batch-size N]
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
+
+--batch-size caps how many same-timestamp events the hot path groups
+into one dispatch (default: uncapped batching; 1 = event-at-a-time,
+the comparison baseline). Results are identical for every setting.
 
 with --checkpoint-dir, the run writes durable snapshots + an event log
 to DIR every N events (default 10000; 0 = snapshot only at the end) and
@@ -71,6 +76,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         options.checkpoint_every = n
             .parse()
             .map_err(|e| format!("--checkpoint-every-events: {e}"))?;
+    }
+    if let Some(n) = flag("--batch-size") {
+        options.batch_size = Some(n.parse().map_err(|e| format!("--batch-size: {e}"))?);
     }
 
     match command.as_str() {

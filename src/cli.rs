@@ -177,6 +177,11 @@ pub struct RunOptions {
     /// Checkpoint cadence in events. `0` keeps the write-ahead log but
     /// snapshots only at the end of the run.
     pub checkpoint_every: u64,
+    /// Batch-size cap for the batched hot path. `None` = batched with no
+    /// cap beyond timestamp boundaries (the default); `Some(0)` or
+    /// `Some(1)` = event-at-a-time baseline; `Some(n)` = at most `n`
+    /// events per batch.
+    pub batch_size: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -188,6 +193,19 @@ impl Default for RunOptions {
             within: 300,
             checkpoint_dir: None,
             checkpoint_every: 10_000,
+            batch_size: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The [`BatchPolicy`] the `batch_size` flag maps to.
+    #[must_use]
+    pub fn batch_policy(&self) -> BatchPolicy {
+        match self.batch_size {
+            None => BatchPolicy::default(),
+            Some(0 | 1) => BatchPolicy::per_event(),
+            Some(n) => BatchPolicy::bounded(n),
         }
     }
 }
@@ -205,6 +223,7 @@ pub fn build_system(
         .engine_config(EngineConfig {
             mode: options.mode,
             sharing: options.sharing,
+            batch: options.batch_policy(),
             ..EngineConfig::default()
         });
     builder.build().map_err(|e| CliError::System(e.to_string()))
@@ -433,6 +452,45 @@ CONTEXT congestion {
             "unexpected error: {err}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_size_flag_maps_to_policy_and_preserves_results() {
+        assert_eq!(RunOptions::default().batch_policy(), BatchPolicy::default());
+        let per_event = RunOptions {
+            batch_size: Some(1),
+            ..RunOptions::default()
+        };
+        assert_eq!(per_event.batch_policy(), BatchPolicy::per_event());
+        let capped = RunOptions {
+            batch_size: Some(64),
+            ..RunOptions::default()
+        };
+        assert_eq!(capped.batch_policy(), BatchPolicy::bounded(64));
+
+        // Every batch setting computes the same answer (drop the
+        // measured-latency line; it folds in wall-clock service times).
+        let deterministic = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("max latency"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let baseline = deterministic(run(MODEL, SCHEMA, EVENTS, &RunOptions::default()).unwrap());
+        for batch_size in [Some(1), Some(2), None] {
+            let out = run(
+                MODEL,
+                SCHEMA,
+                EVENTS,
+                &RunOptions {
+                    batch_size,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(deterministic(out), baseline, "batch_size={batch_size:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Differential batch-equivalence: batched hot-path execution must be
+//! observationally indistinguishable from event-at-a-time execution.
+//!
+//! Every pair of runs below differs *only* in the batch policy. The
+//! comparison is strict: byte-identical encodings of every collected
+//! output event (`outputs_equivalent`) plus equality of all
+//! deterministic `RunReport` counters (`reports_equivalent`), on the
+//! Linear Road oracle workload, across:
+//!
+//! * sequential and sharded (1/2/4 shards) execution,
+//! * optimized and unoptimized plans,
+//! * context-aware and context-independent modes,
+//! * checkpoints written by one mode and resumed by the other.
+
+use caesar::linear_road::{expected_outputs, lr_model, lr_registry, LinearRoadConfig, TrafficSim};
+use caesar::optimizer::{Optimizer, OptimizerConfig};
+use caesar::prelude::*;
+use caesar::query::QuerySet;
+use caesar::recovery::{outputs_equivalent, reports_equivalent, CheckpointManager};
+use caesar::runtime::run_sharded_with_outputs;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "caesar-batch-eq-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lr_system(mode: ExecutionMode, optimized: bool, batch: BatchPolicy) -> CaesarSystem {
+    let seg_attrs: &[(&str, AttrType)] = &[
+        ("xway", AttrType::Int),
+        ("dir", AttrType::Int),
+        ("seg", AttrType::Int),
+        ("sec", AttrType::Int),
+    ];
+    Caesar::builder()
+        .model(lr_model(1))
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .schema("ManySlowCars", seg_attrs)
+        .schema("FewFastCars", seg_attrs)
+        .schema("StoppedCars", seg_attrs)
+        .schema("StoppedCarsRemoved", seg_attrs)
+        .within(60)
+        .optimizer_config(if optimized {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::unoptimized()
+        })
+        .engine_config(EngineConfig {
+            mode,
+            collect_outputs: true,
+            batch,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("LR model builds")
+}
+
+fn lr_events(seed: u64) -> Vec<Event> {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 6,
+        duration: 900,
+        seed,
+        base_cars: 2.0,
+        peak_cars: 5.0,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+/// Dense traffic: long same-(partition, time) runs, so batched execution
+/// engages the per-batch negation index and the stage-major fast path.
+fn lr_dense_events(seed: u64) -> Vec<Event> {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 2,
+        duration: 300,
+        seed,
+        base_cars: 120.0,
+        peak_cars: 220.0,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+/// Runs the stream and returns (report, collected outputs).
+fn run_with(
+    mode: ExecutionMode,
+    optimized: bool,
+    batch: BatchPolicy,
+    events: &[Event],
+) -> (RunReport, Vec<Event>) {
+    let mut system = lr_system(mode, optimized, batch);
+    let report = system
+        .run_stream(&mut VecStream::new(events.to_vec()))
+        .expect("stream is in order");
+    let outputs = std::mem::take(&mut system.engine.collected_outputs);
+    (report, outputs)
+}
+
+fn assert_equivalent(
+    tag: &str,
+    baseline: &(RunReport, Vec<Event>),
+    candidate: &(RunReport, Vec<Event>),
+) {
+    assert!(
+        outputs_equivalent(&baseline.1, &candidate.1),
+        "{tag}: output streams diverged ({} vs {} outputs)",
+        baseline.1.len(),
+        candidate.1.len(),
+    );
+    assert!(
+        reports_equivalent(&baseline.0, &candidate.0),
+        "{tag}: report counters diverged\nbaseline:  {:?}\ncandidate: {:?}",
+        baseline.0,
+        candidate.0,
+    );
+}
+
+/// Dense same-time runs: the regime where batched execution uses the
+/// per-batch negation index (the leading-negation `SEQ(NOT p1, p2)`
+/// queries dominate Linear Road) — outputs and counters must still be
+/// byte-identical to the per-event baseline.
+#[test]
+fn dense_traffic_batched_matches_per_event() {
+    let events = lr_dense_events(17);
+    let baseline = run_with(
+        ExecutionMode::ContextAware,
+        true,
+        BatchPolicy::per_event(),
+        &events,
+    );
+    assert!(
+        !baseline.1.is_empty(),
+        "dense stream should produce outputs"
+    );
+    for policy in [
+        BatchPolicy::default(),
+        BatchPolicy::bounded(16),
+        BatchPolicy::bounded(5),
+    ] {
+        let candidate = run_with(ExecutionMode::ContextAware, true, policy, &events);
+        assert_equivalent("dense traffic", &baseline, &candidate);
+    }
+}
+
+/// The core differential matrix: for each (mode, optimized) cell, the
+/// per-event run is the baseline and every batched policy must produce
+/// byte-identical outputs and identical counters.
+#[test]
+fn sequential_batched_matches_per_event_across_modes() {
+    let events = lr_events(41);
+    let cells = [
+        (ExecutionMode::ContextAware, true),
+        (ExecutionMode::ContextAware, false),
+        (ExecutionMode::ContextIndependent, true),
+        (ExecutionMode::ContextIndependent, false),
+    ];
+    for (mode, optimized) in cells {
+        let baseline = run_with(mode, optimized, BatchPolicy::per_event(), &events);
+        for policy in [
+            BatchPolicy::default(),
+            BatchPolicy::bounded(1),
+            BatchPolicy::bounded(3),
+            BatchPolicy::bounded(64),
+        ] {
+            let candidate = run_with(mode, optimized, policy, &events);
+            assert_equivalent(
+                &format!("{mode:?} optimized={optimized} policy={policy:?}"),
+                &baseline,
+                &candidate,
+            );
+        }
+    }
+}
+
+/// Batched runs must still be *correct*, not merely self-consistent:
+/// hold the batched run against the traffic oracle directly.
+#[test]
+fn batched_run_matches_oracle() {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 6,
+        duration: 900,
+        seed: 42,
+        base_cars: 2.0,
+        peak_cars: 5.0,
+        ..Default::default()
+    });
+    let events = sim.generate();
+    let oracle = expected_outputs(&events, sim.registry());
+    let (report, _) = run_with(
+        ExecutionMode::ContextAware,
+        true,
+        BatchPolicy::default(),
+        &events,
+    );
+    assert_eq!(report.outputs_of("ZeroToll"), oracle.zero_tolls);
+    assert_eq!(report.outputs_of("TollNotification"), oracle.real_tolls);
+    assert_eq!(
+        report.outputs_of("AccidentWarning"),
+        oracle.accident_warnings
+    );
+}
+
+/// Sharded execution: same shard count, batched vs per-event. Outputs
+/// are concatenated shard-by-shard, so for a fixed shard count the
+/// comparison is byte-exact.
+#[test]
+fn sharded_batched_matches_sharded_per_event() {
+    let model = lr_model(1);
+    let qs = QuerySet::from_model(&model).unwrap();
+    let mut registry = lr_registry();
+    let translation = caesar::algebra::translate::translate_query_set(
+        &qs,
+        &mut registry,
+        &caesar::algebra::translate::TranslateOptions { default_within: 60 },
+    )
+    .unwrap();
+    let program = Optimizer::default().optimize(translation, &registry);
+    let events = lr_events(43);
+    for shards in [1usize, 2, 4] {
+        let config = |batch: BatchPolicy| EngineConfig {
+            collect_outputs: true,
+            batch,
+            ..EngineConfig::default()
+        };
+        let baseline = run_sharded_with_outputs(
+            &program,
+            &registry,
+            config(BatchPolicy::per_event()),
+            shards,
+            &mut VecStream::new(events.clone()),
+        )
+        .unwrap();
+        for policy in [BatchPolicy::default(), BatchPolicy::bounded(7)] {
+            let candidate = run_sharded_with_outputs(
+                &program,
+                &registry,
+                config(policy),
+                shards,
+                &mut VecStream::new(events.clone()),
+            )
+            .unwrap();
+            assert_equivalent(
+                &format!("{shards} shards, {policy:?}"),
+                &baseline,
+                &candidate,
+            );
+        }
+    }
+}
+
+/// Partition-splitting batches (one batch never spans two partitions)
+/// must not change results either.
+#[test]
+fn partition_split_batches_match_per_event() {
+    let events = lr_events(44);
+    let baseline = run_with(
+        ExecutionMode::ContextAware,
+        true,
+        BatchPolicy::per_event(),
+        &events,
+    );
+    let split = BatchPolicy {
+        split_partitions: true,
+        ..BatchPolicy::default()
+    };
+    let candidate = run_with(ExecutionMode::ContextAware, true, split, &events);
+    assert_equivalent("partition-split", &baseline, &candidate);
+}
+
+/// Cross-mode crash compatibility: a WAL + checkpoint written by a
+/// batched run must resume under a per-event engine, and vice versa,
+/// with the finished run equivalent to an uninterrupted per-event run.
+#[test]
+fn checkpoint_crosses_batch_modes() {
+    let events = lr_events(45);
+    let n = events.len();
+    let crash_after = n / 2;
+    let build = |batch: BatchPolicy| lr_system(ExecutionMode::ContextAware, true, batch).engine;
+    let reference = {
+        let mut engine = build(BatchPolicy::per_event());
+        for event in &events {
+            engine.ingest(event.clone()).expect("in order");
+        }
+        let report = engine.finish();
+        let outputs = std::mem::take(&mut engine.collected_outputs);
+        (report, outputs)
+    };
+    let combos = [
+        (BatchPolicy::default(), BatchPolicy::per_event()),
+        (BatchPolicy::per_event(), BatchPolicy::default()),
+        (BatchPolicy::bounded(5), BatchPolicy::default()),
+    ];
+    for (writer_policy, reader_policy) in combos {
+        let dir = temp_dir("cross");
+        // Phase 1: run half the stream under `writer_policy`, journaling
+        // and checkpointing, then "crash" (drop without finishing).
+        let mut manager = CheckpointManager::create(&dir, 97).expect("create");
+        let mut writer = build(writer_policy);
+        for event in &events[..crash_after] {
+            manager.log_event(event).expect("log");
+            writer.ingest(event.clone()).expect("in order");
+            manager.maybe_checkpoint(&writer).expect("checkpoint");
+        }
+        drop(writer);
+        drop(manager);
+        // Phase 2: a `reader_policy` engine resumes from the other
+        // mode's durable state and finishes the stream.
+        let mut reader = build(reader_policy);
+        let mut manager = CheckpointManager::resume(&dir, 97, &mut reader)
+            .expect("snapshot written under a different batch policy resumes");
+        assert_eq!(manager.position(), crash_after as u64);
+        for event in &events[crash_after..] {
+            manager.log_event(event).expect("log");
+            reader.ingest(event.clone()).expect("in order");
+            manager.maybe_checkpoint(&reader).expect("checkpoint");
+        }
+        let report = reader.finish();
+        let outputs = std::mem::take(&mut reader.collected_outputs);
+        assert_equivalent(
+            &format!("writer={writer_policy:?} reader={reader_policy:?}"),
+            &reference,
+            &(report, outputs),
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

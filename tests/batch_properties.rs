@@ -1,0 +1,179 @@
+//! Property-based batch-boundary invariance.
+//!
+//! Batch formation is an execution detail: however the distributor
+//! chunks a stream into same-timestamp batches — capped, uncapped,
+//! split at arbitrary legal positions — the outputs must be
+//! byte-identical to the event-at-a-time run and every deterministic
+//! counter must agree. The streams here are adversarial for batching:
+//! timestamps advance by 0..=2 ticks, so long duplicate-timestamp runs
+//! (the interesting batch boundaries) are common.
+
+use caesar::events::EventBatch;
+use caesar::prelude::*;
+use caesar::recovery::{outputs_equivalent, reports_equivalent};
+use proptest::prelude::*;
+
+/// (kind, payload) scripts: kind 0 = reading, 1 = enter busy,
+/// 2 = leave busy. Payload drives both the value and the (possibly
+/// zero) time increment, so duplicate timestamps cluster heavily.
+fn arb_script() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0u8..=2, 0u64..100), 1..60)
+}
+
+fn build(batch: BatchPolicy) -> CaesarSystem {
+    Caesar::builder()
+        .schema("Reading", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Enter", &[("sec", AttrType::Int)])
+        .schema("Leave", &[("sec", AttrType::Int)])
+        .within(60)
+        .model_text(
+            r#"
+            MODEL m DEFAULT idle
+            CONTEXT idle {
+                SWITCH CONTEXT busy PATTERN Enter
+            }
+            CONTEXT busy {
+                SWITCH CONTEXT idle PATTERN Leave
+                DERIVE Pair(a.v, b.v, b.sec)
+                    PATTERN SEQ(Reading a, Reading b)
+                    WHERE a.v = b.v
+                DERIVE Fresh(r2.v, r2.sec)
+                    PATTERN SEQ(NOT Reading r1, Reading r2)
+                    WHERE r1.sec + 10 = r2.sec AND r1.v = r2.v
+            }
+        "#,
+        )
+        .engine_config(EngineConfig {
+            collect_outputs: true,
+            batch,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+fn script_to_events(sys: &CaesarSystem, script: &[(u8, u64)]) -> Vec<Event> {
+    let mut t: Time = 1;
+    let mut events = Vec::with_capacity(script.len());
+    for (kind, payload) in script {
+        // Increment of 0, 1 or 2 — zero keeps the timestamp, forming
+        // the duplicate-timestamp runs batching cares about.
+        t += payload % 3;
+        let e = match kind {
+            0 => sys
+                .event("Reading", t)
+                .unwrap()
+                .attr("v", (*payload % 4) as i64)
+                .unwrap()
+                .attr("sec", t as i64)
+                .unwrap()
+                .build()
+                .unwrap(),
+            1 => sys
+                .event("Enter", t)
+                .unwrap()
+                .attr("sec", t as i64)
+                .unwrap()
+                .build()
+                .unwrap(),
+            _ => sys
+                .event("Leave", t)
+                .unwrap()
+                .attr("sec", t as i64)
+                .unwrap()
+                .build()
+                .unwrap(),
+        };
+        events.push(e);
+    }
+    events
+}
+
+fn run_stream_with(batch: BatchPolicy, events: &[Event]) -> (RunReport, Vec<Event>) {
+    let mut sys = build(batch);
+    let report = sys
+        .run_stream(&mut VecStream::new(events.to_vec()))
+        .unwrap();
+    let outputs = std::mem::take(&mut sys.engine.collected_outputs);
+    (report, outputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any batch-size cap produces byte-identical outputs and counters
+    /// to the event-at-a-time baseline.
+    #[test]
+    fn batch_cap_is_invariant(script in arb_script(), cap in 1usize..16) {
+        let probe = build(BatchPolicy::per_event());
+        let events = script_to_events(&probe, &script);
+        let baseline = run_stream_with(BatchPolicy::per_event(), &events);
+        for policy in [BatchPolicy::default(), BatchPolicy::bounded(cap)] {
+            let candidate = run_stream_with(policy, &events);
+            prop_assert!(
+                outputs_equivalent(&baseline.1, &candidate.1),
+                "outputs diverged under {policy:?}: {} vs {}",
+                baseline.1.len(), candidate.1.len()
+            );
+            prop_assert!(
+                reports_equivalent(&baseline.0, &candidate.0),
+                "counters diverged under {policy:?}"
+            );
+        }
+    }
+
+    /// Stronger: ANY legal re-chunking — same-timestamp runs split at
+    /// arbitrary positions chosen by proptest — fed straight into
+    /// `ingest_batch` matches the per-event run. Legality only requires
+    /// each batch to be a contiguous same-timestamp slice.
+    #[test]
+    fn arbitrary_rechunking_is_invariant(
+        script in arb_script(),
+        splits in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let probe = build(BatchPolicy::per_event());
+        let events = script_to_events(&probe, &script);
+        let baseline = run_stream_with(BatchPolicy::per_event(), &events);
+
+        let mut sys = build(BatchPolicy::default());
+        let mut chunk: Vec<Event> = Vec::new();
+        let mut flip = splits.iter().cycle();
+        for event in &events {
+            let boundary = chunk.last().is_some_and(|prev: &Event| {
+                prev.time() != event.time() || *flip.next().unwrap()
+            });
+            if boundary {
+                let batch = EventBatch::new(chunk[0].time(), std::mem::take(&mut chunk));
+                sys.engine.ingest_batch(batch).unwrap();
+            }
+            chunk.push(event.clone());
+        }
+        if !chunk.is_empty() {
+            let batch = EventBatch::new(chunk[0].time(), chunk);
+            sys.engine.ingest_batch(batch).unwrap();
+        }
+        let report = sys.finish();
+        let outputs = std::mem::take(&mut sys.engine.collected_outputs);
+        prop_assert!(
+            outputs_equivalent(&baseline.1, &outputs),
+            "re-chunked outputs diverged: {} vs {}",
+            baseline.1.len(), outputs.len()
+        );
+        prop_assert!(reports_equivalent(&baseline.0, &report));
+    }
+
+    /// The partition-splitting policy is also boundary-invariant.
+    #[test]
+    fn split_partition_policy_is_invariant(script in arb_script(), cap in 1usize..12) {
+        let probe = build(BatchPolicy::per_event());
+        let events = script_to_events(&probe, &script);
+        let baseline = run_stream_with(BatchPolicy::per_event(), &events);
+        let policy = BatchPolicy {
+            split_partitions: true,
+            ..BatchPolicy::bounded(cap)
+        };
+        let candidate = run_stream_with(policy, &events);
+        prop_assert!(outputs_equivalent(&baseline.1, &candidate.1));
+        prop_assert!(reports_equivalent(&baseline.0, &candidate.0));
+    }
+}
