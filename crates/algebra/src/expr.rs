@@ -191,11 +191,99 @@ impl CompiledExpr {
                     },
                 })
             }
-            Expr::Binary { op, lhs, rhs } => Ok(CompiledExpr::Bin {
-                op: *op,
-                lhs: Box::new(Self::compile(lhs, layout, registry)?),
-                rhs: Box::new(Self::compile(rhs, layout, registry)?),
-            }),
+            Expr::Binary { op, lhs, rhs } => Ok(Self::fold(
+                *op,
+                Self::compile(lhs, layout, registry)?,
+                Self::compile(rhs, layout, registry)?,
+            )),
+        }
+    }
+
+    /// Constant folding + algebraic simplification at compile time.
+    /// Children are already folded (compilation is bottom-up), so only
+    /// the top node needs inspecting. Folds are exact with respect to
+    /// `eval` *and* `matches`, including error counting:
+    ///
+    /// * `Const op Const` evaluates now; if it would error at runtime
+    ///   the node is kept so the error still surfaces (and counts) per
+    ///   evaluation.
+    /// * `false AND x` → `false` and `true OR x` → `true`
+    ///   unconditionally — short-circuiting never evaluates `x`.
+    /// * `true AND x` → `x` and `false OR x` → `x` only when `x` is
+    ///   boolean-or-error (a comparison, a logical node, or a boolean
+    ///   constant), since the logical wrapper would have mapped a
+    ///   non-boolean `x` to `NotBoolean`. The mirrored `x AND true` /
+    ///   `x OR false` folds need the same guard on `x`.
+    ///   `x AND false` / `x OR true` are *not* folded: `x`'s runtime
+    ///   errors must still surface first.
+    fn fold(op: BinOp, lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledExpr {
+        use CompiledExpr::Const;
+        match (op, &lhs, &rhs) {
+            (BinOp::And, Const(Value::Bool(false)), _) => Const(Value::Bool(false)),
+            (BinOp::Or, Const(Value::Bool(true)), _) => Const(Value::Bool(true)),
+            (BinOp::And, Const(Value::Bool(true)), _)
+            | (BinOp::Or, Const(Value::Bool(false)), _)
+                if rhs.is_boolean_shaped() =>
+            {
+                rhs
+            }
+            (BinOp::And, _, Const(Value::Bool(true)))
+            | (BinOp::Or, _, Const(Value::Bool(false)))
+                if lhs.is_boolean_shaped() =>
+            {
+                lhs
+            }
+            (_, Const(_), Const(_)) => {
+                let node = CompiledExpr::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+                match node.eval(&[]) {
+                    Ok(v) => Const(v),
+                    // Evaluating would error (e.g. overflow, div by
+                    // zero): keep the tree so the error is raised — and
+                    // counted — at runtime, exactly as before.
+                    Err(_) => node,
+                }
+            }
+            _ => CompiledExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        }
+    }
+
+    /// True when evaluation can only yield `Bool` or an error:
+    /// comparisons and logical nodes (their success value is always a
+    /// bool) and boolean constants. Used to drop logical identity
+    /// wrappers without changing `NotBoolean` semantics.
+    fn is_boolean_shaped(&self) -> bool {
+        match self {
+            CompiledExpr::Const(Value::Bool(_)) => true,
+            CompiledExpr::Bin { op, .. } => matches!(
+                op,
+                BinOp::And
+                    | BinOp::Or
+                    | BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+            ),
+            _ => false,
+        }
+    }
+
+    /// Number of nodes in the expression tree — the kernel compiler's
+    /// per-row cost proxy when ordering conjuncts.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match self {
+            CompiledExpr::Bin { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            _ => 1,
         }
     }
 
@@ -555,6 +643,92 @@ mod tests {
             rhs: Box::new(eq),
         };
         assert!((conj.selectivity() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folds_constant_subtrees() {
+        let reg = registry();
+        let layout = slot_layout(&reg);
+        // (10 + 20) = p1.sec  →  30 = p1.sec (the const subtree folds).
+        let ast = AstExpr::bin(
+            BinOp::Eq,
+            AstExpr::bin(BinOp::Add, AstExpr::int(10), AstExpr::int(20)),
+            AstExpr::attr("p1", "sec"),
+        );
+        let compiled = CompiledExpr::compile(&ast, &layout, &reg).unwrap();
+        assert_eq!(
+            compiled,
+            CompiledExpr::Bin {
+                op: BinOp::Eq,
+                lhs: Box::new(CompiledExpr::Const(Value::Int(30))),
+                rhs: Box::new(CompiledExpr::Attr { slot: 0, attr: 1 }),
+            }
+        );
+        // A fully constant comparison folds to a boolean literal.
+        let ast = AstExpr::bin(BinOp::Lt, AstExpr::int(1), AstExpr::int(2));
+        assert_eq!(
+            CompiledExpr::compile(&ast, &layout, &reg).unwrap(),
+            CompiledExpr::Const(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn folds_logical_identities() {
+        let reg = registry();
+        let layout = slot_layout(&reg);
+        let cmp = AstExpr::bin(BinOp::Gt, AstExpr::attr("p1", "sec"), AstExpr::int(10));
+        let expected = CompiledExpr::compile(&cmp, &layout, &reg).unwrap();
+        // true AND x → x;  false OR x → x.
+        let t = AstExpr::Const(Value::Bool(true));
+        let f = AstExpr::Const(Value::Bool(false));
+        let and = AstExpr::bin(BinOp::And, t.clone(), cmp.clone());
+        assert_eq!(
+            CompiledExpr::compile(&and, &layout, &reg).unwrap(),
+            expected
+        );
+        let or = AstExpr::bin(BinOp::Or, f.clone(), cmp.clone());
+        assert_eq!(CompiledExpr::compile(&or, &layout, &reg).unwrap(), expected);
+        // false AND x → false;  true OR x → true (short-circuit means x
+        // never runs, so the fold is exact even for erroring x).
+        let and = AstExpr::bin(BinOp::And, f, cmp.clone());
+        assert_eq!(
+            CompiledExpr::compile(&and, &layout, &reg).unwrap(),
+            CompiledExpr::Const(Value::Bool(false))
+        );
+        let or = AstExpr::bin(BinOp::Or, t, cmp.clone());
+        assert_eq!(
+            CompiledExpr::compile(&or, &layout, &reg).unwrap(),
+            CompiledExpr::Const(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn erroring_constants_are_not_folded() {
+        let reg = registry();
+        let layout = slot_layout(&reg);
+        // 1 / 0 must keep erroring (and counting) at runtime.
+        let ast = AstExpr::bin(
+            BinOp::Gt,
+            AstExpr::bin(BinOp::Div, AstExpr::int(1), AstExpr::int(0)),
+            AstExpr::int(0),
+        );
+        let compiled = CompiledExpr::compile(&ast, &layout, &reg).unwrap();
+        assert!(matches!(compiled, CompiledExpr::Bin { .. }));
+        let e = event(&reg, 1, 0, "x");
+        let mut errs = 0;
+        assert!(!compiled.matches(&[&e, &e], &mut errs));
+        assert_eq!(errs, 1);
+        // x AND false is likewise kept: x's errors must surface first.
+        let bad = AstExpr::bin(
+            BinOp::Gt,
+            AstExpr::bin(BinOp::Add, AstExpr::attr("p1", "lane"), AstExpr::int(1)),
+            AstExpr::int(0),
+        );
+        let ast = AstExpr::bin(BinOp::And, bad, AstExpr::Const(Value::Bool(false)));
+        let compiled = CompiledExpr::compile(&ast, &layout, &reg).unwrap();
+        let mut errs = 0;
+        assert!(!compiled.matches(&[&e, &e], &mut errs));
+        assert_eq!(errs, 1, "lhs error still counted");
     }
 
     #[test]

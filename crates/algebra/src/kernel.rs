@@ -1,0 +1,1011 @@
+//! Vectorized kernel compilation: [`CompiledExpr`] trees lowered to
+//! flat, type-specialized kernels over [`ColumnarView`] columns.
+//!
+//! The tree-walking interpreter in [`expr`](crate::expr) allocates a
+//! `Result<Value, EvalError>` per node per event — the dominant cost on
+//! dense batches. The kernel compiler replaces it with typed expression
+//! trees ([`IntExpr`], [`FloatExpr`]) whose leaves read `Vec<i64>` /
+//! `Vec<f64>` columns directly, and a [`BoolKernel`] predicate form
+//! that *filters selection vectors in place*: a selection vector is a
+//! sorted list of row indices into the batch slice, and each conjunct
+//! narrows it, so downstream conjuncts only touch surviving rows
+//! (MonetDB/X100-style column-at-a-time execution).
+//!
+//! # Exactness contract
+//!
+//! Kernels must be observationally identical to the interpreter under
+//! `CompiledExpr::matches` / per-argument `eval`: same surviving rows,
+//! same error *counts*. This drives several design points:
+//!
+//! * Compilation is **per-expression**: any shape the compiler does not
+//!   cover (opaque columns, mixed int/float arithmetic, non-zero
+//!   binding slots, null-able data) yields `None` and that expression
+//!   alone falls back to the interpreter — coverage is observable via
+//!   the `kernel_rows` / `fallback_rows` operator counters.
+//! * Integer arithmetic uses the same checked operations as
+//!   [`Value`]'s (overflow and division-by-zero become per-row errors
+//!   that count as non-matches).
+//! * Float comparisons reproduce `eq_value` / `partial_cmp_value`:
+//!   `=` on NaN is `false`, `!=` on NaN is `true` (never-null columns),
+//!   and ordering on NaN is a counted `Incomparable` error.
+//! * `AND` narrows with the left conjunct before running the right, so
+//!   rows failing (or erroring in) the left never evaluate the right —
+//!   the interpreter's short-circuit exactly.
+//!
+//! Kernel structure depends only on the *kind signature* of the view's
+//! columns, so compiled kernels are cached on the operator and revalidated
+//! per batch by comparing [`ColumnKind`]s; string constants are
+//! re-resolved against each batch's dictionary at run time.
+
+use crate::expr::CompiledExpr;
+use caesar_events::columnar::{ColumnKind, ColumnarView};
+use caesar_events::Value;
+use caesar_query::ast::BinOp;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Comparison operators shared by the typed kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn from_bin(op: BinOp) -> Option<Self> {
+        Some(match op {
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::Ne => CmpOp::Ne,
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::Le => CmpOp::Le,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::Ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    #[inline]
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// Integer-typed expression over `Int` columns. Arithmetic is checked,
+/// mirroring [`Value::add`] and friends: overflow and `/ 0` are per-row
+/// errors (`None`).
+#[derive(Debug, Clone)]
+pub enum IntExpr {
+    /// Read the `Int` column at this attribute index.
+    Col(u16),
+    /// Integer literal.
+    Const(i64),
+    /// Checked binary arithmetic.
+    Arith {
+        /// Which of `+ - * /`.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<IntExpr>,
+        /// Right operand.
+        rhs: Box<IntExpr>,
+    },
+}
+
+/// The four arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    fn from_bin(op: BinOp) -> Option<Self> {
+        Some(match op {
+            BinOp::Add => ArithOp::Add,
+            BinOp::Sub => ArithOp::Sub,
+            BinOp::Mul => ArithOp::Mul,
+            BinOp::Div => ArithOp::Div,
+            _ => return None,
+        })
+    }
+}
+
+impl IntExpr {
+    /// Evaluates one row; `None` is an arithmetic error (counts as a
+    /// non-match upstream, like the interpreter's `EvalError`).
+    #[inline]
+    pub(crate) fn eval(&self, view: &ColumnarView, row: usize) -> Option<i64> {
+        match self {
+            IntExpr::Col(attr) => Some(view.int_col(*attr as usize)[row]),
+            IntExpr::Const(v) => Some(*v),
+            IntExpr::Arith { op, lhs, rhs } => {
+                let a = lhs.eval(view, row)?;
+                let b = rhs.eval(view, row)?;
+                match op {
+                    ArithOp::Add => a.checked_add(b),
+                    ArithOp::Sub => a.checked_sub(b),
+                    ArithOp::Mul => a.checked_mul(b),
+                    // checked_div also catches i64::MIN / -1, matching
+                    // Value::div.
+                    ArithOp::Div => a.checked_div(b),
+                }
+            }
+        }
+    }
+}
+
+/// Float-typed expression over `Float` columns. IEEE arithmetic never
+/// errors; NaN propagates and is handled at the comparison.
+#[derive(Debug, Clone)]
+pub enum FloatExpr {
+    /// Read the `Float` column at this attribute index.
+    Col(u16),
+    /// Float literal.
+    Const(f64),
+    /// IEEE binary arithmetic.
+    Arith {
+        /// Which of `+ - * /`.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<FloatExpr>,
+        /// Right operand.
+        rhs: Box<FloatExpr>,
+    },
+}
+
+impl FloatExpr {
+    #[inline]
+    pub(crate) fn eval(&self, view: &ColumnarView, row: usize) -> f64 {
+        match self {
+            FloatExpr::Col(attr) => view.float_col(*attr as usize)[row],
+            FloatExpr::Const(v) => *v,
+            FloatExpr::Arith { op, lhs, rhs } => {
+                let a = lhs.eval(view, row);
+                let b = rhs.eval(view, row);
+                match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                }
+            }
+        }
+    }
+}
+
+/// A compiled boolean predicate over one columnar view.
+#[derive(Debug, Clone)]
+pub enum BoolKernel {
+    /// Constant predicate (from folded expressions).
+    Const(bool),
+    /// A `Bool` column used directly as a predicate.
+    Col(u16),
+    /// Integer comparison.
+    IntCmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: IntExpr,
+        /// Right operand.
+        rhs: IntExpr,
+    },
+    /// Float comparison (NaN-exact per `eq_value`/`partial_cmp_value`).
+    FloatCmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: FloatExpr,
+        /// Right operand.
+        rhs: FloatExpr,
+    },
+    /// Interned-string column compared with a string constant. The
+    /// constant's dictionary id is resolved once per batch; equality
+    /// then compares `u32` ids (a constant absent from the dictionary
+    /// matches no row / every row without per-row work).
+    StrCmpConst {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Attribute index of the string column.
+        col: u16,
+        /// The constant.
+        value: Arc<str>,
+    },
+    /// Two interned-string columns of the same view compared.
+    StrCmpCols {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left column.
+        lhs: u16,
+        /// Right column.
+        rhs: u16,
+    },
+    /// `Bool` column compared with a boolean constant.
+    BoolCmpConst {
+        /// Comparison operator (equality/ordering on bools).
+        op: CmpOp,
+        /// Attribute index of the bool column.
+        col: u16,
+        /// The constant.
+        value: bool,
+    },
+    /// Short-circuit conjunction: the right kernel only sees rows the
+    /// left kernel passed.
+    And(Box<BoolKernel>, Box<BoolKernel>),
+    /// Short-circuit disjunction (row-at-a-time).
+    Or(Box<BoolKernel>, Box<BoolKernel>),
+}
+
+impl BoolKernel {
+    /// Compiles a predicate expression against a column kind signature.
+    /// Returns `None` for any shape whose vectorized evaluation cannot
+    /// be made exactly interpreter-equivalent — the caller falls back
+    /// to the interpreter for that expression only.
+    pub fn compile(expr: &CompiledExpr, kinds: &[ColumnKind]) -> Option<Self> {
+        match expr {
+            CompiledExpr::Const(Value::Bool(b)) => Some(BoolKernel::Const(*b)),
+            CompiledExpr::Const(_) => None,
+            CompiledExpr::Attr { .. } => {
+                let col = column_of(expr, kinds, ColumnKind::Bool)?;
+                Some(BoolKernel::Col(col))
+            }
+            CompiledExpr::Bin { op, lhs, rhs } => match op {
+                BinOp::And => Some(BoolKernel::And(
+                    Box::new(Self::compile(lhs, kinds)?),
+                    Box::new(Self::compile(rhs, kinds)?),
+                )),
+                BinOp::Or => Some(BoolKernel::Or(
+                    Box::new(Self::compile(lhs, kinds)?),
+                    Box::new(Self::compile(rhs, kinds)?),
+                )),
+                _ => {
+                    let cmp = CmpOp::from_bin(*op)?;
+                    compile_cmp(cmp, lhs, rhs, kinds)
+                }
+            },
+        }
+    }
+
+    /// Narrows `sel` in place to the rows where the predicate holds.
+    /// Rows that error are dropped *and counted* in `errors`, matching
+    /// `CompiledExpr::matches`.
+    pub fn filter(&self, view: &ColumnarView, sel: &mut Vec<u32>, errors: &mut u64) {
+        match self {
+            BoolKernel::Const(true) => {}
+            BoolKernel::Const(false) => sel.clear(),
+            BoolKernel::Col(col) => {
+                let vals = view.bool_col(*col as usize);
+                sel.retain(|&i| vals[i as usize]);
+            }
+            // The hottest shapes get dedicated loops with no per-row
+            // dispatch: column-vs-constant and column-vs-column integer
+            // comparisons, and interned-id string equality.
+            BoolKernel::IntCmp {
+                op,
+                lhs: IntExpr::Col(a),
+                rhs: IntExpr::Const(k),
+            } => {
+                let col = view.int_col(*a as usize);
+                sel.retain(|&i| op.test(col[i as usize].cmp(k)));
+            }
+            BoolKernel::IntCmp {
+                op,
+                lhs: IntExpr::Col(a),
+                rhs: IntExpr::Col(b),
+            } => {
+                let (ca, cb) = (view.int_col(*a as usize), view.int_col(*b as usize));
+                sel.retain(|&i| op.test(ca[i as usize].cmp(&cb[i as usize])));
+            }
+            BoolKernel::IntCmp { op, lhs, rhs } => {
+                sel.retain(|&i| {
+                    let row = i as usize;
+                    match (lhs.eval(view, row), rhs.eval(view, row)) {
+                        (Some(a), Some(b)) => op.test(a.cmp(&b)),
+                        _ => {
+                            *errors += 1;
+                            false
+                        }
+                    }
+                });
+            }
+            BoolKernel::FloatCmp { op, lhs, rhs } => {
+                sel.retain(|&i| {
+                    let row = i as usize;
+                    let (a, b) = (lhs.eval(view, row), rhs.eval(view, row));
+                    match op {
+                        // eq_value: NaN equals nothing; Ne on non-null
+                        // operands is the strict complement.
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => match a.partial_cmp(&b) {
+                            Some(ord) => op.test(ord),
+                            // Incomparable (NaN): a counted error.
+                            None => {
+                                *errors += 1;
+                                false
+                            }
+                        },
+                    }
+                });
+            }
+            BoolKernel::StrCmpConst { op, col, value } => {
+                let column = view.str_col(*col as usize);
+                match op {
+                    CmpOp::Eq => match column.lookup(value) {
+                        Some(id) => sel.retain(|&i| column.ids[i as usize] == id),
+                        None => sel.clear(),
+                    },
+                    CmpOp::Ne => {
+                        if let Some(id) = column.lookup(value) {
+                            sel.retain(|&i| column.ids[i as usize] != id);
+                        }
+                    }
+                    _ => {
+                        sel.retain(|&i| op.test(column.str_at(i as usize).cmp(value)));
+                    }
+                }
+            }
+            BoolKernel::StrCmpCols { op, lhs, rhs } => {
+                let (ca, cb) = (view.str_col(*lhs as usize), view.str_col(*rhs as usize));
+                match op {
+                    // Same dictionary ⇒ equal ids iff equal strings —
+                    // but lhs/rhs are *different* columns with separate
+                    // dictionaries, so compare bytes.
+                    CmpOp::Eq => sel.retain(|&i| ca.str_at(i as usize) == cb.str_at(i as usize)),
+                    CmpOp::Ne => sel.retain(|&i| ca.str_at(i as usize) != cb.str_at(i as usize)),
+                    _ => sel.retain(|&i| op.test(ca.str_at(i as usize).cmp(cb.str_at(i as usize)))),
+                }
+            }
+            BoolKernel::BoolCmpConst { op, col, value } => {
+                let vals = view.bool_col(*col as usize);
+                sel.retain(|&i| op.test(vals[i as usize].cmp(value)));
+            }
+            BoolKernel::And(a, b) => {
+                // Column-at-a-time short circuit: rows failing (or
+                // erroring in) `a` are gone before `b` runs.
+                a.filter(view, sel, errors);
+                b.filter(view, sel, errors);
+            }
+            BoolKernel::Or(..) => {
+                sel.retain(|&i| match self.eval_row(view, i as usize) {
+                    Some(b) => b,
+                    None => {
+                        *errors += 1;
+                        false
+                    }
+                });
+            }
+        }
+    }
+
+    /// Row-at-a-time evaluation, used under `Or` where column-at-a-time
+    /// narrowing does not apply. `None` = per-row error.
+    pub(crate) fn eval_row(&self, view: &ColumnarView, row: usize) -> Option<bool> {
+        match self {
+            BoolKernel::Const(b) => Some(*b),
+            BoolKernel::Col(col) => Some(view.bool_col(*col as usize)[row]),
+            BoolKernel::IntCmp { op, lhs, rhs } => {
+                let a = lhs.eval(view, row)?;
+                let b = rhs.eval(view, row)?;
+                Some(op.test(a.cmp(&b)))
+            }
+            BoolKernel::FloatCmp { op, lhs, rhs } => {
+                let a = lhs.eval(view, row);
+                let b = rhs.eval(view, row);
+                match op {
+                    CmpOp::Eq => Some(a == b),
+                    CmpOp::Ne => Some(a != b),
+                    _ => a.partial_cmp(&b).map(|ord| op.test(ord)),
+                }
+            }
+            BoolKernel::StrCmpConst { op, col, value } => {
+                let column = view.str_col(*col as usize);
+                Some(op.test(column.str_at(row).cmp(value)))
+            }
+            BoolKernel::StrCmpCols { op, lhs, rhs } => {
+                let (ca, cb) = (view.str_col(*lhs as usize), view.str_col(*rhs as usize));
+                Some(op.test(ca.str_at(row).cmp(cb.str_at(row))))
+            }
+            BoolKernel::BoolCmpConst { op, col, value } => {
+                Some(op.test(view.bool_col(*col as usize)[row].cmp(value)))
+            }
+            BoolKernel::And(a, b) => match a.eval_row(view, row)? {
+                false => Some(false),
+                true => b.eval_row(view, row),
+            },
+            BoolKernel::Or(a, b) => match a.eval_row(view, row)? {
+                true => Some(true),
+                false => b.eval_row(view, row),
+            },
+        }
+    }
+}
+
+/// The attribute index of `expr` if it is a slot-0 attribute reference
+/// whose column has the wanted kind.
+fn column_of(expr: &CompiledExpr, kinds: &[ColumnKind], want: ColumnKind) -> Option<u16> {
+    if let CompiledExpr::Attr { slot: 0, attr } = expr {
+        if kinds.get(*attr as usize) == Some(&want) {
+            return Some(*attr);
+        }
+    }
+    None
+}
+
+/// Compiles a comparison by inferring a common operand type. Mixed
+/// int/float comparisons (f64 promotion in the interpreter) are left to
+/// the fallback rather than risk a rounding divergence.
+fn compile_cmp(
+    op: CmpOp,
+    lhs: &CompiledExpr,
+    rhs: &CompiledExpr,
+    kinds: &[ColumnKind],
+) -> Option<BoolKernel> {
+    if let (Some(a), Some(b)) = (compile_int(lhs, kinds), compile_int(rhs, kinds)) {
+        return Some(BoolKernel::IntCmp { op, lhs: a, rhs: b });
+    }
+    if let (Some(a), Some(b)) = (compile_float(lhs, kinds), compile_float(rhs, kinds)) {
+        return Some(BoolKernel::FloatCmp { op, lhs: a, rhs: b });
+    }
+    match (lhs, rhs) {
+        (col, CompiledExpr::Const(Value::Str(s))) => {
+            let col = column_of(col, kinds, ColumnKind::Str)?;
+            Some(BoolKernel::StrCmpConst {
+                op,
+                col,
+                value: s.clone(),
+            })
+        }
+        (CompiledExpr::Const(Value::Str(s)), col) => {
+            let col = column_of(col, kinds, ColumnKind::Str)?;
+            // `const op col` mirrors to `col (flipped op) const`.
+            Some(BoolKernel::StrCmpConst {
+                op: flip(op),
+                col,
+                value: s.clone(),
+            })
+        }
+        (a, b) => {
+            if let (Some(lhs), Some(rhs)) = (
+                column_of(a, kinds, ColumnKind::Str),
+                column_of(b, kinds, ColumnKind::Str),
+            ) {
+                return Some(BoolKernel::StrCmpCols { op, lhs, rhs });
+            }
+            if let (Some(col), CompiledExpr::Const(Value::Bool(v))) =
+                (column_of(a, kinds, ColumnKind::Bool), b)
+            {
+                return Some(BoolKernel::BoolCmpConst { op, col, value: *v });
+            }
+            if let (CompiledExpr::Const(Value::Bool(v)), Some(col)) =
+                (a, column_of(b, kinds, ColumnKind::Bool))
+            {
+                return Some(BoolKernel::BoolCmpConst {
+                    op: flip(op),
+                    col,
+                    value: *v,
+                });
+            }
+            None
+        }
+    }
+}
+
+/// Mirrors a comparison across its operands (`c < x` ⇔ `x > c`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Compiles an integer-typed arithmetic expression (all leaves must be
+/// `Int` columns or integer constants).
+fn compile_int(expr: &CompiledExpr, kinds: &[ColumnKind]) -> Option<IntExpr> {
+    match expr {
+        CompiledExpr::Const(Value::Int(v)) => Some(IntExpr::Const(*v)),
+        CompiledExpr::Attr { .. } => column_of(expr, kinds, ColumnKind::Int).map(IntExpr::Col),
+        CompiledExpr::Bin { op, lhs, rhs } => {
+            let op = ArithOp::from_bin(*op)?;
+            Some(IntExpr::Arith {
+                op,
+                lhs: Box::new(compile_int(lhs, kinds)?),
+                rhs: Box::new(compile_int(rhs, kinds)?),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Compiles a float-typed arithmetic expression (all leaves must be
+/// `Float` columns or float constants — no int promotion, see
+/// [`compile_cmp`]).
+fn compile_float(expr: &CompiledExpr, kinds: &[ColumnKind]) -> Option<FloatExpr> {
+    match expr {
+        CompiledExpr::Const(Value::Float(v)) => Some(FloatExpr::Const(*v)),
+        CompiledExpr::Attr { .. } => column_of(expr, kinds, ColumnKind::Float).map(FloatExpr::Col),
+        CompiledExpr::Bin { op, lhs, rhs } => {
+            let op = ArithOp::from_bin(*op)?;
+            Some(FloatExpr::Arith {
+                op,
+                lhs: Box::new(compile_float(lhs, kinds)?),
+                rhs: Box::new(compile_float(rhs, kinds)?),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// A value-producing kernel for one projection argument.
+#[derive(Debug, Clone)]
+pub enum ValKernel {
+    /// Copy the attribute value from the source event (works for any
+    /// column kind, including `Opaque` — it is a row-side clone).
+    Copy(u16),
+    /// A constant value.
+    Const(Value),
+    /// Integer arithmetic; an error aborts the row like the
+    /// interpreter's first-error-wins projection.
+    Int(IntExpr),
+    /// Float arithmetic (never errors).
+    Float(FloatExpr),
+    /// A boolean expression.
+    Bool(BoolKernel),
+    /// Not covered: evaluate the original argument expression with the
+    /// interpreter for each selected row.
+    Fallback,
+}
+
+impl ValKernel {
+    /// Compiles one projection argument. Never fails — uncovered shapes
+    /// become [`ValKernel::Fallback`].
+    pub fn compile(expr: &CompiledExpr, kinds: &[ColumnKind]) -> Self {
+        match expr {
+            // A bare attribute copy is kind-agnostic: the interpreter
+            // clones the row value, and so do we.
+            CompiledExpr::Attr { slot: 0, attr } => ValKernel::Copy(*attr),
+            CompiledExpr::Const(v) => ValKernel::Const(v.clone()),
+            _ => {
+                if let Some(k) = compile_int(expr, kinds) {
+                    ValKernel::Int(k)
+                } else if let Some(k) = compile_float(expr, kinds) {
+                    ValKernel::Float(k)
+                } else if let Some(k) = BoolKernel::compile(expr, kinds) {
+                    ValKernel::Bool(k)
+                } else {
+                    ValKernel::Fallback
+                }
+            }
+        }
+    }
+
+    /// True when this kernel needs the interpreter.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self, ValKernel::Fallback)
+    }
+}
+
+/// One conjunct of a filter's flattened predicate list.
+#[derive(Debug, Clone)]
+pub struct Conjunct {
+    /// The conjunct expression (used by the interpreter fallback).
+    pub expr: CompiledExpr,
+    /// Its compiled kernel, or `None` → interpreter fallback.
+    pub kernel: Option<BoolKernel>,
+}
+
+/// Compiled, ordered kernels for a filter's predicates, cached on the
+/// operator and revalidated per batch against the view's kind
+/// signature.
+///
+/// Top-level `AND`s are flattened into one conjunct list (exact under
+/// `matches`: every conjunct is independently boolean-or-error, and an
+/// erroring or false conjunct makes the event a non-match either way).
+/// Conjuncts are then ordered cheapest-and-most-selective first —
+/// `selectivity() × node_count()` ascending, the cost model's
+/// per-predicate cost proxy — with kernel-covered conjuncts before
+/// interpreter fallbacks (a kernel row test is far cheaper than a
+/// tree walk). Reordering never changes which events pass (conjunct
+/// match results are independent), but *which* conjunct errors first
+/// can differ, so `eval_errors` may count differently from the
+/// per-event path — the same latitude the batched negation index
+/// already has; engine reports exclude `eval_errors` from equivalence.
+#[derive(Debug, Clone)]
+pub struct FilterKernels {
+    /// Event type the kernels were compiled against.
+    pub type_id: caesar_events::TypeId,
+    /// Column kind signature at compile time.
+    pub kinds: Vec<ColumnKind>,
+    /// Ordered conjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+impl FilterKernels {
+    /// Flattens, compiles and orders a filter's predicates for a view
+    /// with the given kind signature.
+    #[must_use]
+    pub fn compile(
+        predicates: &[CompiledExpr],
+        type_id: caesar_events::TypeId,
+        kinds: &[ColumnKind],
+    ) -> Self {
+        let mut flat: Vec<CompiledExpr> = Vec::new();
+        for p in predicates {
+            flatten_and(p, &mut flat);
+        }
+        let mut conjuncts: Vec<Conjunct> = flat
+            .into_iter()
+            .map(|expr| Conjunct {
+                kernel: BoolKernel::compile(&expr, kinds),
+                expr,
+            })
+            .collect();
+        let rank = |c: &Conjunct| c.expr.selectivity() * c.expr.node_count() as f64;
+        // Stable sort keeps the original order on ties → deterministic.
+        conjuncts.sort_by(|a, b| {
+            let fallback = |c: &Conjunct| u8::from(c.kernel.is_none());
+            fallback(a)
+                .cmp(&fallback(b))
+                .then(rank(a).total_cmp(&rank(b)))
+        });
+        FilterKernels {
+            type_id,
+            kinds: kinds.to_vec(),
+            conjuncts,
+        }
+    }
+
+    /// True when the cache is still valid for this view.
+    #[must_use]
+    pub fn valid_for(&self, view: &ColumnarView) -> bool {
+        self.type_id == view.type_id
+            && self.kinds.len() == view.columns.len()
+            && self
+                .kinds
+                .iter()
+                .zip(&view.columns)
+                .all(|(k, c)| *k == c.kind())
+    }
+}
+
+/// Compiled per-argument kernels for a projection, cached like
+/// [`FilterKernels`].
+#[derive(Debug, Clone)]
+pub struct ProjectKernels {
+    /// Event type the kernels were compiled against.
+    pub type_id: caesar_events::TypeId,
+    /// Column kind signature at compile time.
+    pub kinds: Vec<ColumnKind>,
+    /// One kernel per output attribute, in argument order.
+    pub args: Vec<ValKernel>,
+}
+
+impl ProjectKernels {
+    /// Compiles every projection argument (uncovered ones become
+    /// [`ValKernel::Fallback`]).
+    #[must_use]
+    pub fn compile(
+        args: &[CompiledExpr],
+        type_id: caesar_events::TypeId,
+        kinds: &[ColumnKind],
+    ) -> Self {
+        ProjectKernels {
+            type_id,
+            kinds: kinds.to_vec(),
+            args: args.iter().map(|a| ValKernel::compile(a, kinds)).collect(),
+        }
+    }
+
+    /// True when the cache is still valid for this view.
+    #[must_use]
+    pub fn valid_for(&self, view: &ColumnarView) -> bool {
+        self.type_id == view.type_id
+            && self.kinds.len() == view.columns.len()
+            && self
+                .kinds
+                .iter()
+                .zip(&view.columns)
+                .all(|(k, c)| *k == c.kind())
+    }
+}
+
+/// Flattens nested top-level conjunctions into a conjunct list.
+fn flatten_and(expr: &CompiledExpr, out: &mut Vec<CompiledExpr>) {
+    if let CompiledExpr::Bin {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = expr
+    {
+        flatten_and(lhs, out);
+        flatten_and(rhs, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caesar_events::{Event, Interval, PartitionId, TypeId};
+
+    fn ev(attrs: Vec<Value>) -> Event {
+        Event::complex(
+            TypeId(1),
+            Interval::point(1),
+            PartitionId(0),
+            Arc::from(attrs),
+        )
+    }
+
+    fn view(rows: Vec<Vec<Value>>) -> (Vec<Event>, ColumnarView) {
+        let events: Vec<Event> = rows.into_iter().map(ev).collect();
+        let view = ColumnarView::build(&events, TypeId(1));
+        (events, view)
+    }
+
+    fn attr(attr: u16) -> CompiledExpr {
+        CompiledExpr::Attr { slot: 0, attr }
+    }
+
+    fn bin(op: BinOp, lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledExpr {
+        CompiledExpr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    fn run(expr: &CompiledExpr, view: &ColumnarView) -> (Vec<u32>, u64) {
+        let kernel = BoolKernel::compile(expr, &view.kinds()).expect("covered");
+        let mut sel: Vec<u32> = (0..view.rows as u32).collect();
+        let mut errors = 0;
+        kernel.filter(view, &mut sel, &mut errors);
+        (sel, errors)
+    }
+
+    /// Kernel and interpreter must agree on survivors *and* error
+    /// counts; this helper checks both on an all-rows selection.
+    fn assert_matches_interpreter(expr: &CompiledExpr, events: &[Event], view: &ColumnarView) {
+        let (sel, errors) = run(expr, view);
+        let mut interp_errors = 0u64;
+        let expected: Vec<u32> = (0..events.len())
+            .filter(|&i| expr.matches(&[&events[i]], &mut interp_errors))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(sel, expected, "survivors diverge for {expr:?}");
+        assert_eq!(errors, interp_errors, "error counts diverge for {expr:?}");
+    }
+
+    #[test]
+    fn int_compare_and_arithmetic() {
+        let (events, view) = view(vec![
+            vec![Value::Int(10), Value::Int(5)],
+            vec![Value::Int(3), Value::Int(3)],
+            vec![Value::Int(-2), Value::Int(0)],
+        ]);
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            assert_matches_interpreter(&bin(op, attr(0), attr(1)), &events, &view);
+            assert_matches_interpreter(
+                &bin(op, attr(0), CompiledExpr::Const(Value::Int(3))),
+                &events,
+                &view,
+            );
+        }
+        // (a + b) * 2 > a − with checked arithmetic.
+        let expr = bin(
+            BinOp::Gt,
+            bin(
+                BinOp::Mul,
+                bin(BinOp::Add, attr(0), attr(1)),
+                CompiledExpr::Const(Value::Int(2)),
+            ),
+            attr(0),
+        );
+        assert_matches_interpreter(&expr, &events, &view);
+    }
+
+    #[test]
+    fn int_overflow_and_div_zero_count_errors() {
+        let (events, view) = view(vec![
+            vec![Value::Int(i64::MAX), Value::Int(0)],
+            vec![Value::Int(4), Value::Int(2)],
+            vec![Value::Int(i64::MIN), Value::Int(-1)],
+        ]);
+        // a + 1 > 0 overflows on row 0.
+        let expr = bin(
+            BinOp::Gt,
+            bin(BinOp::Add, attr(0), CompiledExpr::Const(Value::Int(1))),
+            CompiledExpr::Const(Value::Int(0)),
+        );
+        assert_matches_interpreter(&expr, &events, &view);
+        // a / b errors on row 0 (div 0) and row 2 (MIN / -1).
+        let expr = bin(
+            BinOp::Ge,
+            bin(BinOp::Div, attr(0), attr(1)),
+            CompiledExpr::Const(Value::Int(0)),
+        );
+        assert_matches_interpreter(&expr, &events, &view);
+        let (_, errors) = run(&expr, &view);
+        assert_eq!(errors, 2);
+    }
+
+    #[test]
+    fn float_nan_semantics_match_interpreter() {
+        let (events, view) = view(vec![
+            vec![Value::Float(1.5)],
+            vec![Value::Float(f64::NAN)],
+            vec![Value::Float(-0.5)],
+        ]);
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            let expr = bin(op, attr(0), CompiledExpr::Const(Value::Float(1.5)));
+            assert_matches_interpreter(&expr, &events, &view);
+        }
+        // Ordering against NaN is a counted error; Eq/Ne are not.
+        let lt = bin(BinOp::Lt, attr(0), CompiledExpr::Const(Value::Float(0.0)));
+        let (_, errors) = run(&lt, &view);
+        assert_eq!(errors, 1);
+        let ne = bin(BinOp::Ne, attr(0), CompiledExpr::Const(Value::Float(1.5)));
+        let (sel, errors) = run(&ne, &view);
+        assert_eq!(sel, vec![1, 2], "NaN != c is true");
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn string_equality_uses_dictionary_ids() {
+        let (events, view) = view(vec![
+            vec![Value::from("travel")],
+            vec![Value::from("exit")],
+            vec![Value::from("travel")],
+        ]);
+        let eq = bin(BinOp::Eq, attr(0), CompiledExpr::Const(Value::from("exit")));
+        assert_matches_interpreter(&eq, &events, &view);
+        let ne = bin(BinOp::Ne, attr(0), CompiledExpr::Const(Value::from("exit")));
+        assert_matches_interpreter(&ne, &events, &view);
+        // Constant absent from this batch's dictionary.
+        let absent = bin(
+            BinOp::Eq,
+            attr(0),
+            CompiledExpr::Const(Value::from("entrance")),
+        );
+        assert_matches_interpreter(&absent, &events, &view);
+        // Flipped operands and ordering comparisons.
+        let flipped = bin(BinOp::Lt, CompiledExpr::Const(Value::from("f")), attr(0));
+        assert_matches_interpreter(&flipped, &events, &view);
+    }
+
+    #[test]
+    fn and_short_circuits_like_interpreter() {
+        let (events, view) = view(vec![
+            vec![Value::Int(0), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(0)],
+            vec![Value::Int(2), Value::Int(2)],
+        ]);
+        // a != 0 AND (a / b) > 0: row 0 fails the left conjunct, so its
+        // division by... b=1 is fine, but row 1 (b = 0) passes the left
+        // and must error on the right — one counted error, not two.
+        let expr = bin(
+            BinOp::And,
+            bin(BinOp::Ne, attr(0), CompiledExpr::Const(Value::Int(0))),
+            bin(
+                BinOp::Gt,
+                bin(BinOp::Div, attr(0), attr(1)),
+                CompiledExpr::Const(Value::Int(0)),
+            ),
+        );
+        assert_matches_interpreter(&expr, &events, &view);
+        let (sel, errors) = run(&expr, &view);
+        assert_eq!(sel, vec![2]);
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn or_evaluates_row_at_a_time() {
+        let (events, view) = view(vec![
+            vec![Value::Int(1), Value::Int(0)],
+            vec![Value::Int(0), Value::Int(0)],
+            vec![Value::Int(0), Value::Int(5)],
+        ]);
+        // a = 1 OR b / b > 0: row 0 short-circuits past the erroring
+        // right side; rows 1–2 evaluate it.
+        let expr = bin(
+            BinOp::Or,
+            bin(BinOp::Eq, attr(0), CompiledExpr::Const(Value::Int(1))),
+            bin(
+                BinOp::Gt,
+                bin(BinOp::Div, attr(1), attr(1)),
+                CompiledExpr::Const(Value::Int(0)),
+            ),
+        );
+        assert_matches_interpreter(&expr, &events, &view);
+        let (sel, errors) = run(&expr, &view);
+        assert_eq!(sel, vec![0, 2]);
+        assert_eq!(errors, 1, "only row 1's division errors");
+    }
+
+    #[test]
+    fn uncovered_shapes_refuse_to_compile() {
+        let (_, view) = view(vec![vec![Value::Int(1), Value::Float(2.0)]]);
+        let kinds = view.kinds();
+        // Mixed int/float comparison → fallback.
+        assert!(BoolKernel::compile(&bin(BinOp::Lt, attr(0), attr(1)), &kinds).is_none());
+        // Non-zero binding slot → fallback.
+        let other_slot = CompiledExpr::Attr { slot: 1, attr: 0 };
+        assert!(BoolKernel::compile(
+            &bin(BinOp::Eq, other_slot, CompiledExpr::Const(Value::Int(1))),
+            &kinds
+        )
+        .is_none());
+        // Opaque column (nulls) → fallback.
+        let (_, nullable) = view_with_null();
+        assert!(BoolKernel::compile(
+            &bin(BinOp::Eq, attr(0), CompiledExpr::Const(Value::Int(1))),
+            &nullable.kinds()
+        )
+        .is_none());
+    }
+
+    fn view_with_null() -> (Vec<Event>, ColumnarView) {
+        view(vec![vec![Value::Int(1)], vec![Value::Null]])
+    }
+
+    #[test]
+    fn projection_kernels_cover_copies_and_arithmetic() {
+        let (_, view) = view(vec![vec![Value::Int(3), Value::from("x")]]);
+        let kinds = view.kinds();
+        assert!(matches!(
+            ValKernel::compile(&attr(1), &kinds),
+            ValKernel::Copy(1)
+        ));
+        assert!(matches!(
+            ValKernel::compile(
+                &bin(BinOp::Add, attr(0), CompiledExpr::Const(Value::Int(1))),
+                &kinds
+            ),
+            ValKernel::Int(_)
+        ));
+        // String concatenation does not exist; a str+int add is honest
+        // fallback.
+        let bad = bin(BinOp::Add, attr(1), CompiledExpr::Const(Value::Int(1)));
+        assert!(ValKernel::compile(&bad, &kinds).is_fallback());
+    }
+}

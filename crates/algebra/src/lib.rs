@@ -11,6 +11,8 @@
 //!   as the per-partition context bit vector of §6.2 plus window spans.
 //! * [`pattern`] — the pattern operator: event matching, `SEQ` with and
 //!   without negation (§4.1), with partial-match state and pruning.
+//! * [`kernel`] — vectorized predicate/projection kernels over columnar
+//!   views, driven by selection vectors.
 //! * [`ops`] — filter, projection, context window, context initiation and
 //!   context termination operators, and single-plan chain execution.
 //! * [`plan`] — executable query plans and combined plans.
@@ -25,6 +27,7 @@
 pub mod context_table;
 pub mod cost;
 pub mod expr;
+pub mod kernel;
 pub mod ops;
 pub mod pattern;
 pub mod plan;

@@ -15,8 +15,9 @@
 
 use crate::context_table::{ContextTable, Transition, TransitionKind};
 use crate::expr::CompiledExpr;
+use crate::kernel::{FilterKernels, ProjectKernels, ValKernel};
 use crate::pattern::PatternOp;
-use caesar_events::{Event, Time, TypeId, Value};
+use caesar_events::{ColumnarBatch, Event, Time, TypeId, Value};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -31,6 +32,17 @@ pub struct FilterOp {
     pub evaluated: u64,
     /// Events accepted.
     pub accepted: u64,
+    /// Rows evaluated by vectorized kernels (coverage observability).
+    #[serde(default)]
+    pub kernel_rows: u64,
+    /// Rows the kernel compiler could not cover, evaluated by the
+    /// interpreter fallback on the batch path.
+    #[serde(default)]
+    pub fallback_rows: u64,
+    /// Per-batch-signature compiled kernels (rebuilt on demand, never
+    /// persisted).
+    #[serde(skip)]
+    kernels: Option<FilterKernels>,
 }
 
 impl FilterOp {
@@ -42,6 +54,9 @@ impl FilterOp {
             eval_errors: 0,
             evaluated: 0,
             accepted: 0,
+            kernel_rows: 0,
+            fallback_rows: 0,
+            kernels: None,
         }
     }
 
@@ -57,6 +72,68 @@ impl FilterOp {
             self.accepted += 1;
         }
         ok
+    }
+
+    /// Vectorized filtering: narrows the selection vector `sel` (row
+    /// indices into `cols`' event slice) to accepted rows. `event_type`
+    /// is the uniform type of the selected rows, when known — without
+    /// it (or with vectorization disabled) every row goes through the
+    /// interpreter, which is exactly the per-event `accepts` loop.
+    ///
+    /// `evaluated` / `accepted` advance exactly as per-event execution
+    /// would; `eval_errors` may differ when conjuncts were reordered
+    /// (see [`FilterKernels`]).
+    pub fn accepts_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        event_type: Option<TypeId>,
+        sel: &mut Vec<u32>,
+    ) {
+        let events = cols.events();
+        self.evaluated += sel.len() as u64;
+        let vector_type = event_type.filter(|_| cols.enabled);
+        match vector_type {
+            None => {
+                let mut errors = self.eval_errors;
+                let predicates = &self.predicates;
+                sel.retain(|&i| {
+                    let binding = [&events[i as usize]];
+                    predicates.iter().all(|p| p.matches(&binding, &mut errors))
+                });
+                self.eval_errors = errors;
+            }
+            Some(ty) => {
+                let view = cols.view(ty);
+                if !self.kernels.as_ref().is_some_and(|k| k.valid_for(view)) {
+                    self.kernels =
+                        Some(FilterKernels::compile(&self.predicates, ty, &view.kinds()));
+                }
+                let cache = self.kernels.as_ref().expect("compiled above");
+                let mut errors = self.eval_errors;
+                let mut kernel_rows = self.kernel_rows;
+                let mut fallback_rows = self.fallback_rows;
+                for conjunct in &cache.conjuncts {
+                    if sel.is_empty() {
+                        break;
+                    }
+                    match &conjunct.kernel {
+                        Some(kernel) => {
+                            kernel_rows += sel.len() as u64;
+                            kernel.filter(view, sel, &mut errors);
+                        }
+                        None => {
+                            fallback_rows += sel.len() as u64;
+                            let expr = &conjunct.expr;
+                            sel.retain(|&i| expr.matches(&[&events[i as usize]], &mut errors));
+                        }
+                    }
+                }
+                self.eval_errors = errors;
+                self.kernel_rows = kernel_rows;
+                self.fallback_rows = fallback_rows;
+            }
+        }
+        self.accepted += sel.len() as u64;
     }
 
     /// Combined selectivity estimate from the predicate structure.
@@ -90,6 +167,16 @@ pub struct ProjectOp {
     pub args: Vec<CompiledExpr>,
     /// Evaluation errors (events dropped).
     pub eval_errors: u64,
+    /// Rows projected entirely by vectorized kernels.
+    #[serde(default)]
+    pub kernel_rows: u64,
+    /// Rows where at least one argument needed the interpreter.
+    #[serde(default)]
+    pub fallback_rows: u64,
+    /// Per-batch-signature compiled argument kernels (rebuilt on
+    /// demand, never persisted).
+    #[serde(skip)]
+    kernels: Option<ProjectKernels>,
 }
 
 impl ProjectOp {
@@ -100,6 +187,9 @@ impl ProjectOp {
             output_type,
             args,
             eval_errors: 0,
+            kernel_rows: 0,
+            fallback_rows: 0,
+            kernels: None,
         }
     }
 
@@ -122,6 +212,86 @@ impl ProjectOp {
             event.partition,
             Arc::from(attrs),
         ))
+    }
+
+    /// Vectorized projection of the selected rows: emits
+    /// `(row, derived event)` pairs in selection order, dropping (and
+    /// counting) rows whose first failing argument errors — exactly the
+    /// interpreter's [`project`](ProjectOp::project) semantics, argument
+    /// order included.
+    pub fn project_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        event_type: Option<TypeId>,
+        sel: &[u32],
+        out: &mut Vec<(u32, Event)>,
+    ) {
+        let events = cols.events();
+        let vector_type = event_type.filter(|_| cols.enabled);
+        let Some(ty) = vector_type else {
+            for &i in sel {
+                if let Some(derived) = self.project(&events[i as usize]) {
+                    out.push((i, derived));
+                }
+            }
+            return;
+        };
+        let view = cols.view(ty);
+        if !self.kernels.as_ref().is_some_and(|k| k.valid_for(view)) {
+            self.kernels = Some(ProjectKernels::compile(&self.args, ty, &view.kinds()));
+        }
+        let cache = self.kernels.as_ref().expect("compiled above");
+        let fully_kerneled = cache.args.iter().all(|a| !a.is_fallback());
+        let mut errors = self.eval_errors;
+        'rows: for &i in sel {
+            let row = i as usize;
+            let event = &events[row];
+            let mut attrs: Vec<Value> = Vec::with_capacity(cache.args.len());
+            for (kernel, arg) in cache.args.iter().zip(&self.args) {
+                let value = match kernel {
+                    ValKernel::Copy(attr) => event.attrs[*attr as usize].clone(),
+                    ValKernel::Const(v) => v.clone(),
+                    ValKernel::Int(e) => match e.eval(view, row) {
+                        Some(v) => Value::Int(v),
+                        None => {
+                            errors += 1;
+                            continue 'rows;
+                        }
+                    },
+                    ValKernel::Float(e) => Value::Float(e.eval(view, row)),
+                    ValKernel::Bool(k) => match k.eval_row(view, row) {
+                        Some(v) => Value::Bool(v),
+                        None => {
+                            errors += 1;
+                            continue 'rows;
+                        }
+                    },
+                    ValKernel::Fallback => match arg.eval(&[event]) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            errors += 1;
+                            continue 'rows;
+                        }
+                    },
+                };
+                attrs.push(value);
+            }
+            out.push((
+                i,
+                Event::complex(
+                    self.output_type,
+                    event.occurrence,
+                    event.partition,
+                    Arc::from(attrs),
+                ),
+            ));
+        }
+        self.eval_errors = errors;
+        if fully_kerneled {
+            self.kernel_rows += sel.len() as u64;
+        } else {
+            self.fallback_rows += sel.len() as u64;
+        }
     }
 }
 
@@ -304,92 +474,67 @@ pub fn advance_chain_time(
     }
 }
 
-/// Executes a same-`(partition, time)` run of events through a chain.
+/// Executes a same-`(partition, time)` run of events — given as a
+/// selection vector of row indices into `cols`' event slice — through a
+/// chain.
 ///
-/// Semantically identical to calling [`run_chain`] once per event in
-/// slice order — the differential batch-equivalence suite holds it to
-/// byte identity on exactly that claim — but with the per-event costs
-/// amortized over the run:
+/// Semantically identical to calling [`run_chain`] once per selected
+/// event in selection order — the differential batch-equivalence suite
+/// holds it to byte identity on exactly that claim — but with the
+/// per-event costs amortized over the run:
 ///
 /// * a context window at the chain bottom probes the context table once
 ///   for the whole run (admission depends only on partition and time,
 ///   both constant within a stream transaction), short-circuiting every
 ///   event at once while its context is suspended;
-/// * a chain made solely of filter / projection / window stages loops
-///   over the event *slice* stage by stage (each such stage maps one
-///   event to at most one, preserving order, so stage-major execution
-///   produces the same outputs and operator counters as event-major);
+/// * a stage-major chain (filters / projections / windows /
+///   pass-through patterns) narrows the *selection vector* stage by
+///   stage, with predicates evaluated by vectorized kernels over the
+///   batch's columnar view where covered (see
+///   [`run_chain_batch_selected`]);
 /// * traversal buffers are allocated once per run, not once per event.
 pub fn run_chain_batch(
     ops: &mut [Op],
-    events: &[Event],
+    cols: &mut ColumnarBatch<'_>,
+    sel: &mut Vec<u32>,
     table: &ContextTable,
     out: &mut ChainOutput,
 ) {
-    let Some(first) = events.first() else { return };
+    let events = cols.events();
+    let Some(&first) = sel.first() else { return };
+    let first = &events[first as usize];
     debug_assert!(
-        events
-            .iter()
-            .all(|e| e.time() == first.time() && e.partition == first.partition),
+        sel.iter().all(|&i| {
+            let e = &events[i as usize];
+            e.time() == first.time() && e.partition == first.partition
+        }),
         "run_chain_batch requires a same-(partition, time) run"
     );
+    if chain_is_stage_major(ops) {
+        let mut items: Vec<(u32, Event)> = Vec::new();
+        run_chain_batch_selected(ops, cols, sel, table, &mut items);
+        out.events.extend(items.into_iter().map(|(_, e)| e));
+        return;
+    }
     let mut start = 0;
     if let Some(Op::ContextWindow(cw)) = ops.first_mut() {
-        if !cw.admits_run(first, events.len() as u64, table) {
+        if !cw.admits_run(first, sel.len() as u64, table) {
             return;
         }
         start = 1;
-    }
-    let stage_eligible = ops[start..].iter().all(stage_major_op);
-    if stage_eligible {
-        let mut current: Vec<Event> = events.to_vec();
-        for op in &mut ops[start..] {
-            match op {
-                Op::Pattern(p) => {
-                    let ty = p
-                        .passthrough_type()
-                        .expect("stage eligibility checked above");
-                    p.stats.events_processed += current.len() as u64;
-                    current.retain(|e| e.type_id == ty);
-                    p.stats.matches += current.len() as u64;
-                }
-                Op::Filter(f) => current.retain(|e| f.accepts(e)),
-                Op::Project(p) => current.retain_mut(|e| match p.project(e) {
-                    Some(derived) => {
-                        *e = derived;
-                        true
-                    }
-                    None => false,
-                }),
-                Op::ContextWindow(cw) => {
-                    // Filters and projections preserve (partition, time),
-                    // so mid-chain windows also decide whole runs.
-                    let n = current.len() as u64;
-                    if !cw.admits_run(&current[0], n, table) {
-                        return;
-                    }
-                }
-                _ => unreachable!("stage eligibility checked above"),
-            }
-            if current.is_empty() {
-                return;
-            }
-        }
-        out.events.append(&mut current);
-        return;
     }
     let mut work: Vec<(usize, Event)> = Vec::new();
     let mut scratch: Vec<Event> = Vec::new();
     for op in &mut ops[start..] {
         if let Op::Pattern(p) = op {
-            p.set_batch_hint(events.len());
+            p.set_batch_hint(sel.len());
         }
     }
-    for event in events {
+    for &i in sel.iter() {
         run_chain_from(
             ops,
             start,
-            event.clone(),
+            events[i as usize].clone(),
             table,
             out,
             &mut work,
@@ -411,40 +556,75 @@ fn stage_major_op(op: &Op) -> bool {
 }
 
 /// True when the whole chain past an optional bottom context window is
-/// stage-major — the precondition of [`run_chain_batch_indexed`].
+/// stage-major — the precondition of [`run_chain_batch_selected`].
 #[must_use]
 pub fn chain_is_stage_major(ops: &[Op]) -> bool {
     let start = usize::from(matches!(ops.first(), Some(Op::ContextWindow(_))));
     ops[start..].iter().all(stage_major_op)
 }
 
-/// Stage-major chain execution over `(input position, event)` pairs.
+/// The uniform event type of the selected rows, if they all share one —
+/// the precondition for vectorized kernels (a columnar view covers one
+/// type).
+fn uniform_type(events: &[Event], sel: &[u32]) -> Option<TypeId> {
+    let first = events[*sel.first()? as usize].type_id;
+    sel.iter()
+        .all(|&i| events[i as usize].type_id == first)
+        .then_some(first)
+}
+
+/// Stage-major chain execution over a selection vector.
 ///
-/// The caller must have checked [`chain_is_stage_major`]; `items` must
-/// share one `(partition, time)`. On return `items` holds the surviving
-/// derived events, still tagged with the position of the input event
-/// they came from — each stage maps one event to at most one, so the
-/// tag survives the whole chain. Outputs and operator counters are
-/// identical to running [`run_chain`] once per item in slice order.
-pub fn run_chain_batch_indexed(
+/// The caller must have checked [`chain_is_stage_major`]; the selected
+/// rows must share one `(partition, time)`. Each stage narrows the
+/// selection in place — filters through vectorized kernels over the
+/// batch's columnar view where covered, the interpreter elsewhere — and
+/// events are only materialized (cloned or derived) once a projection
+/// runs or the chain ends. Surviving events are appended to `out`
+/// tagged with their source row index, which doubles as the input
+/// position for cross-plan merge ordering. Outputs and the
+/// deterministic operator counters are identical to running
+/// [`run_chain`] once per selected event in order (`eval_errors` alone
+/// may differ under conjunct reordering, see
+/// [`FilterKernels`]).
+pub fn run_chain_batch_selected(
     ops: &mut [Op],
-    items: &mut Vec<(u32, Event)>,
+    cols: &mut ColumnarBatch<'_>,
+    sel: &mut Vec<u32>,
     table: &ContextTable,
+    out: &mut Vec<(u32, Event)>,
 ) {
-    if items.is_empty() {
+    if sel.is_empty() {
         return;
     }
+    let events = cols.events();
     let mut start = 0;
     if let Some(Op::ContextWindow(cw)) = ops.first_mut() {
-        if !cw.admits_run(&items[0].1, items.len() as u64, table) {
-            items.clear();
+        if !cw.admits_run(&events[sel[0] as usize], sel.len() as u64, table) {
+            sel.clear();
             return;
         }
         start = 1;
     }
+    // The uniform row type drives kernel eligibility; a pass-through
+    // pattern narrows it to its own type.
+    let mut row_type = uniform_type(events, sel);
+    // Owned `(row, event)` pairs once a projection has materialized
+    // derived events; before that the selection vector alone carries
+    // the state.
+    let mut items: Option<Vec<(u32, Event)>> = None;
     for op in &mut ops[start..] {
-        match op {
-            Op::Pattern(p) => {
+        match (op, &mut items) {
+            (Op::Pattern(p), None) => {
+                let ty = p
+                    .passthrough_type()
+                    .expect("chain_is_stage_major checked by caller");
+                p.stats.events_processed += sel.len() as u64;
+                sel.retain(|&i| events[i as usize].type_id == ty);
+                p.stats.matches += sel.len() as u64;
+                row_type = Some(ty);
+            }
+            (Op::Pattern(p), Some(items)) => {
                 let ty = p
                     .passthrough_type()
                     .expect("chain_is_stage_major checked by caller");
@@ -452,28 +632,48 @@ pub fn run_chain_batch_indexed(
                 items.retain(|(_, e)| e.type_id == ty);
                 p.stats.matches += items.len() as u64;
             }
-            Op::Filter(f) => items.retain(|(_, e)| f.accepts(e)),
-            Op::Project(p) => items.retain_mut(|(_, e)| match p.project(e) {
-                Some(derived) => {
-                    *e = derived;
-                    true
+            (Op::Filter(f), None) => f.accepts_batch(cols, row_type, sel),
+            (Op::Filter(f), Some(items)) => items.retain(|(_, e)| f.accepts(e)),
+            (Op::Project(p), None) => {
+                let mut produced = Vec::with_capacity(sel.len());
+                p.project_batch(cols, row_type, sel, &mut produced);
+                items = Some(produced);
+            }
+            (Op::Project(p), Some(items)) => {
+                items.retain_mut(|(_, e)| match p.project(e) {
+                    Some(derived) => {
+                        *e = derived;
+                        true
+                    }
+                    None => false,
+                });
+            }
+            (Op::ContextWindow(cw), None) => {
+                // Filters preserve (partition, time), so mid-chain
+                // windows also decide whole runs.
+                if !cw.admits_run(&events[sel[0] as usize], sel.len() as u64, table) {
+                    sel.clear();
+                    return;
                 }
-                None => false,
-            }),
-            Op::ContextWindow(cw) => {
-                let n = items.len() as u64;
-                if !cw.admits_run(&items[0].1, n, table) {
+            }
+            (Op::ContextWindow(cw), Some(items)) => {
+                if !cw.admits_run(&items[0].1, items.len() as u64, table) {
                     items.clear();
                     return;
                 }
             }
-            Op::ContextInit(_) | Op::ContextTerm(_) => {
+            (Op::ContextInit(_) | Op::ContextTerm(_), _) => {
                 unreachable!("chain_is_stage_major checked by caller")
             }
         }
-        if items.is_empty() {
+        let exhausted = items.as_ref().map_or(sel.is_empty(), Vec::is_empty);
+        if exhausted {
             return;
         }
+    }
+    match items {
+        None => out.extend(sel.iter().map(|&i| (i, events[i as usize].clone()))),
+        Some(mut produced) => out.append(&mut produced),
     }
 }
 
@@ -736,26 +936,43 @@ mod tests {
     }
 
     /// Two structurally identical chains; one processes per event, the
-    /// other as one batch. Outputs and operator counters must agree.
+    /// other as one batch — with vectorized kernels both enabled and
+    /// disabled. Outputs and operator counters must agree.
     fn assert_batch_equivalent(mut ops: Vec<Op>, events: &[Event], table: &ContextTable) {
-        let mut batched_ops = ops.clone();
+        let pristine = ops.clone();
         let mut per_event = ChainOutput::default();
         for e in events {
             run_chain(&mut ops, e, table, &mut per_event);
         }
-        let mut batched = ChainOutput::default();
-        run_chain_batch(&mut batched_ops, events, table, &mut batched);
-        assert_eq!(per_event.events, batched.events);
-        assert_eq!(per_event.transitions, batched.transitions);
-        for (a, b) in ops.iter().zip(batched_ops.iter()) {
-            match (a, b) {
-                (Op::Filter(x), Op::Filter(y)) => {
-                    assert_eq!((x.evaluated, x.accepted), (y.evaluated, y.accepted));
+        for vectorize in [false, true] {
+            let mut batched_ops = pristine.clone();
+            let mut batched = ChainOutput::default();
+            let mut cols = ColumnarBatch::new(events, vectorize);
+            let mut sel: Vec<u32> = (0..events.len() as u32).collect();
+            run_chain_batch(&mut batched_ops, &mut cols, &mut sel, table, &mut batched);
+            assert_eq!(per_event.events, batched.events, "vectorize={vectorize}");
+            assert_eq!(
+                per_event.transitions, batched.transitions,
+                "vectorize={vectorize}"
+            );
+            for (a, b) in ops.iter().zip(batched_ops.iter()) {
+                match (a, b) {
+                    (Op::Filter(x), Op::Filter(y)) => {
+                        assert_eq!(
+                            (x.evaluated, x.accepted),
+                            (y.evaluated, y.accepted),
+                            "vectorize={vectorize}"
+                        );
+                    }
+                    (Op::ContextWindow(x), Op::ContextWindow(y)) => {
+                        assert_eq!(
+                            (x.admitted, x.dropped),
+                            (y.admitted, y.dropped),
+                            "vectorize={vectorize}"
+                        );
+                    }
+                    _ => {}
                 }
-                (Op::ContextWindow(x), Op::ContextWindow(y)) => {
-                    assert_eq!((x.admitted, x.dropped), (y.admitted, y.dropped));
-                }
-                _ => {}
             }
         }
     }
@@ -812,7 +1029,9 @@ mod tests {
         ];
         let events: Vec<Event> = (0..4).map(|i| pev(&reg, 9, i, 50)).collect();
         let mut out = ChainOutput::default();
-        run_chain_batch(&mut ops, &events, &table, &mut out);
+        let mut cols = ColumnarBatch::new(&events, true);
+        let mut sel: Vec<u32> = (0..events.len() as u32).collect();
+        run_chain_batch(&mut ops, &mut cols, &mut sel, &table, &mut out);
         assert!(out.is_empty());
         let Op::ContextWindow(cw) = &ops[0] else {
             unreachable!()

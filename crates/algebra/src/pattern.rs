@@ -542,6 +542,13 @@ impl PatternOp {
             let (cand_side, _) =
                 split_equality(&self.negations[check].predicates[key_pred], cand_slot)
                     .expect("pick_index_pred returned a splittable equality");
+            // The key side is almost always a bare attribute reference:
+            // read the column directly, skipping the per-candidate
+            // binding vector and value clone of the general evaluator.
+            let cand_attr = match cand_side {
+                CompiledExpr::Attr { slot, attr } if *slot == cand_slot => Some(*attr as usize),
+                _ => None,
+            };
             let buf = &self.neg_buffers[check];
             let mut buckets: HashMap<IndexKey, Vec<u32>> = HashMap::new();
             let mut overflow: Vec<u32> = Vec::new();
@@ -551,8 +558,14 @@ impl PatternOp {
                     // and a different `hi` rebuilds the index.
                     continue;
                 }
-                let binding: Vec<&Event> = vec![cand; cand_slot as usize + 1];
-                match cand_side.eval(&binding).ok().as_ref().and_then(index_key) {
+                let key = match cand_attr {
+                    Some(a) => cand.attrs.get(a).and_then(index_key),
+                    None => {
+                        let binding: Vec<&Event> = vec![cand; cand_slot as usize + 1];
+                        cand_side.eval(&binding).ok().as_ref().and_then(index_key)
+                    }
+                };
+                match key {
                     Some(k) => buckets.entry(k).or_default().push(i as u32),
                     None => overflow.push(i as u32),
                 }
@@ -569,9 +582,19 @@ impl PatternOp {
         let (_, probe_side) =
             split_equality(&self.negations[check].predicates[key_pred], cand_slot)
                 .expect("pick_index_pred returned a splittable equality");
-        let probe_binding: Vec<&Event> = positives.iter().collect();
-        let probe = probe_side.eval(&probe_binding).ok()?;
-        let probe = index_key(&probe)?;
+        // Same direct read on the probe side: a bare attribute of a
+        // positive event needs neither a binding vector nor a clone.
+        let probe = match probe_side {
+            CompiledExpr::Attr { slot, attr } => index_key(
+                positives
+                    .get(*slot as usize)
+                    .and_then(|e| e.attrs.get(*attr as usize))?,
+            )?,
+            _ => {
+                let probe_binding: Vec<&Event> = positives.iter().collect();
+                index_key(&probe_side.eval(&probe_binding).ok()?)?
+            }
+        };
         let ix = self.neg_index.as_ref().expect("built above");
         let neg = &self.negations[check];
         let buf = &self.neg_buffers[check];

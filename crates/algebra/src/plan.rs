@@ -10,10 +10,10 @@
 
 use crate::context_table::ContextTable;
 use crate::ops::{
-    advance_chain_time, chain_is_stage_major, run_chain, run_chain_batch, run_chain_batch_indexed,
+    advance_chain_time, chain_is_stage_major, run_chain, run_chain_batch, run_chain_batch_selected,
     run_chain_from, ChainOutput, Op,
 };
-use caesar_events::{Event, Time, TypeId};
+use caesar_events::{ColumnarBatch, Event, Time, TypeId};
 use caesar_query::ast::QueryId;
 use caesar_query::queryset::CompiledQuery;
 use serde::{Deserialize, Serialize};
@@ -49,24 +49,30 @@ impl QueryPlan {
         run_chain(&mut self.ops, event, table, out);
     }
 
-    /// Feeds a same-`(partition, time)` run of events through the chain,
+    /// Feeds a same-`(partition, time)` run of events — presented as a
+    /// [`ColumnarBatch`] over the transaction — through the chain,
     /// skipping events the plan does not consume. Equivalent to calling
     /// [`process`] once per consumed event, but the bottom context-window
-    /// probe (if any) and the traversal buffers amortize over the run.
+    /// probe (if any) and the traversal buffers amortize over the run,
+    /// and stage-major chains evaluate predicates through vectorized
+    /// kernels over the batch's columnar views (selection vectors mean
+    /// unconsumed events are skipped without copying).
     ///
     /// [`process`]: QueryPlan::process
-    pub fn process_batch(&mut self, events: &[Event], table: &ContextTable, out: &mut PlanOutput) {
-        if events.iter().all(|e| self.consumes(e.type_id)) {
-            run_chain_batch(&mut self.ops, events, table, out);
-        } else {
-            // Mixed-type transaction: batch only the consumed events.
-            let consumed: Vec<Event> = events
-                .iter()
-                .filter(|e| self.consumes(e.type_id))
-                .cloned()
-                .collect();
-            run_chain_batch(&mut self.ops, &consumed, table, out);
-        }
+    pub fn process_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        table: &ContextTable,
+        out: &mut PlanOutput,
+    ) {
+        let mut sel: Vec<u32> = cols
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| self.consumes(e.type_id))
+            .map(|(i, _)| i as u32)
+            .collect();
+        run_chain_batch(&mut self.ops, cols, &mut sel, table, out);
     }
 
     /// Advances the watermark on stateful operators.
@@ -220,17 +226,26 @@ impl CombinedPlan {
         }
     }
 
-    /// Feeds a same-`(partition, time)` run of external events through
+    /// Feeds a same-`(partition, time)` run of external events —
+    /// presented as a [`ColumnarBatch`] over the transaction — through
     /// the combined plan. Equivalent to calling [`process`] once per
     /// consumed event in slice order — member plans see the exact same
     /// event sequence — but the worklist and scratch buffers are
-    /// allocated once per run instead of once per (event × plan) step.
+    /// allocated once per run instead of once per (event × plan) step,
+    /// and stage-major member plans run vectorized over selection
+    /// vectors.
     ///
     /// [`process`]: CombinedPlan::process
-    pub fn process_batch(&mut self, events: &[Event], table: &ContextTable, out: &mut PlanOutput) {
-        if self.process_batch_stage_major(events, table, out) {
+    pub fn process_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        table: &ContextTable,
+        out: &mut PlanOutput,
+    ) {
+        if self.process_batch_stage_major(cols, table, out) {
             return;
         }
+        let events = cols.events();
         let mut work: Vec<(usize, Event)> = Vec::new();
         let mut scratch = PlanOutput::default();
         let mut chain_work: Vec<(usize, Event)> = Vec::new();
@@ -278,8 +293,8 @@ impl CombinedPlan {
     /// patterns) and none of their outputs feeds another member plan,
     /// each consumer runs stage-major over the whole event slice.
     ///
-    /// A stage-major chain maps one input to at most one output, so
-    /// tagging each event with its input position keys every output by
+    /// A stage-major chain maps one input to at most one output, so the
+    /// selection vector's row indices key every output by
     /// `(input position, member plan position)` — sorting the per-plan
     /// output runs by that pair restores the exact event-major order of
     /// the per-event path. Such chains emit no transitions and share no
@@ -289,10 +304,11 @@ impl CombinedPlan {
     /// transaction does not qualify and must take the per-event path.
     fn process_batch_stage_major(
         &mut self,
-        events: &[Event],
+        cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
         out: &mut PlanOutput,
     ) -> bool {
+        let events = cols.events();
         // Distinct consumed types of the transaction (almost always 1).
         let mut types: Vec<TypeId> = Vec::new();
         for e in events {
@@ -315,21 +331,23 @@ impl CombinedPlan {
             }
             consuming.push(idx);
         }
+        let mut sel: Vec<u32> = Vec::new();
         let mut items: Vec<(u32, Event)> = Vec::new();
         let mut merged: Vec<(u32, u32, Event)> = Vec::new();
         for (pos, &idx) in consuming.iter().enumerate() {
             let plan = &mut self.plans[idx];
-            items.clear();
             // `types` membership also re-applies the external-input
             // filter of the per-event path.
-            items.extend(
+            sel.clear();
+            sel.extend(
                 events
                     .iter()
                     .enumerate()
                     .filter(|(_, e)| types.contains(&e.type_id) && plan.consumes(e.type_id))
-                    .map(|(i, e)| (i as u32, e.clone())),
+                    .map(|(i, _)| i as u32),
             );
-            run_chain_batch_indexed(&mut plan.ops, &mut items, table);
+            items.clear();
+            run_chain_batch_selected(&mut plan.ops, cols, &mut sel, table, &mut items);
             merged.extend(items.drain(..).map(|(i, e)| (i, pos as u32, e)));
         }
         merged.sort_unstable_by_key(|t| (t.0, t.1));
@@ -511,7 +529,7 @@ mod tests {
         let p1 = relay_plan(&reg, 0, "In", "Mid");
         let p2 = relay_plan(&reg, 1, "Mid", "Final");
         let mut per_event = CombinedPlan::new("c".into(), 0, vec![p1, p2]);
-        let mut batched = per_event.clone();
+        let pristine = per_event.clone();
         let table = ContextTable::new(1, 0);
         let events: Vec<Event> = (0..6).map(|i| in_event(&reg, 5, i)).collect();
 
@@ -521,10 +539,17 @@ mod tests {
                 per_event.process(e, &table, &mut out_a);
             }
         }
-        let mut out_b = PlanOutput::default();
-        batched.process_batch(&events, &table, &mut out_b);
-        assert_eq!(out_a.events, out_b.events);
-        assert_eq!(out_a.transitions, out_b.transitions);
+        for vectorize in [false, true] {
+            let mut batched = pristine.clone();
+            let mut out_b = PlanOutput::default();
+            let mut cols = ColumnarBatch::new(&events, vectorize);
+            batched.process_batch(&mut cols, &table, &mut out_b);
+            assert_eq!(out_a.events, out_b.events, "vectorize={vectorize}");
+            assert_eq!(
+                out_a.transitions, out_b.transitions,
+                "vectorize={vectorize}"
+            );
+        }
     }
 
     #[test]
@@ -541,7 +566,8 @@ mod tests {
         // Mixed batch: only the two In events are consumed.
         let events = vec![in_event(&reg, 5, 1), mid, in_event(&reg, 5, 2)];
         let mut out = PlanOutput::default();
-        plan.process_batch(&events, &table, &mut out);
+        let mut cols = ColumnarBatch::new(&events, true);
+        plan.process_batch(&mut cols, &table, &mut out);
         assert_eq!(out.events.len(), 2);
         assert_eq!(out.events[0].attrs[0], Value::Int(1));
         assert_eq!(out.events[1].attrs[0], Value::Int(2));

@@ -1,0 +1,115 @@
+//! Vectorization microbenchmarks: the same filter-heavy Linear Road
+//! stream is pushed through the batched engine with the columnar
+//! kernels on and off, plus the per-event baseline. Complements the
+//! `vectorized` binary, which runs the full-size throughput comparison
+//! and records `BENCH_vectorized.json`.
+
+use caesar_core::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const FILTER_MODEL: &str = r#"
+MODEL vectorized DEFAULT road
+CONTEXT road {
+    DERIVE CrawlingCar(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed < 12 AND p.lane != "exit" AND p.seg = 1
+    DERIVE Speeder(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed * 3 > 240 AND p.dir = 0 AND p.pos > 320
+    DERIVE LaneChangePressure(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed >= 12 AND p.speed <= 20 AND p.seg * 100 + p.pos > 350
+    DERIVE ExitRamp(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.lane = "exit" AND p.speed < 30
+}
+"#;
+
+fn filter_system(batch: BatchPolicy, vectorize: bool) -> CaesarSystem {
+    Caesar::builder()
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .within(60)
+        .model_text(FILTER_MODEL)
+        .engine_config(EngineConfig {
+            batch,
+            vectorize,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("filter model builds")
+}
+
+/// 256 position reports per tick in one partition: every transaction
+/// is a 256-row batch.
+fn dense_events(ticks: u64) -> Vec<Event> {
+    let probe = filter_system(BatchPolicy::default(), true);
+    let mut events = Vec::new();
+    for sec in 1..=ticks {
+        for k in 0i64..256 {
+            let lane = if k % 16 == 0 { "exit" } else { "travel" };
+            events.push(
+                probe
+                    .event("PositionReport", sec)
+                    .unwrap()
+                    .attr("vid", k)
+                    .unwrap()
+                    .attr("sec", sec as i64)
+                    .unwrap()
+                    .attr("speed", (k * 7 + sec as i64) % 100)
+                    .unwrap()
+                    .attr("xway", 0i64)
+                    .unwrap()
+                    .attr("lane", lane)
+                    .unwrap()
+                    .attr("dir", k & 1)
+                    .unwrap()
+                    .attr("seg", (k / 3) % 2)
+                    .unwrap()
+                    .attr("pos", (k * 11 + sec as i64) % 400)
+                    .unwrap()
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+    events
+}
+
+fn bench_filter_heavy(c: &mut Criterion) {
+    let events = dense_events(40);
+    let mut group = c.benchmark_group("vectorized/filter-heavy");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(20);
+    let configs = [
+        ("per_event", BatchPolicy::per_event(), true),
+        ("batched_interpreter", BatchPolicy::default(), false),
+        ("batched_vectorized", BatchPolicy::default(), true),
+    ];
+    for (name, policy, vectorize) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut system = filter_system(policy, vectorize);
+                let report = system
+                    .run_stream(&mut VecStream::new(events.clone()))
+                    .expect("in order");
+                black_box(report.events_in)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_heavy);
+criterion_main!(benches);

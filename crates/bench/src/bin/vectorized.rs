@@ -1,0 +1,242 @@
+//! Vectorized predicate kernels vs the batched row interpreter.
+//!
+//! The tentpole vectorization experiment: identical engines, identical
+//! batched hot path, differing only in `EngineConfig::vectorize` —
+//! off runs the PR-2 row-at-a-time interpreter over each batch, on
+//! runs the columnar kernels with selection vectors. Throughput is
+//! events per second of wall time, best of 3 (the paper's three
+//! repetitions). Workloads:
+//!
+//! * `filter-heavy/synthetic-dense`: Linear Road position reports in
+//!   512-event same-timestamp runs against six filter-dominated
+//!   single-event queries — the regime column-at-a-time execution
+//!   targets.
+//! * `filter-heavy/sim-dense`: the same queries over the traffic
+//!   simulator's dense two-segment stream (~10–30-event runs).
+//! * `linear-road/dense`: the full LR query set (patterns, negation,
+//!   context switches), where filters are only part of the work.
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin vectorized
+//! ```
+//!
+//! Besides the printed table, results are written to
+//! `BENCH_vectorized.json` in the current directory; EXPERIMENTS.md
+//! records a committed run.
+
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
+use std::time::Instant;
+
+struct Row {
+    label: String,
+    events: u64,
+    interpreter_evs: f64,
+    vectorized_evs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.vectorized_evs / self.interpreter_evs
+    }
+}
+
+/// Six filter-dominated queries over position reports: arithmetic,
+/// string equality and range conjuncts of mixed selectivity, all in
+/// one always-active context so the chains stay stage-major.
+const FILTER_MODEL: &str = r#"
+MODEL vectorized DEFAULT road
+CONTEXT road {
+    DERIVE CrawlingCar(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed < 12 AND p.lane != "exit" AND p.seg = 1
+    DERIVE Speeder(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed * 3 > 240 AND p.dir = 0 AND p.pos > 320
+    DERIVE LaneChangePressure(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed >= 12 AND p.speed <= 20 AND p.seg * 100 + p.pos > 350
+    DERIVE ExitRamp(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.lane = "exit" AND p.speed < 30
+    DERIVE SegmentDrift(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.pos - p.seg * 100 > 280 AND p.speed + p.dir * 10 < 25
+    DERIVE ConvoyCandidate(p.vid, p.sec)
+        PATTERN PositionReport p
+        WHERE p.speed > 40 AND p.speed < 45 AND p.pos * 2 + p.speed > 700 AND p.dir = 1
+}
+"#;
+
+fn filter_system(vectorize: bool) -> CaesarSystem {
+    Caesar::builder()
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("speed", AttrType::Int),
+                ("xway", AttrType::Int),
+                ("lane", AttrType::Str),
+                ("dir", AttrType::Int),
+                ("seg", AttrType::Int),
+                ("pos", AttrType::Int),
+            ],
+        )
+        .within(60)
+        .model_text(FILTER_MODEL)
+        .engine_config(EngineConfig {
+            vectorize,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("filter model builds")
+}
+
+/// Deterministic dense stream: 512 position reports per tick, one
+/// partition, so every stream transaction is a 512-row batch.
+fn synthetic_dense_events() -> Vec<Event> {
+    let probe = filter_system(true);
+    let mut events = Vec::new();
+    for sec in 1u64..=120 {
+        for k in 0i64..512 {
+            let lane = if k % 16 == 0 { "exit" } else { "travel" };
+            events.push(
+                probe
+                    .event("PositionReport", sec)
+                    .unwrap()
+                    .attr("vid", k)
+                    .unwrap()
+                    .attr("sec", sec as i64)
+                    .unwrap()
+                    .attr("speed", (k * 7 + sec as i64) % 100)
+                    .unwrap()
+                    .attr("xway", 0i64)
+                    .unwrap()
+                    .attr("lane", lane)
+                    .unwrap()
+                    .attr("dir", k & 1)
+                    .unwrap()
+                    .attr("seg", (k / 3) % 2)
+                    .unwrap()
+                    .attr("pos", (k * 11 + sec as i64) % 400)
+                    .unwrap()
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+    events
+}
+
+fn sim_dense_events() -> Vec<Event> {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 2,
+        duration: 900,
+        seed: 11,
+        base_cars: 300.0,
+        peak_cars: 500.0,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+/// Best-of-3 wall-clock throughput (events/second).
+fn throughput(build: impl Fn() -> CaesarSystem, events: &[Event]) -> f64 {
+    (0..3)
+        .map(|_| {
+            let mut system = build();
+            let start = Instant::now();
+            let report = system
+                .run_stream(&mut VecStream::new(events.to_vec()))
+                .expect("in order");
+            report.events_in as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn lr_system(vectorize: bool) -> CaesarSystem {
+    build_lr_system(
+        1,
+        OptimizerConfig::default(),
+        EngineConfig {
+            vectorize,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    let synthetic = synthetic_dense_events();
+    rows.push(Row {
+        label: "filter-heavy/synthetic-dense".into(),
+        events: synthetic.len() as u64,
+        interpreter_evs: throughput(|| filter_system(false), &synthetic),
+        vectorized_evs: throughput(|| filter_system(true), &synthetic),
+    });
+
+    let sim_dense = sim_dense_events();
+    rows.push(Row {
+        label: "filter-heavy/sim-dense".into(),
+        events: sim_dense.len() as u64,
+        interpreter_evs: throughput(|| filter_system(false), &sim_dense),
+        vectorized_evs: throughput(|| filter_system(true), &sim_dense),
+    });
+
+    rows.push(Row {
+        label: "linear-road/dense".into(),
+        events: sim_dense.len() as u64,
+        interpreter_evs: throughput(|| lr_system(false), &sim_dense),
+        vectorized_evs: throughput(|| lr_system(true), &sim_dense),
+    });
+
+    print_table(
+        "Vectorized kernels vs batched row interpreter (events/s, best of 3)",
+        &[
+            "configuration",
+            "events",
+            "interpreter ev/s",
+            "vectorized ev/s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.events.to_string(),
+                    format!("{:.0}", r.interpreter_evs),
+                    format!("{:.0}", r.vectorized_evs),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"config\": \"{}\", \"events\": {}, \"interpreter_events_per_sec\": {:.1}, \
+                 \"vectorized_events_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                r.label,
+                r.events,
+                r.interpreter_evs,
+                r.vectorized_evs,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"benchmark\": \"vectorized kernels vs batched row interpreter, Linear Road\",\n\
+         \"unit\": \"events per second of wall time, best of 3 runs\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_vectorized.json", &json).expect("write BENCH_vectorized.json");
+    println!("\nwrote BENCH_vectorized.json");
+}

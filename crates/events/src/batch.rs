@@ -39,6 +39,17 @@ pub struct BatchPolicy {
     /// single-partition — useful when batches are routed whole to
     /// partition-sharded workers.
     pub split_partitions: bool,
+    /// Transactions with fewer events than this take the per-event
+    /// operator paths instead of the batch fast paths, whose setup cost
+    /// (selection vectors, per-batch indexes) is pure overhead on
+    /// sparse streams. Dispatch granularity only — outputs are
+    /// identical either way.
+    #[serde(default = "default_min_events")]
+    pub min_events: usize,
+}
+
+fn default_min_events() -> usize {
+    8
 }
 
 impl Default for BatchPolicy {
@@ -47,6 +58,7 @@ impl Default for BatchPolicy {
             enabled: true,
             max_events: 0,
             split_partitions: false,
+            min_events: default_min_events(),
         }
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod batch;
 pub mod codec;
+pub mod columnar;
 pub mod error;
 pub mod event;
 pub mod generator;
@@ -37,6 +38,7 @@ pub mod value;
 
 pub use batch::{BatchPolicy, BatchedStream, Batcher};
 pub use codec::{decode, decode_all, encode, encode_all, CodecError};
+pub use columnar::{Column, ColumnKind, ColumnarBatch, ColumnarView, StrColumn};
 pub use error::EventError;
 pub use event::{Event, EventBuilder, PartitionId};
 pub use queue::{EventQueue, PartitionedQueues};

@@ -12,7 +12,7 @@ use crate::txn::StreamTransaction;
 use caesar_algebra::context_table::{ContextTable, TransitionKind};
 use caesar_algebra::plan::PlanOutput;
 use caesar_events::{
-    BatchPolicy, BatchedStream, Event, EventBatch, EventError, EventStream, ReorderBuffer,
+    BatchPolicy, ColumnarBatch, Event, EventBatch, EventError, EventStream, ReorderBuffer,
     SchemaRegistry, Time, TypeId,
 };
 use caesar_optimizer::optimizer::OptimizedProgram;
@@ -66,6 +66,18 @@ pub struct EngineConfig {
     /// event. Disabled = the event-at-a-time comparison baseline.
     /// Results are identical either way (see `tests/batch_equivalence`).
     pub batch: BatchPolicy,
+    /// Evaluate batch predicates and projections through vectorized
+    /// kernels over columnar (per-attribute) views of the transaction,
+    /// driven by selection vectors. Expressions the kernel compiler
+    /// cannot cover fall back to the row interpreter per conjunct.
+    /// Disabled = the batched interpreter of the previous hot path.
+    /// Outputs are byte-identical either way.
+    #[serde(default = "default_vectorize")]
+    pub vectorize: bool,
+}
+
+fn default_vectorize() -> bool {
+    true
 }
 
 impl Default for EngineConfig {
@@ -80,19 +92,22 @@ impl Default for EngineConfig {
             ns_per_tick: 1_000_000, // 1 tick = 1 simulated millisecond
             gc_every: 60,
             batch: BatchPolicy::default(),
+            vectorize: default_vectorize(),
         }
     }
 }
 
 impl EngineConfig {
-    /// Equality of every result-affecting knob. The batch policy is
-    /// excluded: batching changes dispatch granularity, never results,
-    /// so snapshots taken by batched and event-at-a-time runs are
-    /// interchangeable (a WAL written by one replays into the other).
+    /// Equality of every result-affecting knob. The batch policy and the
+    /// vectorize switch are excluded: they change dispatch granularity
+    /// and evaluation strategy, never results, so snapshots taken by
+    /// batched / vectorized and event-at-a-time runs are interchangeable
+    /// (a WAL written by one replays into the other).
     #[must_use]
     pub fn semantics_eq(&self, other: &Self) -> bool {
         Self {
             batch: other.batch,
+            vectorize: other.vectorize,
             ..*self
         } == *other
     }
@@ -463,10 +478,17 @@ impl Engine {
     fn ingest_ordered(&mut self, event: Event) -> Result<(), EventError> {
         self.events_in += 1;
         *self.inputs_by_type.entry(event.type_id).or_insert(0) += 1;
+        let before = self.scheduler.progress();
         self.scheduler.ingest(event)?;
-        let ready = self.scheduler.release(self.scheduler.progress());
-        for txn in ready {
-            self.execute(txn);
+        let progress = self.scheduler.progress();
+        // Release is strictly-below-progress and the previous ingest
+        // already drained everything below `before`, so mid-run (same
+        // timestamp) the release scan would find nothing — skip it.
+        if progress > before {
+            let ready = self.scheduler.release(progress);
+            for txn in ready {
+                self.execute(txn);
+            }
         }
         Ok(())
     }
@@ -558,20 +580,19 @@ impl Engine {
         self.report()
     }
 
-    /// Convenience: runs an entire stream through the engine. With
-    /// batching enabled the distributor groups the stream into
-    /// same-timestamp batches first ([`BatchedStream`]); otherwise
-    /// events go through one at a time.
+    /// Convenience: runs an entire stream through the engine.
+    ///
+    /// Events go into the scheduler one at a time regardless of the
+    /// batch policy: the scheduler's queues re-group every
+    /// same-(partition, timestamp) run into one transaction anyway, so
+    /// materializing intermediate [`caesar_events::BatchedStream`]
+    /// chunks buys the sequential path nothing (it matters where batches cross a
+    /// boundary, e.g. the sharded distributor's channel sends). The
+    /// batch policy takes effect at transaction execution, where dense
+    /// runs dispatch onto the batch fast paths.
     pub fn run_stream(&mut self, stream: &mut dyn EventStream) -> Result<RunReport, EventError> {
-        if self.config.batch.enabled {
-            let mut batched = BatchedStream::new(stream, self.config.batch);
-            while let Some(batch) = batched.next_batch() {
-                self.ingest_batch(batch)?;
-            }
-        } else {
-            while let Some(event) = stream.next_event() {
-                self.ingest(event)?;
-            }
+        while let Some(event) = stream.next_event() {
+            self.ingest(event)?;
         }
         Ok(self.finish())
     }
@@ -594,12 +615,19 @@ impl Engine {
         let mut programs = self.partitions[idx].take().expect("just ensured");
 
         let mut out = PlanOutput::default();
-        let batched = self.config.batch.enabled;
+        // Transactions below the policy's size floor take the per-event
+        // operator paths: the batch fast path's setup (selection
+        // vectors, columnar views) is pure overhead on sparse streams.
+        let batched =
+            self.config.batch.enabled && txn.batch.len() >= self.config.batch.min_events.max(1);
+        // Columnar views over the transaction, built lazily per event
+        // type on first kernel use and shared by every plan.
+        let mut cols = ColumnarBatch::new(&txn.batch.events, self.config.vectorize);
 
         // Baseline overhead: per-query private re-derivation.
         if self.config.mode == Mode::ContextIndependent && self.config.redundant_derivation {
             if batched {
-                programs.run_redundant_derivation_batch(&txn.batch.events, &self.table);
+                programs.run_redundant_derivation_batch(&mut cols, &self.table);
             } else {
                 programs.run_redundant_derivation(&txn.batch.events, &self.table);
             }
@@ -607,7 +635,7 @@ impl Engine {
 
         // Phase 1: context derivation (before any processing at t).
         let transitions = if batched {
-            programs.run_derivation_batch(&txn.batch.events, &self.table)
+            programs.run_derivation_batch(&mut cols, &self.table)
         } else {
             programs.run_derivation(&txn.batch.events, &self.table, &mut out)
         };
@@ -641,7 +669,7 @@ impl Engine {
             self.router
                 .select_batch(&programs, partition, t, &self.table, txn.batch.len() as u64);
         if batched {
-            programs.run_processing_batch(&txn.batch.events, &self.table, &active, &mut out);
+            programs.run_processing_batch(&mut cols, &self.table, &active, &mut out);
         } else {
             programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
         }
@@ -894,14 +922,12 @@ mod tests {
                 collect_outputs: true,
                 ..EngineConfig::default()
             };
-            let (mut batched, reg) = build_engine_with(
-                mode,
-                EngineConfig {
-                    batch: BatchPolicy::default(),
-                    ..base
-                },
-            );
-            let (mut per_event, _) = build_engine_with(
+            // All same-(partition, time) runs hit the batch fast path.
+            let eager = BatchPolicy {
+                min_events: 1,
+                ..BatchPolicy::default()
+            };
+            let (mut per_event, reg) = build_engine_with(
                 mode,
                 EngineConfig {
                     batch: BatchPolicy::per_event(),
@@ -909,22 +935,35 @@ mod tests {
                 },
             );
             let events = mixed_stream(&reg);
-            let rb = batched
+            let re = per_event
                 .run_stream(&mut VecStream::new(events.clone()))
                 .unwrap();
-            let re = per_event.run_stream(&mut VecStream::new(events)).unwrap();
-            assert_eq!(rb.events_in, re.events_in, "{mode:?}");
-            assert_eq!(rb.events_out, re.events_out, "{mode:?}");
-            assert_eq!(rb.transitions_applied, re.transitions_applied, "{mode:?}");
-            assert_eq!(rb.outputs_by_type, re.outputs_by_type, "{mode:?}");
-            assert_eq!(rb.plans_fed, re.plans_fed, "{mode:?}");
-            assert_eq!(rb.plans_suspended, re.plans_suspended, "{mode:?}");
-            assert_eq!(rb.peak_partials, re.peak_partials, "{mode:?}");
-            assert_eq!(
-                caesar_events::encode_all(&batched.collected_outputs),
-                caesar_events::encode_all(&per_event.collected_outputs),
-                "{mode:?}: byte-identical outputs"
-            );
+            for vectorize in [true, false] {
+                let (mut batched, _) = build_engine_with(
+                    mode,
+                    EngineConfig {
+                        batch: eager,
+                        vectorize,
+                        ..base
+                    },
+                );
+                let rb = batched
+                    .run_stream(&mut VecStream::new(events.clone()))
+                    .unwrap();
+                let tag = format!("{mode:?} vectorize={vectorize}");
+                assert_eq!(rb.events_in, re.events_in, "{tag}");
+                assert_eq!(rb.events_out, re.events_out, "{tag}");
+                assert_eq!(rb.transitions_applied, re.transitions_applied, "{tag}");
+                assert_eq!(rb.outputs_by_type, re.outputs_by_type, "{tag}");
+                assert_eq!(rb.plans_fed, re.plans_fed, "{tag}");
+                assert_eq!(rb.plans_suspended, re.plans_suspended, "{tag}");
+                assert_eq!(rb.peak_partials, re.peak_partials, "{tag}");
+                assert_eq!(
+                    caesar_events::encode_all(&batched.collected_outputs),
+                    caesar_events::encode_all(&per_event.collected_outputs),
+                    "{tag}: byte-identical outputs"
+                );
+            }
         }
     }
 
@@ -1011,6 +1050,10 @@ mod tests {
         assert_eq!(a.outputs_of("TollNotification"), 1);
         assert!(EngineConfig::default().semantics_eq(&EngineConfig {
             batch: BatchPolicy::bounded(7),
+            ..EngineConfig::default()
+        }));
+        assert!(EngineConfig::default().semantics_eq(&EngineConfig {
+            vectorize: false,
             ..EngineConfig::default()
         }));
         assert!(!EngineConfig::default().semantics_eq(&EngineConfig {

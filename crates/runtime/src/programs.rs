@@ -20,7 +20,7 @@
 use caesar_algebra::context_table::{ContextTable, Transition};
 use caesar_algebra::ops::Op;
 use caesar_algebra::plan::{CombinedPlan, PlanOutput, QueryPlan};
-use caesar_events::{Event, PartitionId, Time};
+use caesar_events::{ColumnarBatch, Event, PartitionId, Time};
 use caesar_optimizer::mqo::SharedWorkload;
 use caesar_query::ast::QueryId;
 use serde::{Deserialize, Serialize};
@@ -268,13 +268,14 @@ impl PartitionPrograms {
 
     /// Batched [`run_derivation`](Self::run_derivation): the
     /// transaction's events go through each deriving plan's batch entry
-    /// point, amortizing the context-window probe. Feedback events carry
-    /// earlier timestamps than the transaction, so they stay per-event
-    /// and run ahead of the batch — the same plan-major order as the
-    /// per-event path, hence identical transitions.
+    /// point, amortizing the context-window probe and reusing the
+    /// transaction's columnar views. Feedback events carry earlier
+    /// timestamps than the transaction, so they stay per-event and run
+    /// ahead of the batch — the same plan-major order as the per-event
+    /// path, hence identical transitions.
     pub fn run_derivation_batch(
         &mut self,
-        events: &[Event],
+        cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
     ) -> Vec<Transition> {
         let mut sink = PlanOutput::default();
@@ -285,7 +286,7 @@ impl PartitionPrograms {
                     plan.process(ev, table, &mut sink);
                 }
             }
-            plan.process_batch(events, table, &mut sink);
+            plan.process_batch(cols, table, &mut sink);
         }
         std::mem::take(&mut sink.transitions)
     }
@@ -307,10 +308,14 @@ impl PartitionPrograms {
     }
 
     /// Batched [`run_redundant_derivation`](Self::run_redundant_derivation).
-    pub fn run_redundant_derivation_batch(&mut self, events: &[Event], table: &ContextTable) {
+    pub fn run_redundant_derivation_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        table: &ContextTable,
+    ) {
         let mut sink = PlanOutput::default();
         for plan in &mut self.redundant {
-            plan.process_batch(events, table, &mut sink);
+            plan.process_batch(cols, table, &mut sink);
             sink.clear();
         }
     }
@@ -348,14 +353,14 @@ impl PartitionPrograms {
     /// the per-event path, so outputs come out in the same order.
     pub fn run_processing_batch(
         &mut self,
-        events: &[Event],
+        cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
         active: &[usize],
         out: &mut PlanOutput,
     ) {
         let mut sink = PlanOutput::default();
         for &idx in active {
-            self.processing[idx].process_batch(events, table, &mut sink);
+            self.processing[idx].process_batch(cols, table, &mut sink);
         }
         self.feedback.extend(sink.events.iter().cloned());
         out.events.append(&mut sink.events);

@@ -37,12 +37,16 @@ const USAGE: &str = "usage:
   caesar explain --model FILE --schema FILE [--within N]
   caesar run     --model FILE --schema FILE --events FILE
                  [--mode ca|ci] [--no-sharing] [--within N]
-                 [--batch-size N]
+                 [--batch-size N] [--no-vectorize]
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
 
 --batch-size caps how many same-timestamp events the hot path groups
 into one dispatch (default: uncapped batching; 1 = event-at-a-time,
 the comparison baseline). Results are identical for every setting.
+
+--no-vectorize disables the vectorized predicate kernels of the batch
+path, falling back to the batched row interpreter. Results are
+identical either way.
 
 with --checkpoint-dir, the run writes durable snapshots + an event log
 to DIR every N events (default 10000; 0 = snapshot only at the end) and
@@ -79,6 +83,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     }
     if let Some(n) = flag("--batch-size") {
         options.batch_size = Some(n.parse().map_err(|e| format!("--batch-size: {e}"))?);
+    }
+    if args.iter().any(|a| a == "--no-vectorize") {
+        options.vectorize = false;
     }
 
     match command.as_str() {

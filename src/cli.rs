@@ -182,6 +182,10 @@ pub struct RunOptions {
     /// `Some(1)` = event-at-a-time baseline; `Some(n)` = at most `n`
     /// events per batch.
     pub batch_size: Option<usize>,
+    /// Vectorized predicate/projection kernels over columnar batch
+    /// views (default on). Off = the batched row interpreter; results
+    /// are identical either way.
+    pub vectorize: bool,
 }
 
 impl Default for RunOptions {
@@ -194,6 +198,7 @@ impl Default for RunOptions {
             checkpoint_dir: None,
             checkpoint_every: 10_000,
             batch_size: None,
+            vectorize: true,
         }
     }
 }
@@ -224,6 +229,7 @@ pub fn build_system(
             mode: options.mode,
             sharing: options.sharing,
             batch: options.batch_policy(),
+            vectorize: options.vectorize,
             ..EngineConfig::default()
         });
     builder.build().map_err(|e| CliError::System(e.to_string()))
@@ -478,18 +484,25 @@ CONTEXT congestion {
                 .join("\n")
         };
         let baseline = deterministic(run(MODEL, SCHEMA, EVENTS, &RunOptions::default()).unwrap());
-        for batch_size in [Some(1), Some(2), None] {
-            let out = run(
-                MODEL,
-                SCHEMA,
-                EVENTS,
-                &RunOptions {
-                    batch_size,
-                    ..RunOptions::default()
-                },
-            )
-            .unwrap();
-            assert_eq!(deterministic(out), baseline, "batch_size={batch_size:?}");
+        for vectorize in [true, false] {
+            for batch_size in [Some(1), Some(2), None] {
+                let out = run(
+                    MODEL,
+                    SCHEMA,
+                    EVENTS,
+                    &RunOptions {
+                        batch_size,
+                        vectorize,
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    deterministic(out),
+                    baseline,
+                    "batch_size={batch_size:?} vectorize={vectorize}"
+                );
+            }
         }
     }
 

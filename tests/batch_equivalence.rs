@@ -35,6 +35,15 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn lr_system(mode: ExecutionMode, optimized: bool, batch: BatchPolicy) -> CaesarSystem {
+    lr_system_with(mode, optimized, batch, true)
+}
+
+fn lr_system_with(
+    mode: ExecutionMode,
+    optimized: bool,
+    batch: BatchPolicy,
+    vectorize: bool,
+) -> CaesarSystem {
     let seg_attrs: &[(&str, AttrType)] = &[
         ("xway", AttrType::Int),
         ("dir", AttrType::Int),
@@ -70,6 +79,7 @@ fn lr_system(mode: ExecutionMode, optimized: bool, batch: BatchPolicy) -> Caesar
             mode,
             collect_outputs: true,
             batch,
+            vectorize,
             ..EngineConfig::default()
         })
         .build()
@@ -111,7 +121,18 @@ fn run_with(
     batch: BatchPolicy,
     events: &[Event],
 ) -> (RunReport, Vec<Event>) {
-    let mut system = lr_system(mode, optimized, batch);
+    run_with_vectorize(mode, optimized, batch, true, events)
+}
+
+/// [`run_with`], additionally pinning the vectorize switch.
+fn run_with_vectorize(
+    mode: ExecutionMode,
+    optimized: bool,
+    batch: BatchPolicy,
+    vectorize: bool,
+    events: &[Event],
+) -> (RunReport, Vec<Event>) {
+    let mut system = lr_system_with(mode, optimized, batch, vectorize);
     let report = system
         .run_stream(&mut VecStream::new(events.to_vec()))
         .expect("stream is in order");
@@ -289,6 +310,55 @@ fn partition_split_batches_match_per_event() {
     };
     let candidate = run_with(ExecutionMode::ContextAware, true, split, &events);
     assert_equivalent("partition-split", &baseline, &candidate);
+}
+
+/// Vectorized kernels on vs off: for both sparse and dense workloads
+/// and both execution modes, the batched run with kernels enabled, the
+/// batched run with kernels disabled (batched row interpreter), and the
+/// per-event baseline must all produce byte-identical outputs and
+/// identical counters.
+#[test]
+fn vectorized_kernels_match_interpreter() {
+    let workloads = [("sparse", lr_events(61)), ("dense", lr_dense_events(62))];
+    for (workload, events) in &workloads {
+        for mode in [
+            ExecutionMode::ContextAware,
+            ExecutionMode::ContextIndependent,
+        ] {
+            let baseline = run_with(mode, true, BatchPolicy::per_event(), events);
+            for vectorize in [true, false] {
+                let candidate =
+                    run_with_vectorize(mode, true, BatchPolicy::default(), vectorize, events);
+                assert_equivalent(
+                    &format!("{workload} {mode:?} vectorize={vectorize}"),
+                    &baseline,
+                    &candidate,
+                );
+            }
+        }
+    }
+}
+
+/// The `min_events` dispatch threshold (small transactions stay on the
+/// per-event path even when batching is enabled) must never change
+/// results — it only picks which of two equivalent paths runs.
+#[test]
+fn min_events_threshold_preserves_results() {
+    let events = lr_events(63);
+    let baseline = run_with(
+        ExecutionMode::ContextAware,
+        true,
+        BatchPolicy::per_event(),
+        &events,
+    );
+    for min_events in [0usize, 1, 4, 16, usize::MAX] {
+        let policy = BatchPolicy {
+            min_events,
+            ..BatchPolicy::default()
+        };
+        let candidate = run_with(ExecutionMode::ContextAware, true, policy, &events);
+        assert_equivalent(&format!("min_events={min_events}"), &baseline, &candidate);
+    }
 }
 
 /// Cross-mode crash compatibility: a WAL + checkpoint written by a
