@@ -167,6 +167,9 @@ pub struct ProjectOp {
     pub args: Vec<CompiledExpr>,
     /// Evaluation errors (events dropped).
     pub eval_errors: u64,
+    /// Derived events emitted (per-event and batch paths count alike).
+    #[serde(default)]
+    pub projected: u64,
     /// Rows projected entirely by vectorized kernels.
     #[serde(default)]
     pub kernel_rows: u64,
@@ -187,6 +190,7 @@ impl ProjectOp {
             output_type,
             args,
             eval_errors: 0,
+            projected: 0,
             kernel_rows: 0,
             fallback_rows: 0,
             kernels: None,
@@ -206,6 +210,7 @@ impl ProjectOp {
                 }
             }
         }
+        self.projected += 1;
         Some(Event::complex(
             self.output_type,
             event.occurrence,
@@ -243,6 +248,7 @@ impl ProjectOp {
         let cache = self.kernels.as_ref().expect("compiled above");
         let fully_kerneled = cache.args.iter().all(|a| !a.is_fallback());
         let mut errors = self.eval_errors;
+        let mut projected = self.projected;
         'rows: for &i in sel {
             let row = i as usize;
             let event = &events[row];
@@ -276,6 +282,7 @@ impl ProjectOp {
                 };
                 attrs.push(value);
             }
+            projected += 1;
             out.push((
                 i,
                 Event::complex(
@@ -287,6 +294,7 @@ impl ProjectOp {
             ));
         }
         self.eval_errors = errors;
+        self.projected = projected;
         if fully_kerneled {
             self.kernel_rows += sel.len() as u64;
         } else {
@@ -419,6 +427,69 @@ impl Op {
     pub fn is_context_window(&self) -> bool {
         matches!(self, Op::ContextWindow(_))
     }
+
+    /// A uniform read-out of the operator's counters for the
+    /// observability layer; `None` for operators that count nothing
+    /// (`CI_c` / `CT_c`, which fire on every match unconditionally).
+    ///
+    /// Inputs and outputs are identical across the per-event and batch
+    /// paths; only the kernel/fallback row split depends on the
+    /// vectorize setting.
+    #[must_use]
+    pub fn observation(&self) -> Option<OpObservation> {
+        match self {
+            Op::Pattern(p) => Some(OpObservation {
+                kind: self.tag(),
+                events_in: p.stats.events_processed,
+                events_out: p.stats.matches,
+                kernel_rows: 0,
+                fallback_rows: 0,
+                errors: 0,
+            }),
+            Op::Filter(f) => Some(OpObservation {
+                kind: self.tag(),
+                events_in: f.evaluated,
+                events_out: f.accepted,
+                kernel_rows: f.kernel_rows,
+                fallback_rows: f.fallback_rows,
+                errors: f.eval_errors,
+            }),
+            Op::Project(p) => Some(OpObservation {
+                kind: self.tag(),
+                events_in: p.projected + p.eval_errors,
+                events_out: p.projected,
+                kernel_rows: p.kernel_rows,
+                fallback_rows: p.fallback_rows,
+                errors: p.eval_errors,
+            }),
+            Op::ContextWindow(cw) => Some(OpObservation {
+                kind: self.tag(),
+                events_in: cw.admitted + cw.dropped,
+                events_out: cw.admitted,
+                kernel_rows: 0,
+                fallback_rows: 0,
+                errors: 0,
+            }),
+            Op::ContextInit(_) | Op::ContextTerm(_) => None,
+        }
+    }
+}
+
+/// One operator's counters, read uniformly by [`Op::observation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpObservation {
+    /// The operator's [`tag`](Op::tag).
+    pub kind: &'static str,
+    /// Events (or rows) the operator evaluated.
+    pub events_in: u64,
+    /// Events it passed on (matches, accepted rows, derived events).
+    pub events_out: u64,
+    /// Rows evaluated by vectorized kernels.
+    pub kernel_rows: u64,
+    /// Rows evaluated by the interpreter fallback on the batch path.
+    pub fallback_rows: u64,
+    /// Evaluation errors.
+    pub errors: u64,
 }
 
 /// Output sink of chain execution: derived events plus context

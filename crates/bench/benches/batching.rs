@@ -27,10 +27,7 @@ fn lr_events(duration: u64) -> Vec<Event> {
 }
 
 fn config(batch: BatchPolicy) -> EngineConfig {
-    EngineConfig {
-        batch,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder().batch(batch).build()
 }
 
 fn bench_sequential(c: &mut Criterion) {

@@ -49,10 +49,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 let mut system = build_lr_system(
                     5,
                     OptimizerConfig::default(),
-                    EngineConfig {
-                        mode,
-                        ..EngineConfig::default()
-                    },
+                    EngineConfig::builder().mode(mode).build(),
                 );
                 let report = system
                     .run_stream(&mut VecStream::new(events.clone()))

@@ -42,11 +42,12 @@ fn filter_system(batch: BatchPolicy, vectorize: bool) -> CaesarSystem {
         )
         .within(60)
         .model_text(FILTER_MODEL)
-        .engine_config(EngineConfig {
-            batch,
-            vectorize,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .batch(batch)
+                .vectorize(vectorize)
+                .build(),
+        )
         .build()
         .expect("filter model builds")
 }

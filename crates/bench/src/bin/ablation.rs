@@ -110,28 +110,25 @@ fn main() {
             share_workloads: false,
             ..full_opt
         },
-        EngineConfig {
-            sharing: false,
-            ..engine_ca
-        },
+        engine_ca.to_builder().sharing(false).build(),
     );
     ablate(
         "- batch suspension (busy-wait)",
         full_opt,
-        EngineConfig {
-            mode: ExecutionMode::ContextIndependent,
-            redundant_derivation: false,
-            ..engine_ca
-        },
+        engine_ca
+            .to_builder()
+            .mode(ExecutionMode::ContextIndependent)
+            .redundant_derivation(false)
+            .build(),
     );
     ablate(
         "- everything (full CI baseline)",
         full_opt,
-        EngineConfig {
-            mode: ExecutionMode::ContextIndependent,
-            sharing: false,
-            ..engine_ca
-        },
+        engine_ca
+            .to_builder()
+            .mode(ExecutionMode::ContextIndependent)
+            .sharing(false)
+            .build(),
     );
 
     print_table(

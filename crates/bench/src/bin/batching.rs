@@ -51,10 +51,7 @@ fn sequential_run(policy: BatchPolicy, events: &[Event]) -> (u64, f64) {
     let mut system = build_lr_system(
         1,
         OptimizerConfig::default(),
-        EngineConfig {
-            batch: policy,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder().batch(policy).build(),
     );
     let start = Instant::now();
     let report = system
@@ -120,10 +117,7 @@ fn sharded_throughput(policy: BatchPolicy, shards: usize, events: &[Event]) -> f
     let program = Optimizer::default().optimize(translation, &registry);
     (0..3)
         .map(|_| {
-            let config = EngineConfig {
-                batch: policy,
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::builder().batch(policy).build();
             let start = Instant::now();
             let report = run_sharded(
                 &program,

@@ -109,19 +109,20 @@ fn part_b() {
             ns_per_tick = (busy_ns * 7 / 900).max(1_000);
             println!("calibrated ns_per_tick = {ns_per_tick}");
         }
-        let engine = |mode| EngineConfig {
-            mode,
-            // Busy-waiting only: the "non-optimized plan" comparison
-            // isolates suspension and push-down, without the per-query
-            // re-derivation of the full CI baseline (Figure 12's
-            // subject). `baseline_pushdown: false` leaves the context
-            // window mid-chain, so every event traverses the pattern and
-            // filter operators before being dropped — the literal
-            // non-optimized plan of Figure 6(a).
-            redundant_derivation: false,
-            baseline_pushdown: false,
-            ns_per_tick,
-            ..EngineConfig::default()
+        // Busy-waiting only: the "non-optimized plan" comparison
+        // isolates suspension and push-down, without the per-query
+        // re-derivation of the full CI baseline (Figure 12's
+        // subject). `baseline_pushdown(false)` leaves the context
+        // window mid-chain, so every event traverses the pattern and
+        // filter operators before being dropped — the literal
+        // non-optimized plan of Figure 6(a).
+        let engine = |mode| {
+            EngineConfig::builder()
+                .mode(mode)
+                .redundant_derivation(false)
+                .baseline_pushdown(false)
+                .ns_per_tick(ns_per_tick)
+                .build()
         };
         let opt = robust_max_latency(10, engine(ExecutionMode::ContextAware), &events);
         let plain = robust_max_latency(10, engine(ExecutionMode::ContextIndependent), &events);

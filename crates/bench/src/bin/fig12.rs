@@ -27,11 +27,10 @@ use caesar_pam::{generate, pam_model, pam_registry, PamConfig};
 const REPEATS: usize = 3;
 
 fn engine(mode: ExecutionMode, ns_per_tick: u64) -> EngineConfig {
-    EngineConfig {
-        mode,
-        ns_per_tick,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder()
+        .mode(mode)
+        .ns_per_tick(ns_per_tick)
+        .build()
 }
 
 /// Busy nanoseconds per tick of a mode on this machine (min of three
@@ -193,11 +192,12 @@ fn part_a() {
                 &[("subject", AttrType::Int), ("sec", AttrType::Int)],
             )
             .within(30)
-            .engine_config(EngineConfig {
-                mode,
-                ns_per_tick,
-                ..EngineConfig::default()
-            })
+            .engine_config(
+                EngineConfig::builder()
+                    .mode(mode)
+                    .ns_per_tick(ns_per_tick)
+                    .build(),
+            )
             .build()
             .unwrap()
     };

@@ -40,10 +40,7 @@ fn run(placement: WindowPlacement, replication: usize, seed: u64) -> u64 {
     let mut system = build_lr_system_critical(
         replication,
         OptimizerConfig::default(),
-        EngineConfig {
-            ns_per_tick: NS_PER_TICK,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder().ns_per_tick(NS_PER_TICK).build(),
     );
     measure("fig13", &mut system, events).report.max_latency_ns
 }

@@ -1,0 +1,162 @@
+//! Observability overhead: what does watching the engine cost?
+//!
+//! The same Linear Road dense workload (the `linear-road/dense`
+//! configuration of the vectorized bench, PR 3's hot path: batching on,
+//! kernels on) runs under each [`ObservabilityLevel`]. `Off` must be
+//! within noise of the uninstrumented engine — the whole point of the
+//! level gate is that not asking costs (almost) nothing; `Counters` and
+//! `Spans` buy increasing detail for increasing overhead.
+//!
+//! Methodology follows the batching bench: repetition *pairs* run
+//! back-to-back, alternating which configuration goes first inside the
+//! pair, so host noise hits both sides alike and the median pair ratio
+//! isolates the instrumentation cost from drift. Each instrumented
+//! level is paired against `Off`.
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin obs_overhead
+//! ```
+//!
+//! Writes `BENCH_observability.json` (throughput + overhead per level)
+//! and `BENCH_observability_metrics.json` (the full metrics snapshot of
+//! one `Spans` run — the artifact CI uploads); EXPERIMENTS.md records a
+//! committed run.
+
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
+use std::time::Instant;
+
+/// The `linear-road/dense` workload of the vectorized bench: dense
+/// two-segment traffic, ~10–30-event same-timestamp runs, the full LR
+/// query set (patterns, negation, context switches).
+fn dense_events() -> Vec<Event> {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 2,
+        duration: 900,
+        seed: 11,
+        base_cars: 300.0,
+        peak_cars: 500.0,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+fn system(level: ObservabilityLevel) -> CaesarSystem {
+    build_lr_system(
+        1,
+        OptimizerConfig::default(),
+        EngineConfig::builder()
+            .vectorize(true)
+            .observability(level)
+            .build(),
+    )
+}
+
+/// One timed run; returns (events, seconds).
+fn run_once(level: ObservabilityLevel, events: &[Event]) -> (u64, f64) {
+    let mut sys = system(level);
+    let start = Instant::now();
+    let report = sys
+        .run_stream(&mut VecStream::new(events.to_vec()))
+        .expect("in order");
+    (report.events_in, start.elapsed().as_secs_f64())
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Order-alternating pairs of `Off` vs `level`; returns
+/// (off ev/s, level ev/s, median pair ratio level/off).
+fn paired(level: ObservabilityLevel, events: &[Event], pairs: usize) -> (f64, f64, f64) {
+    run_once(ObservabilityLevel::Off, events);
+    run_once(level, events);
+    let (mut off_evs, mut lvl_evs, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for pair in 0..pairs {
+        let (off, lvl) = if pair % 2 == 0 {
+            let (n, s) = run_once(ObservabilityLevel::Off, events);
+            let off = n as f64 / s;
+            let (n, s) = run_once(level, events);
+            (off, n as f64 / s)
+        } else {
+            let (n, s) = run_once(level, events);
+            let lvl = n as f64 / s;
+            let (n, s) = run_once(ObservabilityLevel::Off, events);
+            (n as f64 / s, lvl)
+        };
+        off_evs.push(off);
+        lvl_evs.push(lvl);
+        ratios.push(lvl / off);
+    }
+    (
+        median(&mut off_evs),
+        median(&mut lvl_evs),
+        median(&mut ratios),
+    )
+}
+
+fn main() {
+    let events = dense_events();
+
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for level in [ObservabilityLevel::Counters, ObservabilityLevel::Spans] {
+        let (off, lvl, ratio) = paired(level, &events, 8);
+        rows.push((format!("{level:?}").to_lowercase(), off, lvl, ratio));
+    }
+
+    print_table(
+        "Observability overhead on linear-road/dense (events/s, median of 8 pairs)",
+        &["level", "off ev/s", "level ev/s", "pair ratio", "overhead"],
+        &rows
+            .iter()
+            .map(|(label, off, lvl, ratio)| {
+                vec![
+                    label.clone(),
+                    format!("{off:.0}"),
+                    format!("{lvl:.0}"),
+                    format!("{ratio:.4}"),
+                    format!("{:.2}%", (1.0 - ratio) * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(label, off, lvl, ratio)| {
+            format!(
+                "  {{\"level\": \"{label}\", \"off_events_per_sec\": {off:.1}, \
+                 \"level_events_per_sec\": {lvl:.1}, \"pair_ratio\": {ratio:.4}, \
+                 \"overhead_percent\": {:.2}}}",
+                (1.0 - ratio) * 100.0
+            )
+        })
+        .collect();
+    let off_median = {
+        let mut offs: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        median(&mut offs)
+    };
+    let json = format!(
+        "{{\n\"benchmark\": \"observability overhead, Linear Road dense, batching + kernels on\",\n\
+         \"unit\": \"events per second of wall time; median of 8 order-alternating pairs vs Off\",\n\
+         \"pr3_baseline\": {{\"source\": \"BENCH_vectorized.json linear-road/dense\", \
+         \"events_per_sec\": 210069.8, \"off_events_per_sec\": {off_median:.1}, \
+         \"note\": \"the recorded number is from an earlier session; EXPERIMENTS.md documents \
+         a same-host order-alternating pairing of the PR 3 binary against Off\"}},\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_observability.json", &json).expect("write BENCH_observability.json");
+
+    // One fully-instrumented run's snapshot is the CI metrics artifact.
+    let mut sys = system(ObservabilityLevel::Spans);
+    sys.run_stream(&mut VecStream::new(events))
+        .expect("in order");
+    let report = sys.finish();
+    std::fs::write("BENCH_observability_metrics.json", report.metrics.to_json())
+        .expect("write BENCH_observability_metrics.json");
+    println!("\nwrote BENCH_observability.json, BENCH_observability_metrics.json");
+}

@@ -86,10 +86,7 @@ fn filter_system(vectorize: bool) -> CaesarSystem {
         )
         .within(60)
         .model_text(FILTER_MODEL)
-        .engine_config(EngineConfig {
-            vectorize,
-            ..EngineConfig::default()
-        })
+        .engine_config(EngineConfig::builder().vectorize(vectorize).build())
         .build()
         .expect("filter model builds")
 }
@@ -161,10 +158,7 @@ fn lr_system(vectorize: bool) -> CaesarSystem {
     build_lr_system(
         1,
         OptimizerConfig::default(),
-        EngineConfig {
-            vectorize,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder().vectorize(vectorize).build(),
     )
 }
 

@@ -160,11 +160,12 @@ pub fn build_system_clocked(
         .schema("Start", &[("idx", AttrType::Int), ("sec", AttrType::Int)])
         .schema("End", &[("idx", AttrType::Int), ("sec", AttrType::Int)])
         .within(20)
-        .engine_config(EngineConfig {
-            sharing,
-            ns_per_tick,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .sharing(sharing)
+                .ns_per_tick(ns_per_tick)
+                .build(),
+        )
         .build()
         .expect("overlap model builds")
 }

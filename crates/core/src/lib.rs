@@ -51,7 +51,7 @@
 
 use caesar_algebra::translate::{translate_query_set, TranslateError, TranslateOptions};
 use caesar_events::{
-    AttrType, Event, EventBuilder, EventError, EventStream, Schema, SchemaRegistry, Time,
+    AttrType, EventBuilder, EventError, EventStream, Schema, SchemaRegistry, Time,
 };
 use caesar_optimizer::{Optimizer, OptimizerConfig};
 use caesar_query::{parse_model, CaesarModel, QueryError};
@@ -62,12 +62,15 @@ use std::fmt;
 pub mod prelude {
     pub use crate::{Caesar, CaesarBuilder, CaesarError, CaesarSystem};
     pub use caesar_events::{
-        AttrType, BatchPolicy, Event, EventBuilder, EventStream, Interval, PartitionId, Schema,
-        SchemaRegistry, Time, Value, VecStream,
+        AttrType, BatchPolicy, Event, EventBatch, EventBuilder, EventStream, Interval, PartitionId,
+        Schema, SchemaRegistry, Time, Value, VecStream,
     };
     pub use caesar_optimizer::OptimizerConfig;
     pub use caesar_query::{CaesarModel, ModelBuilder};
-    pub use caesar_runtime::{EngineConfig, ExecutionMode, RunReport};
+    pub use caesar_runtime::{
+        EngineConfig, EngineConfigBuilder, ExecutionMode, MetricsSnapshot, ObservabilityLevel,
+        RunReport,
+    };
 }
 
 pub use caesar_algebra as algebra;
@@ -253,9 +256,13 @@ impl CaesarSystem {
         Ok(EventBuilder::new(&self.registry, type_name, t)?)
     }
 
-    /// Ingests one event.
-    pub fn ingest(&mut self, event: Event) -> Result<(), CaesarError> {
-        Ok(self.engine.ingest(event)?)
+    /// Ingests one event or a whole same-timestamp batch (anything
+    /// convertible into an [`caesar_events::EventBatch`]).
+    pub fn ingest(
+        &mut self,
+        input: impl Into<caesar_events::EventBatch>,
+    ) -> Result<(), CaesarError> {
+        Ok(self.engine.ingest(input)?)
     }
 
     /// Runs a whole stream.

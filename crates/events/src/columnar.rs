@@ -1,6 +1,6 @@
 //! Columnar (structure-of-arrays) views over event batches.
 //!
-//! Row-oriented [`Event`](crate::Event)s are ideal for routing and state
+//! Row-oriented [`Event`]s are ideal for routing and state
 //! maintenance, but predicate-heavy operator chains touch the same one
 //! or two attributes of every event in a batch. A [`ColumnarView`]
 //! transposes the events of one type into per-attribute `Vec` columns so

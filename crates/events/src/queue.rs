@@ -21,6 +21,9 @@ pub struct EventQueue {
     watermark: Time,
     /// Total number of events ever enqueued (for metrics).
     enqueued: u64,
+    /// Largest number of events ever buffered at once (queue depth
+    /// gauge for the observability layer).
+    peak_len: usize,
 }
 
 impl EventQueue {
@@ -42,6 +45,7 @@ impl EventQueue {
         self.watermark = t;
         self.enqueued += 1;
         self.events.push_back(event);
+        self.peak_len = self.peak_len.max(self.events.len());
         Ok(())
     }
 
@@ -67,6 +71,7 @@ impl EventQueue {
             self.enqueued += 1;
             self.events.push_back(event);
         }
+        self.peak_len = self.peak_len.max(self.events.len());
         Ok(())
     }
 
@@ -120,6 +125,12 @@ impl EventQueue {
     #[must_use]
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued
+    }
+
+    /// Largest number of events ever buffered at once.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -207,6 +218,16 @@ impl PartitionedQueues {
     #[must_use]
     pub fn buffered(&self) -> usize {
         self.queues.iter().map(EventQueue::len).sum()
+    }
+
+    /// Largest depth any partition queue ever reached (gauge).
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.queues
+            .iter()
+            .map(EventQueue::peak_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates `(PartitionId, &mut EventQueue)`.
@@ -316,6 +337,18 @@ mod tests {
         assert_eq!(pq.get(PartitionId(2)).unwrap().len(), 1);
         assert_eq!(pq.progress(), 0); // partition 1 never saw an event
         assert_eq!(pq.buffered(), 4);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut pq = PartitionedQueues::new(2);
+        pq.push(ev(1, 0)).unwrap();
+        pq.push(ev(1, 0)).unwrap();
+        pq.push(ev(1, 1)).unwrap();
+        assert_eq!(pq.peak_depth(), 2);
+        let _ = pq.get_mut(PartitionId(0)).unwrap().pop_batch(1);
+        assert_eq!(pq.buffered(), 1);
+        assert_eq!(pq.peak_depth(), 2, "gauge keeps the high-water mark");
     }
 
     #[test]

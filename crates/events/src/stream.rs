@@ -40,6 +40,18 @@ impl EventBatch {
     }
 }
 
+/// A single event is a one-event batch at its own timestamp — this is
+/// what lets `Engine::ingest` accept events and batches uniformly.
+impl From<Event> for EventBatch {
+    fn from(event: Event) -> Self {
+        let time = event.time();
+        Self {
+            time,
+            events: vec![event],
+        }
+    }
+}
+
 /// A pull-based source of time-ordered events.
 ///
 /// Implementations must yield events in non-decreasing `time()` order;

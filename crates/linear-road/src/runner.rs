@@ -95,11 +95,10 @@ pub fn baseline_system(replication: usize) -> CaesarSystem {
     build_lr_system(
         replication,
         OptimizerConfig::default(),
-        EngineConfig {
-            mode: ExecutionMode::ContextIndependent,
-            sharing: false,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .mode(ExecutionMode::ContextIndependent)
+            .sharing(false)
+            .build(),
     )
 }
 

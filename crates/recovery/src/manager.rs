@@ -23,6 +23,7 @@ use crate::container::{read_snapshot, write_snapshot};
 use crate::error::RecoveryError;
 use crate::wal::{read_wal, WalWriter};
 use caesar_events::Event;
+use caesar_runtime::obs::{CounterId, MetricsRegistry, MetricsSnapshot, ObservabilityLevel, Stage};
 use caesar_runtime::Engine;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -55,6 +56,8 @@ pub struct CheckpointManager {
     offered: u64,
     wal: WalWriter,
     checkpoints_taken: u64,
+    /// Durability-side metrics: WAL append and checkpoint write timings.
+    obs: MetricsRegistry,
 }
 
 impl CheckpointManager {
@@ -73,6 +76,7 @@ impl CheckpointManager {
             offered: 0,
             wal,
             checkpoints_taken: 0,
+            obs: MetricsRegistry::new(ObservabilityLevel::Off),
         })
     }
 
@@ -131,7 +135,29 @@ impl CheckpointManager {
             offered,
             wal,
             checkpoints_taken: 0,
+            obs: MetricsRegistry::new(ObservabilityLevel::Off),
         })
+    }
+
+    /// Sets the observability level for durability-side metrics
+    /// (checkpoint write and WAL append spans). Counters and span
+    /// histograms recorded so far are discarded; call this right after
+    /// [`create`](Self::create)/[`resume`](Self::resume), mirroring the
+    /// engine's configured level.
+    #[must_use]
+    pub fn with_observability(mut self, level: ObservabilityLevel) -> Self {
+        self.obs = MetricsRegistry::new(level);
+        self
+    }
+
+    /// Snapshot of the durability-side metrics: `checkpoints_written` /
+    /// `wal_events_appended` counters and, at
+    /// [`ObservabilityLevel::Spans`], `checkpoint_write` / `wal_append`
+    /// stage latency histograms. Merge into the engine's snapshot for a
+    /// single report.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Absolute stream position: how many input events are durable (and,
@@ -157,7 +183,10 @@ impl CheckpointManager {
     /// the write-ahead order is what guarantees the log covers
     /// everything the engine processed.
     pub fn log_event(&mut self, event: &Event) -> Result<(), RecoveryError> {
+        let span = self.obs.span_start();
         self.wal.append(event)?;
+        self.obs.span_end(Stage::WalAppend, span);
+        self.obs.inc(CounterId::WalEventsAppended);
         self.offered += 1;
         Ok(())
     }
@@ -176,6 +205,7 @@ impl CheckpointManager {
     /// die in between, the snapshot covers a prefix of the log and
     /// recovery skips it.
     pub fn checkpoint(&mut self, engine: &Engine) -> Result<(), RecoveryError> {
+        let span = self.obs.span_start();
         self.wal.sync()?;
         write_snapshot(
             &snapshot_path(&self.dir),
@@ -183,6 +213,8 @@ impl CheckpointManager {
             &engine.snapshot_state(),
         )?;
         self.wal.rebase(self.offered)?;
+        self.obs.span_end(Stage::CheckpointWrite, span);
+        self.obs.inc(CounterId::CheckpointsWritten);
         self.checkpoints_taken += 1;
         Ok(())
     }

@@ -49,10 +49,7 @@ fn builder() -> CaesarBuilder {
             }
         "#,
         )
-        .engine_config(EngineConfig {
-            collect_outputs: true,
-            ..EngineConfig::default()
-        })
+        .engine_config(EngineConfig::builder().collect_outputs(true).build())
 }
 
 fn build_engine() -> Engine {
@@ -230,11 +227,12 @@ fn snapshot_from_different_model_is_incompatible() {
 
     // An engine with a different configuration must refuse the snapshot.
     let mut other = builder()
-        .engine_config(EngineConfig {
-            collect_outputs: true,
-            gc_every: 777,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .gc_every(777)
+                .build(),
+        )
         .build()
         .expect("model builds")
         .engine;

@@ -4,6 +4,7 @@
 //! collection and latency accounting (Figures 8 and 9 of the paper).
 
 use crate::metrics::{ArrivalClock, LatencyTracker};
+use crate::obs::{CounterId, MetricsRegistry, MetricsSnapshot, ObservabilityLevel, Stage};
 use crate::programs::{Mode, PartitionPrograms, ProgramTemplate};
 use crate::router::Router;
 use crate::scheduler::TimeDrivenScheduler;
@@ -25,7 +26,22 @@ use std::time::{Duration, Instant};
 pub type ExecutionMode = Mode;
 
 /// Engine configuration.
+///
+/// The struct is `#[non_exhaustive]`: outside this crate it cannot be
+/// built with a literal, so new knobs stop breaking downstream
+/// constructors. Build one with [`EngineConfig::builder`] (or mutate
+/// the public fields of [`EngineConfig::default`]):
+///
+/// ```
+/// use caesar_runtime::{EngineConfig, ObservabilityLevel};
+/// let config = EngineConfig::builder()
+///     .vectorize(false)
+///     .observability(ObservabilityLevel::Counters)
+///     .build();
+/// assert!(!config.vectorize);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Context-aware (CAESAR) or context-independent (baseline).
     pub mode: ExecutionMode,
@@ -74,6 +90,10 @@ pub struct EngineConfig {
     /// Outputs are byte-identical either way.
     #[serde(default = "default_vectorize")]
     pub vectorize: bool,
+    /// How much the engine records about itself while running (see
+    /// [`ObservabilityLevel`]): `Off` (default, within noise of no
+    /// instrumentation), `Counters`, or `Spans`. Never affects results.
+    pub observability: ObservabilityLevel,
 }
 
 fn default_vectorize() -> bool {
@@ -93,23 +113,139 @@ impl Default for EngineConfig {
             gc_every: 60,
             batch: BatchPolicy::default(),
             vectorize: default_vectorize(),
+            observability: ObservabilityLevel::Off,
         }
     }
 }
 
 impl EngineConfig {
-    /// Equality of every result-affecting knob. The batch policy and the
-    /// vectorize switch are excluded: they change dispatch granularity
-    /// and evaluation strategy, never results, so snapshots taken by
-    /// batched / vectorized and event-at-a-time runs are interchangeable
-    /// (a WAL written by one replays into the other).
+    /// Starts building a configuration from the defaults.
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// Turns this configuration back into a builder (tweak a preset).
+    #[must_use]
+    pub fn to_builder(self) -> EngineConfigBuilder {
+        EngineConfigBuilder { config: self }
+    }
+
+    /// Equality of every result-affecting knob. The batch policy, the
+    /// vectorize switch and the observability level are excluded: they
+    /// change dispatch granularity, evaluation strategy and recording,
+    /// never results, so snapshots taken by batched / vectorized /
+    /// instrumented and plain runs are interchangeable (a WAL written
+    /// by one replays into the other).
     #[must_use]
     pub fn semantics_eq(&self, other: &Self) -> bool {
         Self {
             batch: other.batch,
             vectorize: other.vectorize,
+            observability: other.observability,
             ..*self
         } == *other
+    }
+}
+
+/// Builder for [`EngineConfig`] — the only way to construct a
+/// non-default configuration outside this crate (the struct is
+/// `#[non_exhaustive]`). Every setter mirrors one config field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Context-aware (CAESAR) or context-independent (baseline).
+    #[must_use]
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Execute shared workloads once (see [`EngineConfig::sharing`]).
+    #[must_use]
+    pub fn sharing(mut self, sharing: bool) -> Self {
+        self.config.sharing = sharing;
+        self
+    }
+
+    /// Baseline private re-derivation
+    /// (see [`EngineConfig::redundant_derivation`]).
+    #[must_use]
+    pub fn redundant_derivation(mut self, enabled: bool) -> Self {
+        self.config.redundant_derivation = enabled;
+        self
+    }
+
+    /// Baseline window push-down
+    /// (see [`EngineConfig::baseline_pushdown`]).
+    #[must_use]
+    pub fn baseline_pushdown(mut self, enabled: bool) -> Self {
+        self.config.baseline_pushdown = enabled;
+        self
+    }
+
+    /// Distributor disorder tolerance in ticks
+    /// (see [`EngineConfig::reorder_slack`]).
+    #[must_use]
+    pub fn reorder_slack(mut self, slack: Time) -> Self {
+        self.config.reorder_slack = slack;
+        self
+    }
+
+    /// Simulated nanoseconds per application tick
+    /// (see [`EngineConfig::ns_per_tick`]).
+    #[must_use]
+    pub fn ns_per_tick(mut self, ns: u64) -> Self {
+        self.config.ns_per_tick = ns;
+        self
+    }
+
+    /// Garbage-collection period in ticks
+    /// (see [`EngineConfig::gc_every`]).
+    #[must_use]
+    pub fn gc_every(mut self, ticks: Time) -> Self {
+        self.config.gc_every = ticks;
+        self
+    }
+
+    /// Keep every output event in memory
+    /// (see [`EngineConfig::collect_outputs`]).
+    #[must_use]
+    pub fn collect_outputs(mut self, collect: bool) -> Self {
+        self.config.collect_outputs = collect;
+        self
+    }
+
+    /// Batch formation policy of the hot path
+    /// (see [`EngineConfig::batch`]).
+    #[must_use]
+    pub fn batch(mut self, policy: BatchPolicy) -> Self {
+        self.config.batch = policy;
+        self
+    }
+
+    /// Vectorized kernel evaluation on the batch path
+    /// (see [`EngineConfig::vectorize`]).
+    #[must_use]
+    pub fn vectorize(mut self, vectorize: bool) -> Self {
+        self.config.vectorize = vectorize;
+        self
+    }
+
+    /// Observability level (see [`EngineConfig::observability`]).
+    #[must_use]
+    pub fn observability(mut self, level: ObservabilityLevel) -> Self {
+        self.config.observability = level;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -136,6 +272,11 @@ pub struct RunReport {
     pub plans_suspended: u64,
     /// Peak live partial matches across all partitions (memory proxy).
     pub peak_partials: usize,
+    /// Structured metrics recorded by the observability layer. Mostly
+    /// empty when the engine ran with [`ObservabilityLevel::Off`]
+    /// (the per-operator / per-query / per-context accounting is always
+    /// populated — the operators count unconditionally).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -262,6 +403,10 @@ pub struct Engine {
     started: Option<Instant>,
     busy: Duration,
     reorder: Option<ReorderBuffer>,
+    /// The observability recorder (gated by `config.observability`).
+    /// Deliberately not part of [`EngineState`]: metrics describe a
+    /// process, not the stream computation, so recovery restarts them.
+    obs: MetricsRegistry,
     /// Events dropped because they arrived later than the reorder slack.
     pub late_dropped: u64,
     /// Output events retained when `collect_outputs` is set.
@@ -293,6 +438,7 @@ impl Engine {
             .collect();
         Self {
             clock: ArrivalClock::new(config.ns_per_tick),
+            obs: MetricsRegistry::new(config.observability),
             config,
             table,
             template,
@@ -446,38 +592,86 @@ impl Engine {
         obs
     }
 
-    /// Ingests one event; transactions whose timestamp the progress
-    /// watermark passed are executed immediately.
+    /// Ingests an event or a same-timestamp batch — the canonical
+    /// entrypoint; anything `Into<EventBatch>` (an [`Event`], an
+    /// [`EventBatch`]) is accepted. Transactions whose timestamp the
+    /// progress watermark passed are executed immediately.
     ///
-    /// With `reorder_slack > 0` the event first passes the distributor's
-    /// bounded reordering buffer: disorder within the slack is repaired,
-    /// events later than the slack are dropped (counted in
-    /// `late_dropped`) instead of corrupting context state.
-    pub fn ingest(&mut self, event: Event) -> Result<(), EventError> {
+    /// # Ordering semantics
+    ///
+    /// Input must be in non-decreasing timestamp order across calls
+    /// (`EventError::OutOfOrder` otherwise) — unless the engine was
+    /// built with `reorder_slack > 0`, in which case input first passes
+    /// the distributor's bounded reordering buffer: disorder within the
+    /// slack is repaired, events later than the slack are dropped
+    /// (counted in `late_dropped`) instead of corrupting context state.
+    /// A multi-event batch must be same-timestamp (its events form one
+    /// stream transaction per partition); batching never changes
+    /// results, only dispatch granularity.
+    pub fn ingest(&mut self, input: impl Into<EventBatch>) -> Result<(), EventError> {
+        let mut batch: EventBatch = input.into();
+        match batch.events.len() {
+            0 => Ok(()),
+            // A one-event batch takes the per-event path: same
+            // semantics, no batch bookkeeping.
+            1 => {
+                let event = batch.events.pop().expect("len checked");
+                self.ingest_event(event)
+            }
+            _ => self.ingest_batch_impl(batch),
+        }
+    }
+
+    /// Deprecated alias of [`ingest`](Self::ingest), which now accepts
+    /// batches directly.
+    #[deprecated(note = "use `ingest`, which accepts any `Into<EventBatch>`")]
+    pub fn ingest_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
+        self.ingest(batch)
+    }
+
+    /// Deprecated alias of [`ingest`](Self::ingest), which handles
+    /// in-order and reorder-buffered input alike.
+    #[deprecated(note = "use `ingest`; ordering is enforced (or repaired) there")]
+    pub fn ingest_ordered(&mut self, event: Event) -> Result<(), EventError> {
+        self.ingest(event)
+    }
+
+    fn ingest_event(&mut self, event: Event) -> Result<(), EventError> {
         if self.started.is_none() {
             self.started = Some(Instant::now());
         }
-        if let Some(mut reorder) = self.reorder.take() {
+        let span = self.obs.span_start();
+        self.obs.inc(CounterId::EventsIngested);
+        let result = if let Some(mut reorder) = self.reorder.take() {
+            let reorder_span = self.obs.span_start();
             let result = reorder.push(event);
+            self.obs.span_end(Stage::Reorder, reorder_span);
             self.late_dropped = reorder.late_dropped;
             self.reorder = Some(reorder);
             match result {
                 Ok(ready) => {
+                    let mut outcome = Ok(());
                     for e in ready {
-                        self.ingest_ordered(e)?;
+                        outcome = self.ingest_one_ordered(e);
+                        if outcome.is_err() {
+                            break;
+                        }
                     }
-                    Ok(())
+                    outcome
                 }
                 Err(_late) => Ok(()), // dropped and counted
             }
         } else {
-            self.ingest_ordered(event)
-        }
+            self.ingest_one_ordered(event)
+        };
+        self.obs.span_end(Stage::Distributor, span);
+        result
     }
 
-    fn ingest_ordered(&mut self, event: Event) -> Result<(), EventError> {
+    fn ingest_one_ordered(&mut self, event: Event) -> Result<(), EventError> {
         self.events_in += 1;
         *self.inputs_by_type.entry(event.type_id).or_insert(0) += 1;
+        let span = self.obs.span_start();
         let before = self.scheduler.progress();
         self.scheduler.ingest(event)?;
         let progress = self.scheduler.progress();
@@ -486,27 +680,30 @@ impl Engine {
         // timestamp) the release scan would find nothing — skip it.
         if progress > before {
             let ready = self.scheduler.release(progress);
+            self.obs.span_end(Stage::Scheduler, span);
             for txn in ready {
                 self.execute(txn);
             }
+        } else {
+            self.obs.span_end(Stage::Scheduler, span);
         }
         Ok(())
     }
 
-    /// Ingests a same-timestamp batch; transactions the progress
-    /// watermark passed are executed immediately. The batched
-    /// counterpart of [`ingest`](Self::ingest): one reorder-buffer
-    /// lateness check, one scheduler progress check and — when progress
-    /// actually advanced — one release scan for the whole batch.
-    pub fn ingest_batch(&mut self, batch: EventBatch) -> Result<(), EventError> {
-        if batch.is_empty() {
-            return Ok(());
-        }
+    /// One reorder-buffer lateness check, one scheduler progress check
+    /// and — when progress actually advanced — one release scan for the
+    /// whole same-timestamp batch.
+    fn ingest_batch_impl(&mut self, batch: EventBatch) -> Result<(), EventError> {
         if self.started.is_none() {
             self.started = Some(Instant::now());
         }
-        if let Some(mut reorder) = self.reorder.take() {
+        let span = self.obs.span_start();
+        self.obs.inc(CounterId::BatchesIngested);
+        self.obs.add(CounterId::EventsIngested, batch.len() as u64);
+        let result = if let Some(mut reorder) = self.reorder.take() {
+            let reorder_span = self.obs.span_start();
             let result = reorder.push_batch(batch);
+            self.obs.span_end(Stage::Reorder, reorder_span);
             self.late_dropped = reorder.late_dropped;
             self.reorder = Some(reorder);
             match result {
@@ -515,7 +712,9 @@ impl Engine {
             }
         } else {
             self.ingest_ordered_batch(batch)
-        }
+        };
+        self.obs.span_end(Stage::Distributor, span);
+        result
     }
 
     /// Re-groups an in-order event run (e.g. a reorder-buffer release,
@@ -539,6 +738,7 @@ impl Engine {
         for e in &batch.events {
             *self.inputs_by_type.entry(e.type_id).or_insert(0) += 1;
         }
+        let span = self.obs.span_start();
         let before = self.scheduler.progress();
         self.scheduler.ingest_batch(batch)?;
         let progress = self.scheduler.progress();
@@ -548,9 +748,12 @@ impl Engine {
         // skip it.
         if progress > before {
             let ready = self.scheduler.release(progress);
+            self.obs.span_end(Stage::Scheduler, span);
             for txn in ready {
                 self.execute(txn);
             }
+        } else {
+            self.obs.span_end(Stage::Scheduler, span);
         }
         Ok(())
     }
@@ -560,7 +763,7 @@ impl Engine {
     pub fn finish(&mut self) -> RunReport {
         if let Some(mut reorder) = self.reorder.take() {
             for e in reorder.flush() {
-                let _ = self.ingest_ordered(e);
+                let _ = self.ingest_one_ordered(e);
             }
             self.reorder = Some(reorder);
         }
@@ -592,7 +795,7 @@ impl Engine {
     /// runs dispatch onto the batch fast paths.
     pub fn run_stream(&mut self, stream: &mut dyn EventStream) -> Result<RunReport, EventError> {
         while let Some(event) = stream.next_event() {
-            self.ingest(event)?;
+            self.ingest_event(event)?;
         }
         Ok(self.finish())
     }
@@ -620,6 +823,11 @@ impl Engine {
         // vectors, columnar views) is pure overhead on sparse streams.
         let batched =
             self.config.batch.enabled && txn.batch.len() >= self.config.batch.min_events.max(1);
+        self.obs.inc(CounterId::TransactionsExecuted);
+        if batched {
+            self.obs.inc(CounterId::BatchedTransactions);
+        }
+        self.obs.observe_batch_size(txn.batch.len() as u64);
         // Columnar views over the transaction, built lazily per event
         // type on first kernel use and shared by every plan.
         let mut cols = ColumnarBatch::new(&txn.batch.events, self.config.vectorize);
@@ -634,11 +842,14 @@ impl Engine {
         }
 
         // Phase 1: context derivation (before any processing at t).
+        let span = self.obs.span_start();
         let transitions = if batched {
             programs.run_derivation_batch(&mut cols, &self.table)
         } else {
             programs.run_derivation(&txn.batch.events, &self.table, &mut out)
         };
+        self.obs.span_end(Stage::Derivation, span);
+        let span = self.obs.span_start();
         // Windows closing at time t still admit events carrying exactly
         // t (`(t_i, t_t]`, Definition 1), so the closing plans' state
         // must survive until this transaction's processing phase is
@@ -661,18 +872,24 @@ impl Engine {
                 closed_bits.push(self.default_bit);
             }
         }
+        self.obs.span_end(Stage::Transitions, span);
 
         // Phase 2: context-aware routing + processing. Routing is one
         // decision per transaction in either mode; the batch path also
         // evaluates each active plan once over the whole event slice.
+        let span = self.obs.span_start();
         let active =
             self.router
                 .select_batch(&programs, partition, t, &self.table, txn.batch.len() as u64);
+        self.obs.span_end(Stage::Router, span);
+        self.obs.tick_contexts(&active, programs.processing.len());
+        let span = self.obs.span_start();
         if batched {
             programs.run_processing_batch(&mut cols, &self.table, &active, &mut out);
         } else {
             programs.run_processing(&txn.batch.events, &self.table, &active, &mut out);
         }
+        self.obs.span_end(Stage::Processing, span);
 
         // Deferred context-history maintenance for windows that closed
         // in this transaction (their last admissible events were just
@@ -683,7 +900,9 @@ impl Engine {
         }
 
         // Watermark: all events with time < t+1 of this partition seen.
+        let span = self.obs.span_start();
         programs.advance_time(t, &self.table, &mut out);
+        self.obs.span_end(Stage::AdvanceTime, span);
 
         self.peak_partials = self.peak_partials.max(programs.live_partials());
         self.partitions[idx] = Some(programs);
@@ -692,14 +911,17 @@ impl Engine {
         if t.saturating_sub(self.last_gc) >= self.config.gc_every {
             self.table.collect_garbage(t);
             self.last_gc = t;
+            self.obs.inc(CounterId::GcRuns);
         }
 
         self.account_outputs(&out);
 
         let service = service_start.elapsed();
         self.busy += service;
-        self.latency
+        let latency_ns = self
+            .latency
             .record(self.clock.arrival_ns(t), service.as_nanos() as u64);
+        self.obs.observe_latency_ns(latency_ns);
     }
 
     fn account_outputs(&mut self, out: &PlanOutput) {
@@ -712,8 +934,87 @@ impl Engine {
         }
     }
 
+    /// The current observability snapshot: the registry's counters and
+    /// histograms, the scheduler's peak queue depth, and a walk of
+    /// every partition's operator counters into per-operator, per-query
+    /// and per-context-window accounting. The operator walk is always
+    /// populated (operators count unconditionally); counters,
+    /// histograms, ticks and spans honour the configured
+    /// [`ObservabilityLevel`].
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        snap.queue_depth_peak = self.scheduler.peak_queue_depth() as u64;
+        // Context-bit → name map from the template's plans (bits with
+        // no named plan render as `bit<n>`).
+        let mut names: BTreeMap<u8, &str> = BTreeMap::new();
+        for combined in &self.template.processing {
+            names
+                .entry(combined.context_bit)
+                .or_insert(&combined.context);
+        }
+        for plan in &self.template.deriving {
+            names.entry(plan.context_bit).or_insert(&plan.context);
+        }
+        let context_name = |bit: u8| {
+            names
+                .get(&bit)
+                .map_or_else(|| format!("bit{bit}"), ToString::to_string)
+        };
+        for programs in self.partitions.iter().flatten() {
+            let processing = programs.processing.iter().flat_map(|c| c.plans.iter());
+            for plan in programs.deriving.iter().chain(processing) {
+                let query = plan.query_id.to_string();
+                let mut chain_in: Option<u64> = None;
+                let mut chain_out = 0;
+                let mut kernel_rows = 0;
+                let mut fallback_rows = 0;
+                for (i, op) in plan.ops.iter().enumerate() {
+                    let Some(o) = op.observation() else { continue };
+                    let m = snap
+                        .operators
+                        .entry(format!("{query}/{i}:{}", o.kind))
+                        .or_default();
+                    m.events_in += o.events_in;
+                    m.events_out += o.events_out;
+                    m.kernel_rows += o.kernel_rows;
+                    m.fallback_rows += o.fallback_rows;
+                    m.errors += o.errors;
+                    chain_in.get_or_insert(o.events_in);
+                    chain_out = o.events_out;
+                    kernel_rows += o.kernel_rows;
+                    fallback_rows += o.fallback_rows;
+                    if let caesar_algebra::ops::Op::ContextWindow(cw) = op {
+                        let c = snap
+                            .contexts
+                            .entry(context_name(cw.context_bit))
+                            .or_default();
+                        c.events_admitted += cw.admitted;
+                        c.events_dropped += cw.dropped;
+                    }
+                }
+                let q = snap.queries.entry(query).or_default();
+                q.events_in += chain_in.unwrap_or(0);
+                q.matches_out += chain_out;
+                q.kernel_rows += kernel_rows;
+                q.fallback_rows += fallback_rows;
+            }
+        }
+        // Suspended-vs-active ticks from the router accounting, indexed
+        // like the template's combined plans.
+        for (idx, &(active, suspended)) in self.obs.context_ticks().iter().enumerate() {
+            if let Some(combined) = self.template.processing.get(idx) {
+                let c = snap.contexts.entry(combined.context.clone()).or_default();
+                c.active_ticks += active;
+                c.suspended_ticks += suspended;
+            }
+        }
+        snap
+    }
+
     fn report(&self) -> RunReport {
         RunReport {
+            metrics: self.metrics_snapshot(),
             events_in: self.events_in,
             events_out: self.events_out,
             transitions_applied: self.transitions_applied,
@@ -871,6 +1172,48 @@ mod tests {
     }
 
     #[test]
+    fn builder_round_trips_every_knob() {
+        let built = EngineConfig::builder()
+            .mode(Mode::ContextIndependent)
+            .sharing(false)
+            .redundant_derivation(false)
+            .baseline_pushdown(false)
+            .reorder_slack(3)
+            .ns_per_tick(10)
+            .gc_every(7)
+            .collect_outputs(true)
+            .batch(BatchPolicy::bounded(16))
+            .vectorize(false)
+            .observability(ObservabilityLevel::Spans)
+            .build();
+        assert_eq!(built.mode, Mode::ContextIndependent);
+        assert!(!built.sharing);
+        assert!(!built.redundant_derivation);
+        assert!(!built.baseline_pushdown);
+        assert_eq!(built.reorder_slack, 3);
+        assert_eq!(built.ns_per_tick, 10);
+        assert_eq!(built.gc_every, 7);
+        assert!(built.collect_outputs);
+        assert_eq!(built.batch, BatchPolicy::bounded(16));
+        assert!(!built.vectorize);
+        assert_eq!(built.observability, ObservabilityLevel::Spans);
+        assert_eq!(built.to_builder().build(), built);
+        assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
+    }
+
+    #[test]
+    fn semantics_ignore_observability_level() {
+        let instrumented = EngineConfig::builder()
+            .observability(ObservabilityLevel::Spans)
+            .build();
+        assert!(EngineConfig::default().semantics_eq(&instrumented));
+        let (engine, _) = build_engine(Mode::ContextAware);
+        let state = engine.snapshot_state();
+        let (mut other, _) = build_engine_with(Mode::ContextAware, instrumented);
+        other.restore_state(state).unwrap();
+    }
+
+    #[test]
     fn restore_rejects_mismatched_config() {
         let (engine, _) = build_engine(Mode::ContextAware);
         let state = engine.snapshot_state();
@@ -1021,7 +1364,7 @@ mod tests {
         // batch knob is dispatch granularity, not semantics.
         let (mut batched, reg) = build_engine_with(Mode::ContextAware, EngineConfig::default());
         let feed = |e: &mut Engine| {
-            e.ingest_batch(EventBatch::new(
+            e.ingest(EventBatch::new(
                 5,
                 vec![
                     marker(&reg, "ManySlowCars", 5, 0),

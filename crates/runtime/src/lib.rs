@@ -20,12 +20,17 @@
 //! * [`metrics`] — the latency harness: arrival schedules, measured
 //!   service times, queueing-model latency, and the win-ratio /
 //!   L-factor computations of §7.
+//! * [`obs`] — the observability layer: a metrics registry of named
+//!   counters, fixed-bucket histograms and span-style stage timers,
+//!   gated by [`obs::ObservabilityLevel`] and snapshotted into every
+//!   [`RunReport`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod programs;
 pub mod router;
@@ -33,8 +38,11 @@ pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
-pub use engine::{Engine, EngineConfig, EngineState, ExecutionMode, RestoreError, RunReport};
+pub use engine::{
+    Engine, EngineConfig, EngineConfigBuilder, EngineState, ExecutionMode, RestoreError, RunReport,
+};
 pub use metrics::{ArrivalClock, LatencyTracker};
+pub use obs::{CounterId, Histogram, MetricsRegistry, MetricsSnapshot, ObservabilityLevel, Stage};
 pub use parallel::{merge_reports, run_sharded, run_sharded_with_outputs};
 pub use programs::PartitionPrograms;
 pub use router::Router;

@@ -69,7 +69,7 @@ pub fn run_sharded_with_outputs(
                 for batch in rx {
                     unflushed += batch.len() as u64;
                     if config.batch.enabled {
-                        engine.ingest_batch(batch)?;
+                        engine.ingest(batch)?;
                     } else {
                         for event in batch.events {
                             engine.ingest(event)?;
@@ -170,11 +170,13 @@ pub fn run_sharded_with_outputs(
 
 /// Merges per-shard reports: counters sum, latency merges by maximum
 /// (shards are independent queues), wall time by maximum (they ran
-/// concurrently).
+/// concurrently). Metrics snapshots merge element-wise (counters and
+/// histograms sum, gauges take the maximum).
 #[must_use]
 pub fn merge_reports(reports: Vec<RunReport>) -> RunReport {
     let mut merged = RunReport::default();
     for r in reports {
+        merged.metrics.merge(&r.metrics);
         merged.events_in += r.events_in;
         merged.events_out += r.events_out;
         merged.transitions_applied += r.transitions_applied;

@@ -132,6 +132,13 @@ impl TimeDrivenScheduler {
     pub fn queue_len(&self, p: PartitionId) -> usize {
         self.queues.get(p).map_or(0, caesar_events::EventQueue::len)
     }
+
+    /// Largest depth any partition queue ever reached (the queue depth
+    /// gauge of the observability layer).
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queues.peak_depth()
+    }
 }
 
 #[cfg(test)]

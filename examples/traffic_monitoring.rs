@@ -69,10 +69,7 @@ fn build_system(mode: ExecutionMode, replication: usize) -> CaesarSystem {
             ],
         )
         .within(60)
-        .engine_config(EngineConfig {
-            mode,
-            ..EngineConfig::default()
-        })
+        .engine_config(EngineConfig::builder().mode(mode).build())
         .optimizer_config(optimizer_config)
         .build()
         .expect("linear road model builds")

@@ -5,7 +5,8 @@
 //! caesar explain --model traffic.caesar --schema traffic.schema
 //! caesar run     --model traffic.caesar --schema traffic.schema \
 //!                --events day1.events [--mode ci] [--no-sharing] \
-//!                [--within 60]
+//!                [--within 60] [--metrics] [--metrics-json out.json] \
+//!                [--observability off|counters|spans]
 //! ```
 
 use caesar::cli::{build_system, run, RunOptions};
@@ -39,6 +40,8 @@ const USAGE: &str = "usage:
                  [--mode ca|ci] [--no-sharing] [--within N]
                  [--batch-size N] [--no-vectorize]
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
+                 [--observability off|counters|spans]
+                 [--metrics] [--metrics-json FILE]
 
 --batch-size caps how many same-timestamp events the hot path groups
 into one dispatch (default: uncapped batching; 1 = event-at-a-time,
@@ -50,7 +53,13 @@ identical either way.
 
 with --checkpoint-dir, the run writes durable snapshots + an event log
 to DIR every N events (default 10000; 0 = snapshot only at the end) and
-resumes from DIR if a previous run of the same model was interrupted";
+resumes from DIR if a previous run of the same model was interrupted
+
+--observability selects how much the engine records about itself:
+counters adds cheap event/transaction tallies, spans additionally times
+every pipeline stage. --metrics prints the collected metrics after the
+report; --metrics-json writes them as JSON (both imply --observability
+spans unless a level was given explicitly)";
 
 fn dispatch(args: &[String]) -> Result<String, String> {
     let command = args.first().ok_or("no command given")?;
@@ -87,6 +96,19 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     if args.iter().any(|a| a == "--no-vectorize") {
         options.vectorize = false;
     }
+    options.metrics = args.iter().any(|a| a == "--metrics");
+    if let Some(path) = flag("--metrics-json") {
+        options.metrics_json = Some(path.into());
+    }
+    options.observability = match flag("--observability") {
+        Some(level) => level
+            .parse()
+            .map_err(|e: String| format!("--observability: {e}"))?,
+        // Asking for metrics output without picking a level means the
+        // most detailed one.
+        None if options.metrics || options.metrics_json.is_some() => ObservabilityLevel::Spans,
+        None => ObservabilityLevel::Off,
+    };
 
     match command.as_str() {
         "check" => {
@@ -106,17 +128,16 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             Ok(model_to_dot(&model))
         }
         "explain" => {
-            let model_text = read("--model")?;
-            let schema_text = read("--schema")?;
-            let system =
-                build_system(&model_text, &schema_text, &options).map_err(|e| e.to_string())?;
+            options.model_text = read("--model")?;
+            options.schema_text = read("--schema")?;
+            let system = build_system(&options).map_err(|e| e.to_string())?;
             Ok(system.explain)
         }
         "run" => {
-            let model_text = read("--model")?;
-            let schema_text = read("--schema")?;
-            let events_text = read("--events")?;
-            run(&model_text, &schema_text, &events_text, &options).map_err(|e| e.to_string())
+            options.model_text = read("--model")?;
+            options.schema_text = read("--schema")?;
+            options.events_text = read("--events")?;
+            run(&options).map_err(|e| e.to_string())
         }
         other => Err(format!("unknown command '{other}'")),
     }

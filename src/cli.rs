@@ -158,9 +158,17 @@ pub fn parse_value(raw: &str) -> Value {
     }
 }
 
-/// Run configuration assembled from CLI flags.
+/// Everything a `caesar run` needs: the input texts plus the
+/// configuration assembled from CLI flags. [`run`] is the single entry
+/// point for plain, sharded-rejecting and checkpointed runs alike.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
+    /// Textual `MODEL` block.
+    pub model_text: String,
+    /// Schema file contents (see module docs for the format).
+    pub schema_text: String,
+    /// Event file contents (see module docs for the format).
+    pub events_text: String,
     /// Context-aware or context-independent.
     pub mode: ExecutionMode,
     /// Workload sharing on/off.
@@ -186,11 +194,21 @@ pub struct RunOptions {
     /// views (default on). Off = the batched row interpreter; results
     /// are identical either way.
     pub vectorize: bool,
+    /// Observability level of the engine (and, for checkpointed runs,
+    /// the checkpoint manager): `Off` (default), `Counters` or `Spans`.
+    pub observability: ObservabilityLevel,
+    /// Append the human-readable metrics rendering to the report.
+    pub metrics: bool,
+    /// Write the metrics snapshot as JSON to this path.
+    pub metrics_json: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         Self {
+            model_text: String::new(),
+            schema_text: String::new(),
+            events_text: String::new(),
             mode: ExecutionMode::ContextAware,
             sharing: true,
             shards: 1,
@@ -199,6 +217,9 @@ impl Default for RunOptions {
             checkpoint_every: 10_000,
             batch_size: None,
             vectorize: true,
+            observability: ObservabilityLevel::Off,
+            metrics: false,
+            metrics_json: None,
         }
     }
 }
@@ -215,44 +236,42 @@ impl RunOptions {
     }
 }
 
-/// Builds a system from model + schema text.
-pub fn build_system(
-    model_text: &str,
-    schema_text: &str,
-    options: &RunOptions,
-) -> Result<CaesarSystem, CliError> {
-    let schemas = parse_schema_file(schema_text)?;
+/// Builds a system from the model + schema texts in `options`.
+pub fn build_system(options: &RunOptions) -> Result<CaesarSystem, CliError> {
+    let schemas = parse_schema_file(&options.schema_text)?;
     let builder = apply_schemas(Caesar::builder(), &schemas)
-        .model_text(model_text)
+        .model_text(&options.model_text)
         .within(options.within)
-        .engine_config(EngineConfig {
-            mode: options.mode,
-            sharing: options.sharing,
-            batch: options.batch_policy(),
-            vectorize: options.vectorize,
-            ..EngineConfig::default()
-        });
+        .engine_config(
+            EngineConfig::builder()
+                .mode(options.mode)
+                .sharing(options.sharing)
+                .batch(options.batch_policy())
+                .vectorize(options.vectorize)
+                .observability(options.observability)
+                .build(),
+        );
     builder.build().map_err(|e| CliError::System(e.to_string()))
 }
 
-/// Runs events through a freshly built system and renders the report.
-pub fn run(
-    model_text: &str,
-    schema_text: &str,
-    events_text: &str,
-    options: &RunOptions,
-) -> Result<String, CliError> {
-    let mut system = build_system(model_text, schema_text, options)?;
-    let events = parse_event_file(events_text, &system)?;
+/// Runs the events through a freshly built system and renders the
+/// report — the single `caesar run` entry point. A checkpoint directory
+/// in the options switches the run onto the durable log → ingest →
+/// snapshot protocol (resuming from the directory if a previous run of
+/// the same model was interrupted); otherwise the stream is executed
+/// directly. `metrics` / `metrics_json` append the human rendering of
+/// the metrics snapshot and write it as JSON respectively.
+pub fn run(options: &RunOptions) -> Result<String, CliError> {
+    let mut system = build_system(options)?;
+    let events = parse_event_file(&options.events_text, &system)?;
+    let mut out = String::new();
     let report = if let Some(dir) = &options.checkpoint_dir {
-        let (report, resumed_at) =
-            run_checkpointed(&mut system, events, dir, options.checkpoint_every)?;
-        let mut out = format!("checkpoint dir:      {}\n", dir.display());
+        let (report, resumed_at) = run_checkpointed(&mut system, events, dir, options)?;
+        out.push_str(&format!("checkpoint dir:      {}\n", dir.display()));
         if resumed_at > 0 {
             out.push_str(&format!("resumed at event:    {resumed_at}\n"));
         }
-        out.push_str(&render_report(&report));
-        return Ok(out);
+        report
     } else if options.shards <= 1 {
         system
             .run_stream(&mut VecStream::new(events))
@@ -266,22 +285,35 @@ pub fn run(
                 .into(),
         ));
     };
-    Ok(render_report(&report))
+    out.push_str(&render_report(&report));
+    if options.metrics {
+        out.push('\n');
+        out.push_str(&report.metrics.render());
+    }
+    if let Some(path) = &options.metrics_json {
+        std::fs::write(path, report.metrics.to_json())
+            .map_err(|e| CliError::System(format!("cannot write {}: {e}", path.display())))?;
+        out.push_str(&format!("metrics json:        {}\n", path.display()));
+    }
+    Ok(out)
 }
 
 /// Runs a parsed event stream under the checkpoint protocol: resume
 /// from `dir` if it holds a checkpoint of the same model, log every
 /// event ahead of ingest, snapshot on the configured cadence and once
-/// more at the end of the stream. Returns the report plus the stream
-/// position the run resumed at (0 for a fresh start).
-pub fn run_checkpointed(
+/// more at the end of the stream. Returns the report (durability
+/// metrics merged in) plus the stream position the run resumed at (0
+/// for a fresh start).
+fn run_checkpointed(
     system: &mut CaesarSystem,
     events: Vec<Event>,
     dir: &Path,
-    every: u64,
+    options: &RunOptions,
 ) -> Result<(RunReport, u64), CliError> {
     let sys_err = |e: caesar_recovery::RecoveryError| CliError::System(e.to_string());
-    let mut manager = CheckpointManager::resume(dir, every, &mut system.engine).map_err(sys_err)?;
+    let mut manager = CheckpointManager::resume(dir, options.checkpoint_every, &mut system.engine)
+        .map_err(sys_err)?
+        .with_observability(options.observability);
     let resumed_at = manager.position();
     let skip = usize::try_from(resumed_at)
         .map_err(|_| CliError::System("checkpoint position overflow".into()))?;
@@ -304,7 +336,9 @@ pub fn run_checkpointed(
     // Final snapshot before `finish()`: rerunning against the same (or a
     // longer) event file resumes here instead of replaying everything.
     manager.checkpoint(&system.engine).map_err(sys_err)?;
-    Ok((system.engine.finish(), resumed_at))
+    let mut report = system.engine.finish();
+    report.metrics.merge(&manager.metrics_snapshot());
+    Ok((report, resumed_at))
 }
 
 /// Renders a run report as text.
@@ -395,9 +429,18 @@ CONTEXT congestion {
         assert_eq!(parse_value("\"exit\""), Value::str("exit"));
     }
 
+    fn options() -> RunOptions {
+        RunOptions {
+            model_text: MODEL.into(),
+            schema_text: SCHEMA.into(),
+            events_text: EVENTS.into(),
+            ..RunOptions::default()
+        }
+    }
+
     #[test]
     fn end_to_end_run() {
-        let out = run(MODEL, SCHEMA, EVENTS, &RunOptions::default()).unwrap();
+        let out = run(&options()).unwrap();
         assert!(out.contains("events in:           4"), "{out}");
         assert!(out.contains("TollNotification"), "{out}");
         // One toll: vid 7 at t=6 (vid 8 is on the exit lane).
@@ -406,7 +449,7 @@ CONTEXT congestion {
 
     #[test]
     fn event_parse_errors_are_located() {
-        let system = build_system(MODEL, SCHEMA, &RunOptions::default()).unwrap();
+        let system = build_system(&options()).unwrap();
         let err = parse_event_file("1 0 Ghost a=1\n", &system).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
         let err = parse_event_file("x 0 PositionReport\n", &system).unwrap_err();
@@ -420,16 +463,16 @@ CONTEXT congestion {
         let options = RunOptions {
             checkpoint_dir: Some(dir.clone()),
             checkpoint_every: 2,
-            ..RunOptions::default()
+            ..options()
         };
-        let out = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        let out = run(&options).unwrap();
         assert!(out.contains("checkpoint dir:"), "{out}");
         assert!(out.contains("events in:           4"), "{out}");
         assert!(caesar_recovery::snapshot_path(&dir).exists());
         assert!(caesar_recovery::wal_path(&dir).exists());
         // A second run over the same file resumes at the end: nothing is
         // replayed, and the report matches the first run.
-        let out2 = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        let out2 = run(&options).unwrap();
         assert!(out2.contains("resumed at event:    4"), "{out2}");
         assert!(out2.contains("TollNotification               1"), "{out2}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -442,9 +485,9 @@ CONTEXT congestion {
         let options = RunOptions {
             checkpoint_dir: Some(dir.clone()),
             checkpoint_every: 2,
-            ..RunOptions::default()
+            ..options()
         };
-        run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        run(&options).unwrap();
         // Flip a payload byte: the next run must fail with the checksum
         // diagnostic instead of panicking or silently restarting.
         let snap = caesar_recovery::snapshot_path(&dir);
@@ -452,7 +495,7 @@ CONTEXT congestion {
         let last = data.len() - 1;
         data[last] ^= 0xFF;
         std::fs::write(&snap, &data).unwrap();
-        let err = run(MODEL, SCHEMA, EVENTS, &options).unwrap_err();
+        let err = run(&options).unwrap_err();
         assert!(
             err.to_string().contains("integrity check"),
             "unexpected error: {err}"
@@ -483,19 +526,14 @@ CONTEXT congestion {
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        let baseline = deterministic(run(MODEL, SCHEMA, EVENTS, &RunOptions::default()).unwrap());
+        let baseline = deterministic(run(&options()).unwrap());
         for vectorize in [true, false] {
             for batch_size in [Some(1), Some(2), None] {
-                let out = run(
-                    MODEL,
-                    SCHEMA,
-                    EVENTS,
-                    &RunOptions {
-                        batch_size,
-                        vectorize,
-                        ..RunOptions::default()
-                    },
-                )
+                let out = run(&RunOptions {
+                    batch_size,
+                    vectorize,
+                    ..options()
+                })
                 .unwrap();
                 assert_eq!(
                     deterministic(out),
@@ -510,9 +548,39 @@ CONTEXT congestion {
     fn ci_mode_flag_respected() {
         let options = RunOptions {
             mode: ExecutionMode::ContextIndependent,
-            ..RunOptions::default()
+            ..options()
         };
-        let out = run(MODEL, SCHEMA, EVENTS, &options).unwrap();
+        let out = run(&options).unwrap();
         assert!(out.contains("plans suspended:     0"), "{out}");
+    }
+
+    #[test]
+    fn metrics_flags_render_and_write_json() {
+        let json_path =
+            std::env::temp_dir().join(format!("caesar-cli-metrics-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&json_path);
+        let out = run(&RunOptions {
+            observability: ObservabilityLevel::Spans,
+            metrics: true,
+            metrics_json: Some(json_path.clone()),
+            ..options()
+        })
+        .unwrap();
+        assert!(out.contains("metrics (level: spans):"), "{out}");
+        assert!(out.contains("events_ingested"), "{out}");
+        assert!(out.contains("stage spans"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"operators\""), "{json}");
+        assert!(json.contains("\"contexts\""), "{json}");
+        // Same inputs at Off must still compute the same answer, with
+        // the report carrying the always-on operator accounting.
+        let off = run(&RunOptions {
+            metrics: true,
+            ..options()
+        })
+        .unwrap();
+        assert!(off.contains("events in:           4"), "{off}");
+        let _ = std::fs::remove_file(&json_path);
     }
 }

@@ -75,13 +75,14 @@ fn lr_system_with(
         } else {
             OptimizerConfig::unoptimized()
         })
-        .engine_config(EngineConfig {
-            mode,
-            collect_outputs: true,
-            batch,
-            vectorize,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .mode(mode)
+                .collect_outputs(true)
+                .batch(batch)
+                .vectorize(vectorize)
+                .build(),
+        )
         .build()
         .expect("LR model builds")
 }
@@ -262,10 +263,11 @@ fn sharded_batched_matches_sharded_per_event() {
     let program = Optimizer::default().optimize(translation, &registry);
     let events = lr_events(43);
     for shards in [1usize, 2, 4] {
-        let config = |batch: BatchPolicy| EngineConfig {
-            collect_outputs: true,
-            batch,
-            ..EngineConfig::default()
+        let config = |batch: BatchPolicy| {
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .batch(batch)
+                .build()
         };
         let baseline = run_sharded_with_outputs(
             &program,

@@ -43,11 +43,12 @@ fn build(batch: BatchPolicy) -> CaesarSystem {
             }
         "#,
         )
-        .engine_config(EngineConfig {
-            collect_outputs: true,
-            batch,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .batch(batch)
+                .build(),
+        )
         .build()
         .unwrap()
 }
@@ -124,8 +125,8 @@ proptest! {
 
     /// Stronger: ANY legal re-chunking — same-timestamp runs split at
     /// arbitrary positions chosen by proptest — fed straight into
-    /// `ingest_batch` matches the per-event run. Legality only requires
-    /// each batch to be a contiguous same-timestamp slice.
+    /// `ingest` as whole batches matches the per-event run. Legality
+    /// only requires each batch to be a contiguous same-timestamp slice.
     #[test]
     fn arbitrary_rechunking_is_invariant(
         script in arb_script(),
@@ -144,13 +145,13 @@ proptest! {
             });
             if boundary {
                 let batch = EventBatch::new(chunk[0].time(), std::mem::take(&mut chunk));
-                sys.engine.ingest_batch(batch).unwrap();
+                sys.engine.ingest(batch).unwrap();
             }
             chunk.push(event.clone());
         }
         if !chunk.is_empty() {
             let batch = EventBatch::new(chunk[0].time(), chunk);
-            sys.engine.ingest_batch(batch).unwrap();
+            sys.engine.ingest(batch).unwrap();
         }
         let report = sys.finish();
         let outputs = std::mem::take(&mut sys.engine.collected_outputs);

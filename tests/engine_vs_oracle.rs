@@ -38,10 +38,7 @@ fn lr_system(mode: ExecutionMode, optimized: bool, replication: usize) -> Caesar
         } else {
             OptimizerConfig::unoptimized()
         })
-        .engine_config(EngineConfig {
-            mode,
-            ..EngineConfig::default()
-        })
+        .engine_config(EngineConfig::builder().mode(mode).build())
         .build()
         .expect("LR model builds")
 }
@@ -201,10 +198,7 @@ fn sharing_does_not_change_results() {
                 ],
             )
             .within(60)
-            .engine_config(EngineConfig {
-                sharing,
-                ..EngineConfig::default()
-            })
+            .engine_config(EngineConfig::builder().sharing(sharing).build())
             .build()
             .unwrap();
         system

@@ -1,0 +1,270 @@
+//! Observability equivalence: turning metrics collection on must never
+//! change what the engine computes. The same stream runs under every
+//! observability level crossed with the batch/vectorize execution
+//! modes; outputs must be byte-identical and every stream-derived
+//! counter — report totals, per-operator in/out, per-query roll-ups,
+//! per-context admission — must agree exactly. Only the measurement
+//! side (span histograms, kernel-vs-fallback row split) may differ.
+
+use caesar::prelude::*;
+use caesar::recovery::outputs_equivalent;
+use caesar::runtime::obs::Histogram;
+use caesar::runtime::MetricsSnapshot;
+
+const MODEL: &str = r#"
+    MODEL m DEFAULT idle
+    CONTEXT idle {
+        SWITCH CONTEXT busy PATTERN Enter
+    }
+    CONTEXT busy {
+        SWITCH CONTEXT idle PATTERN Leave
+        DERIVE Hot(r.v, r.sec)
+            PATTERN Reading r
+            WHERE r.v + 1 > 2 AND r.sec > 0
+        DERIVE Pair(a.v, b.v)
+            PATTERN SEQ(Mark a, Mark b)
+            WHERE a.v = b.v
+    }
+"#;
+
+fn build(level: ObservabilityLevel, batch: BatchPolicy, vectorize: bool) -> CaesarSystem {
+    Caesar::builder()
+        .schema("Reading", &[("v", AttrType::Int), ("sec", AttrType::Int)])
+        .schema("Enter", &[("v", AttrType::Int)])
+        .schema("Mark", &[("v", AttrType::Int)])
+        .schema("Leave", &[("v", AttrType::Int)])
+        .within(50)
+        .model_text(MODEL)
+        .engine_config(
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .batch(batch)
+                .vectorize(vectorize)
+                .observability(level)
+                .build(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Deterministic stream with same-timestamp runs (the batched hot
+/// path's regime), several partitions and a few context switches.
+fn events(sys: &CaesarSystem) -> Vec<Event> {
+    let mut out = Vec::new();
+    for t in 1..=120u64 {
+        let p = PartitionId((t % 3) as u32);
+        if t % 40 == 10 {
+            let e = sys
+                .event("Enter", t)
+                .unwrap()
+                .partition(p)
+                .attr("v", 0i64)
+                .unwrap()
+                .build()
+                .unwrap();
+            out.push(e);
+        }
+        if t % 40 == 35 {
+            let e = sys
+                .event("Leave", t)
+                .unwrap()
+                .partition(p)
+                .attr("v", 0i64)
+                .unwrap()
+                .build()
+                .unwrap();
+            out.push(e);
+        }
+        // Marks feed the SEQ query. They ride a different partition so
+        // Reading transactions stay pure: the stage-major batch path
+        // (and with it the vectorized kernels) only engages when every
+        // plan consuming a transaction is stage-major, and a sequence
+        // pattern is not.
+        if t % 10 == 7 {
+            let e = sys
+                .event("Mark", t)
+                .unwrap()
+                .partition(PartitionId(((t + 1) % 3) as u32))
+                .attr("v", (t as i64) % 4)
+                .unwrap()
+                .build()
+                .unwrap();
+            out.push(e);
+        }
+        // A same-timestamp run of readings per tick, wide enough to
+        // clear the batch fast path's `min_events` threshold.
+        for k in 0..8i64 {
+            let e = sys
+                .event("Reading", t)
+                .unwrap()
+                .partition(p)
+                .attr("v", (t as i64 + k) % 5)
+                .unwrap()
+                .attr("sec", t as i64)
+                .unwrap()
+                .build()
+                .unwrap();
+            out.push(e);
+        }
+    }
+    out
+}
+
+struct Run {
+    outputs: Vec<Event>,
+    report: RunReport,
+}
+
+fn run(level: ObservabilityLevel, batch: BatchPolicy, vectorize: bool) -> Run {
+    let mut sys = build(level, batch, vectorize);
+    let stream = events(&sys);
+    sys.run_stream(&mut VecStream::new(stream)).unwrap();
+    let report = sys.finish();
+    let outputs = std::mem::take(&mut sys.engine.collected_outputs);
+    Run { outputs, report }
+}
+
+/// The stream-derived projection of a snapshot: everything that must be
+/// identical no matter how the run was observed or batched.
+fn stream_derived(m: &MetricsSnapshot) -> Vec<(String, u64, u64, u64)> {
+    let mut rows = Vec::new();
+    for (k, op) in &m.operators {
+        rows.push((format!("op:{k}"), op.events_in, op.events_out, op.errors));
+    }
+    for (k, q) in &m.queries {
+        rows.push((format!("q:{k}"), q.events_in, q.matches_out, 0));
+    }
+    for (k, c) in &m.contexts {
+        rows.push((format!("c:{k}"), c.events_admitted, c.events_dropped, 0));
+    }
+    rows
+}
+
+#[test]
+fn levels_and_modes_agree_byte_for_byte() {
+    let baseline = run(ObservabilityLevel::Off, BatchPolicy::per_event(), false);
+    assert!(
+        baseline.report.events_out > 0,
+        "the workload must actually derive events"
+    );
+    let derived = stream_derived(&baseline.report.metrics);
+    assert!(!derived.is_empty(), "operator walk populated even at Off");
+
+    for level in [
+        ObservabilityLevel::Off,
+        ObservabilityLevel::Counters,
+        ObservabilityLevel::Spans,
+    ] {
+        for (batch, vectorize) in [
+            (BatchPolicy::per_event(), false),
+            (BatchPolicy::default(), false),
+            (BatchPolicy::default(), true),
+            (BatchPolicy::bounded(3), true),
+        ] {
+            let candidate = run(level, batch, vectorize);
+            let tag = format!("{level:?} {batch:?} vectorize={vectorize}");
+            assert!(
+                outputs_equivalent(&baseline.outputs, &candidate.outputs),
+                "{tag}: outputs diverged"
+            );
+            assert_eq!(
+                baseline.report.events_in, candidate.report.events_in,
+                "{tag}"
+            );
+            assert_eq!(
+                baseline.report.events_out, candidate.report.events_out,
+                "{tag}"
+            );
+            assert_eq!(
+                baseline.report.transitions_applied, candidate.report.transitions_applied,
+                "{tag}"
+            );
+            assert_eq!(
+                baseline.report.outputs_by_type, candidate.report.outputs_by_type,
+                "{tag}"
+            );
+            assert_eq!(
+                derived,
+                stream_derived(&candidate.report.metrics),
+                "{tag}: stream-derived metrics diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_level_records_live_counters() {
+    let counted = run(ObservabilityLevel::Counters, BatchPolicy::default(), true);
+    let m = &counted.report.metrics;
+    assert_eq!(
+        m.counters.get("events_ingested"),
+        Some(&counted.report.events_in),
+        "live counter matches the report"
+    );
+    assert!(m.counters.get("transactions_executed").copied() > Some(0));
+    assert!(!m.batch_sizes.is_empty(), "batch sizes observed");
+    assert!(m.stages.is_empty(), "no span timing below Spans");
+    assert!(m.queue_depth_peak > 0);
+
+    let spanned = run(ObservabilityLevel::Spans, BatchPolicy::default(), true);
+    let stages = &spanned.report.metrics.stages;
+    for stage in ["distributor", "scheduler", "derivation", "processing"] {
+        assert!(
+            stages.get(stage).is_some_and(|h| !h.is_empty()),
+            "stage `{stage}` timed under Spans (got {:?})",
+            stages.keys().collect::<Vec<_>>()
+        );
+    }
+
+    let off = run(ObservabilityLevel::Off, BatchPolicy::default(), true);
+    assert!(off.report.metrics.counters.is_empty());
+    assert!(off.report.metrics.stages.is_empty());
+}
+
+#[test]
+fn vectorize_split_differs_but_totals_do_not() {
+    // kernel_rows vs fallback_rows is measurement, not semantics: the
+    // split flips with `vectorize`, the per-operator totals must not.
+    let kernel = run(ObservabilityLevel::Off, BatchPolicy::default(), true);
+    let interp = run(ObservabilityLevel::Off, BatchPolicy::default(), false);
+    let k_rows: u64 = kernel
+        .report
+        .metrics
+        .operators
+        .values()
+        .map(|o| o.kernel_rows)
+        .sum();
+    let i_rows: u64 = interp
+        .report
+        .metrics
+        .operators
+        .values()
+        .map(|o| o.kernel_rows)
+        .sum();
+    assert!(k_rows > 0, "vectorized run exercises kernels");
+    assert_eq!(i_rows, 0, "interpreter run never touches kernels");
+    assert_eq!(
+        stream_derived(&kernel.report.metrics),
+        stream_derived(&interp.report.metrics)
+    );
+}
+
+#[test]
+fn histogram_buckets_round_trip_through_serde() {
+    let mut h = Histogram::latency_ns();
+    for v in [0u64, 1, 999, 1_000, 50_000, 4_194_304_000, u64::MAX] {
+        h.record(v);
+    }
+    let bytes = serde::to_bytes(&h);
+    let back: Histogram = serde::from_bytes(&bytes).unwrap();
+    assert_eq!(h, back, "bucket bounds and counts survive the codec");
+
+    let mut sizes = Histogram::batch_sizes();
+    sizes.record(1);
+    sizes.record(4096);
+    sizes.record(100_000);
+    let back: Histogram = serde::from_bytes(&serde::to_bytes(&sizes)).unwrap();
+    assert_eq!(sizes, back);
+    assert_eq!(back.count, 3);
+    assert_eq!(back.max, 100_000);
+}

@@ -37,10 +37,9 @@ fn reorder_slack_repairs_bounded_disorder() {
     let mut system = build_lr_system(
         1,
         OptimizerConfig::default(),
-        EngineConfig {
-            reorder_slack: max_disorder + 1,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .reorder_slack(max_disorder + 1)
+            .build(),
     );
     let report = system
         .run_stream(&mut ShuffledStream(shuffled.into_iter()))

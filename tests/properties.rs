@@ -192,7 +192,7 @@ proptest! {
                     }
                 "#,
                 )
-                .engine_config(EngineConfig { mode, ..EngineConfig::default() })
+                .engine_config(EngineConfig::builder().mode(mode).build())
                 .build()
                 .unwrap()
         };

@@ -53,11 +53,12 @@ fn lr_engine(mode: ExecutionMode) -> Engine {
         .schema("StoppedCars", seg_attrs)
         .schema("StoppedCarsRemoved", seg_attrs)
         .within(60)
-        .engine_config(EngineConfig {
-            mode,
-            collect_outputs: true,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .mode(mode)
+                .collect_outputs(true)
+                .build(),
+        )
         .build()
         .expect("LR model builds")
         .engine

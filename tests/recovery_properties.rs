@@ -52,11 +52,12 @@ fn lr_engine() -> Engine {
         .schema("StoppedCars", seg_attrs)
         .schema("StoppedCarsRemoved", seg_attrs)
         .within(60)
-        .engine_config(EngineConfig {
-            mode: ExecutionMode::ContextAware,
-            collect_outputs: true,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .mode(ExecutionMode::ContextAware)
+                .collect_outputs(true)
+                .build(),
+        )
         .build()
         .expect("LR model builds")
         .engine

@@ -304,12 +304,13 @@ fn build(batch: BatchPolicy, vectorize: bool) -> CaesarSystem {
             }
         "#,
         )
-        .engine_config(EngineConfig {
-            collect_outputs: true,
-            batch,
-            vectorize,
-            ..EngineConfig::default()
-        })
+        .engine_config(
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .batch(batch)
+                .vectorize(vectorize)
+                .build(),
+        )
         .build()
         .unwrap()
 }
