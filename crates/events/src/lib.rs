@@ -42,7 +42,7 @@ pub use columnar::{Column, ColumnKind, ColumnarBatch, ColumnarView, StrColumn};
 pub use error::EventError;
 pub use event::{Event, EventBuilder, PartitionId};
 pub use queue::{EventQueue, PartitionedQueues};
-pub use reorder::ReorderBuffer;
+pub use reorder::{max_lateness, ReorderBuffer};
 pub use schema::{AttrId, AttrType, Schema, SchemaRegistry, TypeId};
 pub use stream::{EventBatch, EventStream, MergedStream, VecStream};
 pub use time::{Interval, Time, WindowSpan, TIME_MAX};

@@ -69,6 +69,23 @@ impl std::fmt::Debug for ReorderBuffer {
     }
 }
 
+/// Maximum lateness of an arrival sequence: the largest gap between an
+/// event's timestamp and the running maximum at its arrival. A
+/// [`ReorderBuffer`] whose slack is at least this value reorders the
+/// sequence without dropping anything — stream generators use it to
+/// compute the exact slack a disordered stream needs.
+#[must_use]
+pub fn max_lateness(events: &[Event]) -> Time {
+    let mut high: Time = 0;
+    let mut worst: Time = 0;
+    for event in events {
+        let t = event.time();
+        worst = worst.max(high.saturating_sub(t));
+        high = high.max(t);
+    }
+    worst
+}
+
 impl ReorderBuffer {
     /// Creates a buffer tolerating up to `slack` ticks of disorder.
     #[must_use]

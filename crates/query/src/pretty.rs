@@ -131,6 +131,19 @@ pub fn model_to_string(model: &CaesarModel) -> String {
     out
 }
 
+/// A canonical structural signature of a query: the rendered clauses
+/// minus the query's name and context attachment. Two queries with the
+/// same signature describe the same work — the workload-sharing
+/// optimizer would merge them, and model generators use this to avoid
+/// (or deliberately produce) such duplicates.
+#[must_use]
+pub fn query_signature(query: &EventQuery) -> String {
+    let mut stripped = query.clone();
+    stripped.name = None;
+    stripped.contexts = Vec::new();
+    query_to_string(&stripped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,175 @@
+//! Mode-matrix driver: run one optimized program over one event stream
+//! under a *named* engine mode, returning the report plus every
+//! collected output event.
+//!
+//! The differential-testing harness (`caesar-testkit`) uses this to
+//! sweep a workload across the full execution matrix — sequential and
+//! sharded, every batch policy, vectorized kernels on and off, every
+//! observability level, and a mid-stream snapshot/restore leg — without
+//! re-implementing the run loop per leg. Each leg carries a label so a
+//! divergence names the exact mode that produced it.
+
+use crate::engine::{Engine, EngineConfig, RunReport};
+use crate::obs::ObservabilityLevel;
+use crate::parallel::run_sharded_with_outputs;
+use caesar_events::{BatchPolicy, Event, EventError, SchemaRegistry, Time, VecStream};
+use caesar_optimizer::OptimizedProgram;
+
+/// One cell of the execution-mode matrix.
+#[derive(Debug, Clone)]
+pub struct ModeSpec {
+    /// Human-readable leg name (shows up in divergence reports).
+    pub label: String,
+    /// Engine configuration for this leg.
+    pub config: EngineConfig,
+    /// `0` runs sequentially; `n > 0` runs `n` hash-sharded engines.
+    pub shards: usize,
+    /// Run the leg against the optimized program (`true`) or the
+    /// unoptimized translation (`false`). The driver itself is agnostic
+    /// — callers pick which program to pass — but the flag travels with
+    /// the spec so matrices can describe both.
+    pub optimized: bool,
+    /// Sequential legs only: after ingesting this many events, snapshot
+    /// the engine, restore into a fresh engine and continue — the
+    /// checkpoint/restore leg of the matrix.
+    pub restart_after: Option<usize>,
+}
+
+impl ModeSpec {
+    /// A sequential leg with the given label and config.
+    #[must_use]
+    pub fn sequential(label: impl Into<String>, config: EngineConfig) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            shards: 0,
+            optimized: true,
+            restart_after: None,
+        }
+    }
+}
+
+/// Runs `events` through `program` under `spec`, returning the run
+/// report and the collected outputs. `collect_outputs` is forced on —
+/// the whole point of a driver leg is comparing outputs.
+pub fn run_mode(
+    program: &OptimizedProgram,
+    registry: &SchemaRegistry,
+    spec: &ModeSpec,
+    events: &[Event],
+) -> Result<(RunReport, Vec<Event>), EventError> {
+    let mut config = spec.config;
+    config.collect_outputs = true;
+    if spec.shards > 0 {
+        // The sharded entry point wants an ordered stream. A stable
+        // sort by time yields exactly the order a `ReorderBuffer` with
+        // sufficient slack would release (ties keep arrival order), so
+        // disordered workloads compare one-to-one with sequential legs.
+        return run_sharded_with_outputs(
+            program,
+            registry,
+            config,
+            spec.shards,
+            &mut VecStream::from_unsorted(events.to_vec()),
+        );
+    }
+    let mut engine = Engine::new(program.clone(), registry, config);
+    match spec.restart_after {
+        None => {
+            for event in events {
+                engine.ingest(event.clone())?;
+            }
+        }
+        Some(cut) => {
+            let cut = cut.min(events.len());
+            for event in &events[..cut] {
+                engine.ingest(event.clone())?;
+            }
+            let state = engine.snapshot_state();
+            let mut resumed = Engine::new(program.clone(), registry, config);
+            resumed
+                .restore_state(state)
+                .expect("snapshot restores into an engine built from the same program");
+            engine = resumed;
+            for event in &events[cut..] {
+                engine.ingest(event.clone())?;
+            }
+        }
+    }
+    let report = engine.finish();
+    let outputs = std::mem::take(&mut engine.collected_outputs);
+    Ok((report, outputs))
+}
+
+/// The standard differential matrix: ten legs spanning sequential and
+/// sharded execution, per-event and batched policies, vectorized
+/// kernels on/off, every observability level, optimized and
+/// unoptimized programs, plus a mid-stream snapshot/restore leg.
+///
+/// `slack` is the reorder tolerance every leg needs for the stream
+/// under test; `n_events` positions the restart leg's cut point.
+#[must_use]
+pub fn standard_matrix(slack: Time, n_events: usize) -> Vec<ModeSpec> {
+    let base = || EngineConfig::builder().reorder_slack(slack);
+    let mut specs = vec![
+        ModeSpec::sequential(
+            "seq/per-event/optimized",
+            base().batch(BatchPolicy::per_event()).build(),
+        ),
+        ModeSpec::sequential(
+            "seq/per-event/unoptimized",
+            base().batch(BatchPolicy::per_event()).build(),
+        ),
+        ModeSpec::sequential(
+            "seq/batch/vectorized",
+            base().batch(BatchPolicy::default()).vectorize(true).build(),
+        ),
+        ModeSpec::sequential(
+            "seq/batch/interpreted",
+            base()
+                .batch(BatchPolicy::default())
+                .vectorize(false)
+                .build(),
+        ),
+        ModeSpec::sequential(
+            "seq/batch-bounded3/counters",
+            base()
+                .batch(BatchPolicy::bounded(3))
+                .observability(ObservabilityLevel::Counters)
+                .build(),
+        ),
+        ModeSpec::sequential(
+            "seq/batch/spans",
+            base()
+                .batch(BatchPolicy::default())
+                .observability(ObservabilityLevel::Spans)
+                .build(),
+        ),
+        ModeSpec::sequential(
+            "seq/batch/unoptimized",
+            base().batch(BatchPolicy::default()).build(),
+        ),
+        ModeSpec::sequential(
+            "seq/restart-midstream",
+            base().batch(BatchPolicy::per_event()).build(),
+        ),
+    ];
+    specs[1].optimized = false;
+    specs[6].optimized = false;
+    specs[7].restart_after = Some(n_events / 2);
+    specs.push(ModeSpec {
+        label: "sharded2/per-event".into(),
+        config: base().batch(BatchPolicy::per_event()).build(),
+        shards: 2,
+        optimized: true,
+        restart_after: None,
+    });
+    specs.push(ModeSpec {
+        label: "sharded3/batch/vectorized".into(),
+        config: base().batch(BatchPolicy::default()).vectorize(true).build(),
+        shards: 3,
+        optimized: true,
+        restart_after: None,
+    });
+    specs
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod driver;
 pub mod engine;
 pub mod metrics;
 pub mod obs;
@@ -38,6 +39,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
+pub use driver::{run_mode, standard_matrix, ModeSpec};
 pub use engine::{
     Engine, EngineConfig, EngineConfigBuilder, EngineState, ExecutionMode, RestoreError, RunReport,
 };

@@ -1,0 +1,32 @@
+//! Small system-construction helpers shared by the integration tests.
+
+use caesar_core::prelude::*;
+
+/// A schema declaration: type name plus attribute `(name, type)` pairs.
+pub type SchemaDecl<'a> = (&'a str, &'a [(&'a str, AttrType)]);
+
+/// Builds a [`CaesarSystem`] from a schema list, a model text, the
+/// default `WITHIN` horizon and an engine configuration — the chain
+/// every integration test used to spell out by hand.
+///
+/// # Panics
+/// Panics if the model does not build; test fixtures are expected to be
+/// valid.
+#[must_use]
+pub fn system(
+    schemas: &[SchemaDecl<'_>],
+    within: Time,
+    model_text: &str,
+    engine: EngineConfig,
+) -> CaesarSystem {
+    let mut builder = Caesar::builder();
+    for (name, attrs) in schemas {
+        builder = builder.schema(name, attrs);
+    }
+    builder
+        .within(within)
+        .model_text(model_text)
+        .engine_config(engine)
+        .build()
+        .expect("test model builds")
+}

@@ -13,11 +13,12 @@
 //! * checkpoints written by one mode and resumed by the other.
 
 use caesar::linear_road::{expected_outputs, lr_model, lr_registry, LinearRoadConfig, TrafficSim};
-use caesar::optimizer::{Optimizer, OptimizerConfig};
+use caesar::optimizer::Optimizer;
 use caesar::prelude::*;
 use caesar::query::QuerySet;
 use caesar::recovery::{outputs_equivalent, reports_equivalent, CheckpointManager};
 use caesar::runtime::run_sharded_with_outputs;
+use caesar_testkit::lr::LR_WITHIN;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,47 +45,16 @@ fn lr_system_with(
     batch: BatchPolicy,
     vectorize: bool,
 ) -> CaesarSystem {
-    let seg_attrs: &[(&str, AttrType)] = &[
-        ("xway", AttrType::Int),
-        ("dir", AttrType::Int),
-        ("seg", AttrType::Int),
-        ("sec", AttrType::Int),
-    ];
-    Caesar::builder()
-        .model(lr_model(1))
-        .schema(
-            "PositionReport",
-            &[
-                ("vid", AttrType::Int),
-                ("sec", AttrType::Int),
-                ("speed", AttrType::Int),
-                ("xway", AttrType::Int),
-                ("lane", AttrType::Str),
-                ("dir", AttrType::Int),
-                ("seg", AttrType::Int),
-                ("pos", AttrType::Int),
-            ],
-        )
-        .schema("ManySlowCars", seg_attrs)
-        .schema("FewFastCars", seg_attrs)
-        .schema("StoppedCars", seg_attrs)
-        .schema("StoppedCarsRemoved", seg_attrs)
-        .within(60)
-        .optimizer_config(if optimized {
-            OptimizerConfig::default()
-        } else {
-            OptimizerConfig::unoptimized()
-        })
-        .engine_config(
-            EngineConfig::builder()
-                .mode(mode)
-                .collect_outputs(true)
-                .batch(batch)
-                .vectorize(vectorize)
-                .build(),
-        )
-        .build()
-        .expect("LR model builds")
+    caesar_testkit::lr::lr_system(
+        optimized,
+        1,
+        EngineConfig::builder()
+            .mode(mode)
+            .collect_outputs(true)
+            .batch(batch)
+            .vectorize(vectorize)
+            .build(),
+    )
 }
 
 fn lr_events(seed: u64) -> Vec<Event> {
@@ -257,7 +227,9 @@ fn sharded_batched_matches_sharded_per_event() {
     let translation = caesar::algebra::translate::translate_query_set(
         &qs,
         &mut registry,
-        &caesar::algebra::translate::TranslateOptions { default_within: 60 },
+        &caesar::algebra::translate::TranslateOptions {
+            default_within: LR_WITHIN,
+        },
     )
     .unwrap();
     let program = Optimizer::default().optimize(translation, &registry);

@@ -1,0 +1,170 @@
+//! Generative differential testing: random CAESAR models + random
+//! event streams, every workload run through the full engine mode
+//! matrix (sequential/sharded × batch policies × vectorize on/off ×
+//! observability levels × optimized/unoptimized, plus a mid-stream
+//! snapshot/restore leg) and compared byte-for-byte against the naive
+//! reference oracle in `caesar-testkit`.
+//!
+//! Reproducing a failure: every panic prints the workload seed. Re-run
+//! just that seed with
+//!
+//! ```sh
+//! CAESAR_DIFF_SEEDS=0x1234abcd cargo test --test differential_random
+//! ```
+//!
+//! Knobs (all environment variables):
+//!
+//! * `CAESAR_DIFF_CASES` — number of random workloads per generator
+//!   profile (default 25 locally; CI sets 70 for ≥ 200 total models).
+//! * `CAESAR_DIFF_SEED_BASE` — base seed for the randomized sweep; the
+//!   scheduled CI soak sets this from the date so each night explores
+//!   fresh territory while staying reproducible from the log.
+//! * `CAESAR_DIFF_SEEDS` — comma-separated explicit seeds (hex `0x..`
+//!   or decimal); overrides the sweep entirely.
+
+use caesar_testkit::{
+    check_workload, check_workload_against, mutated_oracle_run, shrink_workload,
+    workload_from_seed, GenConfig, Mutation, Workload,
+};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| parse_u64(&s))
+        .unwrap_or(default)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn explicit_seeds() -> Option<Vec<u64>> {
+    let raw = std::env::var("CAESAR_DIFF_SEEDS").ok()?;
+    let seeds: Vec<u64> = raw.split(',').filter_map(parse_u64).collect();
+    (!seeds.is_empty()).then_some(seeds)
+}
+
+/// SplitMix64 — decorrelates consecutive sweep indices into seeds.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checks one seed; on divergence, shrinks greedily and panics with
+/// both the original and the minimized reproducer.
+fn check_seed(seed: u64, config: &GenConfig) {
+    let workload = workload_from_seed(seed, config);
+    if let Err(failure) = check_workload(&workload) {
+        let shrunk: Workload = shrink_workload(&workload);
+        let shrunk_failure =
+            check_workload(&shrunk).expect_err("shrinking only keeps candidates that still fail");
+        panic!(
+            "engine diverged from reference oracle\n\n\
+             == original ==\n{failure}\n\
+             == shrunk ({} events) ==\n{shrunk_failure}\n\
+             reproduce: CAESAR_DIFF_SEEDS={seed:#x} cargo test --test differential_random",
+            shrunk.events.len(),
+        );
+    }
+}
+
+/// Generator profiles the sweep cycles through, so the case budget
+/// spreads over structurally different regions: the default mix, a
+/// negation/disorder-heavy mix, and a dense same-timestamp mix with
+/// tight windows.
+fn profiles() -> Vec<GenConfig> {
+    let default = GenConfig::default();
+    let adversarial = GenConfig {
+        negation_bias: 0.8,
+        disorder: 0.5,
+        subsumable_bias: 0.6,
+        ..GenConfig::default()
+    };
+    let dense = GenConfig {
+        same_time_bias: 0.7,
+        max_partitions: 2,
+        min_events: 40,
+        max_events: 160,
+        ..GenConfig::default()
+    };
+    vec![default, adversarial, dense]
+}
+
+/// Fixed seeds checked on every run — fast, deterministic coverage that
+/// does not depend on the environment. Grown whenever a randomized run
+/// finds a divergence (the seed gets pinned here next to the fix).
+const PINNED_SEEDS: &[u64] = &[
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_002a,
+    0x0000_0000_05ee_d001,
+    0x1111_2222_3333_4444,
+    0x5eed_5eed_5eed_5eed,
+    0x9e37_79b9_7f4a_7c15,
+    0xdead_beef_cafe_f00d,
+    0xffff_ffff_ffff_fffe,
+];
+
+#[test]
+fn pinned_seeds_match_oracle() {
+    let config = GenConfig::default();
+    for &seed in PINNED_SEEDS {
+        check_seed(seed, &config);
+    }
+}
+
+#[test]
+fn random_sweep_matches_oracle() {
+    if let Some(seeds) = explicit_seeds() {
+        let config = GenConfig::default();
+        for seed in seeds {
+            check_seed(seed, &config);
+        }
+        return;
+    }
+    let cases = env_u64("CAESAR_DIFF_CASES", 25);
+    let base = env_u64("CAESAR_DIFF_SEED_BASE", 0xCAE5_A201_6EDB_0005);
+    for (pi, profile) in profiles().iter().enumerate() {
+        for i in 0..cases {
+            let seed = mix(base ^ ((pi as u64) << 56) ^ i);
+            check_seed(seed, profile);
+        }
+    }
+}
+
+/// The harness must have teeth: run the engine against an oracle with a
+/// deliberately injected semantics bug and demand a mismatch. Each
+/// mutation models a classic off-by-one in the paper's context-window
+/// semantics (documented in EXPERIMENTS.md).
+#[test]
+fn mutated_oracles_are_caught() {
+    let config = GenConfig::default();
+    for mutation in [
+        Mutation::InclusiveInitiation,
+        Mutation::NoDefaultRestore,
+        Mutation::IgnoreWithin,
+    ] {
+        let mut caught = false;
+        for i in 0..60u64 {
+            let workload = workload_from_seed(mix(0xbad0_5eed ^ i), &config);
+            let Ok(mutated) = mutated_oracle_run(&workload, mutation) else {
+                continue;
+            };
+            if check_workload_against(&workload, &mutated).is_err() {
+                caught = true;
+                break;
+            }
+        }
+        assert!(
+            caught,
+            "{mutation:?}: no generated workload distinguished the mutated oracle \
+             from the engine — the differential harness has a blind spot"
+        );
+    }
+}

@@ -3,44 +3,16 @@
 //! configuration — optimization and context-awareness change cost, never
 //! results.
 
-use caesar::linear_road::{expected_outputs, lr_model, LinearRoadConfig, TrafficSim};
+use caesar::linear_road::{expected_outputs, LinearRoadConfig, TrafficSim};
 use caesar::prelude::*;
+use caesar_testkit::lr;
 
 fn lr_system(mode: ExecutionMode, optimized: bool, replication: usize) -> CaesarSystem {
-    let seg_attrs: &[(&str, AttrType)] = &[
-        ("xway", AttrType::Int),
-        ("dir", AttrType::Int),
-        ("seg", AttrType::Int),
-        ("sec", AttrType::Int),
-    ];
-    Caesar::builder()
-        .model(lr_model(replication))
-        .schema(
-            "PositionReport",
-            &[
-                ("vid", AttrType::Int),
-                ("sec", AttrType::Int),
-                ("speed", AttrType::Int),
-                ("xway", AttrType::Int),
-                ("lane", AttrType::Str),
-                ("dir", AttrType::Int),
-                ("seg", AttrType::Int),
-                ("pos", AttrType::Int),
-            ],
-        )
-        .schema("ManySlowCars", seg_attrs)
-        .schema("FewFastCars", seg_attrs)
-        .schema("StoppedCars", seg_attrs)
-        .schema("StoppedCarsRemoved", seg_attrs)
-        .within(60)
-        .optimizer_config(if optimized {
-            OptimizerConfig::default()
-        } else {
-            OptimizerConfig::unoptimized()
-        })
-        .engine_config(EngineConfig::builder().mode(mode).build())
-        .build()
-        .expect("LR model builds")
+    lr::lr_system(
+        optimized,
+        replication,
+        EngineConfig::builder().mode(mode).build(),
+    )
 }
 
 fn check_against_oracle(config: LinearRoadConfig, mode: ExecutionMode, optimized: bool) {
@@ -146,58 +118,7 @@ fn sharing_does_not_change_results() {
     let mut sim = TrafficSim::new(config);
     let events = sim.generate();
     let run = |sharing: bool| {
-        let mut system = Caesar::builder()
-            .model(lr_model(1))
-            .schema(
-                "PositionReport",
-                &[
-                    ("vid", AttrType::Int),
-                    ("sec", AttrType::Int),
-                    ("speed", AttrType::Int),
-                    ("xway", AttrType::Int),
-                    ("lane", AttrType::Str),
-                    ("dir", AttrType::Int),
-                    ("seg", AttrType::Int),
-                    ("pos", AttrType::Int),
-                ],
-            )
-            .schema(
-                "ManySlowCars",
-                &[
-                    ("xway", AttrType::Int),
-                    ("dir", AttrType::Int),
-                    ("seg", AttrType::Int),
-                    ("sec", AttrType::Int),
-                ],
-            )
-            .schema(
-                "FewFastCars",
-                &[
-                    ("xway", AttrType::Int),
-                    ("dir", AttrType::Int),
-                    ("seg", AttrType::Int),
-                    ("sec", AttrType::Int),
-                ],
-            )
-            .schema(
-                "StoppedCars",
-                &[
-                    ("xway", AttrType::Int),
-                    ("dir", AttrType::Int),
-                    ("seg", AttrType::Int),
-                    ("sec", AttrType::Int),
-                ],
-            )
-            .schema(
-                "StoppedCarsRemoved",
-                &[
-                    ("xway", AttrType::Int),
-                    ("dir", AttrType::Int),
-                    ("seg", AttrType::Int),
-                    ("sec", AttrType::Int),
-                ],
-            )
-            .within(60)
+        let mut system = lr::lr_builder(1)
             .engine_config(EngineConfig::builder().sharing(sharing).build())
             .build()
             .unwrap();

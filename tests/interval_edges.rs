@@ -1,0 +1,243 @@
+//! Interval edge cases pinned as explicit examples: the `(t_i, t_t]`
+//! context-window boundaries, zero-span windows, simultaneous events in
+//! one partition, and sequence matches exactly at the `WITHIN` horizon.
+//! The generative differential suite covers these statistically; this
+//! file states the expected answers by hand so a regression points
+//! straight at the broken rule.
+
+use caesar::prelude::*;
+use caesar_testkit::fixture;
+
+const SCHEMAS: &[fixture::SchemaDecl<'_>] = &[
+    ("Start", &[("v", AttrType::Int)]),
+    ("Stop", &[("v", AttrType::Int)]),
+    ("X", &[("v", AttrType::Int)]),
+    ("Y", &[("v", AttrType::Int)]),
+    ("A", &[("v", AttrType::Int)]),
+    ("B", &[("v", AttrType::Int)]),
+    ("C", &[("v", AttrType::Int)]),
+    ("Reading", &[("v", AttrType::Int)]),
+];
+
+fn system(model: &str, within: Time) -> CaesarSystem {
+    fixture::system(
+        SCHEMAS,
+        within,
+        model,
+        EngineConfig::builder().collect_outputs(true).build(),
+    )
+}
+
+fn ev(sys: &CaesarSystem, ty: &str, t: Time, p: u32) -> Event {
+    sys.event(ty, t)
+        .unwrap()
+        .partition(PartitionId(p))
+        .attr("v", t as i64)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+const SWITCHED: &str = r#"
+    MODEL m DEFAULT off
+    CONTEXT off {
+        SWITCH CONTEXT on PATTERN Start
+    }
+    CONTEXT on {
+        SWITCH CONTEXT off PATTERN Stop
+        DERIVE Out(r.v) PATTERN Reading r
+    }
+"#;
+
+/// Definition 2's window is open on the left: an event carrying the
+/// initiation timestamp itself is *not* part of the window, even when
+/// it rides the very transaction that opened it — and contexts are
+/// per-partition, so another partition stays in its default context.
+#[test]
+fn initiation_boundary_is_exclusive_and_per_partition() {
+    let mut sys = system(SWITCHED, 100);
+    for e in [
+        ev(&sys, "Start", 5, 0),
+        ev(&sys, "Reading", 5, 0), // same txn as the switch: excluded
+        ev(&sys, "Reading", 6, 0), // first admitted instant
+        ev(&sys, "Reading", 6, 1), // partition 1 never left `off`
+        ev(&sys, "Reading", 7, 0),
+    ] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("Out"), 2, "t=6 and t=7 in partition 0");
+}
+
+/// ... and closed on the right: an event at the termination timestamp is
+/// still inside the window, including when it shares the transaction
+/// with the terminating marker. The next instant is outside.
+#[test]
+fn termination_boundary_is_inclusive() {
+    let mut sys = system(SWITCHED, 100);
+    for e in [
+        ev(&sys, "Start", 5, 0),
+        ev(&sys, "Reading", 7, 0), // inside
+        ev(&sys, "Stop", 9, 0),
+        ev(&sys, "Reading", 9, 0),  // exactly at t_t: inside
+        ev(&sys, "Reading", 10, 0), // outside
+    ] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("Out"), 2, "t=7 and the boundary t=9");
+}
+
+/// A context initiated and terminated in the same transaction leaves a
+/// zero-span window `(t, t]` behind — which admits nothing, not even
+/// events at `t` itself.
+#[test]
+fn zero_span_window_admits_nothing() {
+    let model = r#"
+        MODEL z DEFAULT a
+        CONTEXT a {
+            SWITCH CONTEXT b PATTERN X
+            TERMINATE CONTEXT b PATTERN Y
+        }
+        CONTEXT b {
+            DERIVE Out(r.v) PATTERN Reading r
+        }
+    "#;
+    let mut sys = system(model, 100);
+    for e in [
+        ev(&sys, "X", 5, 0), // initiates b at 5 (and closes a)
+        ev(&sys, "Y", 5, 0), // same txn: terminates b at 5 → window (5, 5]
+        ev(&sys, "Reading", 5, 0),
+        ev(&sys, "Reading", 6, 0),
+        ev(&sys, "Reading", 7, 0),
+    ] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(
+        report.outputs_of("Out"),
+        0,
+        "(5, 5] is empty and b never reopens"
+    );
+}
+
+const PAIRED: &str = r#"
+    MODEL p DEFAULT main
+    CONTEXT main {
+        DERIVE Pair(a.v, b.v) PATTERN SEQ(A a, B b) WITHIN 10
+    }
+"#;
+
+/// `WITHIN w` admits a sequence spanning exactly `w` ticks and rejects
+/// `w + 1`; sequence order is strict, so a same-timestamp pair never
+/// matches.
+#[test]
+fn sequence_span_boundary_at_within_horizon() {
+    let mut sys = system(PAIRED, 10);
+    for e in [
+        ev(&sys, "A", 1, 0),
+        ev(&sys, "B", 11, 0), // span 10 = WITHIN: match
+        ev(&sys, "A", 20, 0),
+        ev(&sys, "B", 30, 0), // span 10: match
+        ev(&sys, "A", 40, 0),
+        ev(&sys, "B", 51, 0), // span 11: one past the horizon
+        ev(&sys, "A", 60, 0),
+        ev(&sys, "B", 60, 0), // simultaneous: SEQ is strict, no match
+    ] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("Pair"), 2);
+}
+
+/// Simultaneous events in one partition form a single transaction:
+/// every one of them is processed, and a single-event pattern derives
+/// once per input even when all inputs share a timestamp.
+#[test]
+fn simultaneous_events_one_partition_all_processed() {
+    let model = r#"
+        MODEL s DEFAULT main
+        CONTEXT main {
+            DERIVE Out(r.v) PATTERN Reading r
+        }
+    "#;
+    let mut sys = system(model, 100);
+    for _ in 0..5 {
+        sys.ingest(ev(&sys, "Reading", 3, 0)).unwrap();
+    }
+    sys.ingest(ev(&sys, "Reading", 4, 0)).unwrap();
+    let report = sys.finish();
+    assert_eq!(report.events_in, 6);
+    assert_eq!(report.outputs_of("Out"), 6);
+}
+
+/// A negated element between two positives vetoes only events *strictly*
+/// inside `(a.time, c.time)`: a `B` sharing either endpoint's timestamp
+/// does not cancel the match.
+#[test]
+fn between_negation_boundaries_are_exclusive() {
+    let model = r#"
+        MODEL n DEFAULT main
+        CONTEXT main {
+            DERIVE Guard(a.v, c.v) PATTERN SEQ(A a, NOT B, C c) WITHIN 10
+        }
+    "#;
+    let mut sys = system(model, 10);
+    for e in [
+        ev(&sys, "A", 1, 0),
+        ev(&sys, "B", 1, 0), // at a.time: outside (1, 5)
+        ev(&sys, "C", 5, 0), // match
+        ev(&sys, "A", 20, 0),
+        ev(&sys, "B", 22, 0), // strictly inside (20, 25): veto
+        ev(&sys, "C", 25, 0),
+        ev(&sys, "A", 40, 0),
+        ev(&sys, "B", 43, 0),
+        ev(&sys, "C", 43, 0), // B at c.time: outside (40, 43) → match
+    ] {
+        sys.ingest(e).unwrap();
+    }
+    let report = sys.finish();
+    assert_eq!(report.outputs_of("Guard"), 2);
+}
+
+/// Out-of-order arrival inside the configured slack is repaired before
+/// the distributor, so a disordered stream computes exactly what its
+/// sorted counterpart does — including across a window boundary.
+#[test]
+fn reordered_stream_matches_sorted_stream() {
+    let run = |events: Vec<Event>, slack: Time| -> u64 {
+        let mut sys = fixture::system(
+            SCHEMAS,
+            100,
+            SWITCHED,
+            EngineConfig::builder()
+                .collect_outputs(true)
+                .reorder_slack(slack)
+                .build(),
+        );
+        for e in events {
+            sys.ingest(e).unwrap();
+        }
+        sys.finish().outputs_of("Out")
+    };
+    let sys = system(SWITCHED, 100);
+    let sorted = vec![
+        ev(&sys, "Start", 5, 0),
+        ev(&sys, "Reading", 6, 0),
+        ev(&sys, "Reading", 8, 0),
+        ev(&sys, "Stop", 9, 0),
+        ev(&sys, "Reading", 9, 0),
+        ev(&sys, "Reading", 10, 0),
+    ];
+    // Worst lateness 4 (the t=5 switch arrives after t=9 events).
+    let disordered = vec![
+        ev(&sys, "Reading", 6, 0),
+        ev(&sys, "Reading", 8, 0),
+        ev(&sys, "Stop", 9, 0),
+        ev(&sys, "Start", 5, 0),
+        ev(&sys, "Reading", 9, 0),
+        ev(&sys, "Reading", 10, 0),
+    ];
+    assert_eq!(run(sorted, 0), 3, "t=6, t=8 and the boundary t=9");
+    assert_eq!(run(disordered, 4), 3, "slack 4 repairs the disorder");
+}

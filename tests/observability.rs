@@ -28,23 +28,22 @@ const MODEL: &str = r#"
 "#;
 
 fn build(level: ObservabilityLevel, batch: BatchPolicy, vectorize: bool) -> CaesarSystem {
-    Caesar::builder()
-        .schema("Reading", &[("v", AttrType::Int), ("sec", AttrType::Int)])
-        .schema("Enter", &[("v", AttrType::Int)])
-        .schema("Mark", &[("v", AttrType::Int)])
-        .schema("Leave", &[("v", AttrType::Int)])
-        .within(50)
-        .model_text(MODEL)
-        .engine_config(
-            EngineConfig::builder()
-                .collect_outputs(true)
-                .batch(batch)
-                .vectorize(vectorize)
-                .observability(level)
-                .build(),
-        )
-        .build()
-        .unwrap()
+    caesar_testkit::fixture::system(
+        &[
+            ("Reading", &[("v", AttrType::Int), ("sec", AttrType::Int)]),
+            ("Enter", &[("v", AttrType::Int)]),
+            ("Mark", &[("v", AttrType::Int)]),
+            ("Leave", &[("v", AttrType::Int)]),
+        ],
+        50,
+        MODEL,
+        EngineConfig::builder()
+            .collect_outputs(true)
+            .batch(batch)
+            .vectorize(vectorize)
+            .observability(level)
+            .build(),
+    )
 }
 
 /// Deterministic stream with same-timestamp runs (the batched hot
