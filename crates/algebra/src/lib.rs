@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod context_table;
 pub mod cost;

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 use caesar_algebra::translate::{translate_query_set, TranslateError, TranslateOptions};
 use caesar_events::{
@@ -216,7 +217,28 @@ impl CaesarBuilder {
 
     /// Builds the system: Phase 1 + Phase 2 translation, optimization,
     /// engine construction.
-    pub fn build(mut self) -> Result<CaesarSystem, CaesarError> {
+    pub fn build(self) -> Result<CaesarSystem, CaesarError> {
+        let engine_config = self.engine_config;
+        let (program, registry, explain) = self.build_program()?;
+        let engine = Engine::new(program, &registry, engine_config);
+        Ok(CaesarSystem {
+            engine,
+            registry,
+            explain,
+        })
+    }
+
+    /// Builds just the optimized program (translation + optimization)
+    /// without constructing an engine, returning the program, the
+    /// post-translation registry (inputs plus derived/match types) and
+    /// the optimizer's explain report.
+    ///
+    /// This is the entry point for hosts that instantiate *several*
+    /// engines from one model — e.g. `caesar-server`, which builds one
+    /// engine per shard of a tenant's partition-hash-sharded runtime.
+    pub fn build_program(
+        mut self,
+    ) -> Result<(caesar_optimizer::OptimizedProgram, SchemaRegistry, String), CaesarError> {
         if let Some(e) = self.errors.pop() {
             return Err(e);
         }
@@ -230,12 +252,7 @@ impl CaesarBuilder {
         let optimizer = Optimizer::new(self.optimizer_config, Default::default());
         let program = optimizer.optimize(translation, &self.registry);
         let explain = program.explain();
-        let engine = Engine::new(program, &self.registry, self.engine_config);
-        Ok(CaesarSystem {
-            engine,
-            registry: self.registry,
-            explain,
-        })
+        Ok((program, self.registry, explain))
     }
 }
 

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 use caesar_events::generator::rng;
 use caesar_events::{AttrType, Event, Interval, PartitionId, Schema, SchemaRegistry, Time, Value};

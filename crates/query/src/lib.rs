@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod ast;
 pub mod builder;

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod container;
 pub mod error;

@@ -105,6 +105,9 @@ pub fn run_mode(
 /// sharded execution, per-event and batched policies, vectorized
 /// kernels on/off, every observability level, optimized and
 /// unoptimized programs, plus a mid-stream snapshot/restore leg.
+/// (`caesar-testkit` layers an eleventh, *served* leg on top — the same
+/// workload round-tripped through a loopback `caesar-server` instance —
+/// which lives there because the runtime cannot depend on the server.)
 ///
 /// `slack` is the reorder tolerance every leg needs for the stream
 /// under test; `n_events` positions the restart leg's cut point.

@@ -192,11 +192,24 @@ pub enum CounterId {
     CheckpointsWritten,
     /// Events appended to the write-ahead log (recovery-layer registry).
     WalEventsAppended,
+    /// Client connections accepted (server-layer registry).
+    ConnectionsAccepted,
+    /// Client connections rejected or torn down on protocol errors
+    /// (server-layer registry).
+    ConnectionsRejected,
+    /// Protocol frames received from clients (server-layer registry).
+    FramesIn,
+    /// Protocol frames sent to clients (server-layer registry).
+    FramesOut,
+    /// Ingest frames rejected by admission control — full tenant queue,
+    /// draining server, unknown or finished tenant (server-layer
+    /// registry).
+    IngestRejected,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 7] = [
+    pub const ALL: [CounterId; 12] = [
         CounterId::EventsIngested,
         CounterId::BatchesIngested,
         CounterId::TransactionsExecuted,
@@ -204,6 +217,11 @@ impl CounterId {
         CounterId::GcRuns,
         CounterId::CheckpointsWritten,
         CounterId::WalEventsAppended,
+        CounterId::ConnectionsAccepted,
+        CounterId::ConnectionsRejected,
+        CounterId::FramesIn,
+        CounterId::FramesOut,
+        CounterId::IngestRejected,
     ];
 
     /// The counter's snake_case name (the key in snapshots and JSON).
@@ -217,6 +235,11 @@ impl CounterId {
             CounterId::GcRuns => "gc_runs",
             CounterId::CheckpointsWritten => "checkpoints_written",
             CounterId::WalEventsAppended => "wal_events_appended",
+            CounterId::ConnectionsAccepted => "connections_accepted",
+            CounterId::ConnectionsRejected => "connections_rejected",
+            CounterId::FramesIn => "frames_in",
+            CounterId::FramesOut => "frames_out",
+            CounterId::IngestRejected => "ingest_rejected",
         }
     }
 
@@ -229,6 +252,11 @@ impl CounterId {
             CounterId::GcRuns => 4,
             CounterId::CheckpointsWritten => 5,
             CounterId::WalEventsAppended => 6,
+            CounterId::ConnectionsAccepted => 7,
+            CounterId::ConnectionsRejected => 8,
+            CounterId::FramesIn => 9,
+            CounterId::FramesOut => 10,
+            CounterId::IngestRejected => 11,
         }
     }
 }

@@ -1,0 +1,101 @@
+//! A deliberately tiny HTTP/1.0 responder for `GET /metrics` and
+//! `GET /healthz`.
+//!
+//! The workspace vendors no HTTP stack and the endpoint serves exactly
+//! two read-only documents to a scraper, so this is a hand-rolled
+//! responder: read until the header terminator (8 KiB cap, short
+//! timeouts), match the request line, answer with `Connection: close`.
+//! It shares the server's `Shared` state for the JSON document and
+//! exits when the server starts draining.
+
+use crate::server::Shared;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MAX_REQUEST: usize = 8 * 1024;
+
+pub(crate) fn spawn(listener: TcpListener, shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        loop {
+            if shared.stopping() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Scrapes are cheap; serve inline rather than
+                    // spawning per request.
+                    let _ = serve_one(stream, &shared);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })
+}
+
+fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") {
+        if request.len() > MAX_REQUEST {
+            return respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain",
+                "too large",
+            );
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        request.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&request);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    match (method, path) {
+        ("GET", "/metrics") => {
+            let body = shared.metrics_json();
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok"),
+        ("GET", _) => respond(&mut stream, "404 Not Found", "text/plain", "not found"),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,129 @@
+//! Per-tenant output fan-out and per-connection outbound queues.
+//!
+//! Every connection owns one bounded outbound queue of pre-encoded
+//! frame bodies, drained by that connection's writer thread. Both the
+//! reader thread (acks, errors, reports) and the tenant shard workers
+//! (derived outputs for subscribers) enqueue here, so responses and
+//! output streams serialize naturally per connection.
+//!
+//! A slow subscriber throttles its producers only up to a configured
+//! timeout; past that the subscriber is marked dead and dropped from
+//! the hub — one stalled reader must not wedge a tenant's shards (the
+//! connection's writer keeps draining and the socket closes, so the
+//! client observes a hard disconnect, never silent gaps inside an
+//! acknowledged stream).
+
+use crate::protocol::Response;
+use crate::queue::{BoundedQueue, PushError};
+use caesar_events::Event;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The outbound half of one client connection: a bounded queue of
+/// encoded frame bodies plus a liveness flag.
+pub(crate) struct ConnectionOut {
+    queue: BoundedQueue<Vec<u8>>,
+    dead: AtomicBool,
+}
+
+impl ConnectionOut {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            queue: BoundedQueue::new(capacity),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues a frame body, waiting for space. Returns `false` once
+    /// the connection is closed or dead.
+    pub(crate) fn send(&self, body: Vec<u8>) -> bool {
+        if self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.queue.push(body).is_ok()
+    }
+
+    /// Enqueues with a deadline; `false` marks nothing dead (the caller
+    /// decides what a timeout means).
+    pub(crate) fn send_timeout(&self, body: Vec<u8>, timeout: Duration) -> bool {
+        if self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        match self.queue.push_timeout(body, timeout) {
+            Ok(()) => true,
+            Err(PushError::Full(_) | PushError::Closed(_)) => false,
+        }
+    }
+
+    /// Next frame body for the writer; `None` = closed and drained.
+    pub(crate) fn next(&self) -> Option<Vec<u8>> {
+        self.queue.pop()
+    }
+
+    /// Closes the queue (writer drains what is left, then exits).
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Marks the connection dead (writer hit a transport error).
+    pub(crate) fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+}
+
+struct Subscriber {
+    id: u64,
+    out: Arc<ConnectionOut>,
+}
+
+/// Fan-out point from a tenant's shard workers to its subscribed
+/// connections.
+pub(crate) struct OutputHub {
+    subscribers: Mutex<Vec<Subscriber>>,
+    next_id: AtomicU64,
+    publish_timeout: Duration,
+}
+
+impl OutputHub {
+    pub(crate) fn new(publish_timeout: Duration) -> Self {
+        Self {
+            subscribers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            publish_timeout,
+        }
+    }
+
+    /// Registers a connection; the returned id unsubscribes it.
+    pub(crate) fn subscribe(&self, out: Arc<ConnectionOut>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.lock().push(Subscriber { id, out });
+        id
+    }
+
+    /// Removes one subscription (connection closed or errored).
+    pub(crate) fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().retain(|s| s.id != id);
+    }
+
+    /// Sends one `OUTPUTS` frame to every live subscriber; subscribers
+    /// that stay full past the publish timeout are dropped.
+    pub(crate) fn publish(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        // Encode once, clone per subscriber.
+        let body = Response::Outputs(events.to_vec()).encode();
+        let mut subs = self.subscribers.lock();
+        subs.retain(|s| {
+            if s.out.send_timeout(body.clone(), self.publish_timeout) {
+                true
+            } else {
+                s.out.mark_dead();
+                false
+            }
+        });
+    }
+}

@@ -1,0 +1,59 @@
+//! Minimal SIGINT/SIGTERM hookup without libc.
+//!
+//! The workspace has no libc (or ctrlc) dependency, so the two libc
+//! symbols the drain path needs — `signal(2)` to install a handler and
+//! `raise(3)` for the in-process drain test — are declared directly.
+//! The handler does the only async-signal-safe thing possible: store a
+//! relaxed atomic flag. The server's accept loop polls
+//! [`drain_requested`] (opt-in per server via
+//! `ServerConfig::drain_on_signal`), so installing the handler never
+//! changes behaviour of servers that did not ask for it.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX SIGINT (ctrl-c).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM.
+pub const SIGTERM: i32 = 15;
+
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM.
+/// Idempotent; safe to call from multiple servers.
+pub fn install_drain_handler() {
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// True once a drain signal arrived. Sticky until [`reset`].
+#[must_use]
+pub fn drain_requested() -> bool {
+    DRAIN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Clears the flag (tests; a fresh server start).
+pub fn reset() {
+    DRAIN_REQUESTED.store(false, Ordering::Relaxed);
+}
+
+/// Sends SIGINT to the current process — the drain test's trigger.
+/// Only meaningful after [`install_drain_handler`], otherwise the
+/// process default (termination) applies.
+pub fn raise_sigint() {
+    unsafe {
+        raise(SIGINT);
+    }
+}

@@ -1,0 +1,607 @@
+//! One hosted tenant: an independent CAESAR model with its own sharded
+//! runtime, bounded ingest queue and output fan-out.
+//!
+//! ```text
+//!  connections ──▶ BoundedQueue<TenantMsg> ──▶ router thread
+//!                  (admission control)           │ partition-hash + per-shard Batcher
+//!                                ┌───────────────┼───────────────┐
+//!                                ▼               ▼               ▼
+//!                           shard worker    shard worker    shard worker
+//!                           (own Engine)    (own Engine)    (own Engine)
+//!                                └───────────────┴───────────────┘
+//!                                        OutputHub ──▶ subscribers
+//! ```
+//!
+//! The router preserves the tenant's total admission order, then hashes
+//! each event onto `partition.index() % shards` exactly like
+//! [`caesar_runtime::run_sharded`]; each shard worker owns a private
+//! [`Engine`] (partitions are disjoint across shards, so results are
+//! the disjoint union). Control messages (flush barriers, finish,
+//! snapshot, metrics) travel the same queues as data, so they order
+//! naturally behind every admitted event.
+
+use crate::hub::OutputHub;
+use crate::protocol::TenantReport;
+use crate::queue::{BoundedQueue, PushError};
+use caesar_events::{Batcher, Event, EventBatch, SchemaRegistry};
+use caesar_optimizer::OptimizedProgram;
+use caesar_runtime::{
+    merge_reports, Engine, EngineConfig, EngineState, MetricsSnapshot, RunReport,
+};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything needed to host one tenant.
+#[derive(Clone)]
+pub struct TenantConfig {
+    /// Tenant name — the routing key of every `INGEST` frame.
+    pub name: String,
+    /// The optimized program all shard engines instantiate.
+    pub program: OptimizedProgram,
+    /// The post-translation schema registry matching `program`.
+    pub registry: SchemaRegistry,
+    /// Engine configuration per shard (`collect_outputs` is forced on —
+    /// subscribers are fed from the collected outputs).
+    pub engine_config: EngineConfig,
+    /// Worker shards (≥ 1); events are hash-routed by partition id.
+    pub shards: usize,
+    /// Capacity of the bounded ingest queue (admission control).
+    pub queue_capacity: usize,
+    /// Artificial router stall per ingest message — a
+    /// backpressure-rehearsal knob for the admission-control tests;
+    /// leave at zero in production.
+    pub ingest_hold: Duration,
+}
+
+impl TenantConfig {
+    /// A tenant with default runtime knobs (1 shard, queue of 1024).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        program: OptimizedProgram,
+        registry: SchemaRegistry,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            program,
+            registry,
+            engine_config: EngineConfig::default(),
+            shards: 1,
+            queue_capacity: 1024,
+            ingest_hold: Duration::ZERO,
+        }
+    }
+}
+
+/// Why an operation was not admitted — maps one-to-one onto the typed
+/// protocol error codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded ingest queue stayed full past the deadline.
+    QueueFull,
+    /// The tenant (or whole server) is draining; no new work.
+    Draining,
+    /// A `FINISH` already ended this tenant's stream.
+    Finished,
+    /// A shard failed; detail carries the first error.
+    Internal(String),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "ingest queue at capacity"),
+            AdmissionError::Draining => write!(f, "tenant is draining"),
+            AdmissionError::Finished => write!(f, "tenant already finished"),
+            AdmissionError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+/// End state of one drained tenant.
+#[derive(Debug, Clone, Default)]
+pub struct DrainOutcome {
+    /// Input events processed across all shards.
+    pub events_in: u64,
+    /// Derived output events across all shards.
+    pub events_out: u64,
+    /// True when per-shard snapshots were written.
+    pub checkpointed: bool,
+    /// First failure hit while draining (snapshot IO, dead shard).
+    pub error: Option<String>,
+}
+
+enum TenantMsg {
+    Ingest(Vec<Event>),
+    Flush(mpsc::Sender<()>),
+    Finish(mpsc::Sender<Result<TenantReport, String>>),
+    Metrics(mpsc::Sender<MetricsSnapshot>),
+    Drain {
+        checkpoint_dir: Option<PathBuf>,
+        done: mpsc::Sender<DrainOutcome>,
+    },
+}
+
+enum ShardMsg {
+    Batch(EventBatch),
+    Barrier(mpsc::Sender<()>),
+    Finish(mpsc::Sender<ShardFinish>),
+    Snapshot {
+        path: PathBuf,
+        done: mpsc::Sender<Result<u64, String>>,
+    },
+    Metrics(mpsc::Sender<MetricsSnapshot>),
+}
+
+struct ShardFinish {
+    report: RunReport,
+    late_dropped: u64,
+}
+
+struct TenantInner {
+    queue: BoundedQueue<TenantMsg>,
+    failure: Mutex<Option<String>>,
+}
+
+/// A running tenant: admission-controlled handle over the router +
+/// shard threads.
+pub(crate) struct Tenant {
+    pub(crate) name: String,
+    inner: Arc<TenantInner>,
+    hub: Arc<OutputHub>,
+    router: Mutex<Option<JoinHandle<()>>>,
+    finished: AtomicBool,
+}
+
+impl Tenant {
+    /// Spawns the tenant's router and shard workers. `resume` holds one
+    /// restored [`EngineState`] per shard (all or nothing — validated
+    /// by the caller).
+    pub(crate) fn start(
+        config: TenantConfig,
+        resume: Option<Vec<EngineState>>,
+        publish_timeout: Duration,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let inner = Arc::new(TenantInner {
+            queue: BoundedQueue::new(config.queue_capacity),
+            failure: Mutex::new(None),
+        });
+        let hub = Arc::new(OutputHub::new(publish_timeout));
+        let registry = Arc::new(config.registry.clone());
+        let mut engine_config = config.engine_config;
+        engine_config.collect_outputs = true;
+
+        let mut resume_states: Vec<Option<EngineState>> = match resume {
+            Some(states) => states.into_iter().map(Some).collect(),
+            None => (0..shards).map(|_| None).collect(),
+        };
+        debug_assert_eq!(resume_states.len(), shards);
+        resume_states.resize_with(shards, || None);
+
+        let mut shard_queues = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for state in resume_states.into_iter().take(shards) {
+            // Shard queues are sized like the tenant queue: the router
+            // blocks (backpressure, not loss) once a shard falls this
+            // far behind.
+            let queue = Arc::new(BoundedQueue::<ShardMsg>::new(config.queue_capacity));
+            let rx = Arc::clone(&queue);
+            let program = config.program.clone();
+            let registry = Arc::clone(&registry);
+            let hub = Arc::clone(&hub);
+            let failure = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || {
+                shard_loop(
+                    program,
+                    &registry,
+                    engine_config,
+                    state,
+                    &rx,
+                    &hub,
+                    &failure,
+                );
+            }));
+            shard_queues.push(queue);
+        }
+
+        let name = config.name.clone();
+        let router_inner = Arc::clone(&inner);
+        let router = std::thread::spawn(move || {
+            router_loop(
+                &config,
+                engine_config,
+                &router_inner,
+                &shard_queues,
+                workers,
+            );
+        });
+
+        Self {
+            name,
+            inner,
+            hub,
+            router: Mutex::new(Some(router)),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    fn check_live(&self) -> Result<(), AdmissionError> {
+        if let Some(failure) = self.inner.failure.lock().clone() {
+            return Err(AdmissionError::Internal(failure));
+        }
+        if self.finished.load(Ordering::Acquire) {
+            return Err(AdmissionError::Finished);
+        }
+        Ok(())
+    }
+
+    /// Admits a batch of events, waiting up to `timeout` for queue
+    /// space (the slow-consumer throttle) before rejecting.
+    pub(crate) fn ingest(
+        &self,
+        events: Vec<Event>,
+        timeout: Duration,
+    ) -> Result<(), AdmissionError> {
+        self.check_live()?;
+        match self
+            .inner
+            .queue
+            .push_timeout(TenantMsg::Ingest(events), timeout)
+        {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(_)) => Err(AdmissionError::QueueFull),
+            Err(PushError::Closed(_)) => Err(AdmissionError::Draining),
+        }
+    }
+
+    /// Barrier: returns once every event admitted before it has been
+    /// routed and executed by its shard.
+    pub(crate) fn flush(&self) -> Result<(), AdmissionError> {
+        self.check_live()?;
+        let (tx, rx) = mpsc::channel();
+        match self.inner.queue.push(TenantMsg::Flush(tx)) {
+            Ok(()) => {}
+            Err(PushError::Full(_) | PushError::Closed(_)) => return Err(AdmissionError::Draining),
+        }
+        rx.recv()
+            .map_err(|_| AdmissionError::Internal("router exited".into()))
+    }
+
+    /// Ends the tenant's stream: flushes, finishes every shard engine
+    /// (final watermark push) and returns the merged totals. A second
+    /// call observes [`AdmissionError::Finished`].
+    pub(crate) fn finish(&self) -> Result<TenantReport, AdmissionError> {
+        if let Some(failure) = self.inner.failure.lock().clone() {
+            return Err(AdmissionError::Internal(failure));
+        }
+        if self.finished.swap(true, Ordering::AcqRel) {
+            return Err(AdmissionError::Finished);
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.inner.queue.push(TenantMsg::Finish(tx)) {
+            Ok(()) => {}
+            Err(PushError::Full(_) | PushError::Closed(_)) => return Err(AdmissionError::Draining),
+        }
+        match rx.recv() {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(m)) => Err(AdmissionError::Internal(m)),
+            Err(_) => Err(AdmissionError::Internal("router exited".into())),
+        }
+    }
+
+    /// Merged metrics snapshot across shards; the tenant ingest queue's
+    /// high-water mark folds into `queue_depth_peak`.
+    pub(crate) fn metrics(&self) -> Result<MetricsSnapshot, AdmissionError> {
+        let (tx, rx) = mpsc::channel();
+        match self.inner.queue.push(TenantMsg::Metrics(tx)) {
+            Ok(()) => {}
+            Err(PushError::Full(_) | PushError::Closed(_)) => return Err(AdmissionError::Draining),
+        }
+        let mut snap = rx
+            .recv()
+            .map_err(|_| AdmissionError::Internal("router exited".into()))?;
+        snap.queue_depth_peak = snap
+            .queue_depth_peak
+            .max(self.inner.queue.high_water() as u64);
+        Ok(snap)
+    }
+
+    /// Subscribes a connection's outbound queue to this tenant's
+    /// derived outputs.
+    pub(crate) fn subscribe(&self, out: Arc<crate::hub::ConnectionOut>) -> u64 {
+        self.hub.subscribe(out)
+    }
+
+    /// Drops one subscription.
+    pub(crate) fn unsubscribe(&self, id: u64) {
+        self.hub.unsubscribe(id);
+    }
+
+    /// Ingest-queue high-water mark (server `/metrics`).
+    pub(crate) fn queue_high_water(&self) -> usize {
+        self.inner.queue.high_water()
+    }
+
+    /// Drains the tenant: processes everything already admitted, then
+    /// either snapshots every shard into `checkpoint_dir` (leaving the
+    /// stream resumable) or — without a directory — finishes the
+    /// engines so subscribers receive the final watermark flush. The
+    /// router and shard threads exit; the handle is spent.
+    pub(crate) fn drain(&self, checkpoint_dir: Option<PathBuf>) -> DrainOutcome {
+        let (tx, rx) = mpsc::channel();
+        let pushed = self
+            .inner
+            .queue
+            .push(TenantMsg::Drain {
+                checkpoint_dir,
+                done: tx,
+            })
+            .is_ok();
+        self.inner.queue.close();
+        let mut outcome = if pushed {
+            rx.recv().unwrap_or_default()
+        } else {
+            DrainOutcome {
+                error: Some("tenant already drained".into()),
+                ..DrainOutcome::default()
+            }
+        };
+        if let Some(handle) = self.router.lock().take() {
+            let _ = handle.join();
+        }
+        if outcome.error.is_none() {
+            outcome.error = self.inner.failure.lock().clone();
+        }
+        outcome
+    }
+}
+
+fn router_loop(
+    config: &TenantConfig,
+    engine_config: EngineConfig,
+    inner: &TenantInner,
+    shards: &[Arc<BoundedQueue<ShardMsg>>],
+    workers: Vec<JoinHandle<()>>,
+) {
+    let n = shards.len();
+    let mut batchers: Vec<Batcher> = (0..n).map(|_| Batcher::new(engine_config.batch)).collect();
+    let flush_batchers = |batchers: &mut Vec<Batcher>| {
+        for (shard, batcher) in batchers.iter_mut().enumerate() {
+            if let Some(batch) = batcher.flush() {
+                let _ = shards[shard].push(ShardMsg::Batch(batch));
+            }
+        }
+    };
+    let finish_shards = |batchers: &mut Vec<Batcher>| -> Result<TenantReport, String> {
+        flush_batchers(batchers);
+        let mut receivers = Vec::with_capacity(n);
+        for shard in shards {
+            let (tx, rx) = mpsc::channel();
+            if shard.push(ShardMsg::Finish(tx)).is_err() {
+                return Err("shard queue closed".into());
+            }
+            receivers.push(rx);
+        }
+        let mut reports = Vec::with_capacity(n);
+        let mut late_dropped = 0;
+        for rx in receivers {
+            let fin = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+            late_dropped += fin.late_dropped;
+            reports.push(fin.report);
+        }
+        let merged = merge_reports(reports);
+        Ok(TenantReport {
+            events_in: merged.events_in,
+            events_out: merged.events_out,
+            transitions_applied: merged.transitions_applied,
+            late_dropped,
+            outputs_by_type: merged.outputs_by_type.into_iter().collect(),
+        })
+    };
+
+    let mut pending_drain: Option<(Option<PathBuf>, mpsc::Sender<DrainOutcome>)> = None;
+    while let Some(msg) = inner.queue.pop() {
+        match msg {
+            TenantMsg::Ingest(events) => {
+                if !config.ingest_hold.is_zero() {
+                    std::thread::sleep(config.ingest_hold);
+                }
+                for event in events {
+                    let shard = event.partition.index() % n;
+                    if engine_config.batch.enabled {
+                        if let Some(batch) = batchers[shard].offer(event) {
+                            let _ = shards[shard].push(ShardMsg::Batch(batch));
+                        }
+                    } else {
+                        let batch = EventBatch::new(event.time(), vec![event]);
+                        let _ = shards[shard].push(ShardMsg::Batch(batch));
+                    }
+                }
+            }
+            TenantMsg::Flush(ack) => {
+                flush_batchers(&mut batchers);
+                let mut receivers = Vec::with_capacity(n);
+                for shard in shards {
+                    let (tx, rx) = mpsc::channel();
+                    if shard.push(ShardMsg::Barrier(tx)).is_ok() {
+                        receivers.push(rx);
+                    }
+                }
+                for rx in receivers {
+                    let _ = rx.recv();
+                }
+                let _ = ack.send(());
+            }
+            TenantMsg::Finish(ack) => {
+                let _ = ack.send(finish_shards(&mut batchers));
+            }
+            TenantMsg::Metrics(ack) => {
+                let mut receivers = Vec::with_capacity(n);
+                for shard in shards {
+                    let (tx, rx) = mpsc::channel();
+                    if shard.push(ShardMsg::Metrics(tx)).is_ok() {
+                        receivers.push(rx);
+                    }
+                }
+                let mut merged = MetricsSnapshot::default();
+                for rx in receivers {
+                    if let Ok(snap) = rx.recv() {
+                        merged.merge(&snap);
+                    }
+                }
+                let _ = ack.send(merged);
+            }
+            TenantMsg::Drain {
+                checkpoint_dir,
+                done,
+            } => {
+                // An ingest admitted concurrently with the drain call
+                // can land *behind* this message (the queue closes just
+                // after the push). Acknowledged events must execute, so
+                // stash the drain and keep routing until the queue is
+                // closed and fully drained.
+                pending_drain = Some((checkpoint_dir, done));
+            }
+        }
+    }
+    if let Some((checkpoint_dir, done)) = pending_drain {
+        let outcome = match checkpoint_dir {
+            None => match finish_shards(&mut batchers) {
+                Ok(report) => DrainOutcome {
+                    events_in: report.events_in,
+                    events_out: report.events_out,
+                    checkpointed: false,
+                    error: None,
+                },
+                Err(e) => DrainOutcome {
+                    error: Some(e),
+                    ..DrainOutcome::default()
+                },
+            },
+            Some(dir) => {
+                flush_batchers(&mut batchers);
+                let mut outcome = DrainOutcome {
+                    checkpointed: true,
+                    ..DrainOutcome::default()
+                };
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    outcome.checkpointed = false;
+                    outcome.error = Some(format!("{}: {e}", dir.display()));
+                } else {
+                    let mut receivers = Vec::with_capacity(n);
+                    for (i, shard) in shards.iter().enumerate() {
+                        let (tx, rx) = mpsc::channel();
+                        let path = shard_snapshot_path(&dir, i);
+                        if shard.push(ShardMsg::Snapshot { path, done: tx }).is_ok() {
+                            receivers.push(rx);
+                        }
+                    }
+                    for rx in receivers {
+                        match rx.recv() {
+                            Ok(Ok(events_in)) => outcome.events_in += events_in,
+                            Ok(Err(e)) => {
+                                outcome.checkpointed = false;
+                                outcome.error.get_or_insert(e);
+                            }
+                            Err(_) => {
+                                outcome.checkpointed = false;
+                                outcome.error.get_or_insert("shard worker exited".into());
+                            }
+                        }
+                    }
+                }
+                outcome
+            }
+        };
+        let _ = done.send(outcome);
+    }
+    for shard in shards {
+        shard.close();
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Snapshot file of one shard inside a tenant's checkpoint directory.
+pub(crate) fn shard_snapshot_path(dir: &std::path::Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.caesnap"))
+}
+
+fn shard_loop(
+    program: OptimizedProgram,
+    registry: &SchemaRegistry,
+    config: EngineConfig,
+    resume: Option<EngineState>,
+    rx: &BoundedQueue<ShardMsg>,
+    hub: &OutputHub,
+    inner: &TenantInner,
+) {
+    let mut engine = Engine::new(program, registry, config);
+    if let Some(state) = resume {
+        if let Err(e) = engine.restore_state(state) {
+            let mut failure = inner.failure.lock();
+            failure.get_or_insert_with(|| format!("resume failed: {e}"));
+        }
+        // Outputs collected before the snapshot were already delivered
+        // by the previous incarnation; never replay them.
+        let _ = std::mem::take(&mut engine.collected_outputs);
+    }
+    let mut finish_report: Option<RunReport> = None;
+    while let Some(msg) = rx.pop() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                if finish_report.is_some() || inner.failure.lock().is_some() {
+                    continue;
+                }
+                let result = if config.batch.enabled {
+                    engine.ingest(batch)
+                } else {
+                    batch
+                        .events
+                        .into_iter()
+                        .try_for_each(|event| engine.ingest(event))
+                };
+                match result {
+                    Ok(()) => {
+                        let outputs = std::mem::take(&mut engine.collected_outputs);
+                        hub.publish(&outputs);
+                    }
+                    Err(e) => {
+                        inner.failure.lock().get_or_insert_with(|| e.to_string());
+                    }
+                }
+            }
+            ShardMsg::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+            ShardMsg::Finish(ack) => {
+                let report = finish_report.get_or_insert_with(|| {
+                    let report = engine.finish();
+                    let outputs = std::mem::take(&mut engine.collected_outputs);
+                    hub.publish(&outputs);
+                    report
+                });
+                let _ = ack.send(ShardFinish {
+                    report: report.clone(),
+                    late_dropped: engine.late_dropped,
+                });
+            }
+            ShardMsg::Snapshot { path, done } => {
+                let state = engine.snapshot_state();
+                let result = caesar_recovery::write_snapshot(&path, engine.events_in(), &state)
+                    .map(|()| engine.events_in())
+                    .map_err(|e| e.to_string());
+                let _ = done.send(result);
+            }
+            ShardMsg::Metrics(ack) => {
+                let _ = ack.send(engine.metrics_snapshot());
+            }
+        }
+    }
+}

@@ -57,7 +57,7 @@ fn indent(s: &str) -> String {
 }
 
 /// Renders the stream compactly: `type@t/pN[attrs]`.
-fn render_events(events: &[Event], registry: &SchemaRegistry) -> String {
+pub(crate) fn render_events(events: &[Event], registry: &SchemaRegistry) -> String {
     let rows: Vec<String> = events
         .iter()
         .map(|e| {
@@ -109,7 +109,7 @@ fn canonical(events: &[Event]) -> Vec<Vec<u8>> {
     keys
 }
 
-fn compare_leg(
+pub(crate) fn compare_leg(
     workload: &Workload,
     spec: &ModeSpec,
     report: &RunReport,

@@ -19,8 +19,11 @@
 //!   the oracle byte-for-byte; failures report the seed and a greedily
 //!   shrunk minimal model.
 //!
-//! [`lr`] additionally centralizes the Linear Road fixtures shared by
-//! the integration tests.
+//! [`served`] layers an eleventh matrix leg on top: the same workload
+//! round-tripped through a loopback `caesar-server` instance (framed
+//! TCP, sharded tenant, subscription push-back) must also reproduce the
+//! oracle byte-for-byte. [`lr`] additionally centralizes the Linear
+//! Road fixtures shared by the integration tests.
 //!
 //! Reproducing a failure is always `seed → workload`:
 //!
@@ -33,12 +36,14 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod fixture;
 pub mod generate;
 pub mod harness;
 pub mod lr;
 pub mod oracle;
+pub mod served;
 
 pub use generate::{workload_from_seed, workload_strategy, GenConfig, Workload};
 pub use harness::{
@@ -46,3 +51,4 @@ pub use harness::{
     shrink_workload, DiffFailure,
 };
 pub use oracle::{Mutation, Oracle, OracleBuildError, OracleRun};
+pub use served::{check_workload_served, check_workload_served_against, SERVED_LEG};

@@ -1,0 +1,128 @@
+//! The eleventh matrix leg: **served vs embedded**. The workload's
+//! event stream is round-tripped through an in-process loopback
+//! `caesar-server` instance — framed TCP ingest, partition-hash routing
+//! onto two shards, outputs pushed back over a subscription — and the
+//! collected outputs plus the `FINISH` report must reproduce the
+//! reference oracle byte-for-byte, exactly like every embedded leg of
+//! [`caesar_runtime::standard_matrix`].
+//!
+//! The leg lives here rather than in the runtime's matrix because the
+//! runtime cannot depend on the server; it shares the harness's private
+//! `compare_leg` so "equivalent" means the same thing served as it does
+//! embedded.
+
+use crate::generate::Workload;
+use crate::harness::{build_programs, compare_leg, oracle_run, render_events, DiffFailure};
+use crate::oracle::OracleRun;
+use caesar_events::Event;
+use caesar_query::pretty;
+use caesar_runtime::{EngineConfig, ModeSpec, RunReport};
+use caesar_server::{Client, Request, Response, Server, ServerConfig, TenantConfig};
+
+/// Label the served leg reports divergences under.
+pub const SERVED_LEG: &str = "served2/loopback";
+
+fn fail(workload: &Workload, leg: &str, detail: String) -> DiffFailure {
+    DiffFailure {
+        seed: workload.seed,
+        leg: leg.to_string(),
+        detail,
+        model_text: pretty::model_to_string(&workload.model),
+        events_text: render_events(&workload.events, &workload.registry),
+    }
+}
+
+/// The engine configuration of the served leg: defaults plus the
+/// workload's exact reorder slack — events cross the wire in arrival
+/// order, so each shard's reorder stage does the same work it does in
+/// the embedded sequential legs.
+fn engine_config(workload: &Workload) -> EngineConfig {
+    EngineConfig::builder()
+        .reorder_slack(workload.reorder_slack)
+        .build()
+}
+
+/// The served differential check: reference-oracle run, then the
+/// loopback round-trip, byte-identical outputs and equal counters.
+pub fn check_workload_served(workload: &Workload) -> Result<(), DiffFailure> {
+    let oracle = oracle_run(workload).map_err(|e| fail(workload, "oracle", e))?;
+    check_workload_served_against(workload, &oracle)
+}
+
+/// Runs the served leg against an explicit oracle run (the sweep reuses
+/// one oracle evaluation per workload across legs).
+pub fn check_workload_served_against(
+    workload: &Workload,
+    oracle: &OracleRun,
+) -> Result<(), DiffFailure> {
+    let (report, outputs) = serve_roundtrip(workload).map_err(|e| fail(workload, SERVED_LEG, e))?;
+    let spec = ModeSpec::sequential(SERVED_LEG, engine_config(workload));
+    compare_leg(workload, &spec, &report, &outputs, oracle)
+        .map_err(|detail| fail(workload, SERVED_LEG, detail))
+}
+
+/// Hosts the workload as a single two-shard tenant on a loopback
+/// server, subscribes, ingests the stream in acked chunks, `FINISH`es,
+/// and returns the report plus every output the subscription delivered.
+fn serve_roundtrip(workload: &Workload) -> Result<(RunReport, Vec<Event>), String> {
+    let (optimized, _unoptimized, registry) = build_programs(workload)?;
+    let mut tenant = TenantConfig::new("workload", optimized, registry);
+    tenant.shards = 2;
+    tenant.engine_config = engine_config(workload);
+    let handle = Server::start(ServerConfig {
+        tenants: vec![tenant],
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+
+    let mut client = Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    expect_ack(
+        &mut client,
+        &Request::Subscribe {
+            tenant: "workload".into(),
+        },
+        "subscribe",
+    )?;
+    for chunk in workload.events.chunks(32) {
+        expect_ack(
+            &mut client,
+            &Request::Ingest {
+                tenant: "workload".into(),
+                events: chunk.to_vec(),
+            },
+            "ingest",
+        )?;
+    }
+    let report = match client.roundtrip(&Request::Finish {
+        tenant: "workload".into(),
+    }) {
+        Ok(Response::Report(report)) => report,
+        Ok(other) => return Err(format!("finish reply: {other:?}")),
+        Err(e) => return Err(format!("finish: {e}")),
+    };
+    // FINISH's report is enqueued after the final output publishes on
+    // the same FIFO connection queue, so by now every output is stashed.
+    let outputs = client.take_outputs();
+    handle.shutdown();
+    let summary = handle.join();
+    if !summary.clean() {
+        return Err(format!("unclean server drain: {:?}", summary.tenants));
+    }
+
+    let run = RunReport {
+        events_in: report.events_in,
+        events_out: report.events_out,
+        transitions_applied: report.transitions_applied,
+        outputs_by_type: report.outputs_by_type.iter().cloned().collect(),
+        ..RunReport::default()
+    };
+    Ok((run, outputs))
+}
+
+fn expect_ack(client: &mut Client, request: &Request, what: &str) -> Result<(), String> {
+    match client.roundtrip(request) {
+        Ok(Response::Ack) => Ok(()),
+        Ok(other) => Err(format!("{what} reply: {other:?}")),
+        Err(e) => Err(format!("{what}: {e}")),
+    }
+}

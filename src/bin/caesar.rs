@@ -9,7 +9,7 @@
 //!                [--observability off|counters|spans]
 //! ```
 
-use caesar::cli::{build_system, run, RunOptions};
+use caesar::cli::{build_system, run, serve, RunOptions, ServeOptions, TenantSpec};
 use caesar::prelude::*;
 use caesar::query::dot::model_to_dot;
 use caesar::query::parse_model;
@@ -42,6 +42,23 @@ const USAGE: &str = "usage:
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
                  [--observability off|counters|spans]
                  [--metrics] [--metrics-json FILE]
+  caesar serve   --tenant NAME=MODEL_FILE,SCHEMA_FILE [--tenant ...]
+                 [--listen ADDR] [--metrics-listen ADDR]
+                 [--shards N] [--queue-capacity N]
+                 [--mode ca|ci] [--no-sharing] [--within N]
+                 [--batch-size N] [--no-vectorize]
+                 [--checkpoint-dir DIR]
+                 [--observability off|counters|spans]
+
+serve hosts every --tenant as an independent model behind one framed
+TCP endpoint (default 127.0.0.1:7470; port 0 picks a free port) and
+serves GET /metrics + /healthz on --metrics-listen if given. The run
+flags apply to every tenant: --shards workers per tenant,
+--queue-capacity bounding each tenant's ingest queue (full = typed
+QUEUE_FULL rejection, never a drop). SIGINT/SIGTERM drains gracefully:
+admission stops, everything acknowledged is processed, and with
+--checkpoint-dir each tenant writes per-shard snapshots that a restart
+with the same directory resumes from.
 
 --batch-size caps how many same-timestamp events the hot path groups
 into one dispatch (default: uncapped batching; 1 = event-at-a-time,
@@ -96,6 +113,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     if args.iter().any(|a| a == "--no-vectorize") {
         options.vectorize = false;
     }
+    if let Some(n) = flag("--shards") {
+        options.shards = n.parse().map_err(|e| format!("--shards: {e}"))?;
+    }
     options.metrics = args.iter().any(|a| a == "--metrics");
     if let Some(path) = flag("--metrics-json") {
         options.metrics_json = Some(path.into());
@@ -138,6 +158,62 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             options.schema_text = read("--schema")?;
             options.events_text = read("--events")?;
             run(&options).map_err(|e| e.to_string())
+        }
+        "serve" => {
+            let mut serve_options = ServeOptions {
+                listen: "127.0.0.1:7470".into(),
+                run: options,
+                ..ServeOptions::default()
+            };
+            // --tenant repeats; collect every occurrence, not just the
+            // first.
+            for w in args.windows(2) {
+                if w[0] != "--tenant" {
+                    continue;
+                }
+                let (name, files) = w[1].split_once('=').ok_or_else(|| {
+                    format!("--tenant '{}' needs NAME=MODEL_FILE,SCHEMA_FILE", w[1])
+                })?;
+                let (model_path, schema_path) = files.split_once(',').ok_or_else(|| {
+                    format!("--tenant '{}' needs NAME=MODEL_FILE,SCHEMA_FILE", w[1])
+                })?;
+                let read_file = |path: &str| {
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("tenant '{name}': cannot read {path}: {e}"))
+                };
+                serve_options.tenants.push(TenantSpec {
+                    name: name.to_string(),
+                    model_text: read_file(model_path)?,
+                    schema_text: read_file(schema_path)?,
+                });
+            }
+            if let Some(addr) = flag("--listen") {
+                serve_options.listen = addr.to_string();
+            }
+            if let Some(addr) = flag("--metrics-listen") {
+                serve_options.metrics_listen = Some(addr.to_string());
+            }
+            if let Some(n) = flag("--queue-capacity") {
+                serve_options.queue_capacity =
+                    n.parse().map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            let handle = serve(&serve_options).map_err(|e| e.to_string())?;
+            println!("listening on {}", handle.addr());
+            if let Some(addr) = handle.metrics_addr() {
+                println!("metrics on http://{addr}/metrics");
+            }
+            println!(
+                "{} tenant(s), {} shard(s) each; ctrl-c drains",
+                serve_options.tenants.len(),
+                serve_options.run.shards.max(1)
+            );
+            let summary = handle.join();
+            let rendered = caesar::cli::render_drain_summary(&summary);
+            if summary.clean() {
+                Ok(rendered)
+            } else {
+                Err(rendered)
+            }
         }
         other => Err(format!("unknown command '{other}'")),
     }

@@ -236,21 +236,27 @@ impl RunOptions {
     }
 }
 
+/// The [`EngineConfig`] the run flags map to — shared by `caesar run`
+/// and every `caesar serve` tenant so the flags mean the same thing in
+/// both drivers.
+#[must_use]
+pub fn engine_config(options: &RunOptions) -> EngineConfig {
+    EngineConfig::builder()
+        .mode(options.mode)
+        .sharing(options.sharing)
+        .batch(options.batch_policy())
+        .vectorize(options.vectorize)
+        .observability(options.observability)
+        .build()
+}
+
 /// Builds a system from the model + schema texts in `options`.
 pub fn build_system(options: &RunOptions) -> Result<CaesarSystem, CliError> {
     let schemas = parse_schema_file(&options.schema_text)?;
     let builder = apply_schemas(Caesar::builder(), &schemas)
         .model_text(&options.model_text)
         .within(options.within)
-        .engine_config(
-            EngineConfig::builder()
-                .mode(options.mode)
-                .sharing(options.sharing)
-                .batch(options.batch_policy())
-                .vectorize(options.vectorize)
-                .observability(options.observability)
-                .build(),
-        );
+        .engine_config(engine_config(options));
     builder.build().map_err(|e| CliError::System(e.to_string()))
 }
 
@@ -364,6 +370,128 @@ pub fn render_report(report: &RunReport) -> String {
         if !ty.starts_with("$match") {
             s.push_str(&format!("  {ty:30} {n}\n"));
         }
+    }
+    s
+}
+
+/// One tenant of a `caesar serve` process: a name plus the model and
+/// schema texts that define its program.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name clients address frames to.
+    pub name: String,
+    /// Textual `MODEL` block.
+    pub model_text: String,
+    /// Schema file contents (same format as `caesar run`).
+    pub schema_text: String,
+}
+
+/// Everything a `caesar serve` needs: the tenant specs, the listen
+/// addresses, and the shared run flags. The engine-level flags (mode,
+/// sharing, batching, vectorization, observability, checkpoint
+/// directory, `--within`) are carried by the embedded [`RunOptions`] so
+/// they mean exactly what they mean for `caesar run` — there is one
+/// flag-to-config mapping, not two.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Tenants to host; names must be unique.
+    pub tenants: Vec<TenantSpec>,
+    /// TCP listen address for the framed ingest protocol.
+    pub listen: String,
+    /// Optional HTTP listen address for `/metrics` and `/healthz`.
+    pub metrics_listen: Option<String>,
+    /// Per-tenant ingest queue capacity (admission-control bound).
+    pub queue_capacity: usize,
+    /// Shared run flags. `model_text`/`schema_text`/`events_text` are
+    /// unused (tenants carry their own texts); `shards` is the
+    /// per-tenant shard count; `checkpoint_dir` is the drain-checkpoint
+    /// root (one subdirectory per tenant).
+    pub run: RunOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            tenants: Vec::new(),
+            listen: "127.0.0.1:0".into(),
+            metrics_listen: None,
+            queue_capacity: 1024,
+            run: RunOptions::default(),
+        }
+    }
+}
+
+/// Builds one server tenant from its spec and the shared run flags.
+pub fn build_tenant(
+    spec: &TenantSpec,
+    options: &ServeOptions,
+) -> Result<caesar_server::TenantConfig, CliError> {
+    let schemas = parse_schema_file(&spec.schema_text)?;
+    let (program, registry, _explain) = apply_schemas(Caesar::builder(), &schemas)
+        .model_text(&spec.model_text)
+        .within(options.run.within)
+        .build_program()
+        .map_err(|e| CliError::System(format!("tenant '{}': {e}", spec.name)))?;
+    let mut tenant = caesar_server::TenantConfig::new(&spec.name, program, registry);
+    tenant.engine_config = engine_config(&options.run);
+    tenant.shards = options.run.shards.max(1);
+    tenant.queue_capacity = options.queue_capacity;
+    Ok(tenant)
+}
+
+/// Maps [`ServeOptions`] onto a [`caesar_server::ServerConfig`]. The
+/// CLI server always drains on SIGINT/SIGTERM; a `--checkpoint-dir`
+/// makes that drain write per-tenant shard snapshots (and a restart
+/// with the same directory resume from them).
+pub fn serve_config(options: &ServeOptions) -> Result<caesar_server::ServerConfig, CliError> {
+    if options.tenants.is_empty() {
+        return Err(CliError::System(
+            "serve needs at least one --tenant NAME=MODEL_FILE,SCHEMA_FILE".into(),
+        ));
+    }
+    let mut tenants = Vec::with_capacity(options.tenants.len());
+    for spec in &options.tenants {
+        tenants.push(build_tenant(spec, options)?);
+    }
+    Ok(caesar_server::ServerConfig {
+        listen: options.listen.clone(),
+        metrics_listen: options.metrics_listen.clone(),
+        tenants,
+        drain_on_signal: true,
+        checkpoint_dir: options.run.checkpoint_dir.clone(),
+        ..caesar_server::ServerConfig::default()
+    })
+}
+
+/// Starts the multi-tenant ingest server described by `options` and
+/// returns its handle. The caller decides how to wait: the `caesar`
+/// binary prints the bound addresses and parks on
+/// [`caesar_server::ServerHandle::join`] until a signal or a client
+/// `SHUTDOWN` drains the process.
+pub fn serve(options: &ServeOptions) -> Result<caesar_server::ServerHandle, CliError> {
+    let config = serve_config(options)?;
+    caesar_server::Server::start(config).map_err(|e| CliError::System(e.to_string()))
+}
+
+/// Renders a drain summary as text (the tail of `caesar serve` output).
+#[must_use]
+pub fn render_drain_summary(summary: &caesar_server::DrainSummary) -> String {
+    let mut s = String::from("drained:\n");
+    for (name, outcome) in &summary.tenants {
+        s.push_str(&format!(
+            "  {name:20} in={} out={}{}{}\n",
+            outcome.events_in,
+            outcome.events_out,
+            if outcome.checkpointed {
+                " checkpointed"
+            } else {
+                ""
+            },
+            match &outcome.error {
+                Some(e) => format!(" error: {e}"),
+                None => String::new(),
+            },
+        ));
     }
     s
 }
@@ -542,6 +670,87 @@ CONTEXT congestion {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serve_hosts_tenants_through_the_run_flag_plumbing() {
+        use caesar_server::{Client, Request, Response};
+
+        caesar_server::signal::reset();
+        let serve_options = ServeOptions {
+            tenants: vec![
+                TenantSpec {
+                    name: "east".into(),
+                    model_text: MODEL.into(),
+                    schema_text: SCHEMA.into(),
+                },
+                TenantSpec {
+                    name: "west".into(),
+                    model_text: MODEL.into(),
+                    schema_text: SCHEMA.into(),
+                },
+            ],
+            run: RunOptions {
+                shards: 2,
+                observability: ObservabilityLevel::Counters,
+                ..RunOptions::default()
+            },
+            ..ServeOptions::default()
+        };
+        let handle = serve(&serve_options).unwrap();
+
+        // The same event file `caesar run` takes, round-tripped over TCP.
+        let system = build_system(&options()).unwrap();
+        let events = parse_event_file(EVENTS, &system).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for tenant in ["east", "west"] {
+            let reply = client
+                .roundtrip(&Request::Ingest {
+                    tenant: tenant.into(),
+                    events: events.clone(),
+                })
+                .unwrap();
+            assert_eq!(reply, Response::Ack);
+        }
+        let reply = client
+            .roundtrip(&Request::Finish {
+                tenant: "east".into(),
+            })
+            .unwrap();
+        let Response::Report(report) = reply else {
+            panic!("expected report, got {reply:?}");
+        };
+        // Same answer as the embedded `run` over the same file: 4 events
+        // in, one toll (vid 8 is on the exit lane).
+        assert_eq!(report.events_in, 4);
+        assert_eq!(report.outputs_of("TollNotification"), 1);
+
+        handle.shutdown();
+        let summary = handle.join();
+        assert!(summary.clean(), "{:?}", summary.tenants);
+        let rendered = render_drain_summary(&summary);
+        assert!(rendered.contains("west"), "{rendered}");
+    }
+
+    #[test]
+    fn serve_config_rejects_empty_tenant_list_and_bad_models() {
+        let Err(err) = serve_config(&ServeOptions::default()) else {
+            panic!("empty tenant list must be rejected");
+        };
+        assert!(err.to_string().contains("--tenant"), "{err}");
+
+        let bad = ServeOptions {
+            tenants: vec![TenantSpec {
+                name: "t".into(),
+                model_text: "MODEL broken".into(),
+                schema_text: SCHEMA.into(),
+            }],
+            ..ServeOptions::default()
+        };
+        let Err(err) = serve_config(&bad) else {
+            panic!("broken model must be rejected");
+        };
+        assert!(err.to_string().contains("tenant 't'"), "{err}");
     }
 
     #[test]

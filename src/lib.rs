@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod cli;
 
@@ -18,6 +19,9 @@ pub use caesar_core::*;
 
 /// Checkpoint & recovery subsystem (snapshots, event log, crash harness).
 pub use caesar_recovery as recovery;
+
+/// Multi-tenant network ingest server (`caesar serve`) and its client.
+pub use caesar_server as server;
 
 /// Linear Road benchmark substrate (traffic simulator, model, oracle).
 pub use caesar_linear_road as linear_road;

@@ -1,0 +1,118 @@
+//! Served-vs-embedded equivalence: every generated workload is
+//! round-tripped through a loopback `caesar-server` instance (framed
+//! TCP ingest, two-shard tenant, outputs pushed back over a
+//! subscription) and must reproduce the reference oracle byte-for-byte
+//! — the network/tenancy layer adds exactly nothing to the semantics.
+//!
+//! Reproducing a failure: every panic prints the workload seed. Re-run
+//! just that seed with
+//!
+//! ```sh
+//! CAESAR_SERVED_SEEDS=0x1234abcd cargo test --test server_equivalence
+//! ```
+//!
+//! Knobs (all environment variables):
+//!
+//! * `CAESAR_SERVED_CASES` — number of random workloads per generator
+//!   profile (default 25 locally; CI sets 70 for ≥ 200 total models).
+//! * `CAESAR_SERVED_SEED_BASE` — base seed for the randomized sweep.
+//! * `CAESAR_SERVED_SEEDS` — comma-separated explicit seeds (hex
+//!   `0x..` or decimal); overrides the sweep entirely.
+
+use caesar_testkit::{check_workload_served, workload_from_seed, GenConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| parse_u64(&s))
+        .unwrap_or(default)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn explicit_seeds() -> Option<Vec<u64>> {
+    let raw = std::env::var("CAESAR_SERVED_SEEDS").ok()?;
+    let seeds: Vec<u64> = raw.split(',').filter_map(parse_u64).collect();
+    (!seeds.is_empty()).then_some(seeds)
+}
+
+/// SplitMix64 — decorrelates consecutive sweep indices into seeds.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn check_seed(seed: u64, config: &GenConfig) {
+    let workload = workload_from_seed(seed, config);
+    if let Err(failure) = check_workload_served(&workload) {
+        panic!(
+            "served run diverged from reference oracle\n\n{failure}\n\
+             reproduce: CAESAR_SERVED_SEEDS={seed:#x} cargo test --test server_equivalence",
+        );
+    }
+}
+
+/// Same three generator profiles as the embedded differential sweep, so
+/// the served leg sees the identical mix of adversarial structure:
+/// default, negation/disorder-heavy, and dense same-timestamp streams.
+fn profiles() -> Vec<GenConfig> {
+    let default = GenConfig::default();
+    let adversarial = GenConfig {
+        negation_bias: 0.8,
+        disorder: 0.5,
+        subsumable_bias: 0.6,
+        ..GenConfig::default()
+    };
+    let dense = GenConfig {
+        same_time_bias: 0.7,
+        max_partitions: 2,
+        min_events: 40,
+        max_events: 160,
+        ..GenConfig::default()
+    };
+    vec![default, adversarial, dense]
+}
+
+/// Fixed seeds checked on every run — deterministic baseline coverage.
+const PINNED_SEEDS: &[u64] = &[
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_002a,
+    0x5eed_5eed_5eed_5eed,
+    0xdead_beef_cafe_f00d,
+];
+
+#[test]
+fn pinned_seeds_served_match_oracle() {
+    let config = GenConfig::default();
+    for &seed in PINNED_SEEDS {
+        check_seed(seed, &config);
+    }
+}
+
+#[test]
+fn random_sweep_served_matches_oracle() {
+    if let Some(seeds) = explicit_seeds() {
+        let config = GenConfig::default();
+        for seed in seeds {
+            check_seed(seed, &config);
+        }
+        return;
+    }
+    let cases = env_u64("CAESAR_SERVED_CASES", 25);
+    let base = env_u64("CAESAR_SERVED_SEED_BASE", 0xCAE5_A25E_12E6_0006);
+    for (pi, profile) in profiles().iter().enumerate() {
+        for i in 0..cases {
+            let seed = mix(base ^ ((pi as u64) << 56) ^ i);
+            check_seed(seed, profile);
+        }
+    }
+}
