@@ -1,0 +1,287 @@
+//! Speculative vs strict visibility latency on disorder-biased Linear
+//! Road streams.
+//!
+//! Strict consistency holds every derived event until the reorder
+//! slack can no longer change it, so on a disordered stream *all*
+//! output pays worst-case visibility latency. Speculative consistency
+//! emits the moment inputs are processed and compensates late arrivals
+//! with retractions. This bench quantifies the trade on the full
+//! Linear Road query set: the traffic simulator's stream is
+//! disorder-biased by a seeded bounded shuffle (each event may be
+//! displaced up to `window` arrival slots), the slack is set to the
+//! stream's exact maximum lateness (nothing drops, so both legs settle
+//! to the identical output multiset — asserted), and both legs ingest
+//! event-at-a-time while recording *when* each output became visible:
+//!
+//! * **first output** — arrival index at which the first derived event
+//!   reached the subscriber; the headline latency win.
+//! * **mean visibility lead** — per settled output, how many arrivals
+//!   earlier speculation surfaced it than strict settlement did
+//!   (matched per wire encoding, first-in-first-out).
+//! * **retraction rate** — retractions per speculative emission; the
+//!   price of the lead.
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin speculative
+//! ```
+//!
+//! Besides the printed table, results are written to
+//! `BENCH_speculative.json` in the current directory.
+
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_events::generator::rng;
+use caesar_events::{encode_to_vec, max_lateness};
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
+use caesar_runtime::Engine;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Bounded-displacement shuffle: event `i` may trade places with any
+/// event up to `window` slots ahead, giving a stream whose disorder is
+/// bounded (in arrival slots) without touching timestamps.
+fn bias_disorder(events: &mut [Event], window: usize, seed: u64) {
+    if window == 0 {
+        return;
+    }
+    let mut rng = rng(seed);
+    for i in 0..events.len() {
+        let hi = (i + window).min(events.len() - 1);
+        let j = rng.gen_range(i..=hi);
+        events.swap(i, j);
+    }
+}
+
+/// One leg's visibility trace: per output encoding, the 1-based arrival
+/// indices at which copies of it became visible, in visibility order.
+#[derive(Default)]
+struct Trace {
+    seen: BTreeMap<Vec<u8>, Vec<usize>>,
+    first_visible: Option<usize>,
+    emissions: u64,
+    retractions: u64,
+    wall_secs: f64,
+}
+
+impl Trace {
+    fn record(&mut self, event: &Event, at: usize) {
+        self.first_visible.get_or_insert(at);
+        self.emissions += 1;
+        self.seen.entry(encode_to_vec(event)).or_default().push(at);
+    }
+
+    /// The settled multiset as sorted `(key, count)` pairs — for the
+    /// strict leg this is everything seen; the speculative leg subtracts
+    /// retractions before calling this.
+    fn settled(&self) -> Vec<(Vec<u8>, usize)> {
+        self.seen
+            .iter()
+            .filter(|(_, at)| !at.is_empty())
+            .map(|(k, at)| (k.clone(), at.len()))
+            .collect()
+    }
+}
+
+fn engine_config(slack: Time, consistency: Consistency) -> EngineConfig {
+    EngineConfig::builder()
+        .reorder_slack(slack)
+        .collect_outputs(true)
+        .consistency(consistency)
+        .build()
+}
+
+fn run_leg(events: &[Event], slack: Time, consistency: Consistency) -> Trace {
+    let mut sys = build_lr_system(
+        1,
+        OptimizerConfig::default(),
+        engine_config(slack, consistency),
+    );
+    let mut trace = Trace::default();
+    let start = Instant::now();
+    let speculative = consistency == Consistency::Speculative;
+    for (i, event) in events.iter().enumerate() {
+        sys.engine
+            .ingest(event.clone())
+            .expect("slack covers the disorder");
+        drain(&mut sys.engine, speculative, i + 1, &mut trace);
+    }
+    sys.engine.finish();
+    drain(&mut sys.engine, speculative, events.len(), &mut trace);
+    trace.wall_secs = start.elapsed().as_secs_f64();
+    trace
+}
+
+/// Moves this step's freshly visible outputs into the trace. Strict
+/// visibility is the collected settled outputs; speculative visibility
+/// is the emission records, with retractions cancelling the *earliest*
+/// outstanding sighting of the same encoding (FIFO, matching how the
+/// lead is scored).
+fn drain(engine: &mut Engine, speculative: bool, at: usize, trace: &mut Trace) {
+    if !speculative {
+        for event in std::mem::take(&mut engine.collected_outputs) {
+            trace.record(&event, at);
+        }
+        return;
+    }
+    engine.collected_outputs.clear();
+    for record in std::mem::take(&mut engine.collected_records) {
+        if record.is_retraction() {
+            trace.retractions += 1;
+            let key = encode_to_vec(record.event());
+            let sightings = trace
+                .seen
+                .get_mut(&key)
+                .expect("retraction had an emission");
+            sightings.remove(0);
+        } else {
+            trace.record(record.event(), at);
+        }
+    }
+}
+
+struct Row {
+    window: usize,
+    events: u64,
+    slack: Time,
+    settled: u64,
+    strict_first: usize,
+    spec_first: usize,
+    mean_lead: f64,
+    retraction_rate: f64,
+    strict_evs: f64,
+    spec_evs: f64,
+}
+
+/// Mean per-output visibility lead in arrival slots: settled outputs
+/// matched per encoding, k-th strict sighting against k-th surviving
+/// speculative sighting.
+fn mean_lead(strict: &Trace, spec: &Trace) -> f64 {
+    let mut total: f64 = 0.0;
+    let mut matched: u64 = 0;
+    for (key, strict_at) in &strict.seen {
+        let spec_at = spec.seen.get(key).map_or(&[][..], Vec::as_slice);
+        for (s, e) in strict_at.iter().zip(spec_at) {
+            total += *s as f64 - *e as f64;
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        0.0
+    } else {
+        total / matched as f64
+    }
+}
+
+fn measure(window: usize, base_events: &[Event], seed: u64) -> Row {
+    let mut events = base_events.to_vec();
+    bias_disorder(&mut events, window, seed);
+    let slack = max_lateness(&events);
+    let strict = run_leg(&events, slack, Consistency::Strict);
+    let spec = run_leg(&events, slack, Consistency::Speculative);
+    assert_eq!(
+        strict.settled(),
+        spec.settled(),
+        "window {window}: speculative must settle to the strict multiset"
+    );
+    let settled: u64 = strict.seen.values().map(|v| v.len() as u64).sum();
+    Row {
+        window,
+        events: events.len() as u64,
+        slack,
+        settled,
+        strict_first: strict.first_visible.unwrap_or(0),
+        spec_first: spec.first_visible.unwrap_or(0),
+        mean_lead: mean_lead(&strict, &spec),
+        retraction_rate: if spec.emissions == 0 {
+            0.0
+        } else {
+            spec.retractions as f64 / spec.emissions as f64
+        },
+        strict_evs: events.len() as f64 / strict.wall_secs,
+        spec_evs: events.len() as f64 / spec.wall_secs,
+    }
+}
+
+fn main() {
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads: 1,
+        segments_per_road: 2,
+        duration: 600,
+        seed: 17,
+        base_cars: 150.0,
+        peak_cars: 250.0,
+        ..Default::default()
+    });
+    let base = sim.generate();
+
+    let rows: Vec<Row> = [4usize, 32, 128]
+        .iter()
+        .map(|&window| measure(window, &base, 0xD150_4DE5 ^ window as u64))
+        .collect();
+
+    print_table(
+        "Speculative vs strict visibility on disorder-biased Linear Road",
+        &[
+            "disorder window",
+            "events",
+            "slack",
+            "settled",
+            "first output (strict)",
+            "first output (spec)",
+            "mean lead (events)",
+            "retraction rate",
+            "strict ev/s",
+            "spec ev/s",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.window.to_string(),
+                    r.events.to_string(),
+                    r.slack.to_string(),
+                    r.settled.to_string(),
+                    r.strict_first.to_string(),
+                    r.spec_first.to_string(),
+                    format!("{:.1}", r.mean_lead),
+                    format!("{:.4}", r.retraction_rate),
+                    format!("{:.0}", r.strict_evs),
+                    format!("{:.0}", r.spec_evs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"disorder_window\": {}, \"events\": {}, \"slack_ticks\": {}, \
+                 \"settled_outputs\": {}, \"strict_first_output_event\": {}, \
+                 \"speculative_first_output_event\": {}, \"first_output_reduction_events\": {}, \
+                 \"mean_visibility_lead_events\": {:.2}, \"retraction_rate\": {:.5}, \
+                 \"strict_events_per_sec\": {:.1}, \"speculative_events_per_sec\": {:.1}}}",
+                r.window,
+                r.events,
+                r.slack,
+                r.settled,
+                r.strict_first,
+                r.spec_first,
+                r.strict_first.saturating_sub(r.spec_first),
+                r.mean_lead,
+                r.retraction_rate,
+                r.strict_evs,
+                r.spec_evs,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"benchmark\": \"speculative vs strict visibility latency, disorder-biased Linear Road\",\n\
+         \"unit\": \"visibility measured in 1-based arrival slots; slack = exact max lateness (no drops)\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_speculative.json", &json).expect("write BENCH_speculative.json");
+    println!("\nwrote BENCH_speculative.json");
+}

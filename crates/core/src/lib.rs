@@ -69,8 +69,8 @@ pub mod prelude {
     pub use caesar_optimizer::OptimizerConfig;
     pub use caesar_query::{CaesarModel, ModelBuilder};
     pub use caesar_runtime::{
-        EngineConfig, EngineConfigBuilder, ExecutionMode, MetricsSnapshot, ObservabilityLevel,
-        RunReport,
+        Consistency, EngineConfig, EngineConfigBuilder, ExecutionMode, MetricsSnapshot,
+        ObservabilityLevel, RunReport,
     };
 }
 

@@ -24,6 +24,7 @@
 //! ```
 
 use crate::event::{Event, PartitionId};
+use crate::record::OutputRecord;
 use crate::schema::TypeId;
 use crate::time::Interval;
 use crate::value::Value;
@@ -91,6 +92,17 @@ pub fn encode(event: &Event, buf: &mut BytesMut) {
     }
     let body_len = (buf.len() - body_start) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Encodes a single event into a standalone byte vector. Because the
+/// encoding is deterministic, the bytes double as a canonical equality
+/// key — the differential harness and the speculative revision books
+/// both key multisets of events this way.
+#[must_use]
+pub fn encode_to_vec(event: &Event) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    encode(event, &mut buf);
+    buf.to_vec()
 }
 
 /// Encodes a whole batch.
@@ -165,6 +177,60 @@ pub fn decode_all(mut buf: Bytes) -> Result<Vec<Event>, CodecError> {
     let mut out = Vec::new();
     while let Some(e) = decode(&mut buf)? {
         out.push(e);
+    }
+    Ok(out)
+}
+
+/// Tag byte of an [`OutputRecord::Emit`] frame.
+const RECORD_EMIT: u8 = 0;
+/// Tag byte of an [`OutputRecord::Retract`] frame.
+const RECORD_RETRACT: u8 = 1;
+
+/// Appends one encoded output record: a one-byte kind tag
+/// (`0` = emit, `1` = retract) followed by the event encoding.
+pub fn encode_record(record: &OutputRecord, buf: &mut BytesMut) {
+    match record {
+        OutputRecord::Emit(e) => {
+            buf.put_u8(RECORD_EMIT);
+            encode(e, buf);
+        }
+        OutputRecord::Retract(e) => {
+            buf.put_u8(RECORD_RETRACT);
+            encode(e, buf);
+        }
+    }
+}
+
+/// Encodes a whole record sequence.
+#[must_use]
+pub fn encode_records(records: &[OutputRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(records.len() * 64);
+    for r in records {
+        encode_record(r, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes one output record from the front of `buf`, advancing it.
+/// Returns `Ok(None)` when the buffer is empty.
+pub fn decode_record(buf: &mut Bytes) -> Result<Option<OutputRecord>, CodecError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let tag = read_u8(buf)?;
+    let event = decode(buf)?.ok_or(CodecError::Truncated)?;
+    match tag {
+        RECORD_EMIT => Ok(Some(OutputRecord::Emit(event))),
+        RECORD_RETRACT => Ok(Some(OutputRecord::Retract(event))),
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Decodes every output record in the buffer.
+pub fn decode_records(mut buf: Bytes) -> Result<Vec<OutputRecord>, CodecError> {
+    let mut out = Vec::new();
+    while let Some(r) = decode_record(&mut buf)? {
+        out.push(r);
     }
     Ok(out)
 }
@@ -289,5 +355,37 @@ mod tests {
         let mut empty = Bytes::new();
         assert_eq!(decode(&mut empty), Ok(None));
         assert!(decode_all(Bytes::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let records = vec![
+            OutputRecord::Emit(sample()),
+            OutputRecord::Retract(sample()),
+            OutputRecord::Emit(Event::simple(
+                TypeId(1),
+                5,
+                PartitionId(0),
+                vec![Value::Int(9)],
+            )),
+        ];
+        let encoded = encode_records(&records);
+        let decoded = decode_records(encoded).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn record_bad_kind_tag_detected() {
+        let mut buf = BytesMut::new();
+        encode_record(&OutputRecord::Emit(sample()), &mut buf);
+        let mut raw = buf.to_vec();
+        raw[0] = 7;
+        assert_eq!(decode_records(Bytes::from(raw)), Err(CodecError::BadTag(7)));
+    }
+
+    #[test]
+    fn record_truncated_after_tag_detected() {
+        let mut raw = Bytes::from(vec![RECORD_RETRACT]);
+        assert_eq!(decode_record(&mut raw), Err(CodecError::Truncated));
     }
 }

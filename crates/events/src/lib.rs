@@ -31,6 +31,7 @@ pub mod error;
 pub mod event;
 pub mod generator;
 pub mod queue;
+pub mod record;
 pub mod reorder;
 pub mod schema;
 pub mod stream;
@@ -38,11 +39,15 @@ pub mod time;
 pub mod value;
 
 pub use batch::{BatchPolicy, BatchedStream, Batcher};
-pub use codec::{decode, decode_all, encode, encode_all, CodecError};
+pub use codec::{
+    decode, decode_all, decode_record, decode_records, encode, encode_all, encode_record,
+    encode_records, encode_to_vec, CodecError,
+};
 pub use columnar::{Column, ColumnKind, ColumnarBatch, ColumnarView, StrColumn};
 pub use error::EventError;
 pub use event::{Event, EventBuilder, PartitionId};
 pub use queue::{EventQueue, PartitionedQueues};
+pub use record::OutputRecord;
 pub use reorder::{max_lateness, ReorderBuffer};
 pub use schema::{AttrId, AttrType, Schema, SchemaRegistry, TypeId};
 pub use stream::{EventBatch, EventStream, MergedStream, VecStream};

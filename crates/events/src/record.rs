@@ -1,0 +1,43 @@
+//! Revisioned output records for speculative execution.
+//!
+//! Under strict consistency the engine's output is a plain event
+//! sequence. Under speculative consistency (CEDR-style "emit
+//! immediately, compensate later"), the output is a sequence of
+//! [`OutputRecord`]s: every derived event is first *emitted*
+//! speculatively, and a late arrival that invalidates it produces a
+//! *retraction* of the exact event followed by corrected emissions.
+//! Folding the record sequence — cancelling each retraction against a
+//! previous emission of the same event — recovers the strict output as
+//! a multiset; the testkit's canonicalizer holds the engine to that
+//! equality on every generated workload.
+
+use crate::event::Event;
+
+/// One entry of a speculative output stream: an emission or the
+/// compensating retraction of a previously emitted event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputRecord {
+    /// A derived event, emitted as soon as its inputs were processed.
+    Emit(Event),
+    /// Retracts one previous [`Emit`](OutputRecord::Emit) of exactly
+    /// this event (same type, occurrence interval, partition and
+    /// attribute values). Retractions always precede the corrected
+    /// emissions of the revision that produced them.
+    Retract(Event),
+}
+
+impl OutputRecord {
+    /// The event this record carries, emission or retraction alike.
+    #[must_use]
+    pub fn event(&self) -> &Event {
+        match self {
+            OutputRecord::Emit(e) | OutputRecord::Retract(e) => e,
+        }
+    }
+
+    /// True for [`Retract`](OutputRecord::Retract) records.
+    #[must_use]
+    pub fn is_retraction(&self) -> bool {
+        matches!(self, OutputRecord::Retract(_))
+    }
+}

@@ -154,6 +154,36 @@ impl ReorderBuffer {
         self.heap.len()
     }
 
+    /// Highest event time seen so far (the stream's high-watermark).
+    #[must_use]
+    pub fn high_watermark(&self) -> Time {
+        self.high
+    }
+
+    /// Runs a whole arrival sequence through a fresh buffer of `slack`
+    /// ticks and returns the settled stream plus the number of events
+    /// dropped as too late.
+    ///
+    /// This is *the* canonical settled order — `(time, arrival)` with a
+    /// global watermark deciding lateness — and every consumer that
+    /// needs to pre-sort a disordered stream (notably the sharded
+    /// driver, whose shards would otherwise judge lateness against
+    /// partition-local watermarks) must settle through this function so
+    /// drops and tie-breaking match what a sequential engine with the
+    /// same slack would do.
+    #[must_use]
+    pub fn settle_stream(slack: Time, events: &[Event]) -> (Vec<Event>, u64) {
+        let mut buf = Self::new(slack);
+        let mut out = Vec::with_capacity(events.len());
+        for event in events {
+            if let Ok(ready) = buf.push(event.clone()) {
+                out.extend(ready);
+            }
+        }
+        out.extend(buf.flush());
+        (out, buf.late_dropped)
+    }
+
     fn drain_ready(&mut self) -> Vec<Event> {
         let horizon = self.high.saturating_sub(self.slack);
         let mut out = Vec::new();
@@ -337,6 +367,46 @@ mod tests {
             .unwrap_err();
         assert_eq!(rejected.len(), 3);
         assert_eq!(buf.late_dropped, 3);
+    }
+
+    #[test]
+    fn settle_stream_matches_incremental_pushes() {
+        let times = [3, 1, 2, 7, 5, 4, 10, 2, 9, 8, 8];
+        let events: Vec<Event> = times.iter().map(|&t| ev(t)).collect();
+        let (settled, dropped) = ReorderBuffer::settle_stream(3, &events);
+        let (expected, expected_dropped) = run(3, &times);
+        assert_eq!(
+            settled.iter().map(Event::time).collect::<Vec<_>>(),
+            expected
+        );
+        assert_eq!(dropped, expected_dropped);
+    }
+
+    #[test]
+    fn settle_stream_keeps_arrival_order_for_ties() {
+        // Two same-timestamp events arriving late (but within slack)
+        // must settle in arrival order, exactly like push().
+        let mut events = vec![ev(10)];
+        events.push(Event::simple(
+            TypeId(0),
+            8,
+            PartitionId(0),
+            vec![Value::Int(1)],
+        ));
+        events.push(Event::simple(
+            TypeId(0),
+            8,
+            PartitionId(1),
+            vec![Value::Int(2)],
+        ));
+        let (settled, dropped) = ReorderBuffer::settle_stream(5, &events);
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            settled.iter().map(Event::time).collect::<Vec<_>>(),
+            vec![8, 8, 10]
+        );
+        assert_eq!(settled[0].attrs[0], Value::Int(1));
+        assert_eq!(settled[1].attrs[0], Value::Int(2));
     }
 
     #[test]

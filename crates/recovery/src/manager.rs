@@ -191,9 +191,18 @@ impl CheckpointManager {
         Ok(())
     }
 
+    /// True when [`maybe_checkpoint`](Self::maybe_checkpoint) would
+    /// snapshot right now. Callers hosting a speculative engine check
+    /// this first and settle the engine's in-flight speculation before
+    /// handing over `&Engine` — snapshots capture strict state only.
+    #[must_use]
+    pub fn checkpoint_due(&self) -> bool {
+        self.every > 0 && self.offered > 0 && self.offered.is_multiple_of(self.every)
+    }
+
     /// Takes a checkpoint if the configured cadence says one is due.
     pub fn maybe_checkpoint(&mut self, engine: &Engine) -> Result<bool, RecoveryError> {
-        if self.every > 0 && self.offered > 0 && self.offered.is_multiple_of(self.every) {
+        if self.checkpoint_due() {
             self.checkpoint(engine)?;
             return Ok(true);
         }

@@ -9,10 +9,12 @@
 //! re-implementing the run loop per leg. Each leg carries a label so a
 //! divergence names the exact mode that produced it.
 
-use crate::engine::{Engine, EngineConfig, RunReport};
+use crate::engine::{Consistency, Engine, EngineConfig, RunReport};
 use crate::obs::ObservabilityLevel;
-use crate::parallel::run_sharded_with_outputs;
-use caesar_events::{BatchPolicy, Event, EventError, SchemaRegistry, Time, VecStream};
+use crate::parallel::run_sharded_full;
+use caesar_events::{
+    BatchPolicy, Event, EventError, OutputRecord, ReorderBuffer, SchemaRegistry, Time, VecStream,
+};
 use caesar_optimizer::OptimizedProgram;
 
 /// One cell of the execution-mode matrix.
@@ -58,22 +60,42 @@ pub fn run_mode(
     spec: &ModeSpec,
     events: &[Event],
 ) -> Result<(RunReport, Vec<Event>), EventError> {
+    run_mode_full(program, registry, spec, events).map(|(report, outputs, _)| (report, outputs))
+}
+
+/// [`run_mode`], additionally returning the leg's speculative output
+/// records — empty unless the spec's consistency is
+/// [`Consistency::Speculative`]. Folding the records (each retraction
+/// cancels one prior emission of the same event) must reproduce the
+/// settled outputs exactly; the testkit's differential harness asserts
+/// that equality on every speculative leg.
+pub fn run_mode_full(
+    program: &OptimizedProgram,
+    registry: &SchemaRegistry,
+    spec: &ModeSpec,
+    events: &[Event],
+) -> Result<(RunReport, Vec<Event>, Vec<OutputRecord>), EventError> {
     let mut config = spec.config;
     config.collect_outputs = true;
     if spec.shards > 0 {
-        // The sharded entry point wants an ordered stream. A stable
-        // sort by time yields exactly the order a `ReorderBuffer` with
-        // sufficient slack would release (ties keep arrival order), so
-        // disordered workloads compare one-to-one with sequential legs.
-        return run_sharded_with_outputs(
+        // The sharded entry point wants an ordered stream. Settling the
+        // arrivals through a reorder buffer — not a plain stable sort —
+        // pins the exact sequential-leg semantics: ties release in
+        // arrival order *and* events beyond the slack are dropped under
+        // the same global watermark. A sort would silently resurrect
+        // beyond-slack stragglers the sequential legs count and drop
+        // (see `tests/sharded_settlement.rs`).
+        let (settled, _late_dropped) = ReorderBuffer::settle_stream(config.reorder_slack, events);
+        return run_sharded_full(
             program,
             registry,
             config,
             spec.shards,
-            &mut VecStream::from_unsorted(events.to_vec()),
+            &mut VecStream::new(settled),
         );
     }
     let mut engine = Engine::new(program.clone(), registry, config);
+    let mut earlier_records = Vec::new();
     match spec.restart_after {
         None => {
             for event in events {
@@ -85,7 +107,15 @@ pub fn run_mode(
             for event in &events[..cut] {
                 engine.ingest(event.clone())?;
             }
+            // Snapshots capture strict state only, so a speculative
+            // engine settles first (a no-op on strict legs). Note this
+            // advances the lateness floor past the cut: a speculative
+            // restart leg drops post-cut stragglers a strict leg would
+            // still buffer, so the standard matrix keeps its restart
+            // leg strict.
+            engine.settle();
             let state = engine.snapshot_state();
+            earlier_records = std::mem::take(&mut engine.collected_records);
             let mut resumed = Engine::new(program.clone(), registry, config);
             resumed
                 .restore_state(state)
@@ -98,16 +128,22 @@ pub fn run_mode(
     }
     let report = engine.finish();
     let outputs = std::mem::take(&mut engine.collected_outputs);
-    Ok((report, outputs))
+    let mut records = earlier_records;
+    records.append(&mut engine.collected_records);
+    Ok((report, outputs, records))
 }
 
-/// The standard differential matrix: ten legs spanning sequential and
-/// sharded execution, per-event and batched policies, vectorized
+/// The standard differential matrix: twelve legs spanning sequential
+/// and sharded execution, per-event and batched policies, vectorized
 /// kernels on/off, every observability level, optimized and
-/// unoptimized programs, plus a mid-stream snapshot/restore leg.
-/// (`caesar-testkit` layers an eleventh, *served* leg on top — the same
-/// workload round-tripped through a loopback `caesar-server` instance —
-/// which lives there because the runtime cannot depend on the server.)
+/// unoptimized programs, both consistency levels (speculative legs are
+/// checked twice: settled outputs byte-identical, and the folded record
+/// stream identical to the settled outputs), plus a mid-stream
+/// snapshot/restore leg.
+/// (`caesar-testkit` layers two *served* legs on top — the same
+/// workload round-tripped through a loopback `caesar-server` instance,
+/// strict and speculative — which live there because the runtime cannot
+/// depend on the server.)
 ///
 /// `slack` is the reorder tolerance every leg needs for the stream
 /// under test; `n_events` positions the restart leg's cut point.
@@ -171,6 +207,23 @@ pub fn standard_matrix(slack: Time, n_events: usize) -> Vec<ModeSpec> {
         label: "sharded3/batch/vectorized".into(),
         config: base().batch(BatchPolicy::default()).vectorize(true).build(),
         shards: 3,
+        optimized: true,
+        restart_after: None,
+    });
+    specs.push(ModeSpec::sequential(
+        "seq/speculative",
+        base()
+            .batch(BatchPolicy::per_event())
+            .consistency(Consistency::Speculative)
+            .build(),
+    ));
+    specs.push(ModeSpec {
+        label: "sharded2/speculative".into(),
+        config: base()
+            .batch(BatchPolicy::per_event())
+            .consistency(Consistency::Speculative)
+            .build(),
+        shards: 2,
         optimized: true,
         restart_after: None,
     });

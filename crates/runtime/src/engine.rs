@@ -13,14 +13,18 @@ use crate::txn::StreamTransaction;
 use caesar_algebra::context_table::{ContextTable, TransitionKind};
 use caesar_algebra::plan::PlanOutput;
 use caesar_events::{
-    BatchPolicy, ColumnarBatch, Event, EventBatch, EventError, EventStream, ReorderBuffer,
-    SchemaRegistry, Time, TypeId,
+    BatchPolicy, ColumnarBatch, Event, EventBatch, EventError, EventStream, OutputRecord,
+    ReorderBuffer, SchemaRegistry, Time, TypeId,
 };
 use caesar_optimizer::optimizer::OptimizedProgram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+mod speculate;
+pub use speculate::Consistency;
+use speculate::Speculation;
 
 /// Execution mode of the engine.
 pub type ExecutionMode = Mode;
@@ -94,6 +98,14 @@ pub struct EngineConfig {
     /// [`ObservabilityLevel`]): `Off` (default, within noise of no
     /// instrumentation), `Counters`, or `Spans`. Never affects results.
     pub observability: ObservabilityLevel,
+    /// When outputs become visible relative to the reorder slack (see
+    /// [`Consistency`]): `Strict` (default) waits out the slack before
+    /// anything is emitted; `Speculative` emits immediately and
+    /// compensates late arrivals with typed retraction records. The
+    /// settled computation is identical either way — the knob trades
+    /// output latency against retraction traffic, never results.
+    #[serde(default)]
+    pub consistency: Consistency,
 }
 
 fn default_vectorize() -> bool {
@@ -114,6 +126,7 @@ impl Default for EngineConfig {
             batch: BatchPolicy::default(),
             vectorize: default_vectorize(),
             observability: ObservabilityLevel::Off,
+            consistency: Consistency::Strict,
         }
     }
 }
@@ -132,17 +145,20 @@ impl EngineConfig {
     }
 
     /// Equality of every result-affecting knob. The batch policy, the
-    /// vectorize switch and the observability level are excluded: they
-    /// change dispatch granularity, evaluation strategy and recording,
-    /// never results, so snapshots taken by batched / vectorized /
-    /// instrumented and plain runs are interchangeable (a WAL written
-    /// by one replays into the other).
+    /// vectorize switch, the observability level and the consistency
+    /// level are excluded: they change dispatch granularity, evaluation
+    /// strategy, recording and output latency, never settled results,
+    /// so snapshots taken by batched / vectorized / instrumented /
+    /// speculative and plain runs are interchangeable (a WAL written
+    /// by one replays into the other; a speculative engine settles
+    /// before snapshotting, so its state is a strict state).
     #[must_use]
     pub fn semantics_eq(&self, other: &Self) -> bool {
         Self {
             batch: other.batch,
             vectorize: other.vectorize,
             observability: other.observability,
+            consistency: other.consistency,
             ..*self
         } == *other
     }
@@ -239,6 +255,13 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn observability(mut self, level: ObservabilityLevel) -> Self {
         self.config.observability = level;
+        self
+    }
+
+    /// Consistency level (see [`EngineConfig::consistency`]).
+    #[must_use]
+    pub fn consistency(mut self, level: Consistency) -> Self {
+        self.config.consistency = level;
         self
     }
 
@@ -409,8 +432,32 @@ pub struct Engine {
     obs: MetricsRegistry,
     /// Events dropped because they arrived later than the reorder slack.
     pub late_dropped: u64,
-    /// Output events retained when `collect_outputs` is set.
+    /// Output events retained when `collect_outputs` is set. Under
+    /// [`Consistency::Speculative`] these are the *settled* outputs —
+    /// identical to a strict run; the speculative emissions and
+    /// retractions land in [`collected_records`](Self::collected_records).
     pub collected_outputs: Vec<Event>,
+    /// The speculative overlay (`Some` exactly when the configuration's
+    /// consistency is [`Consistency::Speculative`]). Deliberately not
+    /// part of [`EngineState`]: checkpoints force a settle first, so a
+    /// snapshot is always a strict state.
+    speculation: Option<Box<Speculation>>,
+    /// When `Some`, [`account_outputs`](Self::account_outputs) also
+    /// copies produced outputs here — the speculative overlay installs
+    /// this buffer around settlement to learn which books entries the
+    /// settled core just confirmed.
+    spec_capture: Option<Vec<Event>>,
+    /// Speculative output records (emissions and retractions, in
+    /// emission order) retained when `collect_outputs` is set and the
+    /// consistency level is [`Consistency::Speculative`]. Folding the
+    /// records (cancelling retractions) yields `collected_outputs`.
+    pub collected_records: Vec<OutputRecord>,
+    /// Output events emitted speculatively (includes re-emissions).
+    pub spec_emits: u64,
+    /// Retraction records emitted.
+    pub spec_retractions: u64,
+    /// Revision passes forced by late (within-slack) arrivals.
+    pub spec_rebuilds: u64,
 }
 
 impl Engine {
@@ -436,7 +483,7 @@ impl Engine {
             .iter()
             .map(|(id, s)| (id, s.name.to_string()))
             .collect();
-        Self {
+        let mut engine = Self {
             clock: ArrivalClock::new(config.ns_per_tick),
             obs: MetricsRegistry::new(config.observability),
             config,
@@ -464,7 +511,15 @@ impl Engine {
             },
             late_dropped: 0,
             collected_outputs: Vec::new(),
-        }
+            speculation: None,
+            spec_capture: None,
+            collected_records: Vec::new(),
+            spec_emits: 0,
+            spec_retractions: 0,
+            spec_rebuilds: 0,
+        };
+        engine.init_speculation();
+        engine
     }
 
     /// Read access to the context table (tests, introspection).
@@ -491,8 +546,17 @@ impl Engine {
     /// post-snapshot suffix of the stream reproduces the uninterrupted
     /// run exactly (same outputs, same counters) — only wall-clock
     /// metrics differ.
+    ///
+    /// Speculative state (the overlay fork, its unsettled suffix, the
+    /// outstanding emitted-output books) is *excluded* by design: call
+    /// [`settle`](Self::settle) first so the snapshot is a plain strict
+    /// state (the checkpoint protocol does this for you).
     #[must_use]
     pub fn snapshot_state(&self) -> EngineState {
+        debug_assert!(
+            self.speculation_settled(),
+            "snapshot of a speculative engine requires settle() first"
+        );
         EngineState {
             config: self.config,
             table: self.table.clone(),
@@ -564,6 +628,14 @@ impl Engine {
         self.late_dropped = state.late_dropped;
         self.collected_outputs = state.collected_outputs;
         self.started = None;
+        // Speculative state is never part of a snapshot: the restored
+        // engine starts over with an empty overlay forked off the
+        // restored (strict) state.
+        self.collected_records.clear();
+        self.spec_emits = 0;
+        self.spec_retractions = 0;
+        self.spec_rebuilds = 0;
+        self.init_speculation();
         Ok(())
     }
 
@@ -642,6 +714,11 @@ impl Engine {
         }
         let span = self.obs.span_start();
         self.obs.inc(CounterId::EventsIngested);
+        if self.speculation.is_some() {
+            let result = self.ingest_speculative(event);
+            self.obs.span_end(Stage::Distributor, span);
+            return result;
+        }
         let result = if let Some(mut reorder) = self.reorder.take() {
             let reorder_span = self.obs.span_start();
             let result = reorder.push(event);
@@ -700,6 +777,20 @@ impl Engine {
         let span = self.obs.span_start();
         self.obs.inc(CounterId::BatchesIngested);
         self.obs.add(CounterId::EventsIngested, batch.len() as u64);
+        if self.speculation.is_some() {
+            // The speculative overlay revises per arrival; feeding the
+            // batch event-by-event is equivalent (the scheduler re-groups
+            // same-(partition, time) runs into one transaction anyway).
+            let mut outcome = Ok(());
+            for event in batch.events {
+                outcome = self.ingest_speculative(event);
+                if outcome.is_err() {
+                    break;
+                }
+            }
+            self.obs.span_end(Stage::Distributor, span);
+            return outcome;
+        }
         let result = if let Some(mut reorder) = self.reorder.take() {
             let reorder_span = self.obs.span_start();
             let result = reorder.push_batch(batch);
@@ -759,8 +850,18 @@ impl Engine {
     }
 
     /// Flushes all buffered transactions (end of stream) and returns the
-    /// run report.
+    /// run report. Under [`Consistency::Speculative`] the record stream
+    /// first receives the overlay's trailing emissions, then everything
+    /// unsettled settles — the report (and `collected_outputs`) is the
+    /// strict run's.
     pub fn finish(&mut self) -> RunReport {
+        if self.speculation.is_some() {
+            return self.finish_speculative();
+        }
+        self.finish_strict()
+    }
+
+    fn finish_strict(&mut self) -> RunReport {
         if let Some(mut reorder) = self.reorder.take() {
             for e in reorder.flush() {
                 let _ = self.ingest_one_ordered(e);
@@ -931,6 +1032,9 @@ impl Engine {
         }
         if self.config.collect_outputs {
             self.collected_outputs.extend(out.events.iter().cloned());
+        }
+        if let Some(capture) = self.spec_capture.as_mut() {
+            capture.extend(out.events.iter().cloned());
         }
     }
 
@@ -1123,7 +1227,7 @@ mod tests {
         (engine, reg)
     }
 
-    fn pr(reg: &SchemaRegistry, t: Time, vid: i64, lane: &str, p: u32) -> Event {
+    pub(super) fn pr(reg: &SchemaRegistry, t: Time, vid: i64, lane: &str, p: u32) -> Event {
         Event::simple(
             reg.lookup("PositionReport").unwrap(),
             t,
@@ -1132,7 +1236,7 @@ mod tests {
         )
     }
 
-    fn marker(reg: &SchemaRegistry, ty: &str, t: Time, p: u32) -> Event {
+    pub(super) fn marker(reg: &SchemaRegistry, ty: &str, t: Time, p: u32) -> Event {
         Event::simple(
             reg.lookup(ty).unwrap(),
             t,
@@ -1185,6 +1289,7 @@ mod tests {
             .batch(BatchPolicy::bounded(16))
             .vectorize(false)
             .observability(ObservabilityLevel::Spans)
+            .consistency(Consistency::Speculative)
             .build();
         assert_eq!(built.mode, Mode::ContextIndependent);
         assert!(!built.sharing);
@@ -1197,6 +1302,7 @@ mod tests {
         assert_eq!(built.batch, BatchPolicy::bounded(16));
         assert!(!built.vectorize);
         assert_eq!(built.observability, ObservabilityLevel::Spans);
+        assert_eq!(built.consistency, Consistency::Speculative);
         assert_eq!(built.to_builder().build(), built);
         assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
     }
@@ -1224,7 +1330,7 @@ mod tests {
         ));
     }
 
-    fn build_engine_with(mode: Mode, config: EngineConfig) -> (Engine, SchemaRegistry) {
+    pub(super) fn build_engine_with(mode: Mode, config: EngineConfig) -> (Engine, SchemaRegistry) {
         let model = parse_model(TRAFFIC).unwrap();
         let qs = QuerySet::from_model(&model).unwrap();
         let mut reg = registry();

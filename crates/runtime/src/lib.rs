@@ -40,13 +40,14 @@ pub mod scheduler;
 pub mod stats;
 pub mod txn;
 
-pub use driver::{run_mode, standard_matrix, ModeSpec};
+pub use driver::{run_mode, run_mode_full, standard_matrix, ModeSpec};
 pub use engine::{
-    Engine, EngineConfig, EngineConfigBuilder, EngineState, ExecutionMode, RestoreError, RunReport,
+    Consistency, Engine, EngineConfig, EngineConfigBuilder, EngineState, ExecutionMode,
+    RestoreError, RunReport,
 };
 pub use metrics::{ArrivalClock, LatencyTracker};
 pub use obs::{CounterId, Histogram, MetricsRegistry, MetricsSnapshot, ObservabilityLevel, Stage};
-pub use parallel::{merge_reports, run_sharded, run_sharded_with_outputs};
+pub use parallel::{merge_reports, run_sharded, run_sharded_full, run_sharded_with_outputs};
 pub use programs::PartitionPrograms;
 pub use router::Router;
 pub use scheduler::TimeDrivenScheduler;

@@ -205,11 +205,24 @@ pub enum CounterId {
     /// draining server, unknown or finished tenant (server-layer
     /// registry).
     IngestRejected,
+    /// Output events emitted speculatively (before their inputs settled;
+    /// includes re-emissions after a revision).
+    SpeculativeEmits,
+    /// Retraction records emitted when a late arrival invalidated
+    /// speculative output.
+    SpeculativeRetractions,
+    /// Revision passes: late arrivals that forced the speculative
+    /// overlay to re-fork and replay its unsettled suffix.
+    SpeculativeRebuilds,
+    /// Cumulative application-time ticks between an output's speculative
+    /// emission and its settlement — divided by `speculative_emits`,
+    /// the mean latency the speculation bought per output.
+    SpeculationLeadTicks,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 12] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::EventsIngested,
         CounterId::BatchesIngested,
         CounterId::TransactionsExecuted,
@@ -222,6 +235,10 @@ impl CounterId {
         CounterId::FramesIn,
         CounterId::FramesOut,
         CounterId::IngestRejected,
+        CounterId::SpeculativeEmits,
+        CounterId::SpeculativeRetractions,
+        CounterId::SpeculativeRebuilds,
+        CounterId::SpeculationLeadTicks,
     ];
 
     /// The counter's snake_case name (the key in snapshots and JSON).
@@ -240,6 +257,10 @@ impl CounterId {
             CounterId::FramesIn => "frames_in",
             CounterId::FramesOut => "frames_out",
             CounterId::IngestRejected => "ingest_rejected",
+            CounterId::SpeculativeEmits => "speculative_emits",
+            CounterId::SpeculativeRetractions => "speculative_retractions",
+            CounterId::SpeculativeRebuilds => "speculative_rebuilds",
+            CounterId::SpeculationLeadTicks => "speculation_lead_ticks",
         }
     }
 
@@ -257,6 +278,10 @@ impl CounterId {
             CounterId::FramesIn => 9,
             CounterId::FramesOut => 10,
             CounterId::IngestRejected => 11,
+            CounterId::SpeculativeEmits => 12,
+            CounterId::SpeculativeRetractions => 13,
+            CounterId::SpeculativeRebuilds => 14,
+            CounterId::SpeculationLeadTicks => 15,
         }
     }
 }

@@ -10,7 +10,9 @@
 //! paper's 16-core evaluation host).
 
 use crate::engine::{Engine, EngineConfig, RunReport};
-use caesar_events::{Batcher, Event, EventBatch, EventError, EventStream, SchemaRegistry};
+use caesar_events::{
+    Batcher, Event, EventBatch, EventError, EventStream, OutputRecord, SchemaRegistry,
+};
 use caesar_optimizer::optimizer::OptimizedProgram;
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -49,9 +51,25 @@ pub fn run_sharded_with_outputs(
     shards: usize,
     stream: &mut dyn EventStream,
 ) -> Result<(RunReport, Vec<Event>), EventError> {
+    run_sharded_full(program, registry, config, shards, stream)
+        .map(|(report, outputs, _)| (report, outputs))
+}
+
+/// [`run_sharded_with_outputs`], additionally returning every collected
+/// speculative output record — empty unless the config's consistency is
+/// [`Consistency`](crate::engine::Consistency)`::Speculative`. Records,
+/// like outputs, are concatenated shard by shard, so applying each
+/// retraction against the emissions *of its own shard* is well-defined.
+pub fn run_sharded_full(
+    program: &OptimizedProgram,
+    registry: &SchemaRegistry,
+    config: EngineConfig,
+    shards: usize,
+    stream: &mut dyn EventStream,
+) -> Result<(RunReport, Vec<Event>, Vec<OutputRecord>), EventError> {
     assert!(shards >= 1, "at least one shard");
     let progress = Arc::new(Mutex::new(0u64));
-    type ShardResult = Result<(RunReport, Vec<Event>), EventError>;
+    type ShardResult = Result<(RunReport, Vec<Event>, Vec<OutputRecord>), EventError>;
     let (results, undelivered): (Vec<ShardResult>, u64) = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -83,7 +101,8 @@ pub fn run_sharded_with_outputs(
                 *progress.lock() += unflushed;
                 let report = engine.finish();
                 let outputs = std::mem::take(&mut engine.collected_outputs);
-                Ok((report, outputs))
+                let records = std::mem::take(&mut engine.collected_records);
+                Ok((report, outputs, records))
             }));
         }
 
@@ -141,12 +160,14 @@ pub fn run_sharded_with_outputs(
 
     let mut reports = Vec::with_capacity(shards);
     let mut outputs = Vec::new();
+    let mut records = Vec::new();
     let mut first_error: Option<EventError> = None;
     for result in results {
         match result {
-            Ok((report, mut out)) => {
+            Ok((report, mut out, mut recs)) => {
                 reports.push(report);
                 outputs.append(&mut out);
+                records.append(&mut recs);
             }
             Err(e) => {
                 if first_error.is_none() {
@@ -165,7 +186,7 @@ pub fn run_sharded_with_outputs(
     if let Some(e) = first_error {
         return Err(e);
     }
-    Ok((merge_reports(reports), outputs))
+    Ok((merge_reports(reports), outputs, records))
 }
 
 /// Merges per-shard reports: counters sum, latency merges by maximum

@@ -11,7 +11,7 @@
 //! never drops.
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, DEFAULT_MAX_FRAME};
-use caesar_events::Event;
+use caesar_events::{Event, OutputRecord};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -23,6 +23,11 @@ pub struct Client {
     /// Output events stashed from `OUTPUTS` frames read while waiting
     /// for control replies (subscribed connections only).
     pub outputs: Vec<Event>,
+    /// The interleaved emission/retraction ledger in frame-arrival
+    /// order: every `OUTPUTS` event as an [`OutputRecord::Emit`], every
+    /// `RETRACT` event as an [`OutputRecord::Retract`]. Empty on strict
+    /// tenants (no `RETRACT` frames, and the emits mirror `outputs`).
+    pub records: Vec<OutputRecord>,
 }
 
 impl Client {
@@ -34,6 +39,7 @@ impl Client {
             stream,
             max_frame_len: DEFAULT_MAX_FRAME,
             outputs: Vec::new(),
+            records: Vec::new(),
         })
     }
 
@@ -65,12 +71,13 @@ impl Client {
         }
     }
 
-    /// Reads until a non-`OUTPUTS` frame arrives, stashing outputs;
-    /// `Ok(None)` is a clean close.
+    /// Reads until a non-output frame arrives, stashing `OUTPUTS` and
+    /// `RETRACT` payloads; `Ok(None)` is a clean close.
     pub fn recv_control(&mut self) -> Result<Option<Response>, FrameError> {
         loop {
             match self.recv()? {
-                Some(Response::Outputs(events)) => self.outputs.extend(events),
+                Some(Response::Outputs(events)) => self.stash_outputs(events),
+                Some(Response::Retractions(events)) => self.stash_retractions(events),
                 other => return Ok(other),
             }
         }
@@ -89,7 +96,8 @@ impl Client {
     pub fn drain_to_shutdown(&mut self) -> Result<bool, FrameError> {
         loop {
             match self.recv()? {
-                Some(Response::Outputs(events)) => self.outputs.extend(events),
+                Some(Response::Outputs(events)) => self.stash_outputs(events),
+                Some(Response::Retractions(events)) => self.stash_retractions(events),
                 Some(Response::ShutdownOk) => return Ok(true),
                 Some(_) => {} // stale acks from pipelined requests
                 None => return Ok(false),
@@ -97,9 +105,25 @@ impl Client {
         }
     }
 
+    fn stash_outputs(&mut self, events: Vec<Event>) {
+        self.records
+            .extend(events.iter().cloned().map(OutputRecord::Emit));
+        self.outputs.extend(events);
+    }
+
+    fn stash_retractions(&mut self, events: Vec<Event>) {
+        self.records
+            .extend(events.into_iter().map(OutputRecord::Retract));
+    }
+
     /// Takes the stashed outputs, leaving the buffer empty.
     pub fn take_outputs(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Takes the stashed emission/retraction ledger, leaving it empty.
+    pub fn take_records(&mut self) -> Vec<OutputRecord> {
+        std::mem::take(&mut self.records)
     }
 
     /// Half-closes the write side (EOF to the server's reader).

@@ -114,8 +114,23 @@ impl OutputHub {
         if events.is_empty() {
             return;
         }
-        // Encode once, clone per subscriber.
-        let body = Response::Outputs(events.to_vec()).encode();
+        self.publish_body(Response::Outputs(events.to_vec()).encode());
+    }
+
+    /// Sends one `RETRACT` frame to every live subscriber — speculative
+    /// tenants cancelling previously published outputs. Travels the
+    /// same per-connection FIFO as `publish`, so a subscriber always
+    /// sees a retraction after the emission it cancels.
+    pub(crate) fn publish_retractions(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        self.publish_body(Response::Retractions(events.to_vec()).encode());
+    }
+
+    /// Fans one pre-encoded frame body out to every live subscriber.
+    fn publish_body(&self, body: Vec<u8>) {
+        // Encoded once by the caller, cloned per subscriber.
         let mut subs = self.subscribers.lock();
         subs.retain(|s| {
             if s.out.send_timeout(body.clone(), self.publish_timeout) {

@@ -14,7 +14,15 @@
 //! 0x05 PING                            0x85 ERROR      code + message
 //! 0x06 SHUTDOWN                        0x86 PONG
 //!                                      0x87 SHUTDOWN_OK
+//!                                      0x88 RETRACT    retracted events
 //! ```
+//!
+//! `RETRACT` frames appear only on tenants running speculative
+//! consistency: each one cancels a prior `OUTPUTS` delivery of exactly
+//! those events (same type, interval, partition and attributes), and
+//! the corrected emissions always follow as ordinary `OUTPUTS` frames
+//! on the same connection. Folding a subscription's `OUTPUTS` minus its
+//! `RETRACT`s reproduces the strict output stream.
 //!
 //! Tenant names travel as `u16 len | utf8`. Oversized frames are
 //! rejected *before* the body is read (the length prefix alone decides)
@@ -128,6 +136,13 @@ pub enum Response {
     Pong,
     /// The server finished draining this connection.
     ShutdownOk,
+    /// Retractions of previously delivered outputs (speculative
+    /// tenants only): each event cancels one prior `Outputs` delivery
+    /// of the byte-identical event.
+    Retractions(
+        /// The retracted events.
+        Vec<Event>,
+    ),
 }
 
 /// The over-the-wire subset of a `RunReport`: the deterministic totals
@@ -364,6 +379,14 @@ impl Response {
             }
             Response::Pong => body.push(0x86),
             Response::ShutdownOk => body.push(0x87),
+            Response::Retractions(events) => {
+                body.push(0x88);
+                let mut buf = BytesMut::new();
+                for event in events {
+                    codec::encode(event, &mut buf);
+                }
+                body.extend_from_slice(&buf);
+            }
         }
         body
     }
@@ -415,6 +438,7 @@ impl Response {
             }
             0x86 => Ok(Response::Pong),
             0x87 => Ok(Response::ShutdownOk),
+            0x88 => Ok(Response::Retractions(decode_events(&body[1..])?)),
             other => Err(FrameError::Malformed(format!(
                 "unknown response kind {other:#04x}"
             ))),
@@ -479,6 +503,7 @@ mod tests {
             },
             Response::Pong,
             Response::ShutdownOk,
+            Response::Retractions(sample_events()),
         ];
         for case in cases {
             let body = case.encode();

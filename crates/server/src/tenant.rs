@@ -26,7 +26,7 @@ use crate::queue::{BoundedQueue, PushError};
 use caesar_events::{Batcher, Event, EventBatch, SchemaRegistry};
 use caesar_optimizer::OptimizedProgram;
 use caesar_runtime::{
-    merge_reports, Engine, EngineConfig, EngineState, MetricsSnapshot, RunReport,
+    merge_reports, Consistency, Engine, EngineConfig, EngineState, MetricsSnapshot, RunReport,
 };
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -542,6 +542,7 @@ fn shard_loop(
     hub: &OutputHub,
     inner: &TenantInner,
 ) {
+    let speculative = config.consistency == Consistency::Speculative;
     let mut engine = Engine::new(program, registry, config);
     if let Some(state) = resume {
         if let Err(e) = engine.restore_state(state) {
@@ -568,10 +569,7 @@ fn shard_loop(
                         .try_for_each(|event| engine.ingest(event))
                 };
                 match result {
-                    Ok(()) => {
-                        let outputs = std::mem::take(&mut engine.collected_outputs);
-                        hub.publish(&outputs);
-                    }
+                    Ok(()) => publish_step(&mut engine, hub, speculative),
                     Err(e) => {
                         inner.failure.lock().get_or_insert_with(|| e.to_string());
                     }
@@ -583,8 +581,7 @@ fn shard_loop(
             ShardMsg::Finish(ack) => {
                 let report = finish_report.get_or_insert_with(|| {
                     let report = engine.finish();
-                    let outputs = std::mem::take(&mut engine.collected_outputs);
-                    hub.publish(&outputs);
+                    publish_step(&mut engine, hub, speculative);
                     report
                 });
                 let _ = ack.send(ShardFinish {
@@ -593,6 +590,12 @@ fn shard_loop(
                 });
             }
             ShardMsg::Snapshot { path, done } => {
+                // Snapshots capture strict state only: a speculative
+                // engine confirms or retracts everything in flight
+                // before the state is serialized, and the retraction
+                // frames go out before the checkpoint completes.
+                engine.settle();
+                publish_step(&mut engine, hub, speculative);
                 let state = engine.snapshot_state();
                 let result = caesar_recovery::write_snapshot(&path, engine.events_in(), &state)
                     .map(|()| engine.events_in())
@@ -603,5 +606,35 @@ fn shard_loop(
                 let _ = ack.send(engine.metrics_snapshot());
             }
         }
+    }
+}
+
+/// Publishes what one engine step produced. Strict engines stream
+/// their collected outputs as `OUTPUTS` frames. Speculative engines
+/// stream the revision ledger instead — emission runs as `OUTPUTS`,
+/// retraction runs as `RETRACT`, preserving record order — and discard
+/// the settled outputs: they are the fold of the ledger, so sending
+/// both would deliver every confirmed event twice.
+fn publish_step(engine: &mut Engine, hub: &OutputHub, speculative: bool) {
+    let outputs = std::mem::take(&mut engine.collected_outputs);
+    if !speculative {
+        hub.publish(&outputs);
+        return;
+    }
+    let records = std::mem::take(&mut engine.collected_records);
+    let mut at = 0;
+    while at < records.len() {
+        let retract = records[at].is_retraction();
+        let end = records[at..]
+            .iter()
+            .position(|r| r.is_retraction() != retract)
+            .map_or(records.len(), |n| at + n);
+        let run: Vec<Event> = records[at..end].iter().map(|r| r.event().clone()).collect();
+        if retract {
+            hub.publish_retractions(&run);
+        } else {
+            hub.publish(&run);
+        }
+        at = end;
     }
 }

@@ -60,6 +60,25 @@ pub struct GenConfig {
     /// Fraction of adjacent swaps applied to the stream, producing
     /// bounded out-of-order arrival.
     pub disorder: f64,
+    /// Fraction of events displaced far from their timestamp so they
+    /// arrive near the end of the stream — the workload's reorder slack
+    /// is recomputed afterwards, so the worst straggler sits *exactly*
+    /// at the slack boundary. Zero (the default) leaves the stream's
+    /// disorder to the adjacent-swap pass alone.
+    pub straggler_bias: f64,
+    /// Chance a displaced straggler is retimed onto another event's
+    /// timestamp, producing same-timestamp late ties (the arrival-order
+    /// tie-break regime of the reorder buffer).
+    pub late_tie_bias: f64,
+    /// Chance a displaced straggler is re-emitted as an exact duplicate
+    /// later still — retractions and re-emissions must respect
+    /// multiplicity, not just presence.
+    pub late_dup_bias: f64,
+    /// Chance each straggler is accompanied by a brand-new
+    /// early-timestamped event injected near the end of arrival order —
+    /// prime material for flipping context transitions mid-window,
+    /// which is what forces speculative retraction cascades.
+    pub late_flip_bias: f64,
     /// `WITHIN` fallback for queries without an explicit horizon.
     pub default_within: Time,
 }
@@ -79,7 +98,29 @@ impl Default for GenConfig {
             subsumable_bias: 0.3,
             same_time_bias: 0.35,
             disorder: 0.25,
+            straggler_bias: 0.0,
+            late_tie_bias: 0.0,
+            late_dup_bias: 0.0,
+            late_flip_bias: 0.0,
             default_within: 5,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The retraction-hostile profile: heavier disorder plus max-slack
+    /// stragglers, same-timestamp late ties, late duplicates and late
+    /// context-transition flips — the arrival patterns that force a
+    /// speculative engine to revise (and a strict one to buffer).
+    #[must_use]
+    pub fn retraction_hostile() -> Self {
+        Self {
+            disorder: 0.35,
+            straggler_bias: 0.15,
+            late_tie_bias: 0.4,
+            late_dup_bias: 0.25,
+            late_flip_bias: 0.5,
+            ..Self::default()
         }
     }
 }
@@ -282,6 +323,53 @@ pub fn workload_from_seed(seed: u64, config: &GenConfig) -> Workload {
         if n_events >= 2 {
             let i = rng.below(n_events as u64 - 1) as usize;
             events.swap(i, i + 1);
+        }
+    }
+
+    // Retraction-hostile post-pass (all biases default to zero): pull
+    // events from the first half and re-insert them in the second half
+    // of arrival order, optionally retimed onto an existing timestamp
+    // (late ties), duplicated (late duplicates), or chased by a fresh
+    // early-timestamped injection (late transition flips). The slack is
+    // recomputed below from the final stream, so the worst straggler
+    // arrives exactly at the slack boundary, never beyond it.
+    let stragglers = (config.straggler_bias * events.len() as f64) as usize;
+    for _ in 0..stragglers {
+        if events.len() < 4 {
+            break;
+        }
+        let i = rng.below(events.len() as u64 / 2) as usize;
+        let mut event = events.remove(i);
+        if chance(rng, config.late_tie_bias) {
+            let donor = &events[rng.below(events.len() as u64) as usize];
+            event = Event::simple(
+                event.type_id,
+                donor.time(),
+                event.partition,
+                event.attrs.clone(),
+            );
+        }
+        let half = events.len() / 2;
+        let j = half + rng.below((events.len() - half) as u64 + 1) as usize;
+        events.insert(j, event.clone());
+        if chance(rng, config.late_dup_bias) {
+            let k = j + 1 + rng.below((events.len() - j) as u64) as usize;
+            events.insert(k.min(events.len()), event.clone());
+        }
+        if chance(rng, config.late_flip_bias) {
+            let type_idx = rng.below(n_types as u64) as usize;
+            let type_id = registry.lookup(&type_names[type_idx]).expect("registered");
+            let flip = Event::simple(
+                type_id,
+                1 + rng.below(event.time().max(2)),
+                PartitionId(rng.below(n_parts) as u32),
+                (0..2)
+                    .map(|_| Value::Int(rng.below(4) as i64))
+                    .collect::<Vec<_>>(),
+            );
+            let half = events.len() / 2;
+            let pos = half + rng.below((events.len() - half) as u64 + 1) as usize;
+            events.insert(pos, flip);
         }
     }
     let reorder_slack = max_lateness(&events);

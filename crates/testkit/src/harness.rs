@@ -14,12 +14,12 @@
 
 use crate::generate::Workload;
 use crate::oracle::{Oracle, OracleRun};
-use bytes::BytesMut;
 use caesar_algebra::translate::{translate_query_set, TranslateOptions};
-use caesar_events::{codec, Event, SchemaRegistry};
+use caesar_events::{codec, Event, OutputRecord, SchemaRegistry};
 use caesar_optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
 use caesar_query::{pretty, QuerySet};
-use caesar_runtime::{run_mode, standard_matrix, ModeSpec, RunReport};
+use caesar_runtime::{run_mode_full, standard_matrix, Consistency, ModeSpec, RunReport};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A differential divergence: everything needed to reproduce it.
@@ -96,17 +96,47 @@ pub fn build_programs(
 /// Canonical form of an output multiset: per-event codec encodings,
 /// sorted. Total order over events, preserves multiplicity, and two
 /// multisets are equal iff their canonical forms are.
-fn canonical(events: &[Event]) -> Vec<Vec<u8>> {
-    let mut keys: Vec<Vec<u8>> = events
-        .iter()
-        .map(|e| {
-            let mut buf = BytesMut::new();
-            codec::encode(e, &mut buf);
-            buf.to_vec()
-        })
-        .collect();
+pub fn canonical(events: &[Event]) -> Vec<Vec<u8>> {
+    let mut keys: Vec<Vec<u8>> = events.iter().map(codec::encode_to_vec).collect();
     keys.sort_unstable();
     keys
+}
+
+/// Applies a speculative record stream: each retraction cancels one
+/// prior emission of the byte-identical event. Returns the surviving
+/// multiset in canonical (sorted per-event encoding) form — the value
+/// that must equal [`canonical`] of the leg's settled outputs — or an
+/// error if some retraction had nothing to cancel (which would mean the
+/// engine retracted an output it never emitted).
+pub fn fold_records(records: &[OutputRecord]) -> Result<Vec<Vec<u8>>, String> {
+    let mut counts: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (i, record) in records.iter().enumerate() {
+        let key = codec::encode_to_vec(record.event());
+        if record.is_retraction() {
+            match counts.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    if *n == 0 {
+                        counts.remove(&key);
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "record {i}: retraction without a matching prior emission"
+                    ))
+                }
+            }
+        } else {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (key, n) in counts {
+        for _ in 0..n {
+            out.push(key.clone());
+        }
+    }
+    Ok(out)
 }
 
 pub(crate) fn compare_leg(
@@ -114,8 +144,29 @@ pub(crate) fn compare_leg(
     spec: &ModeSpec,
     report: &RunReport,
     outputs: &[Event],
+    records: &[OutputRecord],
     oracle_run: &OracleRun,
 ) -> Result<(), String> {
+    if spec.config.consistency == Consistency::Speculative {
+        let folded = fold_records(records)?;
+        if folded != canonical(outputs) {
+            return Err(format!(
+                "speculative records do not fold to the settled outputs \
+                 ({} records: {} emissions, {} retractions; {} settled outputs) [{}]",
+                records.len(),
+                records.iter().filter(|r| !r.is_retraction()).count(),
+                records.iter().filter(|r| r.is_retraction()).count(),
+                outputs.len(),
+                spec.label
+            ));
+        }
+    } else if !records.is_empty() {
+        return Err(format!(
+            "strict leg produced {} speculative records [{}]",
+            records.len(),
+            spec.label
+        ));
+    }
     if report.events_in != oracle_run.events_in {
         return Err(format!(
             "events_in: engine {} vs oracle {} (late-dropped input?)",
@@ -184,9 +235,9 @@ pub fn check_workload_against(
         } else {
             &unoptimized
         };
-        let (report, outputs) = run_mode(program, &registry, &spec, &workload.events)
+        let (report, outputs, records) = run_mode_full(program, &registry, &spec, &workload.events)
             .map_err(|e| fail(&spec.label, format!("engine error: {e}")))?;
-        compare_leg(workload, &spec, &report, &outputs, oracle_run)
+        compare_leg(workload, &spec, &report, &outputs, &records, oracle_run)
             .map_err(|detail| fail(&spec.label, detail))?;
     }
     Ok(())

@@ -19,11 +19,14 @@
 //!   the oracle byte-for-byte; failures report the seed and a greedily
 //!   shrunk minimal model.
 //!
-//! [`served`] layers an eleventh matrix leg on top: the same workload
+//! [`served`] layers two more matrix legs on top: the same workload
 //! round-tripped through a loopback `caesar-server` instance (framed
 //! TCP, sharded tenant, subscription push-back) must also reproduce the
-//! oracle byte-for-byte. [`lr`] additionally centralizes the Linear
-//! Road fixtures shared by the integration tests.
+//! oracle byte-for-byte — once as a strict tenant, once as a
+//! speculative tenant whose wire ledger of `OUTPUTS`/`RETRACT` frames
+//! must fold back to the oracle's outputs. [`lr`] additionally
+//! centralizes the Linear Road fixtures shared by the integration
+//! tests.
 //!
 //! Reproducing a failure is always `seed → workload`:
 //!
@@ -47,8 +50,10 @@ pub mod served;
 
 pub use generate::{workload_from_seed, workload_strategy, GenConfig, Workload};
 pub use harness::{
-    build_programs, check_workload, check_workload_against, mutated_oracle_run, oracle_run,
-    shrink_workload, DiffFailure,
+    build_programs, canonical, check_workload, check_workload_against, fold_records,
+    mutated_oracle_run, oracle_run, shrink_workload, DiffFailure,
 };
 pub use oracle::{Mutation, Oracle, OracleBuildError, OracleRun};
-pub use served::{check_workload_served, check_workload_served_against, SERVED_LEG};
+pub use served::{
+    check_workload_served, check_workload_served_against, SERVED_LEG, SERVED_SPECULATIVE_LEG,
+};

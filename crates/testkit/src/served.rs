@@ -1,4 +1,4 @@
-//! The eleventh matrix leg: **served vs embedded**. The workload's
+//! The served matrix legs: **served vs embedded**. The workload's
 //! event stream is round-tripped through an in-process loopback
 //! `caesar-server` instance — framed TCP ingest, partition-hash routing
 //! onto two shards, outputs pushed back over a subscription — and the
@@ -6,21 +6,35 @@
 //! reference oracle byte-for-byte, exactly like every embedded leg of
 //! [`caesar_runtime::standard_matrix`].
 //!
-//! The leg lives here rather than in the runtime's matrix because the
-//! runtime cannot depend on the server; it shares the harness's private
-//! `compare_leg` so "equivalent" means the same thing served as it does
-//! embedded.
+//! Two legs run per workload: a strict tenant ([`SERVED_LEG`]) whose
+//! subscription must never carry a `RETRACT` frame, and a speculative
+//! tenant ([`SERVED_SPECULATIVE_LEG`]) whose interleaved
+//! `OUTPUTS`/`RETRACT` ledger must fold — each retraction cancelling
+//! one prior byte-identical emission — to exactly the oracle's output
+//! multiset.
+//!
+//! The legs live here rather than in the runtime's matrix because the
+//! runtime cannot depend on the server; they share the harness's
+//! private `compare_leg` so "equivalent" means the same thing served as
+//! it does embedded.
 
 use crate::generate::Workload;
-use crate::harness::{build_programs, compare_leg, oracle_run, render_events, DiffFailure};
+use crate::harness::{
+    build_programs, compare_leg, fold_records, oracle_run, render_events, DiffFailure,
+};
 use crate::oracle::OracleRun;
-use caesar_events::Event;
+use bytes::Bytes;
+use caesar_events::{codec, Event, OutputRecord};
 use caesar_query::pretty;
-use caesar_runtime::{EngineConfig, ModeSpec, RunReport};
+use caesar_runtime::{Consistency, EngineConfig, ModeSpec, RunReport};
 use caesar_server::{Client, Request, Response, Server, ServerConfig, TenantConfig};
 
-/// Label the served leg reports divergences under.
+/// Label of the strict served leg.
 pub const SERVED_LEG: &str = "served2/loopback";
+
+/// Label of the speculative served leg (outputs arrive as an
+/// emission/retraction ledger over the wire).
+pub const SERVED_SPECULATIVE_LEG: &str = "served2/speculative";
 
 fn fail(workload: &Workload, leg: &str, detail: String) -> DiffFailure {
     DiffFailure {
@@ -32,43 +46,85 @@ fn fail(workload: &Workload, leg: &str, detail: String) -> DiffFailure {
     }
 }
 
-/// The engine configuration of the served leg: defaults plus the
+/// The engine configuration of a served leg: defaults plus the
 /// workload's exact reorder slack — events cross the wire in arrival
 /// order, so each shard's reorder stage does the same work it does in
 /// the embedded sequential legs.
-fn engine_config(workload: &Workload) -> EngineConfig {
+fn engine_config(workload: &Workload, consistency: Consistency) -> EngineConfig {
     EngineConfig::builder()
         .reorder_slack(workload.reorder_slack)
+        .consistency(consistency)
         .build()
 }
 
 /// The served differential check: reference-oracle run, then the
-/// loopback round-trip, byte-identical outputs and equal counters.
+/// loopback round-trips, byte-identical outputs and equal counters.
 pub fn check_workload_served(workload: &Workload) -> Result<(), DiffFailure> {
     let oracle = oracle_run(workload).map_err(|e| fail(workload, "oracle", e))?;
     check_workload_served_against(workload, &oracle)
 }
 
-/// Runs the served leg against an explicit oracle run (the sweep reuses
-/// one oracle evaluation per workload across legs).
+/// Runs both served legs against an explicit oracle run (the sweep
+/// reuses one oracle evaluation per workload across legs).
 pub fn check_workload_served_against(
     workload: &Workload,
     oracle: &OracleRun,
 ) -> Result<(), DiffFailure> {
-    let (report, outputs) = serve_roundtrip(workload).map_err(|e| fail(workload, SERVED_LEG, e))?;
-    let spec = ModeSpec::sequential(SERVED_LEG, engine_config(workload));
-    compare_leg(workload, &spec, &report, &outputs, oracle)
-        .map_err(|detail| fail(workload, SERVED_LEG, detail))
+    // Strict leg: plain output frames, and the wire must carry no
+    // retractions at all.
+    let (report, outputs, records) = serve_roundtrip(workload, Consistency::Strict)
+        .map_err(|e| fail(workload, SERVED_LEG, e))?;
+    let retracted = records.iter().filter(|r| r.is_retraction()).count();
+    if retracted > 0 {
+        return Err(fail(
+            workload,
+            SERVED_LEG,
+            format!("{retracted} RETRACT-framed events on a strict tenant"),
+        ));
+    }
+    let spec = ModeSpec::sequential(SERVED_LEG, engine_config(workload, Consistency::Strict));
+    compare_leg(workload, &spec, &report, &outputs, &[], oracle)
+        .map_err(|detail| fail(workload, SERVED_LEG, detail))?;
+
+    // Speculative leg: the settled output multiset is *defined* by
+    // folding the wire ledger — a retraction with nothing to cancel, or
+    // a fold that diverges from the oracle, both fail here.
+    let (report, _emissions, records) = serve_roundtrip(workload, Consistency::Speculative)
+        .map_err(|e| fail(workload, SERVED_SPECULATIVE_LEG, e))?;
+    let settled =
+        settled_from_records(&records).map_err(|e| fail(workload, SERVED_SPECULATIVE_LEG, e))?;
+    let spec = ModeSpec::sequential(
+        SERVED_SPECULATIVE_LEG,
+        engine_config(workload, Consistency::Speculative),
+    );
+    compare_leg(workload, &spec, &report, &settled, &records, oracle)
+        .map_err(|detail| fail(workload, SERVED_SPECULATIVE_LEG, detail))
+}
+
+/// Folds a wire ledger down to the surviving (settled) events. The
+/// canonical fold keys are full event encodings, so decoding their
+/// concatenation reconstructs the settled multiset exactly.
+fn settled_from_records(records: &[OutputRecord]) -> Result<Vec<Event>, String> {
+    let folded = fold_records(records)?;
+    let mut blob = Vec::new();
+    for key in &folded {
+        blob.extend_from_slice(key);
+    }
+    codec::decode_all(Bytes::from(blob)).map_err(|e| format!("decode folded outputs: {e}"))
 }
 
 /// Hosts the workload as a single two-shard tenant on a loopback
 /// server, subscribes, ingests the stream in acked chunks, `FINISH`es,
-/// and returns the report plus every output the subscription delivered.
-fn serve_roundtrip(workload: &Workload) -> Result<(RunReport, Vec<Event>), String> {
+/// and returns the report, every output the subscription delivered,
+/// and the interleaved emission/retraction ledger.
+fn serve_roundtrip(
+    workload: &Workload,
+    consistency: Consistency,
+) -> Result<(RunReport, Vec<Event>, Vec<OutputRecord>), String> {
     let (optimized, _unoptimized, registry) = build_programs(workload)?;
     let mut tenant = TenantConfig::new("workload", optimized, registry);
     tenant.shards = 2;
-    tenant.engine_config = engine_config(workload);
+    tenant.engine_config = engine_config(workload, consistency);
     let handle = Server::start(ServerConfig {
         tenants: vec![tenant],
         ..ServerConfig::default()
@@ -101,8 +157,10 @@ fn serve_roundtrip(workload: &Workload) -> Result<(RunReport, Vec<Event>), Strin
         Err(e) => return Err(format!("finish: {e}")),
     };
     // FINISH's report is enqueued after the final output publishes on
-    // the same FIFO connection queue, so by now every output is stashed.
+    // the same FIFO connection queue, so by now every output — and
+    // every retraction — is stashed.
     let outputs = client.take_outputs();
+    let records = client.take_records();
     handle.shutdown();
     let summary = handle.join();
     if !summary.clean() {
@@ -116,7 +174,7 @@ fn serve_roundtrip(workload: &Workload) -> Result<(RunReport, Vec<Event>), Strin
         outputs_by_type: report.outputs_by_type.iter().cloned().collect(),
         ..RunReport::default()
     };
-    Ok((run, outputs))
+    Ok((run, outputs, records))
 }
 
 fn expect_ack(client: &mut Client, request: &Request, what: &str) -> Result<(), String> {

@@ -6,7 +6,8 @@
 //! caesar run     --model traffic.caesar --schema traffic.schema \
 //!                --events day1.events [--mode ci] [--no-sharing] \
 //!                [--within 60] [--metrics] [--metrics-json out.json] \
-//!                [--observability off|counters|spans]
+//!                [--observability off|counters|spans] \
+//!                [--consistency strict|speculative]
 //! ```
 
 use caesar::cli::{build_system, run, serve, RunOptions, ServeOptions, TenantSpec};
@@ -41,6 +42,7 @@ const USAGE: &str = "usage:
                  [--batch-size N] [--no-vectorize]
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
                  [--observability off|counters|spans]
+                 [--consistency strict|speculative]
                  [--metrics] [--metrics-json FILE]
   caesar serve   --tenant NAME=MODEL_FILE,SCHEMA_FILE [--tenant ...]
                  [--listen ADDR] [--metrics-listen ADDR]
@@ -49,6 +51,7 @@ const USAGE: &str = "usage:
                  [--batch-size N] [--no-vectorize]
                  [--checkpoint-dir DIR]
                  [--observability off|counters|spans]
+                 [--consistency strict|speculative]
 
 serve hosts every --tenant as an independent model behind one framed
 TCP endpoint (default 127.0.0.1:7470; port 0 picks a free port) and
@@ -71,6 +74,12 @@ identical either way.
 with --checkpoint-dir, the run writes durable snapshots + an event log
 to DIR every N events (default 10000; 0 = snapshot only at the end) and
 resumes from DIR if a previous run of the same model was interrupted
+
+--consistency picks when results are released: strict (default) holds
+derived events until disorder within the reorder slack can no longer
+change them; speculative emits them on arrival and sends retractions
+plus corrected outputs when a late event invalidates a match (RETRACT
+frames on served subscriptions). Settled results are identical.
 
 --observability selects how much the engine records about itself:
 counters adds cheap event/transaction tallies, spans additionally times
@@ -119,6 +128,11 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     options.metrics = args.iter().any(|a| a == "--metrics");
     if let Some(path) = flag("--metrics-json") {
         options.metrics_json = Some(path.into());
+    }
+    if let Some(level) = flag("--consistency") {
+        options.consistency = level
+            .parse()
+            .map_err(|e: String| format!("--consistency: {e}"))?;
     }
     options.observability = match flag("--observability") {
         Some(level) => level

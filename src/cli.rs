@@ -197,6 +197,11 @@ pub struct RunOptions {
     /// Observability level of the engine (and, for checkpointed runs,
     /// the checkpoint manager): `Off` (default), `Counters` or `Spans`.
     pub observability: ObservabilityLevel,
+    /// Consistency level: `Strict` (default) buffers disorder for the
+    /// full reorder slack before emitting; `Speculative` emits on
+    /// arrival and retracts/corrects when a late event invalidates a
+    /// match. Settled results are identical either way.
+    pub consistency: Consistency,
     /// Append the human-readable metrics rendering to the report.
     pub metrics: bool,
     /// Write the metrics snapshot as JSON to this path.
@@ -218,6 +223,7 @@ impl Default for RunOptions {
             batch_size: None,
             vectorize: true,
             observability: ObservabilityLevel::Off,
+            consistency: Consistency::Strict,
             metrics: false,
             metrics_json: None,
         }
@@ -247,6 +253,7 @@ pub fn engine_config(options: &RunOptions) -> EngineConfig {
         .batch(options.batch_policy())
         .vectorize(options.vectorize)
         .observability(options.observability)
+        .consistency(options.consistency)
         .build()
 }
 
@@ -337,10 +344,17 @@ fn run_checkpointed(
             .engine
             .ingest(event)
             .map_err(|e| CliError::System(e.to_string()))?;
+        // Snapshots capture strict state only: when a checkpoint is due,
+        // a speculative engine first confirms or retracts everything in
+        // flight (a no-op on strict runs).
+        if manager.checkpoint_due() {
+            system.engine.settle();
+        }
         manager.maybe_checkpoint(&system.engine).map_err(sys_err)?;
     }
     // Final snapshot before `finish()`: rerunning against the same (or a
     // longer) event file resumes here instead of replaying everything.
+    system.engine.settle();
     manager.checkpoint(&system.engine).map_err(sys_err)?;
     let mut report = system.engine.finish();
     report.metrics.merge(&manager.metrics_snapshot());
@@ -751,6 +765,48 @@ CONTEXT congestion {
             panic!("broken model must be rejected");
         };
         assert!(err.to_string().contains("tenant 't'"), "{err}");
+    }
+
+    #[test]
+    fn consistency_flag_maps_and_preserves_results() {
+        assert_eq!(
+            engine_config(&RunOptions::default()).consistency,
+            Consistency::Strict
+        );
+        let speculative = RunOptions {
+            consistency: Consistency::Speculative,
+            ..options()
+        };
+        assert_eq!(
+            engine_config(&speculative).consistency,
+            Consistency::Speculative
+        );
+        // Settled results are identical across consistency levels.
+        let deterministic = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("max latency"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            deterministic(run(&speculative).unwrap()),
+            deterministic(run(&options()).unwrap())
+        );
+        // Checkpointed speculative runs settle before every snapshot;
+        // the run still completes and resumes like a strict one.
+        let dir = std::env::temp_dir().join(format!("caesar-cli-spec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let checkpointed = RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            ..speculative
+        };
+        let out = run(&checkpointed).unwrap();
+        assert!(out.contains("TollNotification               1"), "{out}");
+        let out2 = run(&checkpointed).unwrap();
+        assert!(out2.contains("resumed at event:    4"), "{out2}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

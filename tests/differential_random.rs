@@ -77,8 +77,10 @@ fn check_seed(seed: u64, config: &GenConfig) {
 
 /// Generator profiles the sweep cycles through, so the case budget
 /// spreads over structurally different regions: the default mix, a
-/// negation/disorder-heavy mix, and a dense same-timestamp mix with
-/// tight windows.
+/// negation/disorder-heavy mix, a dense same-timestamp mix with tight
+/// windows, and the retraction-hostile mix (deep stragglers, late
+/// timestamp ties, late duplicates and late context flips) that leans
+/// on the speculative legs' revision machinery.
 fn profiles() -> Vec<GenConfig> {
     let default = GenConfig::default();
     let adversarial = GenConfig {
@@ -94,7 +96,7 @@ fn profiles() -> Vec<GenConfig> {
         max_events: 160,
         ..GenConfig::default()
     };
-    vec![default, adversarial, dense]
+    vec![default, adversarial, dense, GenConfig::retraction_hostile()]
 }
 
 /// Fixed seeds checked on every run — fast, deterministic coverage that

@@ -1,0 +1,346 @@
+//! Hand-computed edge cases of the speculative revision machinery —
+//! every expectation below is derived on paper from the reorder-buffer
+//! floor (`released` = highest drained timestamp; only `t < released`
+//! drops) and the production rule (an event at `t` produces outputs
+//! once stream progress *exceeds* `t`), then pinned byte-for-byte.
+//!
+//! The four corners:
+//!
+//! 1. a late event **exactly at** the lateness floor is admitted (one
+//!    tick earlier drops) and its revision retracts the speculative
+//!    output it invalidates,
+//! 2. retracting a **derived event that initiated a context window**
+//!    cascades: the window's own derivations are revised along with it,
+//! 3. a **beyond-slack** straggler is counted and dropped with zero
+//!    record traffic — no retraction, no rebuild,
+//! 4. on a served speculative tenant, every RETRACT frame reaches the
+//!    subscriber **before** the FINISH report on the same connection
+//!    FIFO, so folding the ledger at finish-time always succeeds.
+
+use caesar::events::{Event, PartitionId, Value};
+use caesar::prelude::*;
+use caesar::server::{Client, Request, Response, Server, ServerConfig, TenantConfig};
+use caesar_testkit::{canonical, fold_records};
+
+const TRAFFIC: &str = r#"
+MODEL traffic DEFAULT clear
+CONTEXT clear {
+    SWITCH CONTEXT congestion PATTERN ManySlowCars
+}
+CONTEXT congestion {
+    SWITCH CONTEXT clear PATTERN FewFastCars
+    DERIVE TollNotification(p.vid, p.sec, 5)
+        PATTERN PositionReport p WHERE p.lane != "exit"
+}
+"#;
+
+fn traffic_builder() -> CaesarBuilder {
+    Caesar::builder()
+        .schema(
+            "PositionReport",
+            &[
+                ("vid", AttrType::Int),
+                ("sec", AttrType::Int),
+                ("lane", AttrType::Str),
+            ],
+        )
+        .schema("ManySlowCars", &[("seg", AttrType::Int)])
+        .schema("FewFastCars", &[("seg", AttrType::Int)])
+        .model_text(TRAFFIC)
+        .within(300)
+}
+
+fn spec_config(slack: Time) -> EngineConfig {
+    EngineConfig::builder()
+        .reorder_slack(slack)
+        .collect_outputs(true)
+        .consistency(Consistency::Speculative)
+        .build()
+}
+
+fn pr(registry: &SchemaRegistry, t: Time, p: u32, vid: i64) -> Event {
+    let ty = registry.lookup("PositionReport").unwrap();
+    Event::simple(
+        ty,
+        t,
+        PartitionId(p),
+        vec![Value::Int(vid), Value::Int(t as i64), Value::str("travel")],
+    )
+}
+
+fn marker(registry: &SchemaRegistry, name: &str, t: Time, p: u32) -> Event {
+    let ty = registry.lookup(name).unwrap();
+    Event::simple(ty, t, PartitionId(p), vec![Value::Int(0)])
+}
+
+/// Edge 1: the lateness floor is *exclusive*. With slack 4 the stream
+/// `MSC@3, PR@8, PR@11, PR@12` drains the buffer up to t = 8, so the
+/// floor sits exactly at 8: a FewFastCars at t = 8 must be admitted
+/// (tying with the already-settled PR@8, whose toll survives — the
+/// switch applies for t > 8), revise the fork, and retract the
+/// speculatively emitted toll at t = 11; a FewFastCars at t = 7 is one
+/// tick too late and must be counted and dropped instead.
+#[test]
+fn floor_boundary_is_admitted_and_retracts() {
+    let mut sys = traffic_builder()
+        .engine_config(spec_config(4))
+        .build()
+        .unwrap();
+    let registry = sys.registry.clone();
+
+    sys.ingest(marker(&registry, "ManySlowCars", 3, 0)).unwrap();
+    sys.ingest(pr(&registry, 8, 0, 2)).unwrap();
+    // Progress 11 > 8 emits the toll for PR@8; 12 > 11 the one for PR@11.
+    sys.ingest(pr(&registry, 11, 0, 3)).unwrap();
+    sys.ingest(pr(&registry, 12, 0, 4)).unwrap();
+    assert_eq!(sys.engine.spec_emits, 2, "tolls at t=8 and t=11 emitted");
+    assert_eq!(sys.engine.late_dropped, 0);
+
+    // Exactly at the floor: admitted, revises, retracts the t=11 toll
+    // (clear for t > 8) but leaves the t=8 toll standing.
+    sys.ingest(marker(&registry, "FewFastCars", 8, 0)).unwrap();
+    assert_eq!(sys.engine.late_dropped, 0, "t == floor is not late");
+    assert_eq!(sys.engine.spec_rebuilds, 1);
+    assert_eq!(sys.engine.spec_retractions, 1, "only the t=11 toll dies");
+
+    // One tick below the floor: dropped, and dropping never revises.
+    sys.ingest(marker(&registry, "FewFastCars", 7, 0)).unwrap();
+    assert_eq!(sys.engine.late_dropped, 1);
+    assert_eq!(sys.engine.spec_rebuilds, 1, "a dropped event cannot revise");
+
+    let report = sys.finish();
+    assert_eq!(
+        report.events_in, 5,
+        "four in-order arrivals plus the boundary event"
+    );
+    assert_eq!(report.outputs_of("TollNotification"), 1);
+    let outputs = &sys.engine.collected_outputs;
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(
+        outputs[0].attrs[0],
+        Value::Int(2),
+        "the surviving toll is PR@8's"
+    );
+
+    // Ledger shape, in order: emit t=8 toll, emit t=11 toll, retract
+    // the t=11 toll — and the retraction names the exact event.
+    let records = &sys.engine.collected_records;
+    assert_eq!(records.len(), 3);
+    assert!(!records[0].is_retraction());
+    assert!(!records[1].is_retraction());
+    assert!(records[2].is_retraction());
+    assert_eq!(records[2].event(), records[1].event());
+    assert_eq!(fold_records(records).unwrap(), canonical(outputs));
+}
+
+/// Edge 2: a speculative **derived** event can initiate a context
+/// window; retracting it must cascade. The calm context derives `Alarm`
+/// from `Spike`, and `Alarm` switches calm → alert, where further
+/// spikes derive `Page`s. A late `Manual` switch that lands *before*
+/// the first spike moves that spike into alert — the Alarm was never
+/// derived, so the window it opened belongs to Manual now: the Alarm is
+/// retracted and the spike that produced it re-derives as a Page.
+#[test]
+fn retracting_a_window_initiating_derivation_cascades() {
+    let mut sys = Caesar::builder()
+        .schema("Spike", &[("sid", AttrType::Int)])
+        .schema("Manual", &[("sid", AttrType::Int)])
+        .schema("Reset", &[("sid", AttrType::Int)])
+        .model_text(
+            r#"
+            MODEL cascade DEFAULT calm
+            CONTEXT calm {
+                SWITCH CONTEXT alert PATTERN Alarm
+                SWITCH CONTEXT alert PATTERN Manual
+                DERIVE Alarm(s.sid) PATTERN Spike s
+            }
+            CONTEXT alert {
+                SWITCH CONTEXT calm PATTERN Reset
+                DERIVE Page(s.sid, 1) PATTERN Spike s
+            }
+            "#,
+        )
+        .within(300)
+        .engine_config(spec_config(8))
+        .build()
+        .unwrap();
+    let registry = sys.registry.clone();
+    let spike = |t: Time, sid: i64| {
+        let ty = registry.lookup("Spike").unwrap();
+        Event::simple(ty, t, PartitionId(0), vec![Value::Int(sid)])
+    };
+
+    sys.ingest(spike(5, 1)).unwrap();
+    sys.ingest(spike(8, 2)).unwrap(); // emits Alarm(1)@5; calm → alert
+    sys.ingest(spike(12, 3)).unwrap(); // emits Page(2)@8
+    assert_eq!(sys.engine.spec_emits, 2, "one Alarm, one Page in flight");
+
+    // The late Manual@4 out-orders the Alarm's cause: replayed, Spike@5
+    // now lands inside alert, so the Alarm is retracted and Spike@5
+    // re-derives as Page(1). Page(2) is untouched — alert either way —
+    // and produces no record traffic.
+    sys.ingest(marker(&registry, "Manual", 4, 0)).unwrap();
+    assert_eq!(sys.engine.late_dropped, 0);
+    assert_eq!(sys.engine.spec_rebuilds, 1);
+    assert_eq!(sys.engine.spec_retractions, 1, "exactly the Alarm dies");
+    assert_eq!(sys.engine.spec_emits, 3, "Page(1) replaces the Alarm");
+
+    let report = sys.finish();
+    assert_eq!(report.events_in, 4);
+    assert_eq!(report.outputs_of("Alarm"), 0, "the Alarm never settled");
+    assert_eq!(report.outputs_of("Page"), 3);
+
+    let alarm = registry.lookup("Alarm").unwrap();
+    let records = &sys.engine.collected_records;
+    assert_eq!(records.len(), 5, "3 pages + the alarm's emit/retract pair");
+    let retractions: Vec<_> = records.iter().filter(|r| r.is_retraction()).collect();
+    assert_eq!(retractions.len(), 1);
+    assert_eq!(
+        retractions[0].event().type_id,
+        alarm,
+        "the retraction cancels the window-initiating Alarm itself"
+    );
+    assert_eq!(
+        fold_records(records).unwrap(),
+        canonical(&sys.engine.collected_outputs)
+    );
+}
+
+/// Edge 3: beyond the slack there is no speculation to undo. The
+/// straggler is counted and dropped exactly like strict mode, and the
+/// record stream stays silent — no retraction, no rebuild, no emission.
+#[test]
+fn beyond_slack_straggler_is_counted_and_silent() {
+    let mut spec = traffic_builder()
+        .engine_config(spec_config(2))
+        .build()
+        .unwrap();
+    let mut strict = traffic_builder()
+        .engine_config(
+            EngineConfig::builder()
+                .reorder_slack(2)
+                .collect_outputs(true)
+                .build(),
+        )
+        .build()
+        .unwrap();
+    let registry = spec.registry.clone();
+    let arrivals = vec![
+        marker(&registry, "ManySlowCars", 3, 0),
+        pr(&registry, 8, 0, 1),
+        pr(&registry, 12, 0, 2), // floor now at 8, toll for PR@8 emitted
+        pr(&registry, 4, 0, 9),  // beyond slack: 4 < 8
+    ];
+    for event in arrivals {
+        spec.ingest(event.clone()).unwrap();
+        strict.ingest(event).unwrap();
+    }
+    assert_eq!(spec.engine.late_dropped, 1);
+    assert_eq!(spec.engine.spec_rebuilds, 0, "dropping is not a revision");
+    assert_eq!(spec.engine.spec_retractions, 0);
+    assert_eq!(
+        spec.engine.collected_records.len(),
+        1,
+        "only PR@8's toll was emitted before the straggler"
+    );
+
+    let spec_report = spec.finish();
+    let strict_report = strict.finish();
+    assert_eq!(spec_report.events_in, 3);
+    assert_eq!(spec_report.outputs_of("TollNotification"), 2);
+    assert_eq!(strict.engine.late_dropped, spec.engine.late_dropped);
+    assert_eq!(
+        strict_report.outputs_of("TollNotification"),
+        spec_report.outputs_of("TollNotification")
+    );
+    assert_eq!(
+        canonical(&spec.engine.collected_outputs),
+        canonical(&strict.engine.collected_outputs),
+        "settled outputs are byte-identical to strict"
+    );
+    let records = &spec.engine.collected_records;
+    assert_eq!(records.len(), 2, "two emissions, zero retractions");
+    assert!(records.iter().all(|r| !r.is_retraction()));
+    assert_eq!(
+        fold_records(records).unwrap(),
+        canonical(&spec.engine.collected_outputs)
+    );
+}
+
+/// Edge 4: on a served speculative tenant the RETRACT frames share the
+/// per-connection FIFO with OUTPUTS and the FINISH report, so by the
+/// time the report arrives the subscriber's ledger is complete and
+/// folds cleanly — retraction after its emission, everything before the
+/// report. Two partitions across two shards; partition 0 replays the
+/// floor-boundary scenario (one retraction), partition 1 stays clean.
+#[test]
+fn served_retractions_precede_the_finish_report() {
+    let (program, registry, _explain) = traffic_builder().build_program().unwrap();
+    let toll = registry.lookup("TollNotification").unwrap();
+    let events = [
+        marker(&registry, "ManySlowCars", 3, 0),
+        marker(&registry, "ManySlowCars", 3, 1),
+        pr(&registry, 8, 0, 2),
+        pr(&registry, 9, 1, 21),
+        pr(&registry, 11, 0, 3),
+        pr(&registry, 12, 0, 4),
+        // Exactly at partition 0's shard floor: retracts the t=11 toll.
+        marker(&registry, "FewFastCars", 8, 0),
+        pr(&registry, 13, 1, 22),
+    ];
+
+    let mut tenant = TenantConfig::new("edge", program, registry);
+    tenant.shards = 2;
+    tenant.engine_config = spec_config(4);
+    let handle = Server::start(ServerConfig {
+        tenants: vec![tenant],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let subscribed = client
+        .roundtrip(&Request::Subscribe {
+            tenant: "edge".into(),
+        })
+        .unwrap();
+    assert!(matches!(subscribed, Response::Ack));
+    for chunk in events.chunks(3) {
+        let acked = client
+            .roundtrip(&Request::Ingest {
+                tenant: "edge".into(),
+                events: chunk.to_vec(),
+            })
+            .unwrap();
+        assert!(matches!(acked, Response::Ack));
+    }
+    let report = match client.roundtrip(&Request::Finish {
+        tenant: "edge".into(),
+    }) {
+        Ok(Response::Report(report)) => report,
+        other => panic!("finish reply: {other:?}"),
+    };
+    let outputs = client.take_outputs();
+    let records = client.take_records();
+    handle.shutdown();
+    assert!(handle.join().clean());
+
+    // Settled: tolls for PR@8 (p0), PR@9 and PR@13 (p1). Emitted on the
+    // wire: those three plus the retracted t=11 toll.
+    assert_eq!(report.outputs_of("TollNotification"), 3);
+    assert_eq!(
+        outputs.len(),
+        4,
+        "four speculative emissions crossed the wire"
+    );
+    let retractions = records.iter().filter(|r| r.is_retraction()).count();
+    assert_eq!(retractions, 1, "exactly one RETRACT frame");
+    // The ledger folds cleanly *at report time* — the FIFO delivered
+    // the emission before its retraction, and both before the report.
+    let folded = fold_records(&records).expect("retraction arrived after its emission");
+    assert_eq!(folded.len(), 3);
+    assert!(
+        records.iter().all(|r| r.event().type_id == toll),
+        "only tolls travel this wire"
+    );
+}

@@ -61,9 +61,11 @@ fn check_seed(seed: u64, config: &GenConfig) {
     }
 }
 
-/// Same three generator profiles as the embedded differential sweep, so
-/// the served leg sees the identical mix of adversarial structure:
-/// default, negation/disorder-heavy, and dense same-timestamp streams.
+/// Same four generator profiles as the embedded differential sweep, so
+/// the served legs see the identical mix of adversarial structure:
+/// default, negation/disorder-heavy, dense same-timestamp streams, and
+/// the retraction-hostile mix that drives RETRACT traffic through the
+/// speculative tenant's wire path.
 fn profiles() -> Vec<GenConfig> {
     let default = GenConfig::default();
     let adversarial = GenConfig {
@@ -79,7 +81,7 @@ fn profiles() -> Vec<GenConfig> {
         max_events: 160,
         ..GenConfig::default()
     };
-    vec![default, adversarial, dense]
+    vec![default, adversarial, dense, GenConfig::retraction_hostile()]
 }
 
 /// Fixed seeds checked on every run — deterministic baseline coverage.
