@@ -78,6 +78,34 @@ impl BindingLayout {
     }
 }
 
+/// A binding of events by slot — the evaluation-time argument of
+/// [`CompiledExpr::eval_in`] / [`CompiledExpr::matches_in`].
+///
+/// The canonical binding is a slice of event references, but the
+/// pattern operator's candidates are *logical* sequences whose
+/// constituents live in different places (a pooled prefix, the incoming
+/// event, a negation-buffer candidate). Implementing `Slots` lets those
+/// be evaluated without materializing a `Vec<&Event>` per candidate.
+/// Out-of-range slots panic, exactly like slice indexing.
+pub trait Slots {
+    /// The event bound at `slot`.
+    fn slot(&self, slot: usize) -> &Event;
+}
+
+impl Slots for [&Event] {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Event {
+        self[slot]
+    }
+}
+
+impl<const N: usize> Slots for [&Event; N] {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Event {
+        self[slot]
+    }
+}
+
 /// Errors during expression compilation or evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalError {
@@ -289,16 +317,25 @@ impl CompiledExpr {
 
     /// Evaluates against a binding of events (indexed by slot).
     pub fn eval(&self, binding: &[&Event]) -> Result<Value, EvalError> {
+        self.eval_in(binding)
+    }
+
+    /// Evaluates against any [`Slots`] binding. The pattern operator's
+    /// hot path uses this with logical bindings (a pooled prefix + the
+    /// incoming event + a negation candidate) so no `Vec<&Event>` is
+    /// materialized per candidate; semantics are identical to
+    /// [`eval`](Self::eval) on the equivalent slice.
+    pub fn eval_in<B: Slots + ?Sized>(&self, binding: &B) -> Result<Value, EvalError> {
         match self {
             CompiledExpr::Const(v) => Ok(v.clone()),
             CompiledExpr::Attr { slot, attr } => {
-                Ok(binding[*slot as usize].attrs[*attr as usize].clone())
+                Ok(binding.slot(*slot as usize).attrs[*attr as usize].clone())
             }
             CompiledExpr::Bin { op, lhs, rhs } => {
                 // Short-circuit logical operators.
                 if matches!(op, BinOp::And | BinOp::Or) {
                     let l = lhs
-                        .eval(binding)?
+                        .eval_in(binding)?
                         .as_bool()
                         .map_err(|_| EvalError::NotBoolean)?;
                     return match (op, l) {
@@ -306,15 +343,15 @@ impl CompiledExpr {
                         (BinOp::Or, true) => Ok(Value::Bool(true)),
                         _ => {
                             let r = rhs
-                                .eval(binding)?
+                                .eval_in(binding)?
                                 .as_bool()
                                 .map_err(|_| EvalError::NotBoolean)?;
                             Ok(Value::Bool(r))
                         }
                     };
                 }
-                let l = lhs.eval(binding)?;
-                let r = rhs.eval(binding)?;
+                let l = lhs.eval_in(binding)?;
+                let r = rhs.eval_in(binding)?;
                 match op {
                     BinOp::Add => Ok(l.add(&r)?),
                     BinOp::Sub => Ok(l.sub(&r)?),
@@ -341,7 +378,12 @@ impl CompiledExpr {
     /// Evaluates as a predicate; evaluation errors count as non-matches
     /// (streaming robustness), reported through `errors`.
     pub fn matches(&self, binding: &[&Event], errors: &mut u64) -> bool {
-        match self.eval(binding) {
+        self.matches_in(binding, errors)
+    }
+
+    /// [`matches`](Self::matches) over any [`Slots`] binding.
+    pub fn matches_in<B: Slots + ?Sized>(&self, binding: &B, errors: &mut u64) -> bool {
+        match self.eval_in(binding) {
             Ok(Value::Bool(b)) => b,
             Ok(_) => {
                 *errors += 1;
@@ -695,7 +737,7 @@ mod tests {
             CompiledExpr::compile(&and, &layout, &reg).unwrap(),
             CompiledExpr::Const(Value::Bool(false))
         );
-        let or = AstExpr::bin(BinOp::Or, t, cmp.clone());
+        let or = AstExpr::bin(BinOp::Or, t, cmp);
         assert_eq!(
             CompiledExpr::compile(&or, &layout, &reg).unwrap(),
             CompiledExpr::Const(Value::Bool(true))

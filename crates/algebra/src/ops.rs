@@ -494,7 +494,7 @@ pub struct OpObservation {
 
 /// Output sink of chain execution: derived events plus context
 /// transitions for the runtime to apply.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ChainOutput {
     /// Derived (complex) events.
     pub events: Vec<Event>,
@@ -513,6 +513,52 @@ impl ChainOutput {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.transitions.is_empty()
+    }
+}
+
+/// Reusable traversal buffers for batched chain execution. All buffers
+/// are empty between calls — holding one per plan (or per partition)
+/// hoists every per-transaction allocation out of the hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct ChainScratch {
+    /// Work stack of [`run_chain_from`].
+    work: Vec<(usize, Event)>,
+    /// Pattern-match scratch of [`run_chain_from`].
+    matches: Vec<Event>,
+    /// Row-tagged pattern output of the pattern-major path.
+    items: Vec<(u32, Event)>,
+    /// Per-match suffix output of the pattern-major path.
+    chain_out: ChainOutput,
+    /// Row-tagged sinks of [`run_chain_batch`]'s untagged wrapper.
+    sink_items: Vec<(u32, Event)>,
+    /// Companion transition sink of the wrapper.
+    sink_transitions: Vec<(u32, Transition)>,
+    /// Selection-vector buffer for callers that build the initial
+    /// selection themselves (`QueryPlan::process_batch`).
+    pub(crate) sel: Vec<u32>,
+}
+
+impl ChainScratch {
+    /// Runs one event through `ops[start..]` reusing this scratch's
+    /// traversal buffers — [`run_chain`] without the per-call
+    /// allocations.
+    pub fn run_one(
+        &mut self,
+        ops: &mut [Op],
+        start: usize,
+        event: Event,
+        table: &ContextTable,
+        out: &mut ChainOutput,
+    ) {
+        run_chain_from(
+            ops,
+            start,
+            event,
+            table,
+            out,
+            &mut self.work,
+            &mut self.matches,
+        );
     }
 }
 
@@ -563,54 +609,140 @@ pub fn advance_chain_time(
 ///   stage, with predicates evaluated by vectorized kernels over the
 ///   batch's columnar view where covered (see
 ///   [`run_chain_batch_selected`]);
-/// * traversal buffers are allocated once per run, not once per event.
+/// * a chain whose (post-window) bottom is a pattern runs the pattern
+///   *batch-at-a-time* over the selection vector
+///   ([`PatternOp::process_batch`]: pooled partials, vectorized
+///   element-0 step kernels, per-batch negation index), and only the
+///   matches — typically far fewer than the inputs — walk the suffix;
+/// * traversal buffers come from the caller's [`ChainScratch`], so the
+///   per-event loop allocates nothing.
 pub fn run_chain_batch(
     ops: &mut [Op],
     cols: &mut ColumnarBatch<'_>,
     sel: &mut Vec<u32>,
     table: &ContextTable,
     out: &mut ChainOutput,
+    scratch: &mut ChainScratch,
 ) {
-    let events = cols.events();
-    let Some(&first) = sel.first() else { return };
-    let first = &events[first as usize];
     debug_assert!(
-        sel.iter().all(|&i| {
-            let e = &events[i as usize];
-            e.time() == first.time() && e.partition == first.partition
-        }),
+        {
+            let events = cols.events();
+            sel.first().is_none_or(|&f| {
+                let first = &events[f as usize];
+                sel.iter().all(|&i| {
+                    let e = &events[i as usize];
+                    e.time() == first.time() && e.partition == first.partition
+                })
+            })
+        },
         "run_chain_batch requires a same-(partition, time) run"
     );
-    if chain_is_stage_major(ops) {
-        let mut items: Vec<(u32, Event)> = Vec::new();
-        run_chain_batch_selected(ops, cols, sel, table, &mut items);
-        out.events.extend(items.into_iter().map(|(_, e)| e));
+    // The row-tagged worker does the work; strip the tags. The sinks
+    // are moved out so the worker may borrow the rest of the scratch.
+    let mut items = std::mem::take(&mut scratch.sink_items);
+    let mut transitions = std::mem::take(&mut scratch.sink_transitions);
+    run_chain_batch_items(ops, cols, sel, table, scratch, &mut items, &mut transitions);
+    out.events.extend(items.drain(..).map(|(_, e)| e));
+    out.transitions
+        .extend(transitions.drain(..).map(|(_, t)| t));
+    scratch.sink_items = items;
+    scratch.sink_transitions = transitions;
+}
+
+/// Reverses each run of equal row tags in place: the per-event work
+/// stack pops one row's pattern matches last-first, so the batched
+/// pattern-major path must walk each row group in reversed emission
+/// order to keep suffix effects (and outputs) byte-identical.
+fn reverse_row_groups(items: &mut [(u32, Event)]) {
+    let mut i = 0;
+    while i < items.len() {
+        let row = items[i].0;
+        let mut j = i + 1;
+        while j < items.len() && items[j].0 == row {
+            j += 1;
+        }
+        items[i..j].reverse();
+        i = j;
+    }
+}
+
+/// Row-tagged batched chain execution — the worker behind
+/// [`run_chain_batch`], also used directly by the combined plan's
+/// plan-major path (the row tags key the cross-plan output merge).
+///
+/// Semantically identical to running [`run_chain`] once per selected
+/// event in selection order, with each output and transition tagged by
+/// the input row that produced it. Dispatches per chain shape:
+/// stage-major chains go through [`run_chain_batch_selected`],
+/// pattern-bottom chains run the pattern batch-at-a-time with only the
+/// matches walking the suffix, and everything else falls back to a
+/// per-row loop over the shared traversal buffers.
+pub fn run_chain_batch_items(
+    ops: &mut [Op],
+    cols: &mut ColumnarBatch<'_>,
+    sel: &mut Vec<u32>,
+    table: &ContextTable,
+    scratch: &mut ChainScratch,
+    out: &mut Vec<(u32, Event)>,
+    transitions: &mut Vec<(u32, Transition)>,
+) {
+    if sel.is_empty() {
         return;
     }
+    if chain_is_stage_major(ops) {
+        // Stage-major chains cannot contain CI/CT: no transitions.
+        run_chain_batch_selected(ops, cols, sel, table, out);
+        return;
+    }
+    let events = cols.events();
     let mut start = 0;
     if let Some(Op::ContextWindow(cw)) = ops.first_mut() {
-        if !cw.admits_run(first, sel.len() as u64, table) {
+        if !cw.admits_run(&events[sel[0] as usize], sel.len() as u64, table) {
             return;
         }
         start = 1;
     }
-    let mut work: Vec<(usize, Event)> = Vec::new();
-    let mut scratch: Vec<Event> = Vec::new();
-    for op in &mut ops[start..] {
-        if let Op::Pattern(p) = op {
-            p.set_batch_hint(sel.len());
+    let ChainScratch {
+        work,
+        matches,
+        items,
+        chain_out,
+        ..
+    } = scratch;
+    if matches!(ops[start], Op::Pattern(_)) {
+        items.clear();
+        {
+            let Op::Pattern(p) = &mut ops[start] else {
+                unreachable!()
+            };
+            p.process_batch(cols, sel, items);
         }
+        reverse_row_groups(items);
+        if start + 1 == ops.len() {
+            out.append(items);
+            return;
+        }
+        for (row, m) in items.drain(..) {
+            chain_out.clear();
+            run_chain_from(ops, start + 1, m, table, chain_out, work, matches);
+            out.extend(chain_out.events.drain(..).map(|e| (row, e)));
+            transitions.extend(chain_out.transitions.drain(..).map(|t| (row, t)));
+        }
+        return;
     }
-    for &i in sel.iter() {
+    for &row in sel.iter() {
+        chain_out.clear();
         run_chain_from(
             ops,
             start,
-            events[i as usize].clone(),
+            events[row as usize].clone(),
             table,
-            out,
-            &mut work,
-            &mut scratch,
+            chain_out,
+            work,
+            matches,
         );
+        out.extend(chain_out.events.drain(..).map(|e| (row, e)));
+        transitions.extend(chain_out.transitions.drain(..).map(|t| (row, t)));
     }
 }
 
@@ -1020,7 +1152,15 @@ mod tests {
             let mut batched = ChainOutput::default();
             let mut cols = ColumnarBatch::new(events, vectorize);
             let mut sel: Vec<u32> = (0..events.len() as u32).collect();
-            run_chain_batch(&mut batched_ops, &mut cols, &mut sel, table, &mut batched);
+            let mut scratch = ChainScratch::default();
+            run_chain_batch(
+                &mut batched_ops,
+                &mut cols,
+                &mut sel,
+                table,
+                &mut batched,
+                &mut scratch,
+            );
             assert_eq!(per_event.events, batched.events, "vectorize={vectorize}");
             assert_eq!(
                 per_event.transitions, batched.transitions,
@@ -1102,7 +1242,15 @@ mod tests {
         let mut out = ChainOutput::default();
         let mut cols = ColumnarBatch::new(&events, true);
         let mut sel: Vec<u32> = (0..events.len() as u32).collect();
-        run_chain_batch(&mut ops, &mut cols, &mut sel, &table, &mut out);
+        let mut scratch = ChainScratch::default();
+        run_chain_batch(
+            &mut ops,
+            &mut cols,
+            &mut sel,
+            &table,
+            &mut out,
+            &mut scratch,
+        );
         assert!(out.is_empty());
         let Op::ContextWindow(cw) = &ops[0] else {
             unreachable!()
@@ -1124,6 +1272,65 @@ mod tests {
         ];
         let events = vec![pev(&reg, 4, 1, 10), pev(&reg, 4, 2, 20)];
         assert_batch_equivalent(ops, &events, &table);
+    }
+
+    /// A stateful sequence at the chain bottom takes the pattern-major
+    /// batch path; a completing run where each event finishes several
+    /// stored partials exercises the per-row suffix-order reversal.
+    #[test]
+    fn batch_chain_pattern_major_matches_per_event() {
+        let reg = registry();
+        let table = ContextTable::new(1, 0);
+        let p_ty = reg.lookup("P").unwrap();
+        let out_ty = reg.lookup("Out").unwrap();
+        let seq = PatternOp::sequence(
+            vec![
+                crate::pattern::PositiveElement {
+                    type_id: p_ty,
+                    step_predicates: vec![],
+                },
+                crate::pattern::PositiveElement {
+                    type_id: p_ty,
+                    step_predicates: vec![],
+                },
+            ],
+            vec![],
+            100,
+            out_ty,
+            vec![0, 1],
+        );
+        let mut ops_a = vec![Op::Pattern(seq), Op::Filter(speed_filter(&reg, 40))];
+        let mut ops_b = ops_a.clone();
+        // Run 1 stores four partials; every run-2 event then completes
+        // all four, so each row fans out to several suffix walks.
+        let runs: Vec<Vec<Event>> = vec![
+            (0..4).map(|i| pev(&reg, 1, i, 30 + 10 * i)).collect(),
+            (0..4).map(|i| pev(&reg, 2, 10 + i, 50)).collect(),
+        ];
+        let mut per_event = ChainOutput::default();
+        let mut batched = ChainOutput::default();
+        let mut scratch = ChainScratch::default();
+        for run in &runs {
+            for e in run {
+                run_chain(&mut ops_a, e, &table, &mut per_event);
+            }
+            let mut cols = ColumnarBatch::new(run, true);
+            let mut sel: Vec<u32> = (0..run.len() as u32).collect();
+            run_chain_batch(
+                &mut ops_b,
+                &mut cols,
+                &mut sel,
+                &table,
+                &mut batched,
+                &mut scratch,
+            );
+        }
+        assert!(per_event.events.len() > 4, "multi-match rows exercised");
+        assert_eq!(per_event.events, batched.events);
+        let (Op::Filter(fa), Op::Filter(fb)) = (&ops_a[1], &ops_b[1]) else {
+            unreachable!()
+        };
+        assert_eq!((fa.evaluated, fa.accepted), (fb.evaluated, fb.accepted));
     }
 
     #[test]

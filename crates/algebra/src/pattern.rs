@@ -20,11 +20,22 @@
 //! and [`PatternOp::reset`] / [`PatternOp::expire_started_at_or_before`]
 //! implement the context-history lifecycle of §6.2 (partial matches are
 //! discarded when their context window ends).
+//!
+//! Memory discipline: partial matches live in a generation-indexed slab
+//! (`PartialStore`) — freed slots keep their event-vector capacity and
+//! are recycled, so steady-state matching performs no per-event `Vec`
+//! allocation. Candidate extensions are evaluated through borrowed
+//! [`Slots`] bindings (`Candidate` / `WithCand`) and only copied
+//! into the slab when they must actually be stored; a completion that
+//! is emitted or rejected never touches the slab at all. Snapshots
+//! serialize the *event lists* the refs resolve to, so the pool layout
+//! (slot order, free list, generations) is invisible on the wire.
 
-use crate::expr::CompiledExpr;
-use caesar_events::{Event, Interval, Time, TypeId, Value};
+use crate::expr::{CompiledExpr, Slots};
+use crate::kernel::FilterKernels;
+use caesar_events::{ColumnarBatch, Event, Interval, Time, TypeId, Value};
 use caesar_query::ast::BinOp;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -77,19 +88,357 @@ pub struct PatternStats {
     pub events_processed: u64,
 }
 
-/// A partial match: the first `events.len()` positive elements bound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Partial {
+/// Generation-checked handle to a pooled partial match.
+///
+/// A ref is valid only while the slot it names is live *and* the slot's
+/// generation equals the ref's: freeing a slot bumps its generation, so
+/// a ref that outlives its partial (a use-after-free bug) can never
+/// silently alias a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PartialRef {
+    index: u32,
+    generation: u32,
+}
+
+/// One slab slot of the [`PartialStore`].
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    live: bool,
     events: Vec<Event>,
 }
 
+/// Slab allocator for partial-match event vectors. Freed slots keep
+/// their `Vec` capacity and are recycled through a free list, so the
+/// steady state allocates nothing per event.
+#[derive(Debug, Clone, Default)]
+struct PartialStore {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Free-list hits — how often a recycled slot saved an allocation.
+    reused: u64,
+    /// Currently live slots.
+    live: usize,
+    /// High-water mark of `live`.
+    peak: usize,
+}
+
+impl PartialStore {
+    /// Allocates an empty slot, recycling from the free list when
+    /// possible.
+    fn alloc(&mut self) -> PartialRef {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        if let Some(index) = self.free.pop() {
+            self.reused += 1;
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(!slot.live && slot.events.is_empty());
+            slot.live = true;
+            PartialRef {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            self.slots.push(Slot {
+                generation: 0,
+                live: true,
+                events: Vec::new(),
+            });
+            PartialRef {
+                index: (self.slots.len() - 1) as u32,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Adopts an already-built event list (deserialization path).
+    fn adopt(&mut self, events: Vec<Event>) -> PartialRef {
+        let r = self.alloc();
+        self.slots[r.index as usize].events = events;
+        r
+    }
+
+    /// Returns a slot to the free list, bumping its generation so any
+    /// surviving ref to it becomes detectably stale.
+    fn free(&mut self, r: PartialRef) {
+        let slot = &mut self.slots[r.index as usize];
+        assert!(
+            slot.live && slot.generation == r.generation,
+            "freeing a stale partial ref"
+        );
+        slot.live = false;
+        slot.generation = slot.generation.wrapping_add(1);
+        // Drop the events now (releases their Arcs) but keep capacity.
+        slot.events.clear();
+        self.free.push(r.index);
+        self.live -= 1;
+    }
+
+    /// The events of a live partial.
+    fn events(&self, r: PartialRef) -> &[Event] {
+        let slot = &self.slots[r.index as usize];
+        debug_assert!(slot.live, "stale partial ref (slot freed)");
+        debug_assert_eq!(slot.generation, r.generation, "stale partial ref");
+        &slot.events
+    }
+
+    /// Checked resolution — `None` for a stale or out-of-range ref.
+    /// Test support for the generation-index invariant.
+    fn get(&self, r: PartialRef) -> Option<&[Event]> {
+        let slot = self.slots.get(r.index as usize)?;
+        (slot.live && slot.generation == r.generation).then_some(slot.events.as_slice())
+    }
+
+    /// Appends one event to a live partial.
+    fn push_event(&mut self, r: PartialRef, ev: &Event) {
+        let slot = &mut self.slots[r.index as usize];
+        debug_assert!(slot.live && slot.generation == r.generation);
+        slot.events.push(ev.clone());
+    }
+
+    /// Fills `dst` with `src`'s events plus `tail` (slot-to-slot copy
+    /// without tearing a borrow through `&mut self`).
+    fn copy_extend(&mut self, src: PartialRef, dst: PartialRef, tail: &Event) {
+        let (si, di) = (src.index as usize, dst.index as usize);
+        assert_ne!(si, di, "alloc returned a live slot");
+        let (src_slot, dst_slot): (&Slot, &mut Slot) = if si < di {
+            let (head, rest) = self.slots.split_at_mut(di);
+            (&head[si], &mut rest[0])
+        } else {
+            let (head, rest) = self.slots.split_at_mut(si);
+            (&rest[0], &mut head[di])
+        };
+        debug_assert!(src_slot.live && src_slot.generation == src.generation);
+        debug_assert!(dst_slot.live && dst_slot.generation == dst.generation);
+        dst_slot.events.reserve(src_slot.events.len() + 1);
+        dst_slot.events.extend_from_slice(&src_slot.events);
+        dst_slot.events.push(tail.clone());
+    }
+}
+
 /// A full match waiting for a trailing-negation horizon to pass.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct PendingMatch {
-    events: Vec<Event>,
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    r: PartialRef,
     /// Emit once the watermark exceeds this deadline, unless a negated
     /// event arrives in `(last positive, deadline]`.
     deadline: Time,
+}
+
+/// Pooled partial-match state: per-level ref lists, parked full matches,
+/// and the slab both resolve into.
+#[derive(Debug, Clone, Default)]
+struct MatchState {
+    /// Partial matches indexed by number of bound elements − 1.
+    levels: Vec<Vec<PartialRef>>,
+    pending: Vec<Pending>,
+    store: PartialStore,
+}
+
+impl MatchState {
+    fn new(levels: usize) -> Self {
+        MatchState {
+            levels: vec![Vec::new(); levels],
+            pending: Vec::new(),
+            store: PartialStore::default(),
+        }
+    }
+
+    /// Allocates a copy of `prefix`'s events extended by `tail`.
+    fn alloc_extended(&mut self, prefix: PartialRef, tail: &Event) -> PartialRef {
+        let r = self.store.alloc();
+        self.store.copy_extend(prefix, r, tail);
+        r
+    }
+
+    /// Allocates a single-event partial.
+    fn alloc_single(&mut self, event: &Event) -> PartialRef {
+        let r = self.store.alloc();
+        self.store.push_event(r, event);
+        r
+    }
+}
+
+// Wire-compatible with the pre-pool representation — two consecutive
+// fields `partials: Vec<Vec<Partial>>` (each `Partial` a bare
+// `Vec<Event>`) and `pending: Vec<PendingMatch>` (`Vec<Event>` + `Time`).
+// Refs are resolved to their event lists on write and re-pooled densely
+// on read, so snapshots never observe slot order, generations, or the
+// free list.
+impl Serialize for MatchState {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.levels.len());
+        for level in &self.levels {
+            out.write_len(level.len());
+            for &r in level {
+                self.store.events(r).serialize(out);
+            }
+        }
+        out.write_len(self.pending.len());
+        for p in &self.pending {
+            self.store.events(p.r).serialize(out);
+            p.deadline.serialize(out);
+        }
+    }
+}
+
+impl Deserialize for MatchState {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, serde::Error> {
+        let mut state = MatchState::default();
+        let n_levels = de.read_len()?;
+        state.levels.reserve(n_levels);
+        for _ in 0..n_levels {
+            let n = de.read_len()?;
+            let mut level = Vec::with_capacity(n);
+            for _ in 0..n {
+                let events = Vec::<Event>::deserialize(de)?;
+                level.push(state.store.adopt(events));
+            }
+            state.levels.push(level);
+        }
+        let n = de.read_len()?;
+        state.pending.reserve(n);
+        for _ in 0..n {
+            let events = Vec::<Event>::deserialize(de)?;
+            let deadline = Time::deserialize(de)?;
+            state.pending.push(Pending {
+                r: state.store.adopt(events),
+                deadline,
+            });
+        }
+        Ok(state)
+    }
+}
+
+/// A candidate match — a stored (or empty) prefix plus the tail event
+/// that would extend it, bound by reference. Slot `i` of the binding is
+/// positive element `i`; the candidate is never materialized unless it
+/// must be stored or parked.
+#[derive(Debug, Clone, Copy)]
+struct Candidate<'a> {
+    prefix: &'a [Event],
+    tail: &'a Event,
+}
+
+impl<'a> Candidate<'a> {
+    /// Views a materialized event list as a candidate.
+    fn of(events: &'a [Event]) -> Self {
+        let (tail, prefix) = events.split_last().expect("non-empty partial");
+        Candidate { prefix, tail }
+    }
+
+    fn len(&self) -> usize {
+        self.prefix.len() + 1
+    }
+
+    fn get(&self, i: usize) -> &'a Event {
+        if i == self.prefix.len() {
+            self.tail
+        } else {
+            &self.prefix[i]
+        }
+    }
+
+    fn try_get(&self, i: usize) -> Option<&'a Event> {
+        if i == self.prefix.len() {
+            Some(self.tail)
+        } else {
+            self.prefix.get(i)
+        }
+    }
+
+    fn first(&self) -> &'a Event {
+        self.get(0)
+    }
+
+    fn last(&self) -> &'a Event {
+        self.tail
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &'a Event> + '_ {
+        self.prefix.iter().chain(std::iter::once(self.tail))
+    }
+}
+
+impl Slots for Candidate<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Event {
+        self.get(slot)
+    }
+}
+
+/// A candidate match plus a negated-event candidate bound at slot
+/// `positive_count` — the binding shape of [`NegationCheck`] predicates.
+#[derive(Debug, Clone, Copy)]
+struct WithCand<'a> {
+    pos: Candidate<'a>,
+    cand: &'a Event,
+}
+
+impl Slots for WithCand<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Event {
+        if slot == self.pos.len() {
+            self.cand
+        } else {
+            self.pos.get(slot)
+        }
+    }
+}
+
+/// Binds the same event at every slot — used to evaluate index-key
+/// expressions that only reference the candidate slot.
+struct AllSlots<'a>(&'a Event);
+
+impl Slots for AllSlots<'_> {
+    #[inline]
+    fn slot(&self, _slot: usize) -> &Event {
+        self.0
+    }
+}
+
+/// Destination for emitted match events: the per-event path appends to
+/// a plain `Vec<Event>`, the batch path tags each match with its input
+/// row.
+trait MatchSink {
+    fn emit(&mut self, ev: Event);
+}
+
+impl MatchSink for Vec<Event> {
+    #[inline]
+    fn emit(&mut self, ev: Event) {
+        self.push(ev);
+    }
+}
+
+struct RowTagged<'a> {
+    row: u32,
+    out: &'a mut Vec<(u32, Event)>,
+}
+
+impl MatchSink for RowTagged<'_> {
+    #[inline]
+    fn emit(&mut self, ev: Event) {
+        self.out.push((self.row, ev));
+    }
+}
+
+/// Element-0 step-predicate verdict for one row.
+#[derive(Debug, Clone, Copy)]
+enum Step0 {
+    /// No precomputed verdict — evaluate the predicates inline.
+    Eval,
+    /// The vectorized pre-filter already proved all predicates hold.
+    Pass,
+    /// The vectorized pre-filter already proved a predicate fails.
+    Fail,
+}
+
+/// Outcome of completing a candidate match.
+enum Verdict {
+    Rejected,
+    Emit,
+    Park { deadline: Time },
 }
 
 /// The pattern operator.
@@ -107,24 +456,20 @@ pub struct PatternOp {
     match_type: Option<TypeId>,
     /// Per-variable attribute offsets in the combined match event.
     offsets: Vec<u16>,
-    /// Partial matches indexed by number of bound elements − 1.
-    partials: Vec<Vec<Partial>>,
-    pending: Vec<PendingMatch>,
+    /// Pooled partial-match state (levels, pending, slab).
+    state: MatchState,
     /// Observability counters.
     pub stats: PatternStats,
-    /// Expected length of the same-time run currently flowing through
-    /// the operator — set by the batched entry points; `0` (the
-    /// per-event paths) disables the negation index.
+    /// Per-check incremental negation-index state (sequence base plus
+    /// the persistent index; see [`NegCtx::violates_indexed`]).
+    /// Transient: a restored snapshot rebuilds from the buffers alone.
     #[serde(skip)]
-    batch_hint: u32,
-    /// Counts every removal from any negation buffer; part of the
-    /// negation index validity key (buffer indices shift on removal).
+    neg_state: Vec<NegState>,
+    /// Compiled element-0 step-predicate kernels, revalidated per batch
+    /// against the view's kind signature (see
+    /// [`process_batch`](Self::process_batch)).
     #[serde(skip)]
-    neg_evictions: u64,
-    /// Per-batch hash index over one negation buffer (see
-    /// [`violates_indexed`](Self::violates_indexed)).
-    #[serde(skip)]
-    neg_index: Option<Box<NegIndex>>,
+    step_kernels: Option<Box<FilterKernels>>,
 }
 
 /// Hashable projection of a [`Value`] usable as a negation-index key.
@@ -146,30 +491,38 @@ fn index_key(v: &Value) -> Option<IndexKey> {
     }
 }
 
-/// A per-batch hash index over one negation buffer, keyed by one side of
-/// an equality predicate. Amortizes the per-candidate-match buffer scan
-/// of [`PatternOp::violates`] across a same-time run: the scan's
-/// `any(time filter && all predicates)` is evaluated only on buffer
-/// entries whose key equals the probe (the key equality fails everywhere
-/// else, so the result is unchanged), plus the unkeyed `overflow`
-/// entries and the un-indexed tail `covered..` (entries pushed since the
-/// build — same-time events the filter excludes anyway, or out-of-order
-/// feedback the index must not miss).
-#[derive(Debug, Clone)]
+/// Transient per-negation-check state of the incremental index.
+#[derive(Debug, Clone, Default)]
+struct NegState {
+    /// Entries evicted from the buffer front so far — the monotone
+    /// sequence base that gives index entries a stable identity.
+    base: u64,
+    /// The persistent index, built lazily on the first probe.
+    index: Option<Box<NegIndex>>,
+}
+
+/// A persistent hash index over one negation buffer, keyed by one side
+/// of an equality predicate and maintained *incrementally*: entries
+/// appended since the last probe are indexed on the next one (the
+/// un-indexed tail is caught up), and front evictions merely advance
+/// the buffer's sequence base — bucket entries carry the monotone
+/// sequence number assigned at push, so stale entries are recognized
+/// (`seq < base`) and dropped lazily, with a full sweep only once the
+/// stale debt dwarfs the live buffer. A probe therefore touches the
+/// probe key's bucket and the unkeyed `overflow` list, never the whole
+/// buffer: the scan's `any(time filter && all predicates)` is unchanged
+/// because the key equality fails on every other bucket, and per-entry
+/// times are stored so the time filter is applied at probe time.
+#[derive(Debug, Clone, Default)]
 struct NegIndex {
-    /// Which negation check the index covers.
-    check: usize,
-    /// Upper time bound the index was built for.
-    hi: Time,
-    /// [`PatternOp::neg_evictions`] at build time — any later removal
-    /// shifts buffer indices and invalidates the index.
-    evictions: u64,
-    /// Buffer length at build time; entries past it are scanned.
-    covered: usize,
-    /// Buffer indices by key value.
-    buckets: HashMap<IndexKey, Vec<u32>>,
-    /// Buffer indices whose key failed to evaluate or hash.
-    overflow: Vec<u32>,
+    /// Sequence number of the first buffer entry not yet indexed.
+    next_seq: u64,
+    /// Sequence base at the last full sweep (bounds stale-entry debt).
+    swept_base: u64,
+    /// `(seq, time)` of entries by key value, in sequence order.
+    buckets: HashMap<IndexKey, Vec<(u64, Time)>>,
+    /// `(seq, time)` of entries whose key failed to evaluate or hash.
+    overflow: Vec<(u64, Time)>,
 }
 
 /// Splits an equality predicate into `(candidate side, positives side)`
@@ -211,10 +564,219 @@ fn pick_index_pred(preds: &[CompiledExpr], cand_slot: u8) -> Option<usize> {
     fallback
 }
 
-/// Runs below this the index never pays for its build scan.
-const NEG_INDEX_MIN_BATCH: u32 = 4;
-/// Un-indexed tail length that triggers a rebuild.
-const NEG_INDEX_MAX_TAIL: usize = 32;
+/// Stale-entry debt tolerated beyond `4 × live buffer` before a probe
+/// sweeps the index (amortizes sweeps against eviction volume).
+const NEG_INDEX_SWEEP_SLACK: u64 = 64;
+
+/// Borrow bundle for negation checking — everything `violates` touches,
+/// split from the operator so candidate bindings may keep borrowing the
+/// partial store while checks run.
+struct NegCtx<'a> {
+    negations: &'a [NegationCheck],
+    neg_buffers: &'a [VecDeque<Event>],
+    neg_state: &'a mut [NegState],
+    stats: &'a mut PatternStats,
+    positive_count: usize,
+}
+
+impl NegCtx<'_> {
+    /// Does any buffered negated event of check `i` fall strictly inside
+    /// `(lo, hi)` (`None` bounds are open) with all predicates holding?
+    fn violates(
+        &mut self,
+        check: usize,
+        positives: Candidate<'_>,
+        lo: Option<Time>,
+        hi: Option<Time>,
+    ) -> bool {
+        // Hot path: the persistent per-check hash index restricts the
+        // scan to the probe key's bucket — see `violates_indexed`.
+        if let Some(hit) = self.violates_indexed(check, positives, lo, hi) {
+            return hit;
+        }
+        let neg = &self.negations[check];
+        let buf = &self.neg_buffers[check];
+        let mut errors = 0;
+        let hit = buf.iter().any(|cand| {
+            let t = cand.time();
+            if lo.is_some_and(|l| t <= l) || hi.is_some_and(|h| t >= h) {
+                return false;
+            }
+            let binding = WithCand {
+                pos: positives,
+                cand,
+            };
+            neg.predicates
+                .iter()
+                .all(|p| p.matches_in(&binding, &mut errors))
+        });
+        self.stats.eval_errors += errors;
+        hit
+    }
+
+    /// Index-accelerated [`violates`](Self::violates). Returns `None`
+    /// (fall back to the scan) when no predicate splits into an
+    /// indexable equality or the probe key does not evaluate to a
+    /// hashable value.
+    ///
+    /// Exactness: the scan computes `∃ candidate: time-filter ∧ all
+    /// predicates`. Candidates outside the probe's bucket fail the key
+    /// equality, hence the conjunction — restricting the scan to the
+    /// bucket and the unkeyed overflow leaves the result (and therefore
+    /// matches, rejections, and outputs) unchanged; entry times are
+    /// stored, so `lo`/`hi` filter exactly like the scan, and stale
+    /// sequence numbers are exactly the entries the buffer no longer
+    /// holds. Only `eval_errors` may count differently, since
+    /// predicates are evaluated on fewer candidates.
+    fn violates_indexed(
+        &mut self,
+        check: usize,
+        positives: Candidate<'_>,
+        lo: Option<Time>,
+        hi: Option<Time>,
+    ) -> Option<bool> {
+        let NegCtx {
+            negations,
+            neg_buffers,
+            neg_state,
+            stats,
+            positive_count,
+        } = self;
+        let cand_slot = *positive_count as u8;
+        let key_pred = pick_index_pred(&negations[check].predicates, cand_slot)?;
+        let (cand_side, probe_side) =
+            split_equality(&negations[check].predicates[key_pred], cand_slot)
+                .expect("pick_index_pred returned a splittable equality");
+        // The probe side is almost always a bare attribute reference of
+        // a positive event: read it directly, skipping the evaluator.
+        let probe = match probe_side {
+            CompiledExpr::Attr { slot, attr } => index_key(
+                positives
+                    .try_get(*slot as usize)?
+                    .attrs
+                    .get(*attr as usize)?,
+            )?,
+            _ => index_key(&probe_side.eval_in(&positives).ok()?)?,
+        };
+        let buf = &neg_buffers[check];
+        let base = neg_state[check].base;
+        let ix = neg_state[check].index.get_or_insert_with(Box::default);
+        // Sweep once the stale debt dwarfs the live buffer.
+        if base.saturating_sub(ix.swept_base) > 4 * buf.len() as u64 + NEG_INDEX_SWEEP_SLACK {
+            ix.buckets.clear();
+            ix.overflow.clear();
+            ix.next_seq = base;
+            ix.swept_base = base;
+        }
+        // Catch up over entries appended since the last probe (entries
+        // both appended and evicted in between are gone — skip ahead).
+        // The key side is almost always a bare attribute of the negated
+        // candidate itself.
+        let cand_attr = match cand_side {
+            CompiledExpr::Attr { slot, attr } if *slot == cand_slot => Some(*attr as usize),
+            _ => None,
+        };
+        let caught_up = (ix.next_seq.max(base) - base) as usize;
+        for (j, cand) in buf.iter().enumerate().skip(caught_up) {
+            let key = match cand_attr {
+                Some(a) => cand.attrs.get(a).and_then(index_key),
+                None => cand_side
+                    .eval_in(&AllSlots(cand))
+                    .ok()
+                    .as_ref()
+                    .and_then(index_key),
+            };
+            let entry = (base + j as u64, cand.time());
+            match key {
+                Some(k) => ix.buckets.entry(k).or_default().push(entry),
+                None => ix.overflow.push(entry),
+            }
+        }
+        ix.next_seq = base + buf.len() as u64;
+
+        let neg = &negations[check];
+        let mut errors = 0u64;
+        let check_entry = |&(seq, t): &(u64, Time), errors: &mut u64| -> bool {
+            if seq < base || lo.is_some_and(|l| t <= l) || hi.is_some_and(|h| t >= h) {
+                return false;
+            }
+            let cand = &buf[(seq - base) as usize];
+            let binding = WithCand {
+                pos: positives,
+                cand,
+            };
+            neg.predicates
+                .iter()
+                .all(|p| p.matches_in(&binding, errors))
+        };
+        // Stale entries form a prefix (sequence order): drop them from
+        // the structures we touch anyway, keeping probes O(bucket).
+        let hit = ix.buckets.get_mut(&probe).is_some_and(|bucket| {
+            let dead = bucket.partition_point(|&(seq, _)| seq < base);
+            if dead > 0 {
+                bucket.drain(..dead);
+            }
+            bucket.iter().any(|e| check_entry(e, &mut errors))
+        }) || {
+            let dead = ix.overflow.partition_point(|&(seq, _)| seq < base);
+            if dead > 0 {
+                ix.overflow.drain(..dead);
+            }
+            ix.overflow.iter().any(|e| check_entry(e, &mut errors))
+        };
+        stats.eval_errors += errors;
+        Some(hit)
+    }
+}
+
+/// Runs non-trailing negation checks on a complete candidate and
+/// decides its fate. The candidate stays borrowed — storage happens at
+/// the call site only for [`Verdict::Park`].
+fn complete_candidate(
+    cand: Candidate<'_>,
+    ctx: &mut NegCtx<'_>,
+    trailing: bool,
+    within: Time,
+) -> Verdict {
+    for i in 0..ctx.negations.len() {
+        let position = ctx.negations[i].position;
+        if position == NegPosition::After {
+            continue;
+        }
+        let (lo, hi) = match position {
+            NegPosition::Before => (None, Some(cand.first().time())),
+            NegPosition::Between(k) => (Some(cand.get(k).time()), Some(cand.get(k + 1).time())),
+            NegPosition::After => unreachable!(),
+        };
+        if ctx.violates(i, cand, lo, hi) {
+            ctx.stats.negation_rejections += 1;
+            return Verdict::Rejected;
+        }
+    }
+    if trailing {
+        Verdict::Park {
+            deadline: cand.last().time().saturating_add(within),
+        }
+    } else {
+        Verdict::Emit
+    }
+}
+
+/// Builds the combined match event (attribute values of all events in
+/// the sequence; occurrence `[e1.time, en.time]`).
+fn assemble_match(match_type: TypeId, cand: Candidate<'_>) -> Event {
+    let total: usize = cand.iter().map(|e| e.attrs.len()).sum();
+    let mut attrs: Vec<Value> = Vec::with_capacity(total);
+    for e in cand.iter() {
+        attrs.extend(e.attrs.iter().cloned());
+    }
+    Event::complex(
+        match_type,
+        Interval::new(cand.first().time(), cand.last().time()),
+        cand.first().partition,
+        Arc::from(attrs),
+    )
+}
 
 impl PatternOp {
     /// Builds a pass-through pattern for a single positive element with
@@ -231,12 +793,10 @@ impl PatternOp {
             within: Time::MAX,
             match_type: None,
             offsets: vec![0],
-            partials: vec![Vec::new()],
-            pending: Vec::new(),
+            state: MatchState::new(1),
             stats: PatternStats::default(),
-            batch_hint: 0,
-            neg_evictions: 0,
-            neg_index: None,
+            neg_state: Vec::new(),
+            step_kernels: None,
         }
     }
 
@@ -266,22 +826,20 @@ impl PatternOp {
             within,
             match_type: Some(match_type),
             offsets,
-            partials: vec![Vec::new(); n],
-            pending: Vec::new(),
+            state: MatchState::new(n),
             stats: PatternStats::default(),
-            batch_hint: 0,
-            neg_evictions: 0,
-            neg_index: None,
+            neg_state: Vec::new(),
+            step_kernels: None,
         }
     }
 
-    /// Hints the length of the same-time run about to flow through the
-    /// operator. Called by the batched entry points; enables the
-    /// per-batch negation index once the run is long enough to amortize
-    /// its build. The per-event paths never call this, so event-at-a-time
-    /// execution is untouched.
-    pub fn set_batch_hint(&mut self, n: usize) {
-        self.batch_hint = u32::try_from(n).unwrap_or(u32::MAX);
+    /// Sizes the transient per-check negation-index state (empty after
+    /// construction or a snapshot restore) to the negation checks.
+    fn ensure_neg_scratch(&mut self) {
+        if self.neg_state.len() != self.negations.len() {
+            self.neg_state
+                .resize_with(self.negations.len(), NegState::default);
+        }
     }
 
     /// Event types this pattern consumes (positive and negated).
@@ -334,8 +892,10 @@ impl PatternOp {
     }
 
     /// Mutable access to the positive elements, used by the optimizer's
-    /// predicate push-down to install step predicates.
+    /// predicate push-down to install step predicates. Drops the
+    /// compiled step-kernel cache — the predicates may change under it.
     pub fn positives_mut(&mut self) -> &mut [PositiveElement] {
+        self.step_kernels = None;
         &mut self.positives
     }
 
@@ -350,7 +910,59 @@ impl PatternOp {
     /// Number of live partial matches (for memory metrics).
     #[must_use]
     pub fn live_partials(&self) -> usize {
-        self.partials.iter().map(Vec::len).sum::<usize>() + self.pending.len()
+        self.state.levels.iter().map(Vec::len).sum::<usize>() + self.state.pending.len()
+    }
+
+    /// Total pool allocations served from the free list — how many
+    /// `Vec` allocations the slab saved.
+    #[must_use]
+    pub fn pool_reused(&self) -> u64 {
+        self.state.store.reused
+    }
+
+    /// High-water mark of live pooled partials.
+    #[must_use]
+    pub fn pool_peak(&self) -> usize {
+        self.state.store.peak
+    }
+
+    /// Verifies the generation-index invariant: every partial ref held
+    /// in a level or pending list resolves to a live slot of matching
+    /// generation, no two refs alias one slot, the live count agrees,
+    /// and every free-list entry is actually free. Test support — never
+    /// called on the hot path.
+    #[must_use]
+    pub fn pool_consistent(&self) -> bool {
+        let store = &self.state.store;
+        let mut seen = vec![false; store.slots.len()];
+        let mut live_refs = 0usize;
+        let mut check = |r: PartialRef| -> bool {
+            match store.get(r) {
+                Some(events) if !events.is_empty() => {
+                    !std::mem::replace(&mut seen[r.index as usize], true)
+                }
+                _ => false,
+            }
+        };
+        for level in &self.state.levels {
+            for &r in level {
+                if !check(r) {
+                    return false;
+                }
+                live_refs += 1;
+            }
+        }
+        for p in &self.state.pending {
+            if !check(p.r) {
+                return false;
+            }
+            live_refs += 1;
+        }
+        live_refs == store.live
+            && store
+                .free
+                .iter()
+                .all(|&i| store.slots.get(i as usize).is_some_and(|s| !s.live))
     }
 
     /// Returns `true` if the operator holds any time-sensitive state —
@@ -358,18 +970,238 @@ impl PatternOp {
     /// idle plans can be skipped entirely.
     #[must_use]
     pub fn has_state(&self) -> bool {
-        !self.pending.is_empty()
-            || self.partials.iter().any(|l| !l.is_empty())
+        !self.state.pending.is_empty()
+            || self.state.levels.iter().any(|l| !l.is_empty())
             || self.neg_buffers.iter().any(|b| !b.is_empty())
     }
 
     /// Processes one input event, appending emitted match events to `out`.
     pub fn process(&mut self, event: &Event, out: &mut Vec<Event>) {
+        self.process_event(event, Step0::Eval, out);
+    }
+
+    /// Processes a same-`(partition, time)` run of rows batch-at-a-time,
+    /// appending `(row, match)` pairs to `out` in exactly the per-row
+    /// order [`process`](Self::process) would produce. Rows are the
+    /// `sel` entries, in order, indexing `cols`' underlying event slice.
+    ///
+    /// The batch path is the per-event path with two exact accelerations
+    /// layered on: the same-time negation index (shared scan bound), and
+    /// a vectorized pre-filter for the first element's step predicates —
+    /// element-0 predicates reference slot 0 alone, so they are
+    /// filter-shaped and compile through the [`FilterKernels`] machinery
+    /// against the per-type columnar view, with the selection vector of
+    /// surviving rows carried into partial-match creation. Outputs and
+    /// all counters except `eval_errors` are identical to the per-event
+    /// path (kernels may order conjuncts differently).
+    pub fn process_batch(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        sel: &[u32],
+        out: &mut Vec<(u32, Event)>,
+    ) {
+        let events = cols.events();
+        let survivors = self.step0_survivors(cols, sel);
+        let first_type = self.positives[0].type_id;
+        let mut ptr = 0usize;
+        for &row in sel {
+            let event = &events[row as usize];
+            let step0 = match &survivors {
+                Some(s) if event.type_id == first_type => {
+                    if s.get(ptr) == Some(&row) {
+                        ptr += 1;
+                        Step0::Pass
+                    } else {
+                        Step0::Fail
+                    }
+                }
+                _ => Step0::Eval,
+            };
+            let mut sink = RowTagged { row, out };
+            self.process_event(event, step0, &mut sink);
+        }
+    }
+
+    /// Vectorized element-0 step-predicate verdicts: the sub-selection
+    /// of `sel` rows of the first positive's type that pass all its step
+    /// predicates, or `None` when the pre-filter does not apply (no
+    /// step predicates, vectorization disabled, pass-through).
+    fn step0_survivors(&mut self, cols: &mut ColumnarBatch<'_>, sel: &[u32]) -> Option<Vec<u32>> {
+        if self.is_passthrough() || !cols.enabled || self.positives[0].step_predicates.is_empty() {
+            return None;
+        }
+        let ty = self.positives[0].type_id;
+        let events = cols.events();
+        let view = cols.view(ty);
+        if !self
+            .step_kernels
+            .as_ref()
+            .is_some_and(|k| k.valid_for(view))
+        {
+            self.step_kernels = Some(Box::new(FilterKernels::compile(
+                &self.positives[0].step_predicates,
+                ty,
+                &view.kinds(),
+            )));
+        }
+        let cache = self.step_kernels.as_ref().expect("compiled above");
+        let mut survivors: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&r| events[r as usize].type_id == ty)
+            .collect();
+        let mut errors = 0u64;
+        for conjunct in &cache.conjuncts {
+            if survivors.is_empty() {
+                break;
+            }
+            match &conjunct.kernel {
+                Some(kernel) => kernel.filter(view, &mut survivors, &mut errors),
+                None => {
+                    let expr = &conjunct.expr;
+                    survivors.retain(|&r| expr.matches(&[&events[r as usize]], &mut errors));
+                }
+            }
+        }
+        self.stats.eval_errors += errors;
+        Some(survivors)
+    }
+
+    /// The shared per-event engine behind [`process`](Self::process) and
+    /// [`process_batch`](Self::process_batch).
+    fn process_event<S: MatchSink>(&mut self, event: &Event, step0: Step0, out: &mut S) {
         self.stats.events_processed += 1;
-        let t = event.time();
+        self.ensure_neg_scratch();
 
         // 1. Feed negation buffers and check pending (trailing-negation)
         //    matches against the new event.
+        self.feed_negations(event);
+
+        if self.is_passthrough() {
+            if self.positives[0].type_id == event.type_id {
+                self.stats.matches += 1;
+                out.emit(event.clone());
+            }
+            return;
+        }
+
+        // 2. Extend partial matches, longest prefix first so a new
+        //    partial is never re-extended by the event that created it.
+        let t = event.time();
+        let within = self.within;
+        let trailing = self.has_trailing_negation();
+        let match_type = self.match_type.expect("sequence mode");
+        let Self {
+            positives,
+            negations,
+            neg_buffers,
+            neg_state,
+            state,
+            stats,
+            ..
+        } = self;
+        let n = positives.len();
+        for i in (0..n).rev() {
+            if positives[i].type_id != event.type_id {
+                continue;
+            }
+            if i == 0 {
+                let cand = Candidate {
+                    prefix: &[],
+                    tail: event,
+                };
+                let passed = match step0 {
+                    Step0::Fail => false,
+                    Step0::Pass => true,
+                    Step0::Eval => positives[0]
+                        .step_predicates
+                        .iter()
+                        .all(|p| p.matches_in(&cand, &mut stats.eval_errors)),
+                };
+                if !passed {
+                    continue;
+                }
+                stats.partials_created += 1;
+                if n == 1 {
+                    let mut ctx = NegCtx {
+                        negations,
+                        neg_buffers,
+                        neg_state: neg_state.as_mut_slice(),
+                        stats: &mut *stats,
+                        positive_count: n,
+                    };
+                    match complete_candidate(cand, &mut ctx, trailing, within) {
+                        Verdict::Rejected => {}
+                        Verdict::Emit => {
+                            out.emit(assemble_match(match_type, cand));
+                            stats.matches += 1;
+                        }
+                        Verdict::Park { deadline } => {
+                            let r = state.alloc_single(event);
+                            state.pending.push(Pending { r, deadline });
+                        }
+                    }
+                } else {
+                    let r = state.alloc_single(event);
+                    state.levels[0].push(r);
+                }
+            } else {
+                // Take the shorter partials out to extend them without
+                // aliasing; sequences require strictly increasing times
+                // and a bounded total span.
+                let refs = std::mem::take(&mut state.levels[i - 1]);
+                for &pr in &refs {
+                    let prefix = state.store.events(pr);
+                    let last_t = prefix.last().expect("non-empty").time();
+                    if !(last_t < t && t.saturating_sub(prefix[0].time()) <= within) {
+                        continue;
+                    }
+                    let cand = Candidate {
+                        prefix,
+                        tail: event,
+                    };
+                    if !positives[i]
+                        .step_predicates
+                        .iter()
+                        .all(|p| p.matches_in(&cand, &mut stats.eval_errors))
+                    {
+                        continue;
+                    }
+                    stats.partials_created += 1;
+                    if i + 1 == n {
+                        let mut ctx = NegCtx {
+                            negations,
+                            neg_buffers,
+                            neg_state: neg_state.as_mut_slice(),
+                            stats: &mut *stats,
+                            positive_count: n,
+                        };
+                        match complete_candidate(cand, &mut ctx, trailing, within) {
+                            Verdict::Rejected => {}
+                            Verdict::Emit => {
+                                out.emit(assemble_match(match_type, cand));
+                                stats.matches += 1;
+                            }
+                            Verdict::Park { deadline } => {
+                                let r = state.alloc_extended(pr, event);
+                                state.pending.push(Pending { r, deadline });
+                            }
+                        }
+                    } else {
+                        let r = state.alloc_extended(pr, event);
+                        state.levels[i].push(r);
+                    }
+                }
+                state.levels[i - 1] = refs;
+            }
+        }
+    }
+
+    /// Feeds negation buffers with a matching event, rejecting pending
+    /// trailing-negation matches and pruning each touched buffer by the
+    /// `within` horizon.
+    fn feed_negations(&mut self, event: &Event) {
+        let t = event.time();
         for i in 0..self.negations.len() {
             if self.negations[i].type_id != event.type_id {
                 continue;
@@ -380,335 +1212,126 @@ impl PatternOp {
             let within = self.within;
             let buf = &mut self.neg_buffers[i];
             buf.push_back(event.clone());
-            // Prune by horizon.
+            // Prune by horizon; advancing the sequence base marks the
+            // evicted entries' index records stale.
             let mut evicted = 0;
             while buf.front().is_some_and(|e| e.time() + within < t) {
                 buf.pop_front();
                 evicted += 1;
             }
-            self.neg_evictions += evicted;
+            self.neg_state[i].base += evicted;
         }
-
-        if self.is_passthrough() {
-            if self.positives[0].type_id == event.type_id {
-                self.stats.matches += 1;
-                out.push(event.clone());
-            }
-            return;
-        }
-
-        // 2. Extend partial matches, longest prefix first so a new
-        //    partial is never re-extended by the event that created it.
-        for i in (0..self.positives.len()).rev() {
-            if self.positives[i].type_id != event.type_id {
-                continue;
-            }
-            if i == 0 {
-                let candidate = Partial {
-                    events: vec![event.clone()],
-                };
-                self.try_store(candidate, 0, out);
-            } else {
-                // Take the shorter partials out to extend them without
-                // aliasing; sequences require strictly increasing times
-                // and a bounded total span.
-                let prefixes = std::mem::take(&mut self.partials[i - 1]);
-                for p in &prefixes {
-                    let last_t = p.events.last().expect("non-empty").time();
-                    let first_t = p.events[0].time();
-                    if last_t < t && t.saturating_sub(first_t) <= self.within {
-                        let mut events = p.events.clone();
-                        events.push(event.clone());
-                        self.try_store(Partial { events }, i, out);
-                    }
-                }
-                self.partials[i - 1] = prefixes;
-            }
-        }
-    }
-
-    /// Applies step predicates; on success stores the partial or, if
-    /// complete, runs negation checks and emits.
-    fn try_store(&mut self, partial: Partial, position: usize, out: &mut Vec<Event>) {
-        let binding: Vec<&Event> = partial.events.iter().collect();
-        for pred in &self.positives[position].step_predicates {
-            if !pred.matches(&binding, &mut self.stats.eval_errors) {
-                return;
-            }
-        }
-        self.stats.partials_created += 1;
-        if position + 1 == self.positives.len() {
-            self.complete(partial, out);
-        } else {
-            self.partials[position].push(partial);
-        }
-    }
-
-    /// Runs non-trailing negation checks; emits or parks the full match.
-    fn complete(&mut self, partial: Partial, out: &mut Vec<Event>) {
-        for i in 0..self.negations.len() {
-            let position = self.negations[i].position;
-            if position == NegPosition::After {
-                continue;
-            }
-            let (lo, hi) = match position {
-                NegPosition::Before => (None, Some(partial.events[0].time())),
-                NegPosition::Between(k) => (
-                    Some(partial.events[k].time()),
-                    Some(partial.events[k + 1].time()),
-                ),
-                NegPosition::After => unreachable!(),
-            };
-            if self.violates(i, &partial.events, lo, hi) {
-                self.stats.negation_rejections += 1;
-                return;
-            }
-        }
-        if self.has_trailing_negation() {
-            let last_t = partial.events.last().expect("non-empty").time();
-            self.pending.push(PendingMatch {
-                events: partial.events,
-                deadline: last_t.saturating_add(self.within),
-            });
-        } else {
-            out.push(self.assemble(&partial.events));
-            self.stats.matches += 1;
-        }
-    }
-
-    /// Does any buffered negated event of check `i` fall strictly inside
-    /// `(lo, hi)` (`None` bounds are open) with all predicates holding?
-    fn violates(
-        &mut self,
-        check: usize,
-        positives: &[Event],
-        lo: Option<Time>,
-        hi: Option<Time>,
-    ) -> bool {
-        // Batched hot path: a leading negation of a single-positive
-        // pattern shares its scan bound `hi` (the event's own time)
-        // across a same-time run, so a hash index over the buffer
-        // amortizes — see `violates_indexed`.
-        if self.batch_hint >= NEG_INDEX_MIN_BATCH && lo.is_none() && self.positives.len() == 1 {
-            if let Some(h) = hi {
-                if let Some(hit) = self.violates_indexed(check, positives, h) {
-                    return hit;
-                }
-            }
-        }
-        let neg = &self.negations[check];
-        let buf = &self.neg_buffers[check];
-        let mut errors = 0;
-        let hit = buf.iter().any(|cand| {
-            let t = cand.time();
-            if lo.is_some_and(|l| t <= l) || hi.is_some_and(|h| t >= h) {
-                return false;
-            }
-            let mut binding: Vec<&Event> = positives.iter().collect();
-            binding.push(cand);
-            neg.predicates
-                .iter()
-                .all(|p| p.matches(&binding, &mut errors))
-        });
-        self.stats.eval_errors += errors;
-        hit
-    }
-
-    /// Index-accelerated [`violates`](Self::violates) for a leading
-    /// negation with open lower bound. Returns `None` (fall back to the
-    /// scan) when no predicate splits into an indexable equality or the
-    /// probe key does not evaluate to a hashable value.
-    ///
-    /// Exactness: the scan computes `∃ candidate: time-filter ∧ all
-    /// predicates`. Candidates outside the probe's bucket fail the key
-    /// equality, hence the conjunction — restricting the scan to the
-    /// bucket, the unkeyed overflow, and the un-indexed tail leaves the
-    /// result (and therefore matches, rejections, and outputs)
-    /// unchanged. Only `eval_errors` may count differently, since
-    /// predicates are evaluated on fewer candidates.
-    fn violates_indexed(&mut self, check: usize, positives: &[Event], hi: Time) -> Option<bool> {
-        let cand_slot = self.positives.len() as u8;
-        let key_pred = pick_index_pred(&self.negations[check].predicates, cand_slot)?;
-        let stale = match &self.neg_index {
-            Some(ix) => {
-                ix.check != check
-                    || ix.hi != hi
-                    || ix.evictions != self.neg_evictions
-                    || self.neg_buffers[check].len() - ix.covered > NEG_INDEX_MAX_TAIL
-            }
-            None => true,
-        };
-        if stale {
-            let (cand_side, _) =
-                split_equality(&self.negations[check].predicates[key_pred], cand_slot)
-                    .expect("pick_index_pred returned a splittable equality");
-            // The key side is almost always a bare attribute reference:
-            // read the column directly, skipping the per-candidate
-            // binding vector and value clone of the general evaluator.
-            let cand_attr = match cand_side {
-                CompiledExpr::Attr { slot, attr } if *slot == cand_slot => Some(*attr as usize),
-                _ => None,
-            };
-            let buf = &self.neg_buffers[check];
-            let mut buckets: HashMap<IndexKey, Vec<u32>> = HashMap::new();
-            let mut overflow: Vec<u32> = Vec::new();
-            for (i, cand) in buf.iter().enumerate() {
-                if cand.time() >= hi {
-                    // Excluded by the time filter as long as `hi` holds —
-                    // and a different `hi` rebuilds the index.
-                    continue;
-                }
-                let key = match cand_attr {
-                    Some(a) => cand.attrs.get(a).and_then(index_key),
-                    None => {
-                        let binding: Vec<&Event> = vec![cand; cand_slot as usize + 1];
-                        cand_side.eval(&binding).ok().as_ref().and_then(index_key)
-                    }
-                };
-                match key {
-                    Some(k) => buckets.entry(k).or_default().push(i as u32),
-                    None => overflow.push(i as u32),
-                }
-            }
-            self.neg_index = Some(Box::new(NegIndex {
-                check,
-                hi,
-                evictions: self.neg_evictions,
-                covered: buf.len(),
-                buckets,
-                overflow,
-            }));
-        }
-        let (_, probe_side) =
-            split_equality(&self.negations[check].predicates[key_pred], cand_slot)
-                .expect("pick_index_pred returned a splittable equality");
-        // Same direct read on the probe side: a bare attribute of a
-        // positive event needs neither a binding vector nor a clone.
-        let probe = match probe_side {
-            CompiledExpr::Attr { slot, attr } => index_key(
-                positives
-                    .get(*slot as usize)
-                    .and_then(|e| e.attrs.get(*attr as usize))?,
-            )?,
-            _ => {
-                let probe_binding: Vec<&Event> = positives.iter().collect();
-                index_key(&probe_side.eval(&probe_binding).ok()?)?
-            }
-        };
-        let ix = self.neg_index.as_ref().expect("built above");
-        let neg = &self.negations[check];
-        let buf = &self.neg_buffers[check];
-        let mut errors = 0u64;
-        let check_cand = |i: usize, errors: &mut u64| -> bool {
-            let cand = &buf[i];
-            if cand.time() >= hi {
-                return false;
-            }
-            let mut binding: Vec<&Event> = positives.iter().collect();
-            binding.push(cand);
-            neg.predicates.iter().all(|p| p.matches(&binding, errors))
-        };
-        let hit = ix
-            .buckets
-            .get(&probe)
-            .is_some_and(|b| b.iter().any(|&i| check_cand(i as usize, &mut errors)))
-            || ix
-                .overflow
-                .iter()
-                .any(|&i| check_cand(i as usize, &mut errors))
-            || (ix.covered..buf.len()).any(|i| check_cand(i, &mut errors));
-        self.stats.eval_errors += errors;
-        Some(hit)
     }
 
     /// Drops pending trailing-negation matches invalidated by `event`.
     fn reject_pending(&mut self, check: usize, event: &Event) {
-        let neg = self.negations[check].clone();
+        let Self {
+            negations,
+            state,
+            stats,
+            ..
+        } = self;
+        let MatchState { pending, store, .. } = state;
+        let neg = &negations[check];
         let t = event.time();
         let mut errors = 0;
-        let before = self.pending.len();
-        self.pending.retain(|pm| {
-            let last_t = pm.events.last().expect("non-empty").time();
+        let before = pending.len();
+        pending.retain(|pm| {
+            let events = store.events(pm.r);
+            let last_t = events.last().expect("non-empty").time();
             if t <= last_t || t > pm.deadline {
                 return true;
             }
-            let mut binding: Vec<&Event> = pm.events.iter().collect();
-            binding.push(event);
-            !neg.predicates
+            let binding = WithCand {
+                pos: Candidate::of(events),
+                cand: event,
+            };
+            let keep = !neg
+                .predicates
                 .iter()
-                .all(|p| p.matches(&binding, &mut errors))
+                .all(|p| p.matches_in(&binding, &mut errors));
+            if !keep {
+                store.free(pm.r);
+            }
+            keep
         });
-        self.stats.eval_errors += errors;
-        self.stats.negation_rejections += (before - self.pending.len()) as u64;
+        stats.eval_errors += errors;
+        stats.negation_rejections += (before - pending.len()) as u64;
     }
 
     /// Advances the watermark: emits matured trailing-negation matches
     /// and prunes partial matches older than the `within` horizon.
     pub fn advance_time(&mut self, watermark: Time, out: &mut Vec<Event>) {
         // Emit pending matches whose no-negation horizon fully passed.
-        let mut matured = Vec::new();
-        self.pending.retain(|pm| {
-            if pm.deadline < watermark {
-                matured.push(pm.events.clone());
-                false
-            } else {
-                true
-            }
-        });
-        for events in matured {
-            out.push(self.assemble(&events));
-            self.stats.matches += 1;
+        let match_type = self.match_type;
+        {
+            let MatchState { pending, store, .. } = &mut self.state;
+            let stats = &mut self.stats;
+            pending.retain(|pm| {
+                if pm.deadline < watermark {
+                    let mt = match_type.expect("pending only in sequence mode");
+                    out.push(assemble_match(mt, Candidate::of(store.events(pm.r))));
+                    stats.matches += 1;
+                    store.free(pm.r);
+                    false
+                } else {
+                    true
+                }
+            });
         }
         if self.within == Time::MAX {
             return;
         }
-        for level in &mut self.partials {
-            level.retain(|p| p.events[0].time() + self.within >= watermark);
+        let within = self.within;
+        {
+            let MatchState { levels, store, .. } = &mut self.state;
+            for level in levels.iter_mut() {
+                level.retain(|&r| {
+                    let keep = store.events(r)[0].time() + within >= watermark;
+                    if !keep {
+                        store.free(r);
+                    }
+                    keep
+                });
+            }
         }
-        let mut evicted = 0;
-        for buf in &mut self.neg_buffers {
-            while buf
-                .front()
-                .is_some_and(|e| e.time() + self.within < watermark)
-            {
+        self.ensure_neg_scratch();
+        let within = self.within;
+        for (i, buf) in self.neg_buffers.iter_mut().enumerate() {
+            let mut evicted = 0;
+            while buf.front().is_some_and(|e| e.time() + within < watermark) {
                 buf.pop_front();
                 evicted += 1;
             }
+            self.neg_state[i].base += evicted;
         }
-        self.neg_evictions += evicted;
-    }
-
-    /// Builds the combined match event (attribute values of all events in
-    /// the sequence; occurrence `[e1.time, en.time]`).
-    fn assemble(&self, events: &[Event]) -> Event {
-        let match_type = self.match_type.expect("assemble only in sequence mode");
-        let total: usize = events.iter().map(|e| e.attrs.len()).sum();
-        let mut attrs: Vec<Value> = Vec::with_capacity(total);
-        for e in events {
-            attrs.extend(e.attrs.iter().cloned());
-        }
-        Event::complex(
-            match_type,
-            Interval::new(events[0].time(), events.last().expect("non-empty").time()),
-            events[0].partition,
-            Arc::from(attrs),
-        )
     }
 
     /// Discards all partial state — the context window this pattern
     /// belongs to ended, so its context history can be "safely
     /// discarded" (§6.2).
     pub fn reset(&mut self) {
-        for level in &mut self.partials {
+        let MatchState {
+            levels,
+            pending,
+            store,
+        } = &mut self.state;
+        for level in levels.iter_mut() {
+            for &r in level.iter() {
+                store.free(r);
+            }
             level.clear();
         }
-        let mut evicted = 0;
-        for buf in &mut self.neg_buffers {
-            evicted += buf.len() as u64;
-            buf.clear();
+        for pm in pending.iter() {
+            store.free(pm.r);
         }
-        self.neg_evictions += evicted;
-        self.pending.clear();
+        pending.clear();
+        self.ensure_neg_scratch();
+        for (i, buf) in self.neg_buffers.iter_mut().enumerate() {
+            self.neg_state[i].base += buf.len() as u64;
+            buf.clear();
+            self.neg_state[i].index = None;
+        }
     }
 
     /// Expires partial matches whose first event is at or before `t` —
@@ -716,10 +1339,27 @@ impl PatternOp {
     /// windows continue (Figure 7: "when the third window begins, the
     /// partial results within the first window expire").
     pub fn expire_started_at_or_before(&mut self, t: Time) {
-        for level in &mut self.partials {
-            level.retain(|p| p.events[0].time() > t);
+        let MatchState {
+            levels,
+            pending,
+            store,
+        } = &mut self.state;
+        for level in levels.iter_mut() {
+            level.retain(|&r| {
+                let keep = store.events(r)[0].time() > t;
+                if !keep {
+                    store.free(r);
+                }
+                keep
+            });
         }
-        self.pending.retain(|p| p.events[0].time() > t);
+        pending.retain(|pm| {
+            let keep = store.events(pm.r)[0].time() > t;
+            if !keep {
+                store.free(pm.r);
+            }
+            keep
+        });
     }
 }
 
@@ -980,47 +1620,51 @@ mod tests {
         assert_eq!(out.len(), 1);
     }
 
-    /// The per-batch negation index must be invisible: same matches,
-    /// same rejection counters, across same-time runs, horizon
-    /// evictions (index invalidation), and state resets.
+    /// The persistent negation index must be invisible: `live` keeps
+    /// its incrementally maintained index (accumulating stale entries
+    /// across horizon evictions and resets); `fresh` is serde
+    /// round-tripped every step, which drops the transient index so the
+    /// next probe rebuilds it from the buffer alone. Outputs and every
+    /// counter except `eval_errors` must match exactly.
     #[test]
-    fn negation_index_matches_scan() {
+    fn negation_index_survives_evictions_and_restores() {
         let reg = registry();
-        let mut plain = leading_negation_pattern(&reg);
-        let mut indexed = leading_negation_pattern(&reg);
-        let mut out_plain = Vec::new();
-        let mut out_indexed = Vec::new();
+        let mut live = leading_negation_pattern(&reg);
+        let mut fresh = leading_negation_pattern(&reg);
+        let mut out_live = Vec::new();
+        let mut out_fresh = Vec::new();
         // Same-time runs of 8 cars, with per-car gaps so some reports
         // are "new" (no report 30s earlier) and some are not; long
-        // enough that the `within = 60` horizon evicts buffer entries.
+        // enough that the `within = 60` horizon evicts buffer entries
+        // and marks their index records stale.
         for step in 0..10u64 {
             let t = step * 30;
             let batch: Vec<Event> = (0..8)
                 .filter(|vid| (step + vid) % 3 != 0)
                 .map(|vid| pr(&reg, t, vid as i64))
                 .collect();
-            indexed.set_batch_hint(batch.len());
             for e in &batch {
-                plain.process(e, &mut out_plain);
-                indexed.process(e, &mut out_indexed);
+                live.process(e, &mut out_live);
+                fresh.process(e, &mut out_fresh);
             }
             if step == 6 {
-                plain.reset();
-                indexed.reset();
+                live.reset();
+                fresh.reset();
             }
+            fresh = serde::from_bytes(&serde::to_bytes(&fresh)).unwrap();
         }
-        assert!(!out_plain.is_empty());
-        assert_eq!(out_plain, out_indexed, "outputs must be byte-identical");
-        assert_eq!(plain.stats.matches, indexed.stats.matches);
+        assert!(!out_live.is_empty());
+        assert_eq!(out_live, out_fresh, "outputs must be byte-identical");
+        assert_eq!(live.stats.matches, fresh.stats.matches);
         assert_eq!(
-            plain.stats.negation_rejections,
-            indexed.stats.negation_rejections
+            live.stats.negation_rejections,
+            fresh.stats.negation_rejections
         );
-        assert_eq!(plain.stats.partials_created, indexed.stats.partials_created);
-        assert!(plain.stats.negation_rejections > 0, "scan path exercised");
+        assert_eq!(live.stats.partials_created, fresh.stats.partials_created);
+        assert!(live.stats.negation_rejections > 0, "rejections exercised");
         assert!(
-            indexed.neg_index.is_some(),
-            "index path exercised (batch of ≥{NEG_INDEX_MIN_BATCH})"
+            live.neg_state.iter().any(|st| st.index.is_some()),
+            "index path exercised"
         );
     }
 
@@ -1151,5 +1795,190 @@ mod tests {
         // A(1): sequences A1-B2-C3, A1-B2-C5, A1-B4-C5 → 3 matches.
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].attrs.len(), 3);
+    }
+
+    #[test]
+    fn pool_recycles_slots_and_stays_consistent() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 10);
+        let mut out = Vec::new();
+        for t in 0..5u64 {
+            p.process(&ev(&reg, "A", t, t as i64), &mut out);
+        }
+        assert_eq!(p.live_partials(), 5);
+        assert!(p.pool_consistent());
+        assert_eq!(p.pool_peak(), 5);
+        // All five partials fall out of the `within = 10` horizon.
+        p.advance_time(100, &mut out);
+        assert_eq!(p.live_partials(), 0);
+        assert!(p.pool_consistent());
+        // New partials must reuse the freed slots, not grow the pool.
+        for t in 100..103u64 {
+            p.process(&ev(&reg, "A", t, 0), &mut out);
+        }
+        assert_eq!(p.pool_reused(), 3, "freed slots are recycled");
+        assert_eq!(p.pool_peak(), 5, "reuse does not grow the pool");
+        assert!(p.pool_consistent());
+    }
+
+    /// The batched entry point must be invisible: same outputs (in the
+    /// same per-row order) and the same state-affecting counters as
+    /// feeding the run event-at-a-time, with and without vectorization.
+    #[test]
+    fn batch_path_matches_per_event_path() {
+        let reg = registry();
+        for vectorize in [false, true] {
+            let mut per_event = leading_negation_pattern(&reg);
+            let mut batched = leading_negation_pattern(&reg);
+            let mut out_per_event: Vec<Event> = Vec::new();
+            let mut out_batched: Vec<(u32, Event)> = Vec::new();
+            for step in 0..10u64 {
+                let t = step * 30;
+                let batch: Vec<Event> = (0..8)
+                    .filter(|vid| (step + vid) % 3 != 0)
+                    .map(|vid| pr(&reg, t, vid as i64))
+                    .collect();
+                for e in &batch {
+                    per_event.process(e, &mut out_per_event);
+                }
+                let mut cols = ColumnarBatch::new(&batch, vectorize);
+                let sel: Vec<u32> = (0..batch.len() as u32).collect();
+                batched.process_batch(&mut cols, &sel, &mut out_batched);
+            }
+            // Rows are processed in order and matches per row in
+            // generation order — flattening the tagged pairs must give
+            // the per-event output stream exactly.
+            let flattened: Vec<Event> = out_batched.iter().map(|(_, e)| e.clone()).collect();
+            assert_eq!(out_per_event, flattened);
+            assert_eq!(per_event.stats.matches, batched.stats.matches);
+            assert_eq!(
+                per_event.stats.negation_rejections,
+                batched.stats.negation_rejections
+            );
+            assert_eq!(
+                per_event.stats.partials_created,
+                batched.stats.partials_created
+            );
+            assert_eq!(
+                per_event.stats.events_processed,
+                batched.stats.events_processed
+            );
+            assert!(batched.pool_consistent());
+        }
+    }
+
+    /// The element-0 kernel pre-filter must admit exactly the rows the
+    /// interpreted step predicates admit.
+    #[test]
+    fn batch_step_kernels_match_interpreter() {
+        let reg = registry();
+        let tid_a = reg.lookup("A").unwrap();
+        let tid_b = reg.lookup("B").unwrap();
+        let build = || {
+            let layout = BindingLayout {
+                vars: vec![
+                    LayoutVar {
+                        name: "a".into(),
+                        type_id: tid_a,
+                        source: SlotSource::EventSlot(0),
+                    },
+                    LayoutVar {
+                        name: "b".into(),
+                        type_id: tid_b,
+                        source: SlotSource::EventSlot(1),
+                    },
+                ],
+            };
+            let p0 = CompiledExpr::compile(
+                &Expr::bin(BinOp::Gt, Expr::attr("a", "v"), Expr::int(5)),
+                &layout,
+                &reg,
+            )
+            .unwrap();
+            let p1 = CompiledExpr::compile(
+                &Expr::bin(BinOp::Eq, Expr::attr("a", "v"), Expr::attr("b", "v")),
+                &layout,
+                &reg,
+            )
+            .unwrap();
+            PatternOp::sequence(
+                vec![
+                    PositiveElement {
+                        type_id: tid_a,
+                        step_predicates: vec![p0],
+                    },
+                    PositiveElement {
+                        type_id: tid_b,
+                        step_predicates: vec![p1],
+                    },
+                ],
+                vec![],
+                100,
+                reg.lookup("M").unwrap(),
+                vec![0, 1],
+            )
+        };
+        let mut interp = build();
+        let mut vector = build();
+        let mut out_interp: Vec<(u32, Event)> = Vec::new();
+        let mut out_vector: Vec<(u32, Event)> = Vec::new();
+        for step in 0..6u64 {
+            // A run of As at t, then a run of Bs at t+1, with values
+            // straddling the `a.v > 5` threshold and the join equality.
+            for (ty, dt) in [("A", 0u64), ("B", 1u64)] {
+                let t = step * 10 + dt;
+                let batch: Vec<Event> = (0..6)
+                    .map(|k| ev(&reg, ty, t, k + (step % 3) as i64 + 3))
+                    .collect();
+                let sel: Vec<u32> = (0..batch.len() as u32).collect();
+                let mut cols_i = ColumnarBatch::new(&batch, false);
+                interp.process_batch(&mut cols_i, &sel, &mut out_interp);
+                let mut cols_v = ColumnarBatch::new(&batch, true);
+                vector.process_batch(&mut cols_v, &sel, &mut out_vector);
+            }
+        }
+        assert!(!out_interp.is_empty());
+        assert_eq!(out_interp, out_vector);
+        assert_eq!(interp.stats.matches, vector.stats.matches);
+        assert_eq!(interp.stats.partials_created, vector.stats.partials_created);
+        assert!(
+            vector.step_kernels.is_some(),
+            "vectorized pre-filter exercised"
+        );
+        assert!(vector.pool_consistent());
+    }
+
+    /// Snapshots must be independent of pool layout: a fragmented slab
+    /// (holes, bumped generations) serializes to the same bytes as its
+    /// densely re-pooled round-trip, and the restored operator behaves
+    /// identically.
+    #[test]
+    fn pooled_state_snapshot_is_layout_independent() {
+        let reg = registry();
+        let mut p = seq_ab(&reg, 50);
+        let mut out = Vec::new();
+        for t in 0..6u64 {
+            p.process(&ev(&reg, "A", t, t as i64), &mut out);
+        }
+        // Expire the three oldest → holes in the slab.
+        p.expire_started_at_or_before(2);
+        // Refill one hole → recycled slot with bumped generation.
+        p.process(&ev(&reg, "A", 10, 99), &mut out);
+        assert!(p.pool_reused() > 0, "slab is fragmented and recycled");
+        let bytes = serde::to_bytes(&p);
+        let mut restored: PatternOp = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            serde::to_bytes(&restored),
+            bytes,
+            "pool layout must be invisible on the wire"
+        );
+        assert!(restored.pool_consistent());
+        assert_eq!(restored.live_partials(), p.live_partials());
+        let mut out_orig = Vec::new();
+        let mut out_restored = Vec::new();
+        p.process(&ev(&reg, "B", 11, 99), &mut out_orig);
+        restored.process(&ev(&reg, "B", 11, 99), &mut out_restored);
+        assert_eq!(out_orig, out_restored);
+        assert!(!out_orig.is_empty(), "recycled partial completes");
     }
 }

@@ -8,10 +8,10 @@
 //! Since event queries in different contexts are independent, all event
 //! queries in a combined query plan belong to the same context."
 
-use crate::context_table::ContextTable;
+use crate::context_table::{ContextTable, Transition};
 use crate::ops::{
-    advance_chain_time, chain_is_stage_major, run_chain, run_chain_batch, run_chain_batch_selected,
-    run_chain_from, ChainOutput, Op,
+    advance_chain_time, run_chain, run_chain_batch, run_chain_batch_items, ChainOutput,
+    ChainScratch, Op,
 };
 use caesar_events::{ColumnarBatch, Event, Time, TypeId};
 use caesar_query::ast::QueryId;
@@ -64,15 +64,21 @@ impl QueryPlan {
         cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
         out: &mut PlanOutput,
+        scratch: &mut ChainScratch,
     ) {
-        let mut sel: Vec<u32> = cols
-            .events()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| self.consumes(e.type_id))
-            .map(|(i, _)| i as u32)
-            .collect();
-        run_chain_batch(&mut self.ops, cols, &mut sel, table, out);
+        // The selection buffer lives in the scratch too; it is taken out
+        // so the chain may borrow the rest.
+        let mut sel = std::mem::take(&mut scratch.sel);
+        sel.clear();
+        sel.extend(
+            cols.events()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| self.consumes(e.type_id))
+                .map(|(i, _)| i as u32),
+        );
+        run_chain_batch(&mut self.ops, cols, &mut sel, table, out, scratch);
+        scratch.sel = sel;
     }
 
     /// Advances the watermark on stateful operators.
@@ -156,6 +162,16 @@ impl QueryPlan {
             })
             .sum()
     }
+
+    /// Partial-pool efficacy over the plan's stateful operators:
+    /// `(slots reused from the free list, peak live partials)`.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, usize) {
+        self.ops.iter().fold((0, 0), |(r, p), op| match op {
+            Op::Pattern(pat) => (r + pat.pool_reused(), p + pat.pool_peak()),
+            _ => (r, p),
+        })
+    }
 }
 
 /// The combined query plan of one context: individual plans wired so
@@ -171,6 +187,35 @@ pub struct CombinedPlan {
     /// Types consumed from the *external* input stream (not produced by
     /// a member plan).
     pub external_inputs: Vec<TypeId>,
+    /// Reusable execution buffers (always empty between calls; not part
+    /// of the plan's persistent state).
+    #[serde(skip)]
+    scratch: CombinedScratch,
+}
+
+/// Reusable per-transaction buffers of a [`CombinedPlan`]. Every buffer
+/// is empty between calls, so skipping it on snapshots (and cloning it
+/// along with the plan) is free and harmless.
+#[derive(Debug, Clone, Default)]
+struct CombinedScratch {
+    /// Shared chain-traversal buffers.
+    chain: ChainScratch,
+    /// Distinct externally consumed types of the transaction.
+    types: Vec<TypeId>,
+    /// Per-member selection vector of the plan-major pass.
+    sel: Vec<u32>,
+    /// Per-member row-tagged outputs of the plan-major pass.
+    plan_outs: Vec<Vec<(u32, Event)>>,
+    /// Per-member row-tagged transitions of the plan-major pass.
+    plan_trans: Vec<Vec<(u32, Transition)>>,
+    /// Per-member cursors into `plan_outs` during the per-row merge.
+    cursors: Vec<usize>,
+    /// Per-member cursors into `plan_trans`.
+    tcursors: Vec<usize>,
+    /// Worklist of derived events cascading to downstream members.
+    work: Vec<(usize, Event)>,
+    /// Sink for member-plan cascade processing.
+    inner: ChainOutput,
 }
 
 impl CombinedPlan {
@@ -190,6 +235,7 @@ impl CombinedPlan {
             context_bit,
             plans,
             external_inputs: external,
+            scratch: CombinedScratch::default(),
         }
     }
 
@@ -230,10 +276,13 @@ impl CombinedPlan {
     /// presented as a [`ColumnarBatch`] over the transaction — through
     /// the combined plan. Equivalent to calling [`process`] once per
     /// consumed event in slice order — member plans see the exact same
-    /// event sequence — but the worklist and scratch buffers are
-    /// allocated once per run instead of once per (event × plan) step,
-    /// and stage-major member plans run vectorized over selection
-    /// vectors.
+    /// event sequence and `out` receives the exact same outputs — but
+    /// executed *plan-major* where legal: each member plan consumes the
+    /// whole run batch-at-a-time (vectorized kernels, pooled pattern
+    /// state, one context-window probe per run), and the per-plan
+    /// outputs are merged back into per-event order by their input-row
+    /// tags. All buffers come from the plan's scratch, so the steady
+    /// state allocates nothing.
     ///
     /// [`process`]: CombinedPlan::process
     pub fn process_batch(
@@ -242,143 +291,219 @@ impl CombinedPlan {
         table: &ContextTable,
         out: &mut PlanOutput,
     ) {
-        if self.process_batch_stage_major(cols, table, out) {
-            return;
-        }
-        let events = cols.events();
-        let mut work: Vec<(usize, Event)> = Vec::new();
-        let mut scratch = PlanOutput::default();
-        let mut chain_work: Vec<(usize, Event)> = Vec::new();
-        let mut chain_scratch: Vec<Event> = Vec::new();
-        for plan in &mut self.plans {
-            for op in &mut plan.ops {
-                if let Op::Pattern(p) = op {
-                    p.set_batch_hint(events.len());
-                }
-            }
-        }
-        for event in events {
-            if !self.consumes_external(event.type_id) {
-                continue;
-            }
-            work.push((0, event.clone()));
-            while let Some((start, ev)) = work.pop() {
-                for idx in start..self.plans.len() {
-                    if !self.plans[idx].consumes(ev.type_id) {
-                        continue;
-                    }
-                    scratch.clear();
-                    run_chain_from(
-                        &mut self.plans[idx].ops,
-                        0,
-                        ev.clone(),
-                        table,
-                        &mut scratch,
-                        &mut chain_work,
-                        &mut chain_scratch,
-                    );
-                    out.transitions.append(&mut scratch.transitions);
-                    for derived in scratch.events.drain(..) {
-                        out.events.push(derived.clone());
-                        work.push((idx + 1, derived));
-                    }
-                }
-            }
-        }
-    }
-
-    /// The batched hot path: when every member plan consuming this
-    /// transaction has a stage-major chain (optional bottom context
-    /// window, then only filters / projections / windows / pass-through
-    /// patterns) and none of their outputs feeds another member plan,
-    /// each consumer runs stage-major over the whole event slice.
-    ///
-    /// A stage-major chain maps one input to at most one output, so the
-    /// selection vector's row indices key every output by
-    /// `(input position, member plan position)` — sorting the per-plan
-    /// output runs by that pair restores the exact event-major order of
-    /// the per-event path. Such chains emit no transitions and share no
-    /// state, so plan-major execution is otherwise unobservable.
-    ///
-    /// Returns `false` (leaving `self` and `out` untouched) when the
-    /// transaction does not qualify and must take the per-event path.
-    fn process_batch_stage_major(
-        &mut self,
-        cols: &mut ColumnarBatch<'_>,
-        table: &ContextTable,
-        out: &mut PlanOutput,
-    ) -> bool {
-        let events = cols.events();
-        // Distinct consumed types of the transaction (almost always 1).
-        let mut types: Vec<TypeId> = Vec::new();
-        for e in events {
+        // Distinct externally consumed types of the transaction (almost
+        // always exactly 1).
+        let mut types = std::mem::take(&mut self.scratch.types);
+        types.clear();
+        for e in cols.events() {
             if self.consumes_external(e.type_id) && !types.contains(&e.type_id) {
                 types.push(e.type_id);
             }
         }
-        let mut consuming: Vec<usize> = Vec::new();
-        for (idx, plan) in self.plans.iter().enumerate() {
-            if !types.iter().any(|&t| plan.consumes(t)) {
-                continue;
-            }
-            if !chain_is_stage_major(&plan.ops) {
-                return false;
-            }
-            if let Some(out_ty) = plan.output_type {
-                if self.plans.iter().any(|p| p.consumes(out_ty)) {
-                    return false;
-                }
-            }
-            consuming.push(idx);
+        if types.is_empty() {
+            self.scratch.types = types;
+            return;
         }
-        let mut sel: Vec<u32> = Vec::new();
-        let mut items: Vec<(u32, Event)> = Vec::new();
-        let mut merged: Vec<(u32, u32, Event)> = Vec::new();
-        for (pos, &idx) in consuming.iter().enumerate() {
-            let plan = &mut self.plans[idx];
-            // `types` membership also re-applies the external-input
-            // filter of the per-event path.
-            sel.clear();
-            sel.extend(
+        if self.plan_major_applies(&types) {
+            self.process_batch_plan_major(cols, &types, table, out);
+        } else {
+            self.process_batch_event_major(cols, &types, table, out);
+        }
+        self.scratch.types = types;
+    }
+
+    /// Plan-major execution runs each member plan over the *whole* run
+    /// before any member-produced event is offered downstream. That is
+    /// unobservable unless some member consumes both a type present in
+    /// this transaction's external input *and* a type produced by a
+    /// member plan — such a plan would see its two input streams in a
+    /// different interleaving than the per-event path (stateful patterns
+    /// and negation buffers observe input order). Those transactions
+    /// take the event-major path instead.
+    fn plan_major_applies(&self, types: &[TypeId]) -> bool {
+        self.plans.iter().all(|plan| {
+            !types.iter().any(|&t| plan.consumes(t))
+                || !self
+                    .plans
+                    .iter()
+                    .filter_map(|p| p.output_type)
+                    .any(|t| plan.consumes(t))
+        })
+    }
+
+    /// The batched hot path: each member plan consumes its selection of
+    /// the run batch-at-a-time into row-tagged sinks; the merge then
+    /// walks the input rows with one cursor per member, replaying the
+    /// per-event emission order exactly — for each row, member plans in
+    /// topological order, then the LIFO cascade of derived events
+    /// through downstream members (see [`process`]). The per-plan sinks
+    /// are already row-ordered (selections ascend), so the merge is a
+    /// linear cursor walk with no sort.
+    ///
+    /// [`process`]: CombinedPlan::process
+    fn process_batch_plan_major(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        types: &[TypeId],
+        table: &ContextTable,
+        out: &mut PlanOutput,
+    ) {
+        let Self { plans, scratch, .. } = self;
+        let n = plans.len();
+        scratch.plan_outs.resize_with(n, Vec::new);
+        scratch.plan_trans.resize_with(n, Vec::new);
+        let events = cols.events();
+        for (idx, plan) in plans.iter_mut().enumerate() {
+            let outs = &mut scratch.plan_outs[idx];
+            let trans = &mut scratch.plan_trans[idx];
+            outs.clear();
+            trans.clear();
+            scratch.sel.clear();
+            scratch.sel.extend(
                 events
                     .iter()
                     .enumerate()
                     .filter(|(_, e)| types.contains(&e.type_id) && plan.consumes(e.type_id))
                     .map(|(i, _)| i as u32),
             );
-            items.clear();
-            run_chain_batch_selected(&mut plan.ops, cols, &mut sel, table, &mut items);
-            merged.extend(items.drain(..).map(|(i, e)| (i, pos as u32, e)));
+            run_chain_batch_items(
+                &mut plan.ops,
+                cols,
+                &mut scratch.sel,
+                table,
+                &mut scratch.chain,
+                outs,
+                trans,
+            );
         }
-        merged.sort_unstable_by_key(|t| (t.0, t.1));
-        out.events.extend(merged.into_iter().map(|(_, _, e)| e));
-        true
+        scratch.cursors.clear();
+        scratch.cursors.resize(n, 0);
+        scratch.tcursors.clear();
+        scratch.tcursors.resize(n, 0);
+        debug_assert!(scratch.work.is_empty());
+        for (row_idx, e) in events.iter().enumerate() {
+            if !types.contains(&e.type_id) {
+                continue;
+            }
+            let row = row_idx as u32;
+            for idx in 0..n {
+                while let Some((r, ev)) = scratch.plan_outs[idx].get(scratch.cursors[idx]) {
+                    if *r != row {
+                        break;
+                    }
+                    out.events.push(ev.clone());
+                    scratch.work.push((idx + 1, ev.clone()));
+                    scratch.cursors[idx] += 1;
+                }
+                while let Some((r, t)) = scratch.plan_trans[idx].get(scratch.tcursors[idx]) {
+                    if *r != row {
+                        break;
+                    }
+                    out.transitions.push(*t);
+                    scratch.tcursors[idx] += 1;
+                }
+            }
+            // Cascade this row's derived events to downstream members —
+            // the qualifier guarantees no member consuming them also
+            // consumed the external run, so their state still sees
+            // inputs in per-event order.
+            while let Some((start, ev)) = scratch.work.pop() {
+                for (j, plan) in plans.iter_mut().enumerate().skip(start) {
+                    if !plan.consumes(ev.type_id) {
+                        continue;
+                    }
+                    scratch.inner.clear();
+                    scratch
+                        .chain
+                        .run_one(&mut plan.ops, 0, ev.clone(), table, &mut scratch.inner);
+                    out.transitions.append(&mut scratch.inner.transitions);
+                    for d in scratch.inner.events.drain(..) {
+                        out.events.push(d.clone());
+                        scratch.work.push((j + 1, d));
+                    }
+                }
+            }
+        }
+        // Cursor walks must have drained every sink: each output's row
+        // tag is a selected row of `types`-membership, all visited.
+        debug_assert!((0..n).all(|i| scratch.cursors[i] == scratch.plan_outs[i].len()));
+        debug_assert!((0..n).all(|i| scratch.tcursors[i] == scratch.plan_trans[i].len()));
+    }
+
+    /// Event-major fallback for the (rare) transactions where plan-major
+    /// reordering would be observable — identical traversal to
+    /// [`process`] per event, but reusing the plan's scratch buffers.
+    ///
+    /// [`process`]: CombinedPlan::process
+    fn process_batch_event_major(
+        &mut self,
+        cols: &mut ColumnarBatch<'_>,
+        types: &[TypeId],
+        table: &ContextTable,
+        out: &mut PlanOutput,
+    ) {
+        let Self { plans, scratch, .. } = self;
+        let events = cols.events();
+        debug_assert!(scratch.work.is_empty());
+        for event in events {
+            if !types.contains(&event.type_id) {
+                continue;
+            }
+            scratch.work.push((0, event.clone()));
+            while let Some((start, ev)) = scratch.work.pop() {
+                for (idx, plan) in plans.iter_mut().enumerate().skip(start) {
+                    if !plan.consumes(ev.type_id) {
+                        continue;
+                    }
+                    scratch.inner.clear();
+                    scratch
+                        .chain
+                        .run_one(&mut plan.ops, 0, ev.clone(), table, &mut scratch.inner);
+                    out.transitions.append(&mut scratch.inner.transitions);
+                    for derived in scratch.inner.events.drain(..) {
+                        out.events.push(derived.clone());
+                        scratch.work.push((idx + 1, derived));
+                    }
+                }
+            }
+        }
     }
 
     /// Advances the watermark on all member plans, feeding any matured
     /// matches to downstream consumers.
     pub fn advance_time(&mut self, watermark: Time, table: &ContextTable, out: &mut PlanOutput) {
-        let mut scratch = PlanOutput::default();
-        for idx in 0..self.plans.len() {
-            scratch.clear();
-            self.plans[idx].advance_time(watermark, table, &mut scratch);
-            out.transitions.append(&mut scratch.transitions);
-            let matured: Vec<Event> = scratch.events.drain(..).collect();
-            for derived in matured {
+        let Self { plans, scratch, .. } = self;
+        let mut matured = PlanOutput::default();
+        for idx in 0..plans.len() {
+            if !plans[idx].needs_advance() {
+                continue;
+            }
+            matured.clear();
+            plans[idx].advance_time(watermark, table, &mut matured);
+            out.transitions.append(&mut matured.transitions);
+            // Feed matured matches to downstream members, one full
+            // cascade per match (the per-event order).
+            for derived in matured.events.drain(..) {
                 out.events.push(derived.clone());
-                // Feed downstream members.
-                let mut work: Vec<(usize, Event)> = vec![(idx + 1, derived)];
-                while let Some((start, ev)) = work.pop() {
-                    for j in start..self.plans.len() {
-                        if !self.plans[j].consumes(ev.type_id) {
+                debug_assert!(scratch.work.is_empty());
+                scratch.work.push((idx + 1, derived));
+                while let Some((start, ev)) = scratch.work.pop() {
+                    for (j, plan) in plans.iter_mut().enumerate().skip(start) {
+                        if !plan.consumes(ev.type_id) {
                             continue;
                         }
-                        let mut inner = PlanOutput::default();
-                        self.plans[j].process(&ev, table, &mut inner);
-                        out.transitions.append(&mut inner.transitions);
-                        for d in inner.events.drain(..) {
+                        scratch.inner.clear();
+                        scratch.chain.run_one(
+                            &mut plan.ops,
+                            0,
+                            ev.clone(),
+                            table,
+                            &mut scratch.inner,
+                        );
+                        out.transitions.append(&mut scratch.inner.transitions);
+                        for d in scratch.inner.events.drain(..) {
                             out.events.push(d.clone());
-                            work.push((j + 1, d));
+                            scratch.work.push((j + 1, d));
                         }
                     }
                 }
@@ -567,7 +692,7 @@ mod tests {
         let events = vec![in_event(&reg, 5, 1), mid, in_event(&reg, 5, 2)];
         let mut out = PlanOutput::default();
         let mut cols = ColumnarBatch::new(&events, true);
-        plan.process_batch(&mut cols, &table, &mut out);
+        plan.process_batch(&mut cols, &table, &mut out, &mut ChainScratch::default());
         assert_eq!(out.events.len(), 2);
         assert_eq!(out.events[0].attrs[0], Value::Int(1));
         assert_eq!(out.events[1].attrs[0], Value::Int(2));

@@ -1,0 +1,267 @@
+//! Post-filter hot-path throughput: this tree vs a baseline binary.
+//!
+//! The allocation-discipline experiment: the same seeded Linear Road
+//! streams are pushed through the default engine configuration of two
+//! *binaries* — the current tree and a baseline checkout built at an
+//! earlier commit — and wall-clock throughput is compared. Because the
+//! two sides are separate executables, the comparison harness runs them
+//! as subprocesses in back-to-back pairs, alternating which binary goes
+//! first inside each pair, and reports the median per-pair ratio (the
+//! same methodology as the `batching` bench: a load burst on a shared
+//! host hits both runs of a pair roughly alike, and alternating the
+//! order cancels first-slot/second-slot drift).
+//!
+//! ```text
+//! # single timed run, machine-readable (used by the harness):
+//! cargo run --release -p caesar-bench --bin hotpath -- run dense
+//!
+//! # paired comparison against a baseline build of this same binary:
+//! git worktree add .baseline <baseline-sha>
+//! cp crates/bench/src/bin/hotpath.rs .baseline/crates/bench/src/bin/
+//! (cd .baseline && cargo build --release -p caesar-bench --bin hotpath)
+//! cargo run --release -p caesar-bench --bin hotpath -- \
+//!     compare .baseline/target/release/hotpath
+//!
+//! # no arguments: in-process measurement of the current tree only
+//! # (what CI runs — no baseline checkout there):
+//! cargo run --release -p caesar-bench --bin hotpath
+//! ```
+//!
+//! Results are written to `BENCH_hotpath.json` in the current
+//! directory; EXPERIMENTS.md records a committed comparison run.
+
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_linear_road::{build_lr_system, LinearRoadConfig, TrafficSim};
+use std::process::Command;
+use std::time::Instant;
+
+/// The two stream densities of the batching experiment, reused so
+/// hot-path numbers compare across benches: `dense` packs hundreds of
+/// cars into two segments (~10-event same-(partition, time) runs, the
+/// regime the batch path targets); `sparse` is the correctness-test
+/// density where almost every transaction is a single event.
+fn workload(name: &str) -> Vec<Event> {
+    let (roads, segments, duration, base, peak) = match name {
+        "dense" => (1, 2, 900, 300.0, 500.0),
+        "sparse" => (1, 6, 28800, 2.0, 5.0),
+        other => panic!("unknown workload {other:?} (expected dense|sparse)"),
+    };
+    let mut sim = TrafficSim::new(LinearRoadConfig {
+        roads,
+        segments_per_road: segments,
+        duration,
+        seed: 11,
+        base_cars: base,
+        peak_cars: peak,
+        ..Default::default()
+    });
+    sim.generate()
+}
+
+/// Pairs per workload in comparison mode (dense runs are long, sparse
+/// runs are short and noisy, so the sparse row takes more pairs).
+fn pairs_for(name: &str) -> usize {
+    if name == "dense" {
+        6
+    } else {
+        16
+    }
+}
+
+const WORKLOADS: [&str; 2] = ["dense", "sparse"];
+
+/// One timed run of the default engine configuration. Returns
+/// `(events, elapsed seconds)`.
+fn timed_run(events: &[Event]) -> (u64, f64) {
+    let mut system = build_lr_system(
+        1,
+        OptimizerConfig::default(),
+        EngineConfig::builder()
+            .batch(BatchPolicy::default())
+            .build(),
+    );
+    let start = Instant::now();
+    let report = system
+        .run_stream(&mut VecStream::new(events.to_vec()))
+        .expect("in order");
+    (report.events_in, start.elapsed().as_secs_f64())
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_unstable_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+/// Spawns `bin run <workload>` and parses its `RESULT <events> <secs>`
+/// line. Events-per-second of that run.
+fn subprocess_run(bin: &str, wl: &str) -> f64 {
+    let out = Command::new(bin)
+        .args(["run", wl])
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} run {wl} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let fields: Vec<&str> = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .unwrap_or_else(|| panic!("no RESULT line from {bin}:\n{stdout}"))
+        .split_whitespace()
+        .collect();
+    let events: f64 = fields[0].parse().expect("RESULT events");
+    let secs: f64 = fields[1].parse().expect("RESULT secs");
+    events / secs
+}
+
+struct Row {
+    label: String,
+    events: u64,
+    baseline_evs: f64,
+    current_evs: f64,
+    speedup: f64,
+}
+
+/// Paired comparison on one workload: after one untimed warmup pair,
+/// `pairs` repetition pairs run back-to-back, alternating which binary
+/// goes first. Reported speedup is the median per-pair ratio; the
+/// throughput columns are per-binary median runs.
+fn compare_workload(current: &str, baseline: &str, wl: &str, pairs: usize) -> Row {
+    let events = workload(wl).len() as u64;
+    subprocess_run(baseline, wl);
+    subprocess_run(current, wl);
+    let (mut base_evs, mut cur_evs, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for pair in 0..pairs {
+        let (b, c) = if pair % 2 == 0 {
+            let b = subprocess_run(baseline, wl);
+            (b, subprocess_run(current, wl))
+        } else {
+            let c = subprocess_run(current, wl);
+            (subprocess_run(baseline, wl), c)
+        };
+        base_evs.push(b);
+        cur_evs.push(c);
+        ratios.push(c / b);
+    }
+    Row {
+        label: format!("linear-road/{wl}"),
+        events,
+        baseline_evs: median(&mut base_evs),
+        current_evs: median(&mut cur_evs),
+        speedup: median(&mut ratios),
+    }
+}
+
+fn write_json(mode: &str, rows: &[Row]) {
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"events\": {}, \"baseline_events_per_sec\": {:.1}, \
+                 \"current_events_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                r.label, r.events, r.baseline_evs, r.current_evs, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"benchmark\": \"post-filter hot path, Linear Road ({mode})\",\n\
+         \"unit\": \"events per second of wall time; median run of interleaved \
+         back-to-back pairs, speedup = median per-pair ratio\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote BENCH_hotpath.json");
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    print_table(
+        title,
+        &[
+            "workload",
+            "events",
+            "baseline ev/s",
+            "current ev/s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.events.to_string(),
+                    format!("{:.0}", r.baseline_evs),
+                    format!("{:.0}", r.current_evs),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        // Harness entry point: one timed run, machine-readable.
+        Some("run") => {
+            let wl = args.get(2).expect("usage: hotpath run <dense|sparse>");
+            let (events, secs) = timed_run(&workload(wl));
+            println!("RESULT {events} {secs:.6}");
+        }
+        // Paired-median comparison against a baseline binary.
+        Some("compare") => {
+            let baseline = args
+                .get(2)
+                .expect("usage: hotpath compare <baseline-binary> [current-binary]");
+            let current = args.get(3).cloned().unwrap_or_else(|| {
+                std::env::current_exe()
+                    .expect("current exe")
+                    .to_string_lossy()
+                    .into_owned()
+            });
+            let rows: Vec<Row> = WORKLOADS
+                .iter()
+                .map(|wl| compare_workload(&current, baseline, wl, pairs_for(wl)))
+                .collect();
+            print_rows(
+                "Hot-path throughput vs baseline binary (median of interleaved pairs)",
+                &rows,
+            );
+            write_json("current vs baseline binary", &rows);
+        }
+        Some(other) => panic!("unknown subcommand {other:?} (expected run|compare)"),
+        // No baseline available (CI): measure the current tree only,
+        // median of 5 in-process runs per workload.
+        None => {
+            let rows: Vec<Row> = WORKLOADS
+                .iter()
+                .map(|wl| {
+                    let events = workload(wl);
+                    timed_run(&events);
+                    let mut evs: Vec<f64> = (0..5)
+                        .map(|_| {
+                            let (n, s) = timed_run(&events);
+                            n as f64 / s
+                        })
+                        .collect();
+                    let current = median(&mut evs);
+                    Row {
+                        label: format!("linear-road/{wl}"),
+                        events: events.len() as u64,
+                        baseline_evs: current,
+                        current_evs: current,
+                        speedup: 1.0,
+                    }
+                })
+                .collect();
+            print_rows(
+                "Hot-path throughput, current tree only (median of 5)",
+                &rows,
+            );
+            write_json("current tree only", &rows);
+        }
+    }
+}

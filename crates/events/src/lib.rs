@@ -49,7 +49,7 @@ pub use event::{Event, EventBuilder, PartitionId};
 pub use queue::{EventQueue, PartitionedQueues};
 pub use record::OutputRecord;
 pub use reorder::{max_lateness, ReorderBuffer};
-pub use schema::{AttrId, AttrType, Schema, SchemaRegistry, TypeId};
+pub use schema::{AttrId, AttrType, Schema, SchemaRegistry, Symbol, SymbolTable, TypeId};
 pub use stream::{EventBatch, EventStream, MergedStream, VecStream};
 pub use time::{Interval, Time, WindowSpan, TIME_MAX};
 pub use value::Value;

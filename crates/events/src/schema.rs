@@ -42,6 +42,103 @@ impl AttrId {
     }
 }
 
+/// Interned string id (see [`SymbolTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index into symbol-ordered arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A `u32` string-interning table.
+///
+/// Type and attribute names already resolve to dense [`TypeId`]s /
+/// [`AttrId`]s at translation time; the symbol table closes the
+/// remaining gap: every string the hot path touches — names *and*
+/// recurring string constants such as lane labels — maps to a `u32`
+/// [`Symbol`] backed by one canonical `Arc<str>`. Handing out the
+/// canonical `Arc` (see [`canonical`](Self::canonical)) means repeated
+/// values share one allocation and string equality short-circuits on
+/// pointer identity instead of hashing or walking bytes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    strings: Vec<Arc<str>>,
+    #[serde(skip)]
+    by_str: HashMap<Arc<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string, returning its (stable) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.by_str.get(s) {
+            return Symbol(id);
+        }
+        let id = self.strings.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        self.by_str.insert(arc.clone(), id);
+        self.strings.push(arc);
+        Symbol(id)
+    }
+
+    /// Looks up an already-interned string.
+    #[must_use]
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.by_str.get(s).copied().map(Symbol)
+    }
+
+    /// The canonical string of a symbol.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &Arc<str> {
+        &self.strings[sym.index()]
+    }
+
+    /// Interns `s` and returns the canonical `Arc` — every caller gets
+    /// the *same* allocation, so downstream equality checks hit the
+    /// pointer-identity fast path.
+    pub fn canonical(&mut self, s: &str) -> Arc<str> {
+        let sym = self.intern(s);
+        self.strings[sym.index()].clone()
+    }
+
+    /// Number of interned symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing is interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Rebuilds the lookup index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_str = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+    }
+}
+
 /// Declared domain of an attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AttrType {
@@ -118,6 +215,14 @@ pub struct SchemaRegistry {
     types: Vec<Schema>,
     #[serde(skip)]
     by_name: HashMap<Arc<str>, TypeId>,
+    /// Symbol table over every type and attribute name (plus whatever
+    /// string constants callers intern); rebuilt alongside `by_name`
+    /// after deserialization.
+    #[serde(skip)]
+    symbols: SymbolTable,
+    /// Per-type name symbol, indexed by [`TypeId`].
+    #[serde(skip)]
+    type_symbols: Vec<Symbol>,
 }
 
 impl SchemaRegistry {
@@ -138,6 +243,10 @@ impl SchemaRegistry {
         }
         let id = TypeId(self.types.len() as u32);
         self.by_name.insert(schema.name.clone(), id);
+        self.type_symbols.push(self.symbols.intern(&schema.name));
+        for attr in &schema.attrs {
+            self.symbols.intern(&attr.name);
+        }
         self.types.push(schema);
         Ok(id)
     }
@@ -182,13 +291,44 @@ impl SchemaRegistry {
             .map(|(i, s)| (TypeId(i as u32), s))
     }
 
-    /// Rebuilds the name index after deserialization (serde skips it).
+    /// The registry's symbol table.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access for interning further strings (e.g. predicate
+    /// constants) into the shared table.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// The interned symbol of a registered type's name.
+    #[must_use]
+    pub fn type_symbol(&self, id: TypeId) -> Symbol {
+        self.type_symbols[id.index()]
+    }
+
+    /// Rebuilds the name index and symbol table after deserialization
+    /// (serde skips both).
     pub fn rebuild_index(&mut self) {
         self.by_name = self
             .types
             .iter()
             .enumerate()
             .map(|(i, s)| (s.name.clone(), TypeId(i as u32)))
+            .collect();
+        self.symbols = SymbolTable::new();
+        self.type_symbols = self
+            .types
+            .iter()
+            .map(|s| {
+                let sym = self.symbols.intern(&s.name);
+                for attr in &s.attrs {
+                    self.symbols.intern(&attr.name);
+                }
+                sym
+            })
             .collect();
     }
 }
@@ -265,9 +405,56 @@ mod tests {
         let mut cloned = SchemaRegistry {
             types: reg.types.clone(),
             by_name: HashMap::new(),
+            symbols: SymbolTable::new(),
+            type_symbols: Vec::new(),
         };
         assert!(cloned.lookup("PositionReport").is_err());
         cloned.rebuild_index();
         assert!(cloned.lookup("PositionReport").is_ok());
+        // Symbols are rebuilt deterministically from registration order.
+        assert_eq!(
+            cloned.type_symbol(reg.lookup("PositionReport").unwrap()),
+            reg.type_symbol(reg.lookup("PositionReport").unwrap()),
+        );
+    }
+
+    #[test]
+    fn symbol_table_interns_once_and_shares_allocations() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("travel");
+        let b = t.intern("exit");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("travel"), a, "idempotent");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("exit"), Some(b));
+        assert_eq!(t.get("ghost"), None);
+        // Canonical handles are pointer-identical across calls.
+        let x = t.canonical("travel");
+        let y = t.canonical("travel");
+        assert!(Arc::ptr_eq(&x, &y));
+        assert!(Arc::ptr_eq(&x, t.resolve(a)));
+    }
+
+    #[test]
+    fn symbol_table_round_trips_and_rebuilds() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let bytes = serde::to_bytes(&t);
+        let mut back: SymbolTable = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("b"), None, "index skipped on the wire");
+        back.rebuild_index();
+        assert_eq!(back.get("b"), t.get("b"));
+    }
+
+    #[test]
+    fn registry_interns_type_and_attr_names() {
+        let mut reg = SchemaRegistry::new();
+        let id = reg.register(position_report()).unwrap();
+        let sym = reg.type_symbol(id);
+        assert_eq!(reg.symbols().resolve(sym).as_ref(), "PositionReport");
+        assert!(reg.symbols().get("speed").is_some());
+        assert!(reg.symbols().get("nope").is_none());
     }
 }

@@ -137,7 +137,10 @@ impl Value {
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
                 (*a as f64) == *b
             }
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Interned strings (see `caesar_events::schema::SymbolTable`)
+            // share one allocation, so equality usually resolves on
+            // pointer identity without touching the bytes.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             _ => false,
         }

@@ -288,6 +288,12 @@ impl TrafficSim {
                 * (self.config.base_cars + (self.config.peak_cars - self.config.base_cars) * frac)
         };
         let mean_lifetime = self.config.mean_lifetime.max(REPORT_INTERVAL) as f64;
+        // Canonical lane labels: every report shares the same two
+        // allocations, and string predicates on `lane` resolve by
+        // pointer identity (see `SymbolTable::canonical`).
+        let mut lanes = caesar_events::SymbolTable::new();
+        let lane_travel = lanes.canonical("travel");
+        let lane_exit = lanes.canonical("exit");
         let spawn = |entry: Time, vid: i64, r: &mut WorkloadRng, events: &mut Vec<Event>| {
             let lifetime = (mean_lifetime * r.gen_range(0.5..1.5)) as Time;
             let leave = (entry + lifetime).min(duration);
@@ -310,7 +316,11 @@ impl TrafficSim {
                         Value::Int(t as i64),
                         Value::Int(speed),
                         Value::Int(i64::from(xway)),
-                        Value::str(if is_last { "exit" } else { "travel" }),
+                        Value::Str(if is_last {
+                            lane_exit.clone()
+                        } else {
+                            lane_travel.clone()
+                        }),
                         Value::Int(i64::from(dir)),
                         Value::Int(i64::from(seg)),
                         Value::Int(pos),

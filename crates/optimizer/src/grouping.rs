@@ -346,7 +346,7 @@ mod tests {
             UserWindow::new("c", 20.0, 60.0, q(&[3])),
             UserWindow::new("d", 100.0, 110.0, q(&[4])),
         ]);
-        let mut sorted = result.windows.clone();
+        let mut sorted = result.windows;
         sorted.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         for pair in sorted.windows(2) {
             assert!(pair[0].end <= pair[1].start, "slices {pair:?} overlap");

@@ -1113,6 +1113,20 @@ impl Engine {
                 c.suspended_ticks += suspended;
             }
         }
+        // Partial-pool efficacy (the slabs count unconditionally; the
+        // counters honour the level like every other counter): total
+        // free-list reuses and the partial-slab high-water mark across
+        // all partitions.
+        if self.obs.counters_enabled() {
+            let (reused, peak) = self
+                .partitions
+                .iter()
+                .flatten()
+                .map(crate::programs::PartitionPrograms::pool_stats)
+                .fold((0u64, 0usize), |(r, p), (pr, pp)| (r + pr, p.max(pp)));
+            snap.counters.insert("spec_pool_reuse".into(), reused);
+            snap.counters.insert("partials_peak".into(), peak as u64);
+        }
         snap
     }
 
@@ -1187,7 +1201,7 @@ mod tests {
         }
     "#;
 
-    fn registry() -> SchemaRegistry {
+    pub(super) fn registry() -> SchemaRegistry {
         let mut reg = SchemaRegistry::new();
         reg.register(Schema::new(
             "PositionReport",

@@ -524,7 +524,13 @@ impl MetricsSnapshot {
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         self.level = self.level.max(other.level);
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            if k == "partials_peak" {
+                // A high-water mark, not a flow: shards fold by max.
+                *slot = (*slot).max(*v);
+            } else {
+                *slot += v;
+            }
         }
         for (k, v) in &other.stages {
             self.stages.entry(k.clone()).or_default().merge(v);

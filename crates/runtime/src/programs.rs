@@ -18,7 +18,7 @@
 //!   re-derivation work a context-unaware engine performs per query.
 
 use caesar_algebra::context_table::{ContextTable, Transition};
-use caesar_algebra::ops::Op;
+use caesar_algebra::ops::{ChainScratch, Op};
 use caesar_algebra::plan::{CombinedPlan, PlanOutput, QueryPlan};
 use caesar_events::{ColumnarBatch, Event, PartitionId, Time};
 use caesar_optimizer::mqo::SharedWorkload;
@@ -205,6 +205,14 @@ pub struct PartitionPrograms {
     /// per-batch lookup is then O(active bits)).
     gates: Vec<Vec<u8>>,
     mode: Mode,
+    /// Reusable output sink of the run methods (always empty between
+    /// calls; excluded from snapshots).
+    #[serde(skip)]
+    sink: PlanOutput,
+    /// Reusable chain-traversal buffers shared by the deriving and
+    /// redundant plans (the combined plans carry their own).
+    #[serde(skip)]
+    scratch: ChainScratch,
 }
 
 impl PartitionPrograms {
@@ -238,6 +246,8 @@ impl PartitionPrograms {
             feedback: Vec::new(),
             gates,
             mode: template.mode,
+            sink: PlanOutput::default(),
+            scratch: ChainScratch::default(),
         }
     }
 
@@ -251,12 +261,18 @@ impl PartitionPrograms {
         table: &ContextTable,
         _out: &mut PlanOutput,
     ) -> Vec<Transition> {
-        let mut sink = PlanOutput::default();
-        let pending: Vec<Event> = self.feedback.drain(..).collect();
-        for plan in &mut self.deriving {
+        let Self {
+            deriving,
+            feedback,
+            sink,
+            ..
+        } = self;
+        sink.clear();
+        let pending: Vec<Event> = std::mem::take(feedback);
+        for plan in deriving.iter_mut() {
             for ev in pending.iter().chain(events.iter()) {
                 if plan.consumes(ev.type_id) {
-                    plan.process(ev, table, &mut sink);
+                    plan.process(ev, table, sink);
                 }
             }
         }
@@ -278,15 +294,22 @@ impl PartitionPrograms {
         cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
     ) -> Vec<Transition> {
-        let mut sink = PlanOutput::default();
-        let pending: Vec<Event> = self.feedback.drain(..).collect();
-        for plan in &mut self.deriving {
+        let Self {
+            deriving,
+            feedback,
+            sink,
+            scratch,
+            ..
+        } = self;
+        sink.clear();
+        let pending: Vec<Event> = std::mem::take(feedback);
+        for plan in deriving.iter_mut() {
             for ev in &pending {
                 if plan.consumes(ev.type_id) {
-                    plan.process(ev, table, &mut sink);
+                    plan.process(ev, table, sink);
                 }
             }
-            plan.process_batch(cols, table, &mut sink);
+            plan.process_batch(cols, table, sink, scratch);
         }
         std::mem::take(&mut sink.transitions)
     }
@@ -296,11 +319,14 @@ impl PartitionPrograms {
     /// event. Outputs and transitions are discarded — only the canonical
     /// derivation updates the table.
     pub fn run_redundant_derivation(&mut self, events: &[Event], table: &ContextTable) {
-        let mut sink = PlanOutput::default();
-        for plan in &mut self.redundant {
+        let Self {
+            redundant, sink, ..
+        } = self;
+        sink.clear();
+        for plan in redundant.iter_mut() {
             for ev in events {
                 if plan.consumes(ev.type_id) {
-                    plan.process(ev, table, &mut sink);
+                    plan.process(ev, table, sink);
                 }
             }
             sink.clear();
@@ -313,9 +339,15 @@ impl PartitionPrograms {
         cols: &mut ColumnarBatch<'_>,
         table: &ContextTable,
     ) {
-        let mut sink = PlanOutput::default();
-        for plan in &mut self.redundant {
-            plan.process_batch(cols, table, &mut sink);
+        let Self {
+            redundant,
+            sink,
+            scratch,
+            ..
+        } = self;
+        sink.clear();
+        for plan in redundant.iter_mut() {
+            plan.process_batch(cols, table, sink, scratch);
             sink.clear();
         }
     }
@@ -332,16 +364,22 @@ impl PartitionPrograms {
         active: &[usize],
         out: &mut PlanOutput,
     ) {
-        let mut sink = PlanOutput::default();
+        let Self {
+            processing,
+            feedback,
+            sink,
+            ..
+        } = self;
+        sink.clear();
         for &idx in active {
-            let plan = &mut self.processing[idx];
+            let plan = &mut processing[idx];
             for ev in events {
                 if plan.consumes_external(ev.type_id) {
-                    plan.process(ev, table, &mut sink);
+                    plan.process(ev, table, sink);
                 }
             }
         }
-        self.feedback.extend(sink.events.iter().cloned());
+        feedback.extend(sink.events.iter().cloned());
         out.events.append(&mut sink.events);
         out.transitions.append(&mut sink.transitions);
     }
@@ -358,11 +396,17 @@ impl PartitionPrograms {
         active: &[usize],
         out: &mut PlanOutput,
     ) {
-        let mut sink = PlanOutput::default();
+        let Self {
+            processing,
+            feedback,
+            sink,
+            ..
+        } = self;
+        sink.clear();
         for &idx in active {
-            self.processing[idx].process_batch(cols, table, &mut sink);
+            processing[idx].process_batch(cols, table, sink);
         }
-        self.feedback.extend(sink.events.iter().cloned());
+        feedback.extend(sink.events.iter().cloned());
         out.events.append(&mut sink.events);
         out.transitions.append(&mut sink.transitions);
     }
@@ -454,6 +498,18 @@ impl PartitionPrograms {
                     .flat_map(|c| c.plans.iter().map(QueryPlan::live_partials)),
             )
             .sum()
+    }
+
+    /// Partial-pool efficacy across all plans (including the baseline's
+    /// redundant clones): `(slots reused, peak live partials)`.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, usize) {
+        self.deriving
+            .iter()
+            .chain(self.processing.iter().flat_map(|c| c.plans.iter()))
+            .chain(self.redundant.iter())
+            .map(QueryPlan::pool_stats)
+            .fold((0, 0), |(r, p), (pr, pp)| (r + pr, p + pp))
     }
 }
 

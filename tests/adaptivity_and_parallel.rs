@@ -37,9 +37,7 @@ fn gathered_stats_reflect_the_stream() {
     let mut registry = lr_registry();
     let program = lr_program(&mut registry);
     let mut engine = Engine::new(program, &registry, EngineConfig::default());
-    let _ = engine
-        .run_stream(&mut VecStream::new(events.clone()))
-        .unwrap();
+    let _ = engine.run_stream(&mut VecStream::new(events)).unwrap();
     let obs = engine.gather_stats();
 
     // Position reports dominate the input.

@@ -42,7 +42,7 @@ proptest! {
     #[test]
     fn grouped_windows_never_overlap(windows in arb_windows()) {
         let result = group_windows(windows);
-        let mut sorted = result.windows.clone();
+        let mut sorted = result.windows;
         sorted.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         for pair in sorted.windows(2) {
             // Slices sharing only a bound are fine; interiors must not
