@@ -267,22 +267,14 @@ mod tests {
         let mut s = stats();
         s.set_rate(TypeId(1), 10.0);
         let seq = || {
-            Op::Pattern(PatternOp::sequence(
-                vec![
-                    crate::pattern::PositiveElement {
-                        type_id: TypeId(0),
-                        step_predicates: vec![],
-                    },
-                    crate::pattern::PositiveElement {
-                        type_id: TypeId(1),
-                        step_predicates: vec![],
-                    },
-                ],
-                vec![],
-                100,
-                TypeId(2),
-                vec![0, 1],
-            ))
+            Op::Pattern(
+                crate::nfa::PatternBuilder::new(TypeId(2))
+                    .then(TypeId(0))
+                    .then(TypeId(1))
+                    .within(100)
+                    .offsets(vec![0, 1])
+                    .build(),
+            )
         };
         s.window = 10.0;
         let (c_small, _) = operator_cost(&seq(), &s, 20.0);

@@ -9,6 +9,9 @@
 //! * [`expr`] — expressions compiled to positional attribute accesses.
 //! * [`context_table`] — the set `W` of current context windows, realized
 //!   as the per-partition context bit vector of §6.2 plus window spans.
+//! * [`nfa`] — compiled pattern programs: the [`nfa::PatternBuilder`]
+//!   construction front-end, interned predicate references, and prefix
+//!   signatures the optimizer shares across queries.
 //! * [`pattern`] — the pattern operator: event matching, `SEQ` with and
 //!   without negation (§4.1), with partial-match state and pruning.
 //! * [`kernel`] — vectorized predicate/projection kernels over columnar
@@ -29,6 +32,7 @@ pub mod context_table;
 pub mod cost;
 pub mod expr;
 pub mod kernel;
+pub mod nfa;
 pub mod ops;
 pub mod pattern;
 pub mod plan;
@@ -36,7 +40,8 @@ pub mod translate;
 
 pub use context_table::{ContextTable, Transition, TransitionKind};
 pub use expr::{BindingLayout, CompiledExpr, EvalError};
+pub use nfa::{NfaProgram, NfaStep, PatternBuilder, PredicateId, PredicateTable};
 pub use ops::Op;
-pub use pattern::PatternOp;
+pub use pattern::{PatternOp, SharedGroup, SharedMember};
 pub use plan::{CombinedPlan, PlanOutput, QueryPlan};
 pub use translate::{translate_query_set, TranslationOutput};

@@ -211,12 +211,16 @@ impl ProjectOp {
             }
         }
         self.projected += 1;
-        Some(Event::complex(
+        let mut derived = Event::complex(
             self.output_type,
             event.occurrence,
             event.partition,
             Arc::from(attrs),
-        ))
+        );
+        // Projection reshapes attributes; the match provenance of the
+        // input (if collected) identifies the derived event just as well.
+        derived.provenance = event.provenance.clone();
+        Some(derived)
     }
 
     /// Vectorized projection of the selected rows: emits
@@ -283,15 +287,14 @@ impl ProjectOp {
                 attrs.push(value);
             }
             projected += 1;
-            out.push((
-                i,
-                Event::complex(
-                    self.output_type,
-                    event.occurrence,
-                    event.partition,
-                    Arc::from(attrs),
-                ),
-            ));
+            let mut derived = Event::complex(
+                self.output_type,
+                event.occurrence,
+                event.partition,
+                Arc::from(attrs),
+            );
+            derived.provenance = event.provenance.clone();
+            out.push((i, derived));
         }
         self.eval_errors = errors;
         self.projected = projected;
@@ -1283,22 +1286,12 @@ mod tests {
         let table = ContextTable::new(1, 0);
         let p_ty = reg.lookup("P").unwrap();
         let out_ty = reg.lookup("Out").unwrap();
-        let seq = PatternOp::sequence(
-            vec![
-                crate::pattern::PositiveElement {
-                    type_id: p_ty,
-                    step_predicates: vec![],
-                },
-                crate::pattern::PositiveElement {
-                    type_id: p_ty,
-                    step_predicates: vec![],
-                },
-            ],
-            vec![],
-            100,
-            out_ty,
-            vec![0, 1],
-        );
+        let seq = crate::nfa::PatternBuilder::new(out_ty)
+            .then(p_ty)
+            .then(p_ty)
+            .within(100)
+            .offsets(vec![0, 1])
+            .build();
         let mut ops_a = vec![Op::Pattern(seq), Op::Filter(speed_filter(&reg, 40))];
         let mut ops_b = ops_a.clone();
         // Run 1 stores four partials; every run-2 event then completes

@@ -33,37 +33,18 @@
 
 use crate::expr::{CompiledExpr, Slots};
 use crate::kernel::FilterKernels;
-use caesar_events::{ColumnarBatch, Event, Interval, Time, TypeId, Value};
+use crate::nfa::{NfaProgram, NfaStep};
+use caesar_events::{ColumnarBatch, Event, Interval, Provenance, Time, TypeId, Value};
 use caesar_query::ast::BinOp;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Where a negated element sits relative to the positive elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum NegPosition {
-    /// Before the first positive element (leading `NOT`).
-    Before,
-    /// Strictly between positive elements `i` and `i + 1`.
-    Between(usize),
-    /// After the last positive element (trailing `NOT`).
-    After,
-}
+pub use crate::nfa::{NegPosition, NegationCheck};
 
-/// One negation constraint of a sequence pattern.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct NegationCheck {
-    /// Type of the forbidden event.
-    pub type_id: TypeId,
-    /// Position relative to the positive elements.
-    pub position: NegPosition,
-    /// Predicates over `[positive events..., negated candidate]` —
-    /// the negated candidate is bound at slot `positive_count`.
-    /// An event only *counts* as forbidden if all predicates hold.
-    pub predicates: Vec<CompiledExpr>,
-}
-
-/// One positive element of the (flattened) sequence.
+/// One positive element of the (flattened) sequence — the pre-NFA
+/// construction vocabulary, kept only for [`PatternOp::sequence`].
+#[deprecated(note = "build patterns through `PatternBuilder` with `NfaStep` steps")]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PositiveElement {
     /// Event type to match.
@@ -196,6 +177,17 @@ impl PartialStore {
         slot.events.push(ev.clone());
     }
 
+    /// Fills a live slot with a borrowed prefix plus `tail` — the
+    /// shared-prefix boundary copies group-owned prefixes into a
+    /// member's own slab through this.
+    fn fill(&mut self, r: PartialRef, prefix: &[Event], tail: &Event) {
+        let slot = &mut self.slots[r.index as usize];
+        debug_assert!(slot.live && slot.generation == r.generation);
+        slot.events.reserve(prefix.len() + 1);
+        slot.events.extend_from_slice(prefix);
+        slot.events.push(tail.clone());
+    }
+
     /// Fills `dst` with `src`'s events plus `tail` (slot-to-slot copy
     /// without tearing a borrow through `&mut self`).
     fn copy_extend(&mut self, src: PartialRef, dst: PartialRef, tail: &Event) {
@@ -255,6 +247,14 @@ impl MatchState {
     fn alloc_single(&mut self, event: &Event) -> PartialRef {
         let r = self.store.alloc();
         self.store.push_event(r, event);
+        r
+    }
+
+    /// Allocates a partial from a borrowed prefix plus `tail` (the
+    /// shared-prefix boundary crossing).
+    fn adopt_candidate(&mut self, prefix: &[Event], tail: &Event) -> PartialRef {
+        let r = self.store.alloc();
+        self.store.fill(r, prefix, tail);
         r
     }
 }
@@ -441,23 +441,20 @@ enum Verdict {
     Park { deadline: Time },
 }
 
-/// The pattern operator.
+/// The pattern operator: an [`NfaProgram`] plus its mutable match state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PatternOp {
-    positives: Vec<PositiveElement>,
-    negations: Vec<NegationCheck>,
-    /// Negation buffers, parallel to `negations`.
+    /// The compiled program (steps, negations, horizon, output shape).
+    program: NfaProgram,
+    /// Negation buffers, parallel to `program.negations`.
     neg_buffers: Vec<VecDeque<Event>>,
-    /// Maximum allowed span of a full match; also the negation-buffer
-    /// horizon and the trailing-negation deadline.
-    within: Time,
-    /// Output type of assembled match events (`None` ⇒ pass-through:
-    /// a single positive element without negation or step predicates).
-    match_type: Option<TypeId>,
-    /// Per-variable attribute offsets in the combined match event.
-    offsets: Vec<u16>,
     /// Pooled partial-match state (levels, pending, slab).
     state: MatchState,
+    /// Number of leading steps owned by a [`SharedGroup`]: this operator
+    /// never creates or extends partials below that level — the combined
+    /// plan crosses the boundary via
+    /// [`extend_from_shared`](Self::extend_from_shared). `0` ⇒ unshared.
+    shared_prefix_len: usize,
     /// Observability counters.
     pub stats: PatternStats,
     /// Per-check incremental negation-index state (sequence base plus
@@ -763,47 +760,82 @@ fn complete_candidate(
 }
 
 /// Builds the combined match event (attribute values of all events in
-/// the sequence; occurrence `[e1.time, en.time]`).
-fn assemble_match(match_type: TypeId, cand: Candidate<'_>) -> Event {
+/// the sequence; occurrence `[e1.time, en.time]`). With `collect` the
+/// event also carries the [`Provenance`] of the match — one step per
+/// bound event, in step order.
+fn assemble_match(match_type: TypeId, cand: Candidate<'_>, collect: bool) -> Event {
     let total: usize = cand.iter().map(|e| e.attrs.len()).sum();
     let mut attrs: Vec<Value> = Vec::with_capacity(total);
     for e in cand.iter() {
         attrs.extend(e.attrs.iter().cloned());
     }
-    Event::complex(
+    let event = Event::complex(
         match_type,
         Interval::new(cand.first().time(), cand.last().time()),
         cand.first().partition,
         Arc::from(attrs),
-    )
+    );
+    if collect {
+        event.with_provenance(Arc::new(Provenance::from_steps(
+            cand.iter().map(|e| (e.type_id, e.occurrence)),
+        )))
+    } else {
+        event
+    }
+}
+
+/// Provenance of a pass-through match: the triggering event itself.
+fn passthrough_provenance(event: &Event) -> Arc<Provenance> {
+    Arc::new(Provenance::from_steps([(event.type_id, event.occurrence)]))
 }
 
 impl PatternOp {
-    /// Builds a pass-through pattern for a single positive element with
+    /// Builds a pass-through pattern for a single positive step with
     /// no predicates: input events of the type flow through unchanged.
     #[must_use]
     pub fn passthrough(type_id: TypeId) -> Self {
-        Self {
-            positives: vec![PositiveElement {
+        Self::compile(NfaProgram {
+            steps: vec![NfaStep {
                 type_id,
-                step_predicates: Vec::new(),
+                predicates: Vec::new(),
             }],
             negations: Vec::new(),
-            neg_buffers: Vec::new(),
             within: Time::MAX,
             match_type: None,
             offsets: vec![0],
-            state: MatchState::new(1),
+            collect_provenance: false,
+        })
+    }
+
+    /// Compiles a program into an executable operator. Prefer the
+    /// [`PatternBuilder`](crate::nfa::PatternBuilder) front-end for
+    /// hand-written construction.
+    #[must_use]
+    pub fn compile(program: NfaProgram) -> Self {
+        assert!(
+            !program.steps.is_empty(),
+            "pattern needs at least one positive step"
+        );
+        assert_eq!(program.offsets.len(), program.steps.len());
+        let n = program.steps.len();
+        let neg_buffers = program.negations.iter().map(|_| VecDeque::new()).collect();
+        Self {
+            program,
+            neg_buffers,
+            state: MatchState::new(n),
+            shared_prefix_len: 0,
             stats: PatternStats::default(),
             neg_state: Vec::new(),
             step_kernels: None,
         }
     }
 
-    /// Builds a sequence pattern.
+    /// Builds a sequence pattern from positional element lists.
     ///
     /// `offsets[i]` is the attribute offset of positive element `i` in
     /// the combined match event of type `match_type`.
+    #[deprecated(note = "build patterns through `PatternBuilder`")]
+    #[allow(deprecated)]
     #[must_use]
     pub fn sequence(
         positives: Vec<PositiveElement>,
@@ -812,33 +844,28 @@ impl PatternOp {
         match_type: TypeId,
         offsets: Vec<u16>,
     ) -> Self {
-        assert!(
-            !positives.is_empty(),
-            "pattern needs at least one positive element"
-        );
-        assert_eq!(offsets.len(), positives.len());
-        let n = positives.len();
-        let neg_buffers = negations.iter().map(|_| VecDeque::new()).collect();
-        Self {
-            positives,
+        Self::compile(NfaProgram {
+            steps: positives
+                .into_iter()
+                .map(|p| NfaStep {
+                    type_id: p.type_id,
+                    predicates: p.step_predicates,
+                })
+                .collect(),
             negations,
-            neg_buffers,
             within,
             match_type: Some(match_type),
             offsets,
-            state: MatchState::new(n),
-            stats: PatternStats::default(),
-            neg_state: Vec::new(),
-            step_kernels: None,
-        }
+            collect_provenance: false,
+        })
     }
 
     /// Sizes the transient per-check negation-index state (empty after
     /// construction or a snapshot restore) to the negation checks.
     fn ensure_neg_scratch(&mut self) {
-        if self.neg_state.len() != self.negations.len() {
+        if self.neg_state.len() != self.program.negations.len() {
             self.neg_state
-                .resize_with(self.negations.len(), NegState::default);
+                .resize_with(self.program.negations.len(), NegState::default);
         }
     }
 
@@ -846,26 +873,82 @@ impl PatternOp {
     #[must_use]
     pub fn input_types(&self) -> Vec<TypeId> {
         let mut types: Vec<TypeId> = self
-            .positives
+            .program
+            .steps
             .iter()
-            .map(|p| p.type_id)
-            .chain(self.negations.iter().map(|n| n.type_id))
+            .map(|s| s.type_id)
+            .chain(self.program.negations.iter().map(|n| n.type_id))
             .collect();
         types.sort_unstable();
         types.dedup();
         types
     }
 
-    /// Number of positive elements.
+    /// Number of positive steps.
     #[must_use]
     pub fn arity(&self) -> usize {
-        self.positives.len()
+        self.program.steps.len()
+    }
+
+    /// The program's positive steps, in sequence order.
+    #[must_use]
+    pub fn steps(&self) -> &[NfaStep] {
+        &self.program.steps
+    }
+
+    /// The program's negation checks.
+    #[must_use]
+    pub fn negations(&self) -> &[NegationCheck] {
+        &self.program.negations
+    }
+
+    /// The program's match-span horizon.
+    #[must_use]
+    pub fn within(&self) -> Time {
+        self.program.within
     }
 
     /// Returns `true` for pass-through patterns.
     #[must_use]
     pub fn is_passthrough(&self) -> bool {
-        self.match_type.is_none()
+        self.program.match_type.is_none()
+    }
+
+    /// Whether emitted matches carry [`Provenance`].
+    #[must_use]
+    pub fn collect_provenance(&self) -> bool {
+        self.program.collect_provenance
+    }
+
+    /// Switches provenance collection on or off (the engine applies the
+    /// `EngineConfig::provenance` knob here before execution starts).
+    pub fn set_collect_provenance(&mut self, collect: bool) {
+        self.program.collect_provenance = collect;
+    }
+
+    /// Number of leading steps delegated to a [`SharedGroup`] (`0` ⇒
+    /// unshared).
+    #[must_use]
+    pub fn shared_prefix_len(&self) -> usize {
+        self.shared_prefix_len
+    }
+
+    /// Delegates the leading `len` steps to a [`SharedGroup`]: the
+    /// operator stops creating or extending partials below level `len`
+    /// and expects boundary crossings via
+    /// [`extend_from_shared`](Self::extend_from_shared). Must only be
+    /// set on a sequence pattern with `1 <= len < arity`, before any
+    /// event was processed.
+    pub fn set_shared_prefix_len(&mut self, len: usize) {
+        assert!(
+            len < self.program.steps.len(),
+            "shared prefix must be strictly shorter than the pattern"
+        );
+        assert!(
+            len == 0 || !self.is_passthrough(),
+            "pass-through patterns cannot share a prefix"
+        );
+        self.shared_prefix_len = len;
     }
 
     /// The single consumed type of a pass-through pattern without
@@ -877,32 +960,36 @@ impl PatternOp {
     /// [`process`]: PatternOp::process
     #[must_use]
     pub fn passthrough_type(&self) -> Option<TypeId> {
-        if self.is_passthrough() && self.negations.is_empty() {
-            Some(self.positives[0].type_id)
+        if self.is_passthrough() && self.program.negations.is_empty() && !self.collect_provenance()
+        {
+            Some(self.program.steps[0].type_id)
         } else {
             None
         }
     }
 
-    /// Attribute offsets of the positive elements in the combined match
+    /// Attribute offsets of the positive steps in the combined match
     /// event (offset 0 for pass-through patterns).
     #[must_use]
     pub fn offsets(&self) -> &[u16] {
-        &self.offsets
+        &self.program.offsets
     }
 
-    /// Mutable access to the positive elements, used by the optimizer's
-    /// predicate push-down to install step predicates. Drops the
-    /// compiled step-kernel cache — the predicates may change under it.
-    pub fn positives_mut(&mut self) -> &mut [PositiveElement] {
+    /// Installs one step predicate, used by the optimizer's predicate
+    /// push-down. This is the *only* mutable access to the compiled
+    /// program: it explicitly drops the step-kernel cache, which is
+    /// compiled from the step predicates and would otherwise go stale
+    /// silently.
+    pub fn push_step_predicate(&mut self, step: usize, predicate: CompiledExpr) {
         self.step_kernels = None;
-        &mut self.positives
+        self.program.steps[step].predicates.push(predicate);
     }
 
     /// Whether the pattern has a trailing negation (delayed emission).
     #[must_use]
     pub fn has_trailing_negation(&self) -> bool {
-        self.negations
+        self.program
+            .negations
             .iter()
             .any(|n| n.position == NegPosition::After)
     }
@@ -1002,7 +1089,7 @@ impl PatternOp {
     ) {
         let events = cols.events();
         let survivors = self.step0_survivors(cols, sel);
-        let first_type = self.positives[0].type_id;
+        let first_type = self.program.steps[0].type_id;
         let mut ptr = 0usize;
         for &row in sel {
             let event = &events[row as usize];
@@ -1027,10 +1114,10 @@ impl PatternOp {
     /// predicates, or `None` when the pre-filter does not apply (no
     /// step predicates, vectorization disabled, pass-through).
     fn step0_survivors(&mut self, cols: &mut ColumnarBatch<'_>, sel: &[u32]) -> Option<Vec<u32>> {
-        if self.is_passthrough() || !cols.enabled || self.positives[0].step_predicates.is_empty() {
+        if self.is_passthrough() || !cols.enabled || self.program.steps[0].predicates.is_empty() {
             return None;
         }
-        let ty = self.positives[0].type_id;
+        let ty = self.program.steps[0].type_id;
         let events = cols.events();
         let view = cols.view(ty);
         if !self
@@ -1039,7 +1126,7 @@ impl PatternOp {
             .is_some_and(|k| k.valid_for(view))
         {
             self.step_kernels = Some(Box::new(FilterKernels::compile(
-                &self.positives[0].step_predicates,
+                &self.program.steps[0].predicates,
                 ty,
                 &view.kinds(),
             )));
@@ -1078,9 +1165,13 @@ impl PatternOp {
         self.feed_negations(event);
 
         if self.is_passthrough() {
-            if self.positives[0].type_id == event.type_id {
+            if self.program.steps[0].type_id == event.type_id {
                 self.stats.matches += 1;
-                out.emit(event.clone());
+                if self.program.collect_provenance {
+                    out.emit(event.clone().with_provenance(passthrough_provenance(event)));
+                } else {
+                    out.emit(event.clone());
+                }
             }
             return;
         }
@@ -1088,21 +1179,30 @@ impl PatternOp {
         // 2. Extend partial matches, longest prefix first so a new
         //    partial is never re-extended by the event that created it.
         let t = event.time();
-        let within = self.within;
+        let within = self.program.within;
         let trailing = self.has_trailing_negation();
-        let match_type = self.match_type.expect("sequence mode");
+        let match_type = self.program.match_type.expect("sequence mode");
+        let collect = self.program.collect_provenance;
+        let shared_len = self.shared_prefix_len;
         let Self {
-            positives,
-            negations,
+            program,
             neg_buffers,
             neg_state,
             state,
             stats,
             ..
         } = self;
-        let n = positives.len();
+        let steps = &program.steps;
+        let negations = &program.negations;
+        let n = steps.len();
         for i in (0..n).rev() {
-            if positives[i].type_id != event.type_id {
+            // Levels below the shared prefix live in the group's state;
+            // the owning `SharedGroup` creates and extends them, and
+            // crossings arrive via `extend_from_shared`.
+            if i < shared_len {
+                break;
+            }
+            if steps[i].type_id != event.type_id {
                 continue;
             }
             if i == 0 {
@@ -1113,8 +1213,8 @@ impl PatternOp {
                 let passed = match step0 {
                     Step0::Fail => false,
                     Step0::Pass => true,
-                    Step0::Eval => positives[0]
-                        .step_predicates
+                    Step0::Eval => steps[0]
+                        .predicates
                         .iter()
                         .all(|p| p.matches_in(&cand, &mut stats.eval_errors)),
                 };
@@ -1133,7 +1233,7 @@ impl PatternOp {
                     match complete_candidate(cand, &mut ctx, trailing, within) {
                         Verdict::Rejected => {}
                         Verdict::Emit => {
-                            out.emit(assemble_match(match_type, cand));
+                            out.emit(assemble_match(match_type, cand, collect));
                             stats.matches += 1;
                         }
                         Verdict::Park { deadline } => {
@@ -1160,8 +1260,8 @@ impl PatternOp {
                         prefix,
                         tail: event,
                     };
-                    if !positives[i]
-                        .step_predicates
+                    if !steps[i]
+                        .predicates
                         .iter()
                         .all(|p| p.matches_in(&cand, &mut stats.eval_errors))
                     {
@@ -1179,7 +1279,7 @@ impl PatternOp {
                         match complete_candidate(cand, &mut ctx, trailing, within) {
                             Verdict::Rejected => {}
                             Verdict::Emit => {
-                                out.emit(assemble_match(match_type, cand));
+                                out.emit(assemble_match(match_type, cand, collect));
                                 stats.matches += 1;
                             }
                             Verdict::Park { deadline } => {
@@ -1197,19 +1297,88 @@ impl PatternOp {
         }
     }
 
+    /// Crosses the shared-prefix boundary: attempts to extend one full
+    /// prefix held by the owning [`SharedGroup`] with `event` at step
+    /// `shared_prefix_len`, emitting completed matches to `out` or
+    /// storing the new partial in this operator's own state. Mirrors
+    /// the corresponding arm of `process_event` exactly — same guards,
+    /// predicates, counters, and verdict handling — so shared execution
+    /// reproduces unshared outputs byte for byte.
+    pub fn extend_from_shared(&mut self, prefix: &[Event], event: &Event, out: &mut Vec<Event>) {
+        let i = self.shared_prefix_len;
+        debug_assert!(i >= 1 && prefix.len() == i, "boundary needs a full prefix");
+        let t = event.time();
+        let within = self.program.within;
+        let last_t = prefix.last().expect("non-empty prefix").time();
+        if !(last_t < t && t.saturating_sub(prefix[0].time()) <= within) {
+            return;
+        }
+        if self.program.steps[i].type_id != event.type_id {
+            return;
+        }
+        self.ensure_neg_scratch();
+        let trailing = self.has_trailing_negation();
+        let match_type = self.program.match_type.expect("sequence mode");
+        let collect = self.program.collect_provenance;
+        let Self {
+            program,
+            neg_buffers,
+            neg_state,
+            state,
+            stats,
+            ..
+        } = self;
+        let n = program.steps.len();
+        let cand = Candidate {
+            prefix,
+            tail: event,
+        };
+        if !program.steps[i]
+            .predicates
+            .iter()
+            .all(|p| p.matches_in(&cand, &mut stats.eval_errors))
+        {
+            return;
+        }
+        stats.partials_created += 1;
+        if i + 1 == n {
+            let mut ctx = NegCtx {
+                negations: &program.negations,
+                neg_buffers,
+                neg_state: neg_state.as_mut_slice(),
+                stats: &mut *stats,
+                positive_count: n,
+            };
+            match complete_candidate(cand, &mut ctx, trailing, within) {
+                Verdict::Rejected => {}
+                Verdict::Emit => {
+                    out.push(assemble_match(match_type, cand, collect));
+                    stats.matches += 1;
+                }
+                Verdict::Park { deadline } => {
+                    let r = state.adopt_candidate(prefix, event);
+                    state.pending.push(Pending { r, deadline });
+                }
+            }
+        } else {
+            let r = state.adopt_candidate(prefix, event);
+            state.levels[i].push(r);
+        }
+    }
+
     /// Feeds negation buffers with a matching event, rejecting pending
     /// trailing-negation matches and pruning each touched buffer by the
     /// `within` horizon.
     fn feed_negations(&mut self, event: &Event) {
         let t = event.time();
-        for i in 0..self.negations.len() {
-            if self.negations[i].type_id != event.type_id {
+        for i in 0..self.program.negations.len() {
+            if self.program.negations[i].type_id != event.type_id {
                 continue;
             }
-            if self.negations[i].position == NegPosition::After {
+            if self.program.negations[i].position == NegPosition::After {
                 self.reject_pending(i, event);
             }
-            let within = self.within;
+            let within = self.program.within;
             let buf = &mut self.neg_buffers[i];
             buf.push_back(event.clone());
             // Prune by horizon; advancing the sequence base marks the
@@ -1226,13 +1395,13 @@ impl PatternOp {
     /// Drops pending trailing-negation matches invalidated by `event`.
     fn reject_pending(&mut self, check: usize, event: &Event) {
         let Self {
-            negations,
+            program,
             state,
             stats,
             ..
         } = self;
         let MatchState { pending, store, .. } = state;
-        let neg = &negations[check];
+        let neg = &program.negations[check];
         let t = event.time();
         let mut errors = 0;
         let before = pending.len();
@@ -1263,14 +1432,19 @@ impl PatternOp {
     /// and prunes partial matches older than the `within` horizon.
     pub fn advance_time(&mut self, watermark: Time, out: &mut Vec<Event>) {
         // Emit pending matches whose no-negation horizon fully passed.
-        let match_type = self.match_type;
+        let match_type = self.program.match_type;
+        let collect = self.program.collect_provenance;
         {
             let MatchState { pending, store, .. } = &mut self.state;
             let stats = &mut self.stats;
             pending.retain(|pm| {
                 if pm.deadline < watermark {
                     let mt = match_type.expect("pending only in sequence mode");
-                    out.push(assemble_match(mt, Candidate::of(store.events(pm.r))));
+                    out.push(assemble_match(
+                        mt,
+                        Candidate::of(store.events(pm.r)),
+                        collect,
+                    ));
                     stats.matches += 1;
                     store.free(pm.r);
                     false
@@ -1279,10 +1453,10 @@ impl PatternOp {
                 }
             });
         }
-        if self.within == Time::MAX {
+        if self.program.within == Time::MAX {
             return;
         }
-        let within = self.within;
+        let within = self.program.within;
         {
             let MatchState { levels, store, .. } = &mut self.state;
             for level in levels.iter_mut() {
@@ -1296,7 +1470,7 @@ impl PatternOp {
             }
         }
         self.ensure_neg_scratch();
-        let within = self.within;
+        let within = self.program.within;
         for (i, buf) in self.neg_buffers.iter_mut().enumerate() {
             let mut evicted = 0;
             while buf.front().is_some_and(|e| e.time() + within < watermark) {
@@ -1363,10 +1537,214 @@ impl PatternOp {
     }
 }
 
+/// One pattern participating in a [`SharedGroup`]: the index of its
+/// query plan within the combined plan and the pattern operator's
+/// position in that plan's chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedMember {
+    /// Index of the member's query plan in `CombinedPlan::plans`.
+    pub plan: usize,
+    /// Position of the pattern operator in the member plan's chain.
+    pub pattern_pos: usize,
+}
+
+/// Shared partial-match state for a common pattern prefix (§5 workload
+/// sharing, extended from context windows to sequence prefixes).
+///
+/// The optimizer groups sequence patterns of one combined plan whose
+/// leading steps agree on event type and interned step predicates (see
+/// `shared_prefix_groups`); the group builds prefix partials *once* on
+/// its own `MatchState` slab, and each full prefix crosses into a
+/// member's private state through
+/// [`PatternOp::extend_from_shared`] — after which the member's own
+/// levels, negations, and emission logic run unchanged, so shared
+/// execution is output-identical to unshared execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedGroup {
+    /// The shared steps (types + interned-identical predicates).
+    steps: Vec<NfaStep>,
+    /// The members' common match horizon — prefix sharing requires an
+    /// *equal* `within` across members, recorded here for the span
+    /// guard.
+    within: Time,
+    /// Whether the members sit under a pushed-down context window on
+    /// the group's combined plan — the group then consults the context
+    /// table before advancing, mirroring the members' gating.
+    gated: bool,
+    members: Vec<SharedMember>,
+    /// Prefix partials, levels `0..prefix_len`.
+    state: MatchState,
+    /// Observability counters for the shared prefix work.
+    pub stats: PatternStats,
+}
+
+impl SharedGroup {
+    /// Builds a group over `steps` for `members` (at least two).
+    #[must_use]
+    pub fn new(steps: Vec<NfaStep>, within: Time, gated: bool, members: Vec<SharedMember>) -> Self {
+        assert!(!steps.is_empty(), "shared prefix needs at least one step");
+        assert!(members.len() >= 2, "sharing needs at least two members");
+        let n = steps.len();
+        SharedGroup {
+            steps,
+            within,
+            gated,
+            members,
+            state: MatchState::new(n),
+            stats: PatternStats::default(),
+        }
+    }
+
+    /// Number of shared steps.
+    #[must_use]
+    pub fn prefix_len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The participating patterns.
+    #[must_use]
+    pub fn members(&self) -> &[SharedMember] {
+        &self.members
+    }
+
+    /// Whether the group gates on the combined plan's context window.
+    #[must_use]
+    pub fn gated(&self) -> bool {
+        self.gated
+    }
+
+    /// Live prefix partials across all levels.
+    #[must_use]
+    pub fn live_partials(&self) -> usize {
+        self.state.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether any prefix state is held.
+    #[must_use]
+    pub fn has_state(&self) -> bool {
+        self.state.levels.iter().any(|l| !l.is_empty())
+    }
+
+    /// Advances the shared prefix levels with one external event —
+    /// creation at level 0, extension below the boundary. Runs *after*
+    /// the members processed the event, so a full prefix completed by
+    /// this event is never extended by it at the boundary (sequences
+    /// require strictly increasing times).
+    pub fn advance(&mut self, event: &Event) {
+        let t = event.time();
+        let within = self.within;
+        let SharedGroup {
+            steps,
+            state,
+            stats,
+            ..
+        } = self;
+        let l = steps.len();
+        for i in (0..l).rev() {
+            if steps[i].type_id != event.type_id {
+                continue;
+            }
+            if i == 0 {
+                let cand = Candidate {
+                    prefix: &[],
+                    tail: event,
+                };
+                if !steps[0]
+                    .predicates
+                    .iter()
+                    .all(|p| p.matches_in(&cand, &mut stats.eval_errors))
+                {
+                    continue;
+                }
+                stats.partials_created += 1;
+                let r = state.alloc_single(event);
+                state.levels[0].push(r);
+            } else {
+                let refs = std::mem::take(&mut state.levels[i - 1]);
+                for &pr in &refs {
+                    let prefix = state.store.events(pr);
+                    let last_t = prefix.last().expect("non-empty").time();
+                    if !(last_t < t && t.saturating_sub(prefix[0].time()) <= within) {
+                        continue;
+                    }
+                    let cand = Candidate {
+                        prefix,
+                        tail: event,
+                    };
+                    if !steps[i]
+                        .predicates
+                        .iter()
+                        .all(|p| p.matches_in(&cand, &mut stats.eval_errors))
+                    {
+                        continue;
+                    }
+                    stats.partials_created += 1;
+                    let r = state.alloc_extended(pr, event);
+                    state.levels[i].push(r);
+                }
+                state.levels[i - 1] = refs;
+            }
+        }
+    }
+
+    /// The full prefixes (level `prefix_len − 1`) currently held, in
+    /// creation order — the boundary feed for
+    /// [`PatternOp::extend_from_shared`].
+    pub fn full_prefixes(&self) -> impl Iterator<Item = &[Event]> + '_ {
+        let top = &self.state.levels[self.steps.len() - 1];
+        top.iter().map(move |&r| self.state.store.events(r))
+    }
+
+    /// Prunes prefixes older than the `within` horizon.
+    pub fn advance_time(&mut self, watermark: Time) {
+        if self.within == Time::MAX {
+            return;
+        }
+        let within = self.within;
+        let MatchState { levels, store, .. } = &mut self.state;
+        for level in levels.iter_mut() {
+            level.retain(|&r| {
+                let keep = store.events(r)[0].time() + within >= watermark;
+                if !keep {
+                    store.free(r);
+                }
+                keep
+            });
+        }
+    }
+
+    /// Discards all prefix state (context termination).
+    pub fn reset(&mut self) {
+        let MatchState { levels, store, .. } = &mut self.state;
+        for level in levels.iter_mut() {
+            for &r in level.iter() {
+                store.free(r);
+            }
+            level.clear();
+        }
+    }
+
+    /// Expires prefixes whose first event is at or before `t` (original
+    /// context window ending while grouped windows continue).
+    pub fn expire_started_at_or_before(&mut self, t: Time) {
+        let MatchState { levels, store, .. } = &mut self.state;
+        for level in levels.iter_mut() {
+            level.retain(|&r| {
+                let keep = store.events(r)[0].time() > t;
+                if !keep {
+                    store.free(r);
+                }
+                keep
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::{BindingLayout, LayoutVar, SlotSource};
+    use crate::nfa::PatternBuilder;
     use caesar_events::{AttrType, PartitionId, Schema, SchemaRegistry};
     use caesar_query::ast::{BinOp, Expr};
 
@@ -1422,22 +1800,12 @@ mod tests {
     }
 
     fn seq_ab(reg: &SchemaRegistry, within: Time) -> PatternOp {
-        PatternOp::sequence(
-            vec![
-                PositiveElement {
-                    type_id: reg.lookup("A").unwrap(),
-                    step_predicates: vec![],
-                },
-                PositiveElement {
-                    type_id: reg.lookup("B").unwrap(),
-                    step_predicates: vec![],
-                },
-            ],
-            vec![],
-            within,
-            reg.lookup("M").unwrap(),
-            vec![0, 1],
-        )
+        PatternBuilder::new(reg.lookup("M").unwrap())
+            .then(reg.lookup("A").unwrap())
+            .then(reg.lookup("B").unwrap())
+            .within(within)
+            .offsets(vec![0, 1])
+            .build()
     }
 
     #[test]
@@ -1525,22 +1893,14 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let mut p = PatternOp::sequence(
-            vec![
-                PositiveElement {
-                    type_id: tid_a,
-                    step_predicates: vec![p0],
-                },
-                PositiveElement {
-                    type_id: tid_b,
-                    step_predicates: vec![p1],
-                },
-            ],
-            vec![],
-            100,
-            reg.lookup("M").unwrap(),
-            vec![0, 1],
-        );
+        let mut p = PatternBuilder::new(reg.lookup("M").unwrap())
+            .then(tid_a)
+            .filter(p0)
+            .then(tid_b)
+            .filter(p1)
+            .within(100)
+            .offsets(vec![0, 1])
+            .build();
         let mut out = Vec::new();
         p.process(&ev(&reg, "A", 1, 3), &mut out); // fails a.v > 5
         assert_eq!(p.live_partials(), 0);
@@ -1587,20 +1947,12 @@ mod tests {
             reg,
         )
         .unwrap();
-        PatternOp::sequence(
-            vec![PositiveElement {
-                type_id: tid_p,
-                step_predicates: vec![],
-            }],
-            vec![NegationCheck {
-                type_id: tid_p,
-                position: NegPosition::Before,
-                predicates: vec![pred_sec, pred_vid],
-            }],
-            60,
-            reg.lookup("M").unwrap(),
-            vec![0],
-        )
+        PatternBuilder::new(reg.lookup("M").unwrap())
+            .then(tid_p)
+            .not_before(tid_p, vec![pred_sec, pred_vid])
+            .within(60)
+            .offsets(vec![0])
+            .build()
     }
 
     #[test]
@@ -1668,13 +2020,49 @@ mod tests {
         );
     }
 
+    /// The deprecated positional constructor and the fluent
+    /// [`PatternBuilder`] are two front-ends over the same
+    /// [`NfaProgram`]: byte-identical compiled operators, identical
+    /// behaviour. Pins the API redesign as a pure surface change.
     #[test]
-    fn between_negation_blocks_interleaved_event() {
+    #[allow(deprecated)]
+    fn builder_equals_positional_sequence() {
         let reg = registry();
         let tid_a = reg.lookup("A").unwrap();
         let tid_b = reg.lookup("B").unwrap();
         let tid_c = reg.lookup("C").unwrap();
-        let mut p = PatternOp::sequence(
+        let tid_m = reg.lookup("M").unwrap();
+        let layout = BindingLayout {
+            vars: vec![
+                LayoutVar {
+                    name: "a".into(),
+                    type_id: tid_a,
+                    source: SlotSource::EventSlot(0),
+                },
+                LayoutVar {
+                    name: "b".into(),
+                    type_id: tid_b,
+                    source: SlotSource::EventSlot(1),
+                },
+            ],
+        };
+        let pred = || {
+            CompiledExpr::compile(
+                &Expr::bin(BinOp::Eq, Expr::attr("a", "v"), Expr::attr("b", "v")),
+                &layout,
+                &reg,
+            )
+            .unwrap()
+        };
+        let built = PatternBuilder::new(tid_m)
+            .then(tid_a)
+            .then(tid_b)
+            .filter(pred())
+            .not_between(0, tid_c, vec![])
+            .within(50)
+            .offsets(vec![0, 1])
+            .build();
+        let legacy = PatternOp::sequence(
             vec![
                 PositiveElement {
                     type_id: tid_a,
@@ -1682,7 +2070,7 @@ mod tests {
                 },
                 PositiveElement {
                     type_id: tid_b,
-                    step_predicates: vec![],
+                    step_predicates: vec![pred()],
                 },
             ],
             vec![NegationCheck {
@@ -1690,10 +2078,45 @@ mod tests {
                 position: NegPosition::Between(0),
                 predicates: vec![],
             }],
-            100,
-            reg.lookup("M").unwrap(),
+            50,
+            tid_m,
             vec![0, 1],
         );
+        assert_eq!(
+            serde::to_bytes(&built),
+            serde::to_bytes(&legacy),
+            "the two construction paths must compile the same program"
+        );
+        let mut built = built;
+        let mut legacy = legacy;
+        let (mut out_b, mut out_l) = (Vec::new(), Vec::new());
+        for e in [
+            ev(&reg, "A", 1, 4),
+            ev(&reg, "B", 2, 4),
+            ev(&reg, "A", 3, 9),
+            ev(&reg, "C", 4, 0),
+            ev(&reg, "B", 5, 9),
+        ] {
+            built.process(&e, &mut out_b);
+            legacy.process(&e, &mut out_l);
+        }
+        assert_eq!(out_b, out_l);
+        assert_eq!(out_b.len(), 1, "(A@1, B@2) matches; C@4 blocks (A@3, B@5)");
+    }
+
+    #[test]
+    fn between_negation_blocks_interleaved_event() {
+        let reg = registry();
+        let tid_a = reg.lookup("A").unwrap();
+        let tid_b = reg.lookup("B").unwrap();
+        let tid_c = reg.lookup("C").unwrap();
+        let mut p = PatternBuilder::new(reg.lookup("M").unwrap())
+            .then(tid_a)
+            .then(tid_b)
+            .not_between(0, tid_c, vec![])
+            .within(100)
+            .offsets(vec![0, 1])
+            .build();
         let mut out = Vec::new();
         p.process(&ev(&reg, "A", 1, 0), &mut out);
         p.process(&ev(&reg, "C", 2, 0), &mut out);
@@ -1710,20 +2133,12 @@ mod tests {
         let reg = registry();
         let tid_a = reg.lookup("A").unwrap();
         let tid_c = reg.lookup("C").unwrap();
-        let mut p = PatternOp::sequence(
-            vec![PositiveElement {
-                type_id: tid_a,
-                step_predicates: vec![],
-            }],
-            vec![NegationCheck {
-                type_id: tid_c,
-                position: NegPosition::After,
-                predicates: vec![],
-            }],
-            10,
-            reg.lookup("M").unwrap(),
-            vec![0],
-        );
+        let mut p = PatternBuilder::new(reg.lookup("M").unwrap())
+            .then(tid_a)
+            .not_after(tid_c, vec![])
+            .within(10)
+            .offsets(vec![0])
+            .build();
         let mut out = Vec::new();
         // First A: a C arrives inside the horizon → rejected.
         p.process(&ev(&reg, "A", 1, 0), &mut out);
@@ -1775,19 +2190,14 @@ mod tests {
     #[test]
     fn three_element_sequence() {
         let reg = registry();
-        let mut p = PatternOp::sequence(
-            ["A", "B", "C"]
-                .iter()
-                .map(|ty| PositiveElement {
-                    type_id: reg.lookup(ty).unwrap(),
-                    step_predicates: vec![],
-                })
-                .collect(),
-            vec![],
-            100,
-            reg.lookup("M").unwrap(),
-            vec![0, 1, 2],
-        );
+        let mut p = ["A", "B", "C"]
+            .iter()
+            .fold(PatternBuilder::new(reg.lookup("M").unwrap()), |b, ty| {
+                b.then(reg.lookup(ty).unwrap())
+            })
+            .within(100)
+            .offsets(vec![0, 1, 2])
+            .build();
         let mut out = Vec::new();
         for (ty, t) in [("A", 1), ("B", 2), ("C", 3), ("B", 4), ("C", 5)] {
             p.process(&ev(&reg, ty, t, 0), &mut out);
@@ -1901,22 +2311,14 @@ mod tests {
                 &reg,
             )
             .unwrap();
-            PatternOp::sequence(
-                vec![
-                    PositiveElement {
-                        type_id: tid_a,
-                        step_predicates: vec![p0],
-                    },
-                    PositiveElement {
-                        type_id: tid_b,
-                        step_predicates: vec![p1],
-                    },
-                ],
-                vec![],
-                100,
-                reg.lookup("M").unwrap(),
-                vec![0, 1],
-            )
+            PatternBuilder::new(reg.lookup("M").unwrap())
+                .then(tid_a)
+                .filter(p0)
+                .then(tid_b)
+                .filter(p1)
+                .within(100)
+                .offsets(vec![0, 1])
+                .build()
         };
         let mut interp = build();
         let mut vector = build();

@@ -13,6 +13,7 @@ use crate::ops::{
     advance_chain_time, run_chain, run_chain_batch, run_chain_batch_items, ChainOutput,
     ChainScratch, Op,
 };
+use crate::pattern::SharedGroup;
 use caesar_events::{ColumnarBatch, Event, Time, TypeId};
 use caesar_query::ast::QueryId;
 use caesar_query::queryset::CompiledQuery;
@@ -111,6 +112,13 @@ impl QueryPlan {
         self.ops.iter().position(Op::is_context_window)
     }
 
+    /// Position of the pattern operator in the chain, if any (prefix
+    /// sharing needs the exact chain slot to resume above the pattern).
+    #[must_use]
+    pub fn pattern_position(&self) -> Option<usize> {
+        self.ops.iter().position(Op::is_pattern)
+    }
+
     /// Returns `true` if the context window sits at the very bottom of
     /// the chain (the push-down invariant of §5.2).
     #[must_use]
@@ -187,6 +195,10 @@ pub struct CombinedPlan {
     /// Types consumed from the *external* input stream (not produced by
     /// a member plan).
     pub external_inputs: Vec<TypeId>,
+    /// Shared pattern-prefix groups installed by the optimizer (§5
+    /// workload sharing, extended to sequence prefixes). Empty unless
+    /// prefix sharing is enabled and an eligible group was found.
+    shared: Vec<SharedGroup>,
     /// Reusable execution buffers (always empty between calls; not part
     /// of the plan's persistent state).
     #[serde(skip)]
@@ -216,6 +228,9 @@ struct CombinedScratch {
     work: Vec<(usize, Event)>,
     /// Sink for member-plan cascade processing.
     inner: ChainOutput,
+    /// Matches produced by shared-prefix boundary crossings, before they
+    /// resume the member chain above the pattern.
+    boundary: Vec<Event>,
 }
 
 impl CombinedPlan {
@@ -235,8 +250,44 @@ impl CombinedPlan {
             context_bit,
             plans,
             external_inputs: external,
+            shared: Vec::new(),
             scratch: CombinedScratch::default(),
         }
+    }
+
+    /// Installs shared pattern-prefix groups, marking each member
+    /// pattern's delegated prefix length. Must run before any event is
+    /// processed (the members' below-boundary levels move to the group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member reference does not point at a pattern
+    /// operator.
+    pub fn install_shared_prefixes(&mut self, groups: Vec<SharedGroup>) {
+        for g in &groups {
+            for m in g.members() {
+                match &mut self.plans[m.plan].ops[m.pattern_pos] {
+                    Op::Pattern(p) => p.set_shared_prefix_len(g.prefix_len()),
+                    other => panic!(
+                        "shared member points at {} — expected a pattern",
+                        other.tag()
+                    ),
+                }
+            }
+        }
+        self.shared = groups;
+    }
+
+    /// Whether any shared-prefix group is installed.
+    #[must_use]
+    pub fn has_shared(&self) -> bool {
+        !self.shared.is_empty()
+    }
+
+    /// The installed shared-prefix groups.
+    #[must_use]
+    pub fn shared_groups(&self) -> &[SharedGroup] {
+        &self.shared
     }
 
     /// Returns `true` if the combined plan consumes `type_id` from the
@@ -250,23 +301,135 @@ impl CombinedPlan {
     /// flow to downstream member plans *and* to `out.events` (they are
     /// part of the output stream).
     pub fn process(&mut self, event: &Event, table: &ContextTable, out: &mut PlanOutput) {
-        // Worklist of (producer plan index + 1, event). External events
-        // start at 0 so every member plan may consume them; derived
-        // events are only offered to later plans (topological order
-        // prevents cycles).
-        let mut work: Vec<(usize, Event)> = vec![(0, event.clone())];
-        let mut scratch = PlanOutput::default();
-        while let Some((start, ev)) = work.pop() {
-            for idx in start..self.plans.len() {
-                if !self.plans[idx].consumes(ev.type_id) {
+        let Self {
+            plans,
+            shared,
+            context_bit,
+            scratch,
+            ..
+        } = self;
+        Self::process_one(plans, shared, *context_bit, event, table, out, scratch);
+    }
+
+    /// The per-event traversal behind [`process`](Self::process) and the
+    /// event-major batch path: each member plan consumes the external
+    /// event (in topological order) and immediately receives its
+    /// shared-prefix boundary crossings — the exact chain position where
+    /// unshared execution would have completed those matches — then the
+    /// derived events cascade LIFO to downstream members, and finally
+    /// the shared prefixes advance (after the members, so a prefix
+    /// completed by this event is never also extended by it).
+    fn process_one(
+        plans: &mut [QueryPlan],
+        shared: &mut [SharedGroup],
+        context_bit: u8,
+        event: &Event,
+        table: &ContextTable,
+        out: &mut PlanOutput,
+        scratch: &mut CombinedScratch,
+    ) {
+        debug_assert!(scratch.work.is_empty());
+        for idx in 0..plans.len() {
+            if plans[idx].consumes(event.type_id) {
+                scratch.inner.clear();
+                scratch.chain.run_one(
+                    &mut plans[idx].ops,
+                    0,
+                    event.clone(),
+                    table,
+                    &mut scratch.inner,
+                );
+                out.transitions.append(&mut scratch.inner.transitions);
+                for derived in scratch.inner.events.drain(..) {
+                    out.events.push(derived.clone());
+                    scratch.work.push((idx + 1, derived));
+                }
+            }
+            if !shared.is_empty() {
+                Self::boundary_crossings(
+                    plans,
+                    shared,
+                    idx,
+                    context_bit,
+                    event,
+                    table,
+                    out,
+                    scratch,
+                );
+            }
+        }
+        // Cascade derived events. The worklist holds (producer plan
+        // index + 1, event): derived events are only offered to later
+        // plans (topological order prevents cycles).
+        while let Some((start, ev)) = scratch.work.pop() {
+            for (idx, plan) in plans.iter_mut().enumerate().skip(start) {
+                if !plan.consumes(ev.type_id) {
                     continue;
                 }
-                scratch.clear();
-                self.plans[idx].process(&ev, table, &mut scratch);
-                out.transitions.append(&mut scratch.transitions);
-                for derived in scratch.events.drain(..) {
+                scratch.inner.clear();
+                scratch
+                    .chain
+                    .run_one(&mut plan.ops, 0, ev.clone(), table, &mut scratch.inner);
+                out.transitions.append(&mut scratch.inner.transitions);
+                for derived in scratch.inner.events.drain(..) {
                     out.events.push(derived.clone());
-                    work.push((idx + 1, derived));
+                    scratch.work.push((idx + 1, derived));
+                }
+            }
+        }
+        for group in shared.iter_mut() {
+            if group.gated() && !table.admits(event.partition, context_bit, event.time()) {
+                continue;
+            }
+            group.advance(event);
+        }
+    }
+
+    /// Feeds each shared group's full prefixes to member `idx`'s
+    /// pattern for boundary extension by `event`, resuming completed
+    /// matches through the member chain above the pattern. Runs in the
+    /// member's own slot of the external pass so emissions land exactly
+    /// where unshared execution would put them.
+    #[allow(clippy::too_many_arguments)] // split-borrow helper of process_one: its params plus the member index
+    fn boundary_crossings(
+        plans: &mut [QueryPlan],
+        shared: &[SharedGroup],
+        idx: usize,
+        context_bit: u8,
+        event: &Event,
+        table: &ContextTable,
+        out: &mut PlanOutput,
+        scratch: &mut CombinedScratch,
+    ) {
+        for group in shared {
+            if group.gated() && !table.admits(event.partition, context_bit, event.time()) {
+                continue;
+            }
+            for member in group.members() {
+                if member.plan != idx {
+                    continue;
+                }
+                let plan = &mut plans[idx];
+                debug_assert!(scratch.boundary.is_empty());
+                if let Op::Pattern(p) = &mut plan.ops[member.pattern_pos] {
+                    for prefix in group.full_prefixes() {
+                        p.extend_from_shared(prefix, event, &mut scratch.boundary);
+                    }
+                }
+                for m in scratch.boundary.drain(..) {
+                    scratch.inner.clear();
+                    scratch.chain.run_one(
+                        &mut plan.ops,
+                        member.pattern_pos + 1,
+                        m,
+                        table,
+                        &mut scratch.inner,
+                    );
+                    out.transitions.append(&mut scratch.inner.transitions);
+                    for d in scratch.inner.events.drain(..) {
+                        out.events.push(d.clone());
+                        scratch.work.push((idx + 1, d));
+                    }
                 }
             }
         }
@@ -304,7 +467,9 @@ impl CombinedPlan {
             self.scratch.types = types;
             return;
         }
-        if self.plan_major_applies(&types) {
+        // Shared-prefix groups interleave member and group state per
+        // event, so sharing always takes the event-major path.
+        if self.shared.is_empty() && self.plan_major_applies(&types) {
             self.process_batch_plan_major(cols, &types, table, out);
         } else {
             self.process_batch_event_major(cols, &types, table, out);
@@ -442,36 +607,29 @@ impl CombinedPlan {
         table: &ContextTable,
         out: &mut PlanOutput,
     ) {
-        let Self { plans, scratch, .. } = self;
+        let Self {
+            plans,
+            shared,
+            context_bit,
+            scratch,
+            ..
+        } = self;
         let events = cols.events();
-        debug_assert!(scratch.work.is_empty());
         for event in events {
             if !types.contains(&event.type_id) {
                 continue;
             }
-            scratch.work.push((0, event.clone()));
-            while let Some((start, ev)) = scratch.work.pop() {
-                for (idx, plan) in plans.iter_mut().enumerate().skip(start) {
-                    if !plan.consumes(ev.type_id) {
-                        continue;
-                    }
-                    scratch.inner.clear();
-                    scratch
-                        .chain
-                        .run_one(&mut plan.ops, 0, ev.clone(), table, &mut scratch.inner);
-                    out.transitions.append(&mut scratch.inner.transitions);
-                    for derived in scratch.inner.events.drain(..) {
-                        out.events.push(derived.clone());
-                        scratch.work.push((idx + 1, derived));
-                    }
-                }
-            }
+            Self::process_one(plans, shared, *context_bit, event, table, out, scratch);
         }
     }
 
     /// Advances the watermark on all member plans, feeding any matured
-    /// matches to downstream consumers.
+    /// matches to downstream consumers. Shared-prefix groups prune their
+    /// partials by the same horizon.
     pub fn advance_time(&mut self, watermark: Time, table: &ContextTable, out: &mut PlanOutput) {
+        for group in &mut self.shared {
+            group.advance_time(watermark);
+        }
         let Self { plans, scratch, .. } = self;
         let mut matured = PlanOutput::default();
         for idx in 0..plans.len() {
@@ -512,10 +670,42 @@ impl CombinedPlan {
     }
 
     /// Resets the partial state of every member plan (context window
-    /// ended).
+    /// ended) and of every shared-prefix group.
     pub fn reset_state(&mut self) {
         for p in &mut self.plans {
             p.reset_state();
+        }
+        for g in &mut self.shared {
+            g.reset();
+        }
+    }
+
+    /// Resets only the shared-prefix groups (used when the owning code
+    /// resets member plans individually).
+    pub fn reset_shared(&mut self) {
+        for g in &mut self.shared {
+            g.reset();
+        }
+    }
+
+    /// Resets the *gated* shared-prefix groups — called when this plan's
+    /// context window terminates. Gated members are scoped to exactly
+    /// that window (eligibility forbids extra bits), so their private
+    /// state is reset at the same moment; ungated groups mirror their
+    /// window-free members and keep their state.
+    pub fn reset_shared_gated(&mut self) {
+        for g in &mut self.shared {
+            if g.gated() {
+                g.reset();
+            }
+        }
+    }
+
+    /// Expires shared-prefix partials started at or before `t`
+    /// (original-window expiry for grouped windows, Figure 7).
+    pub fn expire_shared_history(&mut self, t: Time) {
+        for g in &mut self.shared {
+            g.expire_started_at_or_before(t);
         }
     }
 
@@ -720,22 +910,12 @@ mod tests {
         let in_ty = reg.lookup("In").unwrap();
         let mid_ty = reg.lookup("Mid").unwrap();
         // A 2-element sequence keeps partials.
-        let seq = PatternOp::sequence(
-            vec![
-                crate::pattern::PositiveElement {
-                    type_id: in_ty,
-                    step_predicates: vec![],
-                },
-                crate::pattern::PositiveElement {
-                    type_id: mid_ty,
-                    step_predicates: vec![],
-                },
-            ],
-            vec![],
-            1000,
-            reg.lookup("Final").unwrap(),
-            vec![0, 1],
-        );
+        let seq = crate::nfa::PatternBuilder::new(reg.lookup("Final").unwrap())
+            .then(in_ty)
+            .then(mid_ty)
+            .within(1000)
+            .offsets(vec![0, 1])
+            .build();
         let plan = QueryPlan {
             query_id: QueryId(0),
             context: "c".into(),

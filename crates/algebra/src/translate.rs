@@ -27,8 +27,9 @@
 //!    derived event types).
 
 use crate::expr::{combined_schema, BindingLayout, CompiledExpr, EvalError, LayoutVar, SlotSource};
+use crate::nfa::PatternBuilder;
 use crate::ops::{ContextInitOp, ContextTermOp, ContextWindowOp, FilterOp, Op, ProjectOp};
-use crate::pattern::{NegPosition, NegationCheck, PatternOp, PositiveElement};
+use crate::pattern::{NegPosition, NegationCheck, PatternOp};
 use crate::plan::{CombinedPlan, QueryPlan};
 use caesar_events::{AttrType, Schema, SchemaRegistry, Time, TypeId, Value};
 use caesar_query::ast::{ContextAction, Expr, Pattern};
@@ -494,22 +495,23 @@ pub fn translate_query(
                 })
                 .collect(),
         };
-        let pos_elements: Vec<PositiveElement> = positives
-            .iter()
-            .map(|(tid, _)| PositiveElement {
-                type_id: *tid,
-                step_predicates: Vec::new(),
-            })
-            .collect();
+        let mut builder = PatternBuilder::new(match_tid);
+        for (tid, _) in &positives {
+            builder = builder.then(*tid);
+        }
+        for check in negation_checks {
+            builder = match check.position {
+                NegPosition::Before => builder.not_before(check.type_id, check.predicates),
+                NegPosition::Between(k) => builder.not_between(k, check.type_id, check.predicates),
+                NegPosition::After => builder.not_after(check.type_id, check.predicates),
+            };
+        }
         (
-            PatternOp::sequence(
-                pos_elements,
-                negation_checks,
+            builder
                 // Per-query WITHIN clause overrides the global default.
-                query.within.unwrap_or(options.default_within),
-                match_tid,
-                offsets,
-            ),
+                .within(query.within.unwrap_or(options.default_within))
+                .offsets(offsets)
+                .build(),
             layout,
         )
     };

@@ -16,7 +16,8 @@
 //!    equal to a never-snapshotted twin, so no match can ever assemble
 //!    from a stale (freed-and-reused) partial.
 
-use caesar_algebra::pattern::{NegPosition, NegationCheck, PatternOp, PositiveElement};
+use caesar_algebra::nfa::PatternBuilder;
+use caesar_algebra::pattern::PatternOp;
 use caesar_events::{AttrType, Event, PartitionId, Schema, SchemaRegistry, Time, TypeId, Value};
 use proptest::prelude::*;
 
@@ -39,26 +40,13 @@ fn pattern(reg: &SchemaRegistry) -> PatternOp {
     let a = reg.lookup("A").unwrap();
     let b = reg.lookup("B").unwrap();
     let c = reg.lookup("C").unwrap();
-    PatternOp::sequence(
-        vec![
-            PositiveElement {
-                type_id: a,
-                step_predicates: vec![],
-            },
-            PositiveElement {
-                type_id: b,
-                step_predicates: vec![],
-            },
-        ],
-        vec![NegationCheck {
-            type_id: a,
-            position: NegPosition::After,
-            predicates: vec![],
-        }],
-        40,
-        c,
-        vec![0, 1],
-    )
+    PatternBuilder::new(c)
+        .then(a)
+        .then(b)
+        .not_after(a, vec![])
+        .within(40)
+        .offsets(vec![0, 1])
+        .build()
 }
 
 fn event(ty: TypeId, t: Time, v: i64) -> Event {

@@ -3,8 +3,9 @@
 //! filter evaluation and projection.
 
 use caesar_algebra::expr::{BindingLayout, CompiledExpr, LayoutVar, SlotSource};
+use caesar_algebra::nfa::PatternBuilder;
 use caesar_algebra::ops::{FilterOp, ProjectOp};
-use caesar_algebra::pattern::{NegPosition, NegationCheck, PatternOp, PositiveElement};
+use caesar_algebra::pattern::PatternOp;
 use caesar_events::{AttrType, Event, PartitionId, Schema, SchemaRegistry, Value};
 use caesar_query::ast::{BinOp, Expr};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -99,22 +100,13 @@ fn bench_sequence(c: &mut Criterion) {
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("seq_pair_vid_join_2k_events", |b| {
         b.iter(|| {
-            let mut p = PatternOp::sequence(
-                vec![
-                    PositiveElement {
-                        type_id: tid,
-                        step_predicates: vec![],
-                    },
-                    PositiveElement {
-                        type_id: tid,
-                        step_predicates: vec![step.clone()],
-                    },
-                ],
-                vec![],
-                50,
-                reg.lookup("M").unwrap(),
-                vec![0, 3],
-            );
+            let mut p = PatternBuilder::new(reg.lookup("M").unwrap())
+                .then(tid)
+                .then(tid)
+                .filter(step.clone())
+                .within(50)
+                .offsets(vec![0, 3])
+                .build();
             let mut out = Vec::new();
             for e in &stream {
                 p.process(black_box(e), &mut out);
@@ -149,20 +141,12 @@ fn bench_sequence(c: &mut Criterion) {
         )
         .unwrap();
         b.iter(|| {
-            let mut p = PatternOp::sequence(
-                vec![PositiveElement {
-                    type_id: tid,
-                    step_predicates: vec![],
-                }],
-                vec![NegationCheck {
-                    type_id: tid,
-                    position: NegPosition::Before,
-                    predicates: vec![pred.clone()],
-                }],
-                60,
-                reg.lookup("M").unwrap(),
-                vec![0],
-            );
+            let mut p = PatternBuilder::new(reg.lookup("M").unwrap())
+                .then(tid)
+                .not_before(tid, vec![pred.clone()])
+                .within(60)
+                .offsets(vec![0])
+                .build();
             let mut out = Vec::new();
             for e in &stream {
                 p.process(black_box(e), &mut out);

@@ -1,0 +1,246 @@
+//! Shared-NFA prefix benchmark: K queries agreeing on a `SEQ(A, B, …)`
+//! prefix, executed per-query vs through one [`SharedGroup`].
+//!
+//! The workload models the §5 multi-query scenario the optimizer's
+//! prefix grouping targets: every query watches the same dense `A`/`B`
+//! prefix traffic and diverges only on a rare final step (`T0`…`Tk`,
+//! with per-query predicates on that last variable so predicate
+//! push-down leaves the prefix signatures equal). Without sharing, each
+//! of the K patterns rebuilds identical `(A)` and `(A, B)` partial
+//! state from ~98% of the stream; with sharing the combined plan builds
+//! that state once and only the divergent tails run per query.
+//!
+//! Both sides run in this process over the same pre-built streams, in
+//! back-to-back pairs that alternate which side goes first (a load
+//! burst hits both runs of a pair roughly alike, and alternating the
+//! order cancels first-slot drift — the `hotpath`/`batching`
+//! methodology). The reported speedup is the median per-pair ratio.
+//!
+//! ```text
+//! cargo run --release -p caesar-bench --bin nfa
+//! ```
+//!
+//! Results are written to `BENCH_nfa.json`; EXPERIMENTS.md records a
+//! committed run. The CI `nfa` job runs this and archives the JSON.
+//!
+//! [`SharedGroup`]: caesar_algebra::pattern::SharedGroup
+
+use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+use caesar_bench::print_table;
+use caesar_core::prelude::*;
+use caesar_events::TypeId;
+use caesar_optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
+use caesar_query::QuerySet;
+use caesar_runtime::Engine;
+use std::time::Instant;
+
+/// Queries per workload row.
+const FLEETS: [usize; 4] = [2, 4, 8, 12];
+/// Events per stream.
+const STREAM_LEN: usize = 120_000;
+/// Pattern horizon: bounds live prefix state on both sides alike.
+const WITHIN: u64 = 10;
+/// Measurement pairs per row (median ratio is reported).
+const PAIRS: usize = 7;
+
+/// K queries sharing the two-step `SEQ(A a, B b, …)` prefix. The
+/// `a.v > 2` conjunct is identical in every query, so push-down moves
+/// it into step 0 of each pattern and the interned prefix signatures
+/// stay equal — evaluating it is shared work. The differing `t.v`
+/// predicates sit on the *last* variable, which push-down leaves alone.
+fn model(k: usize) -> String {
+    let mut s = String::from("MODEL nfa DEFAULT main\nCONTEXT main {\n");
+    for i in 0..k {
+        s.push_str(&format!(
+            "    DERIVE Out{i}(a.v, t.v) PATTERN SEQ(A a, B b, T{i} t) \
+             WHERE a.v > 2 AND t.v > 3 WITHIN {WITHIN}\n"
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn registry(k: usize) -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register(Schema::new("A", &[("v", AttrType::Int)]))
+        .unwrap();
+    reg.register(Schema::new("B", &[("v", AttrType::Int)]))
+        .unwrap();
+    for i in 0..k {
+        reg.register(Schema::new(format!("T{i}"), &[("v", AttrType::Int)]))
+            .unwrap();
+    }
+    reg
+}
+
+fn build(k: usize, share: bool) -> (OptimizedProgram, SchemaRegistry) {
+    let parsed = caesar_query::parse_model(&model(k)).expect("model parses");
+    let qs = QuerySet::from_model(&parsed).expect("query set");
+    let mut reg = registry(k);
+    let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).expect("translate");
+    let program = Optimizer {
+        config: OptimizerConfig {
+            share_prefixes: share,
+            ..OptimizerConfig::default()
+        },
+        ..Optimizer::default()
+    }
+    .optimize(t, &reg);
+    (program, reg)
+}
+
+/// Dense prefix traffic, rare divergent completions: nineteen `A`s per `B`
+/// (so step-0 admission — type dispatch, `a.v > 2`, partial creation,
+/// horizon eviction — is the bulk of the run, and exactly the part
+/// sharing deduplicates), one `T{j}` (rotating over the K tails) every
+/// 50 events, with one in five completions passing `t.v > 3`. Full
+/// matches happen, but match assembly costs the same on both sides, so
+/// a match-heavy stream would only dilute the sharing signal.
+fn stream(k: usize, reg: &SchemaRegistry) -> Vec<Event> {
+    let a = reg.lookup("A").expect("A");
+    let b = reg.lookup("B").expect("B");
+    let tails: Vec<TypeId> = (0..k)
+        .map(|i| reg.lookup(&format!("T{i}")).expect("tail type"))
+        .collect();
+    let mut events = Vec::with_capacity(STREAM_LEN + STREAM_LEN / 50);
+    for i in 0..STREAM_LEN {
+        let t = i as Time;
+        let v = (i % 5) as i64;
+        let ty = if i % 20 == 19 { b } else { a };
+        events.push(Event::simple(ty, t, PartitionId(0), vec![Value::Int(v)]));
+        // Tails land three ticks after a B so completions actually fire
+        // (a same-timestamp or pre-B tail could never close a strictly
+        // increasing sequence within the horizon).
+        if i % 100 == 22 {
+            let tail = tails[(i / 100) % tails.len()];
+            let tail_v = ((i / 100) % 5) as i64;
+            events.push(Event::simple(
+                tail,
+                t,
+                PartitionId(0),
+                vec![Value::Int(tail_v)],
+            ));
+        }
+    }
+    events
+}
+
+/// One timed run. Returns `(outputs, elapsed seconds)`; the output
+/// count doubles as a cross-side correctness check.
+fn timed_run(program: &OptimizedProgram, reg: &SchemaRegistry, events: &[Event]) -> (u64, f64) {
+    let mut engine = Engine::new(
+        program.clone(),
+        reg,
+        EngineConfig::builder()
+            .batch(BatchPolicy::default())
+            .build(),
+    );
+    let start = Instant::now();
+    for event in events {
+        engine.ingest(event.clone()).expect("in order");
+    }
+    let report = engine.finish();
+    (report.events_out, start.elapsed().as_secs_f64())
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_unstable_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+struct Row {
+    queries: usize,
+    events: usize,
+    outputs: u64,
+    per_query_evs: f64,
+    shared_evs: f64,
+    speedup: f64,
+}
+
+fn bench_fleet(k: usize) -> Row {
+    let (shared_prog, shared_reg) = build(k, true);
+    let (plain_prog, plain_reg) = build(k, false);
+    let events = stream(k, &shared_reg);
+    // Warmup (untimed) — and the correctness pin: sharing must not
+    // change how many events come out.
+    let (shared_outputs, _) = timed_run(&shared_prog, &shared_reg, &events);
+    let (plain_outputs, _) = timed_run(&plain_prog, &plain_reg, &events);
+    assert_eq!(
+        shared_outputs, plain_outputs,
+        "sharing changed the output count — not a benchmark, a bug"
+    );
+    let (mut plain_evs, mut shared_evs, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    let n = events.len() as f64;
+    for pair in 0..PAIRS {
+        let (p, s) = if pair % 2 == 0 {
+            let p = timed_run(&plain_prog, &plain_reg, &events).1;
+            (p, timed_run(&shared_prog, &shared_reg, &events).1)
+        } else {
+            let s = timed_run(&shared_prog, &shared_reg, &events).1;
+            (timed_run(&plain_prog, &plain_reg, &events).1, s)
+        };
+        plain_evs.push(n / p);
+        shared_evs.push(n / s);
+        ratios.push(p / s);
+    }
+    Row {
+        queries: k,
+        events: events.len(),
+        outputs: shared_outputs,
+        per_query_evs: median(&mut plain_evs),
+        shared_evs: median(&mut shared_evs),
+        speedup: median(&mut ratios),
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"queries\": {}, \"events\": {}, \"outputs\": {}, \
+                 \"per_query_events_per_sec\": {:.1}, \"shared_events_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}}}",
+                r.queries, r.events, r.outputs, r.per_query_evs, r.shared_evs, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"benchmark\": \"shared NFA prefix vs per-query pattern state\",\n\
+         \"unit\": \"events per second of wall time; median of interleaved \
+         back-to-back pairs, speedup = median per-pair ratio\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_nfa.json", &json).expect("write BENCH_nfa.json");
+    println!("\nwrote BENCH_nfa.json");
+}
+
+fn main() {
+    let rows: Vec<Row> = FLEETS.iter().map(|&k| bench_fleet(k)).collect();
+    print_table(
+        "Shared NFA prefix vs per-query state (median of interleaved pairs)",
+        &[
+            "queries",
+            "events",
+            "outputs",
+            "per-query ev/s",
+            "shared ev/s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.queries.to_string(),
+                    r.events.to_string(),
+                    r.outputs.to_string(),
+                    format!("{:.0}", r.per_query_evs),
+                    format!("{:.0}", r.shared_evs),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(&rows);
+}

@@ -21,15 +21,23 @@
 //!   2 = Float  (f64)
 //!   3 = Bool   (u8)
 //!   4 = Str    (u32 length + UTF-8 bytes)
+//! optional trailing provenance block (present only when the event
+//! carries one — a decoder that predates it skips the trailing bytes
+//! under the length prefix, and a provenance-free event encodes
+//! byte-identically to earlier versions):
+//!   u16  step count
+//!   per step: u32 type id, u64 occurrence start, u64 occurrence end
 //! ```
 
 use crate::event::{Event, PartitionId};
+use crate::provenance::{ProvStep, Provenance};
 use crate::record::OutputRecord;
 use crate::schema::TypeId;
 use crate::time::Interval;
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +96,14 @@ pub fn encode(event: &Event, buf: &mut BytesMut) {
                 buf.put_u32_le(s.len() as u32);
                 buf.put_slice(s.as_bytes());
             }
+        }
+    }
+    if let Some(prov) = &event.provenance {
+        buf.put_u16_le(prov.steps.len() as u16);
+        for step in &prov.steps {
+            buf.put_u32_le(step.type_id.0);
+            buf.put_u64_le(step.occurrence.start);
+            buf.put_u64_le(step.occurrence.end);
         }
     }
     let body_len = (buf.len() - body_start) as u32;
@@ -164,12 +180,27 @@ pub fn decode(buf: &mut Bytes) -> Result<Option<Event>, CodecError> {
             other => return Err(CodecError::BadTag(other)),
         });
     }
-    Ok(Some(Event::complex(
-        type_id,
-        Interval::new(start, end),
-        partition,
-        attrs,
-    )))
+    let mut event = Event::complex(type_id, Interval::new(start, end), partition, attrs);
+    if body.has_remaining() {
+        let steps = read_u16(&mut body)? as usize;
+        let mut prov = Provenance {
+            steps: Vec::with_capacity(steps),
+        };
+        for _ in 0..steps {
+            let step_type = TypeId(read_u32(&mut body)?);
+            let s = read_u64(&mut body)?;
+            let e = read_u64(&mut body)?;
+            if s > e {
+                return Err(CodecError::BadInterval);
+            }
+            prov.steps.push(ProvStep {
+                type_id: step_type,
+                occurrence: Interval::new(s, e),
+            });
+        }
+        event.provenance = Some(Arc::new(prov));
+    }
+    Ok(Some(event))
 }
 
 /// Decodes every event in the buffer.
@@ -355,6 +386,37 @@ mod tests {
         let mut empty = Bytes::new();
         assert_eq!(decode(&mut empty), Ok(None));
         assert!(decode_all(Bytes::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn provenance_round_trips_and_absence_is_byte_identical() {
+        let plain = sample();
+        // A provenance-free event encodes exactly as before the block
+        // existed (the opt-in wire extension adds zero bytes when off).
+        let baseline = encode_to_vec(&plain);
+
+        let prov = Provenance::from_steps([
+            (TypeId(1), Interval::point(10)),
+            (TypeId(2), Interval::new(12, 40)),
+        ]);
+        let tagged = plain.with_provenance(Arc::new(prov.clone()));
+        let encoded = encode_to_vec(&tagged);
+        assert!(encoded.len() > baseline.len());
+        let decoded = decode(&mut Bytes::from(encoded)).unwrap().unwrap();
+        assert_eq!(decoded, tagged);
+        assert_eq!(decoded.provenance.as_deref(), Some(&prov));
+    }
+
+    #[test]
+    fn provenance_inverted_interval_rejected() {
+        let prov = Provenance::from_steps([(TypeId(1), Interval::point(10))]);
+        let tagged = sample().with_provenance(Arc::new(prov));
+        let mut raw = encode_to_vec(&tagged);
+        // The single step's start/end are the final two qwords.
+        let n = raw.len();
+        raw[n - 16..n - 8].copy_from_slice(&99u64.to_le_bytes());
+        raw[n - 8..].copy_from_slice(&5u64.to_le_bytes());
+        assert_eq!(decode(&mut Bytes::from(raw)), Err(CodecError::BadInterval));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! were derived from \[23\].
 
 use crate::error::EventError;
+use crate::provenance::Provenance;
 use crate::schema::{AttrId, Schema, SchemaRegistry, TypeId};
 use crate::time::{Interval, Time};
 use crate::value::Value;
@@ -51,6 +52,12 @@ pub struct Event {
     pub partition: PartitionId,
     /// Attribute values, positionally matching the schema.
     pub attrs: Arc<[Value]>,
+    /// Match provenance of a derived event — the contributing events of
+    /// each pattern step. `None` unless the engine runs in the opt-in
+    /// provenance-collecting mode; participates in equality and the
+    /// wire encoding (as a trailing optional block), so provenance-off
+    /// runs stay byte-identical to earlier versions.
+    pub provenance: Option<Arc<Provenance>>,
 }
 
 impl Event {
@@ -67,6 +74,7 @@ impl Event {
             occurrence: Interval::point(t),
             partition,
             attrs: attrs.into(),
+            provenance: None,
         }
     }
 
@@ -83,7 +91,16 @@ impl Event {
             occurrence,
             partition,
             attrs: attrs.into(),
+            provenance: None,
         }
+    }
+
+    /// The same event carrying `provenance` (builder-style; used by the
+    /// pattern runtime's provenance-collecting mode).
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Arc<Provenance>) -> Self {
+        self.provenance = Some(provenance);
+        self
     }
 
     /// The event's *ordering* timestamp. CAESAR orders events (and forms
@@ -202,6 +219,7 @@ impl<'a> EventBuilder<'a> {
             occurrence: self.time,
             partition: self.partition,
             attrs: self.attrs.into(),
+            provenance: None,
         };
         event.validate(self.registry)?;
         Ok(event)

@@ -30,6 +30,7 @@ pub mod columnar;
 pub mod error;
 pub mod event;
 pub mod generator;
+pub mod provenance;
 pub mod queue;
 pub mod record;
 pub mod reorder;
@@ -46,6 +47,7 @@ pub use codec::{
 pub use columnar::{Column, ColumnKind, ColumnarBatch, ColumnarView, StrColumn};
 pub use error::EventError;
 pub use event::{Event, EventBuilder, PartitionId};
+pub use provenance::{ProvStep, Provenance};
 pub use queue::{EventQueue, PartitionedQueues};
 pub use record::OutputRecord;
 pub use reorder::{max_lateness, ReorderBuffer};

@@ -1,0 +1,89 @@
+//! Match provenance: which primitive events produced a derived event.
+//!
+//! A complex event is, formally, a *set of primitive events* (the match
+//! that derived it — see "Foundations of Complex Event Processing",
+//! arXiv:1709.05369). The engine normally discards that set after
+//! projection; in provenance-collecting mode (an opt-in execution mode,
+//! `EngineConfig::provenance`) every derived event instead carries a
+//! [`Provenance`]: one [`ProvStep`] per positive pattern step, recording
+//! the type and occurrence interval of the event bound at that step.
+//!
+//! Provenance is attached behind an `Arc` so fan-out through shared
+//! operators stays cheap, participates in event equality and the wire
+//! encoding (as a backward-compatible trailing block — see
+//! [`codec`](crate::codec)), and is reproduced independently by the
+//! testkit's reference oracle so the differential harness pins it
+//! byte-for-byte.
+
+use crate::schema::TypeId;
+use crate::time::Interval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One positive pattern step of a match: the type and occurrence of the
+/// primitive (or previously derived) event bound at that step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvStep {
+    /// Type of the contributing event.
+    pub type_id: TypeId,
+    /// Occurrence interval of the contributing event (a point for
+    /// simple events).
+    pub occurrence: Interval,
+}
+
+/// The full provenance of one derived event: the contributing events of
+/// each positive pattern step, in step order. A pass-through query has a
+/// single step (the triggering event itself).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Contributing events in positive-step order.
+    pub steps: Vec<ProvStep>,
+}
+
+impl Provenance {
+    /// Builds provenance from `(type, occurrence)` pairs in step order.
+    #[must_use]
+    pub fn from_steps(steps: impl IntoIterator<Item = (TypeId, Interval)>) -> Self {
+        Self {
+            steps: steps
+                .into_iter()
+                .map(|(type_id, occurrence)| ProvStep {
+                    type_id,
+                    occurrence,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of contributing events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if step.occurrence.start == step.occurrence.end {
+                write!(f, "#{}@{}", step.type_id.0, step.occurrence.end)?;
+            } else {
+                write!(
+                    f,
+                    "#{}@[{},{}]",
+                    step.type_id.0, step.occurrence.start, step.occurrence.end
+                )?;
+            }
+        }
+        Ok(())
+    }
+}

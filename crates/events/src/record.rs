@@ -12,6 +12,7 @@
 //! equality on every generated workload.
 
 use crate::event::Event;
+use crate::provenance::Provenance;
 
 /// One entry of a speculative output stream: an emission or the
 /// compensating retraction of a previously emitted event.
@@ -39,5 +40,15 @@ impl OutputRecord {
     #[must_use]
     pub fn is_retraction(&self) -> bool {
         matches!(self, OutputRecord::Retract(_))
+    }
+
+    /// Match provenance of the carried event — the contributing
+    /// primitive events of each pattern step. `None` unless the
+    /// producing engine ran in provenance-collecting mode (provenance
+    /// survives the wire round-trip, so served subscriptions see it in
+    /// `Client::take_records` too).
+    #[must_use]
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.event().provenance.as_deref()
     }
 }

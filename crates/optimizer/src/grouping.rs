@@ -15,6 +15,10 @@
 //! positions for data-driven experiment workloads); actual start/end
 //! times remain unknown until runtime.
 
+use caesar_algebra::nfa::{step_signature, PredicateId, PredicateTable};
+use caesar_algebra::pattern::{SharedGroup, SharedMember};
+use caesar_algebra::{CombinedPlan, Op};
+use caesar_events::{Time, TypeId};
 use caesar_query::ast::QueryId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -207,6 +211,159 @@ fn dedup(mut queries: Vec<QueryId>) -> Vec<QueryId> {
     queries
 }
 
+/// One sequence pattern eligible for prefix sharing.
+struct PrefixCandidate {
+    plan: usize,
+    pattern_pos: usize,
+    gated: bool,
+    within: Time,
+    /// Interned per-step signatures (type + sorted predicate refs).
+    sig: Vec<(TypeId, Vec<PredicateId>)>,
+}
+
+/// Extends §5 workload sharing from context windows to *pattern
+/// prefixes*: sequence patterns of one combined plan whose leading
+/// steps agree on event type and (interned) step predicates build those
+/// prefix partials once, in a [`SharedGroup`], instead of once per
+/// query.
+///
+/// Eligibility is deliberately conservative — sharing must be
+/// output-invariant, byte for byte:
+///
+/// * Only non-pass-through patterns of arity ≥ 2. Negations never
+///   constrain eligibility: they are checked at match completion
+///   against member-local buffers that the member's own (unchanged)
+///   processing keeps feeding.
+/// * The pattern sits either at the very bottom of its chain (ungated —
+///   it observes the raw input stream) or directly above a pushed-down
+///   context window of the combined plan's own context with no extra
+///   bits (gated — the group mirrors that admission check).
+/// * All prefix step types, and each member's first step *above* the
+///   prefix, are external inputs of the combined plan: the boundary
+///   crossing runs on the external-event path only.
+/// * Members agree on `within` (the span guard prunes identically) and
+///   on the interned signature of every shared step.
+///
+/// The shared prefix length is the longest common signature prefix
+/// across the bucket, capped one below the smallest member arity so
+/// every member keeps at least its final step private.
+#[must_use]
+pub fn shared_prefix_groups(combined: &CombinedPlan) -> Vec<SharedGroup> {
+    let mut table = PredicateTable::new();
+    let mut cands: Vec<PrefixCandidate> = Vec::new();
+    for (pi, plan) in combined.plans.iter().enumerate() {
+        let Some(pos) = plan.pattern_position() else {
+            continue;
+        };
+        let Op::Pattern(p) = &plan.ops[pos] else {
+            continue;
+        };
+        if p.is_passthrough() || p.arity() < 2 {
+            continue;
+        }
+        let gated = match pos {
+            // Ungated sharing requires a window-free chain: a context
+            // window *above* the pattern still resets the member's state
+            // on termination, which a shared group would not mirror.
+            0 if plan.context_window_position().is_none() => false,
+            0 => continue,
+            1 => match &plan.ops[0] {
+                Op::ContextWindow(cw)
+                    if cw.context_bit == combined.context_bit && cw.extra_bits.is_empty() =>
+                {
+                    true
+                }
+                _ => continue,
+            },
+            _ => continue,
+        };
+        let sig = p
+            .steps()
+            .iter()
+            .map(|s| step_signature(s, &mut table))
+            .collect();
+        cands.push(PrefixCandidate {
+            plan: pi,
+            pattern_pos: pos,
+            gated,
+            within: p.within(),
+            sig,
+        });
+    }
+
+    // Bucket by (gated, within, step-0 signature); a pattern lands in
+    // exactly one bucket, so members join at most one group.
+    let mut groups: Vec<SharedGroup> = Vec::new();
+    let mut used = vec![false; cands.len()];
+    for i in 0..cands.len() {
+        if used[i] {
+            continue;
+        }
+        let bucket: Vec<usize> = (i..cands.len())
+            .filter(|&j| {
+                !used[j]
+                    && cands[j].gated == cands[i].gated
+                    && cands[j].within == cands[i].within
+                    && cands[j].sig[0] == cands[i].sig[0]
+            })
+            .collect();
+        if bucket.len() < 2 {
+            continue;
+        }
+        // Longest common signature prefix, capped one below the
+        // smallest arity.
+        let cap = bucket.iter().map(|&j| cands[j].sig.len()).min().unwrap() - 1;
+        let mut l = cap;
+        for k in 0..cap {
+            if !bucket.iter().all(|&j| cands[j].sig[k] == cands[i].sig[k]) {
+                l = k;
+                break;
+            }
+        }
+        if l < 1 {
+            continue;
+        }
+        // External-input constraint: the group advances, and boundaries
+        // cross, on the external-event path only.
+        let members: Vec<usize> = bucket
+            .iter()
+            .copied()
+            .filter(|&j| {
+                let plan = &combined.plans[cands[j].plan];
+                let Op::Pattern(p) = &plan.ops[cands[j].pattern_pos] else {
+                    return false;
+                };
+                p.steps()[..=l]
+                    .iter()
+                    .all(|s| combined.consumes_external(s.type_id))
+            })
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        for &j in &members {
+            used[j] = true;
+        }
+        let first = &combined.plans[cands[members[0]].plan];
+        let Op::Pattern(p) = &first.ops[cands[members[0]].pattern_pos] else {
+            unreachable!("candidate points at a pattern");
+        };
+        groups.push(SharedGroup::new(
+            p.steps()[..l].to_vec(),
+            cands[i].within,
+            cands[i].gated,
+            members
+                .iter()
+                .map(|&j| SharedMember {
+                    plan: cands[j].plan,
+                    pattern_pos: cands[j].pattern_pos,
+                })
+                .collect(),
+        ));
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +533,104 @@ mod tests {
         let result = group_windows(vec![]);
         assert!(result.windows.is_empty());
         assert_eq!(result.split_count, 0);
+    }
+
+    fn prefix_combined(src: &str) -> CombinedPlan {
+        use caesar_algebra::translate::{translate_query_set, TranslateOptions};
+        use caesar_events::{AttrType, Schema, SchemaRegistry};
+        let model = caesar_query::parser::parse_model(src).unwrap();
+        let qs = caesar_query::queryset::QuerySet::from_model(&model).unwrap();
+        let mut reg = SchemaRegistry::new();
+        for name in ["A", "B", "C", "D", "E"] {
+            reg.register(Schema::new(name, &[("v", AttrType::Int)]))
+                .unwrap();
+        }
+        let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+        let program = crate::optimizer::Optimizer::default().optimize(t, &reg);
+        let mut combined = program.translation.combined;
+        assert_eq!(combined.len(), 1);
+        combined.pop().unwrap()
+    }
+
+    #[test]
+    fn shared_prefix_groups_find_common_two_step_prefix() {
+        // Out1 and Out2 agree on SEQ(A, B, _); predicates sit on the
+        // final variable, which predicate push-down leaves alone, so the
+        // interned prefix signatures stay equal. Solo starts with E and
+        // shares nothing.
+        let combined = prefix_combined(
+            r#"
+            MODEL m DEFAULT ctx
+            CONTEXT ctx {
+                DERIVE Out1(a.v) PATTERN SEQ(A a, B b, C c) WHERE c.v > 1
+                DERIVE Out2(a.v) PATTERN SEQ(A a, B b, D d) WHERE d.v > 2
+                DERIVE Solo(e.v) PATTERN SEQ(E e, A a2)
+            }
+        "#,
+        );
+        let groups = shared_prefix_groups(&combined);
+        assert_eq!(groups.len(), 1, "one group for the A-B prefix");
+        let g = &groups[0];
+        assert_eq!(g.prefix_len(), 2);
+        let members: Vec<usize> = g.members().iter().map(|m| m.plan).collect();
+        assert_eq!(members, vec![0, 1], "Solo (plan 2) is not a member");
+        for m in g.members() {
+            let Op::Pattern(p) = &combined.plans[m.plan].ops[m.pattern_pos] else {
+                panic!("member does not point at a pattern");
+            };
+            assert_eq!(p.arity(), 3);
+        }
+    }
+
+    #[test]
+    fn differing_within_horizons_do_not_share() {
+        let combined = prefix_combined(
+            r#"
+            MODEL m DEFAULT ctx
+            CONTEXT ctx {
+                DERIVE Out1(a.v) PATTERN SEQ(A a, B b) WITHIN 10
+                DERIVE Out2(a.v) PATTERN SEQ(A a, C c) WITHIN 20
+            }
+        "#,
+        );
+        assert!(
+            shared_prefix_groups(&combined).is_empty(),
+            "span pruning differs, so the partials are not interchangeable"
+        );
+    }
+
+    #[test]
+    fn pushed_prefix_predicate_blocks_sharing() {
+        // `a.v > 5` is pushed into Out1's first step; Out2's first step
+        // carries no predicate, so the interned signatures differ.
+        let combined = prefix_combined(
+            r#"
+            MODEL m DEFAULT ctx
+            CONTEXT ctx {
+                DERIVE Out1(a.v) PATTERN SEQ(A a, B b, C c) WHERE a.v > 5
+                DERIVE Out2(a.v) PATTERN SEQ(A a, B b, D d)
+            }
+        "#,
+        );
+        assert!(shared_prefix_groups(&combined).is_empty());
+    }
+
+    #[test]
+    fn identical_pushed_prefix_predicates_still_share() {
+        // Both queries push `a.v > 5` into step 0: the predicates intern
+        // to the same id, so the prefix remains shared.
+        let combined = prefix_combined(
+            r#"
+            MODEL m DEFAULT ctx
+            CONTEXT ctx {
+                DERIVE Out1(a.v) PATTERN SEQ(A a, B b, C c) WHERE a.v > 5
+                DERIVE Out2(a.v) PATTERN SEQ(A a, B b, D d) WHERE a.v > 5
+            }
+        "#,
+        );
+        let groups = shared_prefix_groups(&combined);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].prefix_len(), 2);
     }
 
     #[test]

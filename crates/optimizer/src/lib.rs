@@ -35,7 +35,7 @@ pub mod pushdown;
 pub mod search;
 pub mod subsume;
 
-pub use grouping::{group_windows, GroupedWindow, UserWindow};
+pub use grouping::{group_windows, shared_prefix_groups, GroupedWindow, UserWindow};
 pub use mqo::{bell_number, find_sharing, stirling2, SharedWorkload};
 pub use optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
 pub use pushdown::{

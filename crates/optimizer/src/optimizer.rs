@@ -36,6 +36,13 @@ pub struct OptimizerConfig {
     /// Detect structurally identical queries and execute them once
     /// (§5.3).
     pub share_workloads: bool,
+    /// Run queries whose compiled patterns agree on a pattern prefix
+    /// over one shared partial-match store per optimizer group
+    /// ([`crate::grouping::shared_prefix_groups`]). Off by default:
+    /// prefix sharing changes only throughput, never outputs, but the
+    /// runtime must opt in because shared state participates in
+    /// checkpoints.
+    pub share_prefixes: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -45,6 +52,7 @@ impl Default for OptimizerConfig {
             merge_filters: true,
             push_predicates: true,
             share_workloads: true,
+            share_prefixes: false,
         }
     }
 }
@@ -58,6 +66,7 @@ impl OptimizerConfig {
             merge_filters: false,
             push_predicates: false,
             share_workloads: false,
+            share_prefixes: false,
         }
     }
 }
@@ -86,6 +95,9 @@ pub struct OptimizedProgram {
     pub cost_before: f64,
     /// Estimated cost after optimization.
     pub cost_after: f64,
+    /// Whether the runtime should install shared-prefix groups when it
+    /// builds execution state from this program.
+    pub share_prefixes: bool,
 }
 
 impl OptimizedProgram {
@@ -210,6 +222,7 @@ impl Optimizer {
             window_specs,
             cost_before,
             cost_after,
+            share_prefixes: self.config.share_prefixes,
         }
     }
 

@@ -174,9 +174,7 @@ pub fn push_predicates_into_pattern(plan: &mut QueryPlan, registry: &SchemaRegis
                 continue;
             }
             for (slot, compiled) in &compiled_steps {
-                p.positives_mut()[*slot]
-                    .step_predicates
-                    .push(compiled.clone());
+                p.push_step_predicate(*slot, compiled.clone());
             }
         }
     }

@@ -106,6 +106,14 @@ pub struct EngineConfig {
     /// output latency against retraction traffic, never results.
     #[serde(default)]
     pub consistency: Consistency,
+    /// Collect match provenance: every derived complex event carries the
+    /// `(type, occurrence time)` of each contributing input event
+    /// (`caesar_events::Provenance`). Off by default — provenance
+    /// changes the payload of every output event (and therefore its
+    /// wire bytes), so unlike the other opt-in layers it participates
+    /// in [`semantics_eq`](EngineConfig::semantics_eq).
+    #[serde(default)]
+    pub provenance: bool,
 }
 
 fn default_vectorize() -> bool {
@@ -127,6 +135,7 @@ impl Default for EngineConfig {
             vectorize: default_vectorize(),
             observability: ObservabilityLevel::Off,
             consistency: Consistency::Strict,
+            provenance: false,
         }
     }
 }
@@ -262,6 +271,13 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn consistency(mut self, level: Consistency) -> Self {
         self.config.consistency = level;
+        self
+    }
+
+    /// Match provenance collection (see [`EngineConfig::provenance`]).
+    #[must_use]
+    pub fn provenance(mut self, enabled: bool) -> Self {
+        self.config.provenance = enabled;
         self
     }
 
@@ -465,17 +481,36 @@ impl Engine {
     /// registry the program was translated against (it names the derived
     /// types in reports).
     #[must_use]
-    pub fn new(program: OptimizedProgram, registry: &SchemaRegistry, config: EngineConfig) -> Self {
+    pub fn new(
+        mut program: OptimizedProgram,
+        registry: &SchemaRegistry,
+        config: EngineConfig,
+    ) -> Self {
         let sharing = if config.sharing {
             program.sharing.clone()
         } else {
             Vec::new()
         };
+        if config.provenance {
+            // Flip every pattern into timestamp-collecting mode before
+            // the template is built (per-partition programs are cloned
+            // from it, so the flag propagates everywhere).
+            for combined in &mut program.translation.combined {
+                for plan in &mut combined.plans {
+                    for op in &mut plan.ops {
+                        if let caesar_algebra::Op::Pattern(p) = op {
+                            p.set_collect_provenance(true);
+                        }
+                    }
+                }
+            }
+        }
         let template = ProgramTemplate::build_with(
             program.translation.combined,
             &sharing,
             config.mode,
             config.baseline_pushdown,
+            program.share_prefixes,
         );
         let default_bit = program.translation.default_bit;
         let table = ContextTable::new(program.translation.context_names.len(), default_bit);

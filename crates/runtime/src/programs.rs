@@ -62,19 +62,26 @@ impl ProgramTemplate {
     /// execute once; pass an empty slice to disable sharing.
     #[must_use]
     pub fn build(combined: Vec<CombinedPlan>, sharing: &[SharedWorkload], mode: Mode) -> Self {
-        Self::build_with(combined, sharing, mode, true)
+        Self::build_with(combined, sharing, mode, true, false)
     }
 
-    /// [`ProgramTemplate::build`] with control over baseline push-down:
-    /// `baseline_pushdown = false` leaves context windows wherever the
-    /// plans put them, modelling a literal SASE-style busy-waiting
-    /// engine (see `EngineConfig::baseline_pushdown`).
+    /// [`ProgramTemplate::build`] with control over baseline push-down
+    /// and pattern-prefix sharing:
+    /// * `baseline_pushdown = false` leaves context windows wherever the
+    ///   plans put them, modelling a literal SASE-style busy-waiting
+    ///   engine (see `EngineConfig::baseline_pushdown`);
+    /// * `share_prefixes = true` installs [`shared_prefix_groups`] on
+    ///   each processing combined plan (context-aware mode only — the
+    ///   baseline re-derivation clones would not share state anyway).
+    ///
+    /// [`shared_prefix_groups`]: caesar_optimizer::shared_prefix_groups
     #[must_use]
     pub fn build_with(
         combined: Vec<CombinedPlan>,
         sharing: &[SharedWorkload],
         mode: Mode,
         baseline_pushdown: bool,
+        share_prefixes: bool,
     ) -> Self {
         // Which queries are dropped in favour of a representative, and
         // which extra context bits each representative gains.
@@ -127,11 +134,14 @@ impl ProgramTemplate {
                 }
             }
             if !kept_processing.is_empty() {
-                processing.push(CombinedPlan::new(
-                    c.context.clone(),
-                    c.context_bit,
-                    kept_processing,
-                ));
+                let mut cp = CombinedPlan::new(c.context.clone(), c.context_bit, kept_processing);
+                if share_prefixes && mode == Mode::ContextAware {
+                    let groups = caesar_optimizer::shared_prefix_groups(&cp);
+                    if !groups.is_empty() {
+                        cp.install_shared_prefixes(groups);
+                    }
+                }
+                processing.push(cp);
             }
         }
 
@@ -418,20 +428,18 @@ impl PartitionPrograms {
     ///   expire partials that started before every still-open member
     ///   window began (Figure 7's grouped-window expiry).
     pub fn on_context_terminated(&mut self, bit: u8, partition: PartitionId, table: &ContextTable) {
-        let pc = table.partition(partition);
-        for plan in self
-            .processing
-            .iter_mut()
-            .flat_map(|c| c.plans.iter_mut())
-            .chain(self.deriving.iter_mut())
-        {
+        fn reset_or_expire(
+            plan: &mut QueryPlan,
+            bit: u8,
+            pc: &caesar_algebra::context_table::PartitionContexts,
+        ) {
             let Some(Op::ContextWindow(cw)) = plan.ops.iter().find(|o| o.is_context_window())
             else {
-                continue;
+                return;
             };
             let bits = cw.all_bits();
             if !bits.contains(&bit) {
-                continue;
+                return;
             }
             // Member windows still open (other than the terminated one).
             let still_open_starts: Vec<Time> = bits
@@ -443,6 +451,20 @@ impl PartitionPrograms {
                 None => plan.reset_state(),
                 Some(&earliest) => plan.expire_history(earliest),
             }
+        }
+        let pc = table.partition(partition);
+        for c in &mut self.processing {
+            // Gated shared-prefix groups are scoped to exactly the
+            // combined plan's context window, like their members.
+            if c.context_bit == bit {
+                c.reset_shared_gated();
+            }
+            for plan in &mut c.plans {
+                reset_or_expire(plan, bit, &pc);
+            }
+        }
+        for plan in &mut self.deriving {
+            reset_or_expire(plan, bit, &pc);
         }
     }
 

@@ -15,10 +15,12 @@
 use crate::generate::Workload;
 use crate::oracle::{Oracle, OracleRun};
 use caesar_algebra::translate::{translate_query_set, TranslateOptions};
-use caesar_events::{codec, Event, OutputRecord, SchemaRegistry};
+use caesar_events::{codec, BatchPolicy, Event, OutputRecord, SchemaRegistry};
 use caesar_optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
 use caesar_query::{pretty, QuerySet};
-use caesar_runtime::{run_mode_full, standard_matrix, Consistency, ModeSpec, RunReport};
+use caesar_runtime::{
+    run_mode_full, standard_matrix, Consistency, EngineConfig, ModeSpec, RunReport,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -91,6 +93,30 @@ pub fn build_programs(
     }
     .optimize(t_unopt, &reg_unopt);
     Ok((optimized, unoptimized, reg_opt))
+}
+
+/// The optimized program with pattern-prefix sharing enabled, plus its
+/// registry. Translation is deterministic over clones of the same input
+/// registry, so type ids (and canonical output encodings) line up with
+/// [`build_programs`]' legs and the oracle.
+pub fn build_shared_program(
+    workload: &Workload,
+) -> Result<(OptimizedProgram, SchemaRegistry), String> {
+    let qs = QuerySet::from_model(&workload.model).map_err(|e| e.to_string())?;
+    let options = TranslateOptions {
+        default_within: workload.default_within,
+    };
+    let mut reg = workload.registry.clone();
+    let t = translate_query_set(&qs, &mut reg, &options).map_err(|e| e.to_string())?;
+    let shared = Optimizer {
+        config: OptimizerConfig {
+            share_prefixes: true,
+            ..OptimizerConfig::default()
+        },
+        ..Optimizer::default()
+    }
+    .optimize(t, &reg);
+    Ok((shared, reg))
 }
 
 /// Canonical form of an output multiset: per-event codec encodings,
@@ -238,6 +264,96 @@ pub fn check_workload_against(
         let (report, outputs, records) = run_mode_full(program, &registry, &spec, &workload.events)
             .map_err(|e| fail(&spec.label, format!("engine error: {e}")))?;
         compare_leg(workload, &spec, &report, &outputs, &records, oracle_run)
+            .map_err(|detail| fail(&spec.label, detail))?;
+    }
+    // The NFA-vs-legacy leg: the same optimized plan with pattern-prefix
+    // sharing enabled. Whether groups form or not, shared-state
+    // execution must reproduce the oracle byte for byte, under both
+    // dispatch paths (the batched path routes shared plans event-major).
+    let (shared, shared_reg) =
+        build_shared_program(workload).map_err(|e| fail("build/shared-prefix", e))?;
+    let base = || EngineConfig::builder().reorder_slack(workload.reorder_slack);
+    for spec in [
+        ModeSpec::sequential(
+            "seq/shared-prefix/per-event",
+            base().batch(BatchPolicy::per_event()).build(),
+        ),
+        ModeSpec::sequential(
+            "seq/shared-prefix/batch",
+            base().batch(BatchPolicy::default()).build(),
+        ),
+    ] {
+        let (report, outputs, records) =
+            run_mode_full(&shared, &shared_reg, &spec, &workload.events)
+                .map_err(|e| fail(&spec.label, format!("engine error: {e}")))?;
+        compare_leg(workload, &spec, &report, &outputs, &records, oracle_run)
+            .map_err(|detail| fail(&spec.label, detail))?;
+    }
+    Ok(())
+}
+
+/// The provenance differential: the engine in timestamp-collecting mode
+/// against the oracle with provenance attached. Provenance participates
+/// in the wire encoding, so the canonical byte comparison pins every
+/// collected `(type, occurrence)` step exactly — across per-event,
+/// batched, unoptimized and shared-prefix legs.
+pub fn check_workload_provenance(workload: &Workload) -> Result<(), DiffFailure> {
+    let fail = |leg: &str, detail: String| DiffFailure {
+        seed: workload.seed,
+        leg: leg.to_string(),
+        detail,
+        model_text: pretty::model_to_string(&workload.model),
+        events_text: render_events(&workload.events, &workload.registry),
+    };
+    let (optimized, unoptimized, registry) =
+        build_programs(workload).map_err(|e| fail("build", e))?;
+    let (shared, shared_reg) =
+        build_shared_program(workload).map_err(|e| fail("build/shared-prefix", e))?;
+    let oracle = Oracle::build(&workload.model, &registry, workload.default_within)
+        .map_err(|e| fail("oracle", e.to_string()))?
+        .with_provenance(true);
+    let oracle_run = oracle.run(&workload.events);
+    let base = || {
+        EngineConfig::builder()
+            .reorder_slack(workload.reorder_slack)
+            .provenance(true)
+    };
+    let mut unopt_spec = ModeSpec::sequential(
+        "prov/per-event/unoptimized",
+        base().batch(BatchPolicy::per_event()).build(),
+    );
+    unopt_spec.optimized = false;
+    let legs = [
+        (
+            ModeSpec::sequential(
+                "prov/per-event/optimized",
+                base().batch(BatchPolicy::per_event()).build(),
+            ),
+            &optimized,
+            &registry,
+        ),
+        (
+            ModeSpec::sequential(
+                "prov/batch/vectorized",
+                base().batch(BatchPolicy::default()).vectorize(true).build(),
+            ),
+            &optimized,
+            &registry,
+        ),
+        (unopt_spec, &unoptimized, &registry),
+        (
+            ModeSpec::sequential(
+                "prov/shared-prefix",
+                base().batch(BatchPolicy::per_event()).build(),
+            ),
+            &shared,
+            &shared_reg,
+        ),
+    ];
+    for (spec, program, reg) in legs {
+        let (report, outputs, records) = run_mode_full(program, reg, &spec, &workload.events)
+            .map_err(|e| fail(&spec.label, format!("engine error: {e}")))?;
+        compare_leg(workload, &spec, &report, &outputs, &records, &oracle_run)
             .map_err(|detail| fail(&spec.label, detail))?;
     }
     Ok(())

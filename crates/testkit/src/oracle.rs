@@ -27,10 +27,11 @@
 //! oracle so the differential harness can prove it would notice a real
 //! divergence (the mutation smoke-check in EXPERIMENTS.md).
 
-use caesar_events::{AttrId, Event, Interval, SchemaRegistry, Time, TypeId, Value};
+use caesar_events::{AttrId, Event, Interval, Provenance, SchemaRegistry, Time, TypeId, Value};
 use caesar_query::{BinOp, CaesarModel, ContextAction, Expr, Pattern, QuerySet};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// A deliberately injected semantics bug, used to smoke-check that the
 /// differential harness actually detects divergence.
@@ -337,6 +338,9 @@ pub struct Oracle {
     /// Processing spec indices per context bit, in query id order.
     processing_by_bit: Vec<Vec<usize>>,
     mutation: Option<Mutation>,
+    /// Attach [`Provenance`] to every output, mirroring the engine's
+    /// timestamp-collecting mode (`EngineConfig::provenance`).
+    provenance: bool,
 }
 
 impl Oracle {
@@ -405,7 +409,19 @@ impl Oracle {
             deriving,
             processing_by_bit,
             mutation,
+            provenance: false,
         })
+    }
+
+    /// Switches provenance collection on: every output event carries the
+    /// `(type, occurrence)` of each bound positive pattern element, in
+    /// step order — exactly what the engine attaches in its
+    /// timestamp-collecting mode. (A pass-through match contributes its
+    /// single triggering event.)
+    #[must_use]
+    pub fn with_provenance(mut self, collect: bool) -> Self {
+        self.provenance = collect;
+        self
     }
 
     /// Evaluates the model over `events` (arrival order; the oracle
@@ -590,7 +606,12 @@ impl Oracle {
         } else {
             Interval::new(tuple[0].time(), tuple_end(tuple))
         };
-        let out = Event::complex(*out_type, occurrence, tuple[0].partition, attrs);
+        let mut out = Event::complex(*out_type, occurrence, tuple[0].partition, attrs);
+        if self.provenance {
+            out = out.with_provenance(Arc::new(Provenance::from_steps(
+                tuple.iter().map(|e| (e.type_id, e.occurrence)),
+            )));
+        }
         run.outputs.push(out);
         run.events_out += 1;
         *run.outputs_by_type.entry(name.clone()).or_default() += 1;

@@ -5,7 +5,8 @@
 //! caesar explain --model traffic.caesar --schema traffic.schema
 //! caesar run     --model traffic.caesar --schema traffic.schema \
 //!                --events day1.events [--mode ci] [--no-sharing] \
-//!                [--within 60] [--metrics] [--metrics-json out.json] \
+//!                [--within 60] [--explain] \
+//!                [--metrics] [--metrics-json out.json] \
 //!                [--observability off|counters|spans] \
 //!                [--consistency strict|speculative]
 //! ```
@@ -43,7 +44,7 @@ const USAGE: &str = "usage:
                  [--checkpoint-dir DIR] [--checkpoint-every-events N]
                  [--observability off|counters|spans]
                  [--consistency strict|speculative]
-                 [--metrics] [--metrics-json FILE]
+                 [--metrics] [--metrics-json FILE] [--explain]
   caesar serve   --tenant NAME=MODEL_FILE,SCHEMA_FILE [--tenant ...]
                  [--listen ADDR] [--metrics-listen ADDR]
                  [--shards N] [--queue-capacity N]
@@ -80,6 +81,11 @@ derived events until disorder within the reorder slack can no longer
 change them; speculative emits them on arrival and sends retractions
 plus corrected outputs when a late event invalidates a match (RETRACT
 frames on served subscriptions). Settled results are identical.
+
+--explain turns on match provenance collection and appends one line per
+derived event naming the contributing events its pattern bound at each
+step (`Out@[2,5] <= A@2, B@3, D@5`). Provenance rides the wire encoding,
+so served subscriptions see it too when their tenant runs with it.
 
 --observability selects how much the engine records about itself:
 counters adds cheap event/transaction tallies, spans additionally times
@@ -125,6 +131,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     if let Some(n) = flag("--shards") {
         options.shards = n.parse().map_err(|e| format!("--shards: {e}"))?;
     }
+    options.explain = args.iter().any(|a| a == "--explain");
     options.metrics = args.iter().any(|a| a == "--metrics");
     if let Some(path) = flag("--metrics-json") {
         options.metrics_json = Some(path.into());

@@ -206,6 +206,10 @@ pub struct RunOptions {
     pub metrics: bool,
     /// Write the metrics snapshot as JSON to this path.
     pub metrics_json: Option<PathBuf>,
+    /// Explain every match: forces provenance collection
+    /// ([`EngineConfig::provenance`]) and appends one line per derived
+    /// event listing the contributing events that produced it.
+    pub explain: bool,
 }
 
 impl Default for RunOptions {
@@ -226,6 +230,7 @@ impl Default for RunOptions {
             consistency: Consistency::Strict,
             metrics: false,
             metrics_json: None,
+            explain: false,
         }
     }
 }
@@ -254,6 +259,12 @@ pub fn engine_config(options: &RunOptions) -> EngineConfig {
         .vectorize(options.vectorize)
         .observability(options.observability)
         .consistency(options.consistency)
+        // `--explain` needs each match's contributing events (and the
+        // matches themselves retained for the post-run rendering). The
+        // server overrides `collect_outputs` and drains per frame, so
+        // the flag stays safe for `caesar serve` tenants too.
+        .provenance(options.explain)
+        .collect_outputs(options.explain)
         .build()
 }
 
@@ -299,6 +310,13 @@ pub fn run(options: &RunOptions) -> Result<String, CliError> {
         ));
     };
     out.push_str(&render_report(&report));
+    if options.explain {
+        out.push('\n');
+        out.push_str(&render_explain(
+            &system.engine.collected_outputs,
+            &system.registry,
+        ));
+    }
     if options.metrics {
         out.push('\n');
         out.push_str(&report.metrics.render());
@@ -384,6 +402,45 @@ pub fn render_report(report: &RunReport) -> String {
         if !ty.starts_with("$match") {
             s.push_str(&format!("  {ty:30} {n}\n"));
         }
+    }
+    s
+}
+
+/// Renders the `--explain` section: one line per derived event, naming
+/// the contributing events (type + occurrence time) its match bound at
+/// each pattern step. Outputs must come from a run with
+/// [`EngineConfig::provenance`] on, as [`run`] forces for the flag.
+#[must_use]
+pub fn render_explain(outputs: &[Event], registry: &SchemaRegistry) -> String {
+    let name = |tid| registry.schema(tid).name.clone();
+    let at = |iv: &Interval| {
+        if iv.start == iv.end {
+            format!("@{}", iv.end)
+        } else {
+            format!("@[{},{}]", iv.start, iv.end)
+        }
+    };
+    let mut s = String::from("matches:\n");
+    let mut shown = 0usize;
+    for e in outputs {
+        let ty = name(e.type_id);
+        if ty.starts_with("$match") {
+            continue;
+        }
+        let derivation = match e.provenance.as_deref() {
+            Some(p) => p
+                .steps
+                .iter()
+                .map(|step| format!("{}{}", name(step.type_id), at(&step.occurrence)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            None => "(no provenance recorded)".into(),
+        };
+        s.push_str(&format!("  {ty}{} <= {derivation}\n", at(&e.occurrence)));
+        shown += 1;
+    }
+    if shown == 0 {
+        s.push_str("  (none)\n");
     }
     s
 }
@@ -587,6 +644,25 @@ CONTEXT congestion {
         assert!(out.contains("TollNotification"), "{out}");
         // One toll: vid 7 at t=6 (vid 8 is on the exit lane).
         assert!(out.contains("TollNotification               1"), "{out}");
+    }
+
+    #[test]
+    fn explain_lists_contributing_events() {
+        let explained = RunOptions {
+            explain: true,
+            ..options()
+        };
+        let out = run(&explained).unwrap();
+        // The single toll derives from the vid-7 report at t=6 (the
+        // congestion context opened at t=5).
+        assert!(out.contains("matches:"), "{out}");
+        assert!(
+            out.contains("TollNotification@6 <= PositionReport@6"),
+            "{out}"
+        );
+        // Without the flag, no matches section and no provenance.
+        let plain = run(&options()).unwrap();
+        assert!(!plain.contains("matches:"), "{plain}");
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //!   or decimal); overrides the sweep entirely.
 
 use caesar_testkit::{
-    check_workload, check_workload_against, mutated_oracle_run, shrink_workload,
-    workload_from_seed, GenConfig, Mutation, Workload,
+    check_workload, check_workload_against, check_workload_provenance, mutated_oracle_run,
+    shrink_workload, workload_from_seed, GenConfig, Mutation, Workload,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -136,6 +136,38 @@ fn random_sweep_matches_oracle() {
         for i in 0..cases {
             let seed = mix(base ^ ((pi as u64) << 56) ^ i);
             check_seed(seed, profile);
+        }
+    }
+}
+
+/// The provenance differential: the engine in timestamp-collecting mode
+/// must reproduce the oracle's per-match provenance byte-for-byte
+/// (provenance is part of each output's wire encoding) on every
+/// generated workload, across per-event / batched / unoptimized /
+/// shared-prefix legs.
+#[test]
+fn provenance_sweep_matches_oracle() {
+    let config = GenConfig::default();
+    for &seed in PINNED_SEEDS {
+        let workload = workload_from_seed(seed, &config);
+        if let Err(failure) = check_workload_provenance(&workload) {
+            panic!("provenance diverged from reference oracle (pinned)\n\n{failure}");
+        }
+    }
+    let cases = env_u64("CAESAR_DIFF_CASES", 25);
+    // Decorrelate from the plain sweep so provenance explores its own
+    // region of workload space.
+    let base = env_u64("CAESAR_DIFF_SEED_BASE", 0xCAE5_A201_6EDB_0005) ^ 0x5045_4f56_4e41_4e43;
+    for (pi, profile) in profiles().iter().enumerate() {
+        for i in 0..cases {
+            let seed = mix(base ^ ((pi as u64) << 56) ^ i);
+            let workload = workload_from_seed(seed, profile);
+            if let Err(failure) = check_workload_provenance(&workload) {
+                panic!(
+                    "provenance diverged from reference oracle\n\n{failure}\n\
+                     reproduce: CAESAR_DIFF_SEEDS={seed:#x} cargo test --test differential_random",
+                );
+            }
         }
     }
 }

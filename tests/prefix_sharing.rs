@@ -1,0 +1,320 @@
+//! Pattern-prefix sharing (§5 optimizer, PR "shared NFA runtime"):
+//! queries in one context whose compiled NFAs agree on a leading run of
+//! `(type, interned predicates)` steps execute that run once through a
+//! [`SharedGroup`], and member completions extend from the group's
+//! partials.
+//!
+//! Sharing is a pure throughput optimization — it must never change
+//! outputs, counters or even emission order. These tests pin that:
+//!
+//! * groups actually *form* for the workloads the tests run (otherwise
+//!   the equivalence assertions would vacuously compare the unshared
+//!   path against itself);
+//! * a crafted stream that walks the tricky edges (same-timestamp
+//!   non-matches, boundary completion where `prefix_len == arity - 1`,
+//!   context termination mid-prefix, `WITHIN` expiry) produces a
+//!   byte-identical output multiset with sharing on and off;
+//! * a randomized sweep (proptest) holds the same equivalence over
+//!   arbitrary interleavings of signal and pattern events.
+//!
+//! [`SharedGroup`]: caesar::algebra::pattern::SharedGroup
+
+use caesar::algebra::translate::{translate_query_set, TranslateOptions};
+use caesar::events::{AttrType, Event, PartitionId, Schema, SchemaRegistry, Value};
+use caesar::optimizer::{OptimizedProgram, Optimizer, OptimizerConfig};
+use caesar::prelude::*;
+use caesar::query::QuerySet;
+use caesar::runtime::programs::{Mode, ProgramTemplate};
+use caesar::runtime::{run_mode_full, ModeSpec, RunReport};
+use caesar_testkit::canonical;
+use proptest::prelude::*;
+
+/// The gated two-long-query model: `LongC` and `LongD` share the
+/// two-step `SEQ(A, B, ...)` prefix (their predicates sit on the final
+/// variable, which predicate push-down leaves in place), and both run
+/// only inside the `busy` context window.
+const TWO_QUERY_MODEL: &str = r#"
+    MODEL m DEFAULT idle
+    CONTEXT idle {
+        INITIATE CONTEXT busy PATTERN Go
+    }
+    CONTEXT busy {
+        TERMINATE CONTEXT busy PATTERN Stop
+        DERIVE LongC(a.v, c.v) PATTERN SEQ(A a, B b, C c) WHERE c.v > 1 WITHIN 12
+        DERIVE LongD(a.v, d.v) PATTERN SEQ(A a, B b, D d) WHERE d.v < 3 WITHIN 12
+    }
+"#;
+
+/// Same workload plus an arity-2 `Short` query: the common prefix drops
+/// to a single step, and `Short` completes *entirely* from the group's
+/// boundary extension (`prefix_len == arity - 1`).
+const THREE_QUERY_MODEL: &str = r#"
+    MODEL m DEFAULT idle
+    CONTEXT idle {
+        INITIATE CONTEXT busy PATTERN Go
+    }
+    CONTEXT busy {
+        TERMINATE CONTEXT busy PATTERN Stop
+        DERIVE LongC(a.v, c.v) PATTERN SEQ(A a, B b, C c) WHERE c.v > 1 WITHIN 12
+        DERIVE LongD(a.v, d.v) PATTERN SEQ(A a, B b, D d) WHERE d.v < 3 WITHIN 12
+        DERIVE Short(a.v, b.v) PATTERN SEQ(A a, B b) WITHIN 12
+    }
+"#;
+
+const TYPE_NAMES: [&str; 6] = ["Go", "Stop", "A", "B", "C", "D"];
+
+fn input_registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    for name in TYPE_NAMES {
+        reg.register(Schema::new(name, &[("v", AttrType::Int)]))
+            .unwrap();
+    }
+    reg
+}
+
+/// Translates `src` and optimizes with prefix sharing on or off.
+/// Translation over clones of the same input registry assigns identical
+/// type ids, so outputs compare byte-for-byte across the two programs.
+fn build(src: &str, share: bool) -> (OptimizedProgram, SchemaRegistry) {
+    let model = caesar::query::parser::parse_model(src).unwrap();
+    let qs = QuerySet::from_model(&model).unwrap();
+    let mut reg = input_registry();
+    let t = translate_query_set(&qs, &mut reg, &TranslateOptions::default()).unwrap();
+    let program = Optimizer {
+        config: OptimizerConfig {
+            share_prefixes: share,
+            ..OptimizerConfig::default()
+        },
+        ..Optimizer::default()
+    }
+    .optimize(t, &reg);
+    (program, reg)
+}
+
+/// `(prefix_len, member_count, gated)` of every shared group the
+/// runtime template would install for `program`.
+fn installed_groups(program: &OptimizedProgram) -> Vec<(usize, usize, bool)> {
+    let template = ProgramTemplate::build_with(
+        program.translation.combined.clone(),
+        &program.sharing,
+        Mode::ContextAware,
+        true,
+        program.share_prefixes,
+    );
+    template
+        .processing
+        .iter()
+        .flat_map(|c| c.shared_groups())
+        .map(|g| (g.prefix_len(), g.members().len(), g.gated()))
+        .collect()
+}
+
+fn event(reg: &SchemaRegistry, name: &str, t: Time, part: u32, v: i64) -> Event {
+    Event::simple(
+        reg.lookup(name).expect("registered"),
+        t,
+        PartitionId(part),
+        vec![Value::Int(v)],
+    )
+}
+
+fn run_leg(
+    program: &OptimizedProgram,
+    reg: &SchemaRegistry,
+    events: &[Event],
+    config: EngineConfig,
+) -> (RunReport, Vec<Event>) {
+    let spec = ModeSpec::sequential("prefix-sharing-test", config);
+    let (report, outputs, _records) =
+        run_mode_full(program, reg, &spec, events).expect("engine run");
+    (report, outputs)
+}
+
+/// Runs the same stream with sharing on and off under `config` and
+/// demands byte-identical outputs in canonical (sorted per-event
+/// encoding) form, plus equal counters. Canonical, not emission-order:
+/// when one event completes several partials of the same query, they
+/// emit in partial-store iteration order, which depends on slab
+/// allocation history and therefore legitimately differs between the
+/// shared and unshared stores — the multiset is the contract (the
+/// differential harness compares the same way).
+fn assert_equivalent(src: &str, events: &[Event], config: EngineConfig) -> (RunReport, Vec<Event>) {
+    let (shared_prog, shared_reg) = build(src, true);
+    let (plain_prog, plain_reg) = build(src, false);
+    assert!(
+        !installed_groups(&shared_prog).is_empty(),
+        "no shared group formed — the equivalence check would be vacuous"
+    );
+    assert!(installed_groups(&plain_prog).is_empty());
+    let (shared_report, shared_out) = run_leg(&shared_prog, &shared_reg, events, config);
+    let (plain_report, plain_out) = run_leg(&plain_prog, &plain_reg, events, config);
+    assert_eq!(
+        canonical(&shared_out),
+        canonical(&plain_out),
+        "shared-prefix execution changed the output multiset"
+    );
+    assert_eq!(shared_report.events_out, plain_report.events_out);
+    assert_eq!(
+        shared_report.transitions_applied,
+        plain_report.transitions_applied
+    );
+    assert_eq!(shared_report.outputs_by_type, plain_report.outputs_by_type);
+    (shared_report, shared_out)
+}
+
+#[test]
+fn groups_form_with_expected_shape() {
+    let (two, _) = build(TWO_QUERY_MODEL, true);
+    assert_eq!(
+        installed_groups(&two),
+        vec![(2, 2, true)],
+        "LongC/LongD share SEQ(A, B) behind the busy context window"
+    );
+
+    let (three, _) = build(THREE_QUERY_MODEL, true);
+    assert_eq!(
+        installed_groups(&three),
+        vec![(1, 3, true)],
+        "adding arity-2 Short caps the common prefix at min(arity) - 1 = 1"
+    );
+
+    // The flag is honoured end to end: without it the same workload
+    // installs nothing.
+    let (off, _) = build(TWO_QUERY_MODEL, false);
+    assert!(installed_groups(&off).is_empty());
+}
+
+/// One crafted stream per tricky edge, all in one pass:
+/// same-timestamp `B`/`C` (strict `<` rejects the completion), `WITHIN`
+/// expiry of a stale prefix, predicate rejection on the final step,
+/// context termination wiping group state mid-prefix, and a second
+/// activation proving the wipe was clean.
+fn crafted_stream(reg: &SchemaRegistry) -> Vec<Event> {
+    vec![
+        event(reg, "Go", 1, 0, 0),
+        event(reg, "A", 2, 0, 5),
+        event(reg, "B", 3, 0, 0),
+        // Same timestamp as B: SEQ is strictly increasing, no match.
+        event(reg, "C", 3, 0, 2),
+        event(reg, "C", 4, 0, 2), // LongC (5, 2)
+        event(reg, "D", 4, 0, 1), // LongD (5, 1)
+        event(reg, "C", 5, 0, 0), // predicate c.v > 1 fails
+        event(reg, "Stop", 6, 0, 0),
+        // busy inactive: these must not form prefixes anywhere.
+        event(reg, "A", 7, 0, 9),
+        event(reg, "B", 8, 0, 9),
+        event(reg, "Go", 9, 0, 0),
+        event(reg, "A", 10, 0, 2),
+        event(reg, "B", 11, 0, 3),
+        event(reg, "D", 12, 0, 0), // LongD (2, 0)
+        // 23 - 10 > WITHIN 12: the (A@10, B@11) prefix has expired.
+        event(reg, "C", 23, 0, 5),
+        // Fresh prefix inside the still-open window completes.
+        event(reg, "A", 24, 0, 7),
+        event(reg, "B", 25, 0, 7),
+        event(reg, "C", 26, 0, 7), // LongC (7, 7)
+        event(reg, "Stop", 27, 0, 0),
+    ]
+}
+
+#[test]
+fn crafted_stream_matches_unshared_per_event() {
+    let reg = input_registry();
+    let events = crafted_stream(&reg);
+    let (report, outputs) = assert_equivalent(
+        TWO_QUERY_MODEL,
+        &events,
+        EngineConfig::builder()
+            .batch(BatchPolicy::per_event())
+            .build(),
+    );
+    assert_eq!(report.events_out, 4, "LongC ×2, LongD ×2");
+    assert_eq!(outputs.len(), 4);
+}
+
+#[test]
+fn crafted_stream_matches_unshared_batched_and_vectorized() {
+    let reg = input_registry();
+    let events = crafted_stream(&reg);
+    assert_equivalent(
+        TWO_QUERY_MODEL,
+        &events,
+        EngineConfig::builder()
+            .batch(BatchPolicy::default())
+            .vectorize(true)
+            .build(),
+    );
+}
+
+#[test]
+fn crafted_stream_matches_unshared_with_provenance() {
+    let reg = input_registry();
+    let events = crafted_stream(&reg);
+    let (_report, outputs) = assert_equivalent(
+        TWO_QUERY_MODEL,
+        &events,
+        EngineConfig::builder()
+            .batch(BatchPolicy::per_event())
+            .provenance(true)
+            .build(),
+    );
+    assert!(
+        outputs.iter().all(|e| e.provenance.is_some()),
+        "provenance mode must attach provenance on the shared path too"
+    );
+}
+
+#[test]
+fn boundary_completion_short_query_matches_unshared() {
+    // Short's whole body is the shared prefix plus one step, so every
+    // one of its matches goes through the group's boundary extension.
+    let reg = input_registry();
+    let events = crafted_stream(&reg);
+    let (report, _outputs) = assert_equivalent(
+        THREE_QUERY_MODEL,
+        &events,
+        EngineConfig::builder()
+            .batch(BatchPolicy::per_event())
+            .build(),
+    );
+    // Short fires for (A@2,B@3), (A@10,B@11) and (A@24,B@25).
+    assert_eq!(*report.outputs_by_type.get("Short").unwrap(), 3);
+}
+
+fn stream_from_choices(reg: &SchemaRegistry, raw: &[(u8, u64, i64, u32)]) -> Vec<Event> {
+    let mut t: Time = 0;
+    raw.iter()
+        .map(|&(ty, dt, v, part)| {
+            t += dt;
+            event(reg, TYPE_NAMES[ty as usize % TYPE_NAMES.len()], t, part, v)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized shared ≡ unshared: arbitrary interleavings of signal
+    /// (`Go`/`Stop`) and pattern events, same-timestamp runs (`dt = 0`),
+    /// two partitions, values straddling both predicates.
+    #[test]
+    fn random_streams_match_unshared(
+        raw in proptest::collection::vec(
+            (0u8..6, 0u64..3, 0i64..6, 0u32..2),
+            1..120,
+        )
+    ) {
+        let reg = input_registry();
+        let events = stream_from_choices(&reg, &raw);
+        assert_equivalent(
+            THREE_QUERY_MODEL,
+            &events,
+            EngineConfig::builder().batch(BatchPolicy::per_event()).build(),
+        );
+        assert_equivalent(
+            TWO_QUERY_MODEL,
+            &events,
+            EngineConfig::builder().batch(BatchPolicy::default()).build(),
+        );
+    }
+}
