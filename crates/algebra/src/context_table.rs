@@ -14,6 +14,7 @@
 
 use caesar_events::{PartitionId, Time, WindowSpan, TIME_MAX};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A context transition produced by a context initiation / termination
 /// operator, applied to the table by the runtime scheduler.
@@ -203,9 +204,22 @@ impl PartitionContexts {
 
 /// The full context table: one [`PartitionContexts`] per stream
 /// partition, created lazily.
+///
+/// Partition state is keyed by id, not indexed by it: ids are sparse
+/// (clickstream workloads hash millions of user keys into the 32-bit id
+/// space), so touching partition `u32::MAX` must cost one entry — not a
+/// dense vector materializing four billion default states.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContextTable {
-    partitions: Vec<PartitionContexts>,
+    partitions: BTreeMap<u32, PartitionContexts>,
+    /// Garbage-collection worklist: `(time, partition)` of every
+    /// transition applied since the last collection. Windows only close
+    /// through transitions, so these are exactly the partitions whose
+    /// `recent` spans can expire — the collector visits them instead of
+    /// sweeping every materialized partition, which at clickstream
+    /// cardinalities (hundreds of thousands of user keys) would make
+    /// each periodic GC run O(partitions).
+    expiries: BTreeSet<(Time, u32)>,
     num_contexts: usize,
     default_bit: u8,
 }
@@ -228,7 +242,8 @@ impl ContextTable {
             "default bit out of range"
         );
         Self {
-            partitions: Vec::new(),
+            partitions: BTreeMap::new(),
+            expiries: BTreeSet::new(),
             num_contexts,
             default_bit,
         }
@@ -248,13 +263,10 @@ impl ContextTable {
 
     /// The state of one partition (creating it on first touch).
     pub fn partition_mut(&mut self, p: PartitionId) -> &mut PartitionContexts {
-        let idx = p.index();
-        if idx >= self.partitions.len() {
-            let (n, d) = (self.num_contexts, self.default_bit);
-            self.partitions
-                .resize_with(idx + 1, || PartitionContexts::new(n, d));
-        }
-        &mut self.partitions[idx]
+        let (n, d) = (self.num_contexts, self.default_bit);
+        self.partitions
+            .entry(p.0)
+            .or_insert_with(|| PartitionContexts::new(n, d))
     }
 
     /// Read access to one partition's state; partitions never touched
@@ -262,7 +274,7 @@ impl ContextTable {
     #[must_use]
     pub fn partition(&self, p: PartitionId) -> PartitionContexts {
         self.partitions
-            .get(p.index())
+            .get(&p.0)
             .cloned()
             .unwrap_or_else(|| PartitionContexts::new(self.num_contexts, self.default_bit))
     }
@@ -271,7 +283,7 @@ impl ContextTable {
     /// test without materializing the partition.
     #[must_use]
     pub fn admits(&self, p: PartitionId, bit: u8, t: Time) -> bool {
-        match self.partitions.get(p.index()) {
+        match self.partitions.get(&p.0) {
             Some(pc) => pc.admits(bit, t),
             None => bit == self.default_bit, // startup default admits all
         }
@@ -280,25 +292,45 @@ impl ContextTable {
     /// Whether the window of context `bit` currently holds at `p`.
     #[must_use]
     pub fn holds(&self, p: PartitionId, bit: u8) -> bool {
-        match self.partitions.get(p.index()) {
+        match self.partitions.get(&p.0) {
             Some(pc) => pc.holds(bit),
             None => bit == self.default_bit,
         }
     }
 
-    /// Applies one transition.
+    /// Applies one transition (and enqueues the partition for garbage
+    /// collection — any window this transition closed leaves a `recent`
+    /// span stamped with the transition time).
     pub fn apply(&mut self, transition: Transition) {
         let pc = self.partition_mut(transition.partition);
         match transition.kind {
             TransitionKind::Initiate => pc.initiate(transition.context_bit, transition.time),
             TransitionKind::Terminate => pc.terminate(transition.context_bit, transition.time),
         }
+        self.expiries
+            .insert((transition.time, transition.partition.0));
     }
 
-    /// Runs the garbage collector over all partitions.
+    /// Runs the garbage collector: clears expired `recent` spans in
+    /// every partition with a transition behind the watermark since the
+    /// last collection. Amortized O(transitions), independent of the
+    /// number of materialized partitions — a span closed at `t` can
+    /// only expire once the watermark passes `t`, and its closing
+    /// transition is on the worklist under exactly that time. (Mutation
+    /// through [`partition_mut`](Self::partition_mut) bypasses the
+    /// worklist; such spans are collected with the partition's next
+    /// applied transition, which costs memory, never admission
+    /// correctness — an expired span admits only events the watermark
+    /// already passed.)
     pub fn collect_garbage(&mut self, watermark: Time) {
-        for pc in &mut self.partitions {
-            pc.collect_garbage(watermark);
+        while let Some(&(t, p)) = self.expiries.first() {
+            if t >= watermark {
+                break;
+            }
+            self.expiries.pop_first();
+            if let Some(pc) = self.partitions.get_mut(&p) {
+                pc.collect_garbage(watermark);
+            }
         }
     }
 
@@ -414,9 +446,24 @@ mod tests {
     #[test]
     fn gc_drops_stale_recent_spans() {
         let mut t = table();
-        t.partition_mut(P).initiate(CONGESTION, 10);
-        t.partition_mut(P).terminate(CONGESTION, 20);
+        t.apply(Transition {
+            kind: TransitionKind::Initiate,
+            context_bit: CONGESTION,
+            partition: P,
+            time: 10,
+        });
+        t.apply(Transition {
+            kind: TransitionKind::Terminate,
+            context_bit: CONGESTION,
+            partition: P,
+            time: 20,
+        });
         assert!(t.admits(P, CONGESTION, 20));
+        t.collect_garbage(20);
+        assert!(
+            t.admits(P, CONGESTION, 20),
+            "a span is live until the watermark passes its termination"
+        );
         t.collect_garbage(21);
         assert!(!t.admits(P, CONGESTION, 20), "recent span collected");
     }
@@ -462,5 +509,21 @@ mod tests {
     #[should_panic(expected = "at most 64")]
     fn too_many_contexts_panics() {
         let _ = ContextTable::new(65, 0);
+    }
+
+    #[test]
+    fn sparse_partition_ids_materialize_only_touched_state() {
+        let mut t = table();
+        // Ids spread across the whole u32 space: state must track the
+        // touched partitions, never the largest id.
+        t.partition_mut(PartitionId(u32::MAX)).initiate(ACCIDENT, 5);
+        t.partition_mut(PartitionId(1_000_000))
+            .initiate(CONGESTION, 7);
+        assert_eq!(t.materialized_partitions(), 2);
+        assert!(t.holds(PartitionId(u32::MAX), ACCIDENT));
+        assert!(t.holds(PartitionId(1_000_000), CONGESTION));
+        // Untouched ids in between still report the startup default.
+        assert!(t.holds(PartitionId(500_000), CLEAR));
+        assert!(t.admits(PartitionId(500_000), CLEAR, 123));
     }
 }

@@ -24,8 +24,11 @@ use std::sync::Arc;
 /// `Fl_θ` — the filter operator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FilterOp {
-    /// Conjunction of compiled predicates (all must hold).
-    pub predicates: Vec<CompiledExpr>,
+    /// Conjunction of compiled predicates (all must hold). Shared
+    /// across per-partition plan replicas (high-cardinality workloads
+    /// instantiate hundreds of thousands); the optimizer's rewrites
+    /// copy-on-write before execution starts.
+    pub predicates: Arc<Vec<CompiledExpr>>,
     /// Evaluation errors (counted as non-matches).
     pub eval_errors: u64,
     /// Events evaluated (statistics gatherer input, §6.1).
@@ -50,7 +53,7 @@ impl FilterOp {
     #[must_use]
     pub fn new(predicates: Vec<CompiledExpr>) -> Self {
         Self {
-            predicates,
+            predicates: Arc::new(predicates),
             eval_errors: 0,
             evaluated: 0,
             accepted: 0,
@@ -153,7 +156,7 @@ impl FilterOp {
 
     /// Merges another filter into this one (adjacent-filter merging, §5.2).
     pub fn merge(&mut self, other: FilterOp) {
-        self.predicates.extend(other.predicates);
+        Arc::make_mut(&mut self.predicates).extend(other.predicates.iter().cloned());
     }
 }
 
@@ -163,8 +166,9 @@ impl FilterOp {
 pub struct ProjectOp {
     /// The derived (output) event type.
     pub output_type: TypeId,
-    /// One expression per output attribute.
-    pub args: Vec<CompiledExpr>,
+    /// One expression per output attribute. Shared across per-partition
+    /// plan replicas (see [`FilterOp::predicates`]).
+    pub args: Arc<Vec<CompiledExpr>>,
     /// Evaluation errors (events dropped).
     pub eval_errors: u64,
     /// Derived events emitted (per-event and batch paths count alike).
@@ -188,7 +192,7 @@ impl ProjectOp {
     pub fn new(output_type: TypeId, args: Vec<CompiledExpr>) -> Self {
         Self {
             output_type,
-            args,
+            args: Arc::new(args),
             eval_errors: 0,
             projected: 0,
             kernel_rows: 0,
@@ -201,7 +205,7 @@ impl ProjectOp {
     pub fn project(&mut self, event: &Event) -> Option<Event> {
         let binding = [event];
         let mut attrs: Vec<Value> = Vec::with_capacity(self.args.len());
-        for arg in &self.args {
+        for arg in self.args.iter() {
             match arg.eval(&binding) {
                 Ok(v) => attrs.push(v),
                 Err(_) => {
@@ -257,7 +261,7 @@ impl ProjectOp {
             let row = i as usize;
             let event = &events[row];
             let mut attrs: Vec<Value> = Vec::with_capacity(cache.args.len());
-            for (kernel, arg) in cache.args.iter().zip(&self.args) {
+            for (kernel, arg) in cache.args.iter().zip(self.args.iter()) {
                 let value = match kernel {
                     ValKernel::Copy(attr) => event.attrs[*attr as usize].clone(),
                     ValKernel::Const(v) => v.clone(),

@@ -445,7 +445,12 @@ enum Verdict {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PatternOp {
     /// The compiled program (steps, negations, horizon, output shape).
-    program: NfaProgram,
+    /// Behind an [`Arc`]: per-partition instantiation clones the
+    /// operator, and high-cardinality workloads (hundreds of thousands
+    /// of user partitions) cannot afford a deep program copy each —
+    /// the program is immutable after optimization, so replicas share
+    /// it and the rare pre-execution mutators copy-on-write.
+    program: Arc<NfaProgram>,
     /// Negation buffers, parallel to `program.negations`.
     neg_buffers: Vec<VecDeque<Event>>,
     /// Pooled partial-match state (levels, pending, slab).
@@ -820,7 +825,7 @@ impl PatternOp {
         let n = program.steps.len();
         let neg_buffers = program.negations.iter().map(|_| VecDeque::new()).collect();
         Self {
-            program,
+            program: Arc::new(program),
             neg_buffers,
             state: MatchState::new(n),
             shared_prefix_len: 0,
@@ -923,7 +928,9 @@ impl PatternOp {
     /// Switches provenance collection on or off (the engine applies the
     /// `EngineConfig::provenance` knob here before execution starts).
     pub fn set_collect_provenance(&mut self, collect: bool) {
-        self.program.collect_provenance = collect;
+        if self.program.collect_provenance != collect {
+            Arc::make_mut(&mut self.program).collect_provenance = collect;
+        }
     }
 
     /// Number of leading steps delegated to a [`SharedGroup`] (`0` ⇒
@@ -982,7 +989,9 @@ impl PatternOp {
     /// silently.
     pub fn push_step_predicate(&mut self, step: usize, predicate: CompiledExpr) {
         self.step_kernels = None;
-        self.program.steps[step].predicates.push(predicate);
+        Arc::make_mut(&mut self.program).steps[step]
+            .predicates
+            .push(predicate);
     }
 
     /// Whether the pattern has a trailing negation (delayed emission).

@@ -18,6 +18,7 @@ use caesar_events::{ColumnarBatch, Event, Time, TypeId};
 use caesar_query::ast::QueryId;
 use caesar_query::queryset::CompiledQuery;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Re-export: the output sink of plan execution.
 pub type PlanOutput = ChainOutput;
@@ -40,8 +41,11 @@ pub struct QueryPlan {
     pub output_type: Option<TypeId>,
     /// `true` for context-deriving queries.
     pub is_deriving: bool,
-    /// The source query (kept for re-optimization and sharing analysis).
-    pub source: CompiledQuery,
+    /// The source query (kept for re-optimization and sharing
+    /// analysis). Pure metadata shared by every per-partition replica
+    /// of the plan — high-cardinality workloads cannot afford a deep
+    /// AST copy per partition.
+    pub source: Arc<CompiledQuery>,
 }
 
 impl QueryPlan {
@@ -789,7 +793,7 @@ mod tests {
             input_types: vec![in_ty],
             output_type: Some(out_ty),
             is_deriving: false,
-            source: dummy_source(id),
+            source: dummy_source(id).into(),
         }
     }
 
@@ -924,7 +928,7 @@ mod tests {
             input_types: vec![in_ty, mid_ty],
             output_type: Some(reg.lookup("Final").unwrap()),
             is_deriving: false,
-            source: dummy_source(0),
+            source: dummy_source(0).into(),
         };
         let mut combined = CombinedPlan::new("c".into(), 0, vec![plan]);
         let table = ContextTable::new(1, 0);

@@ -36,6 +36,7 @@ use caesar_query::ast::{ContextAction, Expr, Pattern};
 use caesar_query::queryset::{CompiledQuery, QuerySet};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised during Phase-2 translation.
 #[derive(Debug, Clone, PartialEq)]
@@ -586,7 +587,7 @@ pub fn translate_query(
         input_types,
         output_type,
         is_deriving: query.is_deriving(),
-        source: cq.clone(),
+        source: Arc::new(cq.clone()),
     })
 }
 

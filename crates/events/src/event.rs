@@ -30,6 +30,25 @@ impl PartitionId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The shard (of `shards`) this partition routes to.
+    ///
+    /// Runs the id through a SplitMix64-style finalizer before the
+    /// modulo, so structured id sets — all-even user ids, ids sharing a
+    /// stride, hashed keys with a biased low byte — still spread across
+    /// shards. Plain `id % shards` sends every even id to shard 0 when
+    /// `shards == 2`, collapsing a "parallel" run onto one core. The
+    /// mix is a pure function of the id, so a given partition always
+    /// lands on the same shard (context state never splits) and reruns
+    /// are deterministic.
+    #[must_use]
+    pub fn shard(self, shards: usize) -> usize {
+        let mut z = u64::from(self.0).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % shards.max(1) as u64) as usize
+    }
 }
 
 impl fmt::Display for PartitionId {

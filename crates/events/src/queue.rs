@@ -5,13 +5,20 @@
 //! partition, up to which application time all events have arrived — the
 //! queue *watermark* — before it may form the stream transaction for a
 //! timestamp (§6.2, "Correct Context Management").
+//!
+//! Partition ids are *sparse*: a clickstream workload hashes millions of
+//! user keys into the 32-bit id space, so the set of queues is keyed by
+//! id (not indexed by it — a dense `Vec` would materialize every id up
+//! to the maximum ever seen), and the scheduler's time-slice extraction
+//! goes through a `(head timestamp, partition)` index instead of a full
+//! scan of every queue per released timestamp.
 
 use crate::error::EventError;
 use crate::event::{Event, PartitionId};
 use crate::stream::EventBatch;
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A FIFO of in-order events for one stream partition.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
@@ -135,28 +142,48 @@ impl EventQueue {
 }
 
 /// The set of per-partition queues managed by the event distributor.
+///
+/// Queues are stored sparsely, keyed by partition id: only ids that
+/// actually carried traffic are materialized, so a workload whose ids
+/// are hashed over the whole `u32` space costs memory proportional to
+/// the *touched* partitions, not the largest id. The `heads` index
+/// orders every non-empty queue by its oldest buffered timestamp, which
+/// turns the scheduler's per-timestamp extraction from a full scan of
+/// all partitions into a range lookup over exactly the queues that have
+/// events at that timestamp.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PartitionedQueues {
-    queues: Vec<EventQueue>,
+    queues: BTreeMap<u32, EventQueue>,
+    /// `(head timestamp, partition id)` for every non-empty queue.
+    /// Invariant: `(t, p) ∈ heads` ⇔ `queues[p].head_time() == Some(t)`.
+    heads: BTreeSet<(Time, u32)>,
 }
 
 impl PartitionedQueues {
-    /// Creates queues for `partitions` partitions.
+    /// Creates queues for partitions `0..partitions` up front (ids seen
+    /// later are still materialized on demand).
     #[must_use]
     pub fn new(partitions: usize) -> Self {
         Self {
-            queues: (0..partitions).map(|_| EventQueue::new()).collect(),
+            queues: (0..partitions as u32)
+                .map(|p| (p, EventQueue::new()))
+                .collect(),
+            heads: BTreeSet::new(),
         }
     }
 
-    /// Routes an event to its partition's queue, growing the set if a new
-    /// partition appears.
+    /// Routes an event to its partition's queue, materializing the queue
+    /// if this partition id is new.
     pub fn push(&mut self, event: Event) -> Result<(), EventError> {
-        let idx = event.partition.index();
-        if idx >= self.queues.len() {
-            self.queues.resize_with(idx + 1, EventQueue::new);
+        let p = event.partition.0;
+        let queue = self.queues.entry(p).or_default();
+        let was_empty = queue.is_empty();
+        let t = event.time();
+        queue.push(event)?;
+        if was_empty {
+            self.heads.insert((t, p));
         }
-        self.queues[idx].push(event)
+        Ok(())
     }
 
     /// Routes a same-timestamp batch to its partitions' queues, doing one
@@ -167,48 +194,71 @@ impl PartitionedQueues {
         let mut events = batch.events.into_iter().peekable();
         while let Some(first) = events.next() {
             let partition = first.partition;
-            let idx = partition.index();
-            if idx >= self.queues.len() {
-                self.queues.resize_with(idx + 1, EventQueue::new);
-            }
+            let p = partition.0;
+            let queue = self.queues.entry(p).or_default();
+            let was_empty = queue.is_empty();
             let run = std::iter::once(first).chain(std::iter::from_fn(|| {
                 events.next_if(|e| e.partition == partition)
             }));
-            self.queues[idx].push_run(time, run)?;
+            queue.push_run(time, run)?;
+            if was_empty {
+                self.heads.insert((time, p));
+            }
         }
         Ok(())
     }
 
-    /// The queue of one partition, if it exists.
+    /// The queue of one partition, if it has been materialized.
     #[must_use]
     pub fn get(&self, p: PartitionId) -> Option<&EventQueue> {
-        self.queues.get(p.index())
+        self.queues.get(&p.0)
     }
 
-    /// Mutable access to one partition's queue, if it exists.
-    #[must_use]
-    pub fn get_mut(&mut self, p: PartitionId) -> Option<&mut EventQueue> {
-        self.queues.get_mut(p.index())
-    }
-
-    /// The minimum watermark across all partitions: the distributor
-    /// progress the scheduler compares against (§6.2).
+    /// The minimum watermark across all materialized partitions: the
+    /// distributor progress the scheduler compares against (§6.2).
     #[must_use]
     pub fn progress(&self) -> Time {
         self.queues
-            .iter()
+            .values()
             .map(EventQueue::watermark)
             .min()
             .unwrap_or(0)
     }
 
-    /// Earliest buffered timestamp across all partitions.
+    /// Earliest buffered timestamp across all partitions. A head-index
+    /// lookup, not a scan.
     #[must_use]
     pub fn earliest_pending(&self) -> Option<Time> {
-        self.queues.iter().filter_map(EventQueue::head_time).min()
+        self.heads.first().map(|&(t, _)| t)
     }
 
-    /// Number of partitions.
+    /// Pops the stream transactions of timestamp `t`: for every queue
+    /// whose oldest event carries `t` (found by head-index range lookup,
+    /// in ascending partition-id order), all its events at `t`.
+    pub fn pop_time_slice(&mut self, t: Time) -> Vec<(PartitionId, EventBatch)> {
+        let due: Vec<u32> = self
+            .heads
+            .range((t, u32::MIN)..=(t, u32::MAX))
+            .map(|&(_, p)| p)
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for p in due {
+            self.heads.remove(&(t, p));
+            let queue = self.queues.get_mut(&p).expect("indexed queue exists");
+            let batch = queue.pop_batch(t);
+            debug_assert!(
+                !batch.is_empty(),
+                "head index pointed at {t} but queue had nothing"
+            );
+            if let Some(head) = queue.head_time() {
+                self.heads.insert((head, p));
+            }
+            out.push((PartitionId(p), batch));
+        }
+        out
+    }
+
+    /// Number of materialized partitions (ids that carried traffic).
     #[must_use]
     pub fn partitions(&self) -> usize {
         self.queues.len()
@@ -217,25 +267,22 @@ impl PartitionedQueues {
     /// Total buffered events across all partitions.
     #[must_use]
     pub fn buffered(&self) -> usize {
-        self.queues.iter().map(EventQueue::len).sum()
+        self.queues.values().map(EventQueue::len).sum()
     }
 
     /// Largest depth any partition queue ever reached (gauge).
     #[must_use]
     pub fn peak_depth(&self) -> usize {
         self.queues
-            .iter()
+            .values()
             .map(EventQueue::peak_len)
             .max()
             .unwrap_or(0)
     }
 
-    /// Iterates `(PartitionId, &mut EventQueue)`.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (PartitionId, &mut EventQueue)> {
-        self.queues
-            .iter_mut()
-            .enumerate()
-            .map(|(i, q)| (PartitionId(i as u32), q))
+    /// Iterates `(PartitionId, &EventQueue)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PartitionId, &EventQueue)> {
+        self.queues.iter().map(|(&p, q)| (PartitionId(p), q))
     }
 }
 
@@ -332,10 +379,12 @@ mod tests {
         let mut pq = PartitionedQueues::new(1);
         let batch = EventBatch::new(7, vec![ev(7, 0), ev(7, 0), ev(7, 2), ev(7, 0)]);
         pq.push_batch(batch).unwrap();
-        assert_eq!(pq.partitions(), 3);
+        // Sparse: only ids that exist are materialized — the pre-declared
+        // partition 0 and the batch's partition 2; id 1 costs nothing.
+        assert_eq!(pq.partitions(), 2);
         assert_eq!(pq.get(PartitionId(0)).unwrap().len(), 3);
         assert_eq!(pq.get(PartitionId(2)).unwrap().len(), 1);
-        assert_eq!(pq.progress(), 0); // partition 1 never saw an event
+        assert!(pq.get(PartitionId(1)).is_none());
         assert_eq!(pq.buffered(), 4);
     }
 
@@ -346,16 +395,62 @@ mod tests {
         pq.push(ev(1, 0)).unwrap();
         pq.push(ev(1, 1)).unwrap();
         assert_eq!(pq.peak_depth(), 2);
-        let _ = pq.get_mut(PartitionId(0)).unwrap().pop_batch(1);
-        assert_eq!(pq.buffered(), 1);
+        let popped = pq.pop_time_slice(1);
+        assert_eq!(popped.len(), 2);
+        assert_eq!(pq.buffered(), 0);
         assert_eq!(pq.peak_depth(), 2, "gauge keeps the high-water mark");
+    }
+
+    #[test]
+    fn sparse_ids_do_not_materialize_the_id_range() {
+        let mut pq = PartitionedQueues::new(0);
+        // Ids spread over the whole u32 space: memory must track the
+        // number of *touched* partitions, never the largest id.
+        for (i, p) in [3u32, 1_000_000, u32::MAX, 42].into_iter().enumerate() {
+            pq.push(ev(i as Time + 1, p)).unwrap();
+        }
+        assert_eq!(pq.partitions(), 4);
+        assert_eq!(pq.get(PartitionId(u32::MAX)).unwrap().len(), 1);
+        assert_eq!(pq.earliest_pending(), Some(1));
+    }
+
+    #[test]
+    fn pop_time_slice_returns_due_partitions_in_id_order() {
+        let mut pq = PartitionedQueues::new(0);
+        for e in [ev(5, 9), ev(5, 2), ev(5, 2), ev(7, 4), ev(9, 2)] {
+            pq.push(e).unwrap();
+        }
+        let slice = pq.pop_time_slice(5);
+        let pids: Vec<u32> = slice.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pids, vec![2, 9], "ascending partition id");
+        assert_eq!(slice[0].1.len(), 2, "both t=5 events of partition 2");
+        // Partition 2's next event (t=9) is re-indexed; t=7 now earliest.
+        assert_eq!(pq.earliest_pending(), Some(7));
+        assert!(pq.pop_time_slice(6).is_empty());
+        assert_eq!(pq.pop_time_slice(7).len(), 1);
+        assert_eq!(pq.pop_time_slice(9).len(), 1);
+        assert_eq!(pq.earliest_pending(), None);
     }
 
     #[test]
     fn partitioned_queues_grow_on_demand() {
         let mut pq = PartitionedQueues::new(1);
         pq.push(ev(1, 5)).unwrap();
-        assert_eq!(pq.partitions(), 6);
+        assert_eq!(pq.partitions(), 2);
         assert_eq!(pq.get(PartitionId(5)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn head_index_survives_serde_round_trip() {
+        let mut pq = PartitionedQueues::new(0);
+        for e in [ev(3, 7), ev(4, 1), ev(4, 7)] {
+            pq.push(e).unwrap();
+        }
+        let bytes = serde::to_bytes(&pq);
+        let mut back: PartitionedQueues = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(back.earliest_pending(), Some(3));
+        assert_eq!(back.pop_time_slice(3).len(), 1);
+        assert_eq!(back.pop_time_slice(4).len(), 2);
+        assert_eq!(back.buffered(), 0);
     }
 }

@@ -166,7 +166,7 @@ impl Optimizer {
             let all: Vec<&caesar_query::queryset::CompiledQuery> = translation
                 .combined
                 .iter()
-                .flat_map(|c| c.plans.iter().map(|p| &p.source))
+                .flat_map(|c| c.plans.iter().map(|p| p.source.as_ref()))
                 .collect();
             find_sharing(&all)
         } else {

@@ -345,7 +345,7 @@ pub struct EngineState {
     table: ContextTable,
     template: ProgramTemplate,
     default_bit: u8,
-    partitions: Vec<Option<PartitionPrograms>>,
+    partitions: BTreeMap<u32, PartitionPrograms>,
     scheduler: TimeDrivenScheduler,
     router: Router,
     clock: ArrivalClock,
@@ -426,7 +426,10 @@ pub struct Engine {
     table: ContextTable,
     template: ProgramTemplate,
     default_bit: u8,
-    partitions: Vec<Option<PartitionPrograms>>,
+    /// Per-partition cloned programs, keyed by (sparse) partition id.
+    /// Iteration is in ascending id order, which every partition walk
+    /// below relies on for deterministic output and snapshot bytes.
+    partitions: BTreeMap<u32, PartitionPrograms>,
     scheduler: TimeDrivenScheduler,
     router: Router,
     clock: ArrivalClock,
@@ -525,7 +528,7 @@ impl Engine {
             table,
             template,
             default_bit,
-            partitions: Vec::new(),
+            partitions: BTreeMap::new(),
             scheduler: TimeDrivenScheduler::new(),
             router: Router::new(),
             latency: LatencyTracker::new(),
@@ -686,7 +689,7 @@ impl Engine {
             progress: self.scheduler.progress(),
             ..Observations::default()
         };
-        for programs in self.partitions.iter().flatten() {
+        for programs in self.partitions.values() {
             for plan in &programs.deriving {
                 obs.visit_plan(plan);
             }
@@ -910,10 +913,8 @@ impl Engine {
         // Final watermark push: flush matured trailing negations, prune.
         let final_mark = self.scheduler.progress().saturating_add(1_000_000);
         let mut out = PlanOutput::default();
-        for idx in 0..self.partitions.len() {
-            if let Some(programs) = self.partitions[idx].as_mut() {
-                programs.advance_time(final_mark, &self.table, &mut out);
-            }
+        for programs in self.partitions.values_mut() {
+            programs.advance_time(final_mark, &self.table, &mut out);
         }
         self.account_outputs(&out);
         self.report()
@@ -944,14 +945,13 @@ impl Engine {
         let t = txn.time;
         let partition = txn.partition;
 
-        let idx = partition.index();
-        if idx >= self.partitions.len() {
-            self.partitions.resize_with(idx + 1, || None);
-        }
-        if self.partitions[idx].is_none() {
-            self.partitions[idx] = Some(PartitionPrograms::from_template(&self.template));
-        }
-        let mut programs = self.partitions[idx].take().expect("just ensured");
+        // Detach this partition's programs for the duration of the
+        // transaction (they need `&mut` alongside reads of the context
+        // table); re-inserted below after the watermark advance.
+        let mut programs = self
+            .partitions
+            .remove(&partition.0)
+            .unwrap_or_else(|| PartitionPrograms::from_template(&self.template));
 
         let mut out = PlanOutput::default();
         // Transactions below the policy's size floor take the per-event
@@ -1041,7 +1041,7 @@ impl Engine {
         self.obs.span_end(Stage::AdvanceTime, span);
 
         self.peak_partials = self.peak_partials.max(programs.live_partials());
-        self.partitions[idx] = Some(programs);
+        self.partitions.insert(partition.0, programs);
 
         // Storage-layer garbage collection.
         if t.saturating_sub(self.last_gc) >= self.config.gc_every {
@@ -1100,7 +1100,7 @@ impl Engine {
                 .get(&bit)
                 .map_or_else(|| format!("bit{bit}"), ToString::to_string)
         };
-        for programs in self.partitions.iter().flatten() {
+        for programs in self.partitions.values() {
             let processing = programs.processing.iter().flat_map(|c| c.plans.iter());
             for plan in programs.deriving.iter().chain(processing) {
                 let query = plan.query_id.to_string();
@@ -1155,8 +1155,7 @@ impl Engine {
         if self.obs.counters_enabled() {
             let (reused, peak) = self
                 .partitions
-                .iter()
-                .flatten()
+                .values()
                 .map(crate::programs::PartitionPrograms::pool_stats)
                 .fold((0u64, 0usize), |(r, p), (pr, pp)| (r + pr, p.max(pp)));
             snap.counters.insert("spec_pool_reuse".into(), reused);

@@ -755,7 +755,7 @@ mod tests {
     /// Every partial-slab slot of the settled core satisfies the
     /// generation-index invariants.
     fn pools_consistent(engine: &Engine) -> bool {
-        engine.partitions.iter().flatten().all(|programs| {
+        engine.partitions.values().all(|programs| {
             programs
                 .deriving
                 .iter()

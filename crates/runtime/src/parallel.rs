@@ -116,7 +116,7 @@ pub fn run_sharded_full(
         let mut dead = vec![false; shards];
         let mut undelivered = 0u64;
         while let Some(event) = stream.next_event() {
-            let shard = event.partition.index() % shards;
+            let shard = event.partition.shard(shards);
             if dead[shard] {
                 undelivered += 1;
                 continue;

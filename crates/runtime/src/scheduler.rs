@@ -85,19 +85,20 @@ impl TimeDrivenScheduler {
     /// Releases every transaction with timestamp strictly below
     /// `up_to` (events at the watermark itself may still arrive), in
     /// global timestamp order; ties broken by partition id.
+    ///
+    /// Each released timestamp costs a head-index range lookup over
+    /// exactly the partitions that have events at it — not a scan of
+    /// every partition ever seen, which at clickstream cardinalities
+    /// (hundreds of thousands of user partitions) would make release
+    /// O(timestamps × partitions).
     pub fn release(&mut self, up_to: Time) -> Vec<StreamTransaction> {
         let mut out = Vec::new();
         while let Some(t) = self.queues.earliest_pending() {
             if t >= up_to {
                 break;
             }
-            for (partition, queue) in self.queues.iter_mut() {
-                if queue.head_time() == Some(t) {
-                    let batch = queue.pop_batch(t);
-                    if !batch.is_empty() {
-                        out.push(StreamTransaction::new(partition, batch));
-                    }
-                }
+            for (partition, batch) in self.queues.pop_time_slice(t) {
+                out.push(StreamTransaction::new(partition, batch));
             }
         }
         self.transactions_released += out.len() as u64;

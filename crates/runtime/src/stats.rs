@@ -142,7 +142,7 @@ mod tests {
             input_types: vec![TypeId(0)],
             output_type: None,
             is_deriving: false,
-            source: CompiledQuery {
+            source: std::sync::Arc::new(CompiledQuery {
                 id: QueryId(4),
                 query: EventQuery {
                     name: None,
@@ -155,7 +155,7 @@ mod tests {
                 },
                 context: "c".into(),
                 source: 0,
-            },
+            }),
         }
     }
 

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! The router preserves the tenant's total admission order, then hashes
-//! each event onto `partition.index() % shards` exactly like
+//! each event onto `partition.shard(shards)` exactly like
 //! [`caesar_runtime::run_sharded`]; each shard worker owns a private
 //! [`Engine`] (partitions are disjoint across shards, so results are
 //! the disjoint union). Control messages (flush barriers, finish,
@@ -412,7 +412,7 @@ fn router_loop(
                     std::thread::sleep(config.ingest_hold);
                 }
                 for event in events {
-                    let shard = event.partition.index() % n;
+                    let shard = event.partition.shard(n);
                     if engine_config.batch.enabled {
                         if let Some(batch) = batchers[shard].offer(event) {
                             let _ = shards[shard].push(ShardMsg::Batch(batch));

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![deny(deprecated)]
 
+pub mod clickstream;
 pub mod fixture;
 pub mod generate;
 pub mod harness;
@@ -48,6 +49,7 @@ pub mod lr;
 pub mod oracle;
 pub mod served;
 
+pub use clickstream::clickstream_workload_from_seed;
 pub use generate::{workload_from_seed, workload_strategy, GenConfig, Workload};
 pub use harness::{
     build_programs, build_shared_program, canonical, check_workload, check_workload_against,

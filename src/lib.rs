@@ -27,3 +27,6 @@ pub use caesar_server as server;
 pub use caesar_linear_road as linear_road;
 /// Synthetic physical-activity-monitoring substrate.
 pub use caesar_pam as pam;
+
+/// Clickstream/funnel substrate (session-state contexts).
+pub use caesar_clickstream as clickstream;

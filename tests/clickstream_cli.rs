@@ -1,0 +1,67 @@
+//! The committed `examples/clickstream.*` files drive the same
+//! substrate as the library: the model file parses to exactly
+//! [`clickstream_model(1)`], and `caesar run` over the schema/event
+//! files fires each session-state query exactly once — the hand-scripted
+//! sessions each hit their state's funnel query a single time, so any
+//! drift in the CLI plumbing (schema parsing, event parsing, engine
+//! wiring) or in the committed files shows up as a changed count.
+//!
+//! [`clickstream_model(1)`]: caesar::clickstream::clickstream_model
+
+use caesar::cli::{run, RunOptions};
+use caesar::clickstream::{clickstream_model, output_types, DEFAULT_WITHIN};
+use caesar::query::parser::parse_model;
+
+const MODEL: &str = include_str!("../examples/clickstream.model");
+const SCHEMA: &str = include_str!("../examples/clickstream.schema");
+const EVENTS: &str = include_str!("../examples/clickstream.events");
+
+fn options() -> RunOptions {
+    RunOptions {
+        model_text: MODEL.into(),
+        schema_text: SCHEMA.into(),
+        events_text: EVENTS.into(),
+        within: DEFAULT_WITHIN,
+        ..RunOptions::default()
+    }
+}
+
+/// The example model file is the replication-1 library model, token for
+/// token — editing one without the other fails here.
+#[test]
+fn example_model_is_the_library_model() {
+    let parsed = parse_model(MODEL).expect("example model parses");
+    assert_eq!(parsed, clickstream_model(1));
+}
+
+#[test]
+fn caesar_run_fires_each_funnel_query_once() {
+    let out = run(&options()).expect("caesar run");
+    assert!(out.contains("events in:           21"), "{out}");
+    for ty in output_types(1) {
+        assert!(
+            out.contains(&format!("{ty:30} 1")),
+            "{ty} should fire exactly once:\n{out}"
+        );
+    }
+}
+
+/// `--explain` names the contributing events. The conversion must bind
+/// the *second* cart add: the first one initiates the engaged window,
+/// and windows are initiation-exclusive.
+#[test]
+fn explain_shows_funnel_provenance() {
+    let out = run(&RunOptions {
+        explain: true,
+        ..options()
+    })
+    .expect("caesar run --explain");
+    assert!(
+        out.contains("Conversion@[4,6] <= CartAdd@4, Purchase@6"),
+        "{out}"
+    );
+    assert!(
+        out.contains("CartAbandoned@[3,9] <= CartAdd@3, SessionEnd@9"),
+        "{out}"
+    );
+}

@@ -1,0 +1,125 @@
+//! High-cardinality clickstream stress: ≥ 100k Zipf-skewed user
+//! partitions with ids scattered over the full `u32` space, asserting
+//!
+//! * sharded output ≡ sequential output, byte for byte (canonical
+//!   per-event encodings — shards interleave emission order, which is
+//!   not part of the contract), and
+//! * per-partition pattern state is reclaimed after sessions close:
+//!   the engine's peak live-partials watermark stays orders of
+//!   magnitude below both the partition count and the event count, and
+//!   the partial-slab pool reports reuse (freed slots recycled rather
+//!   than state accumulating per partition).
+//!
+//! This is also the regression test for the sparse partition
+//! structures: scattered ids near `u32::MAX` would OOM any
+//! Vec-indexed-by-partition state, and the SplitMix64 shard router
+//! must spread structured id sets across all shards.
+
+use caesar::clickstream::{
+    clickstream_model, clickstream_registry, generate, output_types, ClickConfig, DEFAULT_WITHIN,
+};
+use caesar::prelude::*;
+use caesar_runtime::{run_mode_full, ModeSpec};
+use caesar_testkit::{build_programs, canonical, Workload};
+
+#[test]
+fn sharded_equals_sequential_at_100k_partitions() {
+    let config = ClickConfig {
+        users: 1_000_000,
+        sessions: 105_000,
+        coverage_floor: 101_000,
+        zipf_s: 1.2,
+        seed: 99,
+        bot_fraction: 0.02,
+        buy_fraction: 0.15,
+        abandon_fraction: 0.15,
+        min_views: 1,
+        max_views: 2,
+        mean_gap: 6,
+        disorder: 0.0,
+        scatter_ids: true,
+        ..ClickConfig::default()
+    };
+    let registry = clickstream_registry();
+    let (events, summary) = generate(&config, &registry);
+    assert!(
+        summary.partitions_touched >= 100_000,
+        "cardinality floor violated: {} partitions",
+        summary.partitions_touched
+    );
+    assert!(
+        events.iter().any(|e| e.partition.0 > u32::MAX / 2),
+        "scattered ids should reach the upper id space"
+    );
+
+    let workload = Workload {
+        seed: config.seed,
+        model: clickstream_model(1),
+        registry,
+        events,
+        default_within: DEFAULT_WITHIN,
+        reorder_slack: 0,
+        output_types: output_types(1),
+    };
+    let (optimized, _, registry) = build_programs(&workload).expect("build");
+    let engine_config = EngineConfig::builder()
+        .batch(BatchPolicy::default())
+        .observability(ObservabilityLevel::Counters)
+        .build();
+
+    let (seq_report, seq_outputs, _) = run_mode_full(
+        &optimized,
+        &registry,
+        &ModeSpec::sequential("scale/seq", engine_config),
+        &workload.events,
+    )
+    .expect("sequential run");
+    let sharded_spec = ModeSpec {
+        label: "scale/sharded4".into(),
+        config: engine_config,
+        shards: 4,
+        optimized: true,
+        restart_after: None,
+    };
+    let (shard_report, shard_outputs, _) =
+        run_mode_full(&optimized, &registry, &sharded_spec, &workload.events).expect("sharded run");
+
+    assert_eq!(seq_report.events_in, shard_report.events_in);
+    assert_eq!(seq_report.events_out, shard_report.events_out);
+    assert_eq!(seq_report.outputs_by_type, shard_report.outputs_by_type);
+    assert_eq!(
+        canonical(&seq_outputs),
+        canonical(&shard_outputs),
+        "sharded output multiset diverged from sequential"
+    );
+    assert!(seq_report.events_out > 0, "workload produced no outputs");
+
+    // State reclamation: sessions close, WITHIN horizons evict, context
+    // flips discard — live partials never approach the partition or
+    // event count.
+    for report in [&seq_report, &shard_report] {
+        assert!(report.peak_partials > 0);
+        assert!(
+            report.peak_partials < 20_000,
+            "peak live partials {} suggests per-partition state is not \
+             reclaimed ({} partitions, {} events)",
+            report.peak_partials,
+            summary.partitions_touched,
+            summary.events
+        );
+    }
+    let pool_peak = seq_report
+        .metrics
+        .counters
+        .get("partials_peak")
+        .copied()
+        .expect("counters level exposes the pool watermark");
+    assert!(
+        pool_peak > 0 && pool_peak < 20_000,
+        "slab high-water mark {pool_peak} suggests per-partition state is not reclaimed"
+    );
+    assert!(
+        seq_report.metrics.counters.get("spec_pool_reuse").copied() > Some(0),
+        "partial-slab pool never reused a freed slot"
+    );
+}

@@ -1,0 +1,150 @@
+//! Hand-computed clickstream funnel edge cases, pinned against the
+//! session-state model of `caesar-clickstream` at replication 1:
+//!
+//! * conversion exactly at the `WITHIN` horizon (and one tick past it),
+//! * cart-abandonment whose negated pattern straddles the context flip
+//!   (the session end both terminates the *engaged* window and, being
+//!   termination-inclusive, completes the match),
+//! * same-timestamp view/cart pairs (the view at the switch timestamp
+//!   belongs to the *old* window; `SEQ` needs strictly increasing
+//!   timestamps, so the tie itself never pairs),
+//! * bot-burst context gating (views before the alarm and after the
+//!   captcha never feed the burst pattern; browsing partials do not
+//!   survive across the window flip).
+//!
+//! Every expectation is a small enumeration over the §4.1 semantics:
+//! `SEQ` builds *all* strictly-increasing tuples from events admitted
+//! to the query's context window `(t_initiation, t_termination]`, and a
+//! match spanning exactly `WITHIN` ticks is still admitted.
+
+use caesar::clickstream::{clickstream_builder, CONVERSION_WITHIN};
+use caesar::prelude::*;
+
+/// Runs `events` (one partition, time-ordered) through the replication-1
+/// clickstream model and returns the run report.
+fn run(events: Vec<Event>) -> RunReport {
+    let mut system = clickstream_builder(1).build().expect("model builds");
+    system
+        .run_stream(&mut VecStream::new(events))
+        .expect("stream is in order")
+}
+
+fn ev(system_reg: &SchemaRegistry, ty: &str, t: Time, attrs: &[i64]) -> Event {
+    let type_id = system_reg.lookup(ty).expect("registered");
+    Event::simple(
+        type_id,
+        t,
+        PartitionId(1),
+        attrs.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>(),
+    )
+}
+
+fn registry() -> SchemaRegistry {
+    caesar::clickstream::clickstream_registry()
+}
+
+#[test]
+fn conversion_exactly_at_the_within_horizon() {
+    let reg = registry();
+    // CartAdd@10 switches browsing → engaged; initiation is exclusive,
+    // so only CartAdd@12 is in the window. Purchase lands exactly
+    // CONVERSION_WITHIN ticks after it: span == horizon is admitted.
+    let t_buy = 12 + CONVERSION_WITHIN;
+    let report = run(vec![
+        ev(&reg, "CartAdd", 10, &[1, 3, 50]),
+        ev(&reg, "CartAdd", 12, &[1, 4, 60]),
+        ev(&reg, "Purchase", t_buy, &[1, 100, 2]),
+    ]);
+    assert_eq!(report.outputs_of("Conversion"), 1, "span == WITHIN matches");
+
+    // One tick past the horizon: the same stream shifted by one.
+    let report = run(vec![
+        ev(&reg, "CartAdd", 10, &[1, 3, 50]),
+        ev(&reg, "CartAdd", 12, &[1, 4, 60]),
+        ev(&reg, "Purchase", t_buy + 1, &[1, 100, 2]),
+    ]);
+    assert_eq!(report.outputs_of("Conversion"), 0, "span > WITHIN is out");
+}
+
+#[test]
+fn abandonment_negation_straddles_the_context_flip() {
+    let reg = registry();
+    // The SessionEnd@40 *terminates* the engaged window — and, because
+    // termination is inclusive, it is also the final element of the
+    // SEQ(CartAdd, NOT Purchase, SessionEnd) match. Only CartAdd@12 is
+    // in-window (the @10 initiator is excluded), so exactly one match.
+    let report = run(vec![
+        ev(&reg, "CartAdd", 10, &[1, 3, 50]),
+        ev(&reg, "CartAdd", 12, &[1, 4, 60]),
+        ev(&reg, "SessionEnd", 40, &[1, 40]),
+    ]);
+    assert_eq!(report.outputs_of("CartAbandoned"), 1);
+    assert_eq!(report.outputs_of("Conversion"), 0);
+
+    // A purchase in between both vetoes the negation *and* flips the
+    // context first: the engaged window becomes (10, 20], the session
+    // end at 40 is never admitted to it, and the conversion fires
+    // instead.
+    let report = run(vec![
+        ev(&reg, "CartAdd", 10, &[1, 3, 50]),
+        ev(&reg, "CartAdd", 12, &[1, 4, 60]),
+        ev(&reg, "Purchase", 20, &[1, 100, 2]),
+        ev(&reg, "SessionEnd", 40, &[1, 40]),
+    ]);
+    assert_eq!(report.outputs_of("CartAbandoned"), 0);
+    assert_eq!(report.outputs_of("Conversion"), 1);
+}
+
+#[test]
+fn same_timestamp_view_cart_pair() {
+    let reg = registry();
+    // View@10 shares its timestamp with the CartAdd that flips
+    // browsing → engaged. The browsing window is (…, 10] — termination
+    // inclusive — so the view still belongs to *browsing* and pairs
+    // with the earlier views: (5,8), (5,10), (8,10). It can never pair
+    // with itself or the cart (SEQ needs strictly increasing times),
+    // and nothing after the flip feeds BrowsePath.
+    let report = run(vec![
+        ev(&reg, "View", 5, &[1, 7, 10]),
+        ev(&reg, "View", 8, &[1, 8, 10]),
+        ev(&reg, "View", 10, &[1, 9, 10]),
+        ev(&reg, "CartAdd", 10, &[1, 3, 50]),
+        ev(&reg, "View", 11, &[1, 2, 10]),
+    ]);
+    assert_eq!(report.outputs_of("BrowsePath"), 3);
+}
+
+#[test]
+fn bot_burst_is_gated_by_the_suspect_context() {
+    let reg = registry();
+    // Views at 1 and 2 would complete within-5 triples with the burst
+    // (6-1 == 5 ≤ WITHIN) — but they live in the *browsing* window, so
+    // the only burst triple is (4,5,6). Symmetrically the dwell-10
+    // views at 4 and 5 would extend BrowsePath pairs, but they live in
+    // the *bot_suspect* window, and the browsing partial from View@1
+    // does not survive the flip: BrowsePath is exactly the (1,2) pair.
+    // After CaptchaOk@7 re-opens browsing, (8,9) fails the dwell
+    // predicate, and (1,8)/(2,8) would need partials from the closed
+    // first window.
+    let report = run(vec![
+        ev(&reg, "View", 1, &[1, 7, 10]),
+        ev(&reg, "View", 2, &[1, 8, 10]),
+        ev(&reg, "BotAlarm", 3, &[1, 120]),
+        ev(&reg, "View", 4, &[1, 9, 10]),
+        ev(&reg, "View", 5, &[1, 9, 10]),
+        ev(&reg, "View", 6, &[1, 9, 1]),
+        ev(&reg, "CaptchaOk", 7, &[1, 7]),
+        ev(&reg, "View", 8, &[1, 2, 10]),
+        ev(&reg, "View", 9, &[1, 2, 1]),
+    ]);
+    assert_eq!(
+        report.outputs_of("BotBurst"),
+        1,
+        "only the in-window triple"
+    );
+    assert_eq!(
+        report.outputs_of("BrowsePath"),
+        1,
+        "only the pre-alarm pair"
+    );
+}
